@@ -1,0 +1,111 @@
+// Command experiments regenerates every table and figure of the
+// paper's evaluation chapter on the synthetic S&P-style universe.
+//
+// Usage:
+//
+//	experiments [-exp all|counts,fig5.1,table5.1,table5.2,fig5.2,fig5.3,table5.3,table5.4,fig5.4]
+//	            [-series N] [-days N] [-seed N] [-quick] [-year N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"hypermine/internal/experiments"
+)
+
+func main() {
+	var (
+		expFlag  = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
+		series   = flag.Int("series", 0, "override number of series (0 = default)")
+		days     = flag.Int("days", 0, "override number of trading days (0 = default)")
+		seed     = flag.Int64("seed", 0, "override generator seed (0 = default)")
+		quick    = flag.Bool("quick", false, "use the reduced test-size configuration")
+		yearDays = flag.Int("year", 250, "trading days per year for fig5.4")
+		paper    = flag.Bool("paper-protocol", false, "also score SVM/logistic with the paper's §5.5 AT-row training protocol")
+	)
+	flag.Parse()
+
+	p := experiments.DefaultParams()
+	if *quick {
+		p = experiments.QuickParams()
+	}
+	if *series > 0 {
+		p.Gen.NumSeries = *series
+	}
+	if *days > 0 {
+		p.Gen.NumDays = *days
+	}
+	if *seed != 0 {
+		p.Gen.Seed = *seed
+	}
+	p.PaperProtocol = *paper
+
+	env, err := experiments.NewEnv(p)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("universe: %d series x %d days (seed %d), split %.0f%% in-sample\n\n",
+		len(env.U.Series), env.U.Days(), p.Gen.Seed, 100*p.SplitFrac)
+
+	type runner struct {
+		id  string
+		run func() (renderer, error)
+	}
+	runners := []runner{
+		{"counts", func() (renderer, error) { return experiments.RunCounts(env) }},
+		{"fig5.1", func() (renderer, error) { return experiments.RunFig51(env) }},
+		{"table5.1", func() (renderer, error) { return experiments.RunTable51(env) }},
+		{"table5.2", func() (renderer, error) { return experiments.RunTable52(env) }},
+		{"fig5.2", func() (renderer, error) { return experiments.RunFig52(env) }},
+		{"fig5.3", func() (renderer, error) { return experiments.RunFig53(env) }},
+		{"table5.3", func() (renderer, error) { return experiments.RunTable53(env) }},
+		{"table5.4", func() (renderer, error) { return experiments.RunTable54(env) }},
+		{"fig5.4", func() (renderer, error) { return experiments.RunFig54(env, experiments.Alg5, *yearDays) }},
+		{"fig5.4b", func() (renderer, error) { return experiments.RunFig54(env, experiments.Alg6, *yearDays) }},
+		{"ext3to1", func() (renderer, error) { return experiments.RunExt3to1(env) }},
+		{"ablations", func() (renderer, error) { return experiments.RunAblations(env) }},
+	}
+
+	want := map[string]bool{}
+	all := *expFlag == "all"
+	for _, id := range strings.Split(*expFlag, ",") {
+		want[strings.TrimSpace(id)] = true
+	}
+	if want["fig5.4"] {
+		want["fig5.4b"] = true
+	}
+
+	ran := 0
+	for _, r := range runners {
+		if !all && !want[r.id] {
+			continue
+		}
+		start := time.Now()
+		rep, err := r.run()
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", r.id, err))
+		}
+		if err := rep.Render(os.Stdout); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("(%s finished in %v)\n\n", r.id, time.Since(start).Round(time.Millisecond))
+		ran++
+	}
+	if ran == 0 {
+		fatal(fmt.Errorf("no experiment matched %q", *expFlag))
+	}
+}
+
+type renderer interface {
+	Render(w io.Writer) error
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

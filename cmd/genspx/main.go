@@ -1,0 +1,73 @@
+// Command genspx emits the synthetic S&P-style dataset: a prices CSV
+// (ticker metadata + daily closes) and, optionally, the discretized
+// database CSV ready for the miner.
+//
+// Usage:
+//
+//	genspx [-series N] [-days N] [-seed N] [-k K]
+//	       [-prices prices.csv] [-table table.csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hypermine/internal/timeseries"
+)
+
+func main() {
+	var (
+		series    = flag.Int("series", 120, "number of series")
+		days      = flag.Int("days", 2200, "number of trading days")
+		seed      = flag.Int64("seed", 42, "generator seed")
+		k         = flag.Int("k", 3, "discretization cardinality for -table")
+		pricesOut = flag.String("prices", "prices.csv", "prices CSV path ('' to skip)")
+		tableOut  = flag.String("table", "", "discretized table CSV path ('' to skip)")
+	)
+	flag.Parse()
+
+	cfg := timeseries.DefaultGenConfig()
+	cfg.NumSeries = *series
+	cfg.NumDays = *days
+	cfg.Seed = *seed
+	u, err := timeseries.Generate(cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *pricesOut != "" {
+		f, err := os.Create(*pricesOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := u.WritePricesCSV(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %d series x %d days to %s\n", len(u.Series), u.Days(), *pricesOut)
+	}
+	if *tableOut != "" {
+		tb, _, err := u.BuildTable(*k)
+		if err != nil {
+			fatal(err)
+		}
+		f, err := os.Create(*tableOut)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := tb.WriteCSV(f); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %dx%d discretized table (k=%d) to %s\n",
+			tb.NumRows(), tb.NumAttrs(), *k, *tableOut)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "genspx:", err)
+	os.Exit(1)
+}

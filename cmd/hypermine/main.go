@@ -1,0 +1,24 @@
+// Command hypermine is the CLI for the association-hypergraph miner.
+// All logic lives in internal/cli (testable); this wrapper only wires
+// stdout/stderr and the exit code. Run `hypermine help` for usage.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"os"
+
+	"hypermine/internal/cli"
+)
+
+func main() {
+	app := cli.New(os.Stdout)
+	if err := app.Run(os.Args[1:]); err != nil {
+		if errors.Is(err, cli.ErrUsage) {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		fmt.Fprintln(os.Stderr, "hypermine:", err)
+		os.Exit(1)
+	}
+}

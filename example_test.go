@@ -1,0 +1,81 @@
+package hypermine_test
+
+import (
+	"fmt"
+
+	"hypermine"
+)
+
+// Example mines the paper's personal-interest database (Table 3.6)
+// and reads off the Example 3.5 rule.
+func Example() {
+	tb, _ := hypermine.TableFromRows(
+		[]string{"read", "play", "music", "eat"}, 3,
+		[][]hypermine.Value{
+			{3, 3, 1, 2}, {2, 3, 2, 2}, {1, 1, 3, 3}, {2, 1, 3, 2},
+			{3, 3, 1, 2}, {3, 3, 2, 2}, {2, 2, 2, 2}, {3, 3, 1, 3},
+		})
+	x := []hypermine.Item{{Attr: 0, Val: 3}, {Attr: 1, Val: 3}}
+	rule := hypermine.Rule{X: x, Y: []hypermine.Item{{Attr: 2, Val: 1}}}
+	fmt.Printf("Supp = %.3f\n", hypermine.Support(tb, x))
+	fmt.Printf("Conf = %.2f\n", hypermine.Confidence(tb, rule))
+	// Output:
+	// Supp = 0.500
+	// Conf = 0.75
+}
+
+// ExampleBuild constructs an association hypergraph and inspects the
+// association confidence value of a 2-to-1 hyperedge.
+func ExampleBuild() {
+	tb, _ := hypermine.TableFromRows(
+		[]string{"A", "B", "X"}, 2,
+		[][]hypermine.Value{
+			{1, 1, 1}, {1, 2, 2}, {2, 1, 2}, {2, 2, 1},
+			{1, 1, 1}, {1, 2, 2}, {2, 1, 2}, {2, 2, 1},
+		})
+	model, _ := hypermine.Build(tb, hypermine.Config{GammaEdge: 1.0, GammaPair: 1.0})
+	// X = A xor B: the pair determines X exactly, singles know nothing.
+	fmt.Printf("ACV({A,B} -> X) = %.2f\n", model.H.Weight([]int{0, 1}, []int{2}))
+	fmt.Printf("ACV({A} -> X)   = %.2f\n", model.EdgeACVAt(0, 2))
+	// Output:
+	// ACV({A,B} -> X) = 1.00
+	// ACV({A} -> X)   = 0.50
+}
+
+// ExampleLeadingIndicators computes a dominator for a small hand-built
+// hypergraph (Definition 4.1).
+func ExampleLeadingIndicators() {
+	h, _ := hypermine.NewHypergraph([]string{"a", "b", "c", "d"})
+	_ = h.AddEdge([]int{0}, []int{1}, 0.9)    // a -> b
+	_ = h.AddEdge([]int{0, 1}, []int{2}, 0.8) // {a,b} -> c
+	_ = h.AddEdge([]int{2}, []int{3}, 0.7)    // c -> d
+	dom, _ := hypermine.LeadingIndicators(h, nil, hypermine.DominatorOptions{Complete: true})
+	names := []string{}
+	for _, v := range dom.DomSet {
+		names = append(names, h.VertexName(v))
+	}
+	fmt.Println(names, dom.TargetCovered, "of", dom.TargetSize)
+	// Output:
+	// [a b c] 4 of 4
+}
+
+// ExampleFrequentItemsets runs the classical Apriori baseline on a
+// market-basket table (1 = absent, 2 = present).
+func ExampleFrequentItemsets() {
+	tb, _ := hypermine.TableFromRows(
+		[]string{"milk", "diapers", "beer"}, 2,
+		[][]hypermine.Value{
+			{2, 2, 2}, {2, 2, 1}, {2, 1, 2}, {1, 2, 2}, {2, 2, 2}, {2, 2, 2},
+		})
+	freq, _ := hypermine.FrequentItemsets(tb, hypermine.AprioriOptions{MinSupport: 0.6})
+	for _, f := range freq {
+		if len(f.Items) == 2 {
+			fmt.Printf("%s supp=%.2f\n", hypermine.FormatRule(tb,
+				hypermine.Rule{X: f.Items[:1], Y: f.Items[1:]}), f.Support)
+		}
+	}
+	// Output:
+	// {milk=2} => {diapers=2} supp=0.67
+	// {milk=2} => {beer=2} supp=0.67
+	// {diapers=2} => {beer=2} supp=0.67
+}

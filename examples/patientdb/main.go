@@ -1,0 +1,70 @@
+// Patient database (medicine domain, Tables 3.1/3.2): discretize raw
+// clinical measurements with the paper's floor(a/10) rule, inspect an
+// association table, and read off the blood-pressure rule of
+// Example 3.3.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hypermine"
+)
+
+func main() {
+	// Raw values of Table 3.1 (age, cholesterol, blood-pressure,
+	// heart-rate for eight patients).
+	raw := [][]float64{
+		{25, 62, 32, 12, 38, 39, 41, 85},         // Age
+		{105, 160, 125, 95, 129, 121, 134, 125},  // Cholesterol
+		{135, 165, 139, 105, 135, 117, 145, 155}, // Blood-Pressure
+		{75, 85, 71, 67, 75, 71, 73, 78},         // Heart-Rate
+	}
+	attrs := []string{"Age", "Chol", "BP", "HR"}
+
+	// The paper discretizes with floor(a/10). DiscretizeMapped also
+	// renumbers codes densely onto 1..k.
+	cols := make([][]hypermine.Value, len(raw))
+	maxK := 0
+	for j, col := range raw {
+		vals, k, err := hypermine.DiscretizeMapped(col, func(v float64) int { return int(v / 10) })
+		if err != nil {
+			log.Fatal(err)
+		}
+		cols[j] = vals
+		if k > maxK {
+			maxK = k
+		}
+	}
+	tb, err := hypermine.TableFromColumns(attrs, maxK, cols)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("discretized patient database: %d observations, k=%d\n", tb.NumRows(), tb.K())
+
+	// Example 3.3's rule, in the dense renumbering: age code for 3x
+	// and cholesterol code for 12x imply the BP code for 13x.
+	age3 := cols[0][2] // patient 3 has age 32 -> decade 3
+	ch12 := cols[1][2] // cholesterol 125 -> decade 12
+	bp13 := cols[2][2] // blood pressure 139 -> decade 13
+	x := []hypermine.Item{{Attr: 0, Val: age3}, {Attr: 1, Val: ch12}}
+	rule := hypermine.Rule{X: x, Y: []hypermine.Item{{Attr: 2, Val: bp13}}}
+	fmt.Printf("Supp(age in 30s, chol in 120s)       = %.3f (paper: 0.375)\n", hypermine.Support(tb, x))
+	fmt.Printf("Conf(... => blood pressure in 130s)  = %.3f (paper: 0.667)\n", hypermine.Confidence(tb, rule))
+
+	// The association table for ({Age, Chol}, {BP}).
+	at, err := hypermine.BuildAssociationTable(tb, []int{0, 1}, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nAT({Age,Chol} -> BP): %d rows, ACV %.3f (null ACV %.3f)\n",
+		at.NumRows(), at.ACV(), hypermine.NullACV(tb, 2))
+	for row := 0; row < at.NumRows(); row++ {
+		if at.Support(row) == 0 {
+			continue
+		}
+		best, _ := at.Best(row)
+		fmt.Printf("  row %2d: supp %.3f -> most frequent BP code %d (conf %.2f)\n",
+			row, at.Support(row), best, at.Confidence(row))
+	}
+}

@@ -1,0 +1,67 @@
+// Quickstart: mine associations in the paper's personal-interest
+// database (Tables 3.5/3.6) through the public API — rules, the
+// association hypergraph, and a prediction.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hypermine"
+)
+
+func main() {
+	// The discretized personal-interest database of Table 3.6:
+	// attributes read, play, music, eat; values l=1, m=2, h=3.
+	tb, err := hypermine.TableFromRows(
+		[]string{"read", "play", "music", "eat"}, 3,
+		[][]hypermine.Value{
+			{3, 3, 1, 2},
+			{2, 3, 2, 2},
+			{1, 1, 3, 3},
+			{2, 1, 3, 2},
+			{3, 3, 1, 2},
+			{3, 3, 2, 2},
+			{2, 2, 2, 2},
+			{3, 3, 1, 3},
+		})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Example 3.5's rule: high read + high play => low music.
+	x := []hypermine.Item{{Attr: 0, Val: 3}, {Attr: 1, Val: 3}}
+	rule := hypermine.Rule{X: x, Y: []hypermine.Item{{Attr: 2, Val: 1}}}
+	fmt.Printf("Supp({read=h, play=h})          = %.3f (paper: 0.5)\n", hypermine.Support(tb, x))
+	fmt.Printf("Conf(read=h, play=h => music=l) = %.3f (paper: 0.75)\n", hypermine.Confidence(tb, rule))
+
+	// Build the association hypergraph (gamma = 1: admit everything
+	// at least as good as the trivial predictor).
+	model, err := hypermine.Build(tb, hypermine.Config{GammaEdge: 1.0, GammaPair: 1.0})
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := model.H.EdgeStats()
+	fmt.Printf("\nassociation hypergraph: %d directed edges, %d 2-to-1 hyperedges\n",
+		st.DirectedEdges, st.TwoToOne)
+	for _, e := range model.H.Edges() {
+		if !e.IsTwoToOne() || e.Head[0] != 2 {
+			continue
+		}
+		fmt.Printf("  {%s, %s} -> music  ACV %.3f\n",
+			tb.AttrName(e.Tail[0]), tb.AttrName(e.Tail[1]), e.Weight)
+	}
+
+	// Predict music interest from read and play.
+	abc, err := hypermine.NewClassifier(model, []int{0, 1}, []int{2, 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	pred, conf, err := abc.Predict([]hypermine.Value{3, 3}, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	names := []string{"low", "moderate", "high"}
+	fmt.Printf("\npredicted music interest for an avid reader+player: %s (confidence %.2f)\n",
+		names[pred-1], conf)
+}

@@ -1,0 +1,281 @@
+// Package hypermine is a Go implementation of "Mining Associations
+// Using Directed Hypergraphs" (Simha & Tripathi, ICDE 2012 / USF
+// thesis 2011): a directed-hypergraph model of association rules for
+// multi-valued attributes, association-based similarity and
+// clustering, leading-indicator (dominator) mining, and an
+// association-based classifier.
+//
+// The package re-exports the library's public surface; implementation
+// lives under internal/. The typical pipeline is:
+//
+//	u, _ := hypermine.Generate(hypermine.DefaultGenConfig()) // or your own data
+//	tb, disc, _ := u.BuildTable(3)                           // equi-depth discretization
+//	model, _ := hypermine.Build(tb, hypermine.C1())          // association hypergraph
+//	dom, _ := hypermine.LeadingIndicators(model.H, nil, hypermine.DominatorOptions{})
+//	abc, _ := hypermine.NewClassifier(model, dom.DomSet, targets)
+package hypermine
+
+import (
+	"hypermine/internal/apriori"
+	"hypermine/internal/classify"
+	"hypermine/internal/cluster"
+	"hypermine/internal/core"
+	"hypermine/internal/cover"
+	"hypermine/internal/hypergraph"
+	"hypermine/internal/similarity"
+	"hypermine/internal/table"
+	"hypermine/internal/timeseries"
+)
+
+// Database substrate (internal/table).
+type (
+	// Table is the discrete database D(A, O, V).
+	Table = table.Table
+	// Value is an attribute value in 1..K.
+	Value = table.Value
+	// Discretizer maps raw real columns onto 1..K.
+	Discretizer = table.Discretizer
+	// EquiDepth is the paper's equi-depth k-threshold discretizer.
+	EquiDepth = table.EquiDepth
+	// EquiWidth is a fixed-range binning discretizer.
+	EquiWidth = table.EquiWidth
+)
+
+// Re-exported table constructors.
+var (
+	NewTable          = table.New
+	TableFromRows     = table.FromRows
+	TableFromColumns  = table.FromColumns
+	ReadTableCSV      = table.ReadCSV
+	DiscretizeColumns = table.DiscretizeColumns
+	DiscretizeMapped  = table.DiscretizeMapped
+	ApplyThresholds   = table.ApplyThresholds
+)
+
+// Directed hypergraph substrate (internal/hypergraph).
+type (
+	// Hypergraph is a weighted directed hypergraph (Definition 2.9).
+	Hypergraph = hypergraph.H
+	// Hyperedge is one directed hyperedge (T, H).
+	Hyperedge = hypergraph.Edge
+	// HypergraphStats summarizes an edge population.
+	HypergraphStats = hypergraph.Stats
+)
+
+// Re-exported hypergraph constructors.
+var (
+	NewHypergraph      = hypergraph.New
+	ReadHypergraphJSON = hypergraph.ReadJSON
+)
+
+// Core model (internal/core).
+type (
+	// Item is one (attribute, value) pair of an mva-type rule.
+	Item = core.Item
+	// Rule is an mva-type association rule (Definition 3.1).
+	Rule = core.Rule
+	// Config parameterizes association-hypergraph construction.
+	Config = core.Config
+	// Model is a mined association hypergraph plus its training table.
+	Model = core.Model
+	// AssociationTable is the AT of a directed hyperedge (Def. 3.6).
+	AssociationTable = core.AssociationTable
+)
+
+// Re-exported rule/model functions.
+var (
+	// Support is Supp(X) of Definition 3.2(1).
+	Support = core.Support
+	// Confidence is Conf(X ==mva==> Y) of Definition 3.2(2).
+	Confidence = core.Confidence
+	// ACV computes the association confidence value of a combination.
+	ACV = core.ACV
+	// NullACV is ACV(empty, {head}) — the Theorem 3.8 baseline.
+	NullACV = core.NullACV
+	// BuildAssociationTable builds the AT of one combination.
+	BuildAssociationTable = core.BuildAssociationTable
+	// Build mines the association hypergraph of a table (§3.2.1).
+	Build = core.Build
+	// C1 and C2 are the paper's §5.1.2 configurations.
+	C1 = core.C1
+	C2 = core.C2
+)
+
+// Similarity and clustering (internal/similarity, internal/cluster).
+type (
+	// SimilarityGraph is SG_S of Definition 3.13.
+	SimilarityGraph = similarity.Graph
+	// Clustering is a t-clustering (Algorithm 2) result.
+	Clustering = cluster.Clustering
+	// KMeansResult is the k-means (Algorithm 4) baseline result.
+	KMeansResult = cluster.KMeansResult
+)
+
+// Re-exported similarity/clustering functions.
+var (
+	// InSim and OutSim are the Definition 3.11 similarity notions.
+	InSim  = similarity.InSim
+	OutSim = similarity.OutSim
+	// SimilarityDistance is 1 - (in-sim + out-sim)/2.
+	SimilarityDistance = similarity.Distance
+	// BuildSimilarityGraph induces SG_S over a vertex collection.
+	BuildSimilarityGraph = similarity.BuildGraph
+	// EuclideanSim is the §5.3.1 baseline similarity.
+	EuclideanSim = similarity.EuclideanSim
+	// TClustering is the Gonzalez 2-approximation (Algorithm 2).
+	TClustering = cluster.TClustering
+	// KMeans is the Algorithm 4 baseline.
+	KMeans = cluster.KMeans
+	// SectorPurity scores clusters against ground-truth labels.
+	SectorPurity = cluster.SectorPurity
+)
+
+// Leading indicators (internal/cover).
+type (
+	// DominatorOptions tunes the greedy dominator algorithms.
+	DominatorOptions = cover.Options
+	// DominatorResult reports a computed dominator.
+	DominatorResult = cover.Result
+)
+
+// Re-exported covering functions.
+var (
+	// SetCover is the greedy Algorithm 1; WeightedSetCover is the
+	// minimum-cost generalization of §2.1.1.
+	SetCover         = cover.SetCover
+	WeightedSetCover = cover.WeightedSetCover
+	CoverCost        = cover.CoverCost
+	// DominatingSet solves graph dominating set via set cover.
+	DominatingSet = cover.DominatingSet
+	// DominatorGreedyDS is Algorithm 5.
+	DominatorGreedyDS = cover.DominatorGreedyDS
+	// DominatorSetCover is Algorithm 6 (+ Enhancements 1/2).
+	DominatorSetCover = cover.DominatorSetCover
+	// IsDominator checks Definition 4.1.
+	IsDominator = cover.IsDominator
+)
+
+// Classification (internal/classify).
+type (
+	// ABC is the association-based classifier (Algorithm 9).
+	ABC = classify.ABC
+	// Classifier is the baseline supervised-learning interface.
+	Classifier = classify.Classifier
+	// Perceptron, SVM, MLP, Logistic are the §5.5 baselines;
+	// LinearRegression is the §2.3.1 preliminary.
+	Perceptron       = classify.Perceptron
+	SVM              = classify.SVM
+	MLP              = classify.MLP
+	Logistic         = classify.Logistic
+	LinearRegression = classify.LinearRegression
+	// DecisionTree is the CART-style tree of the Ordonez comparison.
+	DecisionTree = classify.DecisionTree
+)
+
+// Re-exported classification functions.
+var (
+	// NewClassifier builds an association-based classifier from a
+	// model, a dominator, and target attributes.
+	NewClassifier = classify.NewABC
+	// MeanConfidence averages per-target classification confidences.
+	MeanConfidence = classify.MeanConfidence
+	// OneHotFeatures and Labels prepare baseline training data.
+	OneHotFeatures = classify.OneHotFeatures
+	Labels         = classify.Labels
+	// EvaluateBaseline fits and scores one baseline per target on
+	// full observation rows; EvaluateBaselinePaperProtocol uses the
+	// paper's exact §5.5 AT-row training protocol instead.
+	EvaluateBaseline              = classify.EvaluateBaseline
+	EvaluateBaselinePaperProtocol = classify.EvaluateBaselinePaperProtocol
+	PaperProtocolData             = classify.PaperProtocolData
+	// KFoldIndices and CrossValidateABC support contiguous-fold
+	// cross-validation of the association-based classifier.
+	KFoldIndices     = classify.KFoldIndices
+	CrossValidateABC = classify.CrossValidateABC
+)
+
+// ExactMinDominator brute-forces a minimum dominator on small
+// instances, for approximation-quality measurements.
+var ExactMinDominator = cover.ExactMinDominator
+
+// Classical association-rule mining baseline (internal/apriori) — the
+// Agrawal/Srikant background the paper's model adapts (§1.1, §3.1).
+type (
+	// AprioriOptions controls frequent-itemset mining.
+	AprioriOptions = apriori.Options
+	// FrequentItemset is one frequent (attribute, value) itemset.
+	FrequentItemset = apriori.Frequent
+	// ClassicRule is a classical association rule X => Y.
+	ClassicRule = apriori.Rule
+)
+
+// Re-exported Apriori functions.
+var (
+	// FrequentItemsets runs level-wise Apriori.
+	FrequentItemsets = apriori.FrequentItemsets
+	// GenerateRules derives rules from frequent itemsets.
+	GenerateRules = apriori.GenerateRules
+	// MineClassicRules is the one-call frequent+rules pipeline.
+	MineClassicRules = apriori.Mine
+)
+
+// Model-level rule mining (internal/core).
+type (
+	// ScoredRule is an mva-type rule read off a model's hyperedge.
+	ScoredRule = core.ScoredRule
+	// MineOptions filters MineRules output.
+	MineOptions = core.MineOptions
+)
+
+// Re-exported model rule mining.
+var (
+	// MineRules extracts ranked mva-type rules pointing at a head.
+	MineRules = core.MineRules
+	// FormatRule renders a rule with attribute names.
+	FormatRule = core.FormatRule
+	// ReadModelJSON loads a persisted model.
+	ReadModelJSON = core.ReadModelJSON
+)
+
+// Financial time-series substrate (internal/timeseries).
+type (
+	// Series is one financial time-series with sector metadata.
+	Series = timeseries.Series
+	// Universe is an aligned collection of series.
+	Universe = timeseries.Universe
+	// GenConfig parameterizes the synthetic S&P-style generator.
+	GenConfig = timeseries.GenConfig
+	// Discretization carries fitted k-threshold vectors.
+	Discretization = timeseries.Discretization
+	// SectorSpec describes one sector of the synthetic taxonomy.
+	SectorSpec = timeseries.SectorSpec
+)
+
+// Re-exported time-series functions.
+var (
+	// Delta computes fractional day-over-day changes (§5.1.1).
+	Delta = timeseries.Delta
+	// Generate builds a deterministic synthetic universe.
+	Generate = timeseries.Generate
+	// DefaultGenConfig / PaperScaleGenConfig are preset sizes.
+	DefaultGenConfig    = timeseries.DefaultGenConfig
+	PaperScaleGenConfig = timeseries.PaperScaleGenConfig
+	// DefaultTaxonomy is the paper's 12-sector / 104-sub-sector map.
+	DefaultTaxonomy = timeseries.DefaultTaxonomy
+)
+
+// LeadingIndicators computes a leading indicator (dominator) for the
+// given vertex set of h, defaulting to all vertices when s is nil. It
+// uses Algorithm 6 with both enhancements, the paper's preferred
+// variant.
+func LeadingIndicators(h *Hypergraph, s []int, opt DominatorOptions) (*DominatorResult, error) {
+	if s == nil {
+		s = make([]int, h.NumVertices())
+		for i := range s {
+			s[i] = i
+		}
+	}
+	opt.Enhancement1 = true
+	opt.Enhancement2 = true
+	return cover.DominatorSetCover(h, s, opt)
+}

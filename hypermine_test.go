@@ -1,0 +1,191 @@
+package hypermine
+
+import (
+	"testing"
+)
+
+// TestPublicAPIPipeline exercises the whole facade end to end: data
+// generation, discretization, model building, similarity, clustering,
+// leading indicators, and classification.
+func TestPublicAPIPipeline(t *testing.T) {
+	gen := DefaultGenConfig()
+	gen.NumSeries = 24
+	gen.NumDays = 400
+	u, err := Generate(gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, disc, err := u.BuildTable(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if disc.K != 3 {
+		t.Fatalf("disc K = %d", disc.K)
+	}
+	model, err := Build(tb, C1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if model.H.NumEdges() == 0 {
+		t.Fatal("no edges mined")
+	}
+
+	// Similarity + clustering.
+	g, err := BuildSimilarityGraph(model.H, []int{0, 1, 2, 3, 4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := TClustering(6, 2, g.Dist, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl.NumClusters() != 2 {
+		t.Fatalf("clusters = %d", cl.NumClusters())
+	}
+
+	// Leading indicators.
+	dom, err := LeadingIndicators(model.H, nil, DominatorOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dom.DomSet) == 0 || dom.CoverageFraction() <= 0 {
+		t.Fatalf("dominator = %v coverage %v", dom.DomSet, dom.CoverageFraction())
+	}
+	if bad := IsDominator(model.H, coveredTargets(dom), dom.DomSet); len(bad) != 0 {
+		t.Errorf("dominator violates Definition 4.1 for %v", bad)
+	}
+
+	// Classification over a few covered non-dominator targets.
+	inDom := map[int]bool{}
+	for _, v := range dom.DomSet {
+		inDom[v] = true
+	}
+	var targets []int
+	for v, cov := range dom.Covered {
+		if cov && !inDom[v] {
+			targets = append(targets, v)
+		}
+		if len(targets) == 4 {
+			break
+		}
+	}
+	if len(targets) == 0 {
+		t.Skip("no coverable targets on this tiny universe")
+	}
+	abc, err := NewClassifier(model, dom.DomSet, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conf, err := abc.Evaluate(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := MeanConfidence(conf)
+	if mean <= 1.0/3.0-0.05 {
+		t.Errorf("ABC mean confidence %v not above chance", mean)
+	}
+}
+
+func coveredTargets(dom *DominatorResult) []int {
+	var out []int
+	for v, cov := range dom.Covered {
+		if cov {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// TestManualRuleAPI mirrors the paper's Example 3.3 through the facade.
+func TestManualRuleAPI(t *testing.T) {
+	tb, err := TableFromRows([]string{"A", "C", "B"}, 16, [][]Value{
+		{2, 10, 13}, {6, 16, 16}, {3, 12, 13}, {1, 9, 10},
+		{3, 12, 13}, {3, 12, 11}, {4, 13, 14}, {8, 12, 15},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := []Item{{Attr: 0, Val: 3}, {Attr: 1, Val: 12}}
+	if got := Support(tb, x); got != 0.375 {
+		t.Errorf("Supp = %v", got)
+	}
+	conf := Confidence(tb, Rule{X: x, Y: []Item{{Attr: 2, Val: 13}}})
+	if conf < 0.66 || conf > 0.67 {
+		t.Errorf("Conf = %v", conf)
+	}
+	acv, err := ACV(tb, []int{0, 1}, 2)
+	if err != nil || acv <= 0 || acv > 1 {
+		t.Errorf("ACV = %v, %v", acv, err)
+	}
+	if n := NullACV(tb, 2); acv < n {
+		t.Errorf("Theorem 3.8 violated: %v < %v", acv, n)
+	}
+}
+
+// TestClassicMiningAPI exercises the Apriori baseline and the model
+// rule-mining surface through the facade.
+func TestClassicMiningAPI(t *testing.T) {
+	tb, err := TableFromRows([]string{"milk", "diapers", "beer"}, 2, [][]Value{
+		{2, 2, 2}, {2, 2, 1}, {2, 1, 2}, {1, 2, 2}, {2, 2, 2}, {2, 2, 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	freq, err := FrequentItemsets(tb, AprioriOptions{MinSupport: 0.5})
+	if err != nil || len(freq) == 0 {
+		t.Fatalf("FrequentItemsets: %d, %v", len(freq), err)
+	}
+	rules, err := GenerateRules(freq, 0.6)
+	if err != nil || len(rules) == 0 {
+		t.Fatalf("GenerateRules: %d, %v", len(rules), err)
+	}
+	all, err := MineClassicRules(tb, AprioriOptions{MinSupport: 0.5}, 0.6)
+	if err != nil || len(all) != len(rules) {
+		t.Fatalf("MineClassicRules: %d vs %d, %v", len(all), len(rules), err)
+	}
+
+	model, err := Build(tb, Config{GammaEdge: 1.0, GammaPair: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mined, err := MineRules(model, tb.AttrIndex("beer"), MineOptions{MaxRules: 3})
+	if err != nil || len(mined) == 0 {
+		t.Fatalf("MineRules: %d, %v", len(mined), err)
+	}
+	if s := FormatRule(tb, mined[0].Rule); s == "" {
+		t.Error("FormatRule empty")
+	}
+}
+
+// TestReachabilityAndExactDominatorAPI exercises ForwardClosure,
+// Transpose, ExactMinDominator, and model persistence via the facade.
+func TestReachabilityAndExactDominatorAPI(t *testing.T) {
+	h, err := NewHypergraph([]string{"a", "b", "c", "d"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = h.AddEdge([]int{0}, []int{1}, 0.9)
+	_ = h.AddEdge([]int{1, 2}, []int{3}, 0.9)
+	det, err := h.ForwardClosure([]int{0, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, want := range []bool{true, true, true, true} {
+		if det[v] != want {
+			t.Errorf("closure[%d] = %v", v, det[v])
+		}
+	}
+	if h.Transpose().NumEdges() != 2 {
+		t.Error("Transpose lost edges")
+	}
+	dom, err := ExactMinDominator(h, []int{0, 1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The only tails are {a} and {b,c}, so d is covered only by
+	// putting both b and c in the dominator, and a (no incoming
+	// edges) must self-cover: the optimum is {a, b, c}, size 3.
+	if len(dom) != 3 {
+		t.Errorf("exact dominator = %v", dom)
+	}
+}

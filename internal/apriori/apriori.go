@@ -1,0 +1,244 @@
+// Package apriori implements the classical association-rule mining
+// background the paper builds on (§1.1): level-wise Apriori frequent
+// itemset mining [AS94] over (attribute, value) items — the
+// quantitative-rule setting of [SA96] on an already-discretized table —
+// and confidence-thresholded rule generation. It serves as the
+// baseline the directed-hypergraph model is motivated against, and its
+// support/confidence numbers cross-check internal/core's.
+package apriori
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"hypermine/internal/core"
+	"hypermine/internal/table"
+)
+
+// Options controls the miner.
+type Options struct {
+	// MinSupport is the fraction of observations an itemset must
+	// match to be frequent. Must be positive (Apriori's pruning
+	// depends on it).
+	MinSupport float64
+	// MaxLen caps itemset size; 0 means unlimited.
+	MaxLen int
+}
+
+// Frequent is one frequent itemset with its support count.
+type Frequent struct {
+	Items   []core.Item // sorted by (Attr, Val)
+	Count   int
+	Support float64
+}
+
+// Rule is a classical association rule X => Y with quality measures.
+type Rule struct {
+	X, Y       []core.Item
+	Support    float64 // Supp(X u Y)
+	Confidence float64 // Supp(X u Y) / Supp(X)
+	Lift       float64 // Confidence / Supp(Y)
+}
+
+func itemLess(a, b core.Item) bool {
+	if a.Attr != b.Attr {
+		return a.Attr < b.Attr
+	}
+	return a.Val < b.Val
+}
+
+func key(items []core.Item) string {
+	var sb strings.Builder
+	for i, it := range items {
+		if i > 0 {
+			sb.WriteByte(';')
+		}
+		sb.WriteString(strconv.Itoa(it.Attr))
+		sb.WriteByte('=')
+		sb.WriteString(strconv.Itoa(int(it.Val)))
+	}
+	return sb.String()
+}
+
+// FrequentItemsets runs level-wise Apriori on the table: L1 is the
+// frequent single items; candidates of size k join two frequent
+// (k-1)-itemsets sharing their first k-2 items, are pruned by the
+// downward-closure property, and survive if their counted support
+// clears MinSupport. Itemsets never repeat an attribute — in the
+// multi-valued setting two values of one attribute cannot co-occur in
+// a row.
+func FrequentItemsets(tb *table.Table, opt Options) ([]Frequent, error) {
+	if tb.NumRows() == 0 {
+		return nil, errors.New("apriori: empty table")
+	}
+	if opt.MinSupport <= 0 || opt.MinSupport > 1 {
+		return nil, fmt.Errorf("apriori: MinSupport %v outside (0,1]", opt.MinSupport)
+	}
+	n := tb.NumRows()
+	minCount := int(opt.MinSupport * float64(n))
+	if float64(minCount) < opt.MinSupport*float64(n) {
+		minCount++
+	}
+	if minCount < 1 {
+		minCount = 1
+	}
+
+	var all []Frequent
+	// L1 from per-column histograms.
+	var level []Frequent
+	for a := 0; a < tb.NumAttrs(); a++ {
+		for v, c := range tb.ValueCounts(a) {
+			if c >= minCount {
+				level = append(level, Frequent{
+					Items:   []core.Item{{Attr: a, Val: table.Value(v + 1)}},
+					Count:   c,
+					Support: float64(c) / float64(n),
+				})
+			}
+		}
+	}
+	sortFrequent(level)
+	all = append(all, level...)
+
+	for size := 2; len(level) > 0 && (opt.MaxLen == 0 || size <= opt.MaxLen); size++ {
+		prevKeys := make(map[string]bool, len(level))
+		for _, f := range level {
+			prevKeys[key(f.Items)] = true
+		}
+		// Candidate generation: join itemsets sharing the first
+		// size-2 items.
+		var cands [][]core.Item
+		for i := 0; i < len(level); i++ {
+			for j := i + 1; j < len(level); j++ {
+				a, b := level[i].Items, level[j].Items
+				if !samePrefix(a, b) {
+					break // level is sorted; later j cannot match either
+				}
+				last := b[len(b)-1]
+				if !itemLess(a[len(a)-1], last) {
+					continue
+				}
+				if a[len(a)-1].Attr == last.Attr {
+					continue // one value per attribute
+				}
+				cand := append(append([]core.Item(nil), a...), last)
+				if !allSubsetsFrequent(cand, prevKeys) {
+					continue
+				}
+				cands = append(cands, cand)
+			}
+		}
+		// Support counting in one table scan per candidate batch.
+		level = level[:0]
+		for _, cand := range cands {
+			c := core.SupportCount(tb, cand)
+			if c >= minCount {
+				level = append(level, Frequent{Items: cand, Count: c, Support: float64(c) / float64(n)})
+			}
+		}
+		sortFrequent(level)
+		all = append(all, level...)
+	}
+	return all, nil
+}
+
+func samePrefix(a, b []core.Item) bool {
+	for i := 0; i < len(a)-1; i++ {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func allSubsetsFrequent(cand []core.Item, prev map[string]bool) bool {
+	buf := make([]core.Item, 0, len(cand)-1)
+	for drop := range cand {
+		buf = buf[:0]
+		for i, it := range cand {
+			if i != drop {
+				buf = append(buf, it)
+			}
+		}
+		if !prev[key(buf)] {
+			return false
+		}
+	}
+	return true
+}
+
+func sortFrequent(fs []Frequent) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i].Items, fs[j].Items
+		for k := 0; k < len(a) && k < len(b); k++ {
+			if a[k] != b[k] {
+				return itemLess(a[k], b[k])
+			}
+		}
+		return len(a) < len(b)
+	})
+}
+
+// GenerateRules produces every rule X => Y with nonempty X and Y
+// partitioning a frequent itemset, keeping those whose confidence
+// clears minConfidence. Support values come from the frequent-set
+// index, so no further table scans happen.
+func GenerateRules(freq []Frequent, minConfidence float64) ([]Rule, error) {
+	if minConfidence < 0 || minConfidence > 1 {
+		return nil, fmt.Errorf("apriori: minConfidence %v outside [0,1]", minConfidence)
+	}
+	index := make(map[string]Frequent, len(freq))
+	for _, f := range freq {
+		index[key(f.Items)] = f
+	}
+	var rules []Rule
+	for _, f := range freq {
+		k := len(f.Items)
+		if k < 2 {
+			continue
+		}
+		// Enumerate nonempty proper subsets as antecedents.
+		for mask := 1; mask < (1<<k)-1; mask++ {
+			var x, y []core.Item
+			for i := 0; i < k; i++ {
+				if mask&(1<<i) != 0 {
+					x = append(x, f.Items[i])
+				} else {
+					y = append(y, f.Items[i])
+				}
+			}
+			fx, ok := index[key(x)]
+			if !ok {
+				continue // antecedent infrequent (cannot happen by closure, but be safe)
+			}
+			conf := float64(f.Count) / float64(fx.Count)
+			if conf < minConfidence {
+				continue
+			}
+			r := Rule{X: x, Y: y, Support: f.Support, Confidence: conf}
+			if fy, ok := index[key(y)]; ok && fy.Support > 0 {
+				r.Lift = conf / fy.Support
+			}
+			rules = append(rules, r)
+		}
+	}
+	sort.Slice(rules, func(i, j int) bool {
+		if rules[i].Confidence != rules[j].Confidence {
+			return rules[i].Confidence > rules[j].Confidence
+		}
+		return rules[i].Support > rules[j].Support
+	})
+	return rules, nil
+}
+
+// Mine is the one-call convenience: frequent itemsets then rules.
+func Mine(tb *table.Table, opt Options, minConfidence float64) ([]Rule, error) {
+	freq, err := FrequentItemsets(tb, opt)
+	if err != nil {
+		return nil, err
+	}
+	return GenerateRules(freq, minConfidence)
+}

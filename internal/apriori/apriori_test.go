@@ -1,0 +1,236 @@
+package apriori
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hypermine/internal/core"
+	"hypermine/internal/table"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+// marketBasket is the §1.1 example domain: binary attributes with
+// 1=absent, 2=present.
+func marketBasket(t *testing.T) *table.Table {
+	t.Helper()
+	tb, err := table.FromRows([]string{"milk", "diapers", "beer", "eggs"}, 2, [][]table.Value{
+		{2, 2, 2, 2},
+		{2, 2, 1, 2},
+		{2, 1, 2, 1},
+		{1, 2, 2, 1},
+		{2, 2, 2, 1},
+		{2, 2, 1, 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tb
+}
+
+func TestFrequentItemsetsMarketBasket(t *testing.T) {
+	tb := marketBasket(t)
+	freq, err := FrequentItemsets(tb, Options{MinSupport: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[string]Frequent{}
+	for _, f := range freq {
+		byKey[key(f.Items)] = f
+	}
+	// milk present: 5/6; milk+diapers present: 4/6.
+	milk := key([]core.Item{{Attr: 0, Val: 2}})
+	if f, ok := byKey[milk]; !ok || f.Count != 5 {
+		t.Errorf("milk frequent = %+v", byKey[milk])
+	}
+	md := key([]core.Item{{Attr: 0, Val: 2}, {Attr: 1, Val: 2}})
+	if f, ok := byKey[md]; !ok || f.Count != 4 || !almost(f.Support, 4.0/6) {
+		t.Errorf("milk+diapers = %+v", byKey[md])
+	}
+	// milk+diapers+beer present: 2/6 < 0.5 -> absent.
+	mdb := key([]core.Item{{Attr: 0, Val: 2}, {Attr: 1, Val: 2}, {Attr: 2, Val: 2}})
+	if _, ok := byKey[mdb]; ok {
+		t.Error("infrequent triple reported")
+	}
+}
+
+func TestFrequentItemsetsValidation(t *testing.T) {
+	tb := marketBasket(t)
+	if _, err := FrequentItemsets(tb, Options{MinSupport: 0}); err == nil {
+		t.Error("want error for MinSupport=0")
+	}
+	if _, err := FrequentItemsets(tb, Options{MinSupport: 1.5}); err == nil {
+		t.Error("want error for MinSupport>1")
+	}
+	empty, _ := table.New([]string{"A"}, 2)
+	if _, err := FrequentItemsets(empty, Options{MinSupport: 0.5}); err == nil {
+		t.Error("want error for empty table")
+	}
+}
+
+func TestMaxLen(t *testing.T) {
+	tb := marketBasket(t)
+	freq, err := FrequentItemsets(tb, Options{MinSupport: 0.3, MaxLen: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range freq {
+		if len(f.Items) > 2 {
+			t.Fatalf("itemset %v exceeds MaxLen", f.Items)
+		}
+	}
+}
+
+func TestGenerateRulesMarketBasket(t *testing.T) {
+	tb := marketBasket(t)
+	rules, err := Mine(tb, Options{MinSupport: 0.5}, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) == 0 {
+		t.Fatal("no rules")
+	}
+	// {diapers=2} => {milk=2}: supp(X u Y)=4/6, supp(X)=5/6 -> conf 0.8.
+	found := false
+	for _, r := range rules {
+		if len(r.X) == 1 && len(r.Y) == 1 &&
+			r.X[0] == (core.Item{Attr: 1, Val: 2}) && r.Y[0] == (core.Item{Attr: 0, Val: 2}) {
+			found = true
+			if !almost(r.Confidence, 0.8) || !almost(r.Support, 4.0/6) {
+				t.Errorf("rule quality = %+v", r)
+			}
+			// Lift = 0.8 / (5/6) = 0.96.
+			if !almost(r.Lift, 0.8/(5.0/6)) {
+				t.Errorf("lift = %v", r.Lift)
+			}
+		}
+		if r.Confidence < 0.7 {
+			t.Errorf("rule below confidence threshold: %+v", r)
+		}
+	}
+	if !found {
+		t.Error("diapers => milk not generated")
+	}
+	// Ranked by confidence.
+	for i := 1; i < len(rules); i++ {
+		if rules[i].Confidence > rules[i-1].Confidence+1e-12 {
+			t.Fatal("rules not ranked by confidence")
+		}
+	}
+	if _, err := GenerateRules(nil, 1.5); err == nil {
+		t.Error("want error for bad minConfidence")
+	}
+}
+
+func randomTable(rng *rand.Rand, nAttrs, k, rows int) *table.Table {
+	attrs := make([]string, nAttrs)
+	for j := range attrs {
+		attrs[j] = "A" + string(rune('a'+j))
+	}
+	tb, _ := table.New(attrs, k)
+	row := make([]table.Value, nAttrs)
+	for i := 0; i < rows; i++ {
+		for j := range row {
+			row[j] = table.Value(1 + rng.Intn(k))
+		}
+		_ = tb.AppendRow(row)
+	}
+	return tb
+}
+
+// Properties on random tables: (1) downward closure — every reported
+// itemset's subsets are also reported; (2) supports agree with
+// core.Support; (3) rule confidences agree with core.Confidence.
+func TestAprioriProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tb := randomTable(rng, 4, 2+rng.Intn(2), 20+rng.Intn(60))
+		minSupp := 0.15 + rng.Float64()*0.2
+		freq, err := FrequentItemsets(tb, Options{MinSupport: minSupp})
+		if err != nil {
+			return false
+		}
+		keys := map[string]bool{}
+		for _, f := range freq {
+			keys[key(f.Items)] = true
+		}
+		for _, fs := range freq {
+			if !almost(fs.Support, core.Support(tb, fs.Items)) {
+				return false
+			}
+			if fs.Support < minSupp-1e-9 {
+				return false
+			}
+			if len(fs.Items) > 1 {
+				buf := make([]core.Item, 0, len(fs.Items)-1)
+				for drop := range fs.Items {
+					buf = buf[:0]
+					for i, it := range fs.Items {
+						if i != drop {
+							buf = append(buf, it)
+						}
+					}
+					if !keys[key(buf)] {
+						return false // downward closure violated
+					}
+				}
+			}
+		}
+		rules, err := GenerateRules(freq, 0.5)
+		if err != nil {
+			return false
+		}
+		for _, r := range rules {
+			want := core.Confidence(tb, core.Rule{X: r.X, Y: r.Y})
+			if !almost(r.Confidence, want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Exhaustive cross-check on a small instance: Apriori finds exactly
+// the itemsets a brute-force enumeration finds.
+func TestAprioriMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	tb := randomTable(rng, 3, 2, 30)
+	const minSupp = 0.2
+	freq, err := FrequentItemsets(tb, Options{MinSupport: minSupp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]bool{}
+	for _, f := range freq {
+		got[key(f.Items)] = true
+	}
+	// Brute force: all itemsets over distinct attributes, sizes 1..3.
+	var brute func(start int, cur []core.Item)
+	count := 0
+	brute = func(start int, cur []core.Item) {
+		if len(cur) > 0 {
+			if core.Support(tb, cur) >= minSupp {
+				count++
+				if !got[key(cur)] {
+					t.Fatalf("brute-force itemset %v missed by Apriori", cur)
+				}
+			} else if got[key(cur)] {
+				t.Fatalf("Apriori reported infrequent itemset %v", cur)
+			}
+		}
+		for a := start; a < tb.NumAttrs(); a++ {
+			for v := 1; v <= tb.K(); v++ {
+				brute(a+1, append(cur, core.Item{Attr: a, Val: table.Value(v)}))
+			}
+		}
+	}
+	brute(0, nil)
+	if count != len(freq) {
+		t.Errorf("Apriori found %d itemsets, brute force %d", len(freq), count)
+	}
+}

@@ -1,0 +1,38 @@
+package apriori
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkFrequentItemsets measures level-wise mining on a moderate
+// transactional table.
+func BenchmarkFrequentItemsets(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	tb := randomTable(rng, 12, 2, 2000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FrequentItemsets(tb, Options{MinSupport: 0.25, MaxLen: 3}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGenerateRules measures rule generation from a prepared
+// frequent-set collection.
+func BenchmarkGenerateRules(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	tb := randomTable(rng, 12, 2, 2000)
+	freq, err := FrequentItemsets(tb, Options{MinSupport: 0.25, MaxLen: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := GenerateRules(freq, 0.5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

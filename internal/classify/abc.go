@@ -1,0 +1,220 @@
+// Package classify implements the association-based classifier of
+// §4.2 (Algorithm 9) and the baseline classifiers it is evaluated
+// against in §5.5: perceptron (Algorithm 3), linear SVM, multilayer
+// perceptron, and logistic regression — all from scratch on the
+// standard library, substituting for the paper's Weka classifiers.
+package classify
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"hypermine/internal/core"
+	"hypermine/internal/table"
+)
+
+// abcEdge is one hyperedge relevant to a target: its tail attributes
+// (all inside the dominator) and the association table built from the
+// training data.
+type abcEdge struct {
+	tail []int
+	at   *core.AssociationTable
+}
+
+// ABC is the association-based classifier (Algorithm 9). Given the
+// values of a dominator set S of attributes, it predicts the value of
+// every target attribute by accumulating Supp x Conf contributions
+// from all hyperedges whose tail lies inside S and whose head is the
+// target.
+type ABC struct {
+	model    *core.Model
+	dom      []int
+	domPos   map[int]int // attribute id -> index into dom
+	targets  []int
+	edges    map[int][]abcEdge
+	fallback map[int]table.Value // majority training value per target
+}
+
+// NewABC prepares the classifier: it indexes, per target, every
+// hyperedge of the model with head {target} and tail inside dom, and
+// prebuilds the association tables from the model's training table.
+func NewABC(m *core.Model, dom []int, targets []int) (*ABC, error) {
+	if len(dom) == 0 {
+		return nil, errors.New("classify: empty dominator")
+	}
+	if len(targets) == 0 {
+		return nil, errors.New("classify: no targets")
+	}
+	c := &ABC{
+		model:    m,
+		dom:      append([]int(nil), dom...),
+		domPos:   make(map[int]int, len(dom)),
+		targets:  append([]int(nil), targets...),
+		edges:    make(map[int][]abcEdge, len(targets)),
+		fallback: make(map[int]table.Value, len(targets)),
+	}
+	n := m.Table.NumAttrs()
+	for i, a := range c.dom {
+		if a < 0 || a >= n {
+			return nil, fmt.Errorf("classify: dominator attribute %d out of range", a)
+		}
+		if _, dup := c.domPos[a]; dup {
+			return nil, fmt.Errorf("classify: duplicate dominator attribute %d", a)
+		}
+		c.domPos[a] = i
+	}
+	inDom := make([]bool, n)
+	for _, a := range c.dom {
+		inDom[a] = true
+	}
+	for _, y := range c.targets {
+		if y < 0 || y >= n {
+			return nil, fmt.Errorf("classify: target attribute %d out of range", y)
+		}
+		if inDom[y] {
+			return nil, fmt.Errorf("classify: target %d is inside the dominator", y)
+		}
+		// Majority value fallback for targets with no usable edges.
+		bestV, bestC := table.Value(1), -1
+		for v, cnt := range m.Table.ValueCounts(y) {
+			if cnt > bestC {
+				bestC = cnt
+				bestV = table.Value(v + 1)
+			}
+		}
+		c.fallback[y] = bestV
+		c.edges[y] = []abcEdge{} // mark configured even with zero edges
+
+		for _, ei := range m.H.In(y) {
+			e := m.H.Edge(int(ei))
+			ok := true
+			for _, tv := range e.Tail {
+				if !inDom[tv] {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			at, err := core.BuildAssociationTable(m.Table, e.Tail, y)
+			if err != nil {
+				return nil, fmt.Errorf("classify: AT for edge into %d: %w", y, err)
+			}
+			c.edges[y] = append(c.edges[y], abcEdge{tail: e.Tail, at: at})
+		}
+	}
+	return c, nil
+}
+
+// Targets returns the configured target attributes.
+func (c *ABC) Targets() []int { return append([]int(nil), c.targets...) }
+
+// Dominator returns the dominator attributes in configured order.
+func (c *ABC) Dominator() []int { return append([]int(nil), c.dom...) }
+
+// EdgeCount returns the number of usable hyperedges for a target.
+func (c *ABC) EdgeCount(target int) int { return len(c.edges[target]) }
+
+// Predict runs Algorithm 9 for one target: domVals holds the values of
+// the dominator attributes in Dominator() order. It returns the best
+// classified value y* and the normalized classification confidence
+// val[y*] / sum(val). Targets with no contributing hyperedges fall
+// back to the training-majority value with confidence 0.
+func (c *ABC) Predict(domVals []table.Value, target int) (table.Value, float64, error) {
+	if len(domVals) != len(c.dom) {
+		return 0, 0, fmt.Errorf("classify: %d dominator values, want %d", len(domVals), len(c.dom))
+	}
+	k := c.model.Table.K()
+	val := make([]float64, k)
+	edges, ok := c.edges[target]
+	if !ok {
+		return 0, 0, fmt.Errorf("classify: %d is not a configured target", target)
+	}
+	var tailVals [3]table.Value // up to core.MaxTail tail attributes
+	for _, e := range edges {
+		tv := tailVals[:len(e.tail)]
+		for i, a := range e.tail {
+			tv[i] = domVals[c.domPos[a]]
+		}
+		row, err := e.at.RowIndex(tv)
+		if err != nil {
+			return 0, 0, err
+		}
+		y, _ := e.at.Best(row)
+		contrib := e.at.Support(row) * e.at.Confidence(row)
+		if contrib > 0 {
+			val[y-1] += contrib
+		}
+	}
+	var total float64
+	for _, v := range val {
+		total += v
+	}
+	if total == 0 {
+		return c.fallback[target], 0, nil
+	}
+	best, bestVal := 0, val[0]
+	for y := 1; y < k; y++ {
+		if val[y] > bestVal {
+			best, bestVal = y, val[y]
+		}
+	}
+	return table.Value(best + 1), bestVal / total, nil
+}
+
+// Evaluate classifies every observation of tb for every target and
+// returns, per target, the classification confidence of §5.5: the
+// fraction of observations where the predicted value matches the
+// actual one. tb must share the training table's schema.
+func (c *ABC) Evaluate(tb *table.Table) (map[int]float64, error) {
+	if tb.K() != c.model.Table.K() {
+		return nil, fmt.Errorf("classify: evaluation table k=%d, want %d", tb.K(), c.model.Table.K())
+	}
+	if tb.NumAttrs() != c.model.Table.NumAttrs() {
+		return nil, fmt.Errorf("classify: evaluation table has %d attributes, want %d", tb.NumAttrs(), c.model.Table.NumAttrs())
+	}
+	if tb.NumRows() == 0 {
+		return nil, errors.New("classify: empty evaluation table")
+	}
+	correct := make(map[int]int, len(c.targets))
+	domVals := make([]table.Value, len(c.dom))
+	for i := 0; i < tb.NumRows(); i++ {
+		for j, a := range c.dom {
+			domVals[j] = tb.At(i, a)
+		}
+		for _, y := range c.targets {
+			pred, _, err := c.Predict(domVals, y)
+			if err != nil {
+				return nil, err
+			}
+			if pred == tb.At(i, y) {
+				correct[y]++
+			}
+		}
+	}
+	out := make(map[int]float64, len(c.targets))
+	for _, y := range c.targets {
+		out[y] = float64(correct[y]) / float64(tb.NumRows())
+	}
+	return out, nil
+}
+
+// MeanConfidence averages a per-target confidence map (the "mean
+// classification confidence" column of Tables 5.3/5.4).
+func MeanConfidence(conf map[int]float64) float64 {
+	if len(conf) == 0 {
+		return 0
+	}
+	keys := make([]int, 0, len(conf))
+	for k := range conf {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	var sum float64
+	for _, k := range keys {
+		sum += conf[k]
+	}
+	return sum / float64(len(conf))
+}

@@ -1,0 +1,103 @@
+package classify
+
+import (
+	"math/rand"
+	"testing"
+
+	"hypermine/internal/core"
+	"hypermine/internal/table"
+)
+
+func benchABC(b *testing.B) (*ABC, *table.Table) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(2))
+	attrs := make([]string, 30)
+	for j := range attrs {
+		attrs[j] = "A" + string(rune('a'+j%26)) + string(rune('a'+j/26))
+	}
+	tb, _ := table.New(attrs, 3)
+	row := make([]table.Value, 30)
+	for i := 0; i < 1500; i++ {
+		base := table.Value(1 + rng.Intn(3))
+		for j := range row {
+			if rng.Intn(3) == 0 {
+				row[j] = table.Value(1 + rng.Intn(3))
+			} else {
+				row[j] = base
+			}
+		}
+		_ = tb.AppendRow(row)
+	}
+	m, err := core.Build(tb, core.Config{GammaEdge: 1.0, GammaPair: 1.0})
+	if err != nil {
+		b.Fatal(err)
+	}
+	dom := []int{0, 1, 2, 3, 4}
+	targets := []int{5, 6, 7, 8, 9, 10}
+	abc, err := NewABC(m, dom, targets)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return abc, tb
+}
+
+// BenchmarkABCPredict measures one Algorithm 9 prediction.
+func BenchmarkABCPredict(b *testing.B) {
+	abc, _ := benchABC(b)
+	domVals := []table.Value{1, 2, 3, 1, 2}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := abc.Predict(domVals, 5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkABCEvaluate measures a full-table evaluation pass.
+func BenchmarkABCEvaluate(b *testing.B) {
+	abc, tb := benchABC(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := abc.Evaluate(tb); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchFitData(n int) ([][]float64, []int) {
+	rng := rand.New(rand.NewSource(3))
+	x := make([][]float64, n)
+	y := make([]int, n)
+	for i := range x {
+		x[i] = make([]float64, 15)
+		c := rng.Intn(3)
+		x[i][c*5+rng.Intn(5)] = 1
+		y[i] = c
+	}
+	return x, y
+}
+
+// BenchmarkFitClassifiers compares the baselines' training cost on the
+// same one-hot workload.
+func BenchmarkFitClassifiers(b *testing.B) {
+	x, y := benchFitData(1000)
+	for name, mk := range map[string]func() Classifier{
+		"perceptron": func() Classifier { return &Perceptron{} },
+		"logistic":   func() Classifier { return &Logistic{} },
+		"svm":        func() Classifier { return &SVM{} },
+		"mlp":        func() Classifier { return &MLP{} },
+		"regression": func() Classifier { return &LinearRegression{} },
+		"tree":       func() Classifier { return &DecisionTree{} },
+	} {
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := mk().Fit(x, y, 3); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

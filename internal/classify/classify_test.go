@@ -1,0 +1,363 @@
+package classify
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"hypermine/internal/core"
+	"hypermine/internal/table"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+// deterministicTable builds a table where X = A exactly and Y follows
+// B with some noise, so the ABC has clean structure to exploit.
+func deterministicTable(t *testing.T, rows int, seed int64) *table.Table {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	tb, err := table.New([]string{"A", "B", "X", "Y"}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < rows; i++ {
+		a := table.Value(1 + rng.Intn(3))
+		b := table.Value(1 + rng.Intn(3))
+		x := a
+		y := b
+		if rng.Intn(10) == 0 {
+			y = table.Value(1 + rng.Intn(3))
+		}
+		if err := tb.AppendRow([]table.Value{a, b, x, y}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tb
+}
+
+func buildModel(t *testing.T, tb *table.Table) *core.Model {
+	t.Helper()
+	m, err := core.Build(tb, core.Config{GammaEdge: 1.0, GammaPair: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestABCPredictsDeterminedAttribute(t *testing.T) {
+	tb := deterministicTable(t, 400, 1)
+	m := buildModel(t, tb)
+	abc, err := NewABC(m, []int{0, 1}, []int{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conf, err := abc.Evaluate(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// X = A exactly: in-sample confidence must be 1.
+	if !almost(conf[2], 1) {
+		t.Errorf("confidence for X = %v, want 1", conf[2])
+	}
+	// Y follows B with 10%% noise: confidence should be high.
+	if conf[3] < 0.8 {
+		t.Errorf("confidence for Y = %v, want >= 0.8", conf[3])
+	}
+	mean := MeanConfidence(conf)
+	if mean < 0.9 || mean > 1 {
+		t.Errorf("mean confidence = %v", mean)
+	}
+}
+
+func TestABCOutSample(t *testing.T) {
+	train := deterministicTable(t, 400, 2)
+	test := deterministicTable(t, 150, 3)
+	m := buildModel(t, train)
+	abc, err := NewABC(m, []int{0, 1}, []int{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conf, err := abc.Evaluate(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(conf[2], 1) {
+		t.Errorf("out-sample X confidence = %v, want 1", conf[2])
+	}
+	if conf[3] < 0.75 {
+		t.Errorf("out-sample Y confidence = %v", conf[3])
+	}
+}
+
+func TestABCPredictConfidenceNormalized(t *testing.T) {
+	tb := deterministicTable(t, 300, 4)
+	m := buildModel(t, tb)
+	abc, err := NewABC(m, []int{0, 1}, []int{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, conf, err := abc.Predict([]table.Value{2, 3}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred < 1 || pred > 3 {
+		t.Errorf("pred = %d", pred)
+	}
+	if conf < 0 || conf > 1 {
+		t.Errorf("confidence = %v outside [0,1]", conf)
+	}
+	if _, _, err := abc.Predict([]table.Value{1}, 3); err == nil {
+		t.Error("want error for wrong dominator arity")
+	}
+	if _, _, err := abc.Predict([]table.Value{1, 1}, 0); err == nil {
+		t.Error("want error for non-target attribute")
+	}
+}
+
+func TestABCFallbackWithoutEdges(t *testing.T) {
+	// Independent random target: with gamma high enough no edges into
+	// it survive, so prediction falls back to the majority value.
+	rng := rand.New(rand.NewSource(6))
+	tb, _ := table.New([]string{"A", "B", "Z"}, 2)
+	for i := 0; i < 200; i++ {
+		z := table.Value(1)
+		if rng.Intn(10) == 0 {
+			z = 2
+		}
+		_ = tb.AppendRow([]table.Value{table.Value(1 + rng.Intn(2)), table.Value(1 + rng.Intn(2)), z})
+	}
+	m, err := core.Build(tb, core.Config{GammaEdge: 1.2, GammaPair: 1.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	abc, err := NewABC(m, []int{0, 1}, []int{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if abc.EdgeCount(2) != 0 {
+		t.Skip("edges survived gamma; fallback not exercised")
+	}
+	pred, conf, err := abc.Predict([]table.Value{1, 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred != 1 || conf != 0 {
+		t.Errorf("fallback = (%d, %v), want (1, 0)", pred, conf)
+	}
+}
+
+func TestNewABCValidation(t *testing.T) {
+	tb := deterministicTable(t, 100, 7)
+	m := buildModel(t, tb)
+	if _, err := NewABC(m, nil, []int{2}); err == nil {
+		t.Error("want error for empty dominator")
+	}
+	if _, err := NewABC(m, []int{0}, nil); err == nil {
+		t.Error("want error for no targets")
+	}
+	if _, err := NewABC(m, []int{0, 0}, []int{2}); err == nil {
+		t.Error("want error for duplicate dominator attrs")
+	}
+	if _, err := NewABC(m, []int{0}, []int{0}); err == nil {
+		t.Error("want error for target inside dominator")
+	}
+	if _, err := NewABC(m, []int{99}, []int{2}); err == nil {
+		t.Error("want error for out-of-range dominator")
+	}
+	if _, err := NewABC(m, []int{0}, []int{99}); err == nil {
+		t.Error("want error for out-of-range target")
+	}
+}
+
+func TestABCEvaluateValidation(t *testing.T) {
+	tb := deterministicTable(t, 100, 8)
+	m := buildModel(t, tb)
+	abc, _ := NewABC(m, []int{0, 1}, []int{2})
+	other, _ := table.New([]string{"A"}, 3)
+	if _, err := abc.Evaluate(other); err == nil {
+		t.Error("want error for schema mismatch")
+	}
+	wrongK, _ := table.New([]string{"A", "B", "X", "Y"}, 5)
+	if _, err := abc.Evaluate(wrongK); err == nil {
+		t.Error("want error for k mismatch")
+	}
+}
+
+func xorDataset(n int, seed int64) ([][]float64, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([][]float64, n)
+	y := make([]int, n)
+	for i := range x {
+		a, b := rng.Intn(2), rng.Intn(2)
+		x[i] = []float64{float64(a), float64(b)}
+		y[i] = a ^ b
+	}
+	return x, y
+}
+
+func linearDataset(n int, seed int64) ([][]float64, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([][]float64, n)
+	y := make([]int, n)
+	for i := range x {
+		a, b := rng.Float64()*2-1, rng.Float64()*2-1
+		x[i] = []float64{a, b}
+		if a+b > 0 {
+			y[i] = 1
+		}
+	}
+	return x, y
+}
+
+func TestLinearClassifiersOnSeparableData(t *testing.T) {
+	xTrain, yTrain := linearDataset(400, 1)
+	xTest, yTest := linearDataset(200, 2)
+	for name, c := range map[string]Classifier{
+		"perceptron": &Perceptron{},
+		"logistic":   &Logistic{},
+		"svm":        &SVM{},
+		"mlp":        &MLP{},
+	} {
+		if err := c.Fit(xTrain, yTrain, 2); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		acc, err := Accuracy(c, xTest, yTest)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if acc < 0.9 {
+			t.Errorf("%s accuracy = %v, want >= 0.9", name, acc)
+		}
+	}
+}
+
+func TestMLPSolvesXORLinearsDoNot(t *testing.T) {
+	xTrain, yTrain := xorDataset(400, 3)
+	xTest, yTest := xorDataset(200, 4)
+	mlp := &MLP{Hidden: 8, Epochs: 300, LR: 0.5}
+	if err := mlp.Fit(xTrain, yTrain, 2); err != nil {
+		t.Fatal(err)
+	}
+	acc, _ := Accuracy(mlp, xTest, yTest)
+	if acc < 0.95 {
+		t.Errorf("MLP on XOR = %v, want >= 0.95", acc)
+	}
+	lin := &Logistic{}
+	_ = lin.Fit(xTrain, yTrain, 2)
+	linAcc, _ := Accuracy(lin, xTest, yTest)
+	if linAcc > 0.8 {
+		t.Errorf("logistic on XOR = %v, expected near-chance", linAcc)
+	}
+}
+
+func TestClassifierMulticlass(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var x [][]float64
+	var y []int
+	centers := [][]float64{{0, 0}, {5, 0}, {0, 5}}
+	for i := 0; i < 300; i++ {
+		c := rng.Intn(3)
+		x = append(x, []float64{centers[c][0] + rng.NormFloat64()*0.3, centers[c][1] + rng.NormFloat64()*0.3})
+		y = append(y, c)
+	}
+	for name, c := range map[string]Classifier{
+		"perceptron": &Perceptron{},
+		"logistic":   &Logistic{},
+		"svm":        &SVM{},
+		"mlp":        &MLP{},
+	} {
+		if err := c.Fit(x, y, 3); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		acc, _ := Accuracy(c, x, y)
+		if acc < 0.95 {
+			t.Errorf("%s 3-class accuracy = %v", name, acc)
+		}
+	}
+}
+
+func TestFitValidation(t *testing.T) {
+	for name, c := range map[string]Classifier{
+		"perceptron": &Perceptron{},
+		"logistic":   &Logistic{},
+		"svm":        &SVM{},
+		"mlp":        &MLP{},
+	} {
+		if err := c.Fit(nil, nil, 2); err == nil {
+			t.Errorf("%s: want error for empty data", name)
+		}
+		if err := c.Fit([][]float64{{1}}, []int{0, 1}, 2); err == nil {
+			t.Errorf("%s: want error for shape mismatch", name)
+		}
+		if err := c.Fit([][]float64{{1}}, []int{0}, 1); err == nil {
+			t.Errorf("%s: want error for single class", name)
+		}
+		if err := c.Fit([][]float64{{1}, {1, 2}}, []int{0, 1}, 2); err == nil {
+			t.Errorf("%s: want error for ragged rows", name)
+		}
+		if err := c.Fit([][]float64{{1}}, []int{5}, 2); err == nil {
+			t.Errorf("%s: want error for bad label", name)
+		}
+		if err := c.Fit([][]float64{{}}, []int{0}, 2); err == nil {
+			t.Errorf("%s: want error for empty feature vector", name)
+		}
+	}
+}
+
+func TestOneHotFeaturesAndLabels(t *testing.T) {
+	tb, _ := table.FromRows([]string{"A", "B"}, 3, [][]table.Value{{1, 3}, {2, 2}})
+	x, err := OneHotFeatures(tb, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]float64{{1, 0, 0, 0, 0, 1}, {0, 1, 0, 0, 1, 0}}
+	for i := range want {
+		for j := range want[i] {
+			if x[i][j] != want[i][j] {
+				t.Fatalf("one-hot[%d][%d] = %v, want %v", i, j, x[i][j], want[i][j])
+			}
+		}
+	}
+	y, err := Labels(tb, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y[0] != 2 || y[1] != 1 {
+		t.Errorf("labels = %v", y)
+	}
+	if _, err := OneHotFeatures(tb, nil); err == nil {
+		t.Error("want error for no attrs")
+	}
+	if _, err := OneHotFeatures(tb, []int{9}); err == nil {
+		t.Error("want error for bad attr")
+	}
+	if _, err := Labels(tb, 9); err == nil {
+		t.Error("want error for bad target")
+	}
+}
+
+func TestEvaluateBaselineEndToEnd(t *testing.T) {
+	train := deterministicTable(t, 400, 10)
+	test := deterministicTable(t, 150, 11)
+	mean, err := EvaluateBaseline(func() Classifier { return &Logistic{} }, train, test, []int{0, 1}, []int{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// X=A is perfectly learnable from one-hot A; Y mostly follows B.
+	if mean < 0.85 {
+		t.Errorf("baseline mean accuracy = %v", mean)
+	}
+	if _, err := EvaluateBaseline(func() Classifier { return &Logistic{} }, train, test, []int{0}, nil); err == nil {
+		t.Error("want error for no targets")
+	}
+}
+
+func TestMeanConfidence(t *testing.T) {
+	if MeanConfidence(nil) != 0 {
+		t.Error("empty map should give 0")
+	}
+	got := MeanConfidence(map[int]float64{1: 0.5, 2: 1.0})
+	if !almost(got, 0.75) {
+		t.Errorf("mean = %v", got)
+	}
+}

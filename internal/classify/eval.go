@@ -1,0 +1,98 @@
+package classify
+
+import (
+	"errors"
+	"fmt"
+
+	"hypermine/internal/table"
+)
+
+// OneHotFeatures encodes, per observation, the values of the given
+// attributes as concatenated one-hot vectors of width K each — the
+// §5.5 methodology of predicting targets from the dominator's values.
+func OneHotFeatures(tb *table.Table, attrs []int) ([][]float64, error) {
+	if len(attrs) == 0 {
+		return nil, errors.New("classify: no feature attributes")
+	}
+	for _, a := range attrs {
+		if a < 0 || a >= tb.NumAttrs() {
+			return nil, fmt.Errorf("classify: feature attribute %d out of range", a)
+		}
+	}
+	k := tb.K()
+	out := make([][]float64, tb.NumRows())
+	for i := range out {
+		row := make([]float64, len(attrs)*k)
+		for j, a := range attrs {
+			row[j*k+int(tb.At(i, a)-1)] = 1
+		}
+		out[i] = row
+	}
+	return out, nil
+}
+
+// Labels extracts 0-based class labels for a target attribute.
+func Labels(tb *table.Table, target int) ([]int, error) {
+	if target < 0 || target >= tb.NumAttrs() {
+		return nil, fmt.Errorf("classify: target %d out of range", target)
+	}
+	out := make([]int, tb.NumRows())
+	for i := range out {
+		out[i] = int(tb.At(i, target)) - 1
+	}
+	return out, nil
+}
+
+// Accuracy scores a fitted classifier on test vectors.
+func Accuracy(c Classifier, x [][]float64, y []int) (float64, error) {
+	if len(x) == 0 || len(x) != len(y) {
+		return 0, fmt.Errorf("classify: bad test shapes %d/%d", len(x), len(y))
+	}
+	correct := 0
+	for i, row := range x {
+		if c.Predict(row) == y[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(x)), nil
+}
+
+// EvaluateBaseline fits a fresh classifier per target on the training
+// table (features = one-hot dominator values) and scores it on the
+// test table, returning the mean accuracy across targets. newC must
+// return a fresh classifier per call.
+func EvaluateBaseline(newC func() Classifier, train, test *table.Table, dom, targets []int) (float64, error) {
+	if len(targets) == 0 {
+		return 0, errors.New("classify: no targets")
+	}
+	xTrain, err := OneHotFeatures(train, dom)
+	if err != nil {
+		return 0, err
+	}
+	xTest, err := OneHotFeatures(test, dom)
+	if err != nil {
+		return 0, err
+	}
+	k := train.K()
+	var sum float64
+	for _, target := range targets {
+		yTrain, err := Labels(train, target)
+		if err != nil {
+			return 0, err
+		}
+		yTest, err := Labels(test, target)
+		if err != nil {
+			return 0, err
+		}
+		c := newC()
+		if err := c.Fit(xTrain, yTrain, k); err != nil {
+			return 0, fmt.Errorf("classify: target %d: %w", target, err)
+		}
+		acc, err := Accuracy(c, xTest, yTest)
+		if err != nil {
+			return 0, err
+		}
+		sum += acc
+	}
+	return sum / float64(len(targets)), nil
+}

@@ -1,0 +1,286 @@
+package classify
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Classifier is the common supervised-learning interface of the §5.5
+// baselines: fit on feature vectors with integer class labels in
+// 0..numClasses-1, then predict labels for new vectors.
+type Classifier interface {
+	Fit(x [][]float64, y []int, numClasses int) error
+	Predict(x []float64) int
+}
+
+func checkTrainingData(x [][]float64, y []int, numClasses int) (dim int, err error) {
+	if len(x) == 0 {
+		return 0, errors.New("classify: no training data")
+	}
+	if len(x) != len(y) {
+		return 0, fmt.Errorf("classify: %d feature rows, %d labels", len(x), len(y))
+	}
+	if numClasses < 2 {
+		return 0, fmt.Errorf("classify: numClasses=%d", numClasses)
+	}
+	dim = len(x[0])
+	if dim == 0 {
+		return 0, errors.New("classify: empty feature vectors")
+	}
+	for i, row := range x {
+		if len(row) != dim {
+			return 0, fmt.Errorf("classify: row %d has dim %d, want %d", i, len(row), dim)
+		}
+	}
+	for i, label := range y {
+		if label < 0 || label >= numClasses {
+			return 0, fmt.Errorf("classify: label %d at row %d outside 0..%d", label, i, numClasses-1)
+		}
+	}
+	return dim, nil
+}
+
+// Perceptron is a one-vs-rest multiclass wrapper around the perceptron
+// learning rule of Algorithm 3: misclassified observations add or
+// subtract their feature vector from the separating hyperplane's
+// weights. Training stops after Epochs passes (the forced termination
+// the paper prescribes for non-separable data).
+type Perceptron struct {
+	Epochs int // default 50
+
+	w [][]float64 // per class: weights + bias at index dim
+}
+
+// Fit implements Classifier.
+func (p *Perceptron) Fit(x [][]float64, y []int, numClasses int) error {
+	dim, err := checkTrainingData(x, y, numClasses)
+	if err != nil {
+		return err
+	}
+	epochs := p.Epochs
+	if epochs <= 0 {
+		epochs = 50
+	}
+	p.w = make([][]float64, numClasses)
+	for c := range p.w {
+		p.w[c] = make([]float64, dim+1)
+	}
+	for c := 0; c < numClasses; c++ {
+		w := p.w[c]
+		for e := 0; e < epochs; e++ {
+			mistakes := 0
+			for i, row := range x {
+				score := w[dim] // bias (A0 = 1)
+				for d, v := range row {
+					score += w[d] * v
+				}
+				want := y[i] == c
+				got := score > 0
+				if want == got {
+					continue
+				}
+				mistakes++
+				sign := 1.0
+				if !want {
+					sign = -1
+				}
+				for d, v := range row {
+					w[d] += sign * v
+				}
+				w[dim] += sign
+			}
+			if mistakes == 0 {
+				break
+			}
+		}
+	}
+	return nil
+}
+
+// Predict implements Classifier: highest one-vs-rest score wins.
+func (p *Perceptron) Predict(x []float64) int {
+	best, bestScore := 0, math.Inf(-1)
+	for c, w := range p.w {
+		score := w[len(w)-1]
+		for d, v := range x {
+			score += w[d] * v
+		}
+		if score > bestScore {
+			best, bestScore = c, score
+		}
+	}
+	return best
+}
+
+// Logistic is multinomial logistic regression (softmax) trained with
+// mini-batchless SGD, standing in for Weka's Logistic in §5.5.
+type Logistic struct {
+	Epochs int     // default 60
+	LR     float64 // default 0.1
+	L2     float64 // default 1e-4
+	Seed   int64
+
+	w [][]float64
+}
+
+// Fit implements Classifier.
+func (l *Logistic) Fit(x [][]float64, y []int, numClasses int) error {
+	dim, err := checkTrainingData(x, y, numClasses)
+	if err != nil {
+		return err
+	}
+	epochs, lr, l2 := l.Epochs, l.LR, l.L2
+	if epochs <= 0 {
+		epochs = 60
+	}
+	if lr <= 0 {
+		lr = 0.1
+	}
+	if l2 <= 0 {
+		l2 = 1e-4
+	}
+	rng := rand.New(rand.NewSource(l.Seed + 1))
+	l.w = make([][]float64, numClasses)
+	for c := range l.w {
+		l.w[c] = make([]float64, dim+1)
+	}
+	probs := make([]float64, numClasses)
+	order := rng.Perm(len(x))
+	for e := 0; e < epochs; e++ {
+		for _, i := range order {
+			row := x[i]
+			l.scores(row, probs)
+			softmaxInPlace(probs)
+			for c := 0; c < numClasses; c++ {
+				grad := probs[c]
+				if y[i] == c {
+					grad -= 1
+				}
+				w := l.w[c]
+				for d, v := range row {
+					w[d] -= lr * (grad*v + l2*w[d])
+				}
+				w[dim] -= lr * grad
+			}
+		}
+	}
+	return nil
+}
+
+func (l *Logistic) scores(x []float64, out []float64) {
+	for c, w := range l.w {
+		s := w[len(w)-1]
+		for d, v := range x {
+			s += w[d] * v
+		}
+		out[c] = s
+	}
+}
+
+// Predict implements Classifier.
+func (l *Logistic) Predict(x []float64) int {
+	scores := make([]float64, len(l.w))
+	l.scores(x, scores)
+	best := 0
+	for c := 1; c < len(scores); c++ {
+		if scores[c] > scores[best] {
+			best = c
+		}
+	}
+	return best
+}
+
+func softmaxInPlace(s []float64) {
+	max := s[0]
+	for _, v := range s[1:] {
+		if v > max {
+			max = v
+		}
+	}
+	var sum float64
+	for i, v := range s {
+		s[i] = math.Exp(v - max)
+		sum += s[i]
+	}
+	for i := range s {
+		s[i] /= sum
+	}
+}
+
+// SVM is a one-vs-rest linear support vector machine trained with
+// Pegasos-style stochastic sub-gradient descent on the hinge loss,
+// standing in for Weka's SMO in §5.5.
+type SVM struct {
+	Epochs int     // default 40
+	Lambda float64 // L2 regularization, default 1e-3
+	Seed   int64
+
+	w [][]float64
+}
+
+// Fit implements Classifier.
+func (s *SVM) Fit(x [][]float64, y []int, numClasses int) error {
+	dim, err := checkTrainingData(x, y, numClasses)
+	if err != nil {
+		return err
+	}
+	epochs, lambda := s.Epochs, s.Lambda
+	if epochs <= 0 {
+		epochs = 40
+	}
+	if lambda <= 0 {
+		lambda = 1e-3
+	}
+	rng := rand.New(rand.NewSource(s.Seed + 7))
+	s.w = make([][]float64, numClasses)
+	for c := range s.w {
+		s.w[c] = make([]float64, dim+1)
+	}
+	t := 1
+	order := rng.Perm(len(x))
+	for e := 0; e < epochs; e++ {
+		for _, i := range order {
+			row := x[i]
+			eta := 1 / (lambda * float64(t))
+			t++
+			for c := 0; c < numClasses; c++ {
+				label := -1.0
+				if y[i] == c {
+					label = 1
+				}
+				w := s.w[c]
+				score := w[dim]
+				for d, v := range row {
+					score += w[d] * v
+				}
+				for d := range w[:dim] {
+					w[d] *= 1 - eta*lambda
+				}
+				if label*score < 1 {
+					for d, v := range row {
+						w[d] += eta * label * v
+					}
+					w[dim] += eta * label
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Predict implements Classifier.
+func (s *SVM) Predict(x []float64) int {
+	best, bestScore := 0, math.Inf(-1)
+	for c, w := range s.w {
+		score := w[len(w)-1]
+		for d, v := range x {
+			score += w[d] * v
+		}
+		if score > bestScore {
+			best, bestScore = c, score
+		}
+	}
+	return best
+}

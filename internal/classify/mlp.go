@@ -1,0 +1,137 @@
+package classify
+
+import (
+	"math"
+	"math/rand"
+)
+
+// MLP is a one-hidden-layer multilayer perceptron (sigmoid hidden
+// units, softmax output, cross-entropy loss, SGD), standing in for
+// Weka's MultilayerPerceptron in §5.5.
+type MLP struct {
+	Hidden int     // hidden units, default 16
+	Epochs int     // default 40
+	LR     float64 // default 0.05
+	Seed   int64
+
+	w1 [][]float64 // hidden x (dim+1)
+	w2 [][]float64 // classes x (hidden+1)
+}
+
+// Fit implements Classifier.
+func (m *MLP) Fit(x [][]float64, y []int, numClasses int) error {
+	dim, err := checkTrainingData(x, y, numClasses)
+	if err != nil {
+		return err
+	}
+	hidden, epochs, lr := m.Hidden, m.Epochs, m.LR
+	if hidden <= 0 {
+		hidden = 16
+	}
+	if epochs <= 0 {
+		epochs = 40
+	}
+	if lr <= 0 {
+		lr = 0.05
+	}
+	rng := rand.New(rand.NewSource(m.Seed + 13))
+	m.w1 = make([][]float64, hidden)
+	for h := range m.w1 {
+		m.w1[h] = make([]float64, dim+1)
+		for d := range m.w1[h] {
+			m.w1[h][d] = (rng.Float64() - 0.5) * 0.5
+		}
+	}
+	m.w2 = make([][]float64, numClasses)
+	for c := range m.w2 {
+		m.w2[c] = make([]float64, hidden+1)
+		for d := range m.w2[c] {
+			m.w2[c][d] = (rng.Float64() - 0.5) * 0.5
+		}
+	}
+	hAct := make([]float64, hidden)
+	out := make([]float64, numClasses)
+	dOut := make([]float64, numClasses)
+	dHid := make([]float64, hidden)
+	order := rng.Perm(len(x))
+	for e := 0; e < epochs; e++ {
+		for _, i := range order {
+			row := x[i]
+			m.forward(row, hAct, out)
+			softmaxInPlace(out)
+			for c := range out {
+				dOut[c] = out[c]
+				if y[i] == c {
+					dOut[c] -= 1
+				}
+			}
+			for h := 0; h < hidden; h++ {
+				var g float64
+				for c := range dOut {
+					g += dOut[c] * m.w2[c][h]
+				}
+				dHid[h] = g * hAct[h] * (1 - hAct[h])
+			}
+			for c := range m.w2 {
+				w := m.w2[c]
+				for h := 0; h < hidden; h++ {
+					w[h] -= lr * dOut[c] * hAct[h]
+				}
+				w[hidden] -= lr * dOut[c]
+			}
+			for h := 0; h < hidden; h++ {
+				w := m.w1[h]
+				for d, v := range row {
+					w[d] -= lr * dHid[h] * v
+				}
+				w[dim] -= lr * dHid[h]
+			}
+		}
+	}
+	return nil
+}
+
+func (m *MLP) forward(x []float64, hAct, out []float64) {
+	for h, w := range m.w1 {
+		s := w[len(w)-1]
+		for d, v := range x {
+			s += w[d] * v
+		}
+		hAct[h] = sigmoid(s)
+	}
+	for c, w := range m.w2 {
+		s := w[len(w)-1]
+		for h := 0; h < len(hAct); h++ {
+			s += w[h] * hAct[h]
+		}
+		out[c] = s
+	}
+}
+
+func sigmoid(x float64) float64 {
+	// Clamp to keep training numerically tame on extreme activations.
+	if x > 30 {
+		x = 30
+	} else if x < -30 {
+		x = -30
+	}
+	if x >= 0 {
+		return 1 / (1 + math.Exp(-x))
+	}
+	e := math.Exp(x)
+	return e / (1 + e)
+}
+
+// Predict implements Classifier.
+func (m *MLP) Predict(x []float64) int {
+	hAct := make([]float64, len(m.w1))
+	out := make([]float64, len(m.w2))
+	m.forward(x, hAct, out)
+	best := 0
+	for c := 1; c < len(out); c++ {
+		if out[c] > out[best] {
+			best = c
+		}
+	}
+	return best
+}

@@ -1,0 +1,204 @@
+package classify
+
+import (
+	"testing"
+
+	"hypermine/internal/core"
+	"hypermine/internal/table"
+)
+
+func TestLinearRegressionExactLine(t *testing.T) {
+	// y = 2a - 3b + 1, noiseless: OLS must recover it.
+	var x [][]float64
+	var y []float64
+	for a := 0.0; a < 5; a++ {
+		for b := 0.0; b < 5; b++ {
+			x = append(x, []float64{a, b})
+			y = append(y, 2*a-3*b+1)
+		}
+	}
+	var lr LinearRegression
+	if err := lr.FitRegression(x, y); err != nil {
+		t.Fatal(err)
+	}
+	for i, row := range x {
+		// Tolerance accounts for the default ridge damping.
+		if got := lr.PredictValue(row); got < y[i]-1e-4 || got > y[i]+1e-4 {
+			t.Fatalf("predict(%v) = %v, want %v", row, got, y[i])
+		}
+	}
+}
+
+func TestLinearRegressionAsClassifier(t *testing.T) {
+	xTrain, yTrain := linearDataset(400, 21)
+	xTest, yTest := linearDataset(200, 22)
+	lr := &LinearRegression{}
+	if err := lr.Fit(xTrain, yTrain, 2); err != nil {
+		t.Fatal(err)
+	}
+	acc, err := Accuracy(lr, xTest, yTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.85 {
+		t.Errorf("regression-as-classifier accuracy = %v", acc)
+	}
+	// Predictions are clamped to valid classes.
+	if c := lr.Predict([]float64{1e6, 1e6}); c < 0 || c > 1 {
+		t.Errorf("unclamped prediction %d", c)
+	}
+}
+
+func TestLinearRegressionValidation(t *testing.T) {
+	var lr LinearRegression
+	if err := lr.FitRegression(nil, nil); err == nil {
+		t.Error("want error for empty data")
+	}
+	if err := lr.FitRegression([][]float64{{1}}, []float64{1, 2}); err == nil {
+		t.Error("want error for shape mismatch")
+	}
+	if err := lr.FitRegression([][]float64{{}}, []float64{1}); err == nil {
+		t.Error("want error for empty features")
+	}
+	if err := lr.FitRegression([][]float64{{1}, {1, 2}}, []float64{1, 2}); err == nil {
+		t.Error("want error for ragged rows")
+	}
+	if err := lr.Fit([][]float64{{1}}, []int{9}, 2); err == nil {
+		t.Error("want error for bad label")
+	}
+}
+
+func TestSolveGaussianSingular(t *testing.T) {
+	_, err := solveGaussian([][]float64{{1, 1}, {1, 1}}, []float64{1, 2})
+	if err == nil {
+		t.Error("want error for singular system")
+	}
+	x, err := solveGaussian([][]float64{{2, 0}, {0, 4}}, []float64{2, 8})
+	if err != nil || !almost(x[0], 1) || !almost(x[1], 2) {
+		t.Errorf("solve = %v, %v", x, err)
+	}
+}
+
+func TestPaperProtocolData(t *testing.T) {
+	tb := deterministicTable(t, 300, 30)
+	m := buildModel(t, tb)
+	x, y, err := PaperProtocolData(m, []int{0, 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(x) == 0 || len(x) != len(y) {
+		t.Fatalf("shapes %d/%d", len(x), len(y))
+	}
+	// Every data point: one-hot over 2 dominator attrs x k=3, labels
+	// in 0..2.
+	for i, row := range x {
+		if len(row) != 6 {
+			t.Fatalf("row %d dim %d", i, len(row))
+		}
+		ones := 0.0
+		for _, v := range row {
+			ones += v
+		}
+		// |T|=1 edges light one block, |T|=2 edges two.
+		if ones < 1 || ones > 2 {
+			t.Fatalf("row %d has %v active features", i, ones)
+		}
+		if y[i] < 0 || y[i] > 2 {
+			t.Fatalf("label %d", y[i])
+		}
+	}
+	if _, _, err := PaperProtocolData(m, nil, 2); err == nil {
+		t.Error("want error for empty dominator")
+	}
+	if _, _, err := PaperProtocolData(m, []int{99}, 2); err == nil {
+		t.Error("want error for bad dominator attr")
+	}
+	if _, _, err := PaperProtocolData(m, []int{0}, 99); err == nil {
+		t.Error("want error for bad target")
+	}
+}
+
+func TestEvaluateBaselinePaperProtocol(t *testing.T) {
+	train := deterministicTable(t, 400, 31)
+	test := deterministicTable(t, 150, 32)
+	m := buildModel(t, train)
+	acc, err := EvaluateBaselinePaperProtocol(
+		func() Classifier { return &Logistic{} }, m, test, []int{0, 1}, []int{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// X=A is exactly learnable even from AT rows.
+	if acc < 0.6 {
+		t.Errorf("paper-protocol accuracy = %v", acc)
+	}
+	if _, err := EvaluateBaselinePaperProtocol(
+		func() Classifier { return &Logistic{} }, m, test, []int{0, 1}, nil); err == nil {
+		t.Error("want error for no targets")
+	}
+}
+
+func TestKFoldIndices(t *testing.T) {
+	folds, err := KFoldIndices(10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(folds) != 3 {
+		t.Fatalf("folds = %d", len(folds))
+	}
+	seen := map[int]int{}
+	for _, f := range folds {
+		if len(f[0])+len(f[1]) != 10 {
+			t.Fatalf("fold sizes %d+%d", len(f[0]), len(f[1]))
+		}
+		for _, i := range f[1] {
+			seen[i]++
+		}
+		// Test fold must be contiguous (time-series safety).
+		for j := 1; j < len(f[1]); j++ {
+			if f[1][j] != f[1][j-1]+1 {
+				t.Fatal("test fold not contiguous")
+			}
+		}
+	}
+	for i := 0; i < 10; i++ {
+		if seen[i] != 1 {
+			t.Errorf("row %d in %d test folds", i, seen[i])
+		}
+	}
+	if _, err := KFoldIndices(3, 5); err == nil {
+		t.Error("want error for k > n")
+	}
+	if _, err := KFoldIndices(10, 1); err == nil {
+		t.Error("want error for k=1")
+	}
+}
+
+func TestCrossValidateABC(t *testing.T) {
+	tb := deterministicTable(t, 300, 33)
+	mean, err := CrossValidateABC(tb, core.Config{GammaEdge: 1.0, GammaPair: 1.0},
+		[]int{0, 1}, []int{2, 3}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mean < 0.8 {
+		t.Errorf("cross-validated confidence = %v", mean)
+	}
+	if _, err := CrossValidateABC(tb, core.Config{GammaEdge: 1.0, GammaPair: 1.0},
+		[]int{0, 1}, []int{2}, 1); err == nil {
+		t.Error("want error for k=1")
+	}
+}
+
+func TestSelectRows(t *testing.T) {
+	tb, _ := table.FromRows([]string{"A"}, 3, [][]table.Value{{1}, {2}, {3}})
+	sub, err := selectRows(tb, []int{2, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.NumRows() != 2 || sub.At(0, 0) != 3 || sub.At(1, 0) != 1 {
+		t.Errorf("selectRows wrong data")
+	}
+	if _, err := selectRows(tb, []int{9}); err == nil {
+		t.Error("want error for bad row")
+	}
+}

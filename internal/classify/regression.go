@@ -1,0 +1,157 @@
+package classify
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// LinearRegression is the ordinary-least-squares model of §2.3.1: the
+// class value is expressed as a linear combination of the feature
+// values (plus bias), fitted by minimizing the sum of squared errors
+// via the normal equations with ridge damping for stability.
+//
+// As the paper discusses, regression on discrete class values is a
+// weak classifier — predictions are rounded to the nearest class — but
+// it completes the preliminaries' toolbox and serves as a sanity
+// baseline.
+type LinearRegression struct {
+	Ridge float64 // L2 damping on the normal equations; default 1e-6
+
+	w          []float64 // weights, bias last
+	numClasses int       // set by Fit for Predict's clamping
+}
+
+// FitRegression fits on real-valued targets.
+func (l *LinearRegression) FitRegression(x [][]float64, y []float64) error {
+	if len(x) == 0 || len(x) != len(y) {
+		return fmt.Errorf("classify: regression shapes %d/%d", len(x), len(y))
+	}
+	dim := len(x[0])
+	if dim == 0 {
+		return errors.New("classify: empty feature vectors")
+	}
+	for i, row := range x {
+		if len(row) != dim {
+			return fmt.Errorf("classify: row %d has dim %d, want %d", i, len(row), dim)
+		}
+	}
+	ridge := l.Ridge
+	if ridge <= 0 {
+		ridge = 1e-6
+	}
+	d := dim + 1 // bias column
+	// Normal equations: (X'X + ridge I) w = X'y.
+	xtx := make([][]float64, d)
+	for i := range xtx {
+		xtx[i] = make([]float64, d)
+	}
+	xty := make([]float64, d)
+	feat := func(row []float64, j int) float64 {
+		if j == dim {
+			return 1
+		}
+		return row[j]
+	}
+	for r, row := range x {
+		for i := 0; i < d; i++ {
+			fi := feat(row, i)
+			xty[i] += fi * y[r]
+			for j := i; j < d; j++ {
+				xtx[i][j] += fi * feat(row, j)
+			}
+		}
+	}
+	for i := 0; i < d; i++ {
+		for j := 0; j < i; j++ {
+			xtx[i][j] = xtx[j][i]
+		}
+		xtx[i][i] += ridge
+	}
+	w, err := solveGaussian(xtx, xty)
+	if err != nil {
+		return err
+	}
+	l.w = w
+	return nil
+}
+
+// PredictValue returns the fitted linear combination for one vector.
+func (l *LinearRegression) PredictValue(x []float64) float64 {
+	d := len(l.w) - 1
+	s := l.w[d]
+	for j := 0; j < d && j < len(x); j++ {
+		s += l.w[j] * x[j]
+	}
+	return s
+}
+
+// Fit implements Classifier: labels 0..numClasses-1 are regressed as
+// real targets.
+func (l *LinearRegression) Fit(x [][]float64, y []int, numClasses int) error {
+	if _, err := checkTrainingData(x, y, numClasses); err != nil {
+		return err
+	}
+	ys := make([]float64, len(y))
+	for i, v := range y {
+		ys[i] = float64(v)
+	}
+	l.numClasses = numClasses
+	return l.FitRegression(x, ys)
+}
+
+// Predict implements Classifier: the regression output rounded to the
+// nearest valid class.
+func (l *LinearRegression) Predict(x []float64) int {
+	v := math.Round(l.PredictValue(x))
+	if v < 0 {
+		v = 0
+	}
+	if max := float64(l.numClasses - 1); l.numClasses > 0 && v > max {
+		v = max
+	}
+	return int(v)
+}
+
+// solveGaussian solves a dense linear system with partial pivoting.
+func solveGaussian(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	// Work on copies to leave inputs intact.
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = append([]float64(nil), a[i]...)
+		m[i] = append(m[i], b[i])
+	}
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		pivot := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(m[r][col]) > math.Abs(m[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(m[pivot][col]) < 1e-12 {
+			return nil, errors.New("classify: singular normal equations")
+		}
+		m[col], m[pivot] = m[pivot], m[col]
+		inv := 1 / m[col][col]
+		for r := col + 1; r < n; r++ {
+			f := m[r][col] * inv
+			if f == 0 {
+				continue
+			}
+			for c := col; c <= n; c++ {
+				m[r][c] -= f * m[col][c]
+			}
+		}
+	}
+	x := make([]float64, n)
+	for r := n - 1; r >= 0; r-- {
+		s := m[r][n]
+		for c := r + 1; c < n; c++ {
+			s -= m[r][c] * x[c]
+		}
+		x[r] = s / m[r][r]
+	}
+	return x, nil
+}

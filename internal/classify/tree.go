@@ -1,0 +1,195 @@
+package classify
+
+import (
+	"math"
+)
+
+// DecisionTree is a CART-style classification tree (Gini impurity,
+// binary threshold splits). The paper's related work (Ordonez [Ord06])
+// compares association rules against decision trees for prediction;
+// this implementation completes that comparison locally. On one-hot
+// features every split degenerates to an "attribute = value" test,
+// mirroring classical categorical trees.
+type DecisionTree struct {
+	MaxDepth    int // default 12
+	MinLeafSize int // default 2
+
+	root       *treeNode
+	numClasses int
+}
+
+type treeNode struct {
+	feature   int
+	threshold float64
+	left      *treeNode
+	right     *treeNode
+	class     int // leaf prediction when left == nil
+}
+
+// Fit implements Classifier.
+func (d *DecisionTree) Fit(x [][]float64, y []int, numClasses int) error {
+	dim, err := checkTrainingData(x, y, numClasses)
+	if err != nil {
+		return err
+	}
+	maxDepth, minLeaf := d.MaxDepth, d.MinLeafSize
+	if maxDepth <= 0 {
+		maxDepth = 12
+	}
+	if minLeaf <= 0 {
+		minLeaf = 2
+	}
+	d.numClasses = numClasses
+	idx := make([]int, len(x))
+	for i := range idx {
+		idx[i] = i
+	}
+	d.root = d.grow(x, y, idx, dim, maxDepth, minLeaf)
+	return nil
+}
+
+func gini(counts []int, total int) float64 {
+	if total == 0 {
+		return 0
+	}
+	g := 1.0
+	for _, c := range counts {
+		p := float64(c) / float64(total)
+		g -= p * p
+	}
+	return g
+}
+
+func majority(counts []int) int {
+	best, bestC := 0, -1
+	for c, n := range counts {
+		if n > bestC {
+			best, bestC = c, n
+		}
+	}
+	return best
+}
+
+func (d *DecisionTree) grow(x [][]float64, y []int, idx []int, dim, depth, minLeaf int) *treeNode {
+	counts := make([]int, d.numClasses)
+	for _, i := range idx {
+		counts[y[i]]++
+	}
+	node := &treeNode{class: majority(counts)}
+	if depth == 0 || len(idx) < 2*minLeaf || gini(counts, len(idx)) == 0 {
+		return node
+	}
+	// Best binary split over all features; candidate thresholds are
+	// midpoints between distinct sorted values (for one-hot inputs
+	// this reduces to the single threshold 0.5).
+	bestGain := -1.0
+	bestF := -1
+	bestT := 0.0
+	parent := gini(counts, len(idx))
+	leftCounts := make([]int, d.numClasses)
+	for f := 0; f < dim; f++ {
+		// Collect distinct values cheaply: for the common one-hot
+		// case values are {0,1}; general case sorts a copy.
+		vals := map[float64]bool{}
+		for _, i := range idx {
+			vals[x[i][f]] = true
+			if len(vals) > 16 {
+				break
+			}
+		}
+		if len(vals) < 2 {
+			continue
+		}
+		sorted := make([]float64, 0, len(vals))
+		for v := range vals {
+			sorted = append(sorted, v)
+		}
+		sortFloats(sorted)
+		for vi := 0; vi+1 < len(sorted); vi++ {
+			th := (sorted[vi] + sorted[vi+1]) / 2
+			for c := range leftCounts {
+				leftCounts[c] = 0
+			}
+			nLeft := 0
+			for _, i := range idx {
+				if x[i][f] <= th {
+					leftCounts[y[i]]++
+					nLeft++
+				}
+			}
+			nRight := len(idx) - nLeft
+			if nLeft < minLeaf || nRight < minLeaf {
+				continue
+			}
+			rightCounts := make([]int, d.numClasses)
+			for c := range rightCounts {
+				rightCounts[c] = counts[c] - leftCounts[c]
+			}
+			gain := parent -
+				(float64(nLeft)*gini(leftCounts, nLeft)+
+					float64(nRight)*gini(rightCounts, nRight))/float64(len(idx))
+			if gain > bestGain+1e-12 {
+				bestGain, bestF, bestT = gain, f, th
+			}
+		}
+	}
+	if bestF < 0 || bestGain <= 1e-12 {
+		return node
+	}
+	var leftIdx, rightIdx []int
+	for _, i := range idx {
+		if x[i][bestF] <= bestT {
+			leftIdx = append(leftIdx, i)
+		} else {
+			rightIdx = append(rightIdx, i)
+		}
+	}
+	node.feature = bestF
+	node.threshold = bestT
+	node.left = d.grow(x, y, leftIdx, dim, depth-1, minLeaf)
+	node.right = d.grow(x, y, rightIdx, dim, depth-1, minLeaf)
+	return node
+}
+
+func sortFloats(v []float64) {
+	// Insertion sort: candidate sets are tiny (<= 17 values).
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && v[j] < v[j-1]; j-- {
+			v[j], v[j-1] = v[j-1], v[j]
+		}
+	}
+}
+
+// Predict implements Classifier.
+func (d *DecisionTree) Predict(x []float64) int {
+	n := d.root
+	for n != nil && n.left != nil {
+		v := math.Inf(1)
+		if n.feature < len(x) {
+			v = x[n.feature]
+		}
+		if v <= n.threshold {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	if n == nil {
+		return 0
+	}
+	return n.class
+}
+
+// Depth reports the fitted tree's depth (0 for a single leaf).
+func (d *DecisionTree) Depth() int { return depthOf(d.root) }
+
+func depthOf(n *treeNode) int {
+	if n == nil || n.left == nil {
+		return 0
+	}
+	l, r := depthOf(n.left), depthOf(n.right)
+	if r > l {
+		l = r
+	}
+	return 1 + l
+}

@@ -1,0 +1,108 @@
+package classify
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestDecisionTreeSeparable(t *testing.T) {
+	xTrain, yTrain := linearDataset(400, 41)
+	xTest, yTest := linearDataset(200, 42)
+	dt := &DecisionTree{}
+	if err := dt.Fit(xTrain, yTrain, 2); err != nil {
+		t.Fatal(err)
+	}
+	acc, err := Accuracy(dt, xTest, yTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.85 {
+		t.Errorf("tree accuracy = %v", acc)
+	}
+	if dt.Depth() < 1 {
+		t.Error("tree did not split")
+	}
+}
+
+func TestDecisionTreeSolvesXOR(t *testing.T) {
+	// Unlike the linear baselines, a depth-2 tree represents XOR.
+	xTrain, yTrain := xorDataset(400, 43)
+	xTest, yTest := xorDataset(200, 44)
+	dt := &DecisionTree{MaxDepth: 4}
+	if err := dt.Fit(xTrain, yTrain, 2); err != nil {
+		t.Fatal(err)
+	}
+	acc, _ := Accuracy(dt, xTest, yTest)
+	if acc < 0.95 {
+		t.Errorf("tree on XOR = %v, want >= 0.95", acc)
+	}
+}
+
+func TestDecisionTreePureLeafAndSingleClassData(t *testing.T) {
+	// Constant labels: a single leaf, depth 0.
+	x := [][]float64{{0}, {1}, {2}, {3}}
+	y := []int{1, 1, 1, 1}
+	dt := &DecisionTree{}
+	if err := dt.Fit(x, y, 2); err != nil {
+		t.Fatal(err)
+	}
+	if dt.Depth() != 0 {
+		t.Errorf("depth = %d for pure data", dt.Depth())
+	}
+	if dt.Predict([]float64{9}) != 1 {
+		t.Error("pure-leaf prediction wrong")
+	}
+	// Short feature vectors route through the +Inf guard.
+	if got := dt.Predict(nil); got != 1 {
+		t.Errorf("nil-feature prediction = %d", got)
+	}
+}
+
+func TestDecisionTreeOneHotMulticlass(t *testing.T) {
+	// Class = value of a 3-valued attribute, one-hot encoded: the
+	// tree must recover it exactly.
+	rng := rand.New(rand.NewSource(45))
+	var x [][]float64
+	var y []int
+	for i := 0; i < 300; i++ {
+		v := rng.Intn(3)
+		row := make([]float64, 6)
+		row[v] = 1
+		row[3+rng.Intn(3)] = 1 // noise attribute
+		x = append(x, row)
+		y = append(y, v)
+	}
+	dt := &DecisionTree{}
+	if err := dt.Fit(x, y, 3); err != nil {
+		t.Fatal(err)
+	}
+	acc, _ := Accuracy(dt, x, y)
+	if acc < 0.99 {
+		t.Errorf("one-hot multiclass accuracy = %v", acc)
+	}
+}
+
+func TestDecisionTreeValidation(t *testing.T) {
+	dt := &DecisionTree{}
+	if err := dt.Fit(nil, nil, 2); err == nil {
+		t.Error("want error for empty data")
+	}
+	if err := dt.Fit([][]float64{{1}}, []int{0}, 1); err == nil {
+		t.Error("want error for single class")
+	}
+	if err := dt.Fit([][]float64{{1}}, []int{7}, 2); err == nil {
+		t.Error("want error for bad label")
+	}
+}
+
+func TestDecisionTreeMinLeafRespected(t *testing.T) {
+	xTrain, yTrain := linearDataset(100, 46)
+	dt := &DecisionTree{MinLeafSize: 60}
+	if err := dt.Fit(xTrain, yTrain, 2); err != nil {
+		t.Fatal(err)
+	}
+	// No split can give both sides >= 60 of 100 points.
+	if dt.Depth() != 0 {
+		t.Errorf("depth = %d despite MinLeafSize", dt.Depth())
+	}
+}

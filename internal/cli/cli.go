@@ -1,0 +1,577 @@
+// Package cli implements the hypermine command-line tool: every
+// subcommand is a method on App writing to an injected io.Writer, so
+// the whole surface is testable without spawning processes.
+// cmd/hypermine is a thin wrapper around Run.
+//
+// Subcommands:
+//
+//	discretize turn a prices CSV into a discretized table (§5.1.1)
+//	build      mine an association hypergraph from a discretized CSV table
+//	rules      mine top mva-type rules for a head attribute
+//	frequent   classical Apriori baseline
+//	degrees    print weighted in-/out-degrees of a hypergraph
+//	top-edges  print the strongest incoming edges of a vertex
+//	similar    print association-based similarity between two vertices
+//	cluster    t-cluster the vertices of a hypergraph
+//	dominator  compute a leading indicator (Algorithm 5 or 6)
+//	classify   mine + dominate + classify a table end to end
+package cli
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"hypermine/internal/apriori"
+	"hypermine/internal/classify"
+	"hypermine/internal/cluster"
+	"hypermine/internal/core"
+	"hypermine/internal/cover"
+	"hypermine/internal/hypergraph"
+	"hypermine/internal/similarity"
+	"hypermine/internal/table"
+	"hypermine/internal/timeseries"
+)
+
+// App is the CLI with its output sink.
+type App struct {
+	out io.Writer
+}
+
+// New returns an App writing to out.
+func New(out io.Writer) *App { return &App{out: out} }
+
+// ErrUsage is returned when the arguments name no valid subcommand.
+var ErrUsage = errors.New(`usage: hypermine <discretize|build|rules|frequent|degrees|top-edges|similar|cluster|dominator|classify> [flags]
+run 'hypermine <subcommand> -h' for flags`)
+
+// Run dispatches one subcommand; args excludes the program name.
+func (a *App) Run(args []string) error {
+	if len(args) < 1 {
+		return ErrUsage
+	}
+	switch args[0] {
+	case "discretize":
+		return a.cmdDiscretize(args[1:])
+	case "build":
+		return a.cmdBuild(args[1:])
+	case "rules":
+		return a.cmdRules(args[1:])
+	case "frequent":
+		return a.cmdFrequent(args[1:])
+	case "degrees":
+		return a.cmdDegrees(args[1:])
+	case "top-edges":
+		return a.cmdTopEdges(args[1:])
+	case "similar":
+		return a.cmdSimilar(args[1:])
+	case "cluster":
+		return a.cmdCluster(args[1:])
+	case "dominator":
+		return a.cmdDominator(args[1:])
+	case "classify":
+		return a.cmdClassify(args[1:])
+	case "-h", "--help", "help":
+		return ErrUsage
+	}
+	return fmt.Errorf("unknown subcommand %q\n%w", args[0], ErrUsage)
+}
+
+func (a *App) cmdDiscretize(args []string) error {
+	fs := flag.NewFlagSet("discretize", flag.ExitOnError)
+	in := fs.String("in", "prices.csv", "prices CSV (ticker,sector,subsector,d0,...)")
+	out := fs.String("out", "table.csv", "output discretized table CSV")
+	outTest := fs.String("out-test", "", "out-sample table CSV (requires -split)")
+	k := fs.Int("k", 3, "value-set cardinality")
+	split := fs.Float64("split", 0, "in-sample fraction of days (0 = all days)")
+	_ = fs.Parse(args)
+
+	f, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	u, err := timeseries.ReadPricesCSV(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	trainU := u
+	var testU *timeseries.Universe
+	if *split > 0 {
+		if *split >= 1 {
+			return fmt.Errorf("split %v outside (0,1)", *split)
+		}
+		cut := int(float64(u.Days()) * *split)
+		if trainU, err = u.Window(0, cut); err != nil {
+			return err
+		}
+		if testU, err = u.Window(cut, u.Days()); err != nil {
+			return err
+		}
+	}
+	tb, disc, err := trainU.BuildTable(*k)
+	if err != nil {
+		return err
+	}
+	if err := writeTableCSV(tb, *out); err != nil {
+		return err
+	}
+	fmt.Fprintf(a.out, "wrote %dx%d table (k=%d) to %s\n", tb.NumRows(), tb.NumAttrs(), *k, *out)
+	if *outTest != "" {
+		if testU == nil {
+			return fmt.Errorf("-out-test requires -split")
+		}
+		testTb, err := disc.Apply(testU)
+		if err != nil {
+			return err
+		}
+		if err := writeTableCSV(testTb, *outTest); err != nil {
+			return err
+		}
+		fmt.Fprintf(a.out, "wrote %dx%d out-sample table to %s\n", testTb.NumRows(), testTb.NumAttrs(), *outTest)
+	}
+	return nil
+}
+
+func writeTableCSV(tb *table.Table, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tb.WriteCSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func loadTable(path string, k int) (*table.Table, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return table.ReadCSV(f, k)
+}
+
+func loadGraph(path string) (*hypergraph.H, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return hypergraph.ReadJSON(f)
+}
+
+func configFlag(fs *flag.FlagSet) (preset *string, g1, g2 *float64) {
+	preset = fs.String("config", "C1", "C1, C2, or 'custom'")
+	g1 = fs.Float64("gamma1", 1.15, "gamma for directed edges (custom config)")
+	g2 = fs.Float64("gamma2", 1.05, "gamma for 2-to-1 hyperedges (custom config)")
+	return
+}
+
+func resolveConfig(preset string, g1, g2 float64, k int) (core.Config, error) {
+	switch preset {
+	case "C1":
+		return core.C1(), nil
+	case "C2":
+		return core.C2(), nil
+	case "custom":
+		return core.Config{K: k, GammaEdge: g1, GammaPair: g2}, nil
+	}
+	return core.Config{}, fmt.Errorf("unknown config %q", preset)
+}
+
+func (a *App) cmdBuild(args []string) error {
+	fs := flag.NewFlagSet("build", flag.ExitOnError)
+	in := fs.String("in", "table.csv", "discretized table CSV")
+	out := fs.String("out", "hypergraph.json", "output hypergraph JSON")
+	preset, g1, g2 := configFlag(fs)
+	_ = fs.Parse(args)
+	tb, err := loadTable(*in, 0)
+	if err != nil {
+		return err
+	}
+	cfg, err := resolveConfig(*preset, *g1, *g2, tb.K())
+	if err != nil {
+		return err
+	}
+	cfg.K = tb.K()
+	model, err := core.Build(tb, cfg)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := model.H.WriteJSON(f); err != nil {
+		return err
+	}
+	st := model.H.EdgeStats()
+	fmt.Fprintf(a.out, "mined %d directed edges (mean ACV %.3f) and %d 2-to-1 hyperedges (mean ACV %.3f) -> %s\n",
+		st.DirectedEdges, st.MeanACVEdges, st.TwoToOne, st.MeanACVTwoToOne, *out)
+	return nil
+}
+
+func (a *App) cmdDegrees(args []string) error {
+	fs := flag.NewFlagSet("degrees", flag.ExitOnError)
+	in := fs.String("in", "hypergraph.json", "hypergraph JSON")
+	top := fs.Int("top", 25, "show the top-N by weighted in-degree")
+	_ = fs.Parse(args)
+	h, err := loadGraph(*in)
+	if err != nil {
+		return err
+	}
+	type row struct {
+		name    string
+		in, out float64
+	}
+	rows := make([]row, h.NumVertices())
+	for v := range rows {
+		rows[v] = row{h.VertexName(v), h.WeightedInDegree(v), h.WeightedOutDegree(v)}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].in > rows[j].in })
+	if *top < len(rows) {
+		rows = rows[:*top]
+	}
+	fmt.Fprintln(a.out, "vertex  weighted-in  weighted-out")
+	for _, r := range rows {
+		fmt.Fprintf(a.out, "%-8s %10.3f %12.3f\n", r.name, r.in, r.out)
+	}
+	return nil
+}
+
+func (a *App) cmdTopEdges(args []string) error {
+	fs := flag.NewFlagSet("top-edges", flag.ExitOnError)
+	in := fs.String("in", "hypergraph.json", "hypergraph JSON")
+	node := fs.String("node", "", "vertex name")
+	top := fs.Int("top", 5, "edges per class")
+	_ = fs.Parse(args)
+	h, err := loadGraph(*in)
+	if err != nil {
+		return err
+	}
+	v := h.Vertex(*node)
+	if v < 0 {
+		return fmt.Errorf("unknown vertex %q", *node)
+	}
+	var edges, hypers []hypergraph.Edge
+	for _, ei := range h.In(v) {
+		e := h.Edge(int(ei))
+		if e.IsDirectedEdge() {
+			edges = append(edges, e)
+		} else if e.IsTwoToOne() {
+			hypers = append(hypers, e)
+		}
+	}
+	byW := func(s []hypergraph.Edge) {
+		sort.Slice(s, func(i, j int) bool { return s[i].Weight > s[j].Weight })
+	}
+	byW(edges)
+	byW(hypers)
+	print := func(label string, s []hypergraph.Edge) {
+		fmt.Fprintf(a.out, "%s into %s:\n", label, *node)
+		for i, e := range s {
+			if i == *top {
+				break
+			}
+			names := ""
+			for j, t := range e.Tail {
+				if j > 0 {
+					names += ","
+				}
+				names += h.VertexName(t)
+			}
+			fmt.Fprintf(a.out, "  %s -> %s  ACV %.3f\n", names, *node, e.Weight)
+		}
+	}
+	print("top directed edges", edges)
+	print("top 2-to-1 hyperedges", hypers)
+	return nil
+}
+
+func (a *App) cmdSimilar(args []string) error {
+	fs := flag.NewFlagSet("similar", flag.ExitOnError)
+	in := fs.String("in", "hypergraph.json", "hypergraph JSON")
+	nodeA := fs.String("a", "", "first vertex")
+	nodeB := fs.String("b", "", "second vertex ('' = rank all against -a)")
+	top := fs.Int("top", 10, "ranking size when -b is empty")
+	_ = fs.Parse(args)
+	h, err := loadGraph(*in)
+	if err != nil {
+		return err
+	}
+	va := h.Vertex(*nodeA)
+	if va < 0 {
+		return fmt.Errorf("unknown vertex %q", *nodeA)
+	}
+	if *nodeB != "" {
+		vb := h.Vertex(*nodeB)
+		if vb < 0 {
+			return fmt.Errorf("unknown vertex %q", *nodeB)
+		}
+		fmt.Fprintf(a.out, "in-sim(%s,%s)  = %.4f\n", *nodeA, *nodeB, similarity.InSim(h, va, vb))
+		fmt.Fprintf(a.out, "out-sim(%s,%s) = %.4f\n", *nodeA, *nodeB, similarity.OutSim(h, va, vb))
+		fmt.Fprintf(a.out, "distance       = %.4f\n", similarity.Distance(h, va, vb))
+		return nil
+	}
+	type row struct {
+		name string
+		d    float64
+	}
+	var rows []row
+	for v := 0; v < h.NumVertices(); v++ {
+		if v == va {
+			continue
+		}
+		rows = append(rows, row{h.VertexName(v), similarity.Distance(h, va, v)})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].d < rows[j].d })
+	fmt.Fprintf(a.out, "most similar to %s (smallest distance):\n", *nodeA)
+	for i, r := range rows {
+		if i == *top {
+			break
+		}
+		fmt.Fprintf(a.out, "  %-8s d=%.4f\n", r.name, r.d)
+	}
+	return nil
+}
+
+func (a *App) cmdCluster(args []string) error {
+	fs := flag.NewFlagSet("cluster", flag.ExitOnError)
+	in := fs.String("in", "hypergraph.json", "hypergraph JSON")
+	t := fs.Int("t", 8, "number of clusters")
+	_ = fs.Parse(args)
+	h, err := loadGraph(*in)
+	if err != nil {
+		return err
+	}
+	n := h.NumVertices()
+	all := make([]int, n)
+	for i := range all {
+		all[i] = i
+	}
+	g, err := similarity.BuildGraph(h, all)
+	if err != nil {
+		return err
+	}
+	cl, err := cluster.TClustering(n, *t, g.Dist, 0)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(a.out, "t=%d  diameter=%.3f  mean-diameter=%.3f  mean-distance=%.3f\n",
+		*t, cl.Diameter(g.Dist), cl.MeanDiameter(g.Dist), g.MeanDistance())
+	for ci := range cl.Centers {
+		members := cl.Members(ci)
+		fmt.Fprintf(a.out, "cluster %d @%s (%d members):", ci, h.VertexName(cl.Centers[ci]), len(members))
+		for _, p := range members {
+			fmt.Fprintf(a.out, " %s", h.VertexName(p))
+		}
+		fmt.Fprintln(a.out)
+	}
+	return nil
+}
+
+func (a *App) cmdDominator(args []string) error {
+	fs := flag.NewFlagSet("dominator", flag.ExitOnError)
+	in := fs.String("in", "hypergraph.json", "hypergraph JSON")
+	alg := fs.Int("alg", 6, "5 (dominating-set adaptation) or 6 (set-cover adaptation)")
+	frac := fs.Float64("top", 1.0, "keep only the top fraction of edges by ACV first")
+	complete := fs.Bool("complete", false, "force 100% coverage via self-covering")
+	_ = fs.Parse(args)
+	h, err := loadGraph(*in)
+	if err != nil {
+		return err
+	}
+	if *frac < 1 {
+		th, err := h.TopFractionThreshold(*frac)
+		if err != nil {
+			return err
+		}
+		h = h.FilterByWeight(th)
+	}
+	all := make([]int, h.NumVertices())
+	for i := range all {
+		all[i] = i
+	}
+	opt := cover.Options{Complete: *complete, Enhancement1: true, Enhancement2: true}
+	var res *cover.Result
+	switch *alg {
+	case 5:
+		res, err = cover.DominatorGreedyDS(h, all, opt)
+	case 6:
+		res, err = cover.DominatorSetCover(h, all, opt)
+	default:
+		return fmt.Errorf("unknown algorithm %d", *alg)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(a.out, "dominator size %d, covers %.0f%% of %d vertices\n",
+		len(res.DomSet), 100*res.CoverageFraction(), res.TargetSize)
+	fmt.Fprint(a.out, "members:")
+	for _, v := range res.DomSet {
+		fmt.Fprintf(a.out, " %s", h.VertexName(v))
+	}
+	fmt.Fprintln(a.out)
+	return nil
+}
+
+func (a *App) cmdClassify(args []string) error {
+	fs := flag.NewFlagSet("classify", flag.ExitOnError)
+	trainPath := fs.String("train", "table.csv", "training table CSV")
+	testPath := fs.String("test", "", "test table CSV ('' = evaluate in-sample)")
+	preset, g1, g2 := configFlag(fs)
+	alg := fs.Int("alg", 6, "dominator algorithm (5 or 6)")
+	_ = fs.Parse(args)
+	train, err := loadTable(*trainPath, 0)
+	if err != nil {
+		return err
+	}
+	cfg, err := resolveConfig(*preset, *g1, *g2, train.K())
+	if err != nil {
+		return err
+	}
+	cfg.K = train.K()
+	model, err := core.Build(train, cfg)
+	if err != nil {
+		return err
+	}
+	all := make([]int, train.NumAttrs())
+	for i := range all {
+		all[i] = i
+	}
+	opt := cover.Options{Enhancement1: true, Enhancement2: true}
+	var res *cover.Result
+	switch *alg {
+	case 5:
+		res, err = cover.DominatorGreedyDS(model.H, all, opt)
+	case 6:
+		res, err = cover.DominatorSetCover(model.H, all, opt)
+	default:
+		return fmt.Errorf("unknown algorithm %d", *alg)
+	}
+	if err != nil {
+		return err
+	}
+	inDom := map[int]bool{}
+	for _, v := range res.DomSet {
+		inDom[v] = true
+	}
+	var targets []int
+	for v, cov := range res.Covered {
+		if cov && !inDom[v] {
+			targets = append(targets, v)
+		}
+	}
+	if len(targets) == 0 {
+		return fmt.Errorf("dominator covers no targets; nothing to classify")
+	}
+	abc, err := classify.NewABC(model, res.DomSet, targets)
+	if err != nil {
+		return err
+	}
+	eval := train
+	label := "in-sample"
+	if *testPath != "" {
+		eval, err = loadTable(*testPath, train.K())
+		if err != nil {
+			return err
+		}
+		label = "out-sample"
+	}
+	conf, err := abc.Evaluate(eval)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(a.out, "dominator size %d covering %.0f%%; %d targets\n",
+		len(res.DomSet), 100*res.CoverageFraction(), len(targets))
+	fmt.Fprintf(a.out, "mean %s classification confidence: %.3f\n", label, classify.MeanConfidence(conf))
+	return nil
+}
+
+// cmdRules mines and prints the top mva-type association rules for a
+// head attribute.
+func (a *App) cmdRules(args []string) error {
+	fs := flag.NewFlagSet("rules", flag.ExitOnError)
+	in := fs.String("in", "table.csv", "discretized table CSV")
+	node := fs.String("node", "", "head attribute name")
+	top := fs.Int("top", 10, "number of rules")
+	minSupp := fs.Float64("min-support", 0.05, "minimum rule support")
+	minConf := fs.Float64("min-confidence", 0.4, "minimum rule confidence")
+	preset, g1, g2 := configFlag(fs)
+	_ = fs.Parse(args)
+	tb, err := loadTable(*in, 0)
+	if err != nil {
+		return err
+	}
+	head := tb.AttrIndex(*node)
+	if head < 0 {
+		return fmt.Errorf("unknown attribute %q", *node)
+	}
+	cfg, err := resolveConfig(*preset, *g1, *g2, tb.K())
+	if err != nil {
+		return err
+	}
+	cfg.K = tb.K()
+	model, err := core.Build(tb, cfg)
+	if err != nil {
+		return err
+	}
+	rules, err := core.MineRules(model, head, core.MineOptions{
+		MinSupport:    *minSupp,
+		MinConfidence: *minConf,
+		MaxRules:      *top,
+	})
+	if err != nil {
+		return err
+	}
+	if len(rules) == 0 {
+		fmt.Fprintln(a.out, "no rules passed the thresholds")
+		return nil
+	}
+	fmt.Fprintf(a.out, "top %d rules for %s (supp >= %.2f, conf >= %.2f):\n", len(rules), *node, *minSupp, *minConf)
+	for _, r := range rules {
+		fmt.Fprintf(a.out, "  %-40s supp=%.3f conf=%.3f lift=%.2f\n",
+			core.FormatRule(tb, r.Rule), r.Support, r.Confidence, r.Lift)
+	}
+	return nil
+}
+
+// cmdFrequent runs the classical Apriori baseline on a table.
+func (a *App) cmdFrequent(args []string) error {
+	fs := flag.NewFlagSet("frequent", flag.ExitOnError)
+	in := fs.String("in", "table.csv", "discretized table CSV")
+	minSupp := fs.Float64("min-support", 0.3, "minimum itemset support")
+	minConf := fs.Float64("min-confidence", 0.6, "minimum rule confidence")
+	maxLen := fs.Int("max-len", 3, "maximum itemset size (0 = unlimited)")
+	top := fs.Int("top", 10, "number of rules to print")
+	_ = fs.Parse(args)
+	tb, err := loadTable(*in, 0)
+	if err != nil {
+		return err
+	}
+	freq, err := apriori.FrequentItemsets(tb, apriori.Options{MinSupport: *minSupp, MaxLen: *maxLen})
+	if err != nil {
+		return err
+	}
+	rules, err := apriori.GenerateRules(freq, *minConf)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(a.out, "%d frequent itemsets, %d rules (supp >= %.2f, conf >= %.2f)\n",
+		len(freq), len(rules), *minSupp, *minConf)
+	for i, r := range rules {
+		if i == *top {
+			break
+		}
+		fmt.Fprintf(a.out, "  %-40s supp=%.3f conf=%.3f lift=%.2f\n",
+			core.FormatRule(tb, core.Rule{X: r.X, Y: r.Y}), r.Support, r.Confidence, r.Lift)
+	}
+	return nil
+}

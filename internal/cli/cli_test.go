@@ -1,0 +1,172 @@
+package cli
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hypermine/internal/timeseries"
+)
+
+// fixture writes a small prices CSV and returns its path plus the
+// directory for derived artifacts.
+func fixture(t *testing.T) (prices string, dir string) {
+	t.Helper()
+	dir = t.TempDir()
+	cfg := timeseries.DefaultGenConfig()
+	cfg.NumSeries = 24
+	cfg.NumDays = 300
+	u, err := timeseries.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prices = filepath.Join(dir, "prices.csv")
+	f, err := os.Create(prices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := u.WritePricesCSV(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return prices, dir
+}
+
+// run executes one subcommand, failing the test on error, and returns
+// the captured output.
+func run(t *testing.T, args ...string) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := New(&buf).Run(args); err != nil {
+		t.Fatalf("%v: %v", args, err)
+	}
+	return buf.String()
+}
+
+func TestRunUsage(t *testing.T) {
+	var buf bytes.Buffer
+	app := New(&buf)
+	if err := app.Run(nil); !errors.Is(err, ErrUsage) {
+		t.Errorf("no args: %v", err)
+	}
+	if err := app.Run([]string{"help"}); !errors.Is(err, ErrUsage) {
+		t.Errorf("help: %v", err)
+	}
+	if err := app.Run([]string{"bogus"}); !errors.Is(err, ErrUsage) {
+		t.Errorf("unknown subcommand: %v", err)
+	}
+}
+
+func TestPipelineEndToEnd(t *testing.T) {
+	prices, dir := fixture(t)
+	tablePath := filepath.Join(dir, "table.csv")
+	testPath := filepath.Join(dir, "test.csv")
+	graphPath := filepath.Join(dir, "hg.json")
+
+	out := run(t, "discretize", "-in", prices, "-out", tablePath,
+		"-out-test", testPath, "-split", "0.8", "-k", "3")
+	if !strings.Contains(out, "wrote") {
+		t.Errorf("discretize output: %q", out)
+	}
+	if _, err := os.Stat(testPath); err != nil {
+		t.Fatalf("out-sample table missing: %v", err)
+	}
+
+	out = run(t, "build", "-in", tablePath, "-out", graphPath, "-config", "C1")
+	if !strings.Contains(out, "directed edges") {
+		t.Errorf("build output: %q", out)
+	}
+
+	out = run(t, "degrees", "-in", graphPath, "-top", "5")
+	if !strings.Contains(out, "weighted-in") {
+		t.Errorf("degrees output: %q", out)
+	}
+
+	out = run(t, "top-edges", "-in", graphPath, "-node", "XOM", "-top", "2")
+	if !strings.Contains(out, "XOM") {
+		t.Errorf("top-edges output: %q", out)
+	}
+
+	out = run(t, "similar", "-in", graphPath, "-a", "XOM", "-top", "3")
+	if !strings.Contains(out, "most similar to XOM") {
+		t.Errorf("similar output: %q", out)
+	}
+	out = run(t, "similar", "-in", graphPath, "-a", "XOM", "-b", "EMN")
+	if !strings.Contains(out, "in-sim") || !strings.Contains(out, "distance") {
+		t.Errorf("pairwise similar output: %q", out)
+	}
+
+	out = run(t, "cluster", "-in", graphPath, "-t", "4")
+	if !strings.Contains(out, "cluster 0") {
+		t.Errorf("cluster output: %q", out)
+	}
+
+	out = run(t, "dominator", "-in", graphPath, "-alg", "6", "-top", "0.4")
+	if !strings.Contains(out, "dominator size") {
+		t.Errorf("dominator output: %q", out)
+	}
+	out = run(t, "dominator", "-in", graphPath, "-alg", "5")
+	if !strings.Contains(out, "covers") {
+		t.Errorf("alg5 dominator output: %q", out)
+	}
+
+	out = run(t, "classify", "-train", tablePath, "-test", testPath, "-config", "C1")
+	if !strings.Contains(out, "mean out-sample classification confidence") {
+		t.Errorf("classify output: %q", out)
+	}
+
+	out = run(t, "rules", "-in", tablePath, "-node", "XOM", "-top", "3")
+	if !strings.Contains(out, "=> {XOM=") && !strings.Contains(out, "no rules") {
+		t.Errorf("rules output: %q", out)
+	}
+
+	out = run(t, "frequent", "-in", tablePath, "-min-support", "0.25", "-top", "3")
+	if !strings.Contains(out, "frequent itemsets") {
+		t.Errorf("frequent output: %q", out)
+	}
+}
+
+func TestSubcommandErrors(t *testing.T) {
+	prices, dir := fixture(t)
+	tablePath := filepath.Join(dir, "table.csv")
+	graphPath := filepath.Join(dir, "hg.json")
+	run(t, "discretize", "-in", prices, "-out", tablePath)
+	run(t, "build", "-in", tablePath, "-out", graphPath)
+
+	app := New(new(bytes.Buffer))
+	cases := [][]string{
+		{"discretize", "-in", "/nonexistent.csv"},
+		{"discretize", "-in", prices, "-out", tablePath, "-split", "1.5"},
+		{"discretize", "-in", prices, "-out", tablePath, "-out-test", filepath.Join(dir, "x.csv")}, // -out-test without -split
+		{"build", "-in", "/nonexistent.csv"},
+		{"build", "-in", tablePath, "-config", "C9"},
+		{"degrees", "-in", "/nonexistent.json"},
+		{"top-edges", "-in", graphPath, "-node", "NOPE"},
+		{"similar", "-in", graphPath, "-a", "NOPE"},
+		{"similar", "-in", graphPath, "-a", "XOM", "-b", "NOPE"},
+		{"dominator", "-in", graphPath, "-alg", "9"},
+		{"classify", "-train", "/nonexistent.csv"},
+		{"classify", "-train", tablePath, "-alg", "9"},
+		{"rules", "-in", tablePath, "-node", "NOPE"},
+	}
+	for _, c := range cases {
+		if err := app.Run(c); err == nil {
+			t.Errorf("%v: want error", c)
+		}
+	}
+}
+
+func TestClassifyInSampleDefault(t *testing.T) {
+	prices, dir := fixture(t)
+	tablePath := filepath.Join(dir, "table.csv")
+	run(t, "discretize", "-in", prices, "-out", tablePath)
+	out := run(t, "classify", "-train", tablePath)
+	if !strings.Contains(out, "in-sample") {
+		t.Errorf("expected in-sample evaluation: %q", out)
+	}
+}

@@ -1,0 +1,217 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// euclid returns a DistFunc over 1-D points.
+func euclid(xs []float64) DistFunc {
+	return func(i, j int) float64 { return math.Abs(xs[i] - xs[j]) }
+}
+
+func TestTClusteringTwoBlobs(t *testing.T) {
+	xs := []float64{0, 0.1, 0.2, 10, 10.1, 10.2}
+	c, err := TClustering(len(xs), 2, euclid(xs), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumClusters() != 2 {
+		t.Fatalf("clusters = %d", c.NumClusters())
+	}
+	// The two blobs must be separated.
+	for _, p := range []int{0, 1, 2} {
+		if c.Assign[p] != c.Assign[0] {
+			t.Errorf("point %d not with blob 1", p)
+		}
+	}
+	for _, p := range []int{3, 4, 5} {
+		if c.Assign[p] != c.Assign[3] {
+			t.Errorf("point %d not with blob 2", p)
+		}
+	}
+	if dm := c.Diameter(euclid(xs)); math.Abs(dm-0.2) > 1e-9 {
+		t.Errorf("diameter = %v, want 0.2", dm)
+	}
+	sizes := c.Sizes()
+	if sizes[0]+sizes[1] != 6 {
+		t.Errorf("sizes = %v", sizes)
+	}
+	if c.MeanDiameter(euclid(xs)) <= 0 {
+		t.Error("mean diameter should be positive")
+	}
+}
+
+func TestTClusteringValidation(t *testing.T) {
+	xs := []float64{0, 1}
+	if _, err := TClustering(0, 1, euclid(xs), 0); err == nil {
+		t.Error("want error for n=0")
+	}
+	if _, err := TClustering(2, 3, euclid(xs), 0); err == nil {
+		t.Error("want error for t>n")
+	}
+	if _, err := TClustering(2, 1, euclid(xs), 9); err == nil {
+		t.Error("want error for bad first center")
+	}
+}
+
+func TestTClusteringCentersSelfAssigned(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	xs := make([]float64, 30)
+	for i := range xs {
+		xs[i] = rng.Float64() * 100
+	}
+	c, err := TClustering(len(xs), 5, euclid(xs), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ci, center := range c.Centers {
+		if c.Assign[center] != ci {
+			t.Errorf("center %d assigned to %d", center, c.Assign[center])
+		}
+	}
+	if c.Centers[0] != 4 {
+		t.Errorf("first center = %d, want 4", c.Centers[0])
+	}
+	// Centers are distinct.
+	seen := map[int]bool{}
+	for _, cc := range c.Centers {
+		if seen[cc] {
+			t.Errorf("duplicate center %d", cc)
+		}
+		seen[cc] = true
+	}
+}
+
+// Theorem 2.7: on metric instances Gonzalez is a 2-approximation.
+func TestGonzalezTwoApproxProperty(t *testing.T) {
+	f := func(seed int64, tRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(7) // <= 11 keeps brute force cheap
+		tt := 1 + int(tRaw)%4
+		if tt > n {
+			tt = n
+		}
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.Float64() * 10
+		}
+		d := euclid(xs)
+		c, err := TClustering(n, tt, d, 0)
+		if err != nil {
+			return false
+		}
+		opt, err := OptimalDiameter(n, tt, d)
+		if err != nil {
+			return false
+		}
+		return c.Diameter(d) <= 2*opt+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOptimalDiameterGuards(t *testing.T) {
+	d := euclid(make([]float64, 20))
+	if _, err := OptimalDiameter(20, 2, d); err == nil {
+		t.Error("want error for n>16")
+	}
+	if _, err := OptimalDiameter(4, 0, d); err == nil {
+		t.Error("want error for t=0")
+	}
+}
+
+func TestKMeansTwoBlobs(t *testing.T) {
+	pts := [][]float64{{0, 0}, {0.2, 0}, {0, 0.1}, {5, 5}, {5.1, 5}, {5, 5.2}}
+	r, err := KMeans(pts, 2, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Assign[0] != r.Assign[1] || r.Assign[1] != r.Assign[2] {
+		t.Error("blob 1 split")
+	}
+	if r.Assign[3] != r.Assign[4] || r.Assign[4] != r.Assign[5] {
+		t.Error("blob 2 split")
+	}
+	if r.Assign[0] == r.Assign[3] {
+		t.Error("blobs merged")
+	}
+	if r.Inertia > 0.2 {
+		t.Errorf("inertia = %v too large", r.Inertia)
+	}
+}
+
+func TestKMeansValidation(t *testing.T) {
+	if _, err := KMeans(nil, 2, 1, 0); err == nil {
+		t.Error("want error for no points")
+	}
+	if _, err := KMeans([][]float64{{1}}, 2, 1, 0); err == nil {
+		t.Error("want error for k>n")
+	}
+	if _, err := KMeans([][]float64{{1}, {1, 2}}, 1, 1, 0); err == nil {
+		t.Error("want error for ragged dims")
+	}
+}
+
+func TestKMeansDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	pts := make([][]float64, 40)
+	for i := range pts {
+		pts[i] = []float64{rng.NormFloat64(), rng.NormFloat64()}
+	}
+	r1, err := KMeans(pts, 4, 7, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, _ := KMeans(pts, 4, 7, 100)
+	for i := range r1.Assign {
+		if r1.Assign[i] != r2.Assign[i] {
+			t.Fatal("same seed produced different assignment")
+		}
+	}
+}
+
+func TestCheckMetric(t *testing.T) {
+	xs := []float64{0, 1, 5, 9}
+	if err := CheckMetric(len(xs), euclid(xs), 1e-12); err != nil {
+		t.Errorf("euclid should be metric: %v", err)
+	}
+	bad := func(i, j int) float64 {
+		if i == j {
+			return 0
+		}
+		if (i == 0 && j == 1) || (i == 1 && j == 0) {
+			return 100
+		}
+		return 1
+	}
+	if err := CheckMetric(3, bad, 1e-12); err == nil {
+		t.Error("want triangle violation")
+	}
+	asym := func(i, j int) float64 { return float64(i - j) }
+	if err := CheckMetric(2, asym, 1e-12); err == nil {
+		t.Error("want symmetry/negativity violation")
+	}
+}
+
+func TestSectorPurity(t *testing.T) {
+	c := &Clustering{Centers: []int{0, 3}, Assign: []int{0, 0, 0, 1, 1}}
+	labels := []string{"T", "T", "E", "E", "E"}
+	got, err := SectorPurity(c, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.8) > 1e-12 {
+		t.Errorf("purity = %v, want 0.8", got)
+	}
+	if _, err := SectorPurity(c, []string{"x"}); err == nil {
+		t.Error("want error for label-count mismatch")
+	}
+	empty := &Clustering{}
+	if _, err := SectorPurity(empty, nil); err == nil {
+		t.Error("want error for no points")
+	}
+}

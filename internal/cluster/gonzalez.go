@@ -1,0 +1,194 @@
+// Package cluster implements the clustering substrates of Chapter 2:
+// the Gonzalez t-clustering 2-approximation (Algorithm 2, Theorem 2.7)
+// used for attribute clusters in §3.3.2/§5.3.2, and the k-means
+// baseline (Algorithm 4) discussed in §2.3.2.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+)
+
+// DistFunc returns the distance between points i and j of an n-point
+// instance. Implementations should be symmetric with zero diagonal.
+type DistFunc func(i, j int) float64
+
+// Clustering is a partition of n points into clusters identified by
+// their center points.
+type Clustering struct {
+	Centers []int // point indexes designated as centers, in pick order
+	Assign  []int // Assign[p] = index into Centers of p's cluster
+}
+
+// NumClusters returns the number of clusters.
+func (c *Clustering) NumClusters() int { return len(c.Centers) }
+
+// Members returns the point indexes of cluster ci.
+func (c *Clustering) Members(ci int) []int {
+	var out []int
+	for p, a := range c.Assign {
+		if a == ci {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Sizes returns the member count per cluster.
+func (c *Clustering) Sizes() []int {
+	out := make([]int, len(c.Centers))
+	for _, a := range c.Assign {
+		out[a]++
+	}
+	return out
+}
+
+// Diameter returns max over clusters of the max pairwise distance
+// inside a cluster (Definition 2.6).
+func (c *Clustering) Diameter(d DistFunc) float64 {
+	var worst float64
+	for ci := range c.Centers {
+		m := c.Members(ci)
+		for x := 0; x < len(m); x++ {
+			for y := x + 1; y < len(m); y++ {
+				if dd := d(m[x], m[y]); dd > worst {
+					worst = dd
+				}
+			}
+		}
+	}
+	return worst
+}
+
+// MeanDiameter returns the average per-cluster diameter (the "mean
+// diameter over all clusters" statistic of §5.3.2). Singleton clusters
+// contribute 0.
+func (c *Clustering) MeanDiameter(d DistFunc) float64 {
+	if len(c.Centers) == 0 {
+		return 0
+	}
+	var sum float64
+	for ci := range c.Centers {
+		m := c.Members(ci)
+		var worst float64
+		for x := 0; x < len(m); x++ {
+			for y := x + 1; y < len(m); y++ {
+				if dd := d(m[x], m[y]); dd > worst {
+					worst = dd
+				}
+			}
+		}
+		sum += worst
+	}
+	return sum / float64(len(c.Centers))
+}
+
+// TClustering runs Algorithm 2 (Gonzalez): pick `first` as the initial
+// center, then t-1 times pick the point farthest from all existing
+// centers, and finally assign every point to its closest center. When
+// distances are metric the result's diameter is at most twice optimal
+// (Theorem 2.7).
+func TClustering(n, t int, d DistFunc, first int) (*Clustering, error) {
+	if n < 1 {
+		return nil, errors.New("cluster: no points")
+	}
+	if t < 1 || t > n {
+		return nil, fmt.Errorf("cluster: t=%d outside 1..%d", t, n)
+	}
+	if first < 0 || first >= n {
+		return nil, fmt.Errorf("cluster: first center %d out of range", first)
+	}
+	centers := make([]int, 0, t)
+	// minDist[p] = distance from p to its nearest chosen center.
+	minDist := make([]float64, n)
+	assign := make([]int, n)
+	for p := range minDist {
+		minDist[p] = d(p, first)
+	}
+	centers = append(centers, first)
+	for len(centers) < t {
+		far, farD := -1, -1.0
+		for p := 0; p < n; p++ {
+			if minDist[p] > farD {
+				farD = minDist[p]
+				far = p
+			}
+		}
+		ci := len(centers)
+		centers = append(centers, far)
+		for p := 0; p < n; p++ {
+			if dd := d(p, far); dd < minDist[p] {
+				minDist[p] = dd
+				assign[p] = ci
+			}
+		}
+	}
+	// Final assignment pass (ties toward earliest center, and centers
+	// assign to themselves).
+	for p := 0; p < n; p++ {
+		best, bestD := 0, d(p, centers[0])
+		for ci := 1; ci < len(centers); ci++ {
+			if dd := d(p, centers[ci]); dd < bestD {
+				best, bestD = ci, dd
+			}
+		}
+		assign[p] = best
+	}
+	for ci, c := range centers {
+		assign[c] = ci
+	}
+	return &Clustering{Centers: centers, Assign: assign}, nil
+}
+
+// OptimalDiameter brute-forces the best achievable t-clustering
+// diameter by trying every center subset; it is exponential and only
+// for small test instances (Theorem 2.7 verification).
+func OptimalDiameter(n, t int, d DistFunc) (float64, error) {
+	if t < 1 || t > n {
+		return 0, fmt.Errorf("cluster: t=%d outside 1..%d", t, n)
+	}
+	if n > 16 {
+		return 0, errors.New("cluster: OptimalDiameter limited to n <= 16")
+	}
+	best := -1.0
+	centers := make([]int, t)
+	var rec func(start, depth int)
+	diameterFor := func() float64 {
+		assign := make([]int, n)
+		for p := 0; p < n; p++ {
+			bi, bd := 0, d(p, centers[0])
+			for ci := 1; ci < t; ci++ {
+				if dd := d(p, centers[ci]); dd < bd {
+					bi, bd = ci, dd
+				}
+			}
+			assign[p] = bi
+		}
+		var worst float64
+		for x := 0; x < n; x++ {
+			for y := x + 1; y < n; y++ {
+				if assign[x] == assign[y] {
+					if dd := d(x, y); dd > worst {
+						worst = dd
+					}
+				}
+			}
+		}
+		return worst
+	}
+	rec = func(start, depth int) {
+		if depth == t {
+			dm := diameterFor()
+			if best < 0 || dm < best {
+				best = dm
+			}
+			return
+		}
+		for c := start; c < n; c++ {
+			centers[depth] = c
+			rec(c+1, depth+1)
+		}
+	}
+	rec(0, 0)
+	return best, nil
+}

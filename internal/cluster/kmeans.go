@@ -1,0 +1,161 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+)
+
+// KMeansResult is a converged k-means clustering of vector data
+// (Definition 2.10, Algorithm 4).
+type KMeansResult struct {
+	Centroids [][]float64
+	Assign    []int
+	Inertia   float64 // sum of squared distances to assigned centroids
+	Iters     int
+}
+
+// KMeans runs Lloyd's algorithm on points (rows) with k clusters.
+// Initial centers are k distinct points chosen by the seeded PRNG. The
+// loop stops when assignments are stable or after maxIters.
+func KMeans(points [][]float64, k int, seed int64, maxIters int) (*KMeansResult, error) {
+	n := len(points)
+	if n == 0 {
+		return nil, errors.New("cluster: kmeans: no points")
+	}
+	if k < 1 || k > n {
+		return nil, fmt.Errorf("cluster: kmeans: k=%d outside 1..%d", k, n)
+	}
+	dim := len(points[0])
+	for i, p := range points {
+		if len(p) != dim {
+			return nil, fmt.Errorf("cluster: kmeans: point %d has dim %d, want %d", i, len(p), dim)
+		}
+	}
+	if maxIters <= 0 {
+		maxIters = 100
+	}
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(n)
+	centroids := make([][]float64, k)
+	for i := 0; i < k; i++ {
+		centroids[i] = append([]float64(nil), points[perm[i]]...)
+	}
+	assign := make([]int, n)
+	for i := range assign {
+		assign[i] = -1
+	}
+	sq := func(a, b []float64) float64 {
+		var s float64
+		for i := range a {
+			d := a[i] - b[i]
+			s += d * d
+		}
+		return s
+	}
+	iters := 0
+	for ; iters < maxIters; iters++ {
+		changed := false
+		for p := range points {
+			best, bestD := 0, sq(points[p], centroids[0])
+			for c := 1; c < k; c++ {
+				if d := sq(points[p], centroids[c]); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[p] != best {
+				assign[p] = best
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+		counts := make([]int, k)
+		sums := make([][]float64, k)
+		for c := range sums {
+			sums[c] = make([]float64, dim)
+		}
+		for p, a := range assign {
+			counts[a]++
+			for d := 0; d < dim; d++ {
+				sums[a][d] += points[p][d]
+			}
+		}
+		for c := 0; c < k; c++ {
+			if counts[c] == 0 {
+				// Re-seed an emptied cluster deterministically.
+				centroids[c] = append([]float64(nil), points[rng.Intn(n)]...)
+				continue
+			}
+			for d := 0; d < dim; d++ {
+				centroids[c][d] = sums[c][d] / float64(counts[c])
+			}
+		}
+	}
+	var inertia float64
+	for p, a := range assign {
+		inertia += sq(points[p], centroids[a])
+	}
+	return &KMeansResult{Centroids: centroids, Assign: assign, Inertia: inertia, Iters: iters}, nil
+}
+
+// CheckMetric verifies the four metric properties of §2.1.3 for an
+// explicit distance function over n points, returning a descriptive
+// error for the first violation found.
+func CheckMetric(n int, d DistFunc, eps float64) error {
+	for i := 0; i < n; i++ {
+		if dd := d(i, i); dd > eps || dd < -eps {
+			return fmt.Errorf("cluster: d(%d,%d)=%v, want 0", i, i, dd)
+		}
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			dij := d(i, j)
+			if dij < -eps {
+				return fmt.Errorf("cluster: d(%d,%d)=%v negative", i, j, dij)
+			}
+			if diff := dij - d(j, i); diff > eps || diff < -eps {
+				return fmt.Errorf("cluster: d(%d,%d) != d(%d,%d)", i, j, j, i)
+			}
+			for k := 0; k < n; k++ {
+				if k == i || k == j {
+					continue
+				}
+				if dij > d(i, k)+d(k, j)+eps {
+					return fmt.Errorf("cluster: triangle inequality fails on (%d,%d,%d)", i, k, j)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// SectorPurity scores a clustering against ground-truth labels: the
+// fraction of points whose label matches the majority label of their
+// cluster (the §5.3.2 notion of clustering quality, where labels are
+// industrial sectors).
+func SectorPurity(c *Clustering, labels []string) (float64, error) {
+	if len(labels) != len(c.Assign) {
+		return 0, fmt.Errorf("cluster: %d labels for %d points", len(labels), len(c.Assign))
+	}
+	if len(labels) == 0 {
+		return 0, errors.New("cluster: no points")
+	}
+	match := 0
+	for ci := range c.Centers {
+		counts := map[string]int{}
+		for _, p := range c.Members(ci) {
+			counts[labels[p]]++
+		}
+		best := 0
+		for _, cnt := range counts {
+			if cnt > best {
+				best = cnt
+			}
+		}
+		match += best
+	}
+	return float64(match) / float64(len(labels)), nil
+}

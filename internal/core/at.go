@@ -1,0 +1,203 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"hypermine/internal/table"
+)
+
+// AssociationTable is the AT of Definition 3.6(2) for a directed
+// hyperedge (Tail, {Head}): one row per combination of tail values,
+// holding the row's support count, the full head-value histogram, and
+// hence the most frequent head value and the rule confidence.
+//
+// Rows are indexed densely: for Tail = [a] the row of value v is v-1;
+// for Tail = [a, b] the row of (va, vb) is (va-1)*K + (vb-1), with a <
+// b in column order.
+type AssociationTable struct {
+	Tail []int // sorted column indexes
+	Head int   // column index
+	K    int   // value cardinality
+	M    int   // number of observations
+
+	// Counts[row] is the number of observations matching the row's
+	// tail values. HeadCounts[row*K+(y-1)] further splits by head
+	// value y.
+	Counts     []int32
+	HeadCounts []int32
+}
+
+// NumRows returns K^len(Tail).
+func (at *AssociationTable) NumRows() int { return len(at.Counts) }
+
+// RowIndex returns the dense row index of the given tail values, which
+// must be listed in at.Tail order.
+func (at *AssociationTable) RowIndex(vals []table.Value) (int, error) {
+	if len(vals) != len(at.Tail) {
+		return 0, fmt.Errorf("core: %d values for %d tail attributes", len(vals), len(at.Tail))
+	}
+	idx := 0
+	for _, v := range vals {
+		if v < 1 || int(v) > at.K {
+			return 0, fmt.Errorf("core: value %d outside 1..%d", v, at.K)
+		}
+		idx = idx*at.K + int(v-1)
+	}
+	return idx, nil
+}
+
+// Support returns Supp of the row: Counts[row]/M.
+func (at *AssociationTable) Support(row int) float64 {
+	if at.M == 0 {
+		return 0
+	}
+	return float64(at.Counts[row]) / float64(at.M)
+}
+
+// Best returns the most frequent head value for the row and its count.
+// Ties break toward the smaller value; rows with zero support return
+// (1, 0).
+func (at *AssociationTable) Best(row int) (table.Value, int32) {
+	base := row * at.K
+	bestV, bestC := table.Value(1), int32(0)
+	for y := 0; y < at.K; y++ {
+		if c := at.HeadCounts[base+y]; c > bestC {
+			bestC = c
+			bestV = table.Value(y + 1)
+		}
+	}
+	return bestV, bestC
+}
+
+// Confidence returns Conf of the row's induced mva-type rule
+// {tail values} ==mva==> {(Head, best)}: BestCount/Count.
+func (at *AssociationTable) Confidence(row int) float64 {
+	if at.Counts[row] == 0 {
+		return 0
+	}
+	_, bc := at.Best(row)
+	return float64(bc) / float64(at.Counts[row])
+}
+
+// ConfidenceFor returns Conf for an explicit head value y rather than
+// the most frequent one.
+func (at *AssociationTable) ConfidenceFor(row int, y table.Value) float64 {
+	if at.Counts[row] == 0 || y < 1 || int(y) > at.K {
+		return 0
+	}
+	return float64(at.HeadCounts[row*at.K+int(y-1)]) / float64(at.Counts[row])
+}
+
+// ACV computes the association confidence value of Definition 3.6(1):
+// the sum over rows of Supp(row) * Conf(row), which equals
+// sum_rows BestCount / M.
+func (at *AssociationTable) ACV() float64 {
+	if at.M == 0 {
+		return 0
+	}
+	var sum int64
+	for row := range at.Counts {
+		_, bc := at.Best(row)
+		sum += int64(bc)
+	}
+	return float64(sum) / float64(at.M)
+}
+
+// MaxTail is the largest supported tail set. The paper's restricted
+// model (§3.2) uses |T| <= 2; 3 is this library's implementation of
+// the thesis's future-work generalization.
+const MaxTail = 3
+
+// BuildAssociationTable scans the table once and produces the AT for
+// (tail, {head}). Tail must have between one and MaxTail distinct
+// attributes, all distinct from head.
+func BuildAssociationTable(tb *table.Table, tail []int, head int) (*AssociationTable, error) {
+	if len(tail) < 1 || len(tail) > MaxTail {
+		return nil, fmt.Errorf("core: tail size %d outside 1..%d", len(tail), MaxTail)
+	}
+	for _, a := range tail {
+		if a < 0 || a >= tb.NumAttrs() {
+			return nil, fmt.Errorf("core: tail attribute %d out of range", a)
+		}
+		if a == head {
+			return nil, fmt.Errorf("core: attribute %d in both tail and head", a)
+		}
+	}
+	if head < 0 || head >= tb.NumAttrs() {
+		return nil, fmt.Errorf("core: head attribute %d out of range", head)
+	}
+	k := tb.K()
+	st := append([]int(nil), tail...)
+	sort.Ints(st)
+	for i := 1; i < len(st); i++ {
+		if st[i] == st[i-1] {
+			return nil, fmt.Errorf("core: duplicate tail attribute %d", st[i])
+		}
+	}
+	m := tb.NumRows()
+	rows := 1
+	for range st {
+		rows *= k
+	}
+	at := &AssociationTable{
+		Tail:       st,
+		Head:       head,
+		K:          k,
+		M:          m,
+		Counts:     make([]int32, rows),
+		HeadCounts: make([]int32, rows*k),
+	}
+	hc := tb.Column(head)
+	switch len(st) {
+	case 1:
+		tc := tb.Column(st[0])
+		for i := 0; i < m; i++ {
+			row := int(tc[i] - 1)
+			at.Counts[row]++
+			at.HeadCounts[row*k+int(hc[i]-1)]++
+		}
+	case 2:
+		ta, tbcol := tb.Column(st[0]), tb.Column(st[1])
+		for i := 0; i < m; i++ {
+			row := int(ta[i]-1)*k + int(tbcol[i]-1)
+			at.Counts[row]++
+			at.HeadCounts[row*k+int(hc[i]-1)]++
+		}
+	case 3:
+		ta, tbcol, tc := tb.Column(st[0]), tb.Column(st[1]), tb.Column(st[2])
+		for i := 0; i < m; i++ {
+			row := (int(ta[i]-1)*k+int(tbcol[i]-1))*k + int(tc[i]-1)
+			at.Counts[row]++
+			at.HeadCounts[row*k+int(hc[i]-1)]++
+		}
+	}
+	return at, nil
+}
+
+// NullACV returns ACV(empty-set, {head}) = Maj(head)/M, the baseline of
+// Theorem 3.8(1): the frequency of the head attribute's most common
+// value.
+func NullACV(tb *table.Table, head int) float64 {
+	m := tb.NumRows()
+	if m == 0 {
+		return 0
+	}
+	best := 0
+	for _, c := range tb.ValueCounts(head) {
+		if c > best {
+			best = c
+		}
+	}
+	return float64(best) / float64(m)
+}
+
+// ACV computes the association confidence value for (tail, {head})
+// without retaining the full table.
+func ACV(tb *table.Table, tail []int, head int) (float64, error) {
+	at, err := BuildAssociationTable(tb, tail, head)
+	if err != nil {
+		return 0, err
+	}
+	return at.ACV(), nil
+}

@@ -1,0 +1,485 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"hypermine/internal/hypergraph"
+	"hypermine/internal/table"
+)
+
+// CandidateStrategy selects which 2-to-1 tail pairs the builder
+// evaluates. This is an ablation knob (DESIGN.md §5).
+type CandidateStrategy int
+
+const (
+	// AllPairs evaluates every {A,B} -> C combination (the paper's
+	// exhaustive enumeration of §3.2.1).
+	AllPairs CandidateStrategy = iota
+	// EdgeSeeded only evaluates {A,B} -> C when at least one of the
+	// constituent directed edges A->C, B->C was itself admitted.
+	// Much faster, slightly lossy.
+	EdgeSeeded
+)
+
+// Config parameterizes association-hypergraph construction (§5.1.2).
+type Config struct {
+	// K is the value-set cardinality the table must carry.
+	K int
+	// GammaEdge is gamma_{1->1}: a directed edge (A, X) is admitted
+	// iff ACV({A},{X}) >= GammaEdge * ACV(empty,{X}).
+	GammaEdge float64
+	// GammaPair is gamma_{2->1}: a 2-to-1 hyperedge ({A,B},{X}) is
+	// admitted iff its ACV >= GammaPair * max of the two constituent
+	// directed-edge ACVs.
+	GammaPair float64
+	// GammaTriple is gamma_{3->1} for the future-work extension
+	// (MaxTailSize = 3): a 3-to-1 hyperedge is admitted iff its ACV
+	// >= GammaTriple * max of its three constituent 2-to-1 ACVs.
+	// 0 defaults to GammaPair.
+	GammaTriple float64
+	// MaxTailSize is 1 (directed edges only), 2 (the paper's full
+	// restricted model), or 3 (the thesis's future-work
+	// generalization: 3-to-1 hyperedges seeded from admitted 2-to-1
+	// edges). 0 defaults to 2.
+	MaxTailSize int
+	// Parallelism bounds worker goroutines; 0 means GOMAXPROCS.
+	Parallelism int
+	// Candidates picks the tail-pair enumeration strategy.
+	Candidates CandidateStrategy
+}
+
+// C1 is configuration C1 of §5.1.2: k=3, gamma_{1->1}=1.15,
+// gamma_{2->1}=1.05.
+func C1() Config { return Config{K: 3, GammaEdge: 1.15, GammaPair: 1.05} }
+
+// C2 is configuration C2 of §5.1.2: k=5, gamma_{1->1}=1.20,
+// gamma_{2->1}=1.12.
+func C2() Config { return Config{K: 5, GammaEdge: 1.20, GammaPair: 1.12} }
+
+func (c Config) withDefaults() Config {
+	if c.MaxTailSize == 0 {
+		c.MaxTailSize = 2
+	}
+	if c.GammaTriple == 0 {
+		c.GammaTriple = c.GammaPair
+	}
+	if c.Parallelism <= 0 {
+		c.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	return c
+}
+
+func (c Config) validate(tb *table.Table) error {
+	if c.K != 0 && c.K != tb.K() {
+		return fmt.Errorf("core: config expects k=%d but table has k=%d", c.K, tb.K())
+	}
+	if c.GammaEdge < 1 || c.GammaPair < 1 {
+		return fmt.Errorf("core: gamma values must be >= 1 (Definition 3.7), got %v and %v", c.GammaEdge, c.GammaPair)
+	}
+	if c.MaxTailSize < 1 || c.MaxTailSize > 3 {
+		return fmt.Errorf("core: MaxTailSize %d outside 1..3", c.MaxTailSize)
+	}
+	if c.MaxTailSize == 3 && c.GammaTriple < 1 {
+		return fmt.Errorf("core: GammaTriple %v must be >= 1", c.GammaTriple)
+	}
+	if tb.NumRows() == 0 {
+		return fmt.Errorf("core: empty table")
+	}
+	if tb.NumAttrs() < 2 {
+		return fmt.Errorf("core: need at least two attributes")
+	}
+	return nil
+}
+
+// Model is a built association hypergraph together with the training
+// table it was mined from, which is retained so that association
+// tables can be reconstructed for classification (§4.2).
+type Model struct {
+	Table  *table.Table
+	Config Config
+	H      *hypergraph.H
+
+	// EdgeACV[a*n+c] caches ACV({a},{c}) for every ordered attribute
+	// pair, admitted or not; used by gamma-significance and Table 5.2.
+	EdgeACV []float64
+}
+
+// EdgeACVAt returns the cached ACV({a},{c}).
+func (m *Model) EdgeACVAt(a, c int) float64 {
+	return m.EdgeACV[a*m.Table.NumAttrs()+c]
+}
+
+// AssociationTableFor rebuilds the AT of an edge of the model from the
+// training table.
+func (m *Model) AssociationTableFor(tail []int, head int) (*AssociationTable, error) {
+	return BuildAssociationTable(m.Table, tail, head)
+}
+
+// acvEdge computes ACV({a},{c}) with a caller-owned k*k scratch buffer.
+func acvEdge(colA, colC []table.Value, k int, cnt []int32) float64 {
+	for i := range cnt[:k*k] {
+		cnt[i] = 0
+	}
+	for i, va := range colA {
+		cnt[int(va-1)*k+int(colC[i]-1)]++
+	}
+	var sum int64
+	for r := 0; r < k; r++ {
+		best := int32(0)
+		for c := 0; c < k; c++ {
+			if v := cnt[r*k+c]; v > best {
+				best = v
+			}
+		}
+		sum += int64(best)
+	}
+	return float64(sum) / float64(len(colA))
+}
+
+// acvPair computes ACV({a,b},{c}) given the precomputed tail row index
+// per observation and a k*k*k scratch buffer.
+func acvPair(tailRow []int32, colC []table.Value, k int, cnt []int32) float64 {
+	kk := k * k
+	for i := range cnt[:kk*k] {
+		cnt[i] = 0
+	}
+	for i, tr := range tailRow {
+		cnt[int(tr)*k+int(colC[i]-1)]++
+	}
+	var sum int64
+	for r := 0; r < kk; r++ {
+		best := int32(0)
+		for c := 0; c < k; c++ {
+			if v := cnt[r*k+c]; v > best {
+				best = v
+			}
+		}
+		sum += int64(best)
+	}
+	return float64(sum) / float64(len(colC))
+}
+
+type pairEdge struct {
+	a, b, c int
+	acv     float64
+}
+
+// Build mines the association hypergraph of the table under the given
+// configuration, following §3.2.1: directed hyperedges are constructed
+// head set by head set; a combination is admitted iff it is
+// gamma-significant (Definition 3.7). Edge weights are ACVs.
+func Build(tb *table.Table, cfg Config) (*Model, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(tb); err != nil {
+		return nil, err
+	}
+	if err := tb.Validate(); err != nil {
+		return nil, err
+	}
+	n := tb.NumAttrs()
+	k := tb.K()
+	m := tb.NumRows()
+
+	model := &Model{Table: tb, Config: cfg, EdgeACV: make([]float64, n*n)}
+	h, err := hypergraph.New(tb.Attrs())
+	if err != nil {
+		return nil, err
+	}
+	model.H = h
+
+	// Baseline ACV(empty, {c}) per head.
+	null := make([]float64, n)
+	for c := 0; c < n; c++ {
+		null[c] = NullACV(tb, c)
+	}
+
+	// Stage 1: all directed edges, parallel over heads.
+	edgeAdmit := make([]bool, n*n)
+	var wg sync.WaitGroup
+	heads := make(chan int)
+	for w := 0; w < cfg.Parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cnt := make([]int32, k*k)
+			for c := range heads {
+				colC := tb.Column(c)
+				for a := 0; a < n; a++ {
+					if a == c {
+						continue
+					}
+					acv := acvEdge(tb.Column(a), colC, k, cnt)
+					model.EdgeACV[a*n+c] = acv
+					if acv >= cfg.GammaEdge*null[c] {
+						edgeAdmit[a*n+c] = true
+					}
+				}
+			}
+		}()
+	}
+	for c := 0; c < n; c++ {
+		heads <- c
+	}
+	close(heads)
+	wg.Wait()
+
+	for a := 0; a < n; a++ {
+		for c := 0; c < n; c++ {
+			if edgeAdmit[a*n+c] {
+				if err := h.AddEdge([]int{a}, []int{c}, model.EdgeACV[a*n+c]); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	if cfg.MaxTailSize < 2 {
+		return model, nil
+	}
+
+	// Stage 2: 2-to-1 hyperedges, parallel over tail pairs.
+	type pairJob struct{ a, b int }
+	jobs := make(chan pairJob)
+	results := make(chan []pairEdge, cfg.Parallelism)
+	var wg2 sync.WaitGroup
+	for w := 0; w < cfg.Parallelism; w++ {
+		wg2.Add(1)
+		go func() {
+			defer wg2.Done()
+			cnt := make([]int32, k*k*k)
+			tailRow := make([]int32, m)
+			var local []pairEdge
+			for job := range jobs {
+				a, b := job.a, job.b
+				colA, colB := tb.Column(a), tb.Column(b)
+				for i := 0; i < m; i++ {
+					tailRow[i] = int32(colA[i]-1)*int32(k) + int32(colB[i]-1)
+				}
+				for c := 0; c < n; c++ {
+					if c == a || c == b {
+						continue
+					}
+					if cfg.Candidates == EdgeSeeded && !edgeAdmit[a*n+c] && !edgeAdmit[b*n+c] {
+						continue
+					}
+					base := model.EdgeACV[a*n+c]
+					if x := model.EdgeACV[b*n+c]; x > base {
+						base = x
+					}
+					acv := acvPair(tailRow, tb.Column(c), k, cnt)
+					if acv >= cfg.GammaPair*base {
+						local = append(local, pairEdge{a, b, c, acv})
+					}
+				}
+			}
+			results <- local
+		}()
+	}
+	go func() {
+		for a := 0; a < n; a++ {
+			for b := a + 1; b < n; b++ {
+				jobs <- pairJob{a, b}
+			}
+		}
+		close(jobs)
+	}()
+	var admitted []pairEdge
+	done := make(chan struct{})
+	go func() {
+		for local := range results {
+			admitted = append(admitted, local...)
+		}
+		close(done)
+	}()
+	wg2.Wait()
+	close(results)
+	<-done
+
+	// Deterministic edge order regardless of scheduling.
+	sort.Slice(admitted, func(i, j int) bool {
+		if admitted[i].a != admitted[j].a {
+			return admitted[i].a < admitted[j].a
+		}
+		if admitted[i].b != admitted[j].b {
+			return admitted[i].b < admitted[j].b
+		}
+		return admitted[i].c < admitted[j].c
+	})
+	for _, e := range admitted {
+		if err := h.AddEdge([]int{e.a, e.b}, []int{e.c}, e.acv); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.MaxTailSize < 3 {
+		return model, nil
+	}
+	if err := buildTriples(model, admitted, cfg); err != nil {
+		return nil, err
+	}
+	return model, nil
+}
+
+// tripleKey identifies a 3-to-1 candidate: sorted tail a<b<c, head d.
+type tripleKey struct{ a, b, c, d int }
+
+// buildTriples is stage 3 (the thesis's future-work generalization):
+// candidate 3-to-1 hyperedges are seeded by extending each admitted
+// 2-to-1 hyperedge's tail with every other attribute, deduplicated,
+// and admitted under the gamma-significance rule of Definition 3.7 —
+// ACV(T, H) >= GammaTriple * max over v in T of ACV(T - {v}, H),
+// where the 2-to-1 constituent ACVs are computed on demand.
+func buildTriples(model *Model, pairs []pairEdge, cfg Config) error {
+	tb := model.Table
+	n := tb.NumAttrs()
+	k := tb.K()
+	m := tb.NumRows()
+
+	// Enumerate candidates: each admitted ({a,b},{d}) extends to
+	// ({a,b,v},{d}) for all v outside {a,b,d}.
+	candSet := make(map[tripleKey]struct{})
+	for _, p := range pairs {
+		for v := 0; v < n; v++ {
+			if v == p.a || v == p.b || v == p.c {
+				continue
+			}
+			t := [3]int{p.a, p.b, v}
+			sort.Ints(t[:])
+			candSet[tripleKey{t[0], t[1], t[2], p.c}] = struct{}{}
+		}
+	}
+	cands := make([]tripleKey, 0, len(candSet))
+	for key := range candSet {
+		cands = append(cands, key)
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		a, b := cands[i], cands[j]
+		if a.a != b.a {
+			return a.a < b.a
+		}
+		if a.b != b.b {
+			return a.b < b.b
+		}
+		if a.c != b.c {
+			return a.c < b.c
+		}
+		return a.d < b.d
+	})
+
+	// Group by tail triple so the tail-row index is computed once.
+	type tripleEdge struct {
+		key tripleKey
+		acv float64
+	}
+	jobs := make(chan []tripleKey)
+	results := make(chan []tripleEdge, cfg.Parallelism)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			kkk := k * k * k
+			cnt := make([]int32, kkk*k)
+			pairCnt := make([]int32, kkk)
+			tailRow := make([]int32, m)
+			pairRow := make([]int32, m)
+			pairCache := map[tripleKey]float64{}
+			acvOfPair := func(x, y, d int) float64 {
+				key := tripleKey{x, y, -1, d}
+				if v, ok := pairCache[key]; ok {
+					return v
+				}
+				colX, colY := tb.Column(x), tb.Column(y)
+				for i := 0; i < m; i++ {
+					pairRow[i] = int32(colX[i]-1)*int32(k) + int32(colY[i]-1)
+				}
+				v := acvPair(pairRow, tb.Column(d), k, pairCnt)
+				pairCache[key] = v
+				return v
+			}
+			var local []tripleEdge
+			for group := range jobs {
+				first := group[0]
+				colA, colB, colC := tb.Column(first.a), tb.Column(first.b), tb.Column(first.c)
+				for i := 0; i < m; i++ {
+					tailRow[i] = (int32(colA[i]-1)*int32(k)+int32(colB[i]-1))*int32(k) + int32(colC[i]-1)
+				}
+				for _, cand := range group {
+					base := acvOfPair(cand.a, cand.b, cand.d)
+					if v := acvOfPair(cand.a, cand.c, cand.d); v > base {
+						base = v
+					}
+					if v := acvOfPair(cand.b, cand.c, cand.d); v > base {
+						base = v
+					}
+					colD := tb.Column(cand.d)
+					for i := range cnt[:kkk*k] {
+						cnt[i] = 0
+					}
+					for i, tr := range tailRow {
+						cnt[int(tr)*k+int(colD[i]-1)]++
+					}
+					var sum int64
+					for r := 0; r < kkk; r++ {
+						best := int32(0)
+						for c := 0; c < k; c++ {
+							if v := cnt[r*k+c]; v > best {
+								best = v
+							}
+						}
+						sum += int64(best)
+					}
+					acv := float64(sum) / float64(m)
+					if acv >= cfg.GammaTriple*base {
+						local = append(local, tripleEdge{cand, acv})
+					}
+				}
+			}
+			results <- local
+		}()
+	}
+	go func() {
+		// Emit candidates grouped by identical tail triple.
+		start := 0
+		for i := 1; i <= len(cands); i++ {
+			if i == len(cands) || cands[i].a != cands[start].a ||
+				cands[i].b != cands[start].b || cands[i].c != cands[start].c {
+				jobs <- cands[start:i]
+				start = i
+			}
+		}
+		close(jobs)
+	}()
+	var admitted []tripleEdge
+	done := make(chan struct{})
+	go func() {
+		for local := range results {
+			admitted = append(admitted, local...)
+		}
+		close(done)
+	}()
+	wg.Wait()
+	close(results)
+	<-done
+
+	sort.Slice(admitted, func(i, j int) bool {
+		a, b := admitted[i].key, admitted[j].key
+		if a.a != b.a {
+			return a.a < b.a
+		}
+		if a.b != b.b {
+			return a.b < b.b
+		}
+		if a.c != b.c {
+			return a.c < b.c
+		}
+		return a.d < b.d
+	})
+	for _, e := range admitted {
+		if err := model.H.AddEdge([]int{e.key.a, e.key.b, e.key.c}, []int{e.key.d}, e.acv); err != nil {
+			return err
+		}
+	}
+	return nil
+}

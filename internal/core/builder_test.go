@@ -1,0 +1,282 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"hypermine/internal/hypergraph"
+	"hypermine/internal/table"
+)
+
+func edgeSet(h *hypergraph.H) map[string]float64 {
+	out := map[string]float64{}
+	for _, e := range h.Edges() {
+		out[hypergraph.EdgeKey(e.Tail, e.Head)] = e.Weight
+	}
+	return out
+}
+
+func TestBuildGammaSignificance(t *testing.T) {
+	// A perfectly determined pair: C = A (copy), D independent-ish.
+	rows := [][]table.Value{
+		{1, 1, 1, 2},
+		{2, 1, 2, 1},
+		{3, 2, 3, 2},
+		{1, 2, 1, 1},
+		{2, 3, 2, 2},
+		{3, 3, 3, 1},
+		{1, 1, 1, 2},
+		{2, 2, 2, 1},
+		{3, 3, 3, 2},
+	}
+	tb, err := table.FromRows([]string{"A", "B", "C", "D"}, 3, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := Build(tb, Config{GammaEdge: 1.5, GammaPair: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A determines C exactly: ACV({A},{C}) = 1; Null(C) = 3/9 = 1/3,
+	// so the edge clears gamma 1.5 easily.
+	a, c := tb.AttrIndex("A"), tb.AttrIndex("C")
+	if _, ok := model.H.Lookup([]int{a}, []int{c}); !ok {
+		t.Error("edge A->C should be admitted")
+	}
+	if got := model.EdgeACVAt(a, c); !almost(got, 1.0) {
+		t.Errorf("ACV(A->C) = %v, want 1", got)
+	}
+	if err := model.H.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+	// Every admitted directed edge satisfies Definition 3.7.
+	for _, e := range model.H.Edges() {
+		if len(e.Tail) != 1 {
+			continue
+		}
+		if e.Weight < 1.5*NullACV(tb, e.Head[0])-1e-12 {
+			t.Errorf("edge %v violates gamma-significance", e)
+		}
+	}
+	// Every admitted 2-to-1 hyperedge satisfies Definition 3.7
+	// against the cached constituent ACVs.
+	for _, e := range model.H.Edges() {
+		if len(e.Tail) != 2 {
+			continue
+		}
+		maxEdge := model.EdgeACVAt(e.Tail[0], e.Head[0])
+		if x := model.EdgeACVAt(e.Tail[1], e.Head[0]); x > maxEdge {
+			maxEdge = x
+		}
+		if e.Weight < 1.0*maxEdge-1e-12 {
+			t.Errorf("hyperedge %v violates gamma-significance", e)
+		}
+	}
+}
+
+func TestBuildDeterministicAcrossParallelism(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	tb := randomTable(rng, 10, 3, 200)
+	cfg := Config{GammaEdge: 1.05, GammaPair: 1.0}
+	cfg.Parallelism = 1
+	m1, err := Build(tb, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Parallelism = 8
+	m2, err := Build(tb, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.H.NumEdges() != m2.H.NumEdges() {
+		t.Fatalf("edge counts differ: %d vs %d", m1.H.NumEdges(), m2.H.NumEdges())
+	}
+	if !reflect.DeepEqual(edgeSet(m1.H), edgeSet(m2.H)) {
+		t.Error("edge sets differ across parallelism")
+	}
+	// Edge insertion order must also be identical (sorted merge).
+	for i := range m1.H.Edges() {
+		e1, e2 := m1.H.Edge(i), m2.H.Edge(i)
+		if !reflect.DeepEqual(e1, e2) {
+			t.Fatalf("edge %d differs: %v vs %v", i, e1, e2)
+		}
+	}
+}
+
+func TestBuildMaxTailSizeOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	tb := randomTable(rng, 6, 3, 100)
+	m, err := Build(tb, Config{GammaEdge: 1.0, GammaPair: 1.0, MaxTailSize: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range m.H.Edges() {
+		if len(e.Tail) != 1 {
+			t.Fatalf("unexpected 2-to-1 edge %v", e)
+		}
+	}
+}
+
+func TestBuildEdgeSeededSubset(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	tb := randomTable(rng, 8, 3, 150)
+	all, err := Build(tb, Config{GammaEdge: 1.1, GammaPair: 1.02, Candidates: AllPairs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeded, err := Build(tb, Config{GammaEdge: 1.1, GammaPair: 1.02, Candidates: EdgeSeeded})
+	if err != nil {
+		t.Fatal(err)
+	}
+	allSet := edgeSet(all.H)
+	for k, w := range edgeSet(seeded.H) {
+		if got, ok := allSet[k]; !ok || got != w {
+			t.Errorf("seeded edge %s not in exhaustive build", k)
+		}
+	}
+	if seeded.H.NumEdges() > all.H.NumEdges() {
+		t.Error("seeded build produced more edges than exhaustive")
+	}
+}
+
+func TestBuildConfigValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tb := randomTable(rng, 3, 3, 20)
+	cases := []Config{
+		{K: 5, GammaEdge: 1.1, GammaPair: 1.1},           // k mismatch
+		{GammaEdge: 0.9, GammaPair: 1.1},                 // gamma < 1
+		{GammaEdge: 1.1, GammaPair: 0.5},                 // gamma < 1
+		{GammaEdge: 1.1, GammaPair: 1.1, MaxTailSize: 4}, // tail too big
+	}
+	for i, cfg := range cases {
+		if _, err := Build(tb, cfg); err == nil {
+			t.Errorf("case %d: want error", i)
+		}
+	}
+	empty, _ := table.New([]string{"A", "B"}, 3)
+	if _, err := Build(empty, Config{GammaEdge: 1, GammaPair: 1}); err == nil {
+		t.Error("want error for empty table")
+	}
+	single, _ := table.FromRows([]string{"A"}, 2, [][]table.Value{{1}})
+	if _, err := Build(single, Config{GammaEdge: 1, GammaPair: 1}); err == nil {
+		t.Error("want error for single attribute")
+	}
+}
+
+func TestC1C2Presets(t *testing.T) {
+	c1, c2 := C1(), C2()
+	if c1.K != 3 || !almost(c1.GammaEdge, 1.15) || !almost(c1.GammaPair, 1.05) {
+		t.Errorf("C1 = %+v", c1)
+	}
+	if c2.K != 5 || !almost(c2.GammaEdge, 1.20) || !almost(c2.GammaPair, 1.12) {
+		t.Errorf("C2 = %+v", c2)
+	}
+}
+
+func TestModelAssociationTableFor(t *testing.T) {
+	tb := interestDB(t)
+	m, err := Build(tb, Config{GammaEdge: 1.0, GammaPair: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	at, err := m.AssociationTableFor([]int{0, 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(at.ACV(), mustACV(t, tb, []int{0, 1}, 2)) {
+		t.Error("model AT disagrees with direct computation")
+	}
+}
+
+func mustACV(t *testing.T, tb *table.Table, tail []int, head int) float64 {
+	t.Helper()
+	v, err := ACV(tb, tail, head)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// Property: on random tables, Build never admits an edge violating
+// Definition 3.7, and all weights equal freshly computed ACVs.
+func TestBuildAdmissionProperty(t *testing.T) {
+	seeds := []int64{3, 17, 29, 51}
+	for _, seed := range seeds {
+		rng := rand.New(rand.NewSource(seed))
+		tb := randomTable(rng, 6, 2+rng.Intn(3), 40+rng.Intn(100))
+		gammaE := 1.0 + rng.Float64()*0.3
+		gammaP := 1.0 + rng.Float64()*0.1
+		m, err := Build(tb, Config{GammaEdge: gammaE, GammaPair: gammaP})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range m.H.Edges() {
+			want := mustACV(t, tb, e.Tail, e.Head[0])
+			if !almost(e.Weight, want) {
+				t.Fatalf("seed %d: weight %v != ACV %v", seed, e.Weight, want)
+			}
+			var bound float64
+			if len(e.Tail) == 1 {
+				bound = gammaE * NullACV(tb, e.Head[0])
+			} else {
+				a := mustACV(t, tb, e.Tail[:1], e.Head[0])
+				b := mustACV(t, tb, e.Tail[1:], e.Head[0])
+				bound = gammaP * maxF(a, b)
+			}
+			if e.Weight < bound-1e-12 {
+				t.Fatalf("seed %d: edge %v below significance bound %v", seed, e, bound)
+			}
+		}
+		// Completeness: every gamma-significant directed edge is present.
+		n := tb.NumAttrs()
+		for a := 0; a < n; a++ {
+			for c := 0; c < n; c++ {
+				if a == c {
+					continue
+				}
+				acv := mustACV(t, tb, []int{a}, c)
+				_, present := m.H.Lookup([]int{a}, []int{c})
+				if acv >= gammaE*NullACV(tb, c) && !present {
+					t.Fatalf("seed %d: significant edge %d->%d missing", seed, a, c)
+				}
+			}
+		}
+	}
+}
+
+func maxF(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Sanity on sorted edge output: 2-to-1 edges appear after directed
+// edges and in (a, b, c) order.
+func TestBuildEdgeOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	tb := randomTable(rng, 7, 3, 120)
+	m, err := Build(tb, Config{GammaEdge: 1.0, GammaPair: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pairs [][3]int
+	for _, e := range m.H.Edges() {
+		if len(e.Tail) == 2 {
+			pairs = append(pairs, [3]int{e.Tail[0], e.Tail[1], e.Head[0]})
+		}
+	}
+	if !sort.SliceIsSorted(pairs, func(i, j int) bool {
+		if pairs[i][0] != pairs[j][0] {
+			return pairs[i][0] < pairs[j][0]
+		}
+		if pairs[i][1] != pairs[j][1] {
+			return pairs[i][1] < pairs[j][1]
+		}
+		return pairs[i][2] < pairs[j][2]
+	}) {
+		t.Error("2-to-1 edges not in canonical order")
+	}
+}

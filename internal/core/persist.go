@@ -1,0 +1,75 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"hypermine/internal/hypergraph"
+	"hypermine/internal/table"
+)
+
+// modelFile is the serialized shape of a Model: the training table,
+// the configuration, and the mined hypergraph. EdgeACV is re-derivable
+// but cheap to store relative to rebuilding, so it is included.
+type modelFile struct {
+	Config  Config          `json:"config"`
+	K       int             `json:"k"`
+	Attrs   []string        `json:"attrs"`
+	Rows    [][]table.Value `json:"rows"`
+	Edges   []modelEdge     `json:"edges"`
+	EdgeACV []float64       `json:"edgeACV"`
+}
+
+type modelEdge struct {
+	Tail   []int   `json:"tail"`
+	Head   []int   `json:"head"`
+	Weight float64 `json:"weight"`
+}
+
+// WriteJSON persists the model (training table included, so the
+// classifier can rebuild association tables after loading).
+func (m *Model) WriteJSON(w io.Writer) error {
+	mf := modelFile{
+		Config:  m.Config,
+		K:       m.Table.K(),
+		Attrs:   m.Table.Attrs(),
+		EdgeACV: m.EdgeACV,
+	}
+	rows := make([][]table.Value, m.Table.NumRows())
+	for i := range rows {
+		rows[i] = m.Table.Row(i, nil)
+	}
+	mf.Rows = rows
+	for _, e := range m.H.Edges() {
+		mf.Edges = append(mf.Edges, modelEdge{Tail: e.Tail, Head: e.Head, Weight: e.Weight})
+	}
+	return json.NewEncoder(w).Encode(mf)
+}
+
+// ReadModelJSON loads a model written by WriteJSON, re-validating the
+// table and every hyperedge.
+func ReadModelJSON(r io.Reader) (*Model, error) {
+	var mf modelFile
+	if err := json.NewDecoder(r).Decode(&mf); err != nil {
+		return nil, fmt.Errorf("core: model json: %w", err)
+	}
+	tb, err := table.FromRows(mf.Attrs, mf.K, mf.Rows)
+	if err != nil {
+		return nil, fmt.Errorf("core: model json table: %w", err)
+	}
+	h, err := hypergraph.New(mf.Attrs)
+	if err != nil {
+		return nil, err
+	}
+	for i, e := range mf.Edges {
+		if err := h.AddEdge(e.Tail, e.Head, e.Weight); err != nil {
+			return nil, fmt.Errorf("core: model json edge %d: %w", i, err)
+		}
+	}
+	n := tb.NumAttrs()
+	if len(mf.EdgeACV) != n*n {
+		return nil, fmt.Errorf("core: model json: edgeACV has %d entries, want %d", len(mf.EdgeACV), n*n)
+	}
+	return &Model{Table: tb, Config: mf.Config, H: h, EdgeACV: mf.EdgeACV}, nil
+}

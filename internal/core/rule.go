@@ -1,0 +1,103 @@
+// Package core implements the paper's primary contribution: mva-type
+// association rules over multi-valued attributes (Definitions 3.1 and
+// 3.2), association tables and association confidence values
+// (Definition 3.6), gamma-significance (Definition 3.7), and the
+// association-hypergraph builder of §3.2.1.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"hypermine/internal/table"
+)
+
+// Item is one (attribute, value) pair, the building block of an
+// mva-type association rule. Attr is a column index of the database
+// table; Val is a value in 1..K.
+type Item struct {
+	Attr int
+	Val  table.Value
+}
+
+// Rule is an mva-type association rule X ==mva==> Y (Definition 3.1).
+// The attribute sets of X and Y must be disjoint.
+type Rule struct {
+	X []Item
+	Y []Item
+}
+
+// Validate checks the rule against a table per Definition 3.1.
+func (r Rule) Validate(tb *table.Table) error {
+	if len(r.X) == 0 || len(r.Y) == 0 {
+		return errors.New("core: rule needs nonempty antecedent and consequent")
+	}
+	seen := map[int]byte{}
+	check := func(items []Item, side byte) error {
+		for _, it := range items {
+			if it.Attr < 0 || it.Attr >= tb.NumAttrs() {
+				return fmt.Errorf("core: attribute %d out of range", it.Attr)
+			}
+			if it.Val < 1 || int(it.Val) > tb.K() {
+				return fmt.Errorf("core: value %d outside 1..%d", it.Val, tb.K())
+			}
+			if seen[it.Attr] != 0 {
+				if seen[it.Attr] != side {
+					return fmt.Errorf("core: attribute %d on both sides (pi1(X) and pi1(Y) must be disjoint)", it.Attr)
+				}
+				return fmt.Errorf("core: attribute %d repeated", it.Attr)
+			}
+			seen[it.Attr] = side
+		}
+		return nil
+	}
+	if err := check(r.X, 1); err != nil {
+		return err
+	}
+	return check(r.Y, 2)
+}
+
+// SupportCount returns the number of observations matching every item.
+func SupportCount(tb *table.Table, items []Item) int {
+	n := tb.NumRows()
+	if len(items) == 0 {
+		return n
+	}
+	// Scan the first item's column and verify the rest per match.
+	first := items[0]
+	col0 := tb.Column(first.Attr)
+	count := 0
+rows:
+	for i := 0; i < n; i++ {
+		if col0[i] != first.Val {
+			continue
+		}
+		for _, it := range items[1:] {
+			if tb.At(i, it.Attr) != it.Val {
+				continue rows
+			}
+		}
+		count++
+	}
+	return count
+}
+
+// Support returns Supp(X) of Definition 3.2(1): the fraction of
+// observations for which every attribute of X takes its paired value.
+func Support(tb *table.Table, items []Item) float64 {
+	if tb.NumRows() == 0 {
+		return 0
+	}
+	return float64(SupportCount(tb, items)) / float64(tb.NumRows())
+}
+
+// Confidence returns Conf(X ==mva==> Y) of Definition 3.2(2):
+// Supp(X u Y) / Supp(X). It returns 0 when Supp(X) is 0.
+func Confidence(tb *table.Table, r Rule) float64 {
+	sx := SupportCount(tb, r.X)
+	if sx == 0 {
+		return 0
+	}
+	both := append(append([]Item(nil), r.X...), r.Y...)
+	return float64(SupportCount(tb, both)) / float64(sx)
+}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"hypermine/internal/table"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+// Example 3.3: patient database rule
+// {(A,3),(C,12)} ==mva==> {(B,13)}: Supp(X)=0.375, Conf=2/3.
+func TestPatientExampleRule(t *testing.T) {
+	tb := patientDB(t)
+	a, c, b := tb.AttrIndex("A"), tb.AttrIndex("C"), tb.AttrIndex("B")
+	x := []Item{{a, 3}, {c, 12}}
+	if got := Support(tb, x); !almost(got, 0.375) {
+		t.Errorf("Supp(X) = %v, want 0.375", got)
+	}
+	r := Rule{X: x, Y: []Item{{b, 13}}}
+	if err := r.Validate(tb); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if got := Confidence(tb, r); !almost(got, 2.0/3.0) {
+		t.Errorf("Conf = %v, want 2/3", got)
+	}
+}
+
+// Example 3.4: gene database rule
+// {(G2,down),(G3,down)} ==mva==> {(G4,up)}: Supp=0.875, Conf=6/7.
+func TestGeneExampleRule(t *testing.T) {
+	tb := geneDB(t)
+	g2, g3, g4 := tb.AttrIndex("G2"), tb.AttrIndex("G3"), tb.AttrIndex("G4")
+	x := []Item{{g2, 1}, {g3, 1}}
+	if got := Support(tb, x); !almost(got, 0.875) {
+		t.Errorf("Supp(X) = %v, want 0.875", got)
+	}
+	r := Rule{X: x, Y: []Item{{g4, 3}}}
+	if got := Confidence(tb, r); !almost(got, 6.0/7.0) {
+		t.Errorf("Conf = %v, want 6/7", got)
+	}
+}
+
+// Example 3.5: personal-interest rule
+// {(R,h),(P,h)} ==mva==> {(M,l)}: Supp=0.5, Conf=0.75.
+func TestInterestExampleRule(t *testing.T) {
+	tb := interestDB(t)
+	r0, p, m := tb.AttrIndex("R"), tb.AttrIndex("P"), tb.AttrIndex("M")
+	x := []Item{{r0, 3}, {p, 3}}
+	if got := Support(tb, x); !almost(got, 0.5) {
+		t.Errorf("Supp(X) = %v, want 0.5", got)
+	}
+	r := Rule{X: x, Y: []Item{{m, 1}}}
+	if got := Confidence(tb, r); !almost(got, 0.75) {
+		t.Errorf("Conf = %v, want 0.75", got)
+	}
+}
+
+func TestRuleValidate(t *testing.T) {
+	tb := interestDB(t)
+	cases := []struct {
+		name string
+		r    Rule
+	}{
+		{"empty X", Rule{Y: []Item{{0, 1}}}},
+		{"empty Y", Rule{X: []Item{{0, 1}}}},
+		{"overlap", Rule{X: []Item{{0, 1}}, Y: []Item{{0, 2}}}},
+		{"repeat in X", Rule{X: []Item{{0, 1}, {0, 2}}, Y: []Item{{1, 1}}}},
+		{"bad attr", Rule{X: []Item{{99, 1}}, Y: []Item{{1, 1}}}},
+		{"bad value", Rule{X: []Item{{0, 9}}, Y: []Item{{1, 1}}}},
+	}
+	for _, c := range cases {
+		if err := c.r.Validate(tb); err == nil {
+			t.Errorf("%s: want error", c.name)
+		}
+	}
+}
+
+func TestSupportEdgeCases(t *testing.T) {
+	tb := interestDB(t)
+	if got := Support(tb, nil); !almost(got, 1) {
+		t.Errorf("Supp(empty) = %v, want 1", got)
+	}
+	empty, _ := table.New([]string{"A"}, 2)
+	if got := Support(empty, []Item{{0, 1}}); got != 0 {
+		t.Errorf("Supp on empty table = %v", got)
+	}
+	// Zero-support antecedent => zero confidence, not NaN.
+	r := Rule{X: []Item{{0, 1}, {1, 3}}, Y: []Item{{2, 1}}}
+	if got := Confidence(tb, r); got != 0 {
+		t.Errorf("Conf with unsupported X = %v, want 0", got)
+	}
+}
+
+// Market-basket compatibility remark after Definition 3.2: with binary
+// attributes, Supp/Conf reduce to the classical definitions.
+func TestMarketBasketSpecialCase(t *testing.T) {
+	// 1 = absent, 2 = present.
+	tb, err := table.FromRows([]string{"milk", "diapers", "beer"}, 2, [][]table.Value{
+		{2, 2, 2},
+		{2, 2, 1},
+		{2, 1, 2},
+		{1, 2, 2},
+		{2, 2, 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := []Item{{0, 2}, {1, 2}}
+	if got := Support(tb, x); !almost(got, 0.6) {
+		t.Errorf("support(milk,diapers) = %v, want 0.6", got)
+	}
+	conf := Confidence(tb, Rule{X: x, Y: []Item{{2, 2}}})
+	if !almost(conf, 2.0/3.0) {
+		t.Errorf("confidence = %v, want 2/3", conf)
+	}
+}

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"hypermine/internal/table"
+)
+
+// ScoredRule is one mva-type association rule read off an association
+// table, with its quality measures.
+type ScoredRule struct {
+	Rule       Rule
+	Support    float64 // Supp(X), the rule row's tail support
+	Confidence float64 // Conf(X ==mva==> Y)
+	// Lift compares the rule's confidence against the consequent
+	// value's base rate; > 1 means the antecedent is informative.
+	Lift float64
+}
+
+// MineOptions filters mined rules.
+type MineOptions struct {
+	// MinSupport and MinConfidence are the classical thresholds
+	// (§1.1); zero values accept everything.
+	MinSupport    float64
+	MinConfidence float64
+	// MaxRules caps the result (0 = unlimited). Rules are ranked by
+	// Support*Confidence, the same quantity ACV sums.
+	MaxRules int
+}
+
+// MineRules extracts the mva-type rules behind every hyperedge of the
+// model pointing at the head attribute: one rule per nonempty
+// association-table row, with the row's most frequent head value as
+// the consequent. Rules are returned ranked by Support*Confidence.
+func MineRules(m *Model, head int, opt MineOptions) ([]ScoredRule, error) {
+	if head < 0 || head >= m.Table.NumAttrs() {
+		return nil, fmt.Errorf("core: head attribute %d out of range", head)
+	}
+	baseCounts := m.Table.ValueCounts(head)
+	n := m.Table.NumRows()
+	var out []ScoredRule
+	for _, ei := range m.H.In(head) {
+		e := m.H.Edge(int(ei))
+		at, err := BuildAssociationTable(m.Table, e.Tail, head)
+		if err != nil {
+			return nil, err
+		}
+		vals := make([]table.Value, len(at.Tail))
+		var walk func(depth, row int)
+		walk = func(depth, row int) {
+			if depth == len(at.Tail) {
+				supp := at.Support(row)
+				if supp == 0 || supp < opt.MinSupport {
+					return
+				}
+				conf := at.Confidence(row)
+				if conf < opt.MinConfidence {
+					return
+				}
+				best, _ := at.Best(row)
+				x := make([]Item, len(at.Tail))
+				for i, a := range at.Tail {
+					x[i] = Item{Attr: a, Val: vals[i]}
+				}
+				r := ScoredRule{
+					Rule:       Rule{X: x, Y: []Item{{Attr: head, Val: best}}},
+					Support:    supp,
+					Confidence: conf,
+				}
+				if base := float64(baseCounts[best-1]) / float64(n); base > 0 {
+					r.Lift = conf / base
+				}
+				out = append(out, r)
+				return
+			}
+			for v := 1; v <= at.K; v++ {
+				vals[depth] = table.Value(v)
+				walk(depth+1, row*at.K+(v-1))
+			}
+		}
+		walk(0, 0)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		si := out[i].Support * out[i].Confidence
+		sj := out[j].Support * out[j].Confidence
+		if si != sj {
+			return si > sj
+		}
+		return out[i].Confidence > out[j].Confidence
+	})
+	if opt.MaxRules > 0 && len(out) > opt.MaxRules {
+		out = out[:opt.MaxRules]
+	}
+	return out, nil
+}
+
+// FormatRule renders a rule with the table's attribute names, e.g.
+// "{A=3, C=12} => {B=13}".
+func FormatRule(tb *table.Table, r Rule) string {
+	side := func(items []Item) string {
+		s := "{"
+		for i, it := range items {
+			if i > 0 {
+				s += ", "
+			}
+			s += fmt.Sprintf("%s=%d", tb.AttrName(it.Attr), it.Val)
+		}
+		return s + "}"
+	}
+	return side(r.X) + " => " + side(r.Y)
+}

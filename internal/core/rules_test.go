@@ -1,0 +1,135 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestMineRulesInterestDB(t *testing.T) {
+	tb := interestDB(t)
+	m, err := Build(tb, Config{GammaEdge: 1.0, GammaPair: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	music := tb.AttrIndex("M")
+	rules, err := MineRules(m, music, MineOptions{MinSupport: 0.3, MinConfidence: 0.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) == 0 {
+		t.Fatal("no rules mined")
+	}
+	// Example 3.5's rule {R=h, P=h} => {M=l} (supp 0.5, conf 0.75)
+	// must be among them.
+	found := false
+	for _, r := range rules {
+		if len(r.Rule.X) != 2 {
+			continue
+		}
+		names := map[string]int{}
+		for _, it := range r.Rule.X {
+			names[tb.AttrName(it.Attr)] = int(it.Val)
+		}
+		if names["R"] == 3 && names["P"] == 3 && r.Rule.Y[0].Val == 1 {
+			found = true
+			if !almost(r.Support, 0.5) || !almost(r.Confidence, 0.75) {
+				t.Errorf("rule quality = (%v, %v), want (0.5, 0.75)", r.Support, r.Confidence)
+			}
+			// Base rate of M=1 is 3/8; lift = 0.75 / 0.375 = 2.
+			if !almost(r.Lift, 2.0) {
+				t.Errorf("lift = %v, want 2", r.Lift)
+			}
+		}
+	}
+	if !found {
+		t.Error("Example 3.5 rule not mined")
+	}
+	// Ranking: scores are non-increasing.
+	for i := 1; i < len(rules); i++ {
+		si := rules[i-1].Support * rules[i-1].Confidence
+		sj := rules[i].Support * rules[i].Confidence
+		if sj > si+1e-12 {
+			t.Fatalf("rules not ranked: %v then %v", si, sj)
+		}
+	}
+	// Thresholds are respected.
+	for _, r := range rules {
+		if r.Support < 0.3 || r.Confidence < 0.6 {
+			t.Fatalf("rule below thresholds: %+v", r)
+		}
+	}
+	// Cap works.
+	capped, err := MineRules(m, music, MineOptions{MaxRules: 2})
+	if err != nil || len(capped) != 2 {
+		t.Errorf("capped = %d rules, %v", len(capped), err)
+	}
+	if _, err := MineRules(m, 99, MineOptions{}); err == nil {
+		t.Error("want error for bad head")
+	}
+}
+
+func TestFormatRule(t *testing.T) {
+	tb := interestDB(t)
+	r := Rule{X: []Item{{0, 3}, {1, 3}}, Y: []Item{{2, 1}}}
+	got := FormatRule(tb, r)
+	want := "{R=3, P=3} => {M=1}"
+	if got != want {
+		t.Errorf("FormatRule = %q, want %q", got, want)
+	}
+}
+
+func TestModelJSONRoundTrip(t *testing.T) {
+	tb := interestDB(t)
+	m, err := Build(tb, Config{GammaEdge: 1.0, GammaPair: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadModelJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.H.NumEdges() != m.H.NumEdges() {
+		t.Fatalf("edges %d != %d", back.H.NumEdges(), m.H.NumEdges())
+	}
+	if back.Table.NumRows() != tb.NumRows() || back.Table.K() != tb.K() {
+		t.Fatal("table lost in round trip")
+	}
+	for a := 0; a < tb.NumAttrs(); a++ {
+		for c := 0; c < tb.NumAttrs(); c++ {
+			if back.EdgeACVAt(a, c) != m.EdgeACVAt(a, c) {
+				t.Fatalf("EdgeACV mismatch at (%d,%d)", a, c)
+			}
+		}
+	}
+	// The loaded model is fully functional: ATs rebuild identically.
+	at1, err := m.AssociationTableFor([]int{0, 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	at2, err := back.AssociationTableFor([]int{0, 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(at1.ACV(), at2.ACV()) {
+		t.Error("loaded model produces different ATs")
+	}
+}
+
+func TestReadModelJSONRejectsCorrupt(t *testing.T) {
+	if _, err := ReadModelJSON(strings.NewReader("junk")); err == nil {
+		t.Error("want error for junk")
+	}
+	bad := `{"config":{},"k":2,"attrs":["A","B"],"rows":[[1,1]],"edges":[],"edgeACV":[0]}`
+	if _, err := ReadModelJSON(strings.NewReader(bad)); err == nil {
+		t.Error("want error for wrong edgeACV length")
+	}
+	badEdge := `{"config":{},"k":2,"attrs":["A","B"],"rows":[[1,1]],"edges":[{"tail":[0],"head":[0],"weight":1}],"edgeACV":[0,0,0,0]}`
+	if _, err := ReadModelJSON(strings.NewReader(badEdge)); err == nil {
+		t.Error("want error for overlapping edge")
+	}
+}

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"hypermine/internal/table"
+)
+
+// xor3Table builds a table where D = 1 + ((A+B+C) mod k-ish): no pair
+// of tail attributes predicts D well, but the full triple does. This
+// is the case the future-work 3-to-1 extension exists for.
+func xor3Table(t *testing.T, rows int) *table.Table {
+	t.Helper()
+	rng := rand.New(rand.NewSource(31))
+	tb, err := table.New([]string{"A", "B", "C", "D", "E"}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < rows; i++ {
+		a := table.Value(1 + rng.Intn(2))
+		b := table.Value(1 + rng.Intn(2))
+		c := table.Value(1 + rng.Intn(2))
+		d := table.Value(1 + (int(a)+int(b)+int(c))%2)
+		e := table.Value(1 + rng.Intn(2))
+		if err := tb.AppendRow([]table.Value{a, b, c, d, e}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tb
+}
+
+func TestTripleATAndACV(t *testing.T) {
+	tb := xor3Table(t, 600)
+	at, err := BuildAssociationTable(tb, []int{0, 1, 2}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if at.NumRows() != 8 {
+		t.Fatalf("rows = %d, want 8", at.NumRows())
+	}
+	// The triple determines D exactly.
+	if got := at.ACV(); !almost(got, 1.0) {
+		t.Errorf("triple ACV = %v, want 1", got)
+	}
+	// No pair gets much above the 0.5 baseline.
+	for _, pair := range [][]int{{0, 1}, {0, 2}, {1, 2}} {
+		acv, err := ACV(tb, pair, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if acv > 0.65 {
+			t.Errorf("pair %v ACV = %v, expected near 0.5 (xor structure)", pair, acv)
+		}
+	}
+	// RowIndex round-trips triples.
+	row, err := at.RowIndex([]table.Value{2, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row != (1*2+0)*2+1 {
+		t.Errorf("row index = %d", row)
+	}
+}
+
+func TestBuildMaxTailSizeThree(t *testing.T) {
+	tb := xor3Table(t, 600)
+	cfg := Config{GammaEdge: 1.0, GammaPair: 1.0, GammaTriple: 1.2, MaxTailSize: 3}
+	m, err := Build(tb, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The xor triple {A,B,C} -> D must be admitted: its ACV is 1 and
+	// every constituent pair sits near 0.5.
+	if _, ok := m.H.Lookup([]int{0, 1, 2}, []int{3}); !ok {
+		t.Fatal("triple {A,B,C} -> D not admitted")
+	}
+	if w := m.H.Weight([]int{0, 1, 2}, []int{3}); !almost(w, 1.0) {
+		t.Errorf("triple weight = %v, want 1", w)
+	}
+	// Every admitted triple satisfies gamma-significance against its
+	// constituent pairs.
+	for _, e := range m.H.Edges() {
+		if len(e.Tail) != 3 {
+			continue
+		}
+		base := 0.0
+		for drop := 0; drop < 3; drop++ {
+			pair := make([]int, 0, 2)
+			for i, v := range e.Tail {
+				if i != drop {
+					pair = append(pair, v)
+				}
+			}
+			acv := mustACV(t, tb, pair, e.Head[0])
+			if acv > base {
+				base = acv
+			}
+			// Theorem 3.8 generalizes: the triple dominates each pair.
+			if e.Weight < acv-1e-12 {
+				t.Errorf("triple %v ACV %v below pair %v ACV %v", e.Tail, e.Weight, pair, acv)
+			}
+		}
+		if e.Weight < 1.2*base-1e-12 {
+			t.Errorf("triple %v violates gamma-significance", e.Tail)
+		}
+	}
+}
+
+func TestBuildTripleDeterministic(t *testing.T) {
+	tb := xor3Table(t, 400)
+	cfg := Config{GammaEdge: 1.0, GammaPair: 1.0, GammaTriple: 1.05, MaxTailSize: 3}
+	cfg.Parallelism = 1
+	m1, err := Build(tb, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Parallelism = 8
+	m2, err := Build(tb, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.H.NumEdges() != m2.H.NumEdges() {
+		t.Fatalf("edge counts differ: %d vs %d", m1.H.NumEdges(), m2.H.NumEdges())
+	}
+	for i := range m1.H.Edges() {
+		if !reflect.DeepEqual(m1.H.Edge(i), m2.H.Edge(i)) {
+			t.Fatalf("edge %d differs across parallelism", i)
+		}
+	}
+}
+
+func TestBuildTripleGammaDefaultsAndValidation(t *testing.T) {
+	tb := xor3Table(t, 200)
+	// GammaTriple defaults to GammaPair.
+	if _, err := Build(tb, Config{GammaEdge: 1.0, GammaPair: 1.1, MaxTailSize: 3}); err != nil {
+		t.Errorf("default GammaTriple should be accepted: %v", err)
+	}
+	if _, err := Build(tb, Config{GammaEdge: 1.0, GammaPair: 1.0, GammaTriple: 0.5, MaxTailSize: 3}); err == nil {
+		t.Error("want error for GammaTriple < 1")
+	}
+	if _, err := Build(tb, Config{GammaEdge: 1.0, GammaPair: 1.0, MaxTailSize: 4}); err == nil {
+		t.Error("want error for MaxTailSize 4")
+	}
+}

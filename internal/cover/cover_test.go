@@ -1,0 +1,234 @@
+package cover
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSetCoverBasic(t *testing.T) {
+	sets := [][]int{{0, 1, 2}, {2, 3}, {3, 4, 5}, {0, 5}}
+	pick, err := SetCover(6, sets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsSetCover(6, sets, pick) {
+		t.Errorf("pick %v is not a cover", pick)
+	}
+	// Greedy: {0,1,2} then {3,4,5} suffice.
+	if len(pick) != 2 {
+		t.Errorf("picked %d sets, want 2", len(pick))
+	}
+}
+
+func TestSetCoverErrors(t *testing.T) {
+	if _, err := SetCover(-1, nil); err == nil {
+		t.Error("want error for negative universe")
+	}
+	if _, err := SetCover(3, [][]int{{0, 9}}); err == nil {
+		t.Error("want error for element outside universe")
+	}
+	if _, err := SetCover(3, [][]int{{0}}); err == nil {
+		t.Error("want error for uncoverable universe")
+	}
+	// Empty universe is trivially covered.
+	pick, err := SetCover(0, nil)
+	if err != nil || len(pick) != 0 {
+		t.Errorf("empty universe: %v, %v", pick, err)
+	}
+}
+
+// Property: greedy always produces a valid cover whenever one exists,
+// and never larger than the number of elements.
+func TestSetCoverProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(20)
+		nSets := 1 + rng.Intn(15)
+		sets := make([][]int, nSets)
+		for i := range sets {
+			sz := 1 + rng.Intn(n)
+			for j := 0; j < sz; j++ {
+				sets[i] = append(sets[i], rng.Intn(n))
+			}
+		}
+		// Guarantee coverability.
+		for e := 0; e < n; e++ {
+			idx := rng.Intn(nSets)
+			sets[idx] = append(sets[idx], e)
+		}
+		pick, err := SetCover(n, sets)
+		if err != nil {
+			return false
+		}
+		return IsSetCover(n, sets, pick) && len(pick) <= n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDominatingSetStar(t *testing.T) {
+	// Star: center 0 adjacent to 1..4 — one vertex dominates.
+	adj := [][]int{{1, 2, 3, 4}, {0}, {0}, {0}, {0}}
+	dom, err := DominatingSet(adj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsDominatingSet(adj, dom) {
+		t.Errorf("%v does not dominate", dom)
+	}
+	if len(dom) != 1 || dom[0] != 0 {
+		t.Errorf("dom = %v, want [0]", dom)
+	}
+}
+
+func TestDominatingSetErrors(t *testing.T) {
+	if _, err := DominatingSet(nil); err == nil {
+		t.Error("want error for empty graph")
+	}
+	if _, err := DominatingSet([][]int{{5}}); err == nil {
+		t.Error("want error for out-of-range neighbor")
+	}
+}
+
+func TestIsDominatingSetRejects(t *testing.T) {
+	adj := [][]int{{1}, {0}, {}}
+	if IsDominatingSet(adj, []int{0}) {
+		t.Error("vertex 2 is not dominated")
+	}
+	if IsDominatingSet(adj, []int{9}) {
+		t.Error("out-of-range member should fail")
+	}
+	if !IsDominatingSet(adj, []int{0, 2}) {
+		t.Error("{0,2} dominates")
+	}
+}
+
+// Property: dominating set via reduction always dominates random graphs.
+func TestDominatingSetProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(15)
+		adj := make([][]int, n)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Intn(3) == 0 {
+					adj[i] = append(adj[i], j)
+					adj[j] = append(adj[j], i)
+				}
+			}
+		}
+		dom, err := DominatingSet(adj)
+		if err != nil {
+			return false
+		}
+		return IsDominatingSet(adj, dom)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWeightedSetCoverPrefersCheap(t *testing.T) {
+	// One expensive set covers everything; two cheap sets also do.
+	sets := [][]int{{0, 1, 2, 3}, {0, 1}, {2, 3}}
+	costs := []float64{10, 1, 1}
+	pick, err := WeightedSetCover(4, sets, costs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsSetCover(4, sets, pick) {
+		t.Fatalf("pick %v not a cover", pick)
+	}
+	if got := CoverCost(costs, pick); got != 2 {
+		t.Errorf("cost = %v, want 2 (cheap pair)", got)
+	}
+}
+
+func TestWeightedSetCoverUnitReducesToGreedy(t *testing.T) {
+	sets := [][]int{{0, 1, 2}, {2, 3}, {3, 4, 5}, {0, 5}}
+	unit := []float64{1, 1, 1, 1}
+	wp, err := WeightedSetCover(6, sets, unit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	up, err := SetCover(6, sets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wp) != len(up) {
+		t.Errorf("unit-cost weighted pick %v differs in size from greedy %v", wp, up)
+	}
+}
+
+func TestWeightedSetCoverValidation(t *testing.T) {
+	if _, err := WeightedSetCover(-1, nil, nil); err == nil {
+		t.Error("want error for negative universe")
+	}
+	if _, err := WeightedSetCover(2, [][]int{{0}}, []float64{1, 2}); err == nil {
+		t.Error("want error for cost-count mismatch")
+	}
+	if _, err := WeightedSetCover(2, [][]int{{0, 1}}, []float64{-1}); err == nil {
+		t.Error("want error for negative cost")
+	}
+	if _, err := WeightedSetCover(2, [][]int{{9}}, []float64{1}); err == nil {
+		t.Error("want error for out-of-universe element")
+	}
+	if _, err := WeightedSetCover(2, [][]int{{0}}, []float64{1}); err == nil {
+		t.Error("want error for uncoverable universe")
+	}
+}
+
+func TestExactMinCostCoverGuards(t *testing.T) {
+	big := make([][]int, 21)
+	bigCosts := make([]float64, 21)
+	if _, err := ExactMinCostCover(1, big, bigCosts); err == nil {
+		t.Error("want error for > 20 sets")
+	}
+	if _, err := ExactMinCostCover(2, [][]int{{0}}, []float64{1}); err == nil {
+		t.Error("want error for uncoverable universe")
+	}
+	if _, err := ExactMinCostCover(1, [][]int{{0}}, []float64{1, 2}); err == nil {
+		t.Error("want error for cost mismatch")
+	}
+}
+
+// Property: greedy weighted cover is valid and within H(n) ~ (1+ln n)
+// of the optimal cost on small random instances.
+func TestWeightedSetCoverApproxProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(8)
+		nSets := 2 + rng.Intn(8)
+		sets := make([][]int, nSets)
+		costs := make([]float64, nSets)
+		for i := range sets {
+			sz := 1 + rng.Intn(n)
+			for j := 0; j < sz; j++ {
+				sets[i] = append(sets[i], rng.Intn(n))
+			}
+			costs[i] = 0.5 + rng.Float64()*4
+		}
+		for e := 0; e < n; e++ {
+			idx := rng.Intn(nSets)
+			sets[idx] = append(sets[idx], e)
+		}
+		pick, err := WeightedSetCover(n, sets, costs)
+		if err != nil || !IsSetCover(n, sets, pick) {
+			return false
+		}
+		opt, err := ExactMinCostCover(n, sets, costs)
+		if err != nil {
+			return false
+		}
+		bound := 1.0
+		for x := float64(n); x > 1; x /= 2.718281828 {
+			bound++
+		}
+		return CoverCost(costs, pick) <= bound*CoverCost(costs, opt)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

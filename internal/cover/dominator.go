@@ -1,0 +1,436 @@
+package cover
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"hypermine/internal/hypergraph"
+)
+
+// Options tunes the dominator algorithms.
+type Options struct {
+	// Complete forces the greedy loop to run until every target is
+	// covered, falling back to self-coverage (adding a node to the
+	// dominator trivially covers it). When false — the default and
+	// the behaviour behind the "Percent Covered" column of Tables
+	// 5.3/5.4 — the loop stops as soon as the best candidate covers
+	// no new target through hyperedges, leaving the remainder
+	// uncovered instead of bloating the dominator.
+	Complete bool
+	// Enhancement1 enables Algorithm 7 for DominatorSetCover: among
+	// equally effective tail sets prefer the one contributing the
+	// fewest new dominator members.
+	Enhancement1 bool
+	// Enhancement2 enables Algorithm 8 for DominatorSetCover: drop
+	// tail sets already contained in the dominator from the
+	// candidate pool.
+	Enhancement2 bool
+}
+
+// Result reports a computed dominator.
+type Result struct {
+	// DomSet is the dominator, in pick order (members of a tail set
+	// picked together appear consecutively).
+	DomSet []int
+	// Covered marks every vertex covered at termination (dominator
+	// members and hyperedge-covered targets).
+	Covered []bool
+	// TargetCovered counts covered vertices of the requested set S.
+	TargetCovered int
+	// TargetSize is |S|.
+	TargetSize int
+	// Iterations is the number of greedy picks performed.
+	Iterations int
+}
+
+// CoverageFraction returns TargetCovered / TargetSize.
+func (r *Result) CoverageFraction() float64 {
+	if r.TargetSize == 0 {
+		return 0
+	}
+	return float64(r.TargetCovered) / float64(r.TargetSize)
+}
+
+// IsDominator checks Definition 4.1 for the subset of S marked covered:
+// every covered u in S - X has a hyperedge e with T(e) inside X and u
+// in H(e). It returns the covered targets that violate the property.
+func IsDominator(h *hypergraph.H, s []int, dom []int) []int {
+	inDom := make([]bool, h.NumVertices())
+	for _, v := range dom {
+		inDom[v] = true
+	}
+	var bad []int
+	for _, u := range s {
+		if inDom[u] {
+			continue
+		}
+		ok := false
+		for _, ei := range h.In(u) {
+			e := h.Edge(int(ei))
+			all := true
+			for _, tv := range e.Tail {
+				if !inDom[tv] {
+					all = false
+					break
+				}
+			}
+			if all {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			bad = append(bad, u)
+		}
+	}
+	return bad
+}
+
+func validateTargets(h *hypergraph.H, s []int) error {
+	if len(s) == 0 {
+		return errors.New("cover: empty target set")
+	}
+	seen := map[int]bool{}
+	for _, v := range s {
+		if v < 0 || v >= h.NumVertices() {
+			return fmt.Errorf("cover: target vertex %d out of range", v)
+		}
+		if seen[v] {
+			return fmt.Errorf("cover: duplicate target vertex %d", v)
+		}
+		seen[v] = true
+	}
+	return nil
+}
+
+// headGain counts targets in S - Covered that become covered through
+// hyperedges once dom (with candidate additions) is the dominator.
+func headGainFor(h *hypergraph.H, inS, covered, inDom []bool, added []int) (int, []int) {
+	for _, v := range added {
+		inDom[v] = true
+	}
+	var gained []int
+	for _, v := range added {
+		for _, ei := range h.Out(v) {
+			e := h.Edge(int(ei))
+			hv := e.Head[0]
+			if !inS[hv] || covered[hv] {
+				continue
+			}
+			all := true
+			for _, tv := range e.Tail {
+				if !inDom[tv] {
+					all = false
+					break
+				}
+			}
+			if all {
+				covered[hv] = true
+				gained = append(gained, hv)
+			}
+		}
+	}
+	// Roll back; caller commits separately.
+	for _, v := range added {
+		inDom[v] = false
+	}
+	for _, v := range gained {
+		covered[v] = false
+	}
+	return len(gained), gained
+}
+
+// DominatorGreedyDS is Algorithm 5: the adaptation of the greedy graph
+// dominating-set approximation. Each iteration scores every vertex u
+// outside the dominator with
+//
+//	alpha(u) = [u uncovered target] +
+//	           sum over uncovered targets v of
+//	           max over e with u in T(e), v in H(e) of
+//	           w(e) / |T(e) - DomSet|
+//
+// and commits the highest-scoring vertex. Runs in O(|S| * |E|) per the
+// paper. Ties break toward the smallest vertex id, so results are
+// deterministic.
+func DominatorGreedyDS(h *hypergraph.H, s []int, opt Options) (*Result, error) {
+	if err := validateTargets(h, s); err != nil {
+		return nil, err
+	}
+	n := h.NumVertices()
+	inS := make([]bool, n)
+	for _, v := range s {
+		inS[v] = true
+	}
+	covered := make([]bool, n)
+	inDom := make([]bool, n)
+	res := &Result{Covered: covered, TargetSize: len(s)}
+
+	remaining := len(s)
+	// lBest[v] accumulates the per-head maximum L(u, v) while scoring a
+	// candidate u; touched lists the heads to reset between candidates.
+	lBest := make([]float64, n)
+	touched := make([]int, 0, n)
+	for remaining > 0 {
+		bestU, bestAlpha := -1, -1.0
+		for u := 0; u < n; u++ {
+			if inDom[u] {
+				continue
+			}
+			alpha := 0.0
+			if inS[u] && !covered[u] {
+				alpha = 1
+			}
+			touched = touched[:0]
+			for _, ei := range h.Out(u) {
+				e := h.Edge(int(ei))
+				hv := e.Head[0]
+				if !inS[hv] || covered[hv] {
+					continue
+				}
+				free := 0
+				for _, tv := range e.Tail {
+					if !inDom[tv] {
+						free++
+					}
+				}
+				if free == 0 {
+					continue
+				}
+				// L(u, v) is the max over edges from u into v of
+				// w(e)/|T(e)-DomSet| — keep only the best edge per head.
+				if l := e.Weight / float64(free); l > lBest[hv] {
+					if lBest[hv] == 0 {
+						touched = append(touched, hv)
+					}
+					lBest[hv] = l
+				}
+			}
+			for _, hv := range touched {
+				alpha += lBest[hv]
+				lBest[hv] = 0
+			}
+			if alpha > bestAlpha {
+				bestAlpha, bestU = alpha, u
+			}
+		}
+		if bestU < 0 {
+			break
+		}
+		gain, gained := headGainFor(h, inS, covered, inDom, []int{bestU})
+		selfGain := 0
+		if inS[bestU] && !covered[bestU] {
+			selfGain = 1
+		}
+		if !opt.Complete && gain == 0 && bestAlpha <= 1 {
+			// Only self-coverage left: stop, reporting partial
+			// coverage (the paper's "Percent Covered" < 100).
+			break
+		}
+		if gain == 0 && selfGain == 0 && opt.Complete {
+			// No progress possible even in complete mode for this
+			// pick; fall back to covering an arbitrary uncovered
+			// target directly.
+			bestU = -1
+			for _, v := range s {
+				if !covered[v] && !inDom[v] {
+					bestU = v
+					break
+				}
+			}
+			if bestU < 0 {
+				break
+			}
+			gain, gained = headGainFor(h, inS, covered, inDom, []int{bestU})
+		}
+		inDom[bestU] = true
+		res.DomSet = append(res.DomSet, bestU)
+		res.Iterations++
+		if inS[bestU] && !covered[bestU] {
+			covered[bestU] = true
+			remaining--
+			res.TargetCovered++
+		}
+		for _, v := range gained {
+			covered[v] = true
+			remaining--
+			res.TargetCovered++
+		}
+	}
+	return res, nil
+}
+
+// tailCandidate is one entry of the T* pool of Algorithm 6.
+type tailCandidate struct {
+	members []int // sorted vertex ids
+}
+
+// DominatorSetCover is Algorithm 6: the adaptation of the greedy
+// set-cover approximation. The candidate pool T* holds the distinct
+// tail sets of all hyperedges; each iteration scores a candidate t* by
+// the number of new target vertices it would cover — its own members
+// plus heads of edges whose tails lie inside t* — and commits the best
+// one.
+//
+// Deviation from the pseudocode, documented here on purpose: Lines
+// 13–17 of Algorithm 6 add one unit per *edge* with T(e) inside t*,
+// which double-counts a head reachable through several edges. This
+// implementation counts distinct head vertices, matching the stated
+// intent ("alpha(t*) contains all new vertices that can be covered by
+// including t* in DomSet").
+//
+// Enhancements 1 and 2 (Algorithms 7 and 8) are applied when enabled
+// in Options. Ties (after Enhancement 1, if on) break lexicographically
+// so results are deterministic.
+func DominatorSetCover(h *hypergraph.H, s []int, opt Options) (*Result, error) {
+	if err := validateTargets(h, s); err != nil {
+		return nil, err
+	}
+	n := h.NumVertices()
+	inS := make([]bool, n)
+	for _, v := range s {
+		inS[v] = true
+	}
+	covered := make([]bool, n)
+	inDom := make([]bool, n)
+	res := &Result{Covered: covered, TargetSize: len(s)}
+
+	// Build the distinct tail-set pool.
+	pool := map[string]tailCandidate{}
+	for _, e := range h.Edges() {
+		key := hypergraph.EdgeKey(e.Tail, []int{0})
+		if _, ok := pool[key]; !ok {
+			pool[key] = tailCandidate{members: append([]int(nil), e.Tail...)}
+		}
+	}
+	cands := make([]tailCandidate, 0, len(pool))
+	for _, c := range pool {
+		cands = append(cands, c)
+	}
+	sort.Slice(cands, func(i, j int) bool { return lessIntSlice(cands[i].members, cands[j].members) })
+
+	remaining := len(s)
+	for remaining > 0 && len(cands) > 0 {
+		bestIdx, bestAlpha := -1, 0
+		bestNew := 0 // |t* - DomSet| of the current best (Enhancement 1)
+		bestHGIdx, bestHG := -1, 0
+		keep := cands[:0]
+		for _, c := range cands {
+			if opt.Enhancement2 && subsetOf(c.members, inDom) {
+				continue // Algorithm 8: drop permanently
+			}
+			alpha := 0
+			newMembers := 0
+			for _, v := range c.members {
+				if !inDom[v] {
+					newMembers++
+				}
+				if inS[v] && !covered[v] {
+					alpha++
+				}
+			}
+			hg, _ := headGainFor(h, inS, covered, inDom, diffMembers(c.members, inDom))
+			alpha += hg
+			if alpha == 0 {
+				continue // Line 18: discard ineffective sets
+			}
+			keep = append(keep, c)
+			idx := len(keep) - 1
+			switch {
+			case alpha > bestAlpha:
+				bestAlpha, bestIdx, bestNew = alpha, idx, newMembers
+			case alpha == bestAlpha && opt.Enhancement1 && newMembers < bestNew:
+				// Algorithm 7: prefer the candidate adding fewer
+				// members to the dominator.
+				bestIdx, bestNew = idx, newMembers
+			}
+			if hg > bestHG {
+				bestHG, bestHGIdx = hg, idx
+			}
+		}
+		cands = keep
+		if bestIdx < 0 {
+			break
+		}
+		chosen := cands[bestIdx]
+		added := diffMembers(chosen.members, inDom)
+		hg, gained := headGainFor(h, inS, covered, inDom, added)
+		if !opt.Complete && hg == 0 {
+			// The alpha-best candidate only self-covers. Fall back to
+			// the best hyperedge-covering candidate if one exists;
+			// otherwise stop with partial coverage (the "Percent
+			// Covered" < 100 of Tables 5.3/5.4).
+			if bestHGIdx < 0 {
+				break
+			}
+			chosen = cands[bestHGIdx]
+			added = diffMembers(chosen.members, inDom)
+			hg, gained = headGainFor(h, inS, covered, inDom, added)
+			if hg == 0 {
+				break
+			}
+		}
+		for _, v := range added {
+			inDom[v] = true
+			res.DomSet = append(res.DomSet, v)
+		}
+		res.Iterations++
+		// Line 22: Covered grows by the tail members and newly
+		// dominated heads.
+		for _, v := range chosen.members {
+			if !covered[v] {
+				covered[v] = true
+				if inS[v] {
+					remaining--
+					res.TargetCovered++
+				}
+			}
+		}
+		for _, v := range gained {
+			if !covered[v] {
+				covered[v] = true
+				remaining--
+				res.TargetCovered++
+			}
+		}
+	}
+	if opt.Complete {
+		for _, v := range s {
+			if !covered[v] {
+				covered[v] = true
+				inDom[v] = true
+				res.DomSet = append(res.DomSet, v)
+				res.TargetCovered++
+			}
+		}
+	}
+	return res, nil
+}
+
+func subsetOf(members []int, in []bool) bool {
+	for _, v := range members {
+		if !in[v] {
+			return false
+		}
+	}
+	return true
+}
+
+func diffMembers(members []int, inDom []bool) []int {
+	var out []int
+	for _, v := range members {
+		if !inDom[v] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func lessIntSlice(a, b []int) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}

@@ -1,0 +1,89 @@
+package cover
+
+import (
+	"errors"
+	"fmt"
+
+	"hypermine/internal/hypergraph"
+)
+
+// ExactMinDominator brute-forces a minimum-cardinality dominator (in
+// the Definition 4.1 sense) for the target set s by enumerating vertex
+// subsets in increasing size. Exponential — it exists to measure the
+// greedy algorithms' approximation quality on small instances and is
+// limited to 20 vertices.
+func ExactMinDominator(h *hypergraph.H, s []int) ([]int, error) {
+	if err := validateTargets(h, s); err != nil {
+		return nil, err
+	}
+	n := h.NumVertices()
+	if n > 20 {
+		return nil, errors.New("cover: ExactMinDominator limited to 20 vertices")
+	}
+	inS := make([]bool, n)
+	for _, v := range s {
+		inS[v] = true
+	}
+	dominates := func(mask uint32) bool {
+		inDom := func(v int) bool { return mask&(1<<uint(v)) != 0 }
+		for _, u := range s {
+			if inDom(u) {
+				continue
+			}
+			ok := false
+			for _, ei := range h.In(u) {
+				e := h.Edge(int(ei))
+				all := true
+				for _, tv := range e.Tail {
+					if !inDom(tv) {
+						all = false
+						break
+					}
+				}
+				if all {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	// Enumerate by popcount-ordered masks: for each size, all masks.
+	for size := 0; size <= n; size++ {
+		var best uint32
+		found := false
+		var rec func(start int, mask uint32, left int)
+		rec = func(start int, mask uint32, left int) {
+			if found {
+				return
+			}
+			if left == 0 {
+				if dominates(mask) {
+					best = mask
+					found = true
+				}
+				return
+			}
+			for v := start; v <= n-left; v++ {
+				rec(v+1, mask|1<<uint(v), left-1)
+				if found {
+					return
+				}
+			}
+		}
+		rec(0, 0, size)
+		if found {
+			var out []int
+			for v := 0; v < n; v++ {
+				if best&(1<<uint(v)) != 0 {
+					out = append(out, v)
+				}
+			}
+			return out, nil
+		}
+	}
+	return nil, fmt.Errorf("cover: no dominator exists for %d targets", len(s))
+}

@@ -1,0 +1,104 @@
+package cover
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hypermine/internal/hypergraph"
+)
+
+func TestExactMinDominatorStar(t *testing.T) {
+	h := starHypergraph(t, 5)
+	dom, err := ExactMinDominator(h, allVertices(h))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dom) != 1 || dom[0] != 0 {
+		t.Errorf("exact dominator = %v, want [0]", dom)
+	}
+}
+
+func TestExactMinDominatorGuards(t *testing.T) {
+	names := make([]string, 25)
+	for i := range names {
+		names[i] = "v" + string(rune('a'+i))
+	}
+	big, _ := hypergraph.New(names)
+	all := make([]int, 25)
+	for i := range all {
+		all[i] = i
+	}
+	if _, err := ExactMinDominator(big, all); err == nil {
+		t.Error("want error for > 20 vertices")
+	}
+	h := starHypergraph(t, 3)
+	if _, err := ExactMinDominator(h, nil); err == nil {
+		t.Error("want error for empty targets")
+	}
+}
+
+// Property: on random small hypergraphs, both greedy algorithms (in
+// complete mode) produce dominators that are valid and within a
+// log-factor band of the exact optimum. We assert the loose but
+// meaningful bound greedy <= opt * (1 + ln n) + 1.
+func TestGreedyVsExactProperty(t *testing.T) {
+	lnBound := func(n, opt int) int {
+		// 1 + ln(n) multiplier, plus slack 1 for the self-cover seam.
+		mult := 1.0
+		for x := float64(n); x > 1; x /= 2.718281828 {
+			mult++
+		}
+		return int(mult)*opt + 1
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(6)
+		names := make([]string, n)
+		for i := range names {
+			names[i] = "v" + string(rune('0'+i))
+		}
+		h, _ := hypergraph.New(names)
+		for tries := 0; tries < 5*n; tries++ {
+			a, b, c := rng.Intn(n), rng.Intn(n), rng.Intn(n)
+			w := 0.2 + 0.8*rng.Float64()
+			if rng.Intn(2) == 0 {
+				_ = h.AddEdge([]int{a}, []int{c}, w)
+			} else {
+				_ = h.AddEdge([]int{a, b}, []int{c}, w)
+			}
+		}
+		s := make([]int, n)
+		for i := range s {
+			s[i] = i
+		}
+		exact, err := ExactMinDominator(h, s)
+		if err != nil {
+			return false
+		}
+		if len(IsDominator(h, s, exact)) != 0 {
+			return false
+		}
+		for _, run := range []func() (*Result, error){
+			func() (*Result, error) { return DominatorGreedyDS(h, s, Options{Complete: true}) },
+			func() (*Result, error) {
+				return DominatorSetCover(h, s, Options{Complete: true, Enhancement1: true, Enhancement2: true})
+			},
+		} {
+			res, err := run()
+			if err != nil || res.CoverageFraction() != 1 {
+				return false
+			}
+			if len(res.DomSet) < len(exact) {
+				return false // greedy cannot beat the optimum
+			}
+			if len(res.DomSet) > lnBound(n, len(exact)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,246 @@
+// Package cover implements the covering substrates and algorithms of
+// the paper: the greedy set-cover approximation (Algorithm 1, Theorem
+// 2.3), graph dominating set via the set-cover reduction (§2.1.2), and
+// the two greedy dominator algorithms for directed hypergraphs
+// (Algorithms 5 and 6, with Enhancements 1 and 2 from Algorithms 7 and
+// 8) that compute the paper's leading indicators (§4.1, §5.4).
+package cover
+
+import (
+	"errors"
+	"fmt"
+)
+
+// SetCover runs the greedy Algorithm 1: given a universe {0..n-1} and
+// a collection of subsets, repeatedly pick the subset covering the
+// most still-uncovered elements (lowest average cost 1/|S - Cover|)
+// until everything is covered. Returns the chosen subset indexes in
+// pick order. The result is within O(log n) of optimal (Theorem 2.3).
+func SetCover(n int, sets [][]int) ([]int, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("cover: negative universe size %d", n)
+	}
+	covered := make([]bool, n)
+	for si, s := range sets {
+		for _, e := range s {
+			if e < 0 || e >= n {
+				return nil, fmt.Errorf("cover: set %d contains %d outside universe", si, e)
+			}
+		}
+	}
+	var pick []int
+	used := make([]bool, len(sets))
+	remaining := n
+	for remaining > 0 {
+		best, bestGain := -1, 0
+		for si, s := range sets {
+			if used[si] {
+				continue
+			}
+			gain := 0
+			for _, e := range s {
+				if !covered[e] {
+					gain++
+				}
+			}
+			if gain > bestGain {
+				best, bestGain = si, gain
+			}
+		}
+		if best < 0 {
+			return nil, errors.New("cover: universe not coverable by given sets")
+		}
+		used[best] = true
+		pick = append(pick, best)
+		for _, e := range sets[best] {
+			if !covered[e] {
+				covered[e] = true
+				remaining--
+			}
+		}
+	}
+	return pick, nil
+}
+
+// WeightedSetCover generalizes Algorithm 1 to the minimum-cost form
+// §2.1.1 states: each subset carries a cost, and the greedy rule picks
+// the subset of lowest average cost per newly covered element
+// (cost(S)/|S - Cover|), i.e. highest cost effectiveness. The unit-cost
+// case reduces exactly to SetCover. The classical guarantee is an
+// H(n) = O(log n) approximation of the optimal cost.
+func WeightedSetCover(n int, sets [][]int, costs []float64) ([]int, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("cover: negative universe size %d", n)
+	}
+	if len(costs) != len(sets) {
+		return nil, fmt.Errorf("cover: %d costs for %d sets", len(costs), len(sets))
+	}
+	for si, s := range sets {
+		if costs[si] < 0 {
+			return nil, fmt.Errorf("cover: set %d has negative cost %v", si, costs[si])
+		}
+		for _, e := range s {
+			if e < 0 || e >= n {
+				return nil, fmt.Errorf("cover: set %d contains %d outside universe", si, e)
+			}
+		}
+	}
+	covered := make([]bool, n)
+	used := make([]bool, len(sets))
+	var pick []int
+	remaining := n
+	for remaining > 0 {
+		best := -1
+		bestRatio := 0.0
+		for si, s := range sets {
+			if used[si] {
+				continue
+			}
+			gain := 0
+			for _, e := range s {
+				if !covered[e] {
+					gain++
+				}
+			}
+			if gain == 0 {
+				continue
+			}
+			ratio := costs[si] / float64(gain)
+			if best < 0 || ratio < bestRatio {
+				best, bestRatio = si, ratio
+			}
+		}
+		if best < 0 {
+			return nil, errors.New("cover: universe not coverable by given sets")
+		}
+		used[best] = true
+		pick = append(pick, best)
+		for _, e := range sets[best] {
+			if !covered[e] {
+				covered[e] = true
+				remaining--
+			}
+		}
+	}
+	return pick, nil
+}
+
+// CoverCost sums the costs of the chosen subsets.
+func CoverCost(costs []float64, chosen []int) float64 {
+	var sum float64
+	for _, si := range chosen {
+		if si >= 0 && si < len(costs) {
+			sum += costs[si]
+		}
+	}
+	return sum
+}
+
+// ExactMinCostCover brute-forces the cheapest cover over all subset
+// combinations; exponential, for approximation-quality tests only
+// (limited to 20 sets).
+func ExactMinCostCover(n int, sets [][]int, costs []float64) ([]int, error) {
+	if len(sets) > 20 {
+		return nil, errors.New("cover: ExactMinCostCover limited to 20 sets")
+	}
+	if len(costs) != len(sets) {
+		return nil, fmt.Errorf("cover: %d costs for %d sets", len(costs), len(sets))
+	}
+	bestCost := -1.0
+	var best []int
+	for mask := 0; mask < 1<<uint(len(sets)); mask++ {
+		var chosen []int
+		var cost float64
+		for si := range sets {
+			if mask&(1<<uint(si)) != 0 {
+				chosen = append(chosen, si)
+				cost += costs[si]
+			}
+		}
+		if bestCost >= 0 && cost >= bestCost {
+			continue
+		}
+		if IsSetCover(n, sets, chosen) {
+			bestCost = cost
+			best = chosen
+		}
+	}
+	if bestCost < 0 {
+		return nil, errors.New("cover: universe not coverable by given sets")
+	}
+	return best, nil
+}
+
+// IsSetCover verifies that the chosen subsets cover the universe.
+func IsSetCover(n int, sets [][]int, chosen []int) bool {
+	covered := make([]bool, n)
+	for _, si := range chosen {
+		if si < 0 || si >= len(sets) {
+			return false
+		}
+		for _, e := range sets[si] {
+			if e >= 0 && e < n {
+				covered[e] = true
+			}
+		}
+	}
+	for _, c := range covered {
+		if !c {
+			return false
+		}
+	}
+	return true
+}
+
+// DominatingSet computes a dominating set of an undirected graph given
+// as adjacency lists, via the classical reduction to set cover
+// (§2.1.2): element v is covered by the sets {v} u N(v). Returns the
+// chosen vertexes.
+func DominatingSet(adj [][]int) ([]int, error) {
+	n := len(adj)
+	if n == 0 {
+		return nil, errors.New("cover: empty graph")
+	}
+	sets := make([][]int, n)
+	for v, nb := range adj {
+		s := make([]int, 0, len(nb)+1)
+		s = append(s, v)
+		for _, u := range nb {
+			if u < 0 || u >= n {
+				return nil, fmt.Errorf("cover: vertex %d has neighbor %d out of range", v, u)
+			}
+			s = append(s, u)
+		}
+		sets[v] = s
+	}
+	return SetCover(n, sets)
+}
+
+// IsDominatingSet verifies domination: every vertex is in the set or
+// adjacent to a member.
+func IsDominatingSet(adj [][]int, dom []int) bool {
+	n := len(adj)
+	inDom := make([]bool, n)
+	for _, v := range dom {
+		if v < 0 || v >= n {
+			return false
+		}
+		inDom[v] = true
+	}
+	for v := 0; v < n; v++ {
+		if inDom[v] {
+			continue
+		}
+		ok := false
+		for _, u := range adj[v] {
+			if inDom[u] {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,357 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// quickEnv is shared across tests (model builds are the expensive part).
+var sharedEnv *Env
+
+func env(t *testing.T) *Env {
+	t.Helper()
+	if sharedEnv != nil {
+		return sharedEnv
+	}
+	e, err := NewEnv(QuickParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharedEnv = e
+	return e
+}
+
+func TestNewEnvValidation(t *testing.T) {
+	p := QuickParams()
+	p.SplitFrac = 0
+	if _, err := NewEnv(p); err == nil {
+		t.Error("want error for SplitFrac=0")
+	}
+	p = QuickParams()
+	p.SplitFrac = 0.999
+	if _, err := NewEnv(p); err == nil {
+		t.Error("want error for split leaving too few days")
+	}
+}
+
+func TestBuiltLazyAndCached(t *testing.T) {
+	e := env(t)
+	b1, err := e.Built("C1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := e.Built("C1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b1 != b2 {
+		t.Error("Built should cache")
+	}
+	if _, err := e.Built("C9"); err == nil {
+		t.Error("want error for unknown config")
+	}
+	if b1.InTable.K() != 3 || b1.OutTable.K() != 3 {
+		t.Error("C1 should be k=3")
+	}
+	if b1.InTable.NumAttrs() != len(e.U.Series) {
+		t.Error("table width mismatch")
+	}
+}
+
+func TestRunCounts(t *testing.T) {
+	rep, err := RunCounts(env(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 2 {
+		t.Fatalf("rows = %d", len(rep.Rows))
+	}
+	for _, row := range rep.Rows {
+		if row.DirectedEdges == 0 {
+			t.Errorf("%s: no directed edges survived", row.Config)
+		}
+		if row.MeanACVEdges <= 0 || row.MeanACVEdges > 1 {
+			t.Errorf("%s: mean ACV %v", row.Config, row.MeanACVEdges)
+		}
+	}
+	// Shape check from §5.1.2: k=5 (C2) mean ACV is lower than k=3 (C1).
+	if rep.Rows[0].MeanACVEdges <= rep.Rows[1].MeanACVEdges {
+		t.Errorf("expected C1 mean ACV (%v) > C2 (%v)",
+			rep.Rows[0].MeanACVEdges, rep.Rows[1].MeanACVEdges)
+	}
+	var buf bytes.Buffer
+	if err := rep.Render(&buf); err != nil || !strings.Contains(buf.String(), "C1") {
+		t.Errorf("render: %v, %q", err, buf.String())
+	}
+}
+
+func TestRunFig51(t *testing.T) {
+	rep, err := RunFig51(env(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.InDegree) != len(rep.Tickers) || len(rep.OutDegree) != len(rep.Tickers) {
+		t.Fatal("degree arrays mismatched")
+	}
+	var inSum, outSum float64
+	for i := range rep.InDegree {
+		if rep.InDegree[i] < 0 || rep.OutDegree[i] < 0 {
+			t.Fatal("negative degree")
+		}
+		inSum += rep.InDegree[i]
+		outSum += rep.OutDegree[i]
+	}
+	// Degree conservation: both sum to total edge weight.
+	if inSum == 0 || outSum == 0 {
+		t.Error("degenerate degree distribution")
+	}
+	if diff := inSum - outSum; diff > 1e-6 || diff < -1e-6 {
+		t.Errorf("in/out degree sums differ: %v vs %v", inSum, outSum)
+	}
+	total := 0
+	for _, c := range rep.TopInSectors {
+		total += c
+	}
+	if total != rep.TopN {
+		t.Errorf("top-in sector counts sum %d, want %d", total, rep.TopN)
+	}
+	var buf bytes.Buffer
+	if err := rep.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunTables51And52(t *testing.T) {
+	e := env(t)
+	t51, err := RunTable51(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t51.Rows) == 0 {
+		t.Fatal("no Table 5.1 rows")
+	}
+	for _, row := range t51.Rows {
+		if row.TopHyper != nil && row.TopEdge != nil {
+			// Theorem 3.8 shape: the best 2-to-1 hyperedge cannot be
+			// weaker than gamma x best directed edge pointing at the
+			// same head (both were admitted).
+			if row.TopHyper.ACV <= 0 {
+				t.Errorf("%s/%s: nonpositive hyperedge ACV", row.Ticker, row.Config)
+			}
+		}
+	}
+	t52, err := RunTable52(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range t52.Rows {
+		if row.TopHyper.ACV < row.Edge1.ACV-1e-9 || row.TopHyper.ACV < row.Edge2.ACV-1e-9 {
+			t.Errorf("%s/%s: hyperedge ACV %.3f below constituents %.3f/%.3f (Theorem 3.8)",
+				row.Ticker, row.Config, row.TopHyper.ACV, row.Edge1.ACV, row.Edge2.ACV)
+		}
+	}
+	var buf bytes.Buffer
+	if err := t51.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := t52.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFig52(t *testing.T) {
+	rep, err := RunFig52(env(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Points) == 0 {
+		t.Fatal("no scatter points")
+	}
+	for _, pt := range rep.Points {
+		if pt.InSim < 0 || pt.InSim > 1 || pt.OutSim < 0 || pt.OutSim > 1 {
+			t.Fatalf("similarity out of range: %+v", pt)
+		}
+		if pt.Euclidean < 0 || pt.Euclidean > 1 {
+			t.Fatalf("euclidean out of range: %+v", pt)
+		}
+	}
+	// The paper's Figure 5.2 point: association similarity separates
+	// pairs more distinctly than Euclidean similarity. The two live
+	// on different scales, so compare relative spreads.
+	if rep.InCV <= rep.EuclidCV {
+		t.Errorf("in-sim relative spread %.4f should exceed euclidean %.4f", rep.InCV, rep.EuclidCV)
+	}
+	var buf bytes.Buffer
+	if err := rep.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFig53(t *testing.T) {
+	rep, err := RunFig53(env(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.T < 1 || len(rep.Clusters) != rep.T {
+		t.Fatalf("t=%d clusters=%d", rep.T, len(rep.Clusters))
+	}
+	total := 0
+	for _, c := range rep.Clusters {
+		total += c.Size
+	}
+	if total != len(env(t).U.Series) {
+		t.Errorf("cluster sizes sum %d, want %d", total, len(env(t).U.Series))
+	}
+	if rep.MeanDistance <= 0 || rep.MeanDistance > 1 {
+		t.Errorf("mean distance %v", rep.MeanDistance)
+	}
+	if rep.Purity <= 0 || rep.Purity > 1 {
+		t.Errorf("purity %v", rep.Purity)
+	}
+	var buf bytes.Buffer
+	if err := rep.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunTables53And54(t *testing.T) {
+	e := env(t)
+	for _, alg := range []DominatorAlgorithm{Alg5, Alg6} {
+		rep, err := RunDomClass(e, alg)
+		if err != nil {
+			t.Fatalf("alg %d: %v", alg, err)
+		}
+		if len(rep.Rows) != 6 {
+			t.Fatalf("alg %d: rows = %d, want 6", alg, len(rep.Rows))
+		}
+		for _, row := range rep.Rows {
+			if row.DominatorSize <= 0 {
+				t.Errorf("alg %d %s@%.0f%%: empty dominator", alg, row.Config, 100*row.TopFrac)
+				continue
+			}
+			if row.PercentCovered <= 0 || row.PercentCovered > 100 {
+				t.Errorf("alg %d: coverage %v", alg, row.PercentCovered)
+			}
+			if row.ABCInSample < 0 || row.ABCInSample > 1 || row.ABCOutSample < 0 || row.ABCOutSample > 1 {
+				t.Errorf("alg %d: ABC confidence out of range: %+v", alg, row)
+			}
+		}
+		var buf bytes.Buffer
+		if err := rep.Render(&buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestRunFig54(t *testing.T) {
+	e := env(t)
+	rep, err := RunFig54(e, Alg5, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Points) == 0 {
+		t.Fatal("no points")
+	}
+	for _, p := range rep.Points {
+		if p.ABCInSample < 0 || p.ABCInSample > 1 || p.ABCOutSample < 0 || p.ABCOutSample > 1 {
+			t.Errorf("point out of range: %+v", p)
+		}
+	}
+	if _, err := RunFig54(e, Alg6, 1_000_000); err == nil {
+		t.Error("want error for oversized yearDays")
+	}
+	var buf bytes.Buffer
+	if err := rep.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunExt3to1(t *testing.T) {
+	rep, err := RunExt3to1(env(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Series) < 3 {
+		t.Fatalf("sector slice too small: %v", rep.Series)
+	}
+	if rep.Edges == 0 || rep.Pairs == 0 {
+		t.Error("expected edges and pairs in the sector model")
+	}
+	for _, row := range rep.Rows {
+		// Theorem 3.8 generalized: the triple dominates the best pair
+		// into the same head whenever a pair exists.
+		if row.PairACV > 0 && row.TripleACV < row.PairACV-1e-9 {
+			t.Errorf("triple ACV %.3f below pair %.3f for %s", row.TripleACV, row.PairACV, row.Head)
+		}
+	}
+	var buf bytes.Buffer
+	if err := rep.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunAblations(t *testing.T) {
+	rep, err := RunAblations(env(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Builder) != 5 || len(rep.Dominator) != 3 {
+		t.Fatalf("rows = %d/%d", len(rep.Builder), len(rep.Dominator))
+	}
+	byName := map[string]int{}
+	for _, row := range rep.Builder {
+		byName[row.Variant] = row.Edges
+	}
+	// Gamma pruning shrinks the model; edges-only is the smallest.
+	if byName["gamma off (k=3)"] <= byName["C1 exhaustive pairs"] {
+		t.Error("gamma-off should admit more edges than C1")
+	}
+	if byName["C1 edges only"] >= byName["C1 exhaustive pairs"] {
+		t.Error("edges-only should be smaller than the full model")
+	}
+	// Edge-seeded is a subset of exhaustive.
+	if byName["C1 edge-seeded pairs"] > byName["C1 exhaustive pairs"] {
+		t.Error("edge-seeded admitted more edges than exhaustive")
+	}
+	// Serial and parallel C1 agree exactly.
+	if byName["C1 serial"] != byName["C1 exhaustive pairs"] {
+		t.Error("serial and parallel builds disagree")
+	}
+	var buf bytes.Buffer
+	if err := rep.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunDomClassPaperProtocol(t *testing.T) {
+	p := QuickParams()
+	p.PaperProtocol = true
+	e, err := NewEnv(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := RunDomClass(e, Alg6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawPaperCols := false
+	for _, row := range rep.Rows {
+		if row.SVMPaper > 0 || row.LogisticPaper > 0 {
+			sawPaperCols = true
+		}
+		if row.SVMPaper < 0 || row.SVMPaper > 1 || row.LogisticPaper < 0 || row.LogisticPaper > 1 {
+			t.Errorf("paper-protocol accuracy out of range: %+v", row)
+		}
+	}
+	if !sawPaperCols {
+		t.Error("paper-protocol columns never populated")
+	}
+	var buf bytes.Buffer
+	if err := rep.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "SVM(AT)") {
+		t.Error("render missing paper-protocol columns")
+	}
+}

@@ -1,0 +1,172 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+)
+
+// EdgeDesc names one directed edge or 2-to-1 hyperedge by tickers.
+type EdgeDesc struct {
+	Tails []string
+	Head  string
+	ACV   float64
+}
+
+// Table51Row is one (series, configuration) row of Table 5.1: the
+// directed edge and the 2-to-1 directed hyperedge of highest ACV
+// pointing at the selected series.
+type Table51Row struct {
+	Ticker   string
+	Sector   string
+	Config   string
+	TopEdge  *EdgeDesc
+	TopHyper *EdgeDesc
+}
+
+// Table51Report reproduces Table 5.1.
+type Table51Report struct {
+	Rows []Table51Row
+}
+
+// Table52Row is one row of Table 5.2: the best 2-to-1 hyperedge for a
+// series together with its two constituent directed edges' ACVs
+// (cached from the builder, hence available even when the edges were
+// not admitted).
+type Table52Row struct {
+	Ticker       string
+	Config       string
+	TopHyper     *EdgeDesc
+	Edge1, Edge2 *EdgeDesc
+}
+
+// Table52Report reproduces Table 5.2.
+type Table52Report struct {
+	Rows []Table52Row
+}
+
+// bestIncoming finds the highest-ACV incoming edge of each class for
+// the vertex.
+func bestIncoming(b *Built, v int) (edge, hyper *EdgeDesc) {
+	h := b.Model.H
+	var bestE, bestH float64 = -1, -1
+	var bestEIdx, bestHIdx = -1, -1
+	for _, ei := range h.In(v) {
+		e := h.Edge(int(ei))
+		switch {
+		case e.IsDirectedEdge() && e.Weight > bestE:
+			bestE, bestEIdx = e.Weight, int(ei)
+		case e.IsTwoToOne() && e.Weight > bestH:
+			bestH, bestHIdx = e.Weight, int(ei)
+		}
+	}
+	desc := func(idx int) *EdgeDesc {
+		if idx < 0 {
+			return nil
+		}
+		e := h.Edge(idx)
+		d := &EdgeDesc{Head: h.VertexName(e.Head[0]), ACV: e.Weight}
+		for _, t := range e.Tail {
+			d.Tails = append(d.Tails, h.VertexName(t))
+		}
+		return d
+	}
+	return desc(bestEIdx), desc(bestHIdx)
+}
+
+// RunTable51 computes Table 5.1 over the paper's selected series for
+// both configurations.
+func RunTable51(e *Env) (*Table51Report, error) {
+	rep := &Table51Report{}
+	for _, ticker := range e.SelectedSeries() {
+		for _, name := range []string{"C1", "C2"} {
+			b, err := e.Built(name)
+			if err != nil {
+				return nil, err
+			}
+			v := b.Model.H.Vertex(ticker)
+			if v < 0 {
+				continue
+			}
+			edge, hyper := bestIncoming(b, v)
+			rep.Rows = append(rep.Rows, Table51Row{
+				Ticker:   ticker,
+				Sector:   e.U.SectorOf(ticker),
+				Config:   name,
+				TopEdge:  edge,
+				TopHyper: hyper,
+			})
+		}
+	}
+	return rep, nil
+}
+
+// RunTable52 computes Table 5.2: the best 2-to-1 hyperedge per
+// selected series and the ACVs of its constituent directed edges.
+func RunTable52(e *Env) (*Table52Report, error) {
+	rep := &Table52Report{}
+	for _, ticker := range e.SelectedSeries() {
+		for _, name := range []string{"C1", "C2"} {
+			b, err := e.Built(name)
+			if err != nil {
+				return nil, err
+			}
+			h := b.Model.H
+			v := h.Vertex(ticker)
+			if v < 0 {
+				continue
+			}
+			_, hyper := bestIncoming(b, v)
+			if hyper == nil {
+				continue
+			}
+			t1, t2 := h.Vertex(hyper.Tails[0]), h.Vertex(hyper.Tails[1])
+			rep.Rows = append(rep.Rows, Table52Row{
+				Ticker:   ticker,
+				Config:   name,
+				TopHyper: hyper,
+				Edge1: &EdgeDesc{Tails: []string{hyper.Tails[0]}, Head: ticker,
+					ACV: b.Model.EdgeACVAt(t1, v)},
+				Edge2: &EdgeDesc{Tails: []string{hyper.Tails[1]}, Head: ticker,
+					ACV: b.Model.EdgeACVAt(t2, v)},
+			})
+		}
+	}
+	return rep, nil
+}
+
+func (d *EdgeDesc) String() string {
+	if d == nil {
+		return "-"
+	}
+	s := ""
+	for i, t := range d.Tails {
+		if i > 0 {
+			s += ","
+		}
+		s += t
+	}
+	return fmt.Sprintf("%s -> %s (%.2f)", s, d.Head, d.ACV)
+}
+
+// Render writes Table 5.1.
+func (r *Table51Report) Render(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 0, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "== Table 5.1 top directed edge and top 2-to-1 hyperedge per selected series ==")
+	fmt.Fprintln(tw, "series\tsector\tconfig\ttop directed edge\ttop 2-to-1 hyperedge")
+	for _, row := range r.Rows {
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\n", row.Ticker, row.Sector, row.Config, row.TopEdge, row.TopHyper)
+	}
+	return tw.Flush()
+}
+
+// Render writes Table 5.2.
+func (r *Table52Report) Render(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 0, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "== Table 5.2 top 2-to-1 hyperedge vs constituent directed edges ==")
+	fmt.Fprintln(tw, "series\tconfig\ttop 2-to-1 hyperedge\tdirected edge 1\tdirected edge 2")
+	for _, row := range r.Rows {
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\n", row.Ticker, row.Config, row.TopHyper, row.Edge1, row.Edge2)
+	}
+	return tw.Flush()
+}

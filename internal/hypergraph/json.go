@@ -1,0 +1,48 @@
+package hypergraph
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// fileFormat is the serialized shape of a hypergraph.
+type fileFormat struct {
+	Vertices []string   `json:"vertices"`
+	Edges    []fileEdge `json:"edges"`
+}
+
+type fileEdge struct {
+	Tail   []int   `json:"tail"`
+	Head   []int   `json:"head"`
+	Weight float64 `json:"weight"`
+}
+
+// WriteJSON serializes the hypergraph.
+func (h *H) WriteJSON(w io.Writer) error {
+	ff := fileFormat{Vertices: h.VertexNames(), Edges: make([]fileEdge, len(h.edges))}
+	for i, e := range h.edges {
+		ff.Edges[i] = fileEdge{Tail: e.Tail, Head: e.Head, Weight: e.Weight}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(ff)
+}
+
+// ReadJSON parses a hypergraph written by WriteJSON, re-validating
+// every edge.
+func ReadJSON(r io.Reader) (*H, error) {
+	var ff fileFormat
+	if err := json.NewDecoder(r).Decode(&ff); err != nil {
+		return nil, fmt.Errorf("hypergraph: json: %w", err)
+	}
+	h, err := New(ff.Vertices)
+	if err != nil {
+		return nil, err
+	}
+	for i, e := range ff.Edges {
+		if err := h.AddEdge(e.Tail, e.Head, e.Weight); err != nil {
+			return nil, fmt.Errorf("hypergraph: json edge %d: %w", i, err)
+		}
+	}
+	return h, nil
+}

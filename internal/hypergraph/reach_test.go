@@ -1,0 +1,166 @@
+package hypergraph
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestForwardClosureChain(t *testing.T) {
+	// 0 -> 1; {1,2} -> 3; 3 -> 4. Seeding {0} determines 1 but not 3
+	// (2 missing); seeding {0,2} determines everything.
+	h := newH(t, "a", "b", "c", "d", "e")
+	_ = h.AddEdge([]int{0}, []int{1}, 1)
+	_ = h.AddEdge([]int{1, 2}, []int{3}, 1)
+	_ = h.AddEdge([]int{3}, []int{4}, 1)
+
+	det, err := h.ForwardClosure([]int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []bool{true, true, false, false, false}
+	for v := range want {
+		if det[v] != want[v] {
+			t.Errorf("seed {0}: vertex %d determined=%v want %v", v, det[v], want[v])
+		}
+	}
+
+	det, err = h.ForwardClosure([]int{0, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 5; v++ {
+		if !det[v] {
+			t.Errorf("seed {0,2}: vertex %d not determined", v)
+		}
+	}
+}
+
+func TestForwardClosureDuplicateSeedsAndErrors(t *testing.T) {
+	h := newH(t, "a", "b")
+	_ = h.AddEdge([]int{0}, []int{1}, 1)
+	det, err := h.ForwardClosure([]int{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !det[0] || !det[1] {
+		t.Error("duplicate seeds must not break the counters")
+	}
+	if _, err := h.ForwardClosure([]int{9}); err == nil {
+		t.Error("want error for bad seed")
+	}
+	// Empty seed: nothing determined.
+	det, err = h.ForwardClosure(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if det[0] || det[1] {
+		t.Error("empty seed should determine nothing")
+	}
+}
+
+// Property: the closure is monotone in the seed set and idempotent
+// (closing the closure adds nothing).
+func TestForwardClosureProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(8)
+		names := make([]string, n)
+		for i := range names {
+			names[i] = "v" + string(rune('0'+i))
+		}
+		h, _ := New(names)
+		for tries := 0; tries < 4*n; tries++ {
+			a, b, c := rng.Intn(n), rng.Intn(n), rng.Intn(n)
+			if rng.Intn(2) == 0 {
+				_ = h.AddEdge([]int{a}, []int{c}, 1)
+			} else {
+				_ = h.AddEdge([]int{a, b}, []int{c}, 1)
+			}
+		}
+		small := []int{rng.Intn(n)}
+		big := append([]int{rng.Intn(n)}, small...)
+		detS, err := h.ForwardClosure(small)
+		if err != nil {
+			return false
+		}
+		detB, err := h.ForwardClosure(big)
+		if err != nil {
+			return false
+		}
+		var closed []int
+		for v, d := range detS {
+			if d {
+				closed = append(closed, v)
+			}
+			if d && !detB[v] {
+				return false // monotonicity violated
+			}
+		}
+		detAgain, err := h.ForwardClosure(closed)
+		if err != nil {
+			return false
+		}
+		for v := range detS {
+			if detS[v] != detAgain[v] {
+				return false // not idempotent
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	h := newH(t, "a", "b", "c")
+	_ = h.AddEdge([]int{0, 1}, []int{2}, 0.7)
+	tr := h.Transpose()
+	if _, ok := tr.Lookup([]int{2}, []int{0, 1}); !ok {
+		t.Error("transposed edge missing")
+	}
+	if tr.NumEdges() != 1 || tr.Weight([]int{2}, []int{0, 1}) != 0.7 {
+		t.Error("transpose lost weight")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	h := newH(t, "a", "b", "c", "d")
+	_ = h.AddEdge([]int{0}, []int{1}, 0.5)
+	_ = h.AddEdge([]int{0, 1}, []int{3}, 0.5)
+	sub, err := h.InducedSubgraph([]int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.NumEdges() != 1 {
+		t.Errorf("induced edges = %d, want 1", sub.NumEdges())
+	}
+	if _, ok := sub.Lookup([]int{0}, []int{1}); !ok {
+		t.Error("kept edge missing")
+	}
+	if _, err := h.InducedSubgraph([]int{99}); err == nil {
+		t.Error("want error for bad vertex")
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	h := newH(t, "a", "b", "c")
+	_ = h.AddEdge([]int{0}, []int{2}, 0.5)
+	_ = h.AddEdge([]int{0, 1}, []int{2}, 0.9)
+	var buf bytes.Buffer
+	if err := h.WriteDOT(&buf, ""); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"digraph", "v0 -> v2", "j1 [shape=point", "v0 -> j1", "j1 -> v2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package similarity
+
+import (
+	"math/rand"
+	"testing"
+
+	"hypermine/internal/hypergraph"
+)
+
+func benchGraph(b *testing.B, n, edges int) *hypergraph.H {
+	b.Helper()
+	rng := rand.New(rand.NewSource(3))
+	names := make([]string, n)
+	for i := range names {
+		names[i] = "v" + string(rune('a'+i%26)) + string(rune('a'+i/26))
+	}
+	h, err := hypergraph.New(names)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for h.NumEdges() < edges {
+		a, c := rng.Intn(n), rng.Intn(n)
+		w := rng.Float64()
+		if rng.Intn(2) == 0 {
+			_ = h.AddEdge([]int{a}, []int{c}, w)
+		} else {
+			_ = h.AddEdge([]int{a, rng.Intn(n)}, []int{c}, w)
+		}
+	}
+	return h
+}
+
+// BenchmarkInSim measures one in-similarity evaluation on a dense
+// random hypergraph.
+func BenchmarkInSim(b *testing.B) {
+	h := benchGraph(b, 60, 5000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = InSim(h, i%60, (i+1)%60)
+	}
+}
+
+// BenchmarkOutSim measures one out-similarity evaluation.
+func BenchmarkOutSim(b *testing.B) {
+	h := benchGraph(b, 60, 5000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = OutSim(h, i%60, (i+1)%60)
+	}
+}
+
+// BenchmarkBuildGraph measures full similarity-graph construction —
+// the O(n^2) pre-step of Figure 5.3.
+func BenchmarkBuildGraph(b *testing.B) {
+	h := benchGraph(b, 40, 2000)
+	all := make([]int, 40)
+	for i := range all {
+		all[i] = i
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BuildGraph(h, all); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

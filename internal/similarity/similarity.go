@@ -1,0 +1,258 @@
+// Package similarity implements the association-based similarity
+// notions of §3.3: in-similarity and out-similarity between attributes
+// of an association hypergraph (Definition 3.11 over Notations 3.9 and
+// 3.10), the induced similarity graph (Definition 3.13), and the
+// Euclidean similarity baseline of §5.3.1.
+package similarity
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"hypermine/internal/hypergraph"
+)
+
+// replaceTail returns T with a1 replaced by a2 (Notation 3.9(3)), or
+// ok=false when the replacement does not produce a valid set (a2
+// already occurs in T - {a1}).
+func replaceTail(tail []int, a1, a2 int) ([]int, bool) {
+	out := make([]int, 0, len(tail))
+	for _, v := range tail {
+		if v == a1 {
+			v = a2
+		} else if v == a2 {
+			return nil, false
+		}
+		out = append(out, v)
+	}
+	return out, true
+}
+
+// OutSim computes out-sim_H(a1, a2) of Definition 3.11(1): the
+// weighted fraction of tail-substitutable hyperedge pairs among all
+// hyperedges leaving a1 or a2. Result is in [0, 1]; identical
+// attributes give 1 when they have outgoing edges, and 0 denominators
+// give 0.
+func OutSim(h *hypergraph.H, a1, a2 int) float64 {
+	if a1 == a2 {
+		if len(h.Out(a1)) > 0 {
+			return 1
+		}
+		return 0
+	}
+	var num, den float64
+	// Pairs seeded from out(a1): matched ones contribute min to the
+	// numerator and max to the denominator; unmatched ones are
+	// (e, empty) pairs contributing ACV(e) to the denominator.
+	for _, i := range h.Out(a1) {
+		e := h.Edge(int(i))
+		sub, ok := replaceTail(e.Tail, a1, a2)
+		if ok {
+			if j, found := h.Lookup(sub, e.Head); found {
+				f := h.Edge(int(j))
+				num += math.Min(e.Weight, f.Weight)
+				den += math.Max(e.Weight, f.Weight)
+				continue
+			}
+		}
+		den += e.Weight
+	}
+	// Remaining (empty, f) pairs from out(a2).
+	for _, i := range h.Out(a2) {
+		f := h.Edge(int(i))
+		sub, ok := replaceTail(f.Tail, a2, a1)
+		if ok {
+			if _, found := h.Lookup(sub, f.Head); found {
+				continue // already counted from out(a1)
+			}
+		}
+		den += f.Weight
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// replaceHead returns H with a1 replaced by a2 (Notation 3.9(4)).
+func replaceHead(head []int, a1, a2 int) ([]int, bool) {
+	return replaceTail(head, a1, a2) // same substitution semantics
+}
+
+// InSim computes in-sim_H(a1, a2) of Definition 3.11(2): as OutSim but
+// substituting in head sets of incoming hyperedges.
+func InSim(h *hypergraph.H, a1, a2 int) float64 {
+	if a1 == a2 {
+		if len(h.In(a1)) > 0 {
+			return 1
+		}
+		return 0
+	}
+	var num, den float64
+	for _, i := range h.In(a1) {
+		e := h.Edge(int(i))
+		sub, ok := replaceHead(e.Head, a1, a2)
+		if ok {
+			// The substituted head must not collide with the tail.
+			if !containsInt(e.Tail, a2) {
+				if j, found := h.Lookup(e.Tail, sub); found {
+					f := h.Edge(int(j))
+					num += math.Min(e.Weight, f.Weight)
+					den += math.Max(e.Weight, f.Weight)
+					continue
+				}
+			}
+		}
+		den += e.Weight
+	}
+	for _, i := range h.In(a2) {
+		f := h.Edge(int(i))
+		sub, ok := replaceHead(f.Head, a2, a1)
+		if ok && !containsInt(f.Tail, a1) {
+			if _, found := h.Lookup(f.Tail, sub); found {
+				continue
+			}
+		}
+		den += f.Weight
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+func containsInt(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Distance is the similarity-graph edge weight of Definition 3.13:
+// d(a1, a2) = 1 - (in-sim + out-sim)/2.
+func Distance(h *hypergraph.H, a1, a2 int) float64 {
+	return 1 - (InSim(h, a1, a2)+OutSim(h, a1, a2))/2
+}
+
+// Graph is the similarity graph SG_S induced by a collection S of
+// attributes: an undirected, weighted, complete graph stored as a
+// symmetric distance matrix.
+type Graph struct {
+	Nodes []int // attribute ids of the inducing collection S
+	D     [][]float64
+}
+
+// BuildGraph computes the similarity graph over the collection S of
+// vertex ids of h (Definition 3.13). Diagonal distances are 0.
+func BuildGraph(h *hypergraph.H, s []int) (*Graph, error) {
+	if len(s) == 0 {
+		return nil, errors.New("similarity: empty collection")
+	}
+	for _, v := range s {
+		if v < 0 || v >= h.NumVertices() {
+			return nil, fmt.Errorf("similarity: vertex %d out of range", v)
+		}
+	}
+	g := &Graph{Nodes: append([]int(nil), s...), D: make([][]float64, len(s))}
+	for i := range g.D {
+		g.D[i] = make([]float64, len(s))
+	}
+	for i := 0; i < len(s); i++ {
+		for j := i + 1; j < len(s); j++ {
+			d := Distance(h, s[i], s[j])
+			g.D[i][j] = d
+			g.D[j][i] = d
+		}
+	}
+	return g, nil
+}
+
+// Dist returns the stored distance between graph positions i and j.
+func (g *Graph) Dist(i, j int) float64 { return g.D[i][j] }
+
+// MeanDistance returns the average off-diagonal distance (the "overall
+// mean distance in SG_S" figure quoted in §5.3.2).
+func (g *Graph) MeanDistance() float64 {
+	n := len(g.Nodes)
+	if n < 2 {
+		return 0
+	}
+	var sum float64
+	var cnt int
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			sum += g.D[i][j]
+			cnt++
+		}
+	}
+	return sum / float64(cnt)
+}
+
+// TriangleViolations counts triples violating the triangle inequality
+// by more than eps. §5.3.2 "experimentally verified that the weight
+// function satisfies the triangle inequality"; this makes the check
+// executable.
+func (g *Graph) TriangleViolations(eps float64) int {
+	n := len(g.Nodes)
+	violations := 0
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			for k := 0; k < n; k++ {
+				if k == i || k == j {
+					continue
+				}
+				if g.D[i][j] > g.D[i][k]+g.D[k][j]+eps {
+					violations++
+				}
+			}
+		}
+	}
+	return violations
+}
+
+// EuclideanSim computes ES(A,B) of §5.3.1 on two raw delta series:
+// 1 - ||normalized(a) - normalized(b)|| / 2, a value in [0, 1].
+func EuclideanSim(a, b []float64) (float64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("similarity: series lengths %d != %d", len(a), len(b))
+	}
+	if len(a) == 0 {
+		return 0, errors.New("similarity: empty series")
+	}
+	na, err := normalize(a)
+	if err != nil {
+		return 0, err
+	}
+	nb, err := normalize(b)
+	if err != nil {
+		return 0, err
+	}
+	var sq float64
+	for i := range na {
+		d := na[i] - nb[i]
+		sq += d * d
+	}
+	return 1 - math.Sqrt(sq)/2, nil
+}
+
+func normalize(v []float64) ([]float64, error) {
+	var sq float64
+	for _, x := range v {
+		sq += x * x
+	}
+	if sq == 0 {
+		return nil, errors.New("similarity: zero-norm series")
+	}
+	n := math.Sqrt(sq)
+	out := make([]float64, len(v))
+	for i, x := range v {
+		out[i] = x / n
+	}
+	return out, nil
+}

@@ -1,0 +1,150 @@
+// Package stats provides the small statistical helpers the experiment
+// harness uses to render the paper's figures as data series:
+// histograms, summaries, and correlation.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary holds the usual five-number-ish description of a sample.
+type Summary struct {
+	N          int
+	Mean, Std  float64
+	Min, Max   float64
+	Median     float64
+	Q25, Q75   float64
+	Sum        float64
+	NaNOrInfOK bool
+}
+
+// Summarize computes a Summary. It fails on empty input or (unless
+// tolerated) non-finite entries.
+func Summarize(xs []float64) (Summary, error) {
+	if len(xs) == 0 {
+		return Summary{}, errors.New("stats: empty sample")
+	}
+	s := Summary{N: len(xs), Min: xs[0], Max: xs[0]}
+	for _, v := range xs {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return Summary{}, fmt.Errorf("stats: non-finite value %v", v)
+		}
+		s.Sum += v
+		if v < s.Min {
+			s.Min = v
+		}
+		if v > s.Max {
+			s.Max = v
+		}
+	}
+	s.Mean = s.Sum / float64(s.N)
+	var sq float64
+	for _, v := range xs {
+		d := v - s.Mean
+		sq += d * d
+	}
+	s.Std = math.Sqrt(sq / float64(s.N))
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s.Median = quantile(sorted, 0.5)
+	s.Q25 = quantile(sorted, 0.25)
+	s.Q75 = quantile(sorted, 0.75)
+	return s, nil
+}
+
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[len(sorted)-1]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// Histogram buckets xs into `bins` equal-width bins over [min, max].
+type Histogram struct {
+	Min, Max float64
+	Counts   []int
+}
+
+// NewHistogram builds a histogram; values at Max land in the last bin.
+func NewHistogram(xs []float64, bins int) (*Histogram, error) {
+	if bins < 1 {
+		return nil, fmt.Errorf("stats: %d bins", bins)
+	}
+	if len(xs) == 0 {
+		return nil, errors.New("stats: empty sample")
+	}
+	min, max := xs[0], xs[0]
+	for _, v := range xs {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("stats: non-finite value %v", v)
+		}
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	h := &Histogram{Min: min, Max: max, Counts: make([]int, bins)}
+	width := (max - min) / float64(bins)
+	for _, v := range xs {
+		b := 0
+		// width can still overflow to +Inf for extreme ranges; the
+		// division then yields 0 or NaN, so clamp both ends.
+		if width > 0 && !math.IsInf(width, 0) {
+			b = int((v - min) / width)
+			if b >= bins {
+				b = bins - 1
+			}
+			if b < 0 {
+				b = 0
+			}
+		}
+		h.Counts[b]++
+	}
+	return h, nil
+}
+
+// BucketLabel formats the [lo, hi) range of bin b.
+func (h *Histogram) BucketLabel(b int) string {
+	width := (h.Max - h.Min) / float64(len(h.Counts))
+	lo := h.Min + float64(b)*width
+	return fmt.Sprintf("[%.3f,%.3f)", lo, lo+width)
+}
+
+// Pearson computes the linear correlation coefficient of two equal-
+// length samples.
+func Pearson(a, b []float64) (float64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("stats: lengths %d != %d", len(a), len(b))
+	}
+	if len(a) < 2 {
+		return 0, errors.New("stats: need at least two points")
+	}
+	var ma, mb float64
+	for i := range a {
+		ma += a[i]
+		mb += b[i]
+	}
+	ma /= float64(len(a))
+	mb /= float64(len(b))
+	var num, da, db float64
+	for i := range a {
+		num += (a[i] - ma) * (b[i] - mb)
+		da += (a[i] - ma) * (a[i] - ma)
+		db += (b[i] - mb) * (b[i] - mb)
+	}
+	if da == 0 || db == 0 {
+		return 0, errors.New("stats: zero variance")
+	}
+	return num / math.Sqrt(da*db), nil
+}

@@ -1,0 +1,122 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarize(t *testing.T) {
+	s, err := Summarize([]float64{1, 2, 3, 4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.Median != 3 {
+		t.Errorf("summary = %+v", s)
+	}
+	if math.Abs(s.Std-math.Sqrt(2)) > 1e-12 {
+		t.Errorf("std = %v", s.Std)
+	}
+	if _, err := Summarize(nil); err == nil {
+		t.Error("want error for empty sample")
+	}
+	if _, err := Summarize([]float64{math.NaN()}); err == nil {
+		t.Error("want error for NaN")
+	}
+	if _, err := Summarize([]float64{math.Inf(1)}); err == nil {
+		t.Error("want error for Inf")
+	}
+	one, err := Summarize([]float64{7})
+	if err != nil || one.Median != 7 || one.Q25 != 7 {
+		t.Errorf("singleton summary = %+v, %v", one, err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h, err := NewHistogram([]float64{0, 0.1, 0.5, 0.9, 1.0}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bins over [0,1): [0,0.5) gets {0, 0.1}; [0.5,1] gets {0.5, 0.9, 1.0}.
+	if h.Counts[0] != 2 || h.Counts[1] != 3 {
+		t.Errorf("counts = %v", h.Counts)
+	}
+	if h.BucketLabel(0) == "" {
+		t.Error("empty bucket label")
+	}
+	if _, err := NewHistogram(nil, 3); err == nil {
+		t.Error("want error for empty sample")
+	}
+	if _, err := NewHistogram([]float64{1}, 0); err == nil {
+		t.Error("want error for zero bins")
+	}
+	// Constant sample: everything lands in bin 0.
+	hc, err := NewHistogram([]float64{2, 2, 2}, 4)
+	if err != nil || hc.Counts[0] != 3 {
+		t.Errorf("constant histogram = %v, %v", hc.Counts, err)
+	}
+}
+
+func TestPearson(t *testing.T) {
+	a := []float64{1, 2, 3, 4}
+	b := []float64{2, 4, 6, 8}
+	r, err := Pearson(a, b)
+	if err != nil || math.Abs(r-1) > 1e-12 {
+		t.Errorf("r = %v, %v", r, err)
+	}
+	c := []float64{8, 6, 4, 2}
+	r, _ = Pearson(a, c)
+	if math.Abs(r+1) > 1e-12 {
+		t.Errorf("anti r = %v", r)
+	}
+	if _, err := Pearson(a, []float64{1}); err == nil {
+		t.Error("want error for length mismatch")
+	}
+	if _, err := Pearson([]float64{1}, []float64{1}); err == nil {
+		t.Error("want error for single point")
+	}
+	if _, err := Pearson([]float64{1, 1}, []float64{1, 2}); err == nil {
+		t.Error("want error for zero variance")
+	}
+}
+
+// Property: histogram counts always sum to the sample size, and
+// Pearson is always in [-1, 1].
+func TestProperties(t *testing.T) {
+	f := func(raw []float64, binsRaw uint8) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) < 2 {
+			return true
+		}
+		bins := 1 + int(binsRaw%10)
+		h, err := NewHistogram(xs, bins)
+		if err != nil {
+			return false
+		}
+		total := 0
+		for _, c := range h.Counts {
+			total += c
+		}
+		if total != len(xs) {
+			return false
+		}
+		ys := make([]float64, len(xs))
+		for i := range ys {
+			ys[i] = xs[len(xs)-1-i]
+		}
+		if r, err := Pearson(xs, ys); err == nil {
+			if r < -1-1e-9 || r > 1+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,199 @@
+package table
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// A Discretizer maps a raw real-valued column onto the discrete value
+// set {1..K()} of a table.
+type Discretizer interface {
+	// Discretize maps every entry of col into 1..K().
+	Discretize(col []float64) ([]Value, error)
+	// K reports the cardinality of the produced value set.
+	K() int
+}
+
+// EquiWidth partitions the observed [min, max] range of each column
+// into k equal-width bins. Used by the gene-database example
+// (Table 3.3 -> 3.4 in the paper, where fixed ranges map to down /
+// steady / up).
+type EquiWidth struct {
+	Bins int
+	// Min/Max optionally pin the range; if Min >= Max the observed
+	// column range is used instead.
+	Min, Max float64
+}
+
+// K implements Discretizer.
+func (d EquiWidth) K() int { return d.Bins }
+
+// Discretize implements Discretizer.
+func (d EquiWidth) Discretize(col []float64) ([]Value, error) {
+	if d.Bins < 1 || d.Bins > MaxK {
+		return nil, fmt.Errorf("table: equi-width bins %d out of range", d.Bins)
+	}
+	if len(col) == 0 {
+		return nil, fmt.Errorf("table: equi-width: empty column")
+	}
+	lo, hi := d.Min, d.Max
+	if lo >= hi {
+		lo, hi = col[0], col[0]
+		for _, v := range col[1:] {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+	}
+	out := make([]Value, len(col))
+	width := (hi - lo) / float64(d.Bins)
+	for i, v := range col {
+		if width == 0 || math.IsNaN(v) {
+			out[i] = 1
+			continue
+		}
+		b := int((v - lo) / width)
+		if b < 0 {
+			b = 0
+		}
+		if b >= d.Bins {
+			b = d.Bins - 1
+		}
+		out[i] = Value(b + 1)
+	}
+	return out, nil
+}
+
+// EquiDepth performs the paper's equi-depth partitioning (§5.1.1): a
+// k-threshold vector is computed so that each of the k buckets receives
+// roughly 1/k of the entries, then entries are mapped by threshold
+// comparison.
+type EquiDepth struct {
+	Bins int
+}
+
+// K implements Discretizer.
+func (d EquiDepth) K() int { return d.Bins }
+
+// Thresholds returns the (k-1)-tuple <a_1 ... a_{k-1}> of Section
+// 5.1.1: after sorting the column, a_i is the floor((i/k)*N)'th entry.
+func (d EquiDepth) Thresholds(col []float64) ([]float64, error) {
+	k := d.Bins
+	if k < 2 || k > MaxK {
+		return nil, fmt.Errorf("table: equi-depth bins %d out of range [2,%d]", k, MaxK)
+	}
+	n := len(col)
+	if n < k {
+		return nil, fmt.Errorf("table: equi-depth: %d entries for %d bins", n, k)
+	}
+	sorted := append([]float64(nil), col...)
+	sort.Float64s(sorted)
+	th := make([]float64, k-1)
+	for i := 1; i <= k-1; i++ {
+		idx := i * n / k
+		if idx >= n {
+			idx = n - 1
+		}
+		th[i-1] = sorted[idx]
+	}
+	return th, nil
+}
+
+// Discretize implements Discretizer: entry v maps to the smallest i
+// such that v < a_i, or k if v >= a_{k-1}.
+func (d EquiDepth) Discretize(col []float64) ([]Value, error) {
+	th, err := d.Thresholds(col)
+	if err != nil {
+		return nil, err
+	}
+	return ApplyThresholds(col, th), nil
+}
+
+// ApplyThresholds maps each entry through the ascending threshold
+// vector th (length k-1), producing values in 1..k: an entry in the
+// range [a_{i-1}, a_i) maps to value i, per §5.1.1. This is exposed
+// separately so that out-of-sample data can be discretized with the
+// thresholds fitted on the training window, as §5.5 requires.
+func ApplyThresholds(col []float64, th []float64) []Value {
+	out := make([]Value, len(col))
+	for i, v := range col {
+		// Number of thresholds <= v, i.e. first index with th[j] > v.
+		b := sort.Search(len(th), func(j int) bool { return th[j] > v })
+		out[i] = Value(b + 1)
+		if math.IsNaN(v) {
+			out[i] = 1
+		}
+	}
+	return out
+}
+
+// Mapped discretizes via an arbitrary user cut function, then
+// normalizes the produced codes onto 1..k preserving order. It covers
+// cases like the patient database's floor(a/10) rule (Table 3.2).
+type Mapped struct {
+	Cut func(float64) int
+}
+
+// K reports 0: the cardinality is data-dependent; use DiscretizeMapped.
+func (d Mapped) K() int { return 0 }
+
+// Discretize implements Discretizer; it fails if more than MaxK
+// distinct codes are produced.
+func (d Mapped) Discretize(col []float64) ([]Value, error) {
+	vals, _, err := DiscretizeMapped(col, d.Cut)
+	return vals, err
+}
+
+// DiscretizeMapped applies cut to every entry and renumbers the
+// resulting codes densely onto 1..k in ascending code order, returning
+// the values and k.
+func DiscretizeMapped(col []float64, cut func(float64) int) ([]Value, int, error) {
+	codes := make([]int, len(col))
+	seen := map[int]bool{}
+	for i, v := range col {
+		c := cut(v)
+		codes[i] = c
+		seen[c] = true
+	}
+	if len(seen) > MaxK {
+		return nil, 0, fmt.Errorf("table: mapped discretizer produced %d codes (max %d)", len(seen), MaxK)
+	}
+	uniq := make([]int, 0, len(seen))
+	for c := range seen {
+		uniq = append(uniq, c)
+	}
+	sort.Ints(uniq)
+	rank := make(map[int]Value, len(uniq))
+	for i, c := range uniq {
+		rank[c] = Value(i + 1)
+	}
+	out := make([]Value, len(col))
+	for i, c := range codes {
+		out[i] = rank[c]
+	}
+	return out, len(uniq), nil
+}
+
+// DiscretizeColumns applies one Discretizer with a fixed K to every raw
+// column and assembles the result into a table.
+func DiscretizeColumns(attrs []string, raw [][]float64, d Discretizer) (*Table, error) {
+	if d.K() < 1 {
+		return nil, fmt.Errorf("table: discretizer has unknown cardinality")
+	}
+	if len(attrs) != len(raw) {
+		return nil, fmt.Errorf("table: %d attributes but %d raw columns", len(attrs), len(raw))
+	}
+	cols := make([][]Value, len(raw))
+	for j, c := range raw {
+		vals, err := d.Discretize(c)
+		if err != nil {
+			return nil, fmt.Errorf("table: column %q: %w", attrs[j], err)
+		}
+		cols[j] = vals
+	}
+	return FromColumns(attrs, d.K(), cols)
+}

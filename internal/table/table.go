@@ -1,0 +1,250 @@
+// Package table implements the discrete database substrate D(A, O, V)
+// from Chapter 3 of the paper: a table whose columns are multi-valued
+// attributes, whose rows are observations, and whose entries come from
+// a fixed finite value set V = {1, 2, ..., k}.
+//
+// Storage is column-major so that the association-hypergraph builder in
+// internal/core can scan single attributes with good cache locality.
+package table
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Value is a discretized attribute value. Valid values are 1..K for the
+// owning table; 0 is reserved as "invalid/unset".
+type Value uint8
+
+// MaxK is the largest supported value-set cardinality.
+const MaxK = 255
+
+// Table is a database D(A, O, V) in the sense of Definition 3.1: a set
+// of named multi-valued attributes (columns), a set of observations
+// (rows), and a fixed finite value set V = {1..K}.
+type Table struct {
+	attrs []string
+	index map[string]int
+	cols  [][]Value
+	k     int
+	rows  int
+}
+
+// New returns an empty table with the given attribute names and value
+// cardinality k (so V = {1..k}).
+func New(attrs []string, k int) (*Table, error) {
+	if len(attrs) == 0 {
+		return nil, errors.New("table: no attributes")
+	}
+	if k < 1 || k > MaxK {
+		return nil, fmt.Errorf("table: cardinality k=%d out of range [1,%d]", k, MaxK)
+	}
+	idx := make(map[string]int, len(attrs))
+	for j, a := range attrs {
+		if a == "" {
+			return nil, fmt.Errorf("table: empty attribute name at column %d", j)
+		}
+		if _, dup := idx[a]; dup {
+			return nil, fmt.Errorf("table: duplicate attribute %q", a)
+		}
+		idx[a] = j
+	}
+	cols := make([][]Value, len(attrs))
+	names := make([]string, len(attrs))
+	copy(names, attrs)
+	return &Table{attrs: names, index: idx, cols: cols, k: k}, nil
+}
+
+// FromRows builds a table from row-major data, inferring nothing: every
+// entry must already lie in 1..k.
+func FromRows(attrs []string, k int, rows [][]Value) (*Table, error) {
+	t, err := New(attrs, k)
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range rows {
+		if err := t.AppendRow(r); err != nil {
+			return nil, fmt.Errorf("table: row %d: %w", i, err)
+		}
+	}
+	return t, nil
+}
+
+// FromColumns builds a table from column-major data. All columns must
+// have equal length and entries in 1..k. The column slices are copied.
+func FromColumns(attrs []string, k int, cols [][]Value) (*Table, error) {
+	t, err := New(attrs, k)
+	if err != nil {
+		return nil, err
+	}
+	if len(cols) != len(attrs) {
+		return nil, fmt.Errorf("table: %d attributes but %d columns", len(attrs), len(cols))
+	}
+	n := -1
+	for j, c := range cols {
+		if n == -1 {
+			n = len(c)
+		} else if len(c) != n {
+			return nil, fmt.Errorf("table: column %d has %d rows, want %d", j, len(c), n)
+		}
+		for i, v := range c {
+			if v < 1 || int(v) > k {
+				return nil, fmt.Errorf("table: column %d row %d: value %d outside 1..%d", j, i, v, k)
+			}
+		}
+		t.cols[j] = append([]Value(nil), c...)
+	}
+	t.rows = n
+	return t, nil
+}
+
+// AppendRow appends one observation. The row must have one value per
+// attribute, each in 1..K.
+func (t *Table) AppendRow(row []Value) error {
+	if len(row) != len(t.attrs) {
+		return fmt.Errorf("table: row has %d values, want %d", len(row), len(t.attrs))
+	}
+	for j, v := range row {
+		if v < 1 || int(v) > t.k {
+			return fmt.Errorf("table: column %q: value %d outside 1..%d", t.attrs[j], v, t.k)
+		}
+	}
+	for j, v := range row {
+		t.cols[j] = append(t.cols[j], v)
+	}
+	t.rows++
+	return nil
+}
+
+// K returns the value-set cardinality, i.e. |V|.
+func (t *Table) K() int { return t.k }
+
+// NumRows returns the number of observations.
+func (t *Table) NumRows() int { return t.rows }
+
+// NumAttrs returns the number of attributes.
+func (t *Table) NumAttrs() int { return len(t.attrs) }
+
+// Attrs returns the attribute names in column order. The slice is a copy.
+func (t *Table) Attrs() []string {
+	out := make([]string, len(t.attrs))
+	copy(out, t.attrs)
+	return out
+}
+
+// AttrName returns the name of column j.
+func (t *Table) AttrName(j int) string { return t.attrs[j] }
+
+// AttrIndex returns the column index of the named attribute, or -1.
+func (t *Table) AttrIndex(name string) int {
+	if j, ok := t.index[name]; ok {
+		return j
+	}
+	return -1
+}
+
+// At returns the value of attribute column j in observation row i.
+func (t *Table) At(i, j int) Value { return t.cols[j][i] }
+
+// Column returns the backing slice for column j. Callers must treat it
+// as read-only; it is shared, not copied, because the builder's hot
+// loops depend on zero-copy access.
+func (t *Table) Column(j int) []Value { return t.cols[j] }
+
+// Row copies observation i into dst (allocating if dst is too small)
+// and returns it.
+func (t *Table) Row(i int, dst []Value) []Value {
+	if cap(dst) < len(t.cols) {
+		dst = make([]Value, len(t.cols))
+	}
+	dst = dst[:len(t.cols)]
+	for j := range t.cols {
+		dst[j] = t.cols[j][i]
+	}
+	return dst
+}
+
+// RowRange returns a new table containing observations [lo, hi). The
+// underlying data is copied so the slice can be mutated independently.
+func (t *Table) RowRange(lo, hi int) (*Table, error) {
+	if lo < 0 || hi > t.rows || lo > hi {
+		return nil, fmt.Errorf("table: row range [%d,%d) outside [0,%d)", lo, hi, t.rows)
+	}
+	out, err := New(t.attrs, t.k)
+	if err != nil {
+		return nil, err
+	}
+	for j := range t.cols {
+		out.cols[j] = append([]Value(nil), t.cols[j][lo:hi]...)
+	}
+	out.rows = hi - lo
+	return out, nil
+}
+
+// SelectAttrs returns a new table containing only the named attributes,
+// in the given order. Data is copied.
+func (t *Table) SelectAttrs(names []string) (*Table, error) {
+	out, err := New(names, t.k)
+	if err != nil {
+		return nil, err
+	}
+	for j, name := range names {
+		src := t.AttrIndex(name)
+		if src < 0 {
+			return nil, fmt.Errorf("table: unknown attribute %q", name)
+		}
+		out.cols[j] = append([]Value(nil), t.cols[src]...)
+	}
+	out.rows = t.rows
+	return out, nil
+}
+
+// Clone returns a deep copy of the table.
+func (t *Table) Clone() *Table {
+	out, _ := New(t.attrs, t.k)
+	for j := range t.cols {
+		out.cols[j] = append([]Value(nil), t.cols[j]...)
+	}
+	out.rows = t.rows
+	return out
+}
+
+// Validate re-checks every structural invariant. It is cheap relative
+// to mining and is called by the builder before a long run.
+func (t *Table) Validate() error {
+	if len(t.attrs) == 0 {
+		return errors.New("table: no attributes")
+	}
+	if t.k < 1 || t.k > MaxK {
+		return fmt.Errorf("table: cardinality %d out of range", t.k)
+	}
+	if len(t.cols) != len(t.attrs) {
+		return fmt.Errorf("table: %d columns for %d attributes", len(t.cols), len(t.attrs))
+	}
+	for j, c := range t.cols {
+		if len(c) != t.rows {
+			return fmt.Errorf("table: column %q has %d rows, want %d", t.attrs[j], len(c), t.rows)
+		}
+		for i, v := range c {
+			if v < 1 || int(v) > t.k {
+				return fmt.Errorf("table: column %q row %d: value %d outside 1..%d", t.attrs[j], i, v, t.k)
+			}
+		}
+	}
+	for name, j := range t.index {
+		if j < 0 || j >= len(t.attrs) || t.attrs[j] != name {
+			return fmt.Errorf("table: corrupt index entry %q->%d", name, j)
+		}
+	}
+	return nil
+}
+
+// ValueCounts returns, for column j, a histogram over 1..K (index 0 of
+// the result corresponds to value 1).
+func (t *Table) ValueCounts(j int) []int {
+	counts := make([]int, t.k)
+	for _, v := range t.cols[j] {
+		counts[v-1]++
+	}
+	return counts
+}

@@ -1,0 +1,391 @@
+package table
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func mustTable(t *testing.T, attrs []string, k int, rows [][]Value) *Table {
+	t.Helper()
+	tb, err := FromRows(attrs, k, rows)
+	if err != nil {
+		t.Fatalf("FromRows: %v", err)
+	}
+	return tb
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, 3); err == nil {
+		t.Error("want error for no attributes")
+	}
+	if _, err := New([]string{"A"}, 0); err == nil {
+		t.Error("want error for k=0")
+	}
+	if _, err := New([]string{"A"}, 256); err == nil {
+		t.Error("want error for k>255")
+	}
+	if _, err := New([]string{"A", "A"}, 3); err == nil {
+		t.Error("want error for duplicate attribute")
+	}
+	if _, err := New([]string{"A", ""}, 3); err == nil {
+		t.Error("want error for empty attribute name")
+	}
+}
+
+func TestAppendRowAndAccessors(t *testing.T) {
+	tb, err := New([]string{"A", "B", "C"}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.AppendRow([]Value{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.AppendRow([]Value{4, 4, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.AppendRow([]Value{1, 2}); err == nil {
+		t.Error("want error for short row")
+	}
+	if err := tb.AppendRow([]Value{1, 2, 5}); err == nil {
+		t.Error("want error for out-of-range value")
+	}
+	if err := tb.AppendRow([]Value{0, 2, 3}); err == nil {
+		t.Error("want error for zero value")
+	}
+	if got := tb.NumRows(); got != 2 {
+		t.Errorf("NumRows = %d, want 2", got)
+	}
+	if got := tb.NumAttrs(); got != 3 {
+		t.Errorf("NumAttrs = %d, want 3", got)
+	}
+	if got := tb.At(1, 0); got != 4 {
+		t.Errorf("At(1,0) = %d, want 4", got)
+	}
+	if got := tb.AttrIndex("C"); got != 2 {
+		t.Errorf("AttrIndex(C) = %d, want 2", got)
+	}
+	if got := tb.AttrIndex("Z"); got != -1 {
+		t.Errorf("AttrIndex(Z) = %d, want -1", got)
+	}
+	if got := tb.Row(0, nil); !reflect.DeepEqual(got, []Value{1, 2, 3}) {
+		t.Errorf("Row(0) = %v", got)
+	}
+	if err := tb.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestFromColumns(t *testing.T) {
+	tb, err := FromColumns([]string{"A", "B"}, 3, [][]Value{{1, 2, 3}, {3, 2, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.NumRows() != 3 {
+		t.Errorf("NumRows = %d", tb.NumRows())
+	}
+	if _, err := FromColumns([]string{"A", "B"}, 3, [][]Value{{1}, {1, 2}}); err == nil {
+		t.Error("want error for ragged columns")
+	}
+	if _, err := FromColumns([]string{"A"}, 2, [][]Value{{3}}); err == nil {
+		t.Error("want error for value above k")
+	}
+	if _, err := FromColumns([]string{"A", "B"}, 3, [][]Value{{1}}); err == nil {
+		t.Error("want error for column-count mismatch")
+	}
+}
+
+func TestRowRangeAndSelect(t *testing.T) {
+	tb := mustTable(t, []string{"A", "B"}, 3, [][]Value{{1, 1}, {2, 2}, {3, 3}, {1, 2}})
+	head, err := tb.RowRange(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if head.NumRows() != 2 || head.At(1, 1) != 2 {
+		t.Errorf("RowRange head wrong: %d rows", head.NumRows())
+	}
+	// Mutating the slice must not affect the parent.
+	head.cols[0][0] = 3
+	if tb.At(0, 0) != 1 {
+		t.Error("RowRange aliases parent storage")
+	}
+	if _, err := tb.RowRange(3, 2); err == nil {
+		t.Error("want error for inverted range")
+	}
+	if _, err := tb.RowRange(0, 9); err == nil {
+		t.Error("want error for out-of-bounds range")
+	}
+
+	sel, err := tb.SelectAttrs([]string{"B"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.NumAttrs() != 1 || sel.At(3, 0) != 2 {
+		t.Error("SelectAttrs wrong data")
+	}
+	if _, err := tb.SelectAttrs([]string{"Z"}); err == nil {
+		t.Error("want error for unknown attribute")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	tb := mustTable(t, []string{"A"}, 2, [][]Value{{1}, {2}})
+	cl := tb.Clone()
+	cl.cols[0][0] = 2
+	if tb.At(0, 0) != 1 {
+		t.Error("Clone aliases parent storage")
+	}
+}
+
+func TestValueCounts(t *testing.T) {
+	tb := mustTable(t, []string{"A"}, 3, [][]Value{{1}, {3}, {3}, {2}, {3}})
+	got := tb.ValueCounts(0)
+	want := []int{1, 1, 3}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("ValueCounts = %v, want %v", got, want)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	tb := mustTable(t, []string{"A", "B", "C"}, 5,
+		[][]Value{{1, 5, 3}, {2, 2, 2}, {5, 1, 4}})
+	var buf bytes.Buffer
+	if err := tb.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back.Attrs(), tb.Attrs()) {
+		t.Errorf("attrs mismatch: %v", back.Attrs())
+	}
+	for i := 0; i < tb.NumRows(); i++ {
+		for j := 0; j < tb.NumAttrs(); j++ {
+			if back.At(i, j) != tb.At(i, j) {
+				t.Fatalf("cell (%d,%d) mismatch", i, j)
+			}
+		}
+	}
+}
+
+func TestReadCSVInfersK(t *testing.T) {
+	in := "A,B\n1,4\n2,2\n"
+	tb, err := ReadCSV(strings.NewReader(in), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.K() != 4 {
+		t.Errorf("inferred K = %d, want 4", tb.K())
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader(""), 3); err == nil {
+		t.Error("want error for empty input")
+	}
+	if _, err := ReadCSV(strings.NewReader("A\nx\n"), 3); err == nil {
+		t.Error("want error for non-numeric cell")
+	}
+	if _, err := ReadCSV(strings.NewReader("A\n0\n"), 3); err == nil {
+		t.Error("want error for zero value")
+	}
+	if _, err := ReadCSV(strings.NewReader("A\n999\n"), 3); err == nil {
+		t.Error("want error for oversized value")
+	}
+}
+
+func TestEquiDepthThresholdsExample(t *testing.T) {
+	// 9 entries, k=3: thresholds at sorted indexes 3 and 6.
+	col := []float64{9, 8, 7, 6, 5, 4, 3, 2, 1}
+	d := EquiDepth{Bins: 3}
+	th, err := d.Thresholds(col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(th) != 2 || th[0] != 4 || th[1] != 7 {
+		t.Errorf("thresholds = %v, want [4 7]", th)
+	}
+	vals, err := d.Discretize(col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Value{3, 3, 3, 2, 2, 2, 1, 1, 1}
+	if !reflect.DeepEqual(vals, want) {
+		t.Errorf("values = %v, want %v", vals, want)
+	}
+}
+
+func TestEquiDepthRoughlyBalanced(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	col := make([]float64, 1000)
+	for i := range col {
+		col[i] = rng.NormFloat64()
+	}
+	for _, k := range []int{2, 3, 5, 10} {
+		vals, err := EquiDepth{Bins: k}.Discretize(col)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts := make([]int, k)
+		for _, v := range vals {
+			counts[v-1]++
+		}
+		want := len(col) / k
+		for b, c := range counts {
+			if c < want-want/2 || c > want+want/2 {
+				t.Errorf("k=%d bucket %d count %d far from %d", k, b, c, want)
+			}
+		}
+	}
+}
+
+func TestEquiDepthErrors(t *testing.T) {
+	if _, err := (EquiDepth{Bins: 1}).Discretize([]float64{1, 2}); err == nil {
+		t.Error("want error for bins=1")
+	}
+	if _, err := (EquiDepth{Bins: 5}).Discretize([]float64{1, 2}); err == nil {
+		t.Error("want error for too few entries")
+	}
+}
+
+func TestEquiWidth(t *testing.T) {
+	// Gene database rule: 0-333 -> 1, 334-666 -> 2, 667-999 -> 3.
+	d := EquiWidth{Bins: 3, Min: 0, Max: 999}
+	vals, err := d.Discretize([]float64{54.23, 541.21, 855.78, 0, 999})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Value{1, 2, 3, 1, 3}
+	if !reflect.DeepEqual(vals, want) {
+		t.Errorf("equi-width = %v, want %v", vals, want)
+	}
+	// Observed-range fallback with constant column.
+	vals, err = EquiWidth{Bins: 4}.Discretize([]float64{5, 5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range vals {
+		if v != 1 {
+			t.Errorf("constant column should map to 1, got %v", vals)
+		}
+	}
+	if _, err := (EquiWidth{Bins: 0}).Discretize([]float64{1}); err == nil {
+		t.Error("want error for zero bins")
+	}
+	if _, err := (EquiWidth{Bins: 3}).Discretize(nil); err == nil {
+		t.Error("want error for empty column")
+	}
+}
+
+func TestDiscretizeMappedPatientRule(t *testing.T) {
+	// Patient-database rule floor(a/10): ages 25,62,32 -> codes 2,6,3
+	// which renumber densely to 1,3,2.
+	vals, k, err := DiscretizeMapped([]float64{25, 62, 32}, func(v float64) int { return int(v / 10) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != 3 {
+		t.Errorf("k = %d, want 3", k)
+	}
+	want := []Value{1, 3, 2}
+	if !reflect.DeepEqual(vals, want) {
+		t.Errorf("vals = %v, want %v", vals, want)
+	}
+}
+
+func TestDiscretizeColumns(t *testing.T) {
+	raw := [][]float64{{1, 2, 3, 4, 5, 6}, {6, 5, 4, 3, 2, 1}}
+	tb, err := DiscretizeColumns([]string{"A", "B"}, raw, EquiDepth{Bins: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.K() != 2 || tb.NumRows() != 6 {
+		t.Fatalf("bad table k=%d rows=%d", tb.K(), tb.NumRows())
+	}
+	if _, err := DiscretizeColumns([]string{"A"}, raw, EquiDepth{Bins: 2}); err == nil {
+		t.Error("want error for attr/column mismatch")
+	}
+	if _, err := DiscretizeColumns([]string{"A", "B"}, raw, Mapped{Cut: func(v float64) int { return 0 }}); err == nil {
+		t.Error("want error for unknown-cardinality discretizer")
+	}
+}
+
+// Property: equi-depth discretization always emits values in 1..k and
+// applying fitted thresholds to the fitting column matches Discretize.
+func TestEquiDepthProperties(t *testing.T) {
+	f := func(seed int64, kRaw uint8) bool {
+		k := 2 + int(kRaw%6)
+		rng := rand.New(rand.NewSource(seed))
+		n := k + rng.Intn(200)
+		col := make([]float64, n)
+		for i := range col {
+			col[i] = rng.NormFloat64() * 10
+		}
+		d := EquiDepth{Bins: k}
+		vals, err := d.Discretize(col)
+		if err != nil {
+			return false
+		}
+		th, _ := d.Thresholds(col)
+		again := ApplyThresholds(col, th)
+		for i, v := range vals {
+			if v < 1 || int(v) > k || again[i] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: CSV round trip is the identity on random tables.
+func TestCSVRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nAttrs := 1 + rng.Intn(6)
+		k := 1 + rng.Intn(9)
+		attrs := make([]string, nAttrs)
+		for j := range attrs {
+			attrs[j] = "A" + string(rune('a'+j))
+		}
+		tb, _ := New(attrs, k)
+		rows := rng.Intn(40)
+		row := make([]Value, nAttrs)
+		for i := 0; i < rows; i++ {
+			for j := range row {
+				row[j] = Value(1 + rng.Intn(k))
+			}
+			if err := tb.AppendRow(row); err != nil {
+				return false
+			}
+		}
+		var buf bytes.Buffer
+		if err := tb.WriteCSV(&buf); err != nil {
+			return false
+		}
+		back, err := ReadCSV(&buf, k)
+		if err != nil {
+			return false
+		}
+		if back.NumRows() != tb.NumRows() || back.NumAttrs() != tb.NumAttrs() {
+			return false
+		}
+		for i := 0; i < rows; i++ {
+			for j := 0; j < nAttrs; j++ {
+				if back.At(i, j) != tb.At(i, j) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

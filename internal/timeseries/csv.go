@@ -1,0 +1,83 @@
+package timeseries
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WritePricesCSV emits the universe as one row per series: ticker,
+// sector, sub-sector, then the daily closes. cmd/genspx uses this
+// format, and ReadPricesCSV parses it back.
+func (u *Universe) WritePricesCSV(w io.Writer) error {
+	if err := u.Validate(); err != nil {
+		return err
+	}
+	cw := csv.NewWriter(w)
+	header := []string{"ticker", "sector", "subsector"}
+	for d := 0; d < u.Days(); d++ {
+		header = append(header, "d"+strconv.Itoa(d))
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, s := range u.Series {
+		rec := make([]string, 0, 3+len(s.Prices))
+		rec = append(rec, s.Ticker, s.Sector, s.SubSector)
+		for _, p := range s.Prices {
+			rec = append(rec, strconv.FormatFloat(p, 'f', -1, 64))
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadPricesCSV parses a universe written by WritePricesCSV (or any
+// CSV with a ticker,sector,subsector header followed by numeric close
+// columns). All series must have the same number of days.
+func ReadPricesCSV(r io.Reader) (*Universe, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 0
+	recs, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("timeseries: csv: %w", err)
+	}
+	if len(recs) < 2 {
+		return nil, fmt.Errorf("timeseries: csv: need a header and at least one series")
+	}
+	header := recs[0]
+	if len(header) < 4 || header[0] != "ticker" {
+		return nil, fmt.Errorf("timeseries: csv: unexpected header %v", header[:min(len(header), 4)])
+	}
+	days := len(header) - 3
+	u := &Universe{}
+	for i, rec := range recs[1:] {
+		if len(rec) != len(header) {
+			return nil, fmt.Errorf("timeseries: csv row %d: %d fields, want %d", i+1, len(rec), len(header))
+		}
+		s := Series{Ticker: rec[0], Sector: rec[1], SubSector: rec[2], Prices: make([]float64, days)}
+		for d := 0; d < days; d++ {
+			p, err := strconv.ParseFloat(rec[3+d], 64)
+			if err != nil {
+				return nil, fmt.Errorf("timeseries: csv row %d day %d: %w", i+1, d, err)
+			}
+			s.Prices[d] = p
+		}
+		u.Series = append(u.Series, s)
+	}
+	if err := u.Validate(); err != nil {
+		return nil, err
+	}
+	return u, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,67 @@
+package timeseries
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestPricesCSVRoundTrip(t *testing.T) {
+	cfg := DefaultGenConfig()
+	cfg.NumSeries = 10
+	cfg.NumDays = 40
+	u, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := u.WritePricesCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadPricesCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Series) != 10 || back.Days() != 40 {
+		t.Fatalf("dims %d x %d", len(back.Series), back.Days())
+	}
+	for i := range u.Series {
+		if back.Series[i].Ticker != u.Series[i].Ticker ||
+			back.Series[i].Sector != u.Series[i].Sector ||
+			back.Series[i].SubSector != u.Series[i].SubSector {
+			t.Fatalf("metadata mismatch at %d", i)
+		}
+		for d := range u.Series[i].Prices {
+			if back.Series[i].Prices[d] != u.Series[i].Prices[d] {
+				t.Fatalf("price mismatch %s day %d", u.Series[i].Ticker, d)
+			}
+		}
+	}
+}
+
+func TestReadPricesCSVErrors(t *testing.T) {
+	cases := []struct {
+		name, in string
+	}{
+		{"empty", ""},
+		{"header only", "ticker,sector,subsector,d0\n"},
+		{"bad header", "a,b,c,d\nX,S,SS,1\n"},
+		{"short header", "ticker,sector\nX,S\n"},
+		{"non-numeric", "ticker,sector,subsector,d0\nX,S,SS,abc\n"},
+		{"nonpositive price", "ticker,sector,subsector,d0,d1\nX,S,SS,1,0\n"},
+	}
+	for _, c := range cases {
+		if _, err := ReadPricesCSV(strings.NewReader(c.in)); err == nil {
+			t.Errorf("%s: want error", c.name)
+		}
+	}
+	// Minimal valid file.
+	ok := "ticker,sector,subsector,d0,d1\nX,S,SS,10,11\n"
+	u, err := ReadPricesCSV(strings.NewReader(ok))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Series[0].Prices[1] != 11 {
+		t.Errorf("parsed prices = %v", u.Series[0].Prices)
+	}
+}

@@ -1,0 +1,305 @@
+package timeseries
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDelta(t *testing.T) {
+	d, err := Delta([]float64{100, 110, 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d) != 2 || math.Abs(d[0]-0.1) > 1e-12 || math.Abs(d[1]+0.1) > 1e-12 {
+		t.Errorf("delta = %v", d)
+	}
+	if _, err := Delta([]float64{1}); err == nil {
+		t.Error("want error for single price")
+	}
+	if _, err := Delta([]float64{0, 1}); err == nil {
+		t.Error("want error for zero price")
+	}
+}
+
+func TestDefaultTaxonomy(t *testing.T) {
+	tax := DefaultTaxonomy()
+	if len(tax) != 12 {
+		t.Fatalf("sectors = %d, want 12", len(tax))
+	}
+	total := 0
+	for _, s := range tax {
+		total += s.SubSectors
+	}
+	if total != 104 {
+		t.Errorf("total sub-sectors = %d, want 104 (paper §5)", total)
+	}
+	var tech SectorSpec
+	for _, s := range tax {
+		if s.Code == "T" {
+			tech = s
+		}
+	}
+	if tech.SubSectors != 11 {
+		t.Errorf("Technology sub-sectors = %d, want 11", tech.SubSectors)
+	}
+}
+
+func TestGenerateDeterministicAndValid(t *testing.T) {
+	cfg := DefaultGenConfig()
+	cfg.NumSeries = 30
+	cfg.NumDays = 120
+	u1, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u2, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := u1.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if len(u1.Series) != 30 || u1.Days() != 120 {
+		t.Fatalf("dims = %d x %d", len(u1.Series), u1.Days())
+	}
+	for i := range u1.Series {
+		if u1.Series[i].Ticker != u2.Series[i].Ticker {
+			t.Fatal("ticker mismatch between same-seed runs")
+		}
+		for d := range u1.Series[i].Prices {
+			if u1.Series[i].Prices[d] != u2.Series[i].Prices[d] {
+				t.Fatal("prices differ between same-seed runs")
+			}
+		}
+	}
+	cfg.Seed = 43
+	u3, _ := Generate(cfg)
+	same := true
+	for d := range u1.Series[0].Prices {
+		if u1.Series[0].Prices[d] != u3.Series[0].Prices[d] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical prices")
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := Generate(GenConfig{NumSeries: 0, NumDays: 100}); err == nil {
+		t.Error("want error for zero series")
+	}
+	if _, err := Generate(GenConfig{NumSeries: 5, NumDays: 1}); err == nil {
+		t.Error("want error for too few days")
+	}
+	if _, err := Generate(GenConfig{NumSeries: 5, NumDays: 100,
+		Taxonomy: []SectorSpec{{Code: "X", SubSectors: 0}}}); err == nil {
+		t.Error("want error for zero sub-sectors")
+	}
+}
+
+func TestSelectedTickersPresent(t *testing.T) {
+	cfg := DefaultGenConfig()
+	cfg.NumSeries = 60
+	cfg.NumDays = 50
+	u, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"EMN", "HON", "GT", "PG", "XOM", "AIG", "JNJ", "JCP", "INTC", "FDX", "TE"} {
+		found := false
+		for _, s := range u.Series {
+			if s.Ticker == want {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("ticker %s missing from universe", want)
+		}
+	}
+	if got := u.SectorOf("XOM"); got != "E" {
+		t.Errorf("SectorOf(XOM) = %q, want E", got)
+	}
+	if got := u.SectorOf("NOPE"); got != "" {
+		t.Errorf("SectorOf(NOPE) = %q, want empty", got)
+	}
+}
+
+func TestSectorCoMovement(t *testing.T) {
+	// Same-sector delta series must correlate more than cross-sector
+	// ones — that is the property the whole evaluation rests on.
+	cfg := DefaultGenConfig()
+	cfg.NumSeries = 48
+	cfg.NumDays = 1500
+	u, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deltas, err := u.DeltaMatrix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	corr := func(a, b []float64) float64 {
+		var ma, mb float64
+		for i := range a {
+			ma += a[i]
+			mb += b[i]
+		}
+		ma /= float64(len(a))
+		mb /= float64(len(b))
+		var num, da, db float64
+		for i := range a {
+			num += (a[i] - ma) * (b[i] - mb)
+			da += (a[i] - ma) * (a[i] - ma)
+			db += (b[i] - mb) * (b[i] - mb)
+		}
+		return num / math.Sqrt(da*db)
+	}
+	var sameSum, crossSum float64
+	var sameN, crossN int
+	for i := 0; i < len(u.Series); i++ {
+		for j := i + 1; j < len(u.Series); j++ {
+			c := corr(deltas[i], deltas[j])
+			if u.Series[i].Sector == u.Series[j].Sector {
+				sameSum += c
+				sameN++
+			} else {
+				crossSum += c
+				crossN++
+			}
+		}
+	}
+	same, cross := sameSum/float64(sameN), crossSum/float64(crossN)
+	if same <= cross+0.05 {
+		t.Errorf("same-sector corr %.3f not above cross-sector %.3f", same, cross)
+	}
+}
+
+func TestBuildTableEquiDepth(t *testing.T) {
+	cfg := DefaultGenConfig()
+	cfg.NumSeries = 12
+	cfg.NumDays = 901
+	u, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, disc, err := u.BuildTable(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.NumRows() != 900 || tb.NumAttrs() != 12 || tb.K() != 3 {
+		t.Fatalf("table dims %dx%d k=%d", tb.NumRows(), tb.NumAttrs(), tb.K())
+	}
+	// Equi-depth: every value gets roughly a third of the rows.
+	for j := 0; j < tb.NumAttrs(); j++ {
+		for v, c := range tb.ValueCounts(j) {
+			if c < 200 || c > 400 {
+				t.Errorf("col %d value %d count %d far from 300", j, v+1, c)
+			}
+		}
+	}
+	if len(disc.Thresholds) != 12 || len(disc.Thresholds[0]) != 2 {
+		t.Fatalf("thresholds shape wrong")
+	}
+	// Applying the fitted discretization to the same universe must
+	// reproduce the table exactly.
+	tb2, err := disc.Apply(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < tb.NumRows(); i++ {
+		for j := 0; j < tb.NumAttrs(); j++ {
+			if tb.At(i, j) != tb2.At(i, j) {
+				t.Fatalf("Apply mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestWindowAndApplyOutSample(t *testing.T) {
+	cfg := DefaultGenConfig()
+	cfg.NumSeries = 8
+	cfg.NumDays = 400
+	u, _ := Generate(cfg)
+	in, err := u.Window(0, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := u.Window(300, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, disc, err := in.BuildTable(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outTb, err := disc.Apply(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outTb.NumRows() != 99 || outTb.K() != 5 {
+		t.Fatalf("out-sample table %d rows k=%d", outTb.NumRows(), outTb.K())
+	}
+	if _, err := u.Window(5, 4); err == nil {
+		t.Error("want error for inverted window")
+	}
+	if _, err := u.Window(0, 10_000); err == nil {
+		t.Error("want error for oversized window")
+	}
+}
+
+func TestApplyMismatch(t *testing.T) {
+	cfg := DefaultGenConfig()
+	cfg.NumSeries = 4
+	cfg.NumDays = 60
+	u, _ := Generate(cfg)
+	_, disc, err := u.BuildTable(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small := &Universe{Series: u.Series[:2]}
+	if _, err := disc.Apply(small); err == nil {
+		t.Error("want error for series-count mismatch")
+	}
+	swapped := &Universe{Series: append([]Series(nil), u.Series...)}
+	swapped.Series[0], swapped.Series[1] = swapped.Series[1], swapped.Series[0]
+	if _, err := disc.Apply(swapped); err == nil {
+		t.Error("want error for ticker mismatch")
+	}
+}
+
+// Property: the delta of a generated series always stays finite and
+// the discretized table rows are equal to NumDays-1.
+func TestGenerateProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		cfg := DefaultGenConfig()
+		cfg.Seed = seed
+		cfg.NumSeries = 6
+		cfg.NumDays = 80
+		u, err := Generate(cfg)
+		if err != nil {
+			return false
+		}
+		deltas, err := u.DeltaMatrix()
+		if err != nil {
+			return false
+		}
+		for _, col := range deltas {
+			if len(col) != 79 {
+				return false
+			}
+			for _, v := range col {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
