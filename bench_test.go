@@ -157,6 +157,28 @@ func BenchmarkFig54ConfidenceByYear(b *testing.B) {
 	}
 }
 
+// BenchmarkAprioriBaselineMine runs the classical Apriori baseline
+// (frequent itemsets + rules, via the public API) on the same C1
+// experiment table the hypergraph benchmarks use — the end-to-end view
+// of the TID-bitset counting engine.
+func BenchmarkAprioriBaselineMine(b *testing.B) {
+	e := benchEnvironment(b)
+	built, err := e.Built("C1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	tb := built.InTable
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rules, err := MineClassicRules(tb, AprioriOptions{MinSupport: 0.2, MaxLen: 3}, 0.6)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(rules)), "rules")
+	}
+}
+
 // --- Ablation benchmarks (DESIGN.md §5) ---
 
 func benchBuild(b *testing.B, cfg core.Config) {

@@ -1,0 +1,3 @@
+module hypermine
+
+go 1.24

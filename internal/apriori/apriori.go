@@ -5,14 +5,18 @@
 // and confidence-thresholded rule generation. It serves as the
 // baseline the directed-hypergraph model is motivated against, and its
 // support/confidence numbers cross-check internal/core's.
+//
+// Support counting runs on the table's TID-bitset index
+// (table.Index): a candidate's count is the popcount of the
+// intersection of its items' posting bitmaps, so each candidate costs
+// O(rows/64) word operations instead of a full table re-scan.
 package apriori
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"sort"
-	"strconv"
-	"strings"
 
 	"hypermine/internal/core"
 	"hypermine/internal/table"
@@ -50,17 +54,101 @@ func itemLess(a, b core.Item) bool {
 	return a.Val < b.Val
 }
 
-func key(items []core.Item) string {
-	var sb strings.Builder
-	for i, it := range items {
-		if i > 0 {
-			sb.WriteByte(';')
-		}
-		sb.WriteString(strconv.Itoa(it.Attr))
-		sb.WriteByte('=')
-		sb.WriteString(strconv.Itoa(int(it.Val)))
+// itemID is the fixed-width encoding of one item: the attribute index
+// shifted past the 8-bit value. It preserves itemLess order, so id
+// sequences compare the same way item sequences do.
+func itemID(it core.Item) uint64 {
+	return uint64(it.Attr)<<8 | uint64(it.Val)
+}
+
+// appendIDs appends the items' encodings to dst and returns it.
+func appendIDs(dst []uint64, items []core.Item) []uint64 {
+	for _, it := range items {
+		dst = append(dst, itemID(it))
 	}
-	return sb.String()
+	return dst
+}
+
+func idsLess(a, b []uint64) bool {
+	for i := range a {
+		if i >= len(b) {
+			return false
+		}
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+func idsEqual(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// containsIDs reports whether the lexicographically sorted id
+// sequences contain target, by binary search.
+func containsIDs(sorted [][]uint64, target []uint64) bool {
+	lo := sort.Search(len(sorted), func(i int) bool { return !idsLess(sorted[i], target) })
+	return lo < len(sorted) && idsEqual(sorted[lo], target)
+}
+
+// minCountFor returns the smallest count c in 1..n whose support
+// fraction float64(c)/float64(n) — the same division that produces
+// Frequent.Support — clears minSupport. The naive
+// int(minSupport*float64(n)) ceiling mis-rounds when the product is
+// not exactly representable (0.07*100 evaluates to 7.000000000000001,
+// so the ceiling became 8), silently dropping itemsets that meet the
+// threshold exactly. Deriving the cut from the division keeps
+// "Count >= minCount" and "Support >= MinSupport" consistent, which is
+// also the acceptance criterion the brute-force cross-check tests use.
+// The float estimate is at most a few ulps off, so the correction
+// loops run O(1) times.
+func minCountFor(minSupport float64, n int) int {
+	c := int(minSupport * float64(n))
+	if c < 1 {
+		c = 1
+	}
+	if c > n {
+		c = n
+	}
+	for c > 1 && float64(c-1)/float64(n) >= minSupport {
+		c--
+	}
+	for c < n && float64(c)/float64(n) < minSupport {
+		c++
+	}
+	return c
+}
+
+// indexMaxK bounds the value cardinality at which FrequentItemsets
+// builds the TID-bitset index. The index is dense — attrs * k *
+// ceil(rows/64) words regardless of value occupancy — so its memory is
+// k/8 times the table's; k <= 32 caps that at 4x. Beyond it the miner
+// falls back to scan counting (core.SupportCount on an index-free
+// table), which is O(rows) memory. Discretized tables are virtually
+// always far below this (the paper uses k = 3 and 5).
+const indexMaxK = 32
+
+// intersectItems returns the intersection bitmap of the items' posting
+// lists. A single item aliases the index's posting directly; larger
+// sets materialize into scratch (which must have Words() length).
+func intersectItems(ix *table.Index, items []core.Item, scratch []uint64) []uint64 {
+	if len(items) == 1 {
+		return ix.Posting(items[0].Attr, items[0].Val)
+	}
+	copy(scratch, ix.Posting(items[0].Attr, items[0].Val))
+	for _, it := range items[1:] {
+		table.AndInto(scratch, ix.Posting(it.Attr, it.Val))
+	}
+	return scratch
 }
 
 // FrequentItemsets runs level-wise Apriori on the table: L1 is the
@@ -70,6 +158,12 @@ func key(items []core.Item) string {
 // clears MinSupport. Itemsets never repeat an attribute — in the
 // multi-valued setting two values of one attribute cannot co-occur in
 // a row.
+//
+// Counting uses the table's TID-bitset index: the intersection bitmap
+// of a frequent (k-1)-itemset is materialized once per join partner
+// and each candidate is one AND+popcount pass against the extension
+// item's posting list. Tables with cardinality above indexMaxK fall
+// back to scan counting, whose memory stays O(rows).
 func FrequentItemsets(tb *table.Table, opt Options) ([]Frequent, error) {
 	if tb.NumRows() == 0 {
 		return nil, errors.New("apriori: empty table")
@@ -78,22 +172,33 @@ func FrequentItemsets(tb *table.Table, opt Options) ([]Frequent, error) {
 		return nil, fmt.Errorf("apriori: MinSupport %v outside (0,1]", opt.MinSupport)
 	}
 	n := tb.NumRows()
-	minCount := int(opt.MinSupport * float64(n))
-	if float64(minCount) < opt.MinSupport*float64(n) {
-		minCount++
-	}
-	if minCount < 1 {
-		minCount = 1
+	minCount := minCountFor(opt.MinSupport, n)
+	var ix *table.Index
+	var scratch []uint64
+	if tb.K() <= indexMaxK {
+		ix = tb.Index()
+		scratch = make([]uint64, ix.Words())
 	}
 
 	var all []Frequent
-	// L1 from per-column histograms.
+	// L1 from the index's cached posting counts, or per-column
+	// histograms on the scan path.
 	var level []Frequent
 	for a := 0; a < tb.NumAttrs(); a++ {
-		for v, c := range tb.ValueCounts(a) {
+		var counts []int
+		if ix == nil {
+			counts = tb.ValueCounts(a)
+		}
+		for v := 1; v <= tb.K(); v++ {
+			c := 0
+			if ix != nil {
+				c = ix.Count(a, table.Value(v))
+			} else {
+				c = counts[v-1]
+			}
 			if c >= minCount {
 				level = append(level, Frequent{
-					Items:   []core.Item{{Attr: a, Val: table.Value(v + 1)}},
+					Items:   []core.Item{{Attr: a, Val: table.Value(v)}},
 					Count:   c,
 					Support: float64(c) / float64(n),
 				})
@@ -102,18 +207,25 @@ func FrequentItemsets(tb *table.Table, opt Options) ([]Frequent, error) {
 	}
 	sortFrequent(level)
 	all = append(all, level...)
-
+	var levelIDs [][]uint64
 	for size := 2; len(level) > 0 && (opt.MaxLen == 0 || size <= opt.MaxLen); size++ {
-		prevKeys := make(map[string]bool, len(level))
+		// Encoded ids of the previous level, in level order — which is
+		// lexicographic, so subset membership is a binary search over
+		// fixed-width ids instead of a string-keyed set.
+		levelIDs = levelIDs[:0]
 		for _, f := range level {
-			prevKeys[key(f.Items)] = true
+			levelIDs = append(levelIDs, appendIDs(make([]uint64, 0, size-1), f.Items))
 		}
-		// Candidate generation: join itemsets sharing the first
-		// size-2 items.
-		var cands [][]core.Item
+		idBuf := make([]uint64, 0, size)
+		var next []Frequent
 		for i := 0; i < len(level); i++ {
+			a := level[i].Items
+			// Intersection bitmap of a's postings, materialized
+			// lazily on the first surviving join partner and shared
+			// by all of them.
+			var aBits []uint64
 			for j := i + 1; j < len(level); j++ {
-				a, b := level[i].Items, level[j].Items
+				b := level[j].Items
 				if !samePrefix(a, b) {
 					break // level is sorted; later j cannot match either
 				}
@@ -124,21 +236,25 @@ func FrequentItemsets(tb *table.Table, opt Options) ([]Frequent, error) {
 				if a[len(a)-1].Attr == last.Attr {
 					continue // one value per attribute
 				}
-				cand := append(append([]core.Item(nil), a...), last)
-				if !allSubsetsFrequent(cand, prevKeys) {
+				cand := append(append(make([]core.Item, 0, size), a...), last)
+				if !allSubsetsFrequent(cand, levelIDs, idBuf) {
 					continue
 				}
-				cands = append(cands, cand)
+				var c int
+				if ix != nil {
+					if aBits == nil {
+						aBits = intersectItems(ix, a, scratch)
+					}
+					c = table.PopcountAnd(aBits, ix.Posting(last.Attr, last.Val))
+				} else {
+					c = core.SupportCount(tb, cand)
+				}
+				if c >= minCount {
+					next = append(next, Frequent{Items: cand, Count: c, Support: float64(c) / float64(n)})
+				}
 			}
 		}
-		// Support counting in one table scan per candidate batch.
-		level = level[:0]
-		for _, cand := range cands {
-			c := core.SupportCount(tb, cand)
-			if c >= minCount {
-				level = append(level, Frequent{Items: cand, Count: c, Support: float64(c) / float64(n)})
-			}
-		}
+		level = next
 		sortFrequent(level)
 		all = append(all, level...)
 	}
@@ -154,16 +270,19 @@ func samePrefix(a, b []core.Item) bool {
 	return true
 }
 
-func allSubsetsFrequent(cand []core.Item, prev map[string]bool) bool {
-	buf := make([]core.Item, 0, len(cand)-1)
-	for drop := range cand {
-		buf = buf[:0]
+// allSubsetsFrequent is the downward-closure prune. The two subsets
+// obtained by dropping either of the last two items are the join
+// parents and frequent by construction, so only earlier drops are
+// checked. idBuf is scratch with capacity >= len(cand)-1.
+func allSubsetsFrequent(cand []core.Item, prev [][]uint64, idBuf []uint64) bool {
+	for drop := 0; drop <= len(cand)-3; drop++ {
+		ids := idBuf[:0]
 		for i, it := range cand {
 			if i != drop {
-				buf = append(buf, it)
+				ids = append(ids, itemID(it))
 			}
 		}
-		if !prev[key(buf)] {
+		if !containsIDs(prev, ids) {
 			return false
 		}
 	}
@@ -182,17 +301,36 @@ func sortFrequent(fs []Frequent) {
 	})
 }
 
+// itemsetKey overwrites buf with the items' fixed-width encodings and
+// returns it, for use as a map key. Lookups written as
+// index[string(key)] do not allocate.
+func itemsetKey(items []core.Item, buf []byte) []byte {
+	buf = buf[:0]
+	for _, it := range items {
+		buf = binary.BigEndian.AppendUint64(buf, itemID(it))
+	}
+	return buf
+}
+
 // GenerateRules produces every rule X => Y with nonempty X and Y
 // partitioning a frequent itemset, keeping those whose confidence
 // clears minConfidence. Support values come from the frequent-set
 // index, so no further table scans happen.
+//
+// The confidence cut compares the exact value reported in
+// Rule.Confidence (the float64 division of the two counts) directly
+// against minConfidence, so a rule whose confidence equals the
+// threshold is kept — the same exact-threshold contract as
+// FrequentItemsets' minCountFor.
 func GenerateRules(freq []Frequent, minConfidence float64) ([]Rule, error) {
 	if minConfidence < 0 || minConfidence > 1 {
 		return nil, fmt.Errorf("apriori: minConfidence %v outside [0,1]", minConfidence)
 	}
 	index := make(map[string]Frequent, len(freq))
+	var kb []byte
 	for _, f := range freq {
-		index[key(f.Items)] = f
+		kb = itemsetKey(f.Items, kb)
+		index[string(kb)] = f
 	}
 	var rules []Rule
 	for _, f := range freq {
@@ -210,7 +348,8 @@ func GenerateRules(freq []Frequent, minConfidence float64) ([]Rule, error) {
 					y = append(y, f.Items[i])
 				}
 			}
-			fx, ok := index[key(x)]
+			kb = itemsetKey(x, kb)
+			fx, ok := index[string(kb)]
 			if !ok {
 				continue // antecedent infrequent (cannot happen by closure, but be safe)
 			}
@@ -219,7 +358,8 @@ func GenerateRules(freq []Frequent, minConfidence float64) ([]Rule, error) {
 				continue
 			}
 			r := Rule{X: x, Y: y, Support: f.Support, Confidence: conf}
-			if fy, ok := index[key(y)]; ok && fy.Support > 0 {
+			kb = itemsetKey(y, kb)
+			if fy, ok := index[string(kb)]; ok && fy.Support > 0 {
 				r.Lift = conf / fy.Support
 			}
 			rules = append(rules, r)

@@ -3,6 +3,8 @@ package apriori
 import (
 	"math"
 	"math/rand"
+	"strconv"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -11,6 +13,21 @@ import (
 )
 
 func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+// key is a human-readable itemset key for test-side set comparisons
+// (the miner itself uses fixed-width uint64 encodings).
+func key(items []core.Item) string {
+	var sb strings.Builder
+	for i, it := range items {
+		if i > 0 {
+			sb.WriteByte(';')
+		}
+		sb.WriteString(strconv.Itoa(it.Attr))
+		sb.WriteByte('=')
+		sb.WriteString(strconv.Itoa(int(it.Val)))
+	}
+	return sb.String()
+}
 
 // marketBasket is the §1.1 example domain: binary attributes with
 // 1=absent, 2=present.
@@ -192,6 +209,180 @@ func TestAprioriProperties(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestMinCountExactThreshold: the support cut must keep itemsets that
+// meet the threshold exactly. The old int(MinSupport*float64(n))
+// ceiling computed 0.07*100 = 7.000000000000001 and demanded 8 rows,
+// silently dropping a 7-row itemset whose support is exactly 7%.
+func TestMinCountExactThreshold(t *testing.T) {
+	// 100 rows, one attribute taking value 2 in exactly 7 of them.
+	tb, err := table.New([]string{"A", "B"}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		v := table.Value(1)
+		if i < 7 {
+			v = 2
+		}
+		if err := tb.AppendRow([]table.Value{v, 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	freq, err := FrequentItemsets(tb, Options{MinSupport: 0.07})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, f := range freq {
+		if len(f.Items) == 1 && f.Items[0] == (core.Item{Attr: 0, Val: 2}) {
+			found = true
+			if f.Count != 7 {
+				t.Errorf("count = %d, want 7", f.Count)
+			}
+		}
+	}
+	if !found {
+		t.Error("itemset with support exactly 0.07 dropped at MinSupport=0.07")
+	}
+
+	// The cut must stay consistent with the reported Support division
+	// across awkward thresholds and row counts.
+	for _, tc := range []struct {
+		minSupp float64
+		n       int
+	}{
+		{0.07, 100}, {0.1, 30}, {0.3, 10}, {1.0 / 3.0, 6}, {0.15, 47}, {1, 13}, {1e-9, 5},
+	} {
+		got := minCountFor(tc.minSupp, tc.n)
+		want := tc.n
+		for c := 1; c <= tc.n; c++ {
+			if float64(c)/float64(tc.n) >= tc.minSupp {
+				want = c
+				break
+			}
+		}
+		if got != want {
+			t.Errorf("minCountFor(%v, %d) = %d, want %d", tc.minSupp, tc.n, got, want)
+		}
+	}
+}
+
+// TestGenerateRulesExactConfidenceThreshold: a rule whose confidence
+// equals minConfidence exactly must be kept.
+func TestGenerateRulesExactConfidenceThreshold(t *testing.T) {
+	tb := marketBasket(t)
+	// {diapers=2} => {milk=2} has confidence exactly 4/5 = 0.8.
+	rules, err := Mine(tb, Options{MinSupport: 0.5}, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, r := range rules {
+		if len(r.X) == 1 && len(r.Y) == 1 &&
+			r.X[0] == (core.Item{Attr: 1, Val: 2}) && r.Y[0] == (core.Item{Attr: 0, Val: 2}) {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("rule with confidence exactly at threshold dropped")
+	}
+}
+
+// TestFrequentItemsetsBitsMatchScan: every count the bitset-backed
+// miner reports must equal the scan-based support count, and the
+// reported itemset collection must be identical to a brute-force
+// enumeration using scan counting on an index-free copy of the table.
+func TestFrequentItemsetsBitsMatchScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 12; trial++ {
+		tb := randomTable(rng, 3+rng.Intn(3), 2+rng.Intn(3), 30+rng.Intn(120))
+		minSupp := 0.1 + rng.Float64()*0.3
+		freq, err := FrequentItemsets(tb, Options{MinSupport: minSupp})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Clone carries no index, so core.SupportCount takes the scan
+		// fallback there.
+		scanTb := tb.Clone()
+		got := map[string]int{}
+		for _, f := range freq {
+			if c := core.SupportCount(scanTb, f.Items); c != f.Count {
+				t.Fatalf("trial %d: itemset %v bitset count %d, scan count %d", trial, f.Items, f.Count, c)
+			}
+			got[key(f.Items)] = f.Count
+		}
+		// Brute force over all attribute-distinct itemsets.
+		var brute func(start int, cur []core.Item)
+		total := 0
+		brute = func(start int, cur []core.Item) {
+			if len(cur) > 0 {
+				c := core.SupportCount(scanTb, cur)
+				frequent := float64(c)/float64(scanTb.NumRows()) >= minSupp
+				if _, reported := got[key(cur)]; reported != frequent {
+					t.Fatalf("trial %d: itemset %v reported=%v frequent=%v (count %d, minSupp %v)",
+						trial, cur, reported, frequent, c, minSupp)
+				}
+				if frequent {
+					total++
+				}
+			}
+			for a := start; a < scanTb.NumAttrs(); a++ {
+				for v := 1; v <= scanTb.K(); v++ {
+					brute(a+1, append(cur, core.Item{Attr: a, Val: table.Value(v)}))
+				}
+			}
+		}
+		brute(0, nil)
+		if total != len(freq) {
+			t.Fatalf("trial %d: Apriori found %d itemsets, brute force %d", trial, len(freq), total)
+		}
+	}
+}
+
+// TestFrequentItemsetsLargeKScanFallback: above indexMaxK the miner
+// must not build the dense index (whose memory scales with k) and
+// must still return exactly the brute-force itemsets via the scan
+// path.
+func TestFrequentItemsetsLargeKScanFallback(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	tb := randomTable(rng, 3, indexMaxK+8, 120)
+	const minSupp = 0.02
+	freq, err := FrequentItemsets(tb, Options{MinSupport: minSupp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.IndexIfBuilt() != nil {
+		t.Fatalf("index was built for k=%d > indexMaxK=%d", tb.K(), indexMaxK)
+	}
+	got := map[string]int{}
+	for _, f := range freq {
+		got[key(f.Items)] = f.Count
+	}
+	var brute func(start int, cur []core.Item)
+	total := 0
+	brute = func(start int, cur []core.Item) {
+		if len(cur) > 0 {
+			c := core.SupportCount(tb, cur)
+			frequent := float64(c)/float64(tb.NumRows()) >= minSupp
+			if _, reported := got[key(cur)]; reported != frequent {
+				t.Fatalf("itemset %v reported=%v frequent=%v (count %d)", cur, reported, frequent, c)
+			}
+			if frequent {
+				total++
+			}
+		}
+		for a := start; a < tb.NumAttrs(); a++ {
+			for v := 1; v <= tb.K(); v++ {
+				brute(a+1, append(cur, core.Item{Attr: a, Val: table.Value(v)}))
+			}
+		}
+	}
+	brute(0, nil)
+	if total != len(freq) {
+		t.Fatalf("Apriori found %d itemsets, brute force %d", len(freq), total)
 	}
 }
 

@@ -1,0 +1,76 @@
+package core
+
+import "hypermine/internal/table"
+
+// bitsMaxK gates the bitmap counting kernels in the builder. Deriving
+// an edge (pair) contingency table from posting-bitmap intersections
+// costs O(k^2 * rows/64) (resp. O(k^3 * rows/64)) word operations
+// against O(rows) scalar increments, so bitmaps win only while k^2
+// (resp. k^3) stays small relative to the 64-rows-per-word payoff.
+// k <= 8 covers the paper's configurations (k = 3 and k = 5) with
+// headroom; larger cardinalities keep the scalar kernels.
+const bitsMaxK = 8
+
+// acvEdgeBits computes ACV({a},{c}) from the TID-bitset index:
+// contingency cell (va, vc) is the popcount of the intersection of the
+// two value postings, and only the per-row maximum is kept, so no k*k
+// scratch table is needed.
+func acvEdgeBits(ix *table.Index, a, c int) float64 {
+	k := ix.K()
+	sum := 0
+	for va := 1; va <= k; va++ {
+		if ix.Count(a, table.Value(va)) == 0 {
+			continue
+		}
+		pa := ix.Posting(a, table.Value(va))
+		best := 0
+		for vc := 1; vc <= k; vc++ {
+			if n := table.PopcountAnd(pa, ix.Posting(c, table.Value(vc))); n > best {
+				best = n
+			}
+		}
+		sum += best
+	}
+	return float64(sum) / float64(ix.Rows())
+}
+
+// fillTailPairBits materializes the k*k tail bitmaps of the pair
+// (a, b): slot (va-1)*k+(vb-1) of buf holds posting(a,va) AND
+// posting(b,vb). buf must hold k*k*Words() words; counts (length k*k)
+// receives each slot's popcount so downstream loops can skip empty
+// value combinations. The materialization is what lets one pair's
+// intersections be reused across all n-2 heads.
+func fillTailPairBits(ix *table.Index, a, b int, buf []uint64, counts []int) {
+	k, w := ix.K(), ix.Words()
+	for va := 1; va <= k; va++ {
+		pa := ix.Posting(a, table.Value(va))
+		for vb := 1; vb <= k; vb++ {
+			slot := (va-1)*k + vb - 1
+			dst := buf[slot*w : (slot+1)*w]
+			copy(dst, pa)
+			table.AndInto(dst, ix.Posting(b, table.Value(vb)))
+			counts[slot] = table.Popcount(dst)
+		}
+	}
+}
+
+// acvPairBits computes ACV({a,b},{c}) from tail bitmaps previously
+// materialized by fillTailPairBits.
+func acvPairBits(ix *table.Index, buf []uint64, counts []int, c int) float64 {
+	k, w := ix.K(), ix.Words()
+	sum := 0
+	for slot := 0; slot < k*k; slot++ {
+		if counts[slot] == 0 {
+			continue
+		}
+		tbits := buf[slot*w : (slot+1)*w]
+		best := 0
+		for vc := 1; vc <= k; vc++ {
+			if n := table.PopcountAnd(tbits, ix.Posting(c, table.Value(vc))); n > best {
+				best = n
+			}
+		}
+		sum += best
+	}
+	return float64(sum) / float64(ix.Rows())
+}

@@ -63,6 +63,66 @@ func BenchmarkACVPairKernel(b *testing.B) {
 	b.SetBytes(int64(tb.NumRows()))
 }
 
+// BenchmarkACVEdgeKernelBits measures the bitmap directed-edge kernel
+// on the same shape as BenchmarkACVEdgeKernel, for a direct
+// scalar-vs-bitset comparison.
+func BenchmarkACVEdgeKernelBits(b *testing.B) {
+	tb := benchTable(b, 2, 3, 2000)
+	ix := tb.Index()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = acvEdgeBits(ix, 0, 1)
+	}
+	b.SetBytes(int64(tb.NumRows()))
+}
+
+// BenchmarkACVPairKernelBits measures the bitmap 2-to-1 kernel on the
+// same shape as BenchmarkACVPairKernel. Like the scalar bench, the
+// per-pair tail materialization is done outside the loop: both are
+// amortized over the n-2 heads of a pair job.
+func BenchmarkACVPairKernelBits(b *testing.B) {
+	tb := benchTable(b, 3, 3, 2000)
+	ix := tb.Index()
+	pairBuf := make([]uint64, 9*ix.Words())
+	pairCnt := make([]int, 9)
+	fillTailPairBits(ix, 0, 1, pairBuf, pairCnt)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = acvPairBits(ix, pairBuf, pairCnt, 2)
+	}
+	b.SetBytes(int64(tb.NumRows()))
+}
+
+// BenchmarkSupportCountScan / BenchmarkSupportCountBits compare the
+// two SupportCount paths on a 3-item conjunction over 50k rows.
+func supportCountBenchItems(b *testing.B) (*table.Table, []Item) {
+	tb := benchTable(b, 8, 3, 50000)
+	return tb, []Item{{Attr: 0, Val: 1}, {Attr: 3, Val: 2}, {Attr: 6, Val: 3}}
+}
+
+func BenchmarkSupportCountScan(b *testing.B) {
+	tb, items := supportCountBenchItems(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = supportCountScan(tb, items)
+	}
+	b.SetBytes(int64(tb.NumRows()))
+}
+
+func BenchmarkSupportCountBits(b *testing.B) {
+	tb, items := supportCountBenchItems(b)
+	ix := tb.Index()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = supportCountBits(ix, items)
+	}
+	b.SetBytes(int64(tb.NumRows()))
+}
+
 // BenchmarkBuildAssociationTable measures full AT construction, the
 // unit of work of classifier preparation.
 func BenchmarkBuildAssociationTable(b *testing.B) {

@@ -49,6 +49,11 @@ type Config struct {
 	Parallelism int
 	// Candidates picks the tail-pair enumeration strategy.
 	Candidates CandidateStrategy
+
+	// noBits disables the TID-bitset counting kernels regardless of k.
+	// It exists so differential tests can force the scalar reference
+	// kernels; production callers leave it unset.
+	noBits bool
 }
 
 // C1 is configuration C1 of §5.1.2: k=3, gamma_{1->1}=1.15,
@@ -196,6 +201,15 @@ func Build(tb *table.Table, cfg Config) (*Model, error) {
 		null[c] = NullACV(tb, c)
 	}
 
+	// For small k the counting kernels run on the TID-bitset index
+	// (built once, shared by every worker); see bitsMaxK for the
+	// crossover argument.
+	useBits := k <= bitsMaxK && !cfg.noBits
+	var ix *table.Index
+	if useBits {
+		ix = tb.Index()
+	}
+
 	// Stage 1: all directed edges, parallel over heads.
 	edgeAdmit := make([]bool, n*n)
 	var wg sync.WaitGroup
@@ -204,14 +218,22 @@ func Build(tb *table.Table, cfg Config) (*Model, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			cnt := make([]int32, k*k)
+			var cnt []int32
+			if !useBits {
+				cnt = make([]int32, k*k)
+			}
 			for c := range heads {
 				colC := tb.Column(c)
 				for a := 0; a < n; a++ {
 					if a == c {
 						continue
 					}
-					acv := acvEdge(tb.Column(a), colC, k, cnt)
+					var acv float64
+					if useBits {
+						acv = acvEdgeBits(ix, a, c)
+					} else {
+						acv = acvEdge(tb.Column(a), colC, k, cnt)
+					}
 					model.EdgeACV[a*n+c] = acv
 					if acv >= cfg.GammaEdge*null[c] {
 						edgeAdmit[a*n+c] = true
@@ -248,14 +270,29 @@ func Build(tb *table.Table, cfg Config) (*Model, error) {
 		wg2.Add(1)
 		go func() {
 			defer wg2.Done()
-			cnt := make([]int32, k*k*k)
-			tailRow := make([]int32, m)
+			var cnt, tailRow []int32
+			var pairBuf []uint64
+			var pairCnt []int
+			if useBits {
+				pairBuf = make([]uint64, k*k*ix.Words())
+				pairCnt = make([]int, k*k)
+			} else {
+				cnt = make([]int32, k*k*k)
+				tailRow = make([]int32, m)
+			}
 			var local []pairEdge
 			for job := range jobs {
 				a, b := job.a, job.b
-				colA, colB := tb.Column(a), tb.Column(b)
-				for i := 0; i < m; i++ {
-					tailRow[i] = int32(colA[i]-1)*int32(k) + int32(colB[i]-1)
+				// Materialize the tail once per pair: k*k bitmaps for
+				// the bitset path, a per-row tail index otherwise.
+				// Either is reused across all n-2 heads below.
+				if useBits {
+					fillTailPairBits(ix, a, b, pairBuf, pairCnt)
+				} else {
+					colA, colB := tb.Column(a), tb.Column(b)
+					for i := 0; i < m; i++ {
+						tailRow[i] = int32(colA[i]-1)*int32(k) + int32(colB[i]-1)
+					}
 				}
 				for c := 0; c < n; c++ {
 					if c == a || c == b {
@@ -268,7 +305,12 @@ func Build(tb *table.Table, cfg Config) (*Model, error) {
 					if x := model.EdgeACV[b*n+c]; x > base {
 						base = x
 					}
-					acv := acvPair(tailRow, tb.Column(c), k, cnt)
+					var acv float64
+					if useBits {
+						acv = acvPairBits(ix, pairBuf, pairCnt, c)
+					} else {
+						acv = acvPair(tailRow, tb.Column(c), k, cnt)
+					}
 					if acv >= cfg.GammaPair*base {
 						local = append(local, pairEdge{a, b, c, acv})
 					}

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// TestModelJSONRoundTripRandomized: WriteJSON then ReadModelJSON must
+// reproduce the model exactly — table contents, attribute names,
+// config, hyperedges in order, and the EdgeACV cache bit for bit —
+// on a randomized model (complementing the fixed-fixture round trip
+// in rules_test.go).
+func TestModelJSONRoundTripRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	tb := randTable(t, rng, 6, 3, 200)
+	cfg := Config{GammaEdge: 1.02, GammaPair: 1.01, MaxTailSize: 2, Candidates: EdgeSeeded}
+	m, err := Build(tb, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadModelJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if back.Table.NumRows() != tb.NumRows() || back.Table.NumAttrs() != tb.NumAttrs() || back.Table.K() != tb.K() {
+		t.Fatalf("table shape changed: %dx%d k=%d", back.Table.NumRows(), back.Table.NumAttrs(), back.Table.K())
+	}
+	for i := 0; i < tb.NumRows(); i++ {
+		for j := 0; j < tb.NumAttrs(); j++ {
+			if back.Table.At(i, j) != tb.At(i, j) {
+				t.Fatalf("cell (%d,%d) changed", i, j)
+			}
+		}
+	}
+	for j, name := range tb.Attrs() {
+		if back.Table.AttrName(j) != name {
+			t.Fatalf("attr %d renamed %q -> %q", j, name, back.Table.AttrName(j))
+		}
+	}
+	if back.Config != m.Config {
+		t.Fatalf("config changed: %+v -> %+v", m.Config, back.Config)
+	}
+	if len(back.EdgeACV) != len(m.EdgeACV) {
+		t.Fatalf("EdgeACV length %d -> %d", len(m.EdgeACV), len(back.EdgeACV))
+	}
+	for i := range m.EdgeACV {
+		if back.EdgeACV[i] != m.EdgeACV[i] {
+			t.Fatalf("EdgeACV[%d] %v -> %v", i, m.EdgeACV[i], back.EdgeACV[i])
+		}
+	}
+	eo, eb := m.H.Edges(), back.H.Edges()
+	if len(eo) != len(eb) {
+		t.Fatalf("%d edges -> %d", len(eo), len(eb))
+	}
+	for i := range eo {
+		if !intsEqual(eo[i].Tail, eb[i].Tail) || !intsEqual(eo[i].Head, eb[i].Head) || eo[i].Weight != eb[i].Weight {
+			t.Fatalf("edge %d %+v -> %+v", i, eo[i], eb[i])
+		}
+	}
+
+	// The loaded model must be fully functional: association tables
+	// rebuilt from the round-tripped training table agree with the
+	// originals.
+	for _, e := range eo {
+		if len(e.Head) != 1 {
+			continue
+		}
+		atO, err := m.AssociationTableFor(e.Tail, e.Head[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		atB, err := back.AssociationTableFor(e.Tail, e.Head[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if atO.ACV() != atB.ACV() {
+			t.Fatalf("AT ACV for %v->%v changed: %v -> %v", e.Tail, e.Head, atO.ACV(), atB.ACV())
+		}
+	}
+
+	// Round-tripping the loaded model again is byte-stable.
+	var buf2 bytes.Buffer
+	if err := back.WriteJSON(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Error("second round trip not byte-stable")
+	}
+}
+
+// TestReadModelJSONRejectsCorruptInputs covers load-time validation
+// cases beyond rules_test.go's: truncated JSON, cell values outside
+// 1..k, and out-of-range edge attributes.
+func TestReadModelJSONRejectsCorruptInputs(t *testing.T) {
+	for _, bad := range []string{
+		``,
+		`{`,
+		`{"config":{},"k":3,"attrs":["A","B"],"rows":[[1,9]],"edges":[],"edgeACV":[0,0,0,0]}`,
+		`{"config":{},"k":3,"attrs":["A","B"],"rows":[[1,2]],"edges":[{"tail":[5],"head":[0],"weight":1}],"edgeACV":[0,0,0,0]}`,
+		`{"config":{},"k":3,"attrs":["A","B"],"rows":[[1,2]],"edges":[],"edgeACV":[0]}`,
+	} {
+		if _, err := ReadModelJSON(bytes.NewReader([]byte(bad))); err == nil {
+			t.Errorf("corrupt input %q accepted", bad)
+		}
+	}
+}

@@ -58,12 +58,46 @@ func (r Rule) Validate(tb *table.Table) error {
 }
 
 // SupportCount returns the number of observations matching every item.
+// When the table carries a TID-bitset index (table.Index) the count is
+// derived from posting-bitmap intersections; otherwise it falls back
+// to a column scan. The index is only used if already built — a single
+// count is not worth an index build, but callers that count many
+// conjunctions (Apriori, the hypergraph builder, the classifier) build
+// it once and every SupportCount after that rides on it.
 func SupportCount(tb *table.Table, items []Item) int {
-	n := tb.NumRows()
 	if len(items) == 0 {
-		return n
+		return tb.NumRows()
 	}
-	// Scan the first item's column and verify the rest per match.
+	if ix := tb.IndexIfBuilt(); ix != nil {
+		return supportCountBits(ix, items)
+	}
+	return supportCountScan(tb, items)
+}
+
+// supportCountBits counts via the TID-bitset index: AND the items'
+// posting bitmaps, popcount the intersection.
+func supportCountBits(ix *table.Index, items []Item) int {
+	switch len(items) {
+	case 1:
+		return ix.Count(items[0].Attr, items[0].Val)
+	case 2:
+		return table.PopcountAnd(
+			ix.Posting(items[0].Attr, items[0].Val),
+			ix.Posting(items[1].Attr, items[1].Val))
+	}
+	scratch := make([]uint64, ix.Words())
+	copy(scratch, ix.Posting(items[0].Attr, items[0].Val))
+	for _, it := range items[1 : len(items)-1] {
+		table.AndInto(scratch, ix.Posting(it.Attr, it.Val))
+	}
+	last := items[len(items)-1]
+	return table.PopcountAnd(scratch, ix.Posting(last.Attr, last.Val))
+}
+
+// supportCountScan is the index-free fallback: scan the first item's
+// column and verify the rest per match.
+func supportCountScan(tb *table.Table, items []Item) int {
+	n := tb.NumRows()
 	first := items[0]
 	col0 := tb.Column(first.Attr)
 	count := 0

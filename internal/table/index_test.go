@@ -1,0 +1,177 @@
+package table
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randomIndexTable(t *testing.T, rng *rand.Rand, nAttrs, k, rows int) *Table {
+	t.Helper()
+	attrs := make([]string, nAttrs)
+	for j := range attrs {
+		attrs[j] = "A" + string(rune('a'+j))
+	}
+	tb, err := New(attrs, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := make([]Value, nAttrs)
+	for i := 0; i < rows; i++ {
+		for j := range row {
+			row[j] = Value(1 + rng.Intn(k))
+		}
+		if err := tb.AppendRow(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tb
+}
+
+// TestIndexPostingsMatchScan checks every posting bitmap and cached
+// count against a direct column scan, over a spread of row counts that
+// exercises partial last words (rows % 64 != 0) and the empty-posting
+// case.
+func TestIndexPostingsMatchScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, rows := range []int{1, 63, 64, 65, 128, 1000} {
+		tb := randomIndexTable(t, rng, 5, 4, rows)
+		ix := tb.Index()
+		if ix.Rows() != rows || ix.K() != 4 {
+			t.Fatalf("rows=%d: index reports rows=%d k=%d", rows, ix.Rows(), ix.K())
+		}
+		if want := (rows + 63) / 64; ix.Words() != want {
+			t.Fatalf("rows=%d: words=%d, want %d", rows, ix.Words(), want)
+		}
+		for a := 0; a < tb.NumAttrs(); a++ {
+			for v := Value(1); int(v) <= tb.K(); v++ {
+				p := ix.Posting(a, v)
+				if len(p) != ix.Words() {
+					t.Fatalf("posting(%d,%d) has %d words", a, v, len(p))
+				}
+				count := 0
+				for i := 0; i < rows; i++ {
+					got := p[i>>6]&(1<<(uint(i)&63)) != 0
+					want := tb.At(i, a) == v
+					if got != want {
+						t.Fatalf("rows=%d posting(%d,%d) bit %d = %v, want %v", rows, a, v, i, got, want)
+					}
+					if want {
+						count++
+					}
+				}
+				if ix.Count(a, v) != count {
+					t.Fatalf("Count(%d,%d) = %d, want %d", a, v, ix.Count(a, v), count)
+				}
+				if Popcount(p) != count {
+					t.Fatalf("Popcount(posting(%d,%d)) = %d, want %d", a, v, Popcount(p), count)
+				}
+				// No stray bits past the last row.
+				if rows%64 != 0 {
+					if tail := p[len(p)-1] >> (uint(rows) & 63); tail != 0 {
+						t.Fatalf("posting(%d,%d) has bits past row %d", a, v, rows)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestIndexIntersectionsMatchScan checks PopcountAnd/AndInto-based
+// conjunction counts against row-by-row scanning.
+func TestIndexIntersectionsMatchScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	tb := randomIndexTable(t, rng, 6, 3, 777)
+	ix := tb.Index()
+	scratch := make([]uint64, ix.Words())
+	for trial := 0; trial < 200; trial++ {
+		// Random conjunction over 2-4 distinct attributes.
+		nItems := 2 + rng.Intn(3)
+		attrs := rng.Perm(tb.NumAttrs())[:nItems]
+		vals := make([]Value, nItems)
+		for i := range vals {
+			vals[i] = Value(1 + rng.Intn(tb.K()))
+		}
+		copy(scratch, ix.Posting(attrs[0], vals[0]))
+		for i := 1; i < nItems-1; i++ {
+			AndInto(scratch, ix.Posting(attrs[i], vals[i]))
+		}
+		got := PopcountAnd(scratch, ix.Posting(attrs[nItems-1], vals[nItems-1]))
+		want := 0
+	rows:
+		for i := 0; i < tb.NumRows(); i++ {
+			for j, a := range attrs {
+				if tb.At(i, a) != vals[j] {
+					continue rows
+				}
+			}
+			want++
+		}
+		if got != want {
+			t.Fatalf("trial %d: bitset count %d, scan count %d", trial, got, want)
+		}
+	}
+}
+
+// BenchmarkIndexBuild measures the one-time cost the bitset counting
+// paths amortize: building the TID-bitset index itself. The cached
+// index is dropped in-package each iteration so only the build is
+// timed (no table clone in the loop).
+func BenchmarkIndexBuild(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	attrs := make([]string, 50)
+	for j := range attrs {
+		attrs[j] = "A" + string(rune('a'+j%26)) + string(rune('a'+j/26))
+	}
+	tb, err := New(attrs, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	row := make([]Value, len(attrs))
+	for i := 0; i < 1000; i++ {
+		for j := range row {
+			row[j] = Value(1 + rng.Intn(3))
+		}
+		if err := tb.AppendRow(row); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tb.idxMu.Lock()
+		tb.idx = nil
+		tb.idxMu.Unlock()
+		_ = tb.Index()
+	}
+}
+
+// TestIndexCachingAndStaleness: the index is built once and shared, and
+// a table extended after indexing rebuilds rather than serving stale
+// postings.
+func TestIndexCachingAndStaleness(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tb := randomIndexTable(t, rng, 3, 3, 100)
+	if tb.IndexIfBuilt() != nil {
+		t.Fatal("IndexIfBuilt returned an index before any build")
+	}
+	ix1 := tb.Index()
+	if tb.Index() != ix1 || tb.IndexIfBuilt() != ix1 {
+		t.Fatal("index not cached")
+	}
+	if err := tb.AppendRow([]Value{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if tb.IndexIfBuilt() != nil {
+		t.Fatal("IndexIfBuilt returned a stale index after AppendRow")
+	}
+	ix2 := tb.Index()
+	if ix2 == ix1 {
+		t.Fatal("index not rebuilt after AppendRow")
+	}
+	if ix2.Rows() != 101 {
+		t.Fatalf("rebuilt index covers %d rows, want 101", ix2.Rows())
+	}
+	if got := ix2.Count(2, 3); got != Popcount(ix2.Posting(2, 3)) {
+		t.Fatalf("rebuilt count cache inconsistent: %d", got)
+	}
+}

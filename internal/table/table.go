@@ -10,6 +10,7 @@ package table
 import (
 	"errors"
 	"fmt"
+	"sync"
 )
 
 // Value is a discretized attribute value. Valid values are 1..K for the
@@ -28,6 +29,12 @@ type Table struct {
 	cols  [][]Value
 	k     int
 	rows  int
+
+	// idx is the lazily built TID-bitset index (see index.go). It is
+	// cached with the row count it was built at so AppendRow-extended
+	// tables rebuild transparently.
+	idxMu sync.Mutex
+	idx   *Index
 }
 
 // New returns an empty table with the given attribute names and value

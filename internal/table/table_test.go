@@ -172,6 +172,50 @@ func TestCSVRoundTrip(t *testing.T) {
 	}
 }
 
+// TestCSVRoundTripRandomized drives WriteCSV/ReadCSV over randomized
+// shapes (including single-column and single-row tables) and checks
+// the round trip is lossless and that the reloaded table indexes
+// identically to the original.
+func TestCSVRoundTripRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		nAttrs := 1 + rng.Intn(6)
+		k := 1 + rng.Intn(9)
+		rows := 1 + rng.Intn(150)
+		tb := randomIndexTable(t, rng, nAttrs, k, rows)
+		var buf bytes.Buffer
+		if err := tb.WriteCSV(&buf); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ReadCSV(bytes.NewReader(buf.Bytes()), k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back.K() != k || back.NumRows() != rows || back.NumAttrs() != nAttrs {
+			t.Fatalf("trial %d: shape %dx%d k=%d -> %dx%d k=%d", trial,
+				rows, nAttrs, k, back.NumRows(), back.NumAttrs(), back.K())
+		}
+		if !reflect.DeepEqual(back.Attrs(), tb.Attrs()) {
+			t.Fatalf("trial %d: attrs %v -> %v", trial, tb.Attrs(), back.Attrs())
+		}
+		for i := 0; i < rows; i++ {
+			for j := 0; j < nAttrs; j++ {
+				if back.At(i, j) != tb.At(i, j) {
+					t.Fatalf("trial %d: cell (%d,%d) mismatch", trial, i, j)
+				}
+			}
+		}
+		ixA, ixB := tb.Index(), back.Index()
+		for a := 0; a < nAttrs; a++ {
+			for v := Value(1); int(v) <= k; v++ {
+				if ixA.Count(a, v) != ixB.Count(a, v) {
+					t.Fatalf("trial %d: index count (%d,%d) mismatch", trial, a, v)
+				}
+			}
+		}
+	}
+}
+
 func TestReadCSVInfersK(t *testing.T) {
 	in := "A,B\n1,4\n2,2\n"
 	tb, err := ReadCSV(strings.NewReader(in), 0)
