@@ -1,0 +1,357 @@
+// Command bench measures the PR-2 query-stack benchmarks — packed-key
+// lookups, allocation-free similarity, scratch-reusing classification,
+// and the parallel BuildGraph/Evaluate paths — against reconstructions
+// of the legacy (string-keyed, allocating, serial) implementations,
+// and writes the results as machine-readable JSON for the repo's
+// BENCH_* perf trajectory.
+//
+// Usage:
+//
+//	go run ./cmd/bench [-out BENCH_2.json] [-quick]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"testing"
+
+	"hypermine/internal/benchfix"
+	"hypermine/internal/cover"
+	"hypermine/internal/hypergraph"
+	"hypermine/internal/similarity"
+	"hypermine/internal/table"
+)
+
+type benchResult struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+type comparison struct {
+	Name      string  `json:"name"`
+	Baseline  string  `json:"baseline"`
+	Optimized string  `json:"optimized"`
+	Speedup   float64 `json:"speedup"`
+}
+
+type report struct {
+	PR          int           `json:"pr"`
+	GoMaxProcs  int           `json:"gomaxprocs"`
+	GoVersion   string        `json:"go_version"`
+	Note        string        `json:"note"`
+	Benchmarks  []benchResult `json:"benchmarks"`
+	Comparisons []comparison  `json:"comparisons"`
+}
+
+func run(name string, rep *report, fn func(b *testing.B)) benchResult {
+	r := testing.Benchmark(fn)
+	res := benchResult{
+		Name:        name,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+	rep.Benchmarks = append(rep.Benchmarks, res)
+	fmt.Printf("%-42s %12.1f ns/op %8d B/op %6d allocs/op\n",
+		name, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp)
+	return res
+}
+
+func compare(rep *report, name string, base, opt benchResult) {
+	sp := base.NsPerOp / opt.NsPerOp
+	rep.Comparisons = append(rep.Comparisons, comparison{
+		Name: name, Baseline: base.Name, Optimized: opt.Name,
+		Speedup: math.Round(sp*100) / 100,
+	})
+	fmt.Printf("  -> %s: %.2fx\n", name, sp)
+}
+
+// legacyKeys rebuilds the pre-PR-2 string edge index of h.
+func legacyKeys(h *hypergraph.H) map[string]int32 {
+	m := make(map[string]int32, h.NumEdges())
+	for i := 0; i < h.NumEdges(); i++ {
+		e := h.Edge(i)
+		m[hypergraph.EdgeKey(e.Tail, e.Head)] = int32(i)
+	}
+	return m
+}
+
+// legacyReplaceTail is the pre-PR-2 allocating substitution.
+func legacyReplaceTail(tail []int, a1, a2 int) ([]int, bool) {
+	out := make([]int, 0, len(tail))
+	for _, v := range tail {
+		if v == a1 {
+			v = a2
+		} else if v == a2 {
+			return nil, false
+		}
+		out = append(out, v)
+	}
+	return out, true
+}
+
+// legacyOutSim reproduces the pre-PR-2 OutSim read path: allocating
+// substitution plus string-keyed lookups.
+func legacyOutSim(h *hypergraph.H, keys map[string]int32, a1, a2 int) float64 {
+	if a1 == a2 {
+		if len(h.Out(a1)) > 0 {
+			return 1
+		}
+		return 0
+	}
+	var num, den float64
+	for _, i := range h.Out(a1) {
+		e := h.Edge(int(i))
+		sub, ok := legacyReplaceTail(e.Tail, a1, a2)
+		if ok {
+			if j, found := keys[hypergraph.EdgeKey(sub, e.Head)]; found {
+				f := h.Edge(int(j))
+				num += math.Min(e.Weight, f.Weight)
+				den += math.Max(e.Weight, f.Weight)
+				continue
+			}
+		}
+		den += e.Weight
+	}
+	for _, i := range h.Out(a2) {
+		f := h.Edge(int(i))
+		sub, ok := legacyReplaceTail(f.Tail, a2, a1)
+		if ok {
+			if _, found := keys[hypergraph.EdgeKey(sub, f.Head)]; found {
+				continue
+			}
+		}
+		den += f.Weight
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// legacyInSim reproduces the pre-PR-2 InSim read path.
+func legacyInSim(h *hypergraph.H, keys map[string]int32, a1, a2 int) float64 {
+	if a1 == a2 {
+		if len(h.In(a1)) > 0 {
+			return 1
+		}
+		return 0
+	}
+	contains := func(s []int, v int) bool {
+		for _, x := range s {
+			if x == v {
+				return true
+			}
+		}
+		return false
+	}
+	var num, den float64
+	for _, i := range h.In(a1) {
+		e := h.Edge(int(i))
+		sub, ok := legacyReplaceTail(e.Head, a1, a2)
+		if ok && !contains(e.Tail, a2) {
+			if j, found := keys[hypergraph.EdgeKey(e.Tail, sub)]; found {
+				f := h.Edge(int(j))
+				num += math.Min(e.Weight, f.Weight)
+				den += math.Max(e.Weight, f.Weight)
+				continue
+			}
+		}
+		den += e.Weight
+	}
+	for _, i := range h.In(a2) {
+		f := h.Edge(int(i))
+		sub, ok := legacyReplaceTail(f.Head, a2, a1)
+		if ok && !contains(f.Tail, a1) {
+			if _, found := keys[hypergraph.EdgeKey(f.Tail, sub)]; found {
+				continue
+			}
+		}
+		den += f.Weight
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+func main() {
+	out := flag.String("out", "BENCH_2.json", "output JSON path ('-' for stdout only)")
+	quick := flag.Bool("quick", false, "shrink workloads for CI smoke runs")
+	flag.Parse()
+
+	nv, edges, simN := 80, 4000, 40
+	abcAttrs, abcRows := 30, 1500
+	if *quick {
+		nv, edges, simN = 30, 600, 12
+		abcAttrs, abcRows = 12, 300
+	}
+
+	rep := &report{
+		PR:         2,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+		Note: "legacy baselines are in-process reconstructions of the " +
+			"pre-PR-2 read path (string EdgeKey map, allocating substitution, " +
+			"serial loops); parallel speedups are bounded by gomaxprocs on this host",
+	}
+
+	// The exact workloads of the package benches (internal/benchfix).
+	h := benchfix.RandomHypergraph(7, nv, edges, 3)
+	keys := legacyKeys(h)
+	n := h.NumEdges()
+
+	lookupLegacy := run("Lookup/legacy-string-key", rep, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			e := h.Edge(i % n)
+			if _, ok := keys[hypergraph.EdgeKey(e.Tail, e.Head)]; !ok {
+				b.Fatal("edge vanished")
+			}
+		}
+	})
+	lookupPacked := run("Lookup/packed-uint64", rep, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			e := h.Edge(i % n)
+			if _, ok := h.Lookup(e.Tail, e.Head); !ok {
+				b.Fatal("edge vanished")
+			}
+		}
+	})
+	compare(rep, "Lookup packed vs legacy", lookupLegacy, lookupPacked)
+
+	outSimLegacy := run("OutSim/legacy", rep, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = legacyOutSim(h, keys, i%nv, (i+1)%nv)
+		}
+	})
+	outSimNew := run("OutSim/packed", rep, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = similarity.OutSim(h, i%nv, (i+1)%nv)
+		}
+	})
+	compare(rep, "OutSim packed vs legacy", outSimLegacy, outSimNew)
+
+	all := make([]int, simN)
+	for i := range all {
+		all[i] = i
+	}
+	bgLegacy := run("BuildGraph/legacy-serial", rep, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			d := make([][]float64, simN)
+			for r := range d {
+				d[r] = make([]float64, simN)
+			}
+			for r := 0; r < simN; r++ {
+				for c := r + 1; c < simN; c++ {
+					v := 1 - (legacyInSim(h, keys, all[r], all[c])+legacyOutSim(h, keys, all[r], all[c]))/2
+					d[r][c], d[c][r] = v, v
+				}
+			}
+		}
+	})
+	bgSerial := run("BuildGraph/serial", rep, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := similarity.BuildGraphParallel(h, all, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	bgParallel := run("BuildGraph/parallel", rep, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := similarity.BuildGraph(h, all); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	compare(rep, "BuildGraph serial vs legacy", bgLegacy, bgSerial)
+	compare(rep, "BuildGraph parallel vs legacy", bgLegacy, bgParallel)
+	compare(rep, "BuildGraph parallel vs serial", bgSerial, bgParallel)
+
+	abc, tb := benchfix.ABCWorkload(abcAttrs, abcRows)
+	p := abc.NewPredictor()
+	domVals := []table.Value{1, 2, 3, 1, 2}
+	target := abc.Targets()[0]
+	predOneShot := run("Predict/one-shot", rep, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := abc.Predict(domVals, target); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	predScratch := run("Predict/predictor", rep, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := p.Predict(domVals, target); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	compare(rep, "Predict scratch vs one-shot", predOneShot, predScratch)
+
+	// Legacy Evaluate: the pre-PR-2 row loop allocated one scratch per
+	// Predict call; reproduce it through the one-shot entry point.
+	evalLegacy := run("Evaluate/legacy-alloc-per-predict", rep, func(b *testing.B) {
+		dv := make([]table.Value, len(abc.Dominator()))
+		for i := 0; i < b.N; i++ {
+			for r := 0; r < tb.NumRows(); r++ {
+				for j, a := range abc.Dominator() {
+					dv[j] = tb.At(r, a)
+				}
+				for _, y := range abc.Targets() {
+					if _, _, err := abc.Predict(dv, y); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		}
+	})
+	evalSerial := run("Evaluate/serial", rep, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := abc.EvaluateParallel(tb, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	evalParallel := run("Evaluate/parallel", rep, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := abc.Evaluate(tb); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	compare(rep, "Evaluate serial vs legacy", evalLegacy, evalSerial)
+	compare(rep, "Evaluate parallel vs legacy", evalLegacy, evalParallel)
+	compare(rep, "Evaluate parallel vs serial", evalSerial, evalParallel)
+
+	targets := make([]int, h.NumVertices())
+	for i := range targets {
+		targets[i] = i
+	}
+	run("DominatorGreedyDS/memoized", rep, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := cover.DominatorGreedyDS(h, targets, cover.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	js, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		panic(err)
+	}
+	js = append(js, '\n')
+	if *out != "-" {
+		if err := os.WriteFile(*out, js, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	} else {
+		os.Stdout.Write(js)
+	}
+}

@@ -66,6 +66,9 @@ type (
 var (
 	NewHypergraph      = hypergraph.New
 	ReadHypergraphJSON = hypergraph.ReadJSON
+	// PackEdgeKey packs a restricted-model (tail, head) pair into its
+	// canonical uint64 key — the allocation-free identity Lookup uses.
+	PackEdgeKey = hypergraph.PackEdgeKey
 )
 
 // Core model (internal/core).
@@ -118,8 +121,11 @@ var (
 	OutSim = similarity.OutSim
 	// SimilarityDistance is 1 - (in-sim + out-sim)/2.
 	SimilarityDistance = similarity.Distance
-	// BuildSimilarityGraph induces SG_S over a vertex collection.
-	BuildSimilarityGraph = similarity.BuildGraph
+	// BuildSimilarityGraph induces SG_S over a vertex collection with
+	// GOMAXPROCS workers; BuildSimilarityGraphParallel takes an
+	// explicit worker count (1 = serial, bit-identical output).
+	BuildSimilarityGraph         = similarity.BuildGraph
+	BuildSimilarityGraphParallel = similarity.BuildGraphParallel
 	// EuclideanSim is the §5.3.1 baseline similarity.
 	EuclideanSim = similarity.EuclideanSim
 	// TClustering is the Gonzalez 2-approximation (Algorithm 2).
@@ -159,6 +165,10 @@ var (
 type (
 	// ABC is the association-based classifier (Algorithm 9).
 	ABC = classify.ABC
+	// ABCPredictor is the scratch-reusing per-goroutine prediction
+	// handle of an ABC: repeated Predict/PredictBatch calls through it
+	// make zero heap allocations.
+	ABCPredictor = classify.Predictor
 	// Classifier is the baseline supervised-learning interface.
 	Classifier = classify.Classifier
 	// Perceptron, SVM, MLP, Logistic are the §5.5 baselines;

@@ -1,0 +1,80 @@
+// Package benchfix holds the deterministic workload builders shared by
+// the package benchmarks and the cmd/bench runner, so the BENCH_*.json
+// perf trajectory and `go test -bench` always measure the exact same
+// workloads (no hand-mirrored fixtures to drift apart).
+package benchfix
+
+import (
+	"math/rand"
+
+	"hypermine/internal/classify"
+	"hypermine/internal/core"
+	"hypermine/internal/hypergraph"
+	"hypermine/internal/table"
+)
+
+// RandomHypergraph builds a deterministic random restricted-model
+// hypergraph: edges draw tail sizes uniformly from 1..maxTail (1..3
+// covers every packable shape) with a single head.
+func RandomHypergraph(seed int64, nv, edges, maxTail int) *hypergraph.H {
+	rng := rand.New(rand.NewSource(seed))
+	names := make([]string, nv)
+	for i := range names {
+		names[i] = "v" + string(rune('a'+i%26)) + string(rune('a'+i/26))
+	}
+	h, err := hypergraph.New(names)
+	if err != nil {
+		panic(err)
+	}
+	var tail [3]int
+	for tries := 0; h.NumEdges() < edges && tries < edges*20; tries++ {
+		w := rng.Float64() + 0.01
+		size := 1 + rng.Intn(maxTail)
+		for i := 0; i < size; i++ {
+			tail[i] = rng.Intn(nv)
+		}
+		// Invalid draws (duplicate ids, tail meeting head) just fail
+		// AddEdge and are retried.
+		_ = h.AddEdge(tail[:size], []int{rng.Intn(nv)}, w)
+	}
+	return h
+}
+
+// ABCWorkload builds the shared classification workload: a noisy k=3
+// table of nAttrs attributes and rows observations, a gamma=1 model,
+// and an ABC over dominator {0..4} with targets {5..10}. nAttrs must
+// be at least 11.
+func ABCWorkload(nAttrs, rows int) (*classify.ABC, *table.Table) {
+	rng := rand.New(rand.NewSource(2))
+	attrs := make([]string, nAttrs)
+	for j := range attrs {
+		attrs[j] = "A" + string(rune('a'+j%26)) + string(rune('a'+j/26))
+	}
+	tb, err := table.New(attrs, 3)
+	if err != nil {
+		panic(err)
+	}
+	row := make([]table.Value, nAttrs)
+	for i := 0; i < rows; i++ {
+		base := table.Value(1 + rng.Intn(3))
+		for j := range row {
+			if rng.Intn(3) == 0 {
+				row[j] = table.Value(1 + rng.Intn(3))
+			} else {
+				row[j] = base
+			}
+		}
+		if err := tb.AppendRow(row); err != nil {
+			panic(err)
+		}
+	}
+	m, err := core.Build(tb, core.Config{GammaEdge: 1.0, GammaPair: 1.0})
+	if err != nil {
+		panic(err)
+	}
+	abc, err := classify.NewABC(m, []int{0, 1, 2, 3, 4}, []int{5, 6, 7, 8, 9, 10})
+	if err != nil {
+		panic(err)
+	}
+	return abc, tb
+}

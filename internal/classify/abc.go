@@ -8,18 +8,22 @@ package classify
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
 
 	"hypermine/internal/core"
 	"hypermine/internal/table"
 )
 
 // abcEdge is one hyperedge relevant to a target: its tail attributes
-// (all inside the dominator) and the association table built from the
+// (all inside the dominator), their precomputed positions in the
+// dominator-value vector, and the association table built from the
 // training data.
 type abcEdge struct {
-	tail []int
-	at   *core.AssociationTable
+	tail    []int
+	tailPos []int32 // tail[i]'s index into Dominator() order
+	at      *core.AssociationTable
 }
 
 // ABC is the association-based classifier (Algorithm 9). Given the
@@ -102,7 +106,11 @@ func NewABC(m *core.Model, dom []int, targets []int) (*ABC, error) {
 			if err != nil {
 				return nil, fmt.Errorf("classify: AT for edge into %d: %w", y, err)
 			}
-			c.edges[y] = append(c.edges[y], abcEdge{tail: e.Tail, at: at})
+			pos := make([]int32, len(e.Tail))
+			for i, a := range e.Tail {
+				pos[i] = int32(c.domPos[a])
+			}
+			c.edges[y] = append(c.edges[y], abcEdge{tail: e.Tail, tailPos: pos, at: at})
 		}
 	}
 	return c, nil
@@ -117,26 +125,46 @@ func (c *ABC) Dominator() []int { return append([]int(nil), c.dom...) }
 // EdgeCount returns the number of usable hyperedges for a target.
 func (c *ABC) EdgeCount(target int) int { return len(c.edges[target]) }
 
+// Predictor carries the reusable per-query scratch of Algorithm 9, so
+// repeated predictions through one Predictor perform zero heap
+// allocations. It is not safe for concurrent use: share the ABC across
+// goroutines and give each its own Predictor (EvaluateParallel does
+// exactly that).
+type Predictor struct {
+	c   *ABC
+	val []float64
+}
+
+// NewPredictor returns a Predictor over this classifier.
+func (c *ABC) NewPredictor() *Predictor {
+	return &Predictor{c: c, val: make([]float64, c.model.Table.K())}
+}
+
 // Predict runs Algorithm 9 for one target: domVals holds the values of
 // the dominator attributes in Dominator() order. It returns the best
 // classified value y* and the normalized classification confidence
 // val[y*] / sum(val). Targets with no contributing hyperedges fall
 // back to the training-majority value with confidence 0.
-func (c *ABC) Predict(domVals []table.Value, target int) (table.Value, float64, error) {
+func (p *Predictor) Predict(domVals []table.Value, target int) (table.Value, float64, error) {
+	c := p.c
 	if len(domVals) != len(c.dom) {
 		return 0, 0, fmt.Errorf("classify: %d dominator values, want %d", len(domVals), len(c.dom))
 	}
-	k := c.model.Table.K()
-	val := make([]float64, k)
 	edges, ok := c.edges[target]
 	if !ok {
 		return 0, 0, fmt.Errorf("classify: %d is not a configured target", target)
 	}
-	var tailVals [3]table.Value // up to core.MaxTail tail attributes
-	for _, e := range edges {
-		tv := tailVals[:len(e.tail)]
-		for i, a := range e.tail {
-			tv[i] = domVals[c.domPos[a]]
+	k := c.model.Table.K()
+	val := p.val[:k]
+	for i := range val {
+		val[i] = 0
+	}
+	var tailVals [core.MaxTail]table.Value
+	for ei := range edges {
+		e := &edges[ei]
+		tv := tailVals[:len(e.tailPos)]
+		for i, pos := range e.tailPos {
+			tv[i] = domVals[pos]
 		}
 		row, err := e.at.RowIndex(tv)
 		if err != nil {
@@ -164,39 +192,137 @@ func (c *ABC) Predict(domVals []table.Value, target int) (table.Value, float64, 
 	return table.Value(best + 1), bestVal / total, nil
 }
 
+// PredictBatch classifies many observations for one target. domVals is
+// row-major, len(Dominator()) values per observation; out receives one
+// predicted value per observation and must be sized len(domVals)/len(Dominator());
+// conf may be nil, or sized like out to also receive confidences.
+// Beyond the Predictor itself the batch performs no heap allocations.
+func (p *Predictor) PredictBatch(domVals []table.Value, target int, out []table.Value, conf []float64) error {
+	nd := len(p.c.dom)
+	if len(domVals)%nd != 0 {
+		return fmt.Errorf("classify: %d batch values not a multiple of %d dominator attributes", len(domVals), nd)
+	}
+	rows := len(domVals) / nd
+	if len(out) != rows {
+		return fmt.Errorf("classify: out has %d slots for %d observations", len(out), rows)
+	}
+	if conf != nil && len(conf) != rows {
+		return fmt.Errorf("classify: conf has %d slots for %d observations", len(conf), rows)
+	}
+	for i := 0; i < rows; i++ {
+		v, cf, err := p.Predict(domVals[i*nd:(i+1)*nd], target)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		if conf != nil {
+			conf[i] = cf
+		}
+	}
+	return nil
+}
+
+// Predict is the one-shot form of Predictor.Predict, kept for callers
+// without a hot loop; it allocates one scratch per call.
+func (c *ABC) Predict(domVals []table.Value, target int) (table.Value, float64, error) {
+	return c.NewPredictor().Predict(domVals, target)
+}
+
+// PredictBatch is the one-shot form of Predictor.PredictBatch,
+// allocating the result slices.
+func (c *ABC) PredictBatch(domVals []table.Value, target int) ([]table.Value, []float64, error) {
+	nd := len(c.dom)
+	if nd == 0 || len(domVals)%nd != 0 {
+		return nil, nil, fmt.Errorf("classify: %d batch values not a multiple of %d dominator attributes", len(domVals), nd)
+	}
+	rows := len(domVals) / nd
+	out := make([]table.Value, rows)
+	conf := make([]float64, rows)
+	if err := c.NewPredictor().PredictBatch(domVals, target, out, conf); err != nil {
+		return nil, nil, err
+	}
+	return out, conf, nil
+}
+
 // Evaluate classifies every observation of tb for every target and
 // returns, per target, the classification confidence of §5.5: the
 // fraction of observations where the predicted value matches the
-// actual one. tb must share the training table's schema.
+// actual one. tb must share the training table's schema. Rows are
+// evaluated by GOMAXPROCS workers; use EvaluateParallel to pick the
+// worker count explicitly.
 func (c *ABC) Evaluate(tb *table.Table) (map[int]float64, error) {
+	return c.EvaluateParallel(tb, 0)
+}
+
+// EvaluateParallel is Evaluate with an explicit parallelism bound (0
+// means GOMAXPROCS, matching core.Config.Parallelism). Workers stripe
+// the rows, each with its own Predictor; per-target match counts are
+// integers, so the result is bit-identical at every parallelism level.
+func (c *ABC) EvaluateParallel(tb *table.Table, parallelism int) (map[int]float64, error) {
 	if tb.K() != c.model.Table.K() {
 		return nil, fmt.Errorf("classify: evaluation table k=%d, want %d", tb.K(), c.model.Table.K())
 	}
 	if tb.NumAttrs() != c.model.Table.NumAttrs() {
 		return nil, fmt.Errorf("classify: evaluation table has %d attributes, want %d", tb.NumAttrs(), c.model.Table.NumAttrs())
 	}
-	if tb.NumRows() == 0 {
+	rows := tb.NumRows()
+	if rows == 0 {
 		return nil, errors.New("classify: empty evaluation table")
 	}
-	correct := make(map[int]int, len(c.targets))
-	domVals := make([]table.Value, len(c.dom))
-	for i := 0; i < tb.NumRows(); i++ {
-		for j, a := range c.dom {
-			domVals[j] = tb.At(i, a)
-		}
-		for _, y := range c.targets {
-			pred, _, err := c.Predict(domVals, y)
-			if err != nil {
-				return nil, err
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	if parallelism > rows {
+		parallelism = rows
+	}
+	counts := make([][]int, parallelism) // worker -> per-target matches
+	errRows := make([]int, parallelism)  // first failing row per worker, or -1
+	errs := make([]error, parallelism)
+	var wg sync.WaitGroup
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			p := c.NewPredictor()
+			domVals := make([]table.Value, len(c.dom))
+			local := make([]int, len(c.targets))
+			counts[w], errRows[w] = local, -1
+			for i := w; i < rows; i += parallelism {
+				for j, a := range c.dom {
+					domVals[j] = tb.At(i, a)
+				}
+				for ti, y := range c.targets {
+					pred, _, err := p.Predict(domVals, y)
+					if err != nil {
+						errRows[w], errs[w] = i, err
+						return
+					}
+					if pred == tb.At(i, y) {
+						local[ti]++
+					}
+				}
 			}
-			if pred == tb.At(i, y) {
-				correct[y]++
-			}
+		}(w)
+	}
+	wg.Wait()
+	// Surface the error of the smallest failing row, matching what a
+	// serial scan would have reported first.
+	firstRow, firstErr := -1, error(nil)
+	for w := 0; w < parallelism; w++ {
+		if errs[w] != nil && (firstRow < 0 || errRows[w] < firstRow) {
+			firstRow, firstErr = errRows[w], errs[w]
 		}
 	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
 	out := make(map[int]float64, len(c.targets))
-	for _, y := range c.targets {
-		out[y] = float64(correct[y]) / float64(tb.NumRows())
+	for ti, y := range c.targets {
+		total := 0
+		for w := 0; w < parallelism; w++ {
+			total += counts[w][ti]
+		}
+		out[y] = float64(total) / float64(rows)
 	}
 	return out, nil
 }

@@ -1,49 +1,18 @@
-package classify
+package classify_test
 
 import (
 	"math/rand"
 	"testing"
 
-	"hypermine/internal/core"
+	"hypermine/internal/benchfix"
+	"hypermine/internal/classify"
 	"hypermine/internal/table"
 )
 
-func benchABC(b *testing.B) (*ABC, *table.Table) {
-	b.Helper()
-	rng := rand.New(rand.NewSource(2))
-	attrs := make([]string, 30)
-	for j := range attrs {
-		attrs[j] = "A" + string(rune('a'+j%26)) + string(rune('a'+j/26))
-	}
-	tb, _ := table.New(attrs, 3)
-	row := make([]table.Value, 30)
-	for i := 0; i < 1500; i++ {
-		base := table.Value(1 + rng.Intn(3))
-		for j := range row {
-			if rng.Intn(3) == 0 {
-				row[j] = table.Value(1 + rng.Intn(3))
-			} else {
-				row[j] = base
-			}
-		}
-		_ = tb.AppendRow(row)
-	}
-	m, err := core.Build(tb, core.Config{GammaEdge: 1.0, GammaPair: 1.0})
-	if err != nil {
-		b.Fatal(err)
-	}
-	dom := []int{0, 1, 2, 3, 4}
-	targets := []int{5, 6, 7, 8, 9, 10}
-	abc, err := NewABC(m, dom, targets)
-	if err != nil {
-		b.Fatal(err)
-	}
-	return abc, tb
-}
-
-// BenchmarkABCPredict measures one Algorithm 9 prediction.
+// BenchmarkABCPredict measures one Algorithm 9 prediction through the
+// one-shot compatibility entry point (allocates its scratch per call).
 func BenchmarkABCPredict(b *testing.B) {
-	abc, _ := benchABC(b)
+	abc, _ := benchfix.ABCWorkload(30, 1500)
 	domVals := []table.Value{1, 2, 3, 1, 2}
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -54,13 +23,66 @@ func BenchmarkABCPredict(b *testing.B) {
 	}
 }
 
-// BenchmarkABCEvaluate measures a full-table evaluation pass.
+// BenchmarkPredict measures one Algorithm 9 prediction through the
+// scratch-reusing Predictor — the 0 allocs/op per-query path.
+func BenchmarkPredict(b *testing.B) {
+	abc, _ := benchfix.ABCWorkload(30, 1500)
+	p := abc.NewPredictor()
+	domVals := []table.Value{1, 2, 3, 1, 2}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := p.Predict(domVals, 5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPredictBatch measures batched classification of 256
+// observations through one Predictor.
+func BenchmarkPredictBatch(b *testing.B) {
+	abc, tb := benchfix.ABCWorkload(30, 1500)
+	p := abc.NewPredictor()
+	nd := len(abc.Dominator())
+	rows := 256
+	flat := make([]table.Value, 0, rows*nd)
+	for i := 0; i < rows; i++ {
+		for _, a := range abc.Dominator() {
+			flat = append(flat, tb.At(i, a))
+		}
+	}
+	out := make([]table.Value, rows)
+	conf := make([]float64, rows)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := p.PredictBatch(flat, 5, out, conf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkABCEvaluate measures a full-table evaluation pass at
+// default (GOMAXPROCS) parallelism.
 func BenchmarkABCEvaluate(b *testing.B) {
-	abc, tb := benchABC(b)
+	abc, tb := benchfix.ABCWorkload(30, 1500)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := abc.Evaluate(tb); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkABCEvaluateSerial pins Evaluate to one worker, quantifying
+// the row-striped speedup.
+func BenchmarkABCEvaluateSerial(b *testing.B) {
+	abc, tb := benchfix.ABCWorkload(30, 1500)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := abc.EvaluateParallel(tb, 1); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -83,13 +105,13 @@ func benchFitData(n int) ([][]float64, []int) {
 // same one-hot workload.
 func BenchmarkFitClassifiers(b *testing.B) {
 	x, y := benchFitData(1000)
-	for name, mk := range map[string]func() Classifier{
-		"perceptron": func() Classifier { return &Perceptron{} },
-		"logistic":   func() Classifier { return &Logistic{} },
-		"svm":        func() Classifier { return &SVM{} },
-		"mlp":        func() Classifier { return &MLP{} },
-		"regression": func() Classifier { return &LinearRegression{} },
-		"tree":       func() Classifier { return &DecisionTree{} },
+	for name, mk := range map[string]func() classify.Classifier{
+		"perceptron": func() classify.Classifier { return &classify.Perceptron{} },
+		"logistic":   func() classify.Classifier { return &classify.Logistic{} },
+		"svm":        func() classify.Classifier { return &classify.SVM{} },
+		"mlp":        func() classify.Classifier { return &classify.MLP{} },
+		"regression": func() classify.Classifier { return &classify.LinearRegression{} },
+		"tree":       func() classify.Classifier { return &classify.DecisionTree{} },
 	} {
 		b.Run(name, func(b *testing.B) {
 			b.ReportAllocs()

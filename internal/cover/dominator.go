@@ -153,7 +153,20 @@ func headGainFor(h *hypergraph.H, inS, covered, inDom []bool, added []int) (int,
 // and commits the highest-scoring vertex. Runs in O(|S| * |E|) per the
 // paper. Ties break toward the smallest vertex id, so results are
 // deterministic.
+//
+// Iterations memoize alpha scores with dirty tracking: committing a
+// vertex only changes the score of candidates that share an edge with
+// it (their free tail counts shrink) or with a newly covered head
+// (their L(u, v) term drops), so everyone else keeps the cached value
+// instead of rescanning its out-edges. The memoized run is
+// bit-identical to the full rescan (see the differential test).
 func DominatorGreedyDS(h *hypergraph.H, s []int, opt Options) (*Result, error) {
+	return dominatorGreedyDS(h, s, opt, true)
+}
+
+// dominatorGreedyDS is DominatorGreedyDS with the alpha memoization
+// switchable, so tests can compare against the always-rescan reference.
+func dominatorGreedyDS(h *hypergraph.H, s []int, opt Options, memo bool) (*Result, error) {
 	if err := validateTargets(h, s); err != nil {
 		return nil, err
 	}
@@ -171,47 +184,80 @@ func DominatorGreedyDS(h *hypergraph.H, s []int, opt Options) (*Result, error) {
 	// candidate u; touched lists the heads to reset between candidates.
 	lBest := make([]float64, n)
 	touched := make([]int, 0, n)
+	score := func(u int) float64 {
+		alpha := 0.0
+		if inS[u] && !covered[u] {
+			alpha = 1
+		}
+		touched = touched[:0]
+		for _, ei := range h.Out(u) {
+			e := h.Edge(int(ei))
+			hv := e.Head[0]
+			if !inS[hv] || covered[hv] {
+				continue
+			}
+			free := 0
+			for _, tv := range e.Tail {
+				if !inDom[tv] {
+					free++
+				}
+			}
+			if free == 0 {
+				continue
+			}
+			// L(u, v) is the max over edges from u into v of
+			// w(e)/|T(e)-DomSet| — keep only the best edge per head.
+			if l := e.Weight / float64(free); l > lBest[hv] {
+				if lBest[hv] == 0 {
+					touched = append(touched, hv)
+				}
+				lBest[hv] = l
+			}
+		}
+		for _, hv := range touched {
+			alpha += lBest[hv]
+			lBest[hv] = 0
+		}
+		return alpha
+	}
+	alphaCache := make([]float64, n)
+	dirty := make([]bool, n)
+	for u := range dirty {
+		dirty[u] = true
+	}
+	// markCommitted records that v joined the dominator: every edge
+	// with v in its tail now has one less free tail vertex, changing
+	// the L terms of all its other tail members.
+	markCommitted := func(v int) {
+		for _, ei := range h.Out(v) {
+			for _, tv := range h.Edge(int(ei)).Tail {
+				dirty[tv] = true
+			}
+		}
+	}
+	// markCovered records that target v became covered: candidates
+	// feeding v through a hyperedge lose their L(u, v) term, and v
+	// itself loses its self-coverage unit.
+	markCovered := func(v int) {
+		dirty[v] = true
+		for _, ei := range h.In(v) {
+			for _, tv := range h.Edge(int(ei)).Tail {
+				dirty[tv] = true
+			}
+		}
+	}
 	for remaining > 0 {
 		bestU, bestAlpha := -1, -1.0
 		for u := 0; u < n; u++ {
 			if inDom[u] {
 				continue
 			}
-			alpha := 0.0
-			if inS[u] && !covered[u] {
-				alpha = 1
+			if !memo || dirty[u] {
+				alphaCache[u] = score(u)
+				dirty[u] = false
 			}
-			touched = touched[:0]
-			for _, ei := range h.Out(u) {
-				e := h.Edge(int(ei))
-				hv := e.Head[0]
-				if !inS[hv] || covered[hv] {
-					continue
-				}
-				free := 0
-				for _, tv := range e.Tail {
-					if !inDom[tv] {
-						free++
-					}
-				}
-				if free == 0 {
-					continue
-				}
-				// L(u, v) is the max over edges from u into v of
-				// w(e)/|T(e)-DomSet| — keep only the best edge per head.
-				if l := e.Weight / float64(free); l > lBest[hv] {
-					if lBest[hv] == 0 {
-						touched = append(touched, hv)
-					}
-					lBest[hv] = l
-				}
-			}
-			for _, hv := range touched {
-				alpha += lBest[hv]
-				lBest[hv] = 0
-			}
-			if alpha > bestAlpha {
-				bestAlpha, bestU = alpha, u
+			if alphaCache[u] > bestAlpha {
+				bestAlpha, bestU = alphaCache[u], u
 			}
 		}
 		if bestU < 0 {
@@ -246,15 +292,18 @@ func DominatorGreedyDS(h *hypergraph.H, s []int, opt Options) (*Result, error) {
 		inDom[bestU] = true
 		res.DomSet = append(res.DomSet, bestU)
 		res.Iterations++
+		markCommitted(bestU)
 		if inS[bestU] && !covered[bestU] {
 			covered[bestU] = true
 			remaining--
 			res.TargetCovered++
+			markCovered(bestU)
 		}
 		for _, v := range gained {
 			covered[v] = true
 			remaining--
 			res.TargetCovered++
+			markCovered(v)
 		}
 	}
 	return res, nil
@@ -295,16 +344,31 @@ func DominatorSetCover(h *hypergraph.H, s []int, opt Options) (*Result, error) {
 	inDom := make([]bool, n)
 	res := &Result{Covered: covered, TargetSize: len(s)}
 
-	// Build the distinct tail-set pool.
-	pool := map[string]tailCandidate{}
+	// Build the distinct tail-set pool, deduplicating on the packed
+	// integer tail key (string EdgeKey fallback for tails beyond the
+	// restricted model).
+	pool := map[uint64]tailCandidate{}
+	var poolS map[string]tailCandidate
 	for _, e := range h.Edges() {
-		key := hypergraph.EdgeKey(e.Tail, []int{0})
-		if _, ok := pool[key]; !ok {
-			pool[key] = tailCandidate{members: append([]int(nil), e.Tail...)}
+		if key, ok := hypergraph.PackTailKey(e.Tail); ok {
+			if _, dup := pool[key]; !dup {
+				pool[key] = tailCandidate{members: append([]int(nil), e.Tail...)}
+			}
+			continue
+		}
+		if poolS == nil {
+			poolS = map[string]tailCandidate{}
+		}
+		key := hypergraph.EdgeKey(e.Tail, e.Tail[:1])
+		if _, dup := poolS[key]; !dup {
+			poolS[key] = tailCandidate{members: append([]int(nil), e.Tail...)}
 		}
 	}
-	cands := make([]tailCandidate, 0, len(pool))
+	cands := make([]tailCandidate, 0, len(pool)+len(poolS))
 	for _, c := range pool {
+		cands = append(cands, c)
+	}
+	for _, c := range poolS {
 		cands = append(cands, c)
 	}
 	sort.Slice(cands, func(i, j int) bool { return lessIntSlice(cands[i].members, cands[j].members) })

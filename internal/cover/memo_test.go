@@ -1,0 +1,80 @@
+package cover
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"hypermine/internal/hypergraph"
+)
+
+func randomDomGraph(t *testing.T, rng *rand.Rand, nv, edges int) *hypergraph.H {
+	t.Helper()
+	names := make([]string, nv)
+	for i := range names {
+		names[i] = fmt.Sprintf("v%d", i)
+	}
+	h, err := hypergraph.New(names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tries := 0; h.NumEdges() < edges && tries < edges*20; tries++ {
+		w := rng.Float64() + 0.01
+		switch rng.Intn(3) {
+		case 0:
+			_ = h.AddEdge([]int{rng.Intn(nv)}, []int{rng.Intn(nv)}, w)
+		case 1:
+			_ = h.AddEdge([]int{rng.Intn(nv), rng.Intn(nv)}, []int{rng.Intn(nv)}, w)
+		case 2:
+			_ = h.AddEdge([]int{rng.Intn(nv), rng.Intn(nv), rng.Intn(nv)}, []int{rng.Intn(nv)}, w)
+		}
+	}
+	return h
+}
+
+// TestGreedyDSMemoDifferential checks that the dirty-tracked alpha
+// memoization of DominatorGreedyDS is bit-identical to the always-
+// rescan reference, on random hypergraphs, random target sets, and
+// both Complete modes.
+func TestGreedyDSMemoDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 40; trial++ {
+		nv := 5 + rng.Intn(30)
+		h := randomDomGraph(t, rng, nv, 10+rng.Intn(150))
+		var s []int
+		for v := 0; v < nv; v++ {
+			if rng.Intn(3) > 0 {
+				s = append(s, v)
+			}
+		}
+		if len(s) == 0 {
+			s = []int{0}
+		}
+		for _, complete := range []bool{false, true} {
+			opt := Options{Complete: complete}
+			memo, err1 := dominatorGreedyDS(h, s, opt, true)
+			ref, err2 := dominatorGreedyDS(h, s, opt, false)
+			if err1 != nil || err2 != nil {
+				t.Fatal(err1, err2)
+			}
+			if !reflect.DeepEqual(memo.DomSet, ref.DomSet) {
+				t.Fatalf("trial %d complete=%v: DomSet %v vs reference %v",
+					trial, complete, memo.DomSet, ref.DomSet)
+			}
+			if !reflect.DeepEqual(memo.Covered, ref.Covered) ||
+				memo.TargetCovered != ref.TargetCovered ||
+				memo.Iterations != ref.Iterations {
+				t.Fatalf("trial %d complete=%v: coverage state diverged", trial, complete)
+			}
+			// The exported entry point is the memoized one.
+			exp, err := DominatorGreedyDS(h, s, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(exp.DomSet, ref.DomSet) {
+				t.Fatalf("trial %d complete=%v: exported DomSet diverged", trial, complete)
+			}
+		}
+	}
+}

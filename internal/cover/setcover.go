@@ -30,6 +30,11 @@ func SetCover(n int, sets [][]int) ([]int, error) {
 	}
 	var pick []int
 	used := make([]bool, len(sets))
+	// mark/epoch deduplicate repeated elements within one set scan, so
+	// a set listing an uncovered element twice gains 1 for it, not 2 —
+	// required for the Theorem 2.3 guarantee.
+	mark := make([]int, n)
+	epoch := 0
 	remaining := n
 	for remaining > 0 {
 		best, bestGain := -1, 0
@@ -37,9 +42,11 @@ func SetCover(n int, sets [][]int) ([]int, error) {
 			if used[si] {
 				continue
 			}
+			epoch++
 			gain := 0
 			for _, e := range s {
-				if !covered[e] {
+				if !covered[e] && mark[e] != epoch {
+					mark[e] = epoch
 					gain++
 				}
 			}
@@ -87,6 +94,11 @@ func WeightedSetCover(n int, sets [][]int, costs []float64) ([]int, error) {
 	}
 	covered := make([]bool, n)
 	used := make([]bool, len(sets))
+	// See SetCover: duplicate elements inside one set must count once
+	// toward the gain, or cost effectiveness is overestimated and the
+	// H(n) bound breaks.
+	mark := make([]int, n)
+	epoch := 0
 	var pick []int
 	remaining := n
 	for remaining > 0 {
@@ -96,9 +108,11 @@ func WeightedSetCover(n int, sets [][]int, costs []float64) ([]int, error) {
 			if used[si] {
 				continue
 			}
+			epoch++
 			gain := 0
 			for _, e := range s {
-				if !covered[e] {
+				if !covered[e] && mark[e] != epoch {
+					mark[e] = epoch
 					gain++
 				}
 			}

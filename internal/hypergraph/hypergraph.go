@@ -40,6 +40,12 @@ type H struct {
 	edges []Edge
 	out   [][]int32 // vertex id -> indexes of edges whose tail contains it
 	in    [][]int32 // vertex id -> indexes of edges whose head contains it
+
+	// Each edge lives in exactly one key map: pkeys when the (tail,
+	// head) pair is packable (see packed.go — the restricted-model
+	// fast path), keys otherwise (general edges, the string-key
+	// fallback). Lookup decides per probe via PackEdgeKey.
+	pkeys map[uint64]int32
 	keys  map[string]int32
 }
 
@@ -65,6 +71,7 @@ func New(names []string) (*H, error) {
 		index: idx,
 		out:   make([][]int32, len(names)),
 		in:    make([][]int32, len(names)),
+		pkeys: make(map[uint64]int32),
 		keys:  make(map[string]int32),
 	}, nil
 }
@@ -170,13 +177,20 @@ func (h *H) AddEdge(tail, head []int, weight float64) error {
 	if err := validSets(len(h.names), tail, head); err != nil {
 		return err
 	}
-	key := EdgeKey(tail, head)
-	if _, dup := h.keys[key]; dup {
-		return fmt.Errorf("hypergraph: duplicate edge %s", h.formatEdge(tail, head))
-	}
 	id := int32(len(h.edges))
+	if pk, ok := PackEdgeKey(tail, head); ok {
+		if _, dup := h.pkeys[pk]; dup {
+			return fmt.Errorf("hypergraph: duplicate edge %s", h.formatEdge(tail, head))
+		}
+		h.pkeys[pk] = id
+	} else {
+		key := EdgeKey(tail, head)
+		if _, dup := h.keys[key]; dup {
+			return fmt.Errorf("hypergraph: duplicate edge %s", h.formatEdge(tail, head))
+		}
+		h.keys[key] = id
+	}
 	h.edges = append(h.edges, Edge{Tail: sortedCopy(tail), Head: sortedCopy(head), Weight: weight})
-	h.keys[key] = id
 	for _, v := range tail {
 		h.out[v] = append(h.out[v], id)
 	}
@@ -208,10 +222,17 @@ func (h *H) Edge(i int) Edge { return h.edges[i] }
 func (h *H) Edges() []Edge { return h.edges }
 
 // Lookup returns the index of the edge with the given tail and head
-// sets, and whether it exists.
+// sets, and whether it exists. For packable pairs (|T| <= 3, |H| == 1,
+// ids within MaxPackedID — every edge of the paper's restricted model)
+// the probe is a single integer map access with zero heap allocation;
+// other shapes fall back to the string-keyed map.
 func (h *H) Lookup(tail, head []int) (int, bool) {
-	id, ok := h.keys[EdgeKey(tail, head)]
-	return int(id), ok
+	if pk, ok := PackEdgeKey(tail, head); ok {
+		id, found := h.pkeys[pk]
+		return int(id), found
+	}
+	id, found := h.keys[EdgeKey(tail, head)]
+	return int(id), found
 }
 
 // Weight returns the weight of (tail, head), or 0 if absent.
@@ -334,7 +355,14 @@ func (h *H) Validate() error {
 		if err := validSets(len(h.names), e.Tail, e.Head); err != nil {
 			return fmt.Errorf("hypergraph: edge %d: %w", i, err)
 		}
-		if id, ok := h.keys[EdgeKey(e.Tail, e.Head)]; !ok || int(id) != i {
+		if pk, packable := PackEdgeKey(e.Tail, e.Head); packable {
+			if id, ok := h.pkeys[pk]; !ok || int(id) != i {
+				return fmt.Errorf("hypergraph: edge %d missing from packed key index", i)
+			}
+			if _, stray := h.keys[EdgeKey(e.Tail, e.Head)]; stray {
+				return fmt.Errorf("hypergraph: packable edge %d also in string key index", i)
+			}
+		} else if id, ok := h.keys[EdgeKey(e.Tail, e.Head)]; !ok || int(id) != i {
 			return fmt.Errorf("hypergraph: edge %d missing from key index", i)
 		}
 	}

@@ -1,0 +1,216 @@
+package hypergraph
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"hypermine/internal/testutil"
+)
+
+func TestPackEdgeKeyCanonical(t *testing.T) {
+	k1, ok1 := PackEdgeKey([]int{2, 1}, []int{3})
+	k2, ok2 := PackEdgeKey([]int{1, 2}, []int{3})
+	if !ok1 || !ok2 || k1 != k2 {
+		t.Error("packed key not canonical under tail permutation")
+	}
+	k3, _ := PackEdgeKey([]int{5, 4, 3}, []int{9})
+	k4, _ := PackEdgeKey([]int{3, 5, 4}, []int{9})
+	k5, _ := PackEdgeKey([]int{4, 3, 5}, []int{9})
+	if k3 != k4 || k4 != k5 {
+		t.Error("3-tail packed key not canonical under permutation")
+	}
+	a, _ := PackEdgeKey([]int{1}, []int{3})
+	b, _ := PackEdgeKey([]int{3}, []int{1})
+	if a == b {
+		t.Error("tail and head slots collide")
+	}
+	c, _ := PackEdgeKey([]int{1, 2}, []int{3})
+	d, _ := PackEdgeKey([]int{1}, []int{3})
+	if c == d {
+		t.Error("different tail sizes collide")
+	}
+}
+
+func TestPackEdgeKeyRejectsUnpackable(t *testing.T) {
+	cases := []struct {
+		tail, head []int
+	}{
+		{[]int{1, 2, 3, 4}, []int{5}}, // tail too large
+		{[]int{1}, []int{2, 3}},       // head too large
+		{[]int{1}, []int{}},           // empty head
+		{[]int{}, []int{1}},           // empty tail
+		{[]int{MaxPackedID + 1}, []int{1}},
+		{[]int{1}, []int{MaxPackedID + 1}},
+		{[]int{-1}, []int{1}},
+		{[]int{1}, []int{-1}},
+		{[]int{-1, 2, 3}, []int{1}},
+	}
+	for _, c := range cases {
+		if _, ok := PackEdgeKey(c.tail, c.head); ok {
+			t.Errorf("PackEdgeKey(%v, %v) unexpectedly packable", c.tail, c.head)
+		}
+	}
+	if _, ok := PackEdgeKey([]int{MaxPackedID}, []int{0}); !ok {
+		t.Error("edge at MaxPackedID should pack")
+	}
+}
+
+// randomRestricted builds a random hypergraph mixing all packable tail
+// sizes with unpackable general edges (|H| = 2), and returns a legacy
+// string-keyed reference index of every stored edge.
+func randomRestricted(t *testing.T, rng *rand.Rand, nv, tries int) (*H, map[string]int) {
+	t.Helper()
+	names := make([]string, nv)
+	for i := range names {
+		names[i] = fmt.Sprintf("v%d", i)
+	}
+	h, err := New(names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := map[string]int{}
+	distinct := func(ids ...int) bool {
+		seen := map[int]bool{}
+		for _, v := range ids {
+			if seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	for i := 0; i < tries; i++ {
+		w := rng.Float64() + 0.01
+		var tail, head []int
+		switch rng.Intn(4) {
+		case 0:
+			tail, head = []int{rng.Intn(nv)}, []int{rng.Intn(nv)}
+		case 1:
+			tail, head = []int{rng.Intn(nv), rng.Intn(nv)}, []int{rng.Intn(nv)}
+		case 2:
+			tail, head = []int{rng.Intn(nv), rng.Intn(nv), rng.Intn(nv)}, []int{rng.Intn(nv)}
+		case 3: // general (unpackable) edge exercising the fallback map
+			tail, head = []int{rng.Intn(nv)}, []int{rng.Intn(nv), rng.Intn(nv)}
+		}
+		if !distinct(append(append([]int{}, tail...), head...)...) {
+			continue
+		}
+		if err := h.AddEdge(tail, head, w); err != nil {
+			continue // duplicate
+		}
+		ref[EdgeKey(tail, head)] = h.NumEdges() - 1
+	}
+	return h, ref
+}
+
+// TestPackedLookupDifferential checks that packed-key Lookup answers
+// exactly what the legacy string-keyed index would, for every stored
+// edge (including size-3 tails and fallback edges) and for random
+// probes.
+func TestPackedLookupDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		nv := 5 + rng.Intn(40)
+		h, ref := randomRestricted(t, rng, nv, 300)
+		if err := h.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		// Every stored edge must be found, also under permuted input.
+		for i := 0; i < h.NumEdges(); i++ {
+			e := h.Edge(i)
+			got, ok := h.Lookup(e.Tail, e.Head)
+			if !ok || got != i {
+				t.Fatalf("Lookup(edge %d) = (%d, %v)", i, got, ok)
+			}
+			perm := append([]int(nil), e.Tail...)
+			rng.Shuffle(len(perm), func(a, b int) { perm[a], perm[b] = perm[b], perm[a] })
+			if got, ok := h.Lookup(perm, e.Head); !ok || got != i {
+				t.Fatalf("Lookup(permuted edge %d) = (%d, %v)", i, got, ok)
+			}
+		}
+		// Random probes must agree with the string reference.
+		for p := 0; p < 500; p++ {
+			var tail, head []int
+			switch rng.Intn(4) {
+			case 0:
+				tail, head = []int{rng.Intn(nv)}, []int{rng.Intn(nv)}
+			case 1:
+				tail, head = []int{rng.Intn(nv), rng.Intn(nv)}, []int{rng.Intn(nv)}
+			case 2:
+				tail, head = []int{rng.Intn(nv), rng.Intn(nv), rng.Intn(nv)}, []int{rng.Intn(nv)}
+			case 3:
+				tail, head = []int{rng.Intn(nv)}, []int{rng.Intn(nv), rng.Intn(nv)}
+			}
+			wantID, want := ref[EdgeKey(tail, head)]
+			gotID, got := h.Lookup(tail, head)
+			if got != want || (got && gotID != wantID) {
+				t.Fatalf("Lookup(%v, %v) = (%d, %v), reference (%d, %v)",
+					tail, head, gotID, got, wantID, want)
+			}
+		}
+	}
+}
+
+// TestLookupBeyondPackedIDs checks the string fallback for vertex ids
+// past the 16-bit packing limit.
+func TestLookupBeyondPackedIDs(t *testing.T) {
+	nv := MaxPackedID + 10
+	names := make([]string, nv)
+	for i := range names {
+		names[i] = fmt.Sprintf("v%d", i)
+	}
+	h, err := New(names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := MaxPackedID + 5
+	if err := h.AddEdge([]int{big}, []int{0}, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.AddEdge([]int{1, big}, []int{2}, 0.7); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.AddEdge([]int{1}, []int{2}, 0.9); err != nil {
+		t.Fatal(err)
+	}
+	if i, ok := h.Lookup([]int{big}, []int{0}); !ok || h.Edge(i).Weight != 0.5 {
+		t.Error("fallback lookup of big-id directed edge failed")
+	}
+	if i, ok := h.Lookup([]int{big, 1}, []int{2}); !ok || h.Edge(i).Weight != 0.7 {
+		t.Error("fallback lookup of big-id 2-to-1 edge failed")
+	}
+	if i, ok := h.Lookup([]int{1}, []int{2}); !ok || h.Edge(i).Weight != 0.9 {
+		t.Error("packed lookup alongside fallback edges failed")
+	}
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.AddEdge([]int{big}, []int{0}, 0.1); err == nil {
+		t.Error("duplicate fallback edge not rejected")
+	}
+}
+
+// TestLookupZeroAlloc pins the tentpole property: restricted-model
+// probes make no heap allocations.
+func TestLookupZeroAlloc(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("alloc counts unreliable under the race detector")
+	}
+	h := newH(t, "a", "b", "c", "d")
+	if err := h.AddEdge([]int{0, 1}, []int{2}, 0.6); err != nil {
+		t.Fatal(err)
+	}
+	tail, head := []int{1, 0}, []int{2}
+	miss := []int{0, 3}
+	if n := testing.AllocsPerRun(200, func() {
+		if _, ok := h.Lookup(tail, head); !ok {
+			t.Fatal("edge vanished")
+		}
+		if _, ok := h.Lookup(miss, head); ok {
+			t.Fatal("phantom edge")
+		}
+	}); n != 0 {
+		t.Errorf("Lookup allocates %v objects/op, want 0", n)
+	}
+}

@@ -1,60 +1,38 @@
-package similarity
+package similarity_test
 
 import (
-	"math/rand"
 	"testing"
 
-	"hypermine/internal/hypergraph"
+	"hypermine/internal/benchfix"
+	"hypermine/internal/similarity"
 )
-
-func benchGraph(b *testing.B, n, edges int) *hypergraph.H {
-	b.Helper()
-	rng := rand.New(rand.NewSource(3))
-	names := make([]string, n)
-	for i := range names {
-		names[i] = "v" + string(rune('a'+i%26)) + string(rune('a'+i/26))
-	}
-	h, err := hypergraph.New(names)
-	if err != nil {
-		b.Fatal(err)
-	}
-	for h.NumEdges() < edges {
-		a, c := rng.Intn(n), rng.Intn(n)
-		w := rng.Float64()
-		if rng.Intn(2) == 0 {
-			_ = h.AddEdge([]int{a}, []int{c}, w)
-		} else {
-			_ = h.AddEdge([]int{a, rng.Intn(n)}, []int{c}, w)
-		}
-	}
-	return h
-}
 
 // BenchmarkInSim measures one in-similarity evaluation on a dense
 // random hypergraph.
 func BenchmarkInSim(b *testing.B) {
-	h := benchGraph(b, 60, 5000)
+	h := benchfix.RandomHypergraph(3, 60, 5000, 2)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_ = InSim(h, i%60, (i+1)%60)
+		_ = similarity.InSim(h, i%60, (i+1)%60)
 	}
 }
 
 // BenchmarkOutSim measures one out-similarity evaluation.
 func BenchmarkOutSim(b *testing.B) {
-	h := benchGraph(b, 60, 5000)
+	h := benchfix.RandomHypergraph(3, 60, 5000, 2)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_ = OutSim(h, i%60, (i+1)%60)
+		_ = similarity.OutSim(h, i%60, (i+1)%60)
 	}
 }
 
 // BenchmarkBuildGraph measures full similarity-graph construction —
-// the O(n^2) pre-step of Figure 5.3.
+// the O(n^2) pre-step of Figure 5.3 — at default (GOMAXPROCS)
+// parallelism.
 func BenchmarkBuildGraph(b *testing.B) {
-	h := benchGraph(b, 40, 2000)
+	h := benchfix.RandomHypergraph(3, 40, 2000, 2)
 	all := make([]int, 40)
 	for i := range all {
 		all[i] = i
@@ -62,7 +40,24 @@ func BenchmarkBuildGraph(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := BuildGraph(h, all); err != nil {
+		if _, err := similarity.BuildGraph(h, all); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBuildGraphSerial pins Parallelism to 1, quantifying the
+// worker-pool speedup of the default BuildGraph.
+func BenchmarkBuildGraphSerial(b *testing.B) {
+	h := benchfix.RandomHypergraph(3, 40, 2000, 2)
+	all := make([]int, 40)
+	for i := range all {
+		all[i] = i
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := similarity.BuildGraphParallel(h, all, 1); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -9,15 +9,20 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
 
 	"hypermine/internal/hypergraph"
 )
 
-// replaceTail returns T with a1 replaced by a2 (Notation 3.9(3)), or
-// ok=false when the replacement does not produce a valid set (a2
-// already occurs in T - {a1}).
-func replaceTail(tail []int, a1, a2 int) ([]int, bool) {
-	out := make([]int, 0, len(tail))
+// replaceTail writes T with a1 replaced by a2 (Notation 3.9(3)) into
+// buf and returns the filled prefix, or ok=false when the replacement
+// does not produce a valid set (a2 already occurs in T - {a1}). Callers
+// pass a stack scratch array sliced to length 0, so restricted-model
+// tails (|T| <= 3) substitute without heap allocation; longer tails
+// transparently grow the buffer.
+func replaceTail(buf []int, tail []int, a1, a2 int) ([]int, bool) {
+	out := buf[:0]
 	for _, v := range tail {
 		if v == a1 {
 			v = a2
@@ -42,12 +47,13 @@ func OutSim(h *hypergraph.H, a1, a2 int) float64 {
 		return 0
 	}
 	var num, den float64
+	var scratch [hypergraph.MaxRestrictedTail]int
 	// Pairs seeded from out(a1): matched ones contribute min to the
 	// numerator and max to the denominator; unmatched ones are
 	// (e, empty) pairs contributing ACV(e) to the denominator.
 	for _, i := range h.Out(a1) {
 		e := h.Edge(int(i))
-		sub, ok := replaceTail(e.Tail, a1, a2)
+		sub, ok := replaceTail(scratch[:0], e.Tail, a1, a2)
 		if ok {
 			if j, found := h.Lookup(sub, e.Head); found {
 				f := h.Edge(int(j))
@@ -61,7 +67,7 @@ func OutSim(h *hypergraph.H, a1, a2 int) float64 {
 	// Remaining (empty, f) pairs from out(a2).
 	for _, i := range h.Out(a2) {
 		f := h.Edge(int(i))
-		sub, ok := replaceTail(f.Tail, a2, a1)
+		sub, ok := replaceTail(scratch[:0], f.Tail, a2, a1)
 		if ok {
 			if _, found := h.Lookup(sub, f.Head); found {
 				continue // already counted from out(a1)
@@ -75,9 +81,10 @@ func OutSim(h *hypergraph.H, a1, a2 int) float64 {
 	return num / den
 }
 
-// replaceHead returns H with a1 replaced by a2 (Notation 3.9(4)).
-func replaceHead(head []int, a1, a2 int) ([]int, bool) {
-	return replaceTail(head, a1, a2) // same substitution semantics
+// replaceHead writes H with a1 replaced by a2 into buf (Notation
+// 3.9(4)).
+func replaceHead(buf []int, head []int, a1, a2 int) ([]int, bool) {
+	return replaceTail(buf, head, a1, a2) // same substitution semantics
 }
 
 // InSim computes in-sim_H(a1, a2) of Definition 3.11(2): as OutSim but
@@ -90,9 +97,10 @@ func InSim(h *hypergraph.H, a1, a2 int) float64 {
 		return 0
 	}
 	var num, den float64
+	var scratch [hypergraph.MaxRestrictedTail]int
 	for _, i := range h.In(a1) {
 		e := h.Edge(int(i))
-		sub, ok := replaceHead(e.Head, a1, a2)
+		sub, ok := replaceHead(scratch[:0], e.Head, a1, a2)
 		if ok {
 			// The substituted head must not collide with the tail.
 			if !containsInt(e.Tail, a2) {
@@ -108,7 +116,7 @@ func InSim(h *hypergraph.H, a1, a2 int) float64 {
 	}
 	for _, i := range h.In(a2) {
 		f := h.Edge(int(i))
-		sub, ok := replaceHead(f.Head, a2, a1)
+		sub, ok := replaceHead(scratch[:0], f.Head, a2, a1)
 		if ok && !containsInt(f.Tail, a1) {
 			if _, found := h.Lookup(f.Tail, sub); found {
 				continue
@@ -146,8 +154,19 @@ type Graph struct {
 }
 
 // BuildGraph computes the similarity graph over the collection S of
-// vertex ids of h (Definition 3.13). Diagonal distances are 0.
+// vertex ids of h (Definition 3.13). Diagonal distances are 0. The
+// O(|S|^2) pairwise distance matrix is computed with GOMAXPROCS
+// workers; use BuildGraphParallel to pick the worker count explicitly.
 func BuildGraph(h *hypergraph.H, s []int) (*Graph, error) {
+	return BuildGraphParallel(h, s, 0)
+}
+
+// BuildGraphParallel is BuildGraph with an explicit parallelism bound
+// (0 means GOMAXPROCS, matching core.Config.Parallelism). Every worker
+// owns disjoint rows of the matrix and Distance is a pure function of
+// (h, a1, a2), so the result is bit-identical at every parallelism
+// level.
+func BuildGraphParallel(h *hypergraph.H, s []int, parallelism int) (*Graph, error) {
 	if len(s) == 0 {
 		return nil, errors.New("similarity: empty collection")
 	}
@@ -156,17 +175,48 @@ func BuildGraph(h *hypergraph.H, s []int) (*Graph, error) {
 			return nil, fmt.Errorf("similarity: vertex %d out of range", v)
 		}
 	}
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	if parallelism > len(s) {
+		parallelism = len(s)
+	}
 	g := &Graph{Nodes: append([]int(nil), s...), D: make([][]float64, len(s))}
 	for i := range g.D {
 		g.D[i] = make([]float64, len(s))
 	}
-	for i := 0; i < len(s); i++ {
+	fillRow := func(i int) {
 		for j := i + 1; j < len(s); j++ {
 			d := Distance(h, s[i], s[j])
 			g.D[i][j] = d
 			g.D[j][i] = d
 		}
 	}
+	if parallelism == 1 {
+		for i := 0; i < len(s); i++ {
+			fillRow(i)
+		}
+		return g, nil
+	}
+	// Row i owns cells (i, j) and (j, i) for all j > i, so workers
+	// never write the same cell. Rows shrink toward the end of the
+	// matrix; the channel balances the skew dynamically.
+	rows := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range rows {
+				fillRow(i)
+			}
+		}()
+	}
+	for i := 0; i < len(s); i++ {
+		rows <- i
+	}
+	close(rows)
+	wg.Wait()
 	return g, nil
 }
 

@@ -1,0 +1,9 @@
+//go:build !race
+
+// Package testutil holds tiny shared test helpers.
+package testutil
+
+// RaceEnabled reports whether the binary was built with the race
+// detector. Alloc-count assertions are skipped under it, because race
+// instrumentation changes escape analysis.
+const RaceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package testutil
+
+// RaceEnabled reports whether the binary was built with the race
+// detector. Alloc-count assertions are skipped under it, because race
+// instrumentation changes escape analysis.
+const RaceEnabled = true
