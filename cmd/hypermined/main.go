@@ -1,0 +1,111 @@
+// Command hypermined is the model-serving daemon: it loads binary
+// model snapshots (written by `hypermine model save` or
+// core.WriteSnapshot) into a hot-swappable registry and serves the
+// HTTP/JSON query API of internal/server.
+//
+// Usage:
+//
+//	hypermined -addr :8080 -model demo=model.snap [-model other=o.snap] [-max-edges N]
+//
+// Models can also be loaded (or hot-swapped) at runtime by PUTting a
+// snapshot to /v1/models/{name}.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"hypermine/internal/core"
+	"hypermine/internal/registry"
+	"hypermine/internal/server"
+)
+
+// modelFlags collects repeatable -model name=path pairs.
+type modelFlags []struct{ name, path string }
+
+func (m *modelFlags) String() string {
+	parts := make([]string, len(*m))
+	for i, e := range *m {
+		parts[i] = e.name + "=" + e.path
+	}
+	return strings.Join(parts, ",")
+}
+
+func (m *modelFlags) Set(v string) error {
+	name, path, ok := strings.Cut(v, "=")
+	if !ok || name == "" || path == "" {
+		return fmt.Errorf("want name=path, got %q", v)
+	}
+	*m = append(*m, struct{ name, path string }{name, path})
+	return nil
+}
+
+func main() {
+	var models modelFlags
+	addr := flag.String("addr", ":8080", "listen address")
+	maxEdges := flag.Int("max-edges", 0, "resident hyperedge bound for LRU eviction (0 = unlimited)")
+	flag.Var(&models, "model", "name=snapshot.snap to serve at boot (repeatable)")
+	flag.Parse()
+
+	reg := registry.New(registry.Options{MaxResidentEdges: *maxEdges})
+	for _, m := range models {
+		if err := loadSnapshot(reg, m.name, m.path); err != nil {
+			fatal(err)
+		}
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: server.New(reg).Handler()}
+	errCh := make(chan error, 1)
+	go func() {
+		fmt.Printf("hypermined: serving %d model(s) on %s\n", len(reg.Names()), *addr)
+		errCh <- srv.ListenAndServe()
+	}()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errCh:
+		fatal(err)
+	case <-ctx.Done():
+		fmt.Println("hypermined: shutting down")
+		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			fatal(err)
+		}
+	}
+}
+
+func loadSnapshot(reg *registry.Registry, name, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	start := time.Now()
+	m, err := core.ReadSnapshot(f)
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	info, err := reg.Load(name, m)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("hypermined: loaded %q gen %d (%d attrs, %d edges, %d rows) in %s\n",
+		name, info.Generation, m.Table.NumAttrs(), m.H.NumEdges(), m.Table.NumRows(),
+		time.Since(start).Round(time.Microsecond))
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hypermined:", err)
+	os.Exit(1)
+}

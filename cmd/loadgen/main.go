@@ -1,0 +1,454 @@
+// Command loadgen replays deterministic query mixes against a
+// hypermined server and writes the results as machine-readable JSON
+// for the repo's BENCH_* perf trajectory.
+//
+// Two modes:
+//
+//   - Self-hosted (default): builds the shared benchfix serving model,
+//     measures binary-snapshot vs JSON model load, boots an in-process
+//     hypermined server on loopback, and replays the mix against it —
+//     hot-reloading the model mid-run to prove serving continuity.
+//   - Remote (-addr): replays the mix against an already running
+//     hypermined (used by the CI serving smoke).
+//
+// In both modes every classify request is drawn from a fixed pool of
+// deterministic queries and each response is compared byte-for-byte
+// against the first response to the same query, so the run fails if
+// serving answers drift — including across hot reloads.
+//
+// Usage:
+//
+//	go run ./cmd/loadgen [-addr URL -model NAME] [-n 2000] [-quick] [-out BENCH_3.json]
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"hypermine/internal/benchfix"
+	"hypermine/internal/core"
+	"hypermine/internal/registry"
+	"hypermine/internal/server"
+)
+
+type loadReport struct {
+	ReadJSONNs     float64 `json:"read_json_ns"`
+	ReadSnapshotNs float64 `json:"read_snapshot_ns"`
+	Speedup        float64 `json:"speedup"`
+	JSONBytes      int     `json:"json_bytes"`
+	SnapshotBytes  int     `json:"snapshot_bytes"`
+}
+
+type endpointReport struct {
+	Endpoint string  `json:"endpoint"`
+	Requests int     `json:"requests"`
+	MeanNs   float64 `json:"mean_ns"`
+	P50Ns    int64   `json:"p50_ns"`
+	P99Ns    int64   `json:"p99_ns"`
+}
+
+type report struct {
+	PR         int    `json:"pr"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	GoVersion  string `json:"go_version"`
+	Note       string `json:"note"`
+	Model      struct {
+		Attrs int `json:"attrs"`
+		Rows  int `json:"rows"`
+		Edges int `json:"edges"`
+		K     int `json:"k"`
+	} `json:"model"`
+	Load  *loadReport      `json:"load,omitempty"`
+	Serve []endpointReport `json:"serve"`
+	Total struct {
+		Requests int     `json:"requests"`
+		WallNs   int64   `json:"wall_ns"`
+		QPS      float64 `json:"qps"`
+	} `json:"total"`
+	Reloads            int `json:"reloads"`
+	IdentityMismatches int `json:"identity_mismatches"`
+}
+
+// modelInfo is the subset of the /v1/models/{name} response the
+// generator needs.
+type modelInfo struct {
+	Attrs     int      `json:"attrs"`
+	Edges     int      `json:"edges"`
+	Rows      int      `json:"rows"`
+	K         int      `json:"k"`
+	Classify  bool     `json:"classify"`
+	Dominator []string `json:"dominator"`
+	Targets   []string `json:"targets"`
+}
+
+func main() {
+	addr := flag.String("addr", "", "base URL of a running hypermined ('' = self-hosted)")
+	model := flag.String("model", "bench", "model name to query")
+	n := flag.Int("n", 2000, "total requests")
+	seed := flag.Int64("seed", 7, "query-mix seed")
+	reloads := flag.Int("reloads", 3, "hot reloads during the run (self-hosted mode)")
+	attrs := flag.Int("attrs", 30, "self-hosted model attributes")
+	rows := flag.Int("rows", 20000, "self-hosted model rows")
+	out := flag.String("out", "BENCH_3.json", "output JSON path ('-' for stdout only)")
+	quick := flag.Bool("quick", false, "shrink workloads for CI smoke runs")
+	flag.Parse()
+
+	if *quick {
+		*n, *attrs, *rows = 400, 12, 1500
+	}
+
+	rep := &report{
+		PR:         3,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+		Note: "serving-path benchmark over real HTTP on loopback; latencies are " +
+			"end-to-end (client encode + HTTP + handler + decode). Single-core " +
+			"host: concurrency correctness is proven by race-enabled registry/server " +
+			"tests and the byte-identity checks across hot reloads in this run, " +
+			"not by parallel speedup numbers.",
+	}
+
+	var snapPath string
+	baseURL := *addr
+	if baseURL == "" {
+		var err error
+		baseURL, snapPath, err = selfHost(rep, *model, *attrs, *rows)
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		*reloads = 0 // remote servers are not reloaded from here
+	}
+	baseURL = strings.TrimRight(baseURL, "/")
+
+	info, err := fetchInfo(baseURL, *model)
+	if err != nil {
+		fatal(err)
+	}
+	rep.Model.Attrs, rep.Model.Rows, rep.Model.Edges, rep.Model.K = info.Attrs, info.Rows, info.Edges, info.K
+	if !info.Classify || len(info.Targets) == 0 {
+		fatal(fmt.Errorf("model %q cannot classify; loadgen needs a classifiable model", *model))
+	}
+
+	if err := replay(rep, baseURL, *model, info, *n, *seed, *reloads, snapPath); err != nil {
+		fatal(err)
+	}
+
+	js, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	js = append(js, '\n')
+	if *out != "-" {
+		if err := os.WriteFile(*out, js, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	} else {
+		os.Stdout.Write(js)
+	}
+	if rep.IdentityMismatches > 0 {
+		fatal(fmt.Errorf("%d identity mismatches", rep.IdentityMismatches))
+	}
+}
+
+// selfHost builds the benchfix model, measures both load paths, saves
+// a snapshot for mid-run reloads, and boots an in-process server.
+func selfHost(rep *report, name string, attrs, rows int) (baseURL, snapPath string, err error) {
+	fmt.Printf("building %dx%d serving model...\n", rows, attrs)
+	m := benchfix.ModelWorkload(attrs, rows)
+
+	var jbuf, bbuf bytes.Buffer
+	if err := m.WriteJSON(&jbuf); err != nil {
+		return "", "", err
+	}
+	if err := core.WriteSnapshot(&bbuf, m, core.SaveOptions{}); err != nil {
+		return "", "", err
+	}
+	jraw, braw := jbuf.Bytes(), bbuf.Bytes()
+
+	jr := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.ReadModelJSON(bytes.NewReader(jraw)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	br := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.ReadSnapshot(bytes.NewReader(braw)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	ld := &loadReport{
+		ReadJSONNs:     float64(jr.T.Nanoseconds()) / float64(jr.N),
+		ReadSnapshotNs: float64(br.T.Nanoseconds()) / float64(br.N),
+		JSONBytes:      len(jraw),
+		SnapshotBytes:  len(braw),
+	}
+	ld.Speedup = ld.ReadJSONNs / ld.ReadSnapshotNs
+	rep.Load = ld
+	fmt.Printf("model load: json %.2fms (%d bytes), snapshot %.2fms (%d bytes) -> %.1fx\n",
+		ld.ReadJSONNs/1e6, ld.JSONBytes, ld.ReadSnapshotNs/1e6, ld.SnapshotBytes, ld.Speedup)
+
+	dir, err := os.MkdirTemp("", "loadgen")
+	if err != nil {
+		return "", "", err
+	}
+	snapPath = filepath.Join(dir, "model.snap")
+	if err := os.WriteFile(snapPath, braw, 0o644); err != nil {
+		return "", "", err
+	}
+
+	reg := registry.New(registry.Options{})
+	if _, err := reg.Load(name, m); err != nil {
+		return "", "", err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", "", err
+	}
+	go func() { _ = http.Serve(ln, server.New(reg).Handler()) }()
+	return "http://" + ln.Addr().String(), snapPath, nil
+}
+
+func fetchInfo(baseURL, model string) (*modelInfo, error) {
+	resp, err := http.Get(baseURL + "/v1/models/" + model)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(resp.Body)
+		return nil, fmt.Errorf("GET /v1/models/%s: %d: %s", model, resp.StatusCode, raw)
+	}
+	var info modelInfo
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		return nil, err
+	}
+	return &info, nil
+}
+
+// query is one pre-generated request.
+type query struct {
+	endpoint string // mix key
+	method   string
+	url      string
+	body     []byte
+	identity int // >= 0: index into the identity table (classify pool)
+}
+
+// replay generates the deterministic mix and drives it serially,
+// recording per-endpoint latencies and identity mismatches.
+func replay(rep *report, baseURL, model string, info *modelInfo, n int, seed int64, reloads int, snapPath string) error {
+	rng := rand.New(rand.NewSource(seed))
+
+	// Pool of 32 deterministic classify bodies; each remembers its
+	// first response for byte-identity checking.
+	const poolSize = 32
+	type pooled struct {
+		single []byte
+		batch  []byte
+	}
+	pool := make([]pooled, poolSize)
+	for i := range pool {
+		values := map[string]int{}
+		for _, a := range info.Dominator {
+			values[a] = 1 + rng.Intn(info.K)
+		}
+		single, err := json.Marshal(map[string]any{
+			"target": info.Targets[rng.Intn(len(info.Targets))],
+			"values": values,
+		})
+		if err != nil {
+			return err
+		}
+		batchRows := make([][]int, 8)
+		for r := range batchRows {
+			row := make([]int, len(info.Dominator))
+			for j := range row {
+				row[j] = 1 + rng.Intn(info.K)
+			}
+			batchRows[r] = row
+		}
+		batch, err := json.Marshal(map[string]any{
+			"target": info.Targets[rng.Intn(len(info.Targets))],
+			"rows":   batchRows,
+		})
+		if err != nil {
+			return err
+		}
+		pool[i] = pooled{single: single, batch: batch}
+	}
+
+	// Weighted mix: classification dominates, as in a serving workload.
+	type mixEntry struct {
+		name   string
+		weight int
+		build  func(i int) query
+	}
+	mix := []mixEntry{
+		{"classify", 8, func(i int) query {
+			p := i % poolSize
+			return query{"classify", http.MethodPost,
+				baseURL + "/v1/models/" + model + "/classify", pool[p].single, p}
+		}},
+		{"classify_batch", 2, func(i int) query {
+			p := i % poolSize
+			return query{"classify_batch", http.MethodPost,
+				baseURL + "/v1/models/" + model + "/classify:batch", pool[p].batch, poolSize + p}
+		}},
+		{"similar", 2, func(i int) query {
+			a := info.Dominator[i%len(info.Dominator)]
+			return query{"similar", http.MethodGet,
+				fmt.Sprintf("%s/v1/models/%s/similar?a=%s&top=5", baseURL, model, a), nil, -1}
+		}},
+		{"rules", 1, func(i int) query {
+			head := info.Targets[i%len(info.Targets)]
+			return query{"rules", http.MethodGet,
+				fmt.Sprintf("%s/v1/models/%s/rules?head=%s&top=5", baseURL, model, head), nil, -1}
+		}},
+		{"dominators", 1, func(i int) query {
+			return query{"dominators", http.MethodGet,
+				baseURL + "/v1/models/" + model + "/dominators", nil, -1}
+		}},
+	}
+	totalWeight := 0
+	for _, e := range mix {
+		totalWeight += e.weight
+	}
+	queries := make([]query, n)
+	for i := range queries {
+		pick := rng.Intn(totalWeight)
+		for _, e := range mix {
+			if pick < e.weight {
+				queries[i] = e.build(i)
+				break
+			}
+			pick -= e.weight
+		}
+	}
+
+	// Replay. Identity table: first response bytes per pooled body.
+	identity := make([][]byte, 2*poolSize)
+	latency := map[string][]int64{}
+	client := &http.Client{}
+	reloadEvery := 0
+	if reloads > 0 {
+		reloadEvery = n / (reloads + 1)
+	}
+	start := time.Now()
+	for i, q := range queries {
+		if reloadEvery > 0 && i > 0 && i%reloadEvery == 0 && rep.Reloads < reloads {
+			if err := putSnapshot(client, baseURL, model, snapPath); err != nil {
+				return fmt.Errorf("hot reload %d: %w", rep.Reloads+1, err)
+			}
+			rep.Reloads++
+		}
+		var req *http.Request
+		var err error
+		if q.method == http.MethodGet {
+			req, err = http.NewRequest(q.method, q.url, nil)
+		} else {
+			req, err = http.NewRequest(q.method, q.url, bytes.NewReader(q.body))
+		}
+		if err != nil {
+			return err
+		}
+		t0 := time.Now()
+		resp, err := client.Do(req)
+		if err != nil {
+			return err
+		}
+		raw, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		elapsed := time.Since(t0).Nanoseconds()
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("%s %s: %d: %s", q.method, q.url, resp.StatusCode, raw)
+		}
+		latency[q.endpoint] = append(latency[q.endpoint], elapsed)
+		if q.identity >= 0 {
+			if identity[q.identity] == nil {
+				identity[q.identity] = raw
+			} else if !bytes.Equal(identity[q.identity], raw) {
+				rep.IdentityMismatches++
+			}
+		}
+	}
+	wall := time.Since(start)
+
+	names := make([]string, 0, len(latency))
+	for name := range latency {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ls := latency[name]
+		sort.Slice(ls, func(i, j int) bool { return ls[i] < ls[j] })
+		var sum int64
+		for _, l := range ls {
+			sum += l
+		}
+		er := endpointReport{
+			Endpoint: name,
+			Requests: len(ls),
+			MeanNs:   float64(sum) / float64(len(ls)),
+			P50Ns:    ls[len(ls)/2],
+			P99Ns:    ls[len(ls)*99/100],
+		}
+		rep.Serve = append(rep.Serve, er)
+		fmt.Printf("%-16s %6d reqs  mean %8.1fus  p50 %8.1fus  p99 %8.1fus\n",
+			name, er.Requests, er.MeanNs/1e3, float64(er.P50Ns)/1e3, float64(er.P99Ns)/1e3)
+	}
+	rep.Total.Requests = n
+	rep.Total.WallNs = wall.Nanoseconds()
+	rep.Total.QPS = float64(n) / wall.Seconds()
+	fmt.Printf("total: %d requests in %s (%.0f qps), %d hot reloads, %d identity mismatches\n",
+		n, wall.Round(time.Millisecond), rep.Total.QPS, rep.Reloads, rep.IdentityMismatches)
+	return nil
+}
+
+// putSnapshot hot-reloads the model from the saved snapshot file.
+func putSnapshot(client *http.Client, baseURL, model, snapPath string) error {
+	f, err := os.Open(snapPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	req, err := http.NewRequest(http.MethodPut, baseURL+"/v1/models/"+model, f)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("PUT: %d: %s", resp.StatusCode, raw)
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "loadgen:", err)
+	os.Exit(1)
+}

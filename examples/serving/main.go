@@ -1,0 +1,200 @@
+// Serving: a worked end-to-end client of the hypermined subsystem.
+// It mines a model from a synthetic market universe, saves it as a
+// binary snapshot, boots the query server in-process on loopback, and
+// then talks to it exactly as a remote client would: model listing,
+// classification (single and batch), similarity ranking, rule mining,
+// a hot reload via snapshot upload, and /stats.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+
+	"hypermine"
+)
+
+func main() {
+	// 1. Mine a model: synthetic S&P-style universe -> discretized
+	// table -> association hypergraph.
+	gen := hypermine.DefaultGenConfig()
+	gen.NumSeries = 24
+	gen.NumDays = 500
+	u, err := hypermine.Generate(gen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tb, _, err := u.BuildTable(3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	model, err := hypermine.Build(tb, hypermine.C1())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Snapshot it — the binary serving format `hypermine model
+	// save` and hypermined share.
+	var snap bytes.Buffer
+	if err := hypermine.WriteModelSnapshot(&snap, model, hypermine.SaveOptions{}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("snapshot: %d bytes for %d edges over %d attributes\n",
+		snap.Len(), model.H.NumEdges(), model.Table.NumAttrs())
+
+	// 3. Boot the server: registry + HTTP handler on loopback.
+	reg := hypermine.NewModelRegistry(hypermine.RegistryOptions{})
+	if _, err := reg.Load("spx", model); err != nil {
+		log.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go func() { _ = http.Serve(ln, hypermine.NewQueryServer(reg).Handler()) }()
+	base := "http://" + ln.Addr().String()
+
+	// 4. Discover the model: dominator (the classifier's inputs) and
+	// targets (what it can predict).
+	var detail struct {
+		Edges     int      `json:"edges"`
+		Dominator []string `json:"dominator"`
+		Targets   []string `json:"targets"`
+		Coverage  float64  `json:"coverage"`
+		K         int      `json:"k"`
+	}
+	getJSON(base+"/v1/models/spx", &detail)
+	fmt.Printf("serving model spx: %d edges, dominator %v covering %.0f%%\n",
+		detail.Edges, detail.Dominator, 100*detail.Coverage)
+
+	if len(detail.Targets) == 0 {
+		log.Fatal("dominator covers no targets on this universe")
+	}
+
+	// 5. Classify: "given today's moves of the leading indicators,
+	// what did target stocks most likely do?"
+	values := map[string]int{}
+	for i, a := range detail.Dominator {
+		values[a] = 1 + i%detail.K
+	}
+	var cls struct {
+		Target     string  `json:"target"`
+		Value      int     `json:"value"`
+		Confidence float64 `json:"confidence"`
+	}
+	postJSON(base+"/v1/models/spx/classify",
+		map[string]any{"target": detail.Targets[0], "values": values}, &cls)
+	fmt.Printf("classify %s given %v -> value %d (confidence %.2f)\n",
+		cls.Target, values, cls.Value, cls.Confidence)
+
+	// Batch form: rows carry dominator values in dominator order.
+	rows := [][]int{}
+	for r := 0; r < 3; r++ {
+		row := make([]int, len(detail.Dominator))
+		for j := range row {
+			row[j] = 1 + (r+j)%detail.K
+		}
+		rows = append(rows, row)
+	}
+	var batch struct {
+		Values []int `json:"values"`
+	}
+	postJSON(base+"/v1/models/spx/classify:batch",
+		map[string]any{"target": detail.Targets[0], "rows": rows}, &batch)
+	fmt.Printf("batch of %d -> %v\n", len(rows), batch.Values)
+
+	// 6. Similarity ranking against the cached similarity graph.
+	var sim struct {
+		Neighbors []struct {
+			Name     string  `json:"name"`
+			Distance float64 `json:"distance"`
+		} `json:"neighbors"`
+	}
+	getJSON(base+"/v1/models/spx/similar?a="+detail.Dominator[0]+"&top=3", &sim)
+	fmt.Printf("most similar to %s:", detail.Dominator[0])
+	for _, n := range sim.Neighbors {
+		fmt.Printf(" %s(d=%.3f)", n.Name, n.Distance)
+	}
+	fmt.Println()
+
+	// 7. Rules for a target attribute.
+	var rules struct {
+		Rules []struct {
+			Rule       string  `json:"rule"`
+			Confidence float64 `json:"confidence"`
+		} `json:"rules"`
+	}
+	getJSON(base+"/v1/models/spx/rules?head="+detail.Targets[0]+"&top=2", &rules)
+	for _, r := range rules.Rules {
+		fmt.Printf("rule: %s (conf %.2f)\n", r.Rule, r.Confidence)
+	}
+
+	// 8. Hot reload: PUT the snapshot — answers stay bit-identical,
+	// the generation bumps, and in-flight readers drain gracefully.
+	req, err := http.NewRequest(http.MethodPut, base+"/v1/models/spx", bytes.NewReader(snap.Bytes()))
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var put struct {
+		Generation int  `json:"generation"`
+		Swapped    bool `json:"swapped"`
+	}
+	decode(resp, &put)
+	fmt.Printf("hot reload: swapped=%v generation=%d\n", put.Swapped, put.Generation)
+
+	var cls2 struct {
+		Value int `json:"value"`
+	}
+	postJSON(base+"/v1/models/spx/classify",
+		map[string]any{"target": detail.Targets[0], "values": values}, &cls2)
+	fmt.Printf("post-reload classify agrees: %v\n", cls2.Value == cls.Value)
+
+	// 9. Stats.
+	var stats struct {
+		Queries  int64 `json:"queries"`
+		Registry struct {
+			Swaps int64 `json:"swaps"`
+		} `json:"registry"`
+	}
+	getJSON(base+"/stats", &stats)
+	fmt.Printf("served %d queries, %d hot swap(s)\n", stats.Queries, stats.Registry.Swaps)
+}
+
+func getJSON(url string, out any) {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	decode(resp, out)
+}
+
+func postJSON(url string, body, out any) {
+	js, err := json.Marshal(body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(js))
+	if err != nil {
+		log.Fatal(err)
+	}
+	decode(resp, out)
+}
+
+func decode(resp *http.Response, out any) {
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(resp.Body)
+		log.Fatalf("%s: %d: %s", resp.Request.URL, resp.StatusCode, raw)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		log.Fatal(err)
+	}
+}

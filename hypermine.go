@@ -22,6 +22,8 @@ import (
 	"hypermine/internal/core"
 	"hypermine/internal/cover"
 	"hypermine/internal/hypergraph"
+	"hypermine/internal/registry"
+	"hypermine/internal/server"
 	"hypermine/internal/similarity"
 	"hypermine/internal/table"
 	"hypermine/internal/timeseries"
@@ -245,6 +247,48 @@ var (
 	FormatRule = core.FormatRule
 	// ReadModelJSON loads a persisted model.
 	ReadModelJSON = core.ReadModelJSON
+)
+
+// Model persistence (internal/core): the JSON codec plus the binary
+// snapshot format shared by the CLI (`hypermine model save/load`) and
+// the hypermined serving daemon.
+type (
+	// SaveOptions tunes model persistence; OmitRows drops the training
+	// table for graph-query-only snapshots.
+	SaveOptions = core.SaveOptions
+)
+
+var (
+	// WriteModelSnapshot / ReadModelSnapshot are the binary snapshot
+	// codec (magic "HYPM", versioned, length-prefixed, checksummed).
+	WriteModelSnapshot = core.WriteSnapshot
+	ReadModelSnapshot  = core.ReadSnapshot
+)
+
+// Model serving (internal/registry, internal/server): the hypermined
+// subsystem — a hot-swappable registry of prepared models and the
+// HTTP/JSON query API over it.
+type (
+	// ModelRegistry is a named registry of immutable served models
+	// with atomic hot swap and LRU eviction by resident edge count.
+	ModelRegistry = registry.Registry
+	// RegistryOptions tunes a ModelRegistry.
+	RegistryOptions = registry.Options
+	// ServedModel is one fully prepared serving model (dominator,
+	// classifier + predictor pool, cached similarity graph).
+	ServedModel = registry.Served
+	// RegistryStats is a point-in-time registry summary.
+	RegistryStats = registry.Stats
+	// QueryServer is the HTTP/JSON query API over a ModelRegistry.
+	QueryServer = server.Server
+)
+
+var (
+	// NewModelRegistry returns an empty model registry.
+	NewModelRegistry = registry.New
+	// NewQueryServer returns a QueryServer over a registry; mount
+	// Handler() on any http server.
+	NewQueryServer = server.New
 )
 
 // Financial time-series substrate (internal/timeseries).

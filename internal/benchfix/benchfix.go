@@ -40,11 +40,11 @@ func RandomHypergraph(seed int64, nv, edges, maxTail int) *hypergraph.H {
 	return h
 }
 
-// ABCWorkload builds the shared classification workload: a noisy k=3
-// table of nAttrs attributes and rows observations, a gamma=1 model,
-// and an ABC over dominator {0..4} with targets {5..10}. nAttrs must
-// be at least 11.
-func ABCWorkload(nAttrs, rows int) (*classify.ABC, *table.Table) {
+// ModelWorkload builds the shared serving/classification model: a
+// noisy k=3 table of nAttrs attributes and rows observations (values
+// correlated through a per-row base value so mining admits edges),
+// mined under gamma=1. Deterministic for fixed arguments.
+func ModelWorkload(nAttrs, rows int) *core.Model {
 	rng := rand.New(rand.NewSource(2))
 	attrs := make([]string, nAttrs)
 	for j := range attrs {
@@ -72,9 +72,17 @@ func ABCWorkload(nAttrs, rows int) (*classify.ABC, *table.Table) {
 	if err != nil {
 		panic(err)
 	}
+	return m
+}
+
+// ABCWorkload builds the shared classification workload: the
+// ModelWorkload model and an ABC over dominator {0..4} with targets
+// {5..10}. nAttrs must be at least 11.
+func ABCWorkload(nAttrs, rows int) (*classify.ABC, *table.Table) {
+	m := ModelWorkload(nAttrs, rows)
 	abc, err := classify.NewABC(m, []int{0, 1, 2, 3, 4}, []int{5, 6, 7, 8, 9, 10})
 	if err != nil {
 		panic(err)
 	}
-	return abc, tb
+	return abc, m.Table
 }

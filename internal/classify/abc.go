@@ -50,6 +50,9 @@ func NewABC(m *core.Model, dom []int, targets []int) (*ABC, error) {
 	if len(targets) == 0 {
 		return nil, errors.New("classify: no targets")
 	}
+	if err := m.RequireRows(); err != nil {
+		return nil, fmt.Errorf("classify: %w", err)
+	}
 	c := &ABC{
 		model:    m,
 		dom:      append([]int(nil), dom...),

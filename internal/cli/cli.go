@@ -7,6 +7,7 @@
 //
 //	discretize turn a prices CSV into a discretized table (§5.1.1)
 //	build      mine an association hypergraph from a discretized CSV table
+//	model      save/load binary model snapshots (the hypermined serving format)
 //	rules      mine top mva-type rules for a head attribute
 //	frequent   classical Apriori baseline
 //	degrees    print weighted in-/out-degrees of a hypergraph
@@ -15,6 +16,10 @@
 //	cluster    t-cluster the vertices of a hypergraph
 //	dominator  compute a leading indicator (Algorithm 5 or 6)
 //	classify   mine + dominate + classify a table end to end
+//
+// similar, dominator, and classify accept -model model.snap to reuse a
+// mined model snapshot instead of re-mining (or re-loading a
+// hypergraph JSON) on every invocation.
 package cli
 
 import (
@@ -45,7 +50,7 @@ type App struct {
 func New(out io.Writer) *App { return &App{out: out} }
 
 // ErrUsage is returned when the arguments name no valid subcommand.
-var ErrUsage = errors.New(`usage: hypermine <discretize|build|rules|frequent|degrees|top-edges|similar|cluster|dominator|classify> [flags]
+var ErrUsage = errors.New(`usage: hypermine <discretize|build|model|rules|frequent|degrees|top-edges|similar|cluster|dominator|classify> [flags]
 run 'hypermine <subcommand> -h' for flags`)
 
 // Run dispatches one subcommand; args excludes the program name.
@@ -58,6 +63,8 @@ func (a *App) Run(args []string) error {
 		return a.cmdDiscretize(args[1:])
 	case "build":
 		return a.cmdBuild(args[1:])
+	case "model":
+		return a.cmdModel(args[1:])
 	case "rules":
 		return a.cmdRules(args[1:])
 	case "frequent":
@@ -164,6 +171,141 @@ func loadGraph(path string) (*hypergraph.H, error) {
 	}
 	defer f.Close()
 	return hypergraph.ReadJSON(f)
+}
+
+// loadGraphOrModel resolves the hypergraph for graph-query
+// subcommands: from a binary model snapshot when modelPath is set
+// (no re-mining, shared with the serving daemon), otherwise from a
+// hypergraph JSON.
+func loadGraphOrModel(graphPath, modelPath string) (*hypergraph.H, error) {
+	if modelPath == "" {
+		return loadGraph(graphPath)
+	}
+	m, err := loadSnapshot(modelPath)
+	if err != nil {
+		return nil, err
+	}
+	return m.H, nil
+}
+
+// loadSnapshot reads a binary model snapshot from disk.
+func loadSnapshot(path string) (*core.Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return core.ReadSnapshot(f)
+}
+
+// cmdModel handles the binary snapshot codec: `model save` mines a
+// table (or converts a JSON model) into a snapshot, `model load`
+// verifies a snapshot and prints its summary (optionally converting
+// back to JSON). The format is shared with the hypermined daemon.
+func (a *App) cmdModel(args []string) error {
+	if len(args) < 1 {
+		return errors.New(`usage: hypermine model <save|load> [flags]`)
+	}
+	switch args[0] {
+	case "save":
+		return a.cmdModelSave(args[1:])
+	case "load":
+		return a.cmdModelLoad(args[1:])
+	}
+	return fmt.Errorf("unknown model subcommand %q (want save or load)", args[0])
+}
+
+func (a *App) cmdModelSave(args []string) error {
+	fs := flag.NewFlagSet("model save", flag.ExitOnError)
+	in := fs.String("in", "table.csv", "discretized table CSV to mine")
+	fromJSON := fs.String("from-json", "", "convert an existing JSON model instead of mining")
+	out := fs.String("out", "model.snap", "output snapshot path")
+	omitRows := fs.Bool("omit-rows", false, "drop the training table (graph queries only)")
+	preset, g1, g2 := configFlag(fs)
+	_ = fs.Parse(args)
+
+	var model *core.Model
+	if *fromJSON != "" {
+		f, err := os.Open(*fromJSON)
+		if err != nil {
+			return err
+		}
+		model, err = core.ReadModelJSON(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+	} else {
+		tb, err := loadTable(*in, 0)
+		if err != nil {
+			return err
+		}
+		cfg, err := resolveConfig(*preset, *g1, *g2, tb.K())
+		if err != nil {
+			return err
+		}
+		cfg.K = tb.K()
+		if model, err = core.Build(tb, cfg); err != nil {
+			return err
+		}
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	if err := core.WriteSnapshot(f, model, core.SaveOptions{OmitRows: *omitRows}); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	rows := model.Table.NumRows()
+	if *omitRows {
+		rows = 0
+	}
+	size := int64(0)
+	if st, err := os.Stat(*out); err == nil {
+		size = st.Size()
+	}
+	fmt.Fprintf(a.out, "saved model (%d attrs, %d edges, %d rows) to %s (%d bytes)\n",
+		model.Table.NumAttrs(), model.H.NumEdges(), rows, *out, size)
+	return nil
+}
+
+func (a *App) cmdModelLoad(args []string) error {
+	fs := flag.NewFlagSet("model load", flag.ExitOnError)
+	in := fs.String("in", "model.snap", "snapshot path")
+	jsonOut := fs.String("json", "", "also write the model as JSON to this path")
+	_ = fs.Parse(args)
+
+	model, err := loadSnapshot(*in)
+	if err != nil {
+		return err
+	}
+	st := model.H.EdgeStats()
+	rowsNote := fmt.Sprintf("%d rows", model.Table.NumRows())
+	if model.RowsOmitted {
+		rowsNote = "rows omitted (graph queries only)"
+	}
+	fmt.Fprintf(a.out, "model: %d attrs (k=%d), %s\n", model.Table.NumAttrs(), model.Table.K(), rowsNote)
+	fmt.Fprintf(a.out, "graph: %d directed edges (mean ACV %.3f), %d 2-to-1 hyperedges (mean ACV %.3f), %d larger\n",
+		st.DirectedEdges, st.MeanACVEdges, st.TwoToOne, st.MeanACVTwoToOne, st.Other)
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			return err
+		}
+		if err := model.WriteJSONWith(f, core.SaveOptions{OmitRows: model.RowsOmitted}); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(a.out, "wrote JSON model to %s\n", *jsonOut)
+	}
+	return nil
 }
 
 func configFlag(fs *flag.FlagSet) (preset *string, g1, g2 *float64) {
@@ -298,11 +440,12 @@ func (a *App) cmdTopEdges(args []string) error {
 func (a *App) cmdSimilar(args []string) error {
 	fs := flag.NewFlagSet("similar", flag.ExitOnError)
 	in := fs.String("in", "hypergraph.json", "hypergraph JSON")
+	modelIn := fs.String("model", "", "binary model snapshot (overrides -in)")
 	nodeA := fs.String("a", "", "first vertex")
 	nodeB := fs.String("b", "", "second vertex ('' = rank all against -a)")
 	top := fs.Int("top", 10, "ranking size when -b is empty")
 	_ = fs.Parse(args)
-	h, err := loadGraph(*in)
+	h, err := loadGraphOrModel(*in, *modelIn)
 	if err != nil {
 		return err
 	}
@@ -380,11 +523,12 @@ func (a *App) cmdCluster(args []string) error {
 func (a *App) cmdDominator(args []string) error {
 	fs := flag.NewFlagSet("dominator", flag.ExitOnError)
 	in := fs.String("in", "hypergraph.json", "hypergraph JSON")
+	modelIn := fs.String("model", "", "binary model snapshot (overrides -in)")
 	alg := fs.Int("alg", 6, "5 (dominating-set adaptation) or 6 (set-cover adaptation)")
 	frac := fs.Float64("top", 1.0, "keep only the top fraction of edges by ACV first")
 	complete := fs.Bool("complete", false, "force 100% coverage via self-covering")
 	_ = fs.Parse(args)
-	h, err := loadGraph(*in)
+	h, err := loadGraphOrModel(*in, *modelIn)
 	if err != nil {
 		return err
 	}
@@ -425,23 +569,36 @@ func (a *App) cmdDominator(args []string) error {
 func (a *App) cmdClassify(args []string) error {
 	fs := flag.NewFlagSet("classify", flag.ExitOnError)
 	trainPath := fs.String("train", "table.csv", "training table CSV")
+	modelIn := fs.String("model", "", "binary model snapshot (skips mining; overrides -train)")
 	testPath := fs.String("test", "", "test table CSV ('' = evaluate in-sample)")
 	preset, g1, g2 := configFlag(fs)
 	alg := fs.Int("alg", 6, "dominator algorithm (5 or 6)")
 	_ = fs.Parse(args)
-	train, err := loadTable(*trainPath, 0)
-	if err != nil {
-		return err
+	var model *core.Model
+	if *modelIn != "" {
+		var err error
+		if model, err = loadSnapshot(*modelIn); err != nil {
+			return err
+		}
+		if err := model.RequireRows(); err != nil {
+			return fmt.Errorf("classify needs association tables: %w", err)
+		}
+	} else {
+		train, err := loadTable(*trainPath, 0)
+		if err != nil {
+			return err
+		}
+		cfg, err := resolveConfig(*preset, *g1, *g2, train.K())
+		if err != nil {
+			return err
+		}
+		cfg.K = train.K()
+		if model, err = core.Build(train, cfg); err != nil {
+			return err
+		}
 	}
-	cfg, err := resolveConfig(*preset, *g1, *g2, train.K())
-	if err != nil {
-		return err
-	}
-	cfg.K = train.K()
-	model, err := core.Build(train, cfg)
-	if err != nil {
-		return err
-	}
+	train := model.Table
+	var err error
 	all := make([]int, train.NumAttrs())
 	for i := range all {
 		all[i] = i

@@ -170,3 +170,73 @@ func TestClassifyInSampleDefault(t *testing.T) {
 		t.Errorf("expected in-sample evaluation: %q", out)
 	}
 }
+
+// TestModelSnapshotWorkflow covers the binary-codec surface: model
+// save (mine -> snapshot), model load (verify + JSON conversion), and
+// the -model fast path of similar/dominator/classify, which must agree
+// with the mine-every-run results.
+func TestModelSnapshotWorkflow(t *testing.T) {
+	prices, dir := fixture(t)
+	tablePath := filepath.Join(dir, "table.csv")
+	snapPath := filepath.Join(dir, "model.snap")
+	slimPath := filepath.Join(dir, "slim.snap")
+	jsonPath := filepath.Join(dir, "model.json")
+	run(t, "discretize", "-in", prices, "-out", tablePath, "-k", "3")
+
+	out := run(t, "model", "save", "-in", tablePath, "-out", snapPath, "-config", "C1")
+	if !strings.Contains(out, "saved model") {
+		t.Errorf("model save output: %q", out)
+	}
+	out = run(t, "model", "load", "-in", snapPath, "-json", jsonPath)
+	if !strings.Contains(out, "directed edges") || !strings.Contains(out, "wrote JSON model") {
+		t.Errorf("model load output: %q", out)
+	}
+
+	// Row-less snapshots are smaller and marked.
+	run(t, "model", "save", "-in", tablePath, "-out", slimPath, "-config", "C1", "-omit-rows")
+	full, _ := os.Stat(snapPath)
+	slim, _ := os.Stat(slimPath)
+	if slim.Size() >= full.Size() {
+		t.Errorf("row-less snapshot (%d) not smaller than full (%d)", slim.Size(), full.Size())
+	}
+	out = run(t, "model", "load", "-in", slimPath)
+	if !strings.Contains(out, "rows omitted") {
+		t.Errorf("slim model load output: %q", out)
+	}
+
+	// -model answers must agree with the re-mining path.
+	mined := run(t, "classify", "-train", tablePath, "-config", "C1")
+	snapped := run(t, "classify", "-model", snapPath)
+	if mined != snapped {
+		t.Errorf("classify -model drifted:\nmined:   %q\nsnapshot: %q", mined, snapped)
+	}
+	simOut := run(t, "similar", "-model", snapPath, "-a", "XOM", "-top", "3")
+	if !strings.Contains(simOut, "most similar to XOM") {
+		t.Errorf("similar -model output: %q", simOut)
+	}
+	domOut := run(t, "dominator", "-model", snapPath)
+	if !strings.Contains(domOut, "dominator size") {
+		t.Errorf("dominator -model output: %q", domOut)
+	}
+	// Graph queries work on row-less snapshots too; classify fails
+	// with the rows-omitted error.
+	run(t, "dominator", "-model", slimPath)
+	app := New(new(bytes.Buffer))
+	if err := app.Run([]string{"classify", "-model", slimPath}); err == nil || !strings.Contains(err.Error(), "without training rows") {
+		t.Errorf("classify on row-less snapshot: %v", err)
+	}
+
+	// Error surfaces.
+	for _, c := range [][]string{
+		{"model"},
+		{"model", "bogus"},
+		{"model", "save", "-in", "/nonexistent.csv"},
+		{"model", "load", "-in", "/nonexistent.snap"},
+		{"model", "load", "-in", tablePath}, // not a snapshot
+		{"similar", "-model", "/nonexistent.snap", "-a", "XOM"},
+	} {
+		if err := app.Run(c); err == nil {
+			t.Errorf("%v: want error", c)
+		}
+	}
+}

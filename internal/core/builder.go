@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
@@ -110,6 +111,23 @@ type Model struct {
 	// EdgeACV[a*n+c] caches ACV({a},{c}) for every ordered attribute
 	// pair, admitted or not; used by gamma-significance and Table 5.2.
 	EdgeACV []float64
+
+	// RowsOmitted marks a model loaded from a persisted form that
+	// dropped the training table (SaveOptions.OmitRows): Table carries
+	// the schema but zero observations. Graph-only queries still work;
+	// operations that rebuild association tables fail via RequireRows.
+	RowsOmitted bool
+}
+
+// RequireRows reports whether the model still carries its training
+// table. Operations that rebuild association tables (classification,
+// rule mining) call it to fail with a clear error on models loaded
+// from row-less snapshots instead of misbehaving on an empty table.
+func (m *Model) RequireRows() error {
+	if m.RowsOmitted || m.Table == nil || m.Table.NumRows() == 0 {
+		return errors.New("core: model was saved without training rows (SaveOptions.OmitRows); reload from a snapshot that includes rows to rebuild association tables")
+	}
+	return nil
 }
 
 // EdgeACVAt returns the cached ACV({a},{c}).
@@ -120,6 +138,9 @@ func (m *Model) EdgeACVAt(a, c int) float64 {
 // AssociationTableFor rebuilds the AT of an edge of the model from the
 // training table.
 func (m *Model) AssociationTableFor(tail []int, head int) (*AssociationTable, error) {
+	if err := m.RequireRows(); err != nil {
+		return nil, err
+	}
 	return BuildAssociationTable(m.Table, tail, head)
 }
 

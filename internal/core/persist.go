@@ -11,14 +11,17 @@ import (
 
 // modelFile is the serialized shape of a Model: the training table,
 // the configuration, and the mined hypergraph. EdgeACV is re-derivable
-// but cheap to store relative to rebuilding, so it is included.
+// but cheap to store relative to rebuilding, so it is included. Rows
+// may be omitted (SaveOptions.OmitRows), in which case RowsOmitted
+// distinguishes a deliberately row-less file from a corrupt one.
 type modelFile struct {
-	Config  Config          `json:"config"`
-	K       int             `json:"k"`
-	Attrs   []string        `json:"attrs"`
-	Rows    [][]table.Value `json:"rows"`
-	Edges   []modelEdge     `json:"edges"`
-	EdgeACV []float64       `json:"edgeACV"`
+	Config      Config          `json:"config"`
+	K           int             `json:"k"`
+	Attrs       []string        `json:"attrs"`
+	Rows        [][]table.Value `json:"rows,omitempty"`
+	RowsOmitted bool            `json:"rowsOmitted,omitempty"`
+	Edges       []modelEdge     `json:"edges"`
+	EdgeACV     []float64       `json:"edgeACV"`
 }
 
 type modelEdge struct {
@@ -30,17 +33,28 @@ type modelEdge struct {
 // WriteJSON persists the model (training table included, so the
 // classifier can rebuild association tables after loading).
 func (m *Model) WriteJSON(w io.Writer) error {
+	return m.WriteJSONWith(w, SaveOptions{})
+}
+
+// WriteJSONWith persists the model under explicit save options. With
+// OmitRows the training table is dropped and the file is marked, so
+// loading yields a RowsOmitted model (graph queries only).
+func (m *Model) WriteJSONWith(w io.Writer, opt SaveOptions) error {
 	mf := modelFile{
 		Config:  m.Config,
 		K:       m.Table.K(),
 		Attrs:   m.Table.Attrs(),
 		EdgeACV: m.EdgeACV,
 	}
-	rows := make([][]table.Value, m.Table.NumRows())
-	for i := range rows {
-		rows[i] = m.Table.Row(i, nil)
+	if opt.OmitRows || m.RowsOmitted {
+		mf.RowsOmitted = true
+	} else {
+		rows := make([][]table.Value, m.Table.NumRows())
+		for i := range rows {
+			rows[i] = m.Table.Row(i, nil)
+		}
+		mf.Rows = rows
 	}
-	mf.Rows = rows
 	for _, e := range m.H.Edges() {
 		mf.Edges = append(mf.Edges, modelEdge{Tail: e.Tail, Head: e.Head, Weight: e.Weight})
 	}
@@ -53,6 +67,9 @@ func ReadModelJSON(r io.Reader) (*Model, error) {
 	var mf modelFile
 	if err := json.NewDecoder(r).Decode(&mf); err != nil {
 		return nil, fmt.Errorf("core: model json: %w", err)
+	}
+	if len(mf.Rows) == 0 && !mf.RowsOmitted {
+		return nil, fmt.Errorf("core: model json: no training rows and file is not marked rowsOmitted (corrupt or hand-edited save?)")
 	}
 	tb, err := table.FromRows(mf.Attrs, mf.K, mf.Rows)
 	if err != nil {
@@ -71,5 +88,5 @@ func ReadModelJSON(r io.Reader) (*Model, error) {
 	if len(mf.EdgeACV) != n*n {
 		return nil, fmt.Errorf("core: model json: edgeACV has %d entries, want %d", len(mf.EdgeACV), n*n)
 	}
-	return &Model{Table: tb, Config: mf.Config, H: h, EdgeACV: mf.EdgeACV}, nil
+	return &Model{Table: tb, Config: mf.Config, H: h, EdgeACV: mf.EdgeACV, RowsOmitted: mf.RowsOmitted}, nil
 }

@@ -37,6 +37,9 @@ func MineRules(m *Model, head int, opt MineOptions) ([]ScoredRule, error) {
 	if head < 0 || head >= m.Table.NumAttrs() {
 		return nil, fmt.Errorf("core: head attribute %d out of range", head)
 	}
+	if err := m.RequireRows(); err != nil {
+		return nil, err
+	}
 	baseCounts := m.Table.ValueCounts(head)
 	n := m.Table.NumRows()
 	var out []ScoredRule

@@ -1,0 +1,437 @@
+// Package registry implements the serving-side model registry of the
+// hypermined daemon: a set of named, immutable, fully prepared models
+// (association hypergraph + dominator + prebuilt classifier and
+// predictor pool + cached similarity graph) with lock-free reads,
+// atomic hot swap, and LRU eviction bounded by resident edge count.
+//
+// Concurrency model. Every name maps to an entry holding an
+// atomic.Pointer[Served]. Readers Acquire (pointer load + refcount
+// increment, no locks), query the immutable Served, and Release.
+// Admin operations (Load, Remove) take the registry mutex, publish a
+// new Served with a single pointer store, then drain the old one:
+// mark it retired and wait for in-flight readers to finish. Because a
+// Served is immutable after construction, a reader that raced a swap
+// can safely finish its query on the retired model; Acquire never
+// returns a retired model, so the drain terminates.
+package registry
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hypermine/internal/classify"
+	"hypermine/internal/core"
+	"hypermine/internal/cover"
+	"hypermine/internal/similarity"
+)
+
+// Options tunes a Registry.
+type Options struct {
+	// MaxResidentEdges bounds the total hyperedge count of resident
+	// models; 0 means unlimited. When a Load pushes the total over the
+	// bound, least-recently-used models are evicted (never the one
+	// being loaded) until the total fits or nothing else remains.
+	MaxResidentEdges int
+}
+
+// Served is one fully prepared, immutable serving model. All fields
+// are computed at Load time so the steady-state query path never
+// builds anything: the dominator, the classifier with its association
+// tables, and the complete similarity graph are ready before the model
+// becomes visible to readers.
+type Served struct {
+	name     string
+	gen      int64 // registry-wide load generation, for observability
+	model    *core.Model
+	dom      *cover.Result
+	targets  []int
+	abc      *classify.ABC // nil when classification is unavailable
+	abcErr   error         // why, when abc is nil
+	sim      *similarity.Graph
+	pool     sync.Pool // *classify.Predictor, only when abc != nil
+	loadedAt time.Time
+	refs     atomic.Int64
+	retired  atomic.Bool
+	queries  atomic.Int64
+}
+
+// Name returns the registry name the model is served under.
+func (s *Served) Name() string { return s.name }
+
+// Generation returns the registry-wide load generation of this model
+// (monotonically increasing across Loads; a reload bumps it).
+func (s *Served) Generation() int64 { return s.gen }
+
+// Model returns the underlying immutable model.
+func (s *Served) Model() *core.Model { return s.model }
+
+// LoadedAt returns when the model was published.
+func (s *Served) LoadedAt() time.Time { return s.loadedAt }
+
+// Dominator returns the serving dominator result.
+func (s *Served) Dominator() *cover.Result { return s.dom }
+
+// Targets returns the classifiable target attributes (covered by the
+// dominator, not inside it), in ascending order.
+func (s *Served) Targets() []int { return s.targets }
+
+// Classifier returns the prebuilt ABC, or an error explaining why
+// classification is unavailable on this model (row-less snapshot, or
+// a dominator covering no targets).
+func (s *Served) Classifier() (*classify.ABC, error) {
+	if s.abc == nil {
+		return nil, s.abcErr
+	}
+	return s.abc, nil
+}
+
+// SimilarityGraph returns the cached all-vertices similarity graph.
+func (s *Served) SimilarityGraph() *similarity.Graph { return s.sim }
+
+// Queries returns how many queries have been counted on this model.
+func (s *Served) Queries() int64 { return s.queries.Load() }
+
+// CountQuery increments the model's query counter.
+func (s *Served) CountQuery() { s.queries.Add(1) }
+
+// BorrowPredictor takes a scratch-reusing predictor from the pool;
+// pair with ReturnPredictor. The steady-state borrow performs no heap
+// allocation once the pool is warm.
+func (s *Served) BorrowPredictor() (*classify.Predictor, error) {
+	if s.abc == nil {
+		return nil, s.abcErr
+	}
+	return s.pool.Get().(*classify.Predictor), nil
+}
+
+// ReturnPredictor puts a borrowed predictor back in the pool.
+func (s *Served) ReturnPredictor(p *classify.Predictor) {
+	if p != nil {
+		s.pool.Put(p)
+	}
+}
+
+// Release ends an Acquire. The Served must not be used afterwards.
+func (s *Served) Release() { s.refs.Add(-1) }
+
+type entry struct {
+	cur      atomic.Pointer[Served]
+	lastUsed atomic.Int64
+}
+
+// Registry is the named model registry. The zero value is not usable;
+// construct with New.
+type Registry struct {
+	opt     Options
+	mu      sync.RWMutex // guards entries map shape; admin ops take it exclusively
+	entries map[string]*entry
+	clock   atomic.Int64 // logical LRU clock, bumped on every Acquire
+	gen     atomic.Int64 // load generation counter
+	swaps   atomic.Int64
+	evicted atomic.Int64
+}
+
+// New returns an empty registry.
+func New(opt Options) *Registry {
+	return &Registry{opt: opt, entries: make(map[string]*entry)}
+}
+
+// buildServed prepares a Served outside any lock: dominator (Algorithm
+// 6 with both enhancements, matching hypermine.LeadingIndicators),
+// classifier over the covered targets, and the similarity graph.
+func (r *Registry) buildServed(name string, m *core.Model) (*Served, error) {
+	if m == nil || m.H == nil || m.Table == nil {
+		return nil, errors.New("registry: nil model")
+	}
+	n := m.H.NumVertices()
+	all := make([]int, n)
+	for i := range all {
+		all[i] = i
+	}
+	dom, err := cover.DominatorSetCover(m.H, all, cover.Options{Enhancement1: true, Enhancement2: true})
+	if err != nil {
+		return nil, fmt.Errorf("registry: dominator for %q: %w", name, err)
+	}
+	inDom := make([]bool, n)
+	for _, v := range dom.DomSet {
+		inDom[v] = true
+	}
+	var targets []int
+	for v, cov := range dom.Covered {
+		if cov && !inDom[v] {
+			targets = append(targets, v)
+		}
+	}
+	sort.Ints(targets)
+
+	sim, err := similarity.BuildGraph(m.H, all)
+	if err != nil {
+		return nil, fmt.Errorf("registry: similarity graph for %q: %w", name, err)
+	}
+
+	s := &Served{
+		name:     name,
+		gen:      r.gen.Add(1),
+		model:    m,
+		dom:      dom,
+		targets:  targets,
+		sim:      sim,
+		loadedAt: time.Now(),
+	}
+	switch {
+	case m.RequireRows() != nil:
+		s.abcErr = fmt.Errorf("registry: model %q cannot classify: %w", name, m.RequireRows())
+	case len(targets) == 0:
+		s.abcErr = fmt.Errorf("registry: model %q cannot classify: dominator covers no targets", name)
+	default:
+		abc, err := classify.NewABC(m, dom.DomSet, targets)
+		if err != nil {
+			return nil, fmt.Errorf("registry: classifier for %q: %w", name, err)
+		}
+		s.abc = abc
+		s.pool.New = func() any { return abc.NewPredictor() }
+	}
+	return s, nil
+}
+
+// LoadInfo reports the outcome of a Load.
+type LoadInfo struct {
+	Name string
+	// Generation is the published model's load generation.
+	Generation int64
+	// Swapped reports whether an older model was hot-swapped out (and
+	// fully drained before Load returned).
+	Swapped bool
+	// Evicted lists models removed by the LRU bound, in eviction order.
+	Evicted []string
+}
+
+// Load publishes a model under a name, hot-swapping any previous model
+// with the same name. The new model is fully prepared before it
+// becomes visible, so readers never observe a partially built model;
+// the old model is drained (all in-flight requests finished) before
+// Load returns. Load also enforces the resident-edge bound, evicting
+// least-recently-used other models as needed.
+func (r *Registry) Load(name string, m *core.Model) (*LoadInfo, error) {
+	if name == "" {
+		return nil, errors.New("registry: empty model name")
+	}
+	s, err := r.buildServed(name, m)
+	if err != nil {
+		return nil, err
+	}
+
+	r.mu.Lock()
+	e := r.entries[name]
+	if e == nil {
+		e = &entry{}
+		r.entries[name] = e
+	}
+	old := e.cur.Swap(s)
+	e.lastUsed.Store(r.clock.Add(1))
+	evictedNames, drains := r.evictOverBoundLocked(name)
+	r.mu.Unlock()
+
+	info := &LoadInfo{Name: name, Generation: s.gen, Evicted: evictedNames}
+	if old != nil {
+		info.Swapped = true
+		r.swaps.Add(1)
+		drain(old)
+	}
+	for _, d := range drains {
+		drain(d)
+	}
+	return info, nil
+}
+
+// evictOverBoundLocked enforces MaxResidentEdges, never evicting the
+// model named keep. It returns the evicted names in eviction order and
+// the Served values to drain once the lock is dropped.
+func (r *Registry) evictOverBoundLocked(keep string) ([]string, []*Served) {
+	if r.opt.MaxResidentEdges <= 0 {
+		return nil, nil
+	}
+	var names []string
+	var drains []*Served
+	for r.residentEdgesLocked() > r.opt.MaxResidentEdges {
+		victim, vs := "", (*Served)(nil)
+		var oldest int64
+		for name, e := range r.entries {
+			if name == keep {
+				continue
+			}
+			s := e.cur.Load()
+			if s == nil {
+				continue
+			}
+			if used := e.lastUsed.Load(); victim == "" || used < oldest {
+				victim, vs, oldest = name, s, used
+			}
+		}
+		if victim == "" {
+			break // only the protected model remains
+		}
+		// Clear the pointer so readers racing on a stale entry see the
+		// eviction instead of retrying on the retired model forever.
+		r.entries[victim].cur.Store(nil)
+		delete(r.entries, victim)
+		r.evicted.Add(1)
+		names = append(names, victim)
+		drains = append(drains, vs)
+	}
+	return names, drains
+}
+
+func (r *Registry) residentEdgesLocked() int {
+	total := 0
+	for _, e := range r.entries {
+		if s := e.cur.Load(); s != nil {
+			total += s.model.H.NumEdges()
+		}
+	}
+	return total
+}
+
+// drain retires a swapped-out Served and waits until no reader holds
+// it. Readers that raced the swap either finish their current request
+// (immutable model, safe — this includes writing the response to a
+// slow client) or notice retirement in Acquire and retry on the new
+// model, so the wait is bounded by one in-flight request. The backoff
+// escalates from Gosched to millisecond sleeps so waiting on a slow
+// reader parks instead of burning the core the reader needs.
+func drain(s *Served) {
+	s.retired.Store(true)
+	for i := 0; s.refs.Load() != 0; i++ {
+		switch {
+		case i < 100:
+			runtime.Gosched()
+		case i < 1000:
+			time.Sleep(100 * time.Microsecond)
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+}
+
+// Acquire returns the current model served under name, with a
+// reference held, or nil if the name is unknown (or evicted). Callers
+// must Release. The fast path is a map read under RLock plus two
+// atomic operations — no heap allocation.
+func (r *Registry) Acquire(name string) *Served {
+	return r.acquire(name, true)
+}
+
+// Peek is Acquire without the LRU bump: for observability reads
+// (model listings, dashboards) that must not count as model usage, so
+// a periodic poll cannot keep an idle model resident past a hotter
+// one. Callers must Release.
+func (r *Registry) Peek(name string) *Served {
+	return r.acquire(name, false)
+}
+
+func (r *Registry) acquire(name string, bumpLRU bool) *Served {
+	r.mu.RLock()
+	e := r.entries[name]
+	r.mu.RUnlock()
+	if e == nil {
+		return nil
+	}
+	for {
+		s := e.cur.Load()
+		if s == nil {
+			return nil
+		}
+		s.refs.Add(1)
+		// Double-check after taking the reference: if the model was
+		// retired (or replaced) in the window, back out and retry on
+		// the current pointer.
+		if !s.retired.Load() && e.cur.Load() == s {
+			if bumpLRU {
+				e.lastUsed.Store(r.clock.Add(1))
+			}
+			return s
+		}
+		s.refs.Add(-1)
+	}
+}
+
+// Remove unloads a model, draining in-flight readers. It reports
+// whether the name was present.
+func (r *Registry) Remove(name string) bool {
+	r.mu.Lock()
+	e := r.entries[name]
+	var old *Served
+	if e != nil {
+		old = e.cur.Swap(nil)
+		delete(r.entries, name)
+	}
+	r.mu.Unlock()
+	if old != nil {
+		drain(old)
+	}
+	return e != nil
+}
+
+// Names returns the resident model names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.entries))
+	for name := range r.entries {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ModelStats describes one resident model for /stats.
+type ModelStats struct {
+	Name        string    `json:"name"`
+	Generation  int64     `json:"generation"`
+	Edges       int       `json:"edges"`
+	Attrs       int       `json:"attrs"`
+	Rows        int       `json:"rows"`
+	RowsOmitted bool      `json:"rows_omitted,omitempty"`
+	Queries     int64     `json:"queries"`
+	LoadedAt    time.Time `json:"loaded_at"`
+}
+
+// Stats is a point-in-time registry summary.
+type Stats struct {
+	Models        []ModelStats `json:"models"`
+	ResidentEdges int          `json:"resident_edges"`
+	MaxEdges      int          `json:"max_resident_edges,omitempty"`
+	Swaps         int64        `json:"swaps"`
+	Evictions     int64        `json:"evictions"`
+}
+
+// Stats snapshots the registry.
+func (r *Registry) Stats() Stats {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	st := Stats{MaxEdges: r.opt.MaxResidentEdges, Swaps: r.swaps.Load(), Evictions: r.evicted.Load()}
+	for name, e := range r.entries {
+		s := e.cur.Load()
+		if s == nil {
+			continue
+		}
+		st.Models = append(st.Models, ModelStats{
+			Name:        name,
+			Generation:  s.gen,
+			Edges:       s.model.H.NumEdges(),
+			Attrs:       s.model.Table.NumAttrs(),
+			Rows:        s.model.Table.NumRows(),
+			RowsOmitted: s.model.RowsOmitted,
+			Queries:     s.queries.Load(),
+			LoadedAt:    s.loadedAt,
+		})
+		st.ResidentEdges += s.model.H.NumEdges()
+	}
+	sort.Slice(st.Models, func(i, j int) bool { return st.Models[i].Name < st.Models[j].Name })
+	return st
+}

@@ -1,0 +1,546 @@
+// Package server implements the hypermined HTTP/JSON query API over a
+// registry of served models. Handlers are allocation-conscious: the
+// classification path borrows a scratch-reusing predictor from the
+// served model's pool, so steady-state queries allocate only for
+// request decode and response encode.
+//
+// Endpoints:
+//
+//	GET    /healthz                          liveness
+//	GET    /stats                            process + registry counters
+//	GET    /v1/models                        list resident models
+//	GET    /v1/models/{name}                 model detail (schema, dominator, targets)
+//	PUT    /v1/models/{name}                 upload a binary snapshot (load or hot-swap)
+//	DELETE /v1/models/{name}                 unload
+//	GET    /v1/models/{name}/rules           mva-type rules for a head attribute
+//	GET    /v1/models/{name}/similar         pair similarity or top-N ranking
+//	GET    /v1/models/{name}/dominators      the serving dominator
+//	POST   /v1/models/{name}/classify        classify one observation
+//	POST   /v1/models/{name}/classify:batch  classify many observations
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sort"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"hypermine/internal/classify"
+	"hypermine/internal/core"
+	"hypermine/internal/registry"
+	"hypermine/internal/similarity"
+	"hypermine/internal/table"
+)
+
+// maxSnapshotBytes bounds a PUT body (1 GiB — far beyond any model
+// this system mines, but finite).
+const maxSnapshotBytes = 1 << 30
+
+// Server is the query API over a model registry.
+type Server struct {
+	reg     *registry.Registry
+	mux     *http.ServeMux
+	start   time.Time
+	queries atomic.Int64
+	errs    atomic.Int64
+}
+
+// New returns a Server over the registry.
+func New(reg *registry.Registry) *Server {
+	s := &Server{reg: reg, mux: http.NewServeMux(), start: time.Now()}
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/models", s.handleListModels)
+	s.mux.HandleFunc("GET /v1/models/{name}", s.handleGetModel)
+	s.mux.HandleFunc("PUT /v1/models/{name}", s.handlePutModel)
+	s.mux.HandleFunc("DELETE /v1/models/{name}", s.handleDeleteModel)
+	s.mux.HandleFunc("GET /v1/models/{name}/rules", s.handleRules)
+	s.mux.HandleFunc("GET /v1/models/{name}/similar", s.handleSimilar)
+	s.mux.HandleFunc("GET /v1/models/{name}/dominators", s.handleDominators)
+	s.mux.HandleFunc("POST /v1/models/{name}/classify", s.handleClassify)
+	s.mux.HandleFunc("POST /v1/models/{name}/classify:batch", s.handleClassifyBatch)
+	return s
+}
+
+// Handler returns the HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// errorBody is the uniform error response shape.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) fail(w http.ResponseWriter, code int, format string, args ...any) {
+	s.errs.Add(1)
+	s.writeJSON(w, code, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// acquire resolves the named model or writes a 404.
+func (s *Server) acquire(w http.ResponseWriter, r *http.Request) *registry.Served {
+	name := r.PathValue("name")
+	sv := s.reg.Acquire(name)
+	if sv == nil {
+		s.fail(w, http.StatusNotFound, "unknown model %q", name)
+		return nil
+	}
+	s.queries.Add(1)
+	sv.CountQuery()
+	return sv
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+type statsResponse struct {
+	UptimeSeconds float64        `json:"uptime_seconds"`
+	Queries       int64          `json:"queries"`
+	Errors        int64          `json:"errors"`
+	GoMaxProcs    int            `json:"gomaxprocs"`
+	Registry      registry.Stats `json:"registry"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, statsResponse{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Queries:       s.queries.Load(),
+		Errors:        s.errs.Load(),
+		GoMaxProcs:    runtime.GOMAXPROCS(0),
+		Registry:      s.reg.Stats(),
+	})
+}
+
+// modelSummary is one row of the model list.
+type modelSummary struct {
+	Name       string `json:"name"`
+	Generation int64  `json:"generation"`
+	Attrs      int    `json:"attrs"`
+	Edges      int    `json:"edges"`
+	Rows       int    `json:"rows"`
+	K          int    `json:"k"`
+	Classify   bool   `json:"classify"`
+}
+
+func (s *Server) handleListModels(w http.ResponseWriter, r *http.Request) {
+	names := s.reg.Names()
+	out := make([]modelSummary, 0, len(names))
+	for _, name := range names {
+		// Peek, not Acquire: a monitoring poll of the model list must
+		// not refresh every model's LRU stamp.
+		sv := s.reg.Peek(name)
+		if sv == nil {
+			continue // evicted between Names and Peek
+		}
+		_, classifyErr := sv.Classifier()
+		out = append(out, modelSummary{
+			Name:       name,
+			Generation: sv.Generation(),
+			Attrs:      sv.Model().Table.NumAttrs(),
+			Edges:      sv.Model().H.NumEdges(),
+			Rows:       sv.Model().Table.NumRows(),
+			K:          sv.Model().Table.K(),
+			Classify:   classifyErr == nil,
+		})
+		sv.Release()
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{"models": out})
+}
+
+type modelDetail struct {
+	modelSummary
+	Dominator []string  `json:"dominator"`
+	Targets   []string  `json:"targets"`
+	Coverage  float64   `json:"coverage"`
+	LoadedAt  time.Time `json:"loaded_at"`
+}
+
+func (s *Server) handleGetModel(w http.ResponseWriter, r *http.Request) {
+	sv := s.acquire(w, r)
+	if sv == nil {
+		return
+	}
+	defer sv.Release()
+	m := sv.Model()
+	_, classifyErr := sv.Classifier()
+	det := modelDetail{
+		modelSummary: modelSummary{
+			Name:       sv.Name(),
+			Generation: sv.Generation(),
+			Attrs:      m.Table.NumAttrs(),
+			Edges:      m.H.NumEdges(),
+			Rows:       m.Table.NumRows(),
+			K:          m.Table.K(),
+			Classify:   classifyErr == nil,
+		},
+		Coverage: sv.Dominator().CoverageFraction(),
+		LoadedAt: sv.LoadedAt(),
+	}
+	for _, v := range sv.Dominator().DomSet {
+		det.Dominator = append(det.Dominator, m.H.VertexName(v))
+	}
+	for _, v := range sv.Targets() {
+		det.Targets = append(det.Targets, m.H.VertexName(v))
+	}
+	s.writeJSON(w, http.StatusOK, det)
+}
+
+type putResponse struct {
+	Name       string   `json:"name"`
+	Generation int64    `json:"generation"`
+	Swapped    bool     `json:"swapped"`
+	Evicted    []string `json:"evicted,omitempty"`
+	Edges      int      `json:"edges"`
+	Rows       int      `json:"rows"`
+}
+
+func (s *Server) handlePutModel(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	body := http.MaxBytesReader(w, r.Body, maxSnapshotBytes)
+	m, err := core.ReadSnapshot(body)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "snapshot: %v", err)
+		return
+	}
+	info, err := s.reg.Load(name, m)
+	if err != nil {
+		s.fail(w, http.StatusUnprocessableEntity, "load: %v", err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, putResponse{
+		Name:       name,
+		Generation: info.Generation,
+		Swapped:    info.Swapped,
+		Evicted:    info.Evicted,
+		Edges:      m.H.NumEdges(),
+		Rows:       m.Table.NumRows(),
+	})
+}
+
+func (s *Server) handleDeleteModel(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if !s.reg.Remove(name) {
+		s.fail(w, http.StatusNotFound, "unknown model %q", name)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, map[string]string{"removed": name})
+}
+
+type ruleResponse struct {
+	Rule       string  `json:"rule"`
+	Support    float64 `json:"support"`
+	Confidence float64 `json:"confidence"`
+	Lift       float64 `json:"lift"`
+}
+
+func (s *Server) handleRules(w http.ResponseWriter, r *http.Request) {
+	sv := s.acquire(w, r)
+	if sv == nil {
+		return
+	}
+	defer sv.Release()
+	m := sv.Model()
+	headName := r.URL.Query().Get("head")
+	head := m.Table.AttrIndex(headName)
+	if head < 0 {
+		s.fail(w, http.StatusBadRequest, "unknown head attribute %q", headName)
+		return
+	}
+	opt := core.MineOptions{MaxRules: 10}
+	var err error
+	if v := r.URL.Query().Get("top"); v != "" {
+		if opt.MaxRules, err = strconv.Atoi(v); err != nil || opt.MaxRules < 1 {
+			s.fail(w, http.StatusBadRequest, "bad top %q", v)
+			return
+		}
+	}
+	if v := r.URL.Query().Get("min_support"); v != "" {
+		if opt.MinSupport, err = strconv.ParseFloat(v, 64); err != nil {
+			s.fail(w, http.StatusBadRequest, "bad min_support %q", v)
+			return
+		}
+	}
+	if v := r.URL.Query().Get("min_confidence"); v != "" {
+		if opt.MinConfidence, err = strconv.ParseFloat(v, 64); err != nil {
+			s.fail(w, http.StatusBadRequest, "bad min_confidence %q", v)
+			return
+		}
+	}
+	rules, err := core.MineRules(m, head, opt)
+	if err != nil {
+		s.fail(w, http.StatusConflict, "%v", err)
+		return
+	}
+	out := make([]ruleResponse, len(rules))
+	for i, sr := range rules {
+		out[i] = ruleResponse{
+			Rule:       core.FormatRule(m.Table, sr.Rule),
+			Support:    sr.Support,
+			Confidence: sr.Confidence,
+			Lift:       sr.Lift,
+		}
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{"head": headName, "rules": out})
+}
+
+type similarPair struct {
+	A        string  `json:"a"`
+	B        string  `json:"b"`
+	InSim    float64 `json:"in_sim"`
+	OutSim   float64 `json:"out_sim"`
+	Distance float64 `json:"distance"`
+}
+
+type neighbor struct {
+	Name     string  `json:"name"`
+	Distance float64 `json:"distance"`
+}
+
+func (s *Server) handleSimilar(w http.ResponseWriter, r *http.Request) {
+	sv := s.acquire(w, r)
+	if sv == nil {
+		return
+	}
+	defer sv.Release()
+	h := sv.Model().H
+	q := r.URL.Query()
+	aName := q.Get("a")
+	a := h.Vertex(aName)
+	if a < 0 {
+		s.fail(w, http.StatusBadRequest, "unknown attribute %q", aName)
+		return
+	}
+	if bName := q.Get("b"); bName != "" {
+		b := h.Vertex(bName)
+		if b < 0 {
+			s.fail(w, http.StatusBadRequest, "unknown attribute %q", bName)
+			return
+		}
+		s.writeJSON(w, http.StatusOK, similarPair{
+			A:        aName,
+			B:        bName,
+			InSim:    similarity.InSim(h, a, b),
+			OutSim:   similarity.OutSim(h, a, b),
+			Distance: sv.SimilarityGraph().Dist(a, b),
+		})
+		return
+	}
+	top := 10
+	if v := q.Get("top"); v != "" {
+		var err error
+		if top, err = strconv.Atoi(v); err != nil || top < 1 {
+			s.fail(w, http.StatusBadRequest, "bad top %q", v)
+			return
+		}
+	}
+	// Ranking reads the cached similarity graph: no similarity math on
+	// the request path.
+	g := sv.SimilarityGraph()
+	neighbors := make([]neighbor, 0, h.NumVertices()-1)
+	for v := 0; v < h.NumVertices(); v++ {
+		if v == a {
+			continue
+		}
+		neighbors = append(neighbors, neighbor{Name: h.VertexName(v), Distance: g.Dist(a, v)})
+	}
+	sort.SliceStable(neighbors, func(i, j int) bool { return neighbors[i].Distance < neighbors[j].Distance })
+	if top < len(neighbors) {
+		neighbors = neighbors[:top]
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{"a": aName, "neighbors": neighbors})
+}
+
+func (s *Server) handleDominators(w http.ResponseWriter, r *http.Request) {
+	sv := s.acquire(w, r)
+	if sv == nil {
+		return
+	}
+	defer sv.Release()
+	m := sv.Model()
+	res := sv.Dominator()
+	dom := make([]string, len(res.DomSet))
+	for i, v := range res.DomSet {
+		dom[i] = m.H.VertexName(v)
+	}
+	targets := make([]string, len(sv.Targets()))
+	for i, v := range sv.Targets() {
+		targets[i] = m.H.VertexName(v)
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"dominator":  dom,
+		"targets":    targets,
+		"coverage":   res.CoverageFraction(),
+		"iterations": res.Iterations,
+	})
+}
+
+type classifyRequest struct {
+	Target string         `json:"target"`
+	Values map[string]int `json:"values"`
+}
+
+type classifyResponse struct {
+	Target     string  `json:"target"`
+	Value      int     `json:"value"`
+	Confidence float64 `json:"confidence"`
+}
+
+// resolveClassify turns a classify request into (target id, dominator
+// values in Dominator() order). The caller has already established the
+// classifier is available.
+func resolveClassify(sv *registry.Served, abc *classify.ABC, req *classifyRequest) (int, []table.Value, error) {
+	m := sv.Model()
+	target, err := resolveTarget(sv, req.Target)
+	if err != nil {
+		return 0, nil, err
+	}
+	dom := abc.Dominator()
+	domVals := make([]table.Value, len(dom))
+	k := m.Table.K()
+	for i, a := range dom {
+		name := m.H.VertexName(a)
+		v, ok := req.Values[name]
+		if !ok {
+			return 0, nil, fmt.Errorf("missing value for dominator attribute %q", name)
+		}
+		if v < 1 || v > k {
+			return 0, nil, fmt.Errorf("value %d for %q outside 1..%d", v, name, k)
+		}
+		domVals[i] = table.Value(v)
+	}
+	return target, domVals, nil
+}
+
+func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
+	sv := s.acquire(w, r)
+	if sv == nil {
+		return
+	}
+	defer sv.Release()
+	var req classifyRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.fail(w, http.StatusBadRequest, "body: %v", err)
+		return
+	}
+	abc, err := sv.Classifier()
+	if err != nil {
+		s.fail(w, http.StatusConflict, "%v", err)
+		return
+	}
+	target, domVals, err := resolveClassify(sv, abc, &req)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	p, err := sv.BorrowPredictor()
+	if err != nil {
+		s.fail(w, http.StatusConflict, "%v", err)
+		return
+	}
+	v, conf, err := p.Predict(domVals, target)
+	sv.ReturnPredictor(p)
+	if err != nil {
+		s.fail(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, classifyResponse{Target: req.Target, Value: int(v), Confidence: conf})
+}
+
+// resolveTarget maps a target attribute name to its id, requiring it
+// to be one of the model's classifiable targets — asking for a
+// dominator member or an uncovered attribute is a client error, not a
+// predictor fault.
+func resolveTarget(sv *registry.Served, name string) (int, error) {
+	target := sv.Model().Table.AttrIndex(name)
+	if target < 0 {
+		return 0, fmt.Errorf("unknown target attribute %q", name)
+	}
+	for _, t := range sv.Targets() {
+		if t == target {
+			return target, nil
+		}
+	}
+	return 0, fmt.Errorf("attribute %q is not a classifiable target (see the model's targets list)", name)
+}
+
+type classifyBatchRequest struct {
+	Target string  `json:"target"`
+	Rows   [][]int `json:"rows"`
+}
+
+type classifyBatchResponse struct {
+	Target      string    `json:"target"`
+	Values      []int     `json:"values"`
+	Confidences []float64 `json:"confidences"`
+}
+
+func (s *Server) handleClassifyBatch(w http.ResponseWriter, r *http.Request) {
+	sv := s.acquire(w, r)
+	if sv == nil {
+		return
+	}
+	defer sv.Release()
+	var req classifyBatchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.fail(w, http.StatusBadRequest, "body: %v", err)
+		return
+	}
+	abc, err := sv.Classifier()
+	if err != nil {
+		s.fail(w, http.StatusConflict, "%v", err)
+		return
+	}
+	m := sv.Model()
+	target, err := resolveTarget(sv, req.Target)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	dom := abc.Dominator()
+	if len(req.Rows) == 0 {
+		s.fail(w, http.StatusBadRequest, "empty rows")
+		return
+	}
+	k := m.Table.K()
+	domVals := make([]table.Value, 0, len(req.Rows)*len(dom))
+	for i, row := range req.Rows {
+		if len(row) != len(dom) {
+			s.fail(w, http.StatusBadRequest, "row %d has %d values, want %d (dominator order)", i, len(row), len(dom))
+			return
+		}
+		for j, v := range row {
+			if v < 1 || v > k {
+				s.fail(w, http.StatusBadRequest, "row %d value %d for %q outside 1..%d", i, v, m.H.VertexName(dom[j]), k)
+				return
+			}
+			domVals = append(domVals, table.Value(v))
+		}
+	}
+	out := make([]table.Value, len(req.Rows))
+	conf := make([]float64, len(req.Rows))
+	p, err := sv.BorrowPredictor()
+	if err != nil {
+		s.fail(w, http.StatusConflict, "%v", err)
+		return
+	}
+	err = p.PredictBatch(domVals, target, out, conf)
+	sv.ReturnPredictor(p)
+	if err != nil {
+		s.fail(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	resp := classifyBatchResponse{Target: req.Target, Values: make([]int, len(out)), Confidences: conf}
+	for i, v := range out {
+		resp.Values[i] = int(v)
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}

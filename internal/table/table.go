@@ -105,6 +105,37 @@ func FromColumns(attrs []string, k int, cols [][]Value) (*Table, error) {
 	return t, nil
 }
 
+// FromRawColumns builds a table from column-major raw bytes (one byte
+// per cell, as stored in binary model snapshots), validating and
+// converting in a single pass. The byte slices are not retained.
+func FromRawColumns(attrs []string, k int, cols [][]byte) (*Table, error) {
+	t, err := New(attrs, k)
+	if err != nil {
+		return nil, err
+	}
+	if len(cols) != len(attrs) {
+		return nil, fmt.Errorf("table: %d attributes but %d columns", len(attrs), len(cols))
+	}
+	n := -1
+	for j, c := range cols {
+		if n == -1 {
+			n = len(c)
+		} else if len(c) != n {
+			return nil, fmt.Errorf("table: column %d has %d rows, want %d", j, len(c), n)
+		}
+		col := make([]Value, len(c))
+		for i, b := range c {
+			if b < 1 || int(b) > k {
+				return nil, fmt.Errorf("table: column %d row %d: value %d outside 1..%d", j, i, b, k)
+			}
+			col[i] = Value(b)
+		}
+		t.cols[j] = col
+	}
+	t.rows = n
+	return t, nil
+}
+
 // AppendRow appends one observation. The row must have one value per
 // attribute, each in 1..K.
 func (t *Table) AppendRow(row []Value) error {
