@@ -1,16 +1,23 @@
-// Command bench measures the PR-2 query-stack benchmarks — packed-key
-// lookups, allocation-free similarity, scratch-reusing classification,
-// and the parallel BuildGraph/Evaluate paths — against reconstructions
-// of the legacy (string-keyed, allocating, serial) implementations,
-// and writes the results as machine-readable JSON for the repo's
-// BENCH_* perf trajectory.
+// Command bench measures the repo's machine-readable BENCH_* perf
+// trajectory. Two suites:
+//
+//   - pr2: the PR-2 query-stack benchmarks — packed-key lookups,
+//     allocation-free similarity, scratch-reusing classification, and
+//     the parallel BuildGraph/Evaluate paths — against in-process
+//     reconstructions of the legacy implementations (-> BENCH_2.json).
+//   - ctx (default): the PR-4 context-plumbing overhead — Build,
+//     Apriori, rule mining, and batch classification with cancellation
+//     polling at the default stride under a real (cancellable) context
+//     versus the check-free paths, proving the v2 API's ctx checks
+//     cost under the 2% acceptance bar (-> BENCH_4.json).
 //
 // Usage:
 //
-//	go run ./cmd/bench [-out BENCH_2.json] [-quick]
+//	go run ./cmd/bench [-suite ctx|pr2] [-out FILE.json] [-quick]
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -19,9 +26,12 @@ import (
 	"runtime"
 	"testing"
 
+	"hypermine/internal/apriori"
 	"hypermine/internal/benchfix"
+	"hypermine/internal/core"
 	"hypermine/internal/cover"
 	"hypermine/internal/hypergraph"
+	"hypermine/internal/runopt"
 	"hypermine/internal/similarity"
 	"hypermine/internal/table"
 )
@@ -38,6 +48,10 @@ type comparison struct {
 	Baseline  string  `json:"baseline"`
 	Optimized string  `json:"optimized"`
 	Speedup   float64 `json:"speedup"`
+	// OverheadPct is set by the ctx suite: how much slower the
+	// "optimized" (ctx-checked) form is than the baseline, in percent.
+	// Negative values are measurement noise around zero.
+	OverheadPct float64 `json:"overhead_pct,omitempty"`
 }
 
 type report struct {
@@ -70,6 +84,53 @@ func compare(rep *report, name string, base, opt benchResult) {
 		Speedup: math.Round(sp*100) / 100,
 	})
 	fmt.Printf("  -> %s: %.2fx\n", name, sp)
+}
+
+// runPair measures a baseline/ctx pair with interleaved rounds,
+// keeping each side's best (minimum ns/op) — the standard
+// noise-robust estimator. On a single-core host, run-to-run variance
+// of a one-shot testing.Benchmark is several percent, larger than the
+// overhead being measured; interleaving and taking minima pushes the
+// noise floor well below the 2% acceptance bar.
+func runPair(rep *report, baseName string, baseFn func(b *testing.B), ctxName string, ctxFn func(b *testing.B)) (base, ctxRes benchResult) {
+	const rounds = 3
+	best := func(cur, cand benchResult) benchResult {
+		if cur.Name == "" || cand.NsPerOp < cur.NsPerOp {
+			return cand
+		}
+		return cur
+	}
+	measure := func(name string, fn func(b *testing.B)) benchResult {
+		r := testing.Benchmark(fn)
+		return benchResult{
+			Name:        name,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+	}
+	for i := 0; i < rounds; i++ {
+		base = best(base, measure(baseName, baseFn))
+		ctxRes = best(ctxRes, measure(ctxName, ctxFn))
+	}
+	for _, res := range []benchResult{base, ctxRes} {
+		rep.Benchmarks = append(rep.Benchmarks, res)
+		fmt.Printf("%-42s %12.1f ns/op %8d B/op %6d allocs/op\n",
+			res.Name, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp)
+	}
+	return base, ctxRes
+}
+
+// compareOverhead records how much slower the ctx-checked form is
+// than its check-free baseline, in percent.
+func compareOverhead(rep *report, name string, base, ctxForm benchResult) {
+	over := (ctxForm.NsPerOp/base.NsPerOp - 1) * 100
+	rep.Comparisons = append(rep.Comparisons, comparison{
+		Name: name, Baseline: base.Name, Optimized: ctxForm.Name,
+		Speedup:     math.Round(base.NsPerOp/ctxForm.NsPerOp*10000) / 10000,
+		OverheadPct: math.Round(over*100) / 100,
+	})
+	fmt.Printf("  -> %s: %+.2f%% overhead\n", name, over)
 }
 
 // legacyKeys rebuilds the pre-PR-2 string edge index of h.
@@ -182,13 +243,182 @@ func legacyInSim(h *hypergraph.H, keys map[string]int32, a1, a2 int) float64 {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_2.json", "output JSON path ('-' for stdout only)")
+	suite := flag.String("suite", "ctx", "benchmark suite: ctx (PR-4 context overhead) or pr2 (query stack)")
+	out := flag.String("out", "", "output JSON path ('' = suite default, '-' for stdout only)")
 	quick := flag.Bool("quick", false, "shrink workloads for CI smoke runs")
 	flag.Parse()
 
+	var rep *report
+	switch *suite {
+	case "pr2":
+		if *out == "" {
+			*out = "BENCH_2.json"
+		}
+		rep = suitePR2(*quick)
+	case "ctx":
+		if *out == "" {
+			*out = "BENCH_4.json"
+		}
+		rep = suiteCtx(*quick)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown suite %q (want ctx or pr2)\n", *suite)
+		os.Exit(2)
+	}
+
+	js, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		panic(err)
+	}
+	js = append(js, '\n')
+	if *out != "-" {
+		if err := os.WriteFile(*out, js, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	} else {
+		os.Stdout.Write(js)
+	}
+}
+
+// suiteCtx measures the cost of the v2 API's cancellation polling on
+// the hot paths, under a real cancellable context (so ctx.Err() takes
+// the non-trivial path) at the documented default strides.
+func suiteCtx(quick bool) *report {
+	attrs, rows := 30, 20000
+	batchRows := 4096
+	if quick {
+		attrs, rows = 12, 1500
+		batchRows = 512
+	}
+	rep := &report{
+		PR:         4,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+		Note: "context-plumbing overhead: each pair runs the identical workload " +
+			"through the v2 code with cancellation polling disabled (stride 2^30) " +
+			"vs the default stride under a live context.WithCancel context, 3 " +
+			"interleaved rounds keeping each side's best run to suppress " +
+			"single-core scheduling noise. overhead_pct isolates the polling " +
+			"cost (the acceptance metric; PR-4 bar < 2% on Build/classify); " +
+			"structural parity of the v2 refactor against the pre-PR-4 binary " +
+			"is established by the verify drive's differential (bit-identical " +
+			"build output, comparable wall time), not by this suite.",
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	m := benchfix.ModelWorkload(attrs, rows)
+	tb := m.Table
+	cfg := core.Config{GammaEdge: 1.0, GammaPair: 1.0}
+
+	// Build: stride 1<<30 never polls inside a run, isolating the cost
+	// of the polling itself from the default stride under a cancellable
+	// context. Both sides run the v2 machinery (select-based feeders,
+	// per-unit stride counters); structural parity with the pre-v2
+	// builder is checked separately by the verify drive's binary
+	// differential (bit-identical output, comparable wall time), not
+	// by this suite.
+	cfgOff := cfg
+	cfgOff.Run = &runopt.Hooks{CheckEvery: 1 << 30}
+	buildOff, buildOn := runPair(rep,
+		"Build/no-ctx-polling", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.BuildContext(ctx, tb, cfgOff); err != nil {
+					b.Fatal(err)
+				}
+			}
+		},
+		"Build/ctx-default-stride", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.BuildContext(ctx, tb, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	compareOverhead(rep, "Build ctx checks", buildOff, buildOn)
+
+	// Batch classification: the v1 check-free loop vs the ctx loop.
+	abc, _ := benchfix.ABCWorkload(attrs, rows)
+	p := abc.NewPredictor()
+	dom := abc.Dominator()
+	domVals := make([]table.Value, batchRows*len(dom))
+	for i := range domVals {
+		domVals[i] = table.Value(1 + i%3)
+	}
+	outV := make([]table.Value, batchRows)
+	conf := make([]float64, batchRows)
+	target := abc.Targets()[0]
+	batchOff, batchOn := runPair(rep,
+		"PredictBatch/v1", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := p.PredictBatch(domVals, target, outV, conf); err != nil {
+					b.Fatal(err)
+				}
+			}
+		},
+		"PredictBatch/ctx", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := p.PredictBatchContext(ctx, domVals, target, outV, conf); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	compareOverhead(rep, "PredictBatch ctx checks", batchOff, batchOn)
+
+	// Apriori: default stride vs never-poll.
+	aOff := apriori.Options{MinSupport: 0.05, MaxLen: 3, Run: &runopt.Hooks{CheckEvery: 1 << 30}}
+	aOn := apriori.Options{MinSupport: 0.05, MaxLen: 3}
+	aprioriOff, aprioriOn := runPair(rep,
+		"FrequentItemsets/no-ctx-polling", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := apriori.FrequentItemsetsContext(ctx, tb, aOff); err != nil {
+					b.Fatal(err)
+				}
+			}
+		},
+		"FrequentItemsets/ctx-default-stride", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := apriori.FrequentItemsetsContext(ctx, tb, aOn); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	compareOverhead(rep, "FrequentItemsets ctx checks", aprioriOff, aprioriOn)
+
+	// Rule mining (the serving-path heavy query).
+	head := 0
+	for h := 0; h < tb.NumAttrs(); h++ {
+		if len(m.H.In(h)) > len(m.H.In(head)) {
+			head = h
+		}
+	}
+	rulesOptOff := core.MineOptions{MaxRules: 10, Run: &runopt.Hooks{CheckEvery: 1 << 30}}
+	rulesOff, rulesOn := runPair(rep,
+		"MineRules/no-ctx-polling", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.MineRulesContext(ctx, m, head, rulesOptOff); err != nil {
+					b.Fatal(err)
+				}
+			}
+		},
+		"MineRules/ctx-per-edge", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.MineRulesContext(ctx, m, head, core.MineOptions{MaxRules: 10}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	compareOverhead(rep, "MineRules ctx checks", rulesOff, rulesOn)
+
+	return rep
+}
+
+// suitePR2 is the original PR-2 query-stack suite.
+func suitePR2(quick bool) *report {
 	nv, edges, simN := 80, 4000, 40
 	abcAttrs, abcRows := 30, 1500
-	if *quick {
+	if quick {
 		nv, edges, simN = 30, 600, 12
 		abcAttrs, abcRows = 12, 300
 	}
@@ -339,19 +569,5 @@ func main() {
 			}
 		}
 	})
-
-	js, err := json.MarshalIndent(rep, "", "  ")
-	if err != nil {
-		panic(err)
-	}
-	js = append(js, '\n')
-	if *out != "-" {
-		if err := os.WriteFile(*out, js, 0o644); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		fmt.Printf("wrote %s\n", *out)
-	} else {
-		os.Stdout.Write(js)
-	}
+	return rep
 }

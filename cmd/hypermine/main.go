@@ -1,22 +1,34 @@
 // Command hypermine is the CLI for the association-hypergraph miner.
-// All logic lives in internal/cli (testable); this wrapper only wires
-// stdout/stderr and the exit code. Run `hypermine help` for usage.
+// All logic lives in internal/cli (testable); this wrapper wires
+// stdout/stderr, the exit code, and SIGINT/SIGTERM-driven graceful
+// cancellation: ^C cancels the run context, long-running subcommands
+// return promptly, and the process exits 130 (the conventional
+// fatal-SIGINT code). Run `hypermine help` for usage.
 package main
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"hypermine/internal/cli"
 )
 
 func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	app := cli.New(os.Stdout)
-	if err := app.Run(os.Args[1:]); err != nil {
+	if err := app.RunContext(ctx, os.Args[1:]); err != nil {
 		if errors.Is(err, cli.ErrUsage) {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
+		}
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "hypermine: interrupted")
+			os.Exit(130)
 		}
 		fmt.Fprintln(os.Stderr, "hypermine:", err)
 		os.Exit(1)

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	hypermined -addr :8080 -model demo=model.snap [-model other=o.snap] [-max-edges N]
+//	hypermined -addr :8080 -model demo=model.snap [-model other=o.snap] [-max-edges N] [-query-timeout 5s]
 //
 // Models can also be loaded (or hot-swapped) at runtime by PUTting a
 // snapshot to /v1/models/{name}.
@@ -52,6 +52,8 @@ func main() {
 	var models modelFlags
 	addr := flag.String("addr", ":8080", "listen address")
 	maxEdges := flag.Int("max-edges", 0, "resident hyperedge bound for LRU eviction (0 = unlimited)")
+	queryTimeout := flag.Duration("query-timeout", 0,
+		"per-query deadline; an expired query is abandoned with 504 (0 = unbounded; admin PUT/DELETE are exempt)")
 	flag.Var(&models, "model", "name=snapshot.snap to serve at boot (repeatable)")
 	flag.Parse()
 
@@ -62,7 +64,10 @@ func main() {
 		}
 	}
 
-	srv := &http.Server{Addr: *addr, Handler: server.New(reg).Handler()}
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: server.New(reg, server.WithQueryTimeout(*queryTimeout)).Handler(),
+	}
 	errCh := make(chan error, 1)
 	go func() {
 		fmt.Printf("hypermined: serving %d model(s) on %s\n", len(reg.Names()), *addr)

@@ -18,12 +18,26 @@
 //
 // Usage:
 //
-//	go run ./cmd/loadgen [-addr URL -model NAME] [-n 2000] [-quick] [-out BENCH_3.json]
+//	go run ./cmd/loadgen [-addr URL -model NAME] [-n 2000] [-quick] [-out BENCH_3.json] [-cancel-every N]
+//
+// With -cancel-every N, every Nth request is replaced by a heavy rules
+// query issued under a short client-side deadline — a client that goes
+// away mid-request. The run then verifies the server survived the
+// burst (healthz + a fresh query succeed, zero identity mismatches on
+// the normal traffic) and reports how many aborts the server actually
+// observed (from /stats). The server-observed count depends on how
+// fast the host delivers the disconnect: on a busy single-core
+// machine a sub-10ms handler often finishes before the abort is
+// noticed, so the deterministic proof of in-flight abort lives in the
+// internal/server unit tests; this scenario proves survival and
+// answer integrity under the burst.
 package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -80,6 +94,19 @@ type report struct {
 	} `json:"total"`
 	Reloads            int `json:"reloads"`
 	IdentityMismatches int `json:"identity_mismatches"`
+	// Cancel reports the client-side timeout injection scenario
+	// (-cancel-every); nil when disabled.
+	Cancel *cancelReport `json:"cancel,omitempty"`
+}
+
+// cancelReport summarizes the timeout-injection scenario.
+type cancelReport struct {
+	Every          int   `json:"every"`
+	Injected       int   `json:"injected"`
+	ClientTimeouts int   `json:"client_timeouts"`
+	ServerCanceled int64 `json:"server_canceled"`
+	ServerTimeouts int64 `json:"server_timeouts"`
+	SurvivedBurst  bool  `json:"survived_burst"`
 }
 
 // modelInfo is the subset of the /v1/models/{name} response the
@@ -104,6 +131,8 @@ func main() {
 	rows := flag.Int("rows", 20000, "self-hosted model rows")
 	out := flag.String("out", "BENCH_3.json", "output JSON path ('-' for stdout only)")
 	quick := flag.Bool("quick", false, "shrink workloads for CI smoke runs")
+	cancelEvery := flag.Int("cancel-every", 0,
+		"replace every Nth request with a rules query under a short client-side deadline (0 = off)")
 	flag.Parse()
 
 	if *quick {
@@ -143,7 +172,7 @@ func main() {
 		fatal(fmt.Errorf("model %q cannot classify; loadgen needs a classifiable model", *model))
 	}
 
-	if err := replay(rep, baseURL, *model, info, *n, *seed, *reloads, snapPath); err != nil {
+	if err := replay(rep, baseURL, *model, info, *n, *seed, *reloads, snapPath, *cancelEvery); err != nil {
 		fatal(err)
 	}
 
@@ -254,7 +283,7 @@ type query struct {
 
 // replay generates the deterministic mix and drives it serially,
 // recording per-endpoint latencies and identity mismatches.
-func replay(rep *report, baseURL, model string, info *modelInfo, n int, seed int64, reloads int, snapPath string) error {
+func replay(rep *report, baseURL, model string, info *modelInfo, n int, seed int64, reloads int, snapPath string, cancelEvery int) error {
 	rng := rand.New(rand.NewSource(seed))
 
 	// Pool of 32 deterministic classify bodies; each remembers its
@@ -351,6 +380,11 @@ func replay(rep *report, baseURL, model string, info *modelInfo, n int, seed int
 	if reloads > 0 {
 		reloadEvery = n / (reloads + 1)
 	}
+	var cr *cancelReport
+	if cancelEvery > 0 {
+		cr = &cancelReport{Every: cancelEvery}
+		rep.Cancel = cr
+	}
 	start := time.Now()
 	for i, q := range queries {
 		if reloadEvery > 0 && i > 0 && i%reloadEvery == 0 && rep.Reloads < reloads {
@@ -358,6 +392,31 @@ func replay(rep *report, baseURL, model string, info *modelInfo, n int, seed int
 				return fmt.Errorf("hot reload %d: %w", rep.Reloads+1, err)
 			}
 			rep.Reloads++
+		}
+		if cr != nil && i > 0 && i%cancelEvery == 0 {
+			// Inject an abandoned client: a heavy rules query whose
+			// client-side deadline expires mid-request. Its outcome is
+			// counted, never identity-checked or latency-recorded.
+			cr.Injected++
+			url := fmt.Sprintf("%s/v1/models/%s/rules?head=%s&top=50",
+				baseURL, model, info.Targets[i%len(info.Targets)])
+			ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+			req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+			if err != nil {
+				cancel()
+				return err
+			}
+			resp, err := client.Do(req)
+			if err != nil {
+				if errors.Is(err, context.DeadlineExceeded) {
+					cr.ClientTimeouts++
+				}
+			} else {
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+			cancel()
+			continue
 		}
 		var req *http.Request
 		var err error
@@ -417,11 +476,51 @@ func replay(rep *report, baseURL, model string, info *modelInfo, n int, seed int
 		fmt.Printf("%-16s %6d reqs  mean %8.1fus  p50 %8.1fus  p99 %8.1fus\n",
 			name, er.Requests, er.MeanNs/1e3, float64(er.P50Ns)/1e3, float64(er.P99Ns)/1e3)
 	}
-	rep.Total.Requests = n
+	// QPS counts only requests actually served to completion: injected
+	// abandoned clients are excluded so runs with and without
+	// -cancel-every stay comparable across the BENCH trajectory.
+	served := n
+	if cr != nil {
+		served -= cr.Injected
+	}
+	rep.Total.Requests = served
 	rep.Total.WallNs = wall.Nanoseconds()
-	rep.Total.QPS = float64(n) / wall.Seconds()
+	rep.Total.QPS = float64(served) / wall.Seconds()
 	fmt.Printf("total: %d requests in %s (%.0f qps), %d hot reloads, %d identity mismatches\n",
-		n, wall.Round(time.Millisecond), rep.Total.QPS, rep.Reloads, rep.IdentityMismatches)
+		served, wall.Round(time.Millisecond), rep.Total.QPS, rep.Reloads, rep.IdentityMismatches)
+	if cr != nil {
+		// Survival check: after the abort burst the server must still
+		// answer both the liveness probe and a real query, and /stats
+		// reports how many aborts it observed.
+		healthOK := false
+		if resp, err := http.Get(baseURL + "/healthz"); err == nil {
+			healthOK = resp.StatusCode == http.StatusOK
+			resp.Body.Close()
+		}
+		queryOK := false
+		if resp, err := http.Get(baseURL + "/v1/models/" + model); err == nil {
+			queryOK = resp.StatusCode == http.StatusOK
+			_, _ = io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		cr.SurvivedBurst = healthOK && queryOK
+		var stats struct {
+			Timeouts int64 `json:"timeouts"`
+			Canceled int64 `json:"canceled"`
+		}
+		if resp, err := http.Get(baseURL + "/stats"); err == nil {
+			if resp.StatusCode == http.StatusOK {
+				_ = json.NewDecoder(resp.Body).Decode(&stats)
+			}
+			resp.Body.Close()
+		}
+		cr.ServerCanceled, cr.ServerTimeouts = stats.Canceled, stats.Timeouts
+		fmt.Printf("cancel scenario: %d injected, %d client timeouts, server observed %d canceled + %d timed out, survived=%v\n",
+			cr.Injected, cr.ClientTimeouts, cr.ServerCanceled, cr.ServerTimeouts, cr.SurvivedBurst)
+		if !cr.SurvivedBurst {
+			return errors.New("server did not survive the cancellation burst")
+		}
+	}
 	return nil
 }
 

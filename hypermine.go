@@ -6,16 +6,28 @@
 // association-based classifier.
 //
 // The package re-exports the library's public surface; implementation
-// lives under internal/. The typical pipeline is:
+// lives under internal/. The typical pipeline, in the context-aware
+// v2 form (every long-running step honors cancellation/deadlines and
+// can report progress):
 //
+//	ctx := context.Background() // or a request/signal-scoped context
 //	u, _ := hypermine.Generate(hypermine.DefaultGenConfig()) // or your own data
 //	tb, disc, _ := u.BuildTable(3)                           // equi-depth discretization
-//	model, _ := hypermine.Build(tb, hypermine.C1())          // association hypergraph
-//	dom, _ := hypermine.LeadingIndicators(model.H, nil, hypermine.DominatorOptions{})
+//	model, _ := hypermine.BuildContext(ctx, tb, hypermine.C1(),
+//		hypermine.WithProgress(func(ph hypermine.Phase, done, total int) {
+//			log.Printf("%s %d/%d", ph, done, total)
+//		}))
+//	dom, _ := hypermine.LeadingIndicatorsContext(ctx, model.H, nil, hypermine.DominatorOptions{})
 //	abc, _ := hypermine.NewClassifier(model, dom.DomSet, targets)
+//
+// The v1 entry points (Build, LeadingIndicators, ...) remain as thin
+// context.Background() shims and are bit-identical to the Context
+// forms when the context is never canceled.
 package hypermine
 
 import (
+	"context"
+
 	"hypermine/internal/apriori"
 	"hypermine/internal/classify"
 	"hypermine/internal/cluster"
@@ -23,6 +35,7 @@ import (
 	"hypermine/internal/cover"
 	"hypermine/internal/hypergraph"
 	"hypermine/internal/registry"
+	"hypermine/internal/runopt"
 	"hypermine/internal/server"
 	"hypermine/internal/similarity"
 	"hypermine/internal/table"
@@ -318,18 +331,205 @@ var (
 	DefaultTaxonomy = timeseries.DefaultTaxonomy
 )
 
+// DominatorVariant controls whether LeadingIndicators applies its
+// paper-preferred enhancement defaults or respects the caller's
+// explicit Enhancement1/2 settings; see the re-exported constants.
+type DominatorVariant = cover.Variant
+
+const (
+	// DominatorAuto (the zero value) keeps the historical
+	// LeadingIndicators behavior: Algorithm 6 with both enhancements,
+	// regardless of the Enhancement fields.
+	DominatorAuto = cover.VariantAuto
+	// DominatorExplicit makes LeadingIndicators respect
+	// Enhancement1/Enhancement2 exactly as the caller set them.
+	DominatorExplicit = cover.VariantExplicit
+)
+
 // LeadingIndicators computes a leading indicator (dominator) for the
-// given vertex set of h, defaulting to all vertices when s is nil. It
-// uses Algorithm 6 with both enhancements, the paper's preferred
-// variant.
+// given vertex set of h, defaulting to all vertices when s is nil.
+//
+// With opt.Variant == DominatorAuto (the zero value) it uses
+// Algorithm 6 with both enhancements — the paper's preferred variant —
+// overriding whatever Enhancement1/2 say; this default is deliberate
+// and was historically applied silently. Set opt.Variant =
+// DominatorExplicit to run exactly the enhancement combination you
+// configured (cover.DominatorSetCover always did).
 func LeadingIndicators(h *Hypergraph, s []int, opt DominatorOptions) (*DominatorResult, error) {
+	return LeadingIndicatorsContext(context.Background(), h, s, opt)
+}
+
+// LeadingIndicatorsContext is LeadingIndicators under a context: the
+// greedy cover polls ctx at a bounded candidate stride and returns
+// ctx.Err() promptly when canceled. Options apply progress/stride
+// hooks on top of opt.
+func LeadingIndicatorsContext(ctx context.Context, h *Hypergraph, s []int, opt DominatorOptions, opts ...Option) (*DominatorResult, error) {
 	if s == nil {
 		s = make([]int, h.NumVertices())
 		for i := range s {
 			s[i] = i
 		}
 	}
-	opt.Enhancement1 = true
-	opt.Enhancement2 = true
-	return cover.DominatorSetCover(h, s, opt)
+	if opt.Variant == DominatorAuto {
+		opt.Enhancement1 = true
+		opt.Enhancement2 = true
+	}
+	o := gatherOptions(opts)
+	opt.Run = o.mergeHooks(opt.Run)
+	return cover.DominatorSetCoverContext(ctx, h, s, opt)
+}
+
+// Phase names one stage of the pipeline as seen by progress
+// callbacks; the per-phase work units are documented on the
+// runopt.Phase constants (PhaseEdges, PhasePairs, PhaseTriples,
+// PhaseSimilarity, PhaseDominator, PhaseApriori, PhaseRules,
+// PhaseFolds, re-exported below).
+type Phase = runopt.Phase
+
+// Re-exported pipeline phases.
+const (
+	PhaseEdges      = runopt.PhaseEdges
+	PhasePairs      = runopt.PhasePairs
+	PhaseTriples    = runopt.PhaseTriples
+	PhaseSimilarity = runopt.PhaseSimilarity
+	PhaseDominator  = runopt.PhaseDominator
+	PhaseApriori    = runopt.PhaseApriori
+	PhaseRules      = runopt.PhaseRules
+	PhaseFolds      = runopt.PhaseFolds
+)
+
+// ProgressFunc observes completed work units of one phase; total is 0
+// when unknown up front. Parallel stages may invoke it concurrently.
+type ProgressFunc = runopt.ProgressFunc
+
+// Option is a unified functional option accepted by every ...Context
+// entry point of the facade. One vocabulary replaces the five
+// divergent knobs of the underlying option structs: each Option maps
+// onto the matching field of core.Config / cover.Options /
+// apriori.Options / core.MineOptions / similarity.GraphOptions, and
+// options without a counterpart for a given call (for example
+// WithWorkers on the serial dominator) are simply ignored there.
+type Option func(*callOptions)
+
+type callOptions struct {
+	workers int
+	hooks   *runopt.Hooks
+}
+
+func gatherOptions(opts []Option) callOptions {
+	var o callOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return o
+}
+
+func (o *callOptions) ensureHooks() *runopt.Hooks {
+	if o.hooks == nil {
+		o.hooks = &runopt.Hooks{}
+	}
+	return o.hooks
+}
+
+// mergeHooks layers the options' hooks over hooks the caller already
+// attached to the option struct, mutating neither: an explicitly set
+// WithProgress/WithDeadlineCheckEvery wins its field, every other
+// field keeps the caller's value. Returns the existing pointer
+// untouched when no hook options were given.
+func (o *callOptions) mergeHooks(existing *runopt.Hooks) *runopt.Hooks {
+	if o.hooks == nil {
+		return existing
+	}
+	if existing == nil {
+		return o.hooks
+	}
+	merged := *existing
+	if o.hooks.Progress != nil {
+		merged.Progress = o.hooks.Progress
+	}
+	if o.hooks.CheckEvery > 0 {
+		merged.CheckEvery = o.hooks.CheckEvery
+	}
+	return &merged
+}
+
+// WithWorkers bounds worker goroutines for parallel operations
+// (BuildContext, BuildSimilarityGraphContext, CrossValidateABCContext
+// model builds); n <= 0 keeps the operation's default (GOMAXPROCS).
+func WithWorkers(n int) Option {
+	return func(o *callOptions) { o.workers = n }
+}
+
+// WithProgress installs a progress callback; see ProgressFunc and the
+// Phase constants for the reporting contract.
+func WithProgress(f ProgressFunc) Option {
+	return func(o *callOptions) { o.ensureHooks().Progress = f }
+}
+
+// WithDeadlineCheckEvery bounds how many work units an operation
+// processes between context-cancellation polls, trading cancellation
+// latency against (tiny) polling overhead. n <= 0 keeps each
+// operation's documented default stride (core.DefaultCheckEvery ACV
+// evaluations for builds, cover.DefaultCheckEvery candidates for
+// dominators, apriori.DefaultCheckEvery candidates for Apriori, one
+// edge/row for rules and similarity).
+func WithDeadlineCheckEvery(n int) Option {
+	return func(o *callOptions) { o.ensureHooks().CheckEvery = n }
+}
+
+// BuildContext is Build under a context: mining aborts promptly with
+// ctx.Err() when ctx is canceled or its deadline passes, and is
+// bit-identical to Build when it never is. Options map onto cfg
+// (WithWorkers -> Parallelism, WithProgress/WithDeadlineCheckEvery ->
+// Run hooks, merged field-wise over caller-set hooks) without
+// mutating the caller's structs.
+func BuildContext(ctx context.Context, tb *Table, cfg Config, opts ...Option) (*Model, error) {
+	o := gatherOptions(opts)
+	if o.workers > 0 {
+		cfg.Parallelism = o.workers
+	}
+	cfg.Run = o.mergeHooks(cfg.Run)
+	return core.BuildContext(ctx, tb, cfg)
+}
+
+// BuildSimilarityGraphContext is BuildSimilarityGraph under a
+// context, with options for workers, progress, and poll stride.
+func BuildSimilarityGraphContext(ctx context.Context, h *Hypergraph, s []int, opts ...Option) (*SimilarityGraph, error) {
+	o := gatherOptions(opts)
+	g := similarity.GraphOptions{Parallelism: o.workers}
+	if o.hooks != nil {
+		g.Progress = o.hooks.Progress
+		g.CheckEvery = o.hooks.CheckEvery
+	}
+	return similarity.BuildGraphContext(ctx, h, s, g)
+}
+
+// FrequentItemsetsContext is FrequentItemsets under a context: the
+// level-wise miner polls ctx between candidates and levels and
+// returns ctx.Err() promptly when canceled.
+func FrequentItemsetsContext(ctx context.Context, tb *Table, opt AprioriOptions, opts ...Option) ([]FrequentItemset, error) {
+	o := gatherOptions(opts)
+	opt.Run = o.mergeHooks(opt.Run)
+	return apriori.FrequentItemsetsContext(ctx, tb, opt)
+}
+
+// MineRulesContext is MineRules under a context: mining polls ctx per
+// hyperedge (each rebuilds one association table) and returns
+// ctx.Err() promptly when canceled.
+func MineRulesContext(ctx context.Context, m *Model, head int, opt MineOptions, opts ...Option) ([]ScoredRule, error) {
+	o := gatherOptions(opts)
+	opt.Run = o.mergeHooks(opt.Run)
+	return core.MineRulesContext(ctx, m, head, opt)
+}
+
+// CrossValidateABCContext is CrossValidateABC under a context: the
+// per-fold model builds inherit ctx and the options, and cancellation
+// is additionally polled between folds.
+func CrossValidateABCContext(ctx context.Context, tb *Table, cfg Config, dom, targets []int, k int, opts ...Option) (float64, error) {
+	o := gatherOptions(opts)
+	if o.workers > 0 {
+		cfg.Parallelism = o.workers
+	}
+	cfg.Run = o.mergeHooks(cfg.Run)
+	return classify.CrossValidateABCContext(ctx, tb, cfg, dom, targets, k)
 }

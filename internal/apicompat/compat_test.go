@@ -1,0 +1,123 @@
+// Package apicompat is the v1 API-compatibility smoke: a small pinned
+// consumer of the pre-context public surface, built against HEAD. The
+// var block below spells out every v1 signature verbatim — if a
+// refactor changes any of them (rather than layering the v2 Context
+// forms alongside), this package stops compiling and CI fails before
+// any caller does. The test then runs a miniature v1-only pipeline to
+// prove the shims still behave, not just compile.
+package apicompat
+
+import (
+	"bytes"
+	"testing"
+
+	hypermine "hypermine"
+)
+
+// Compile-time pins of the v1 function surface. Each entry is the
+// exact signature shipped before the v2 context redesign; assignment
+// fails to compile on any change.
+var (
+	_ func(*hypermine.Table, hypermine.Config) (*hypermine.Model, error)                                 = hypermine.Build
+	_ func(*hypermine.Hypergraph, []int, hypermine.DominatorOptions) (*hypermine.DominatorResult, error) = hypermine.LeadingIndicators
+	_ func(*hypermine.Hypergraph, []int) (*hypermine.SimilarityGraph, error)                             = hypermine.BuildSimilarityGraph
+	_ func(*hypermine.Hypergraph, []int, int) (*hypermine.SimilarityGraph, error)                        = hypermine.BuildSimilarityGraphParallel
+	_ func(*hypermine.Table, hypermine.AprioriOptions) ([]hypermine.FrequentItemset, error)              = hypermine.FrequentItemsets
+	_ func([]hypermine.FrequentItemset, float64) ([]hypermine.ClassicRule, error)                        = hypermine.GenerateRules
+	_ func(*hypermine.Table, hypermine.AprioriOptions, float64) ([]hypermine.ClassicRule, error)         = hypermine.MineClassicRules
+	_ func(*hypermine.Model, int, hypermine.MineOptions) ([]hypermine.ScoredRule, error)                 = hypermine.MineRules
+	_ func(*hypermine.Table, hypermine.Config, []int, []int, int) (float64, error)                       = hypermine.CrossValidateABC
+	_ func(*hypermine.Model, []int, []int) (*hypermine.ABC, error)                                       = hypermine.NewClassifier
+	_ func(*hypermine.Hypergraph, []int, hypermine.DominatorOptions) (*hypermine.DominatorResult, error) = hypermine.DominatorSetCover
+	_ func(*hypermine.Hypergraph, []int, hypermine.DominatorOptions) (*hypermine.DominatorResult, error) = hypermine.DominatorGreedyDS
+	_ func(*hypermine.Table, []int, int) (*hypermine.AssociationTable, error)                            = hypermine.BuildAssociationTable
+	_ func(*hypermine.Table, []hypermine.Item) float64                                                   = hypermine.Support
+	_ func(*hypermine.Table, hypermine.Rule) float64                                                     = hypermine.Confidence
+	_ func(hypermine.RegistryOptions) *hypermine.ModelRegistry                                           = hypermine.NewModelRegistry
+	_ func() hypermine.Config                                                                            = hypermine.C1
+	_ func() hypermine.Config                                                                            = hypermine.C2
+	_ func(hypermine.GenConfig) (*hypermine.Universe, error)                                             = hypermine.Generate
+)
+
+// The v1 option structs must stay comparable: callers legitimately
+// write cfg == other (the persistence round-trip tests do). These
+// lines fail to compile if a non-comparable field sneaks in.
+var (
+	_ = hypermine.C1() == hypermine.C2()
+	_ = hypermine.DominatorOptions{} == hypermine.DominatorOptions{}
+	_ = hypermine.AprioriOptions{} == hypermine.AprioriOptions{}
+	_ = hypermine.MineOptions{} == hypermine.MineOptions{}
+)
+
+// TestV1PipelineStillWorks runs the whole v1 pipeline end to end
+// through the shims: generate -> discretize -> build -> dominator ->
+// classify -> rules -> apriori -> persistence.
+func TestV1PipelineStillWorks(t *testing.T) {
+	gen := hypermine.DefaultGenConfig()
+	gen.NumSeries = 16
+	gen.NumDays = 250
+	u, err := hypermine.Generate(gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, _, err := u.BuildTable(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := hypermine.Build(tb, hypermine.C1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dom, err := hypermine.LeadingIndicators(model.H, nil, hypermine.DominatorOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dom.DomSet) == 0 {
+		t.Fatal("empty dominator")
+	}
+	inDom := map[int]bool{}
+	for _, v := range dom.DomSet {
+		inDom[v] = true
+	}
+	var targets []int
+	for v, cov := range dom.Covered {
+		if cov && !inDom[v] {
+			targets = append(targets, v)
+		}
+	}
+	if len(targets) > 0 {
+		abc, err := hypermine.NewClassifier(model, dom.DomSet, targets)
+		if err != nil {
+			t.Fatal(err)
+		}
+		conf, err := abc.Evaluate(tb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hypermine.MeanConfidence(conf) <= 0 {
+			t.Fatal("zero classification confidence on training data")
+		}
+	}
+	if _, err := hypermine.MineRules(model, 0, hypermine.MineOptions{MaxRules: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hypermine.FrequentItemsets(tb, hypermine.AprioriOptions{MinSupport: 0.2, MaxLen: 2}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := hypermine.WriteModelSnapshot(&buf, model, hypermine.SaveOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	back, err := hypermine.ReadModelSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.H.NumEdges() != model.H.NumEdges() {
+		t.Fatalf("snapshot round trip lost edges: %d != %d", back.H.NumEdges(), model.H.NumEdges())
+	}
+	// The v1 Config of a round-tripped model compares equal with == —
+	// the comparability contract exercised at runtime.
+	if back.Config != model.Config {
+		t.Fatal("round-tripped Config differs under ==")
+	}
+}

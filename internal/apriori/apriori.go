@@ -13,12 +13,14 @@
 package apriori
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"sort"
 
 	"hypermine/internal/core"
+	"hypermine/internal/runopt"
 	"hypermine/internal/table"
 )
 
@@ -30,7 +32,20 @@ type Options struct {
 	MinSupport float64
 	// MaxLen caps itemset size; 0 means unlimited.
 	MaxLen int
+
+	// Run carries the runtime-only hooks of FrequentItemsetsContext: a
+	// PhaseApriori progress callback (done = completed itemset size,
+	// total = MaxLen or 0 when unbounded) and the context-poll stride
+	// in counted candidates (0 = DefaultCheckEvery). Held by pointer
+	// so Options stays comparable; never persisted.
+	Run *runopt.Hooks `json:"-"`
 }
+
+// DefaultCheckEvery is the default candidate stride between context
+// polls in FrequentItemsetsContext. Counting one candidate is an
+// AND+popcount over rows/64 words (or an O(rows) scan), so 64
+// candidates bound cancellation latency to well under a level.
+const DefaultCheckEvery = 64
 
 // Frequent is one frequent itemset with its support count.
 type Frequent struct {
@@ -165,12 +180,23 @@ func intersectItems(ix *table.Index, items []core.Item, scratch []uint64) []uint
 // item's posting list. Tables with cardinality above indexMaxK fall
 // back to scan counting, whose memory stays O(rows).
 func FrequentItemsets(tb *table.Table, opt Options) ([]Frequent, error) {
+	return FrequentItemsetsContext(context.Background(), tb, opt)
+}
+
+// FrequentItemsetsContext is FrequentItemsets under a context:
+// cancellation is polled every Options.Run.CheckEvery counted
+// candidates (DefaultCheckEvery when unset) and between levels, and
+// ctx.Err() is returned promptly, discarding partial results.
+// Bit-identical to FrequentItemsets when never canceled.
+func FrequentItemsetsContext(ctx context.Context, tb *table.Table, opt Options) ([]Frequent, error) {
 	if tb.NumRows() == 0 {
 		return nil, errors.New("apriori: empty table")
 	}
 	if opt.MinSupport <= 0 || opt.MinSupport > 1 {
 		return nil, fmt.Errorf("apriori: MinSupport %v outside (0,1]", opt.MinSupport)
 	}
+	chk := runopt.NewChecker(ctx, opt.Run.Stride(), DefaultCheckEvery)
+	prog := runopt.NewMeter(runopt.PhaseApriori, opt.MaxLen, opt.Run.Func())
 	n := tb.NumRows()
 	minCount := minCountFor(opt.MinSupport, n)
 	var ix *table.Index
@@ -207,8 +233,12 @@ func FrequentItemsets(tb *table.Table, opt Options) ([]Frequent, error) {
 	}
 	sortFrequent(level)
 	all = append(all, level...)
+	prog.Tick(1)
 	var levelIDs [][]uint64
 	for size := 2; len(level) > 0 && (opt.MaxLen == 0 || size <= opt.MaxLen); size++ {
+		if err := chk.Err(); err != nil {
+			return nil, err
+		}
 		// Encoded ids of the previous level, in level order — which is
 		// lexicographic, so subset membership is a binary search over
 		// fixed-width ids instead of a string-keyed set.
@@ -240,6 +270,9 @@ func FrequentItemsets(tb *table.Table, opt Options) ([]Frequent, error) {
 				if !allSubsetsFrequent(cand, levelIDs, idBuf) {
 					continue
 				}
+				if err := chk.Tick(); err != nil {
+					return nil, err
+				}
 				var c int
 				if ix != nil {
 					if aBits == nil {
@@ -257,6 +290,9 @@ func FrequentItemsets(tb *table.Table, opt Options) ([]Frequent, error) {
 		level = next
 		sortFrequent(level)
 		all = append(all, level...)
+		if len(level) > 0 {
+			prog.Tick(1)
+		}
 	}
 	return all, nil
 }
@@ -376,8 +412,18 @@ func GenerateRules(freq []Frequent, minConfidence float64) ([]Rule, error) {
 
 // Mine is the one-call convenience: frequent itemsets then rules.
 func Mine(tb *table.Table, opt Options, minConfidence float64) ([]Rule, error) {
-	freq, err := FrequentItemsets(tb, opt)
+	return MineContext(context.Background(), tb, opt, minConfidence)
+}
+
+// MineContext is Mine under a context. The frequent-itemset phase is
+// cancellation-aware; rule generation is pure in-memory enumeration
+// over the already-mined sets and is checked once between phases.
+func MineContext(ctx context.Context, tb *table.Table, opt Options, minConfidence float64) ([]Rule, error) {
+	freq, err := FrequentItemsetsContext(ctx, tb, opt)
 	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	return GenerateRules(freq, minConfidence)

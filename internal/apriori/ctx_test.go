@@ -1,0 +1,95 @@
+package apriori
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"hypermine/internal/runopt"
+	"hypermine/internal/table"
+)
+
+func ctxAprioriTable(t *testing.T) *table.Table {
+	t.Helper()
+	names := []string{"A", "B", "C", "D", "E", "F"}
+	tb, err := table.New(names, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := make([]table.Value, len(names))
+	for r := 0; r < 300; r++ {
+		for a := range row {
+			row[a] = table.Value(1 + (r*3+a*5+r*a)%3)
+		}
+		if err := tb.AppendRow(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tb
+}
+
+// TestFrequentItemsetsContextBackgroundIdentical proves the context
+// form matches FrequentItemsets bit for bit when never canceled, with
+// progress/stride hooks set and on both the bitset and scan paths.
+func TestFrequentItemsetsContextBackgroundIdentical(t *testing.T) {
+	tb := ctxAprioriTable(t)
+	opt := Options{MinSupport: 0.05}
+	want, err := FrequentItemsets(tb, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := FrequentItemsetsContext(context.Background(), tb, Options{
+		MinSupport: 0.05,
+		Run:        &runopt.Hooks{CheckEvery: 1, Progress: func(runopt.Phase, int, int) {}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatal("FrequentItemsetsContext(Background) differs from FrequentItemsets")
+	}
+	rulesWant, err := Mine(tb, opt, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rulesGot, err := MineContext(context.Background(), tb, opt, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rulesWant, rulesGot) {
+		t.Fatal("MineContext(Background) differs from Mine")
+	}
+}
+
+func TestFrequentItemsetsContextCancel(t *testing.T) {
+	tb := ctxAprioriTable(t)
+	// Pre-canceled.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	got, err := FrequentItemsetsContext(ctx, tb, Options{
+		MinSupport: 0.05,
+		Run:        &runopt.Hooks{CheckEvery: 1},
+	})
+	if got != nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-canceled: want (nil, Canceled), got (%v, %v)", got, err)
+	}
+	// Mid-flight: cancel once level 1 completes; the candidate polling
+	// of level 2 (stride 1 candidate) observes it.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	got, err = FrequentItemsetsContext(ctx2, tb, Options{
+		MinSupport: 0.05,
+		Run: &runopt.Hooks{
+			CheckEvery: 1,
+			Progress: func(ph runopt.Phase, done, total int) {
+				if done == 1 {
+					cancel2()
+				}
+			},
+		},
+	})
+	if got != nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-flight: want (nil, Canceled), got (%v, %v)", got, err)
+	}
+}

@@ -1,0 +1,139 @@
+package classify
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"hypermine/internal/core"
+	"hypermine/internal/cover"
+	"hypermine/internal/runopt"
+	"hypermine/internal/table"
+)
+
+func ctxClassifyFixture(t *testing.T) (*table.Table, *core.Model, []int, []int) {
+	t.Helper()
+	names := []string{"A", "B", "C", "D", "E", "F", "G", "H"}
+	tb, err := table.New(names, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := make([]table.Value, len(names))
+	for r := 0; r < 240; r++ {
+		base := table.Value(1 + r%3)
+		for a := range row {
+			row[a] = base
+			if (r+a)%7 == 0 {
+				row[a] = table.Value(1 + (r+a)%3)
+			}
+		}
+		if err := tb.AppendRow(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m, err := core.Build(tb, core.Config{K: 3, GammaEdge: 1.0, GammaPair: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := make([]int, tb.NumAttrs())
+	for i := range all {
+		all[i] = i
+	}
+	res, err := cover.DominatorSetCover(m.H, all, cover.Options{Enhancement1: true, Enhancement2: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inDom := map[int]bool{}
+	for _, v := range res.DomSet {
+		inDom[v] = true
+	}
+	var targets []int
+	for v, cov := range res.Covered {
+		if cov && !inDom[v] {
+			targets = append(targets, v)
+		}
+	}
+	if len(targets) == 0 {
+		t.Fatal("fixture dominator covers no targets")
+	}
+	return tb, m, res.DomSet, targets
+}
+
+func TestCrossValidateABCContextBackgroundIdentical(t *testing.T) {
+	tb, _, dom, targets := ctxClassifyFixture(t)
+	cfg := core.Config{K: 3, GammaEdge: 1.0, GammaPair: 1.0}
+	want, err := CrossValidateABC(tb, cfg, dom, targets, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgCtx := cfg
+	cfgCtx.Run = &runopt.Hooks{CheckEvery: 1, Progress: func(runopt.Phase, int, int) {}}
+	got, err := CrossValidateABCContext(context.Background(), tb, cfgCtx, dom, targets, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want != got {
+		t.Fatalf("CrossValidateABCContext(Background) %v != CrossValidateABC %v", got, want)
+	}
+}
+
+func TestCrossValidateABCContextCancel(t *testing.T) {
+	tb, _, dom, targets := ctxClassifyFixture(t)
+	cfg := core.Config{K: 3, GammaEdge: 1.0, GammaPair: 1.0}
+	// Pre-canceled.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := CrossValidateABCContext(ctx, tb, cfg, dom, targets, 3); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-canceled: want Canceled, got %v", err)
+	}
+	// Mid-flight: cancel after the first fold completes; the next
+	// fold's build observes it.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	cfg.Run = &runopt.Hooks{Progress: func(ph runopt.Phase, done, total int) {
+		if ph == runopt.PhaseFolds && done == 1 {
+			cancel2()
+		}
+	}}
+	if _, err := CrossValidateABCContext(ctx2, tb, cfg, dom, targets, 3); !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-flight: want Canceled, got %v", err)
+	}
+}
+
+func TestPredictBatchContext(t *testing.T) {
+	tb, m, dom, targets := ctxClassifyFixture(t)
+	abc, err := NewABC(m, dom, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tb.NumRows()
+	domVals := make([]table.Value, 0, rows*len(dom))
+	for i := 0; i < rows; i++ {
+		for _, a := range abc.Dominator() {
+			domVals = append(domVals, tb.At(i, a))
+		}
+	}
+	target := targets[0]
+	p := abc.NewPredictor()
+	want := make([]table.Value, rows)
+	wantConf := make([]float64, rows)
+	if err := p.PredictBatch(domVals, target, want, wantConf); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]table.Value, rows)
+	gotConf := make([]float64, rows)
+	if err := p.PredictBatchContext(context.Background(), domVals, target, got, gotConf); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if want[i] != got[i] || wantConf[i] != gotConf[i] {
+			t.Fatalf("row %d: ctx batch (%d, %v) != v1 batch (%d, %v)", i, got[i], gotConf[i], want[i], wantConf[i])
+		}
+	}
+	// Canceled context aborts the batch with ctx.Err().
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := p.PredictBatchContext(ctx, domVals, target, got, gotConf); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want Canceled, got %v", err)
+	}
+}

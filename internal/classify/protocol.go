@@ -1,10 +1,12 @@
 package classify
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
 	"hypermine/internal/core"
+	"hypermine/internal/runopt"
 	"hypermine/internal/table"
 )
 
@@ -153,12 +155,26 @@ func KFoldIndices(n, k int) ([][2][]int, error) {
 // training rows and evaluated on the held-out rows. Returns the mean
 // classification confidence across folds.
 func CrossValidateABC(tb *table.Table, cfg core.Config, dom, targets []int, k int) (float64, error) {
+	return CrossValidateABCContext(context.Background(), tb, cfg, dom, targets, k)
+}
+
+// CrossValidateABCContext is CrossValidateABC under a context: the
+// per-fold model build inherits ctx (and cfg.Run's progress/stride
+// hooks), cancellation is additionally polled between folds, and
+// ctx.Err() is returned promptly. cfg.Run.Progress, when set, also
+// observes PhaseFolds (one unit per completed fold). Bit-identical to
+// CrossValidateABC when never canceled.
+func CrossValidateABCContext(ctx context.Context, tb *table.Table, cfg core.Config, dom, targets []int, k int) (float64, error) {
 	folds, err := KFoldIndices(tb.NumRows(), k)
 	if err != nil {
 		return 0, err
 	}
+	prog := runopt.NewMeter(runopt.PhaseFolds, len(folds), cfg.Run.Func())
 	var sum float64
 	for _, fold := range folds {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
 		train, err := selectRows(tb, fold[0])
 		if err != nil {
 			return 0, err
@@ -167,7 +183,7 @@ func CrossValidateABC(tb *table.Table, cfg core.Config, dom, targets []int, k in
 		if err != nil {
 			return 0, err
 		}
-		model, err := core.Build(train, cfg)
+		model, err := core.BuildContext(ctx, train, cfg)
 		if err != nil {
 			return 0, err
 		}
@@ -180,6 +196,7 @@ func CrossValidateABC(tb *table.Table, cfg core.Config, dom, targets []int, k in
 			return 0, err
 		}
 		sum += MeanConfidence(conf)
+		prog.Tick(1)
 	}
 	return sum / float64(len(folds)), nil
 }

@@ -23,6 +23,7 @@
 package cli
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -53,8 +54,18 @@ func New(out io.Writer) *App { return &App{out: out} }
 var ErrUsage = errors.New(`usage: hypermine <discretize|build|model|rules|frequent|degrees|top-edges|similar|cluster|dominator|classify> [flags]
 run 'hypermine <subcommand> -h' for flags`)
 
-// Run dispatches one subcommand; args excludes the program name.
+// Run dispatches one subcommand; args excludes the program name. It
+// is RunContext with a background context.
 func (a *App) Run(args []string) error {
+	return a.RunContext(context.Background(), args)
+}
+
+// RunContext dispatches one subcommand under a context: the
+// long-running subcommands (build, model save, rules, frequent,
+// cluster, dominator, classify) abort promptly with ctx.Err() when it
+// is canceled — cmd/hypermine wires SIGINT/SIGTERM into it, so ^C
+// stops mining instead of leaving it to run to completion.
+func (a *App) RunContext(ctx context.Context, args []string) error {
 	if len(args) < 1 {
 		return ErrUsage
 	}
@@ -62,13 +73,13 @@ func (a *App) Run(args []string) error {
 	case "discretize":
 		return a.cmdDiscretize(args[1:])
 	case "build":
-		return a.cmdBuild(args[1:])
+		return a.cmdBuild(ctx, args[1:])
 	case "model":
-		return a.cmdModel(args[1:])
+		return a.cmdModel(ctx, args[1:])
 	case "rules":
-		return a.cmdRules(args[1:])
+		return a.cmdRules(ctx, args[1:])
 	case "frequent":
-		return a.cmdFrequent(args[1:])
+		return a.cmdFrequent(ctx, args[1:])
 	case "degrees":
 		return a.cmdDegrees(args[1:])
 	case "top-edges":
@@ -76,11 +87,11 @@ func (a *App) Run(args []string) error {
 	case "similar":
 		return a.cmdSimilar(args[1:])
 	case "cluster":
-		return a.cmdCluster(args[1:])
+		return a.cmdCluster(ctx, args[1:])
 	case "dominator":
-		return a.cmdDominator(args[1:])
+		return a.cmdDominator(ctx, args[1:])
 	case "classify":
-		return a.cmdClassify(args[1:])
+		return a.cmdClassify(ctx, args[1:])
 	case "-h", "--help", "help":
 		return ErrUsage
 	}
@@ -202,20 +213,20 @@ func loadSnapshot(path string) (*core.Model, error) {
 // table (or converts a JSON model) into a snapshot, `model load`
 // verifies a snapshot and prints its summary (optionally converting
 // back to JSON). The format is shared with the hypermined daemon.
-func (a *App) cmdModel(args []string) error {
+func (a *App) cmdModel(ctx context.Context, args []string) error {
 	if len(args) < 1 {
 		return errors.New(`usage: hypermine model <save|load> [flags]`)
 	}
 	switch args[0] {
 	case "save":
-		return a.cmdModelSave(args[1:])
+		return a.cmdModelSave(ctx, args[1:])
 	case "load":
 		return a.cmdModelLoad(args[1:])
 	}
 	return fmt.Errorf("unknown model subcommand %q (want save or load)", args[0])
 }
 
-func (a *App) cmdModelSave(args []string) error {
+func (a *App) cmdModelSave(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("model save", flag.ExitOnError)
 	in := fs.String("in", "table.csv", "discretized table CSV to mine")
 	fromJSON := fs.String("from-json", "", "convert an existing JSON model instead of mining")
@@ -245,7 +256,7 @@ func (a *App) cmdModelSave(args []string) error {
 			return err
 		}
 		cfg.K = tb.K()
-		if model, err = core.Build(tb, cfg); err != nil {
+		if model, err = core.BuildContext(ctx, tb, cfg); err != nil {
 			return err
 		}
 	}
@@ -327,7 +338,7 @@ func resolveConfig(preset string, g1, g2 float64, k int) (core.Config, error) {
 	return core.Config{}, fmt.Errorf("unknown config %q", preset)
 }
 
-func (a *App) cmdBuild(args []string) error {
+func (a *App) cmdBuild(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("build", flag.ExitOnError)
 	in := fs.String("in", "table.csv", "discretized table CSV")
 	out := fs.String("out", "hypergraph.json", "output hypergraph JSON")
@@ -342,7 +353,7 @@ func (a *App) cmdBuild(args []string) error {
 		return err
 	}
 	cfg.K = tb.K()
-	model, err := core.Build(tb, cfg)
+	model, err := core.BuildContext(ctx, tb, cfg)
 	if err != nil {
 		return err
 	}
@@ -485,7 +496,7 @@ func (a *App) cmdSimilar(args []string) error {
 	return nil
 }
 
-func (a *App) cmdCluster(args []string) error {
+func (a *App) cmdCluster(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("cluster", flag.ExitOnError)
 	in := fs.String("in", "hypergraph.json", "hypergraph JSON")
 	t := fs.Int("t", 8, "number of clusters")
@@ -499,7 +510,7 @@ func (a *App) cmdCluster(args []string) error {
 	for i := range all {
 		all[i] = i
 	}
-	g, err := similarity.BuildGraph(h, all)
+	g, err := similarity.BuildGraphContext(ctx, h, all, similarity.GraphOptions{})
 	if err != nil {
 		return err
 	}
@@ -520,7 +531,7 @@ func (a *App) cmdCluster(args []string) error {
 	return nil
 }
 
-func (a *App) cmdDominator(args []string) error {
+func (a *App) cmdDominator(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("dominator", flag.ExitOnError)
 	in := fs.String("in", "hypergraph.json", "hypergraph JSON")
 	modelIn := fs.String("model", "", "binary model snapshot (overrides -in)")
@@ -547,9 +558,9 @@ func (a *App) cmdDominator(args []string) error {
 	var res *cover.Result
 	switch *alg {
 	case 5:
-		res, err = cover.DominatorGreedyDS(h, all, opt)
+		res, err = cover.DominatorGreedyDSContext(ctx, h, all, opt)
 	case 6:
-		res, err = cover.DominatorSetCover(h, all, opt)
+		res, err = cover.DominatorSetCoverContext(ctx, h, all, opt)
 	default:
 		return fmt.Errorf("unknown algorithm %d", *alg)
 	}
@@ -566,7 +577,7 @@ func (a *App) cmdDominator(args []string) error {
 	return nil
 }
 
-func (a *App) cmdClassify(args []string) error {
+func (a *App) cmdClassify(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("classify", flag.ExitOnError)
 	trainPath := fs.String("train", "table.csv", "training table CSV")
 	modelIn := fs.String("model", "", "binary model snapshot (skips mining; overrides -train)")
@@ -593,7 +604,7 @@ func (a *App) cmdClassify(args []string) error {
 			return err
 		}
 		cfg.K = train.K()
-		if model, err = core.Build(train, cfg); err != nil {
+		if model, err = core.BuildContext(ctx, train, cfg); err != nil {
 			return err
 		}
 	}
@@ -607,9 +618,9 @@ func (a *App) cmdClassify(args []string) error {
 	var res *cover.Result
 	switch *alg {
 	case 5:
-		res, err = cover.DominatorGreedyDS(model.H, all, opt)
+		res, err = cover.DominatorGreedyDSContext(ctx, model.H, all, opt)
 	case 6:
-		res, err = cover.DominatorSetCover(model.H, all, opt)
+		res, err = cover.DominatorSetCoverContext(ctx, model.H, all, opt)
 	default:
 		return fmt.Errorf("unknown algorithm %d", *alg)
 	}
@@ -654,7 +665,7 @@ func (a *App) cmdClassify(args []string) error {
 
 // cmdRules mines and prints the top mva-type association rules for a
 // head attribute.
-func (a *App) cmdRules(args []string) error {
+func (a *App) cmdRules(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("rules", flag.ExitOnError)
 	in := fs.String("in", "table.csv", "discretized table CSV")
 	node := fs.String("node", "", "head attribute name")
@@ -676,11 +687,11 @@ func (a *App) cmdRules(args []string) error {
 		return err
 	}
 	cfg.K = tb.K()
-	model, err := core.Build(tb, cfg)
+	model, err := core.BuildContext(ctx, tb, cfg)
 	if err != nil {
 		return err
 	}
-	rules, err := core.MineRules(model, head, core.MineOptions{
+	rules, err := core.MineRulesContext(ctx, model, head, core.MineOptions{
 		MinSupport:    *minSupp,
 		MinConfidence: *minConf,
 		MaxRules:      *top,
@@ -701,7 +712,7 @@ func (a *App) cmdRules(args []string) error {
 }
 
 // cmdFrequent runs the classical Apriori baseline on a table.
-func (a *App) cmdFrequent(args []string) error {
+func (a *App) cmdFrequent(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("frequent", flag.ExitOnError)
 	in := fs.String("in", "table.csv", "discretized table CSV")
 	minSupp := fs.Float64("min-support", 0.3, "minimum itemset support")
@@ -713,7 +724,7 @@ func (a *App) cmdFrequent(args []string) error {
 	if err != nil {
 		return err
 	}
-	freq, err := apriori.FrequentItemsets(tb, apriori.Options{MinSupport: *minSupp, MaxLen: *maxLen})
+	freq, err := apriori.FrequentItemsetsContext(ctx, tb, apriori.Options{MinSupport: *minSupp, MaxLen: *maxLen})
 	if err != nil {
 		return err
 	}

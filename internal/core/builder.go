@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -8,6 +9,7 @@ import (
 	"sync"
 
 	"hypermine/internal/hypergraph"
+	"hypermine/internal/runopt"
 	"hypermine/internal/table"
 )
 
@@ -51,11 +53,26 @@ type Config struct {
 	// Candidates picks the tail-pair enumeration strategy.
 	Candidates CandidateStrategy
 
+	// Run carries the runtime-only hooks of BuildContext: a progress
+	// callback (PhaseEdges per head, PhasePairs per tail pair,
+	// PhaseTriples per candidate group; possibly invoked concurrently
+	// during parallel stages) and the context-poll stride in ACV
+	// evaluations (0 = DefaultCheckEvery). Held by pointer so Config
+	// stays comparable; never persisted to JSON or snapshots.
+	Run *runopt.Hooks `json:"-"`
+
 	// noBits disables the TID-bitset counting kernels regardless of k.
 	// It exists so differential tests can force the scalar reference
 	// kernels; production callers leave it unset.
 	noBits bool
 }
+
+// DefaultCheckEvery is the default ACV-evaluation stride between
+// context polls in BuildContext. One ACV evaluation is O(rows) (or
+// O(rows/64) on the bitset path), so 16 of them keep cancellation
+// latency in the tens of microseconds on paper-scale tables while
+// making the poll cost unmeasurable against the counting work.
+const DefaultCheckEvery = 16
 
 // C1 is configuration C1 of §5.1.2: k=3, gamma_{1->1}=1.15,
 // gamma_{2->1}=1.05.
@@ -197,9 +214,24 @@ type pairEdge struct {
 // configuration, following §3.2.1: directed hyperedges are constructed
 // head set by head set; a combination is admitted iff it is
 // gamma-significant (Definition 3.7). Edge weights are ACVs.
+//
+// Build is the v1 form of BuildContext with a background context; the
+// two are bit-identical when the context is never canceled.
 func Build(tb *table.Table, cfg Config) (*Model, error) {
+	return BuildContext(context.Background(), tb, cfg)
+}
+
+// BuildContext is Build under a context: workers poll ctx every
+// Config.Run.CheckEvery ACV evaluations (DefaultCheckEvery when
+// unset) and the whole build returns ctx.Err() promptly once the
+// context is canceled or its deadline passes, discarding partial
+// results. Config.Run.Progress, when set, observes stage progress.
+func BuildContext(ctx context.Context, tb *table.Table, cfg Config) (*Model, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.validate(tb); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	if err := tb.Validate(); err != nil {
@@ -231,23 +263,33 @@ func Build(tb *table.Table, cfg Config) (*Model, error) {
 		ix = tb.Index()
 	}
 
-	// Stage 1: all directed edges, parallel over heads.
+	// Stage 1: all directed edges, parallel over heads. Workers poll
+	// ctx every CheckEvery ACVs; once canceled they drain the channel
+	// without computing so the feeder never blocks.
 	edgeAdmit := make([]bool, n*n)
+	prog := runopt.NewMeter(runopt.PhaseEdges, n, cfg.Run.Func())
 	var wg sync.WaitGroup
 	heads := make(chan int)
 	for w := 0; w < cfg.Parallelism; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			chk := runopt.NewChecker(ctx, cfg.Run.Stride(), DefaultCheckEvery)
 			var cnt []int32
 			if !useBits {
 				cnt = make([]int32, k*k)
 			}
 			for c := range heads {
+				if chk.Err() != nil {
+					continue
+				}
 				colC := tb.Column(c)
 				for a := 0; a < n; a++ {
 					if a == c {
 						continue
+					}
+					if chk.Tick() != nil {
+						break
 					}
 					var acv float64
 					if useBits {
@@ -260,14 +302,23 @@ func Build(tb *table.Table, cfg Config) (*Model, error) {
 						edgeAdmit[a*n+c] = true
 					}
 				}
+				if chk.Err() == nil {
+					prog.Tick(1)
+				}
 			}
 		}()
 	}
-	for c := 0; c < n; c++ {
-		heads <- c
+	for c := 0; c < n && ctx.Err() == nil; c++ {
+		select {
+		case heads <- c:
+		case <-ctx.Done():
+		}
 	}
 	close(heads)
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	for a := 0; a < n; a++ {
 		for c := 0; c < n; c++ {
@@ -284,6 +335,7 @@ func Build(tb *table.Table, cfg Config) (*Model, error) {
 
 	// Stage 2: 2-to-1 hyperedges, parallel over tail pairs.
 	type pairJob struct{ a, b int }
+	prog2 := runopt.NewMeter(runopt.PhasePairs, n*(n-1)/2, cfg.Run.Func())
 	jobs := make(chan pairJob)
 	results := make(chan []pairEdge, cfg.Parallelism)
 	var wg2 sync.WaitGroup
@@ -291,6 +343,7 @@ func Build(tb *table.Table, cfg Config) (*Model, error) {
 		wg2.Add(1)
 		go func() {
 			defer wg2.Done()
+			chk := runopt.NewChecker(ctx, cfg.Run.Stride(), DefaultCheckEvery)
 			var cnt, tailRow []int32
 			var pairBuf []uint64
 			var pairCnt []int
@@ -303,6 +356,9 @@ func Build(tb *table.Table, cfg Config) (*Model, error) {
 			}
 			var local []pairEdge
 			for job := range jobs {
+				if chk.Err() != nil {
+					continue
+				}
 				a, b := job.a, job.b
 				// Materialize the tail once per pair: k*k bitmaps for
 				// the bitset path, a per-row tail index otherwise.
@@ -322,6 +378,9 @@ func Build(tb *table.Table, cfg Config) (*Model, error) {
 					if cfg.Candidates == EdgeSeeded && !edgeAdmit[a*n+c] && !edgeAdmit[b*n+c] {
 						continue
 					}
+					if chk.Tick() != nil {
+						break
+					}
 					base := model.EdgeACV[a*n+c]
 					if x := model.EdgeACV[b*n+c]; x > base {
 						base = x
@@ -336,17 +395,24 @@ func Build(tb *table.Table, cfg Config) (*Model, error) {
 						local = append(local, pairEdge{a, b, c, acv})
 					}
 				}
+				if chk.Err() == nil {
+					prog2.Tick(1)
+				}
 			}
 			results <- local
 		}()
 	}
 	go func() {
+		defer close(jobs)
 		for a := 0; a < n; a++ {
 			for b := a + 1; b < n; b++ {
-				jobs <- pairJob{a, b}
+				select {
+				case jobs <- pairJob{a, b}:
+				case <-ctx.Done():
+					return
+				}
 			}
 		}
-		close(jobs)
 	}()
 	var admitted []pairEdge
 	done := make(chan struct{})
@@ -359,6 +425,9 @@ func Build(tb *table.Table, cfg Config) (*Model, error) {
 	wg2.Wait()
 	close(results)
 	<-done
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	// Deterministic edge order regardless of scheduling.
 	sort.Slice(admitted, func(i, j int) bool {
@@ -378,7 +447,7 @@ func Build(tb *table.Table, cfg Config) (*Model, error) {
 	if cfg.MaxTailSize < 3 {
 		return model, nil
 	}
-	if err := buildTriples(model, admitted, cfg); err != nil {
+	if err := buildTriples(ctx, model, admitted, cfg); err != nil {
 		return nil, err
 	}
 	return model, nil
@@ -393,7 +462,7 @@ type tripleKey struct{ a, b, c, d int }
 // and admitted under the gamma-significance rule of Definition 3.7 —
 // ACV(T, H) >= GammaTriple * max over v in T of ACV(T - {v}, H),
 // where the 2-to-1 constituent ACVs are computed on demand.
-func buildTriples(model *Model, pairs []pairEdge, cfg Config) error {
+func buildTriples(ctx context.Context, model *Model, pairs []pairEdge, cfg Config) error {
 	tb := model.Table
 	n := tb.NumAttrs()
 	k := tb.K()
@@ -431,10 +500,12 @@ func buildTriples(model *Model, pairs []pairEdge, cfg Config) error {
 	})
 
 	// Group by tail triple so the tail-row index is computed once.
+	groups := groupByTail(cands)
 	type tripleEdge struct {
 		key tripleKey
 		acv float64
 	}
+	prog := runopt.NewMeter(runopt.PhaseTriples, len(groups), cfg.Run.Func())
 	jobs := make(chan []tripleKey)
 	results := make(chan []tripleEdge, cfg.Parallelism)
 	var wg sync.WaitGroup
@@ -442,6 +513,7 @@ func buildTriples(model *Model, pairs []pairEdge, cfg Config) error {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			chk := runopt.NewChecker(ctx, cfg.Run.Stride(), DefaultCheckEvery)
 			kkk := k * k * k
 			cnt := make([]int32, kkk*k)
 			pairCnt := make([]int32, kkk)
@@ -463,12 +535,18 @@ func buildTriples(model *Model, pairs []pairEdge, cfg Config) error {
 			}
 			var local []tripleEdge
 			for group := range jobs {
+				if chk.Err() != nil {
+					continue
+				}
 				first := group[0]
 				colA, colB, colC := tb.Column(first.a), tb.Column(first.b), tb.Column(first.c)
 				for i := 0; i < m; i++ {
 					tailRow[i] = (int32(colA[i]-1)*int32(k)+int32(colB[i]-1))*int32(k) + int32(colC[i]-1)
 				}
 				for _, cand := range group {
+					if chk.Tick() != nil {
+						break
+					}
 					base := acvOfPair(cand.a, cand.b, cand.d)
 					if v := acvOfPair(cand.a, cand.c, cand.d); v > base {
 						base = v
@@ -498,21 +576,22 @@ func buildTriples(model *Model, pairs []pairEdge, cfg Config) error {
 						local = append(local, tripleEdge{cand, acv})
 					}
 				}
+				if chk.Err() == nil {
+					prog.Tick(1)
+				}
 			}
 			results <- local
 		}()
 	}
 	go func() {
-		// Emit candidates grouped by identical tail triple.
-		start := 0
-		for i := 1; i <= len(cands); i++ {
-			if i == len(cands) || cands[i].a != cands[start].a ||
-				cands[i].b != cands[start].b || cands[i].c != cands[start].c {
-				jobs <- cands[start:i]
-				start = i
+		defer close(jobs)
+		for _, group := range groups {
+			select {
+			case jobs <- group:
+			case <-ctx.Done():
+				return
 			}
 		}
-		close(jobs)
 	}()
 	var admitted []tripleEdge
 	done := make(chan struct{})
@@ -525,6 +604,9 @@ func buildTriples(model *Model, pairs []pairEdge, cfg Config) error {
 	wg.Wait()
 	close(results)
 	<-done
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 
 	sort.Slice(admitted, func(i, j int) bool {
 		a, b := admitted[i].key, admitted[j].key
@@ -545,4 +627,19 @@ func buildTriples(model *Model, pairs []pairEdge, cfg Config) error {
 		}
 	}
 	return nil
+}
+
+// groupByTail splits the sorted candidate list into runs sharing one
+// tail triple, the unit of work (and of progress) for stage 3.
+func groupByTail(cands []tripleKey) [][]tripleKey {
+	var groups [][]tripleKey
+	start := 0
+	for i := 1; i <= len(cands); i++ {
+		if i == len(cands) || cands[i].a != cands[start].a ||
+			cands[i].b != cands[start].b || cands[i].c != cands[start].c {
+			groups = append(groups, cands[start:i])
+			start = i
+		}
+	}
+	return groups
 }

@@ -1,0 +1,189 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"hypermine/internal/runopt"
+	"hypermine/internal/table"
+)
+
+// ctxTestTable builds a deterministic table sized so every build stage
+// has real work.
+func ctxTestTable(t *testing.T, attrs, rows int) *table.Table {
+	t.Helper()
+	names := make([]string, attrs)
+	for i := range names {
+		names[i] = string(rune('A' + i%26))
+		if i >= 26 {
+			names[i] += string(rune('0' + i/26))
+		}
+	}
+	tb, err := table.New(names, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := make([]table.Value, attrs)
+	for r := 0; r < rows; r++ {
+		for a := range row {
+			row[a] = table.Value(1 + (r*7+a*13+r*a)%3)
+		}
+		if err := tb.AppendRow(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tb
+}
+
+func sameModels(t *testing.T, want, got *Model) {
+	t.Helper()
+	if want.H.NumEdges() != got.H.NumEdges() {
+		t.Fatalf("edge count %d != %d", got.H.NumEdges(), want.H.NumEdges())
+	}
+	for i := 0; i < want.H.NumEdges(); i++ {
+		a, b := want.H.Edge(i), got.H.Edge(i)
+		if !reflect.DeepEqual(a.Tail, b.Tail) || !reflect.DeepEqual(a.Head, b.Head) || a.Weight != b.Weight {
+			t.Fatalf("edge %d differs: %+v vs %+v", i, a, b)
+		}
+	}
+	if !reflect.DeepEqual(want.EdgeACV, got.EdgeACV) {
+		t.Fatal("EdgeACV differs")
+	}
+}
+
+// TestBuildContextBackgroundIdentical proves the v2 acceptance
+// criterion: BuildContext(Background) is bit-identical to Build, with
+// and without progress/stride hooks, serially and in parallel, and
+// through the MaxTailSize=3 stage.
+func TestBuildContextBackgroundIdentical(t *testing.T) {
+	tb := ctxTestTable(t, 10, 400)
+	for _, cfg := range []Config{
+		{K: 3, GammaEdge: 1.05, GammaPair: 1.0},
+		{K: 3, GammaEdge: 1.05, GammaPair: 1.0, MaxTailSize: 3, GammaTriple: 1.0},
+	} {
+		want, err := Build(tb, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, par := range []int{1, 4} {
+			c := cfg
+			c.Parallelism = par
+			c.Run = &runopt.Hooks{
+				Progress:   func(runopt.Phase, int, int) {},
+				CheckEvery: 1,
+			}
+			got, err := BuildContext(context.Background(), tb, c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameModels(t, want, got)
+		}
+	}
+}
+
+func TestBuildContextPreCanceled(t *testing.T) {
+	tb := ctxTestTable(t, 8, 100)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	m, err := BuildContext(ctx, tb, Config{K: 3, GammaEdge: 1.05, GammaPair: 1.0})
+	if m != nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("want (nil, context.Canceled), got (%v, %v)", m, err)
+	}
+}
+
+// TestBuildContextMidFlightCancel cancels from inside the progress
+// callback — deterministically mid-build — for each phase, and checks
+// the builder returns ctx.Err() instead of a model. CheckEvery: 1
+// makes the return stride one ACV evaluation, the documented minimum.
+func TestBuildContextMidFlightCancel(t *testing.T) {
+	tb := ctxTestTable(t, 10, 200)
+	for _, phase := range []runopt.Phase{runopt.PhaseEdges, runopt.PhasePairs, runopt.PhaseTriples} {
+		for _, par := range []int{1, 3} {
+			ctx, cancel := context.WithCancel(context.Background())
+			cfg := Config{
+				K: 3, GammaEdge: 1.05, GammaPair: 1.0,
+				MaxTailSize: 3, GammaTriple: 1.0, Parallelism: par,
+				Run: &runopt.Hooks{
+					CheckEvery: 1,
+					Progress: func(ph runopt.Phase, done, total int) {
+						if ph == phase {
+							cancel()
+						}
+					},
+				},
+			}
+			m, err := BuildContext(ctx, tb, cfg)
+			cancel()
+			if m != nil || !errors.Is(err, context.Canceled) {
+				t.Fatalf("phase %s par %d: want (nil, context.Canceled), got (%v, %v)", phase, par, m, err)
+			}
+		}
+	}
+}
+
+func TestMineRulesContextBackgroundIdentical(t *testing.T) {
+	tb := ctxTestTable(t, 10, 400)
+	m, err := Build(tb, Config{K: 3, GammaEdge: 1.05, GammaPair: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	head := 0
+	for h := 0; h < tb.NumAttrs(); h++ {
+		if len(m.H.In(h)) > 1 {
+			head = h
+			break
+		}
+	}
+	want, err := MineRules(m, head, MineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := MineRulesContext(context.Background(), m, head, MineOptions{
+		Run: &runopt.Hooks{Progress: func(runopt.Phase, int, int) {}, CheckEvery: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatal("MineRulesContext(Background) differs from MineRules")
+	}
+}
+
+func TestMineRulesContextCancel(t *testing.T) {
+	tb := ctxTestTable(t, 10, 400)
+	m, err := Build(tb, Config{K: 3, GammaEdge: 1.05, GammaPair: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	head := -1
+	for h := 0; h < tb.NumAttrs(); h++ {
+		if len(m.H.In(h)) >= 2 {
+			head = h
+			break
+		}
+	}
+	if head < 0 {
+		t.Skip("no head with >= 2 in-edges in fixture")
+	}
+	// Pre-canceled.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if out, err := MineRulesContext(ctx, m, head, MineOptions{}); out != nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("want (nil, Canceled), got (%v, %v)", out, err)
+	}
+	// Mid-flight: cancel after the first edge's progress tick.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	out, err := MineRulesContext(ctx2, m, head, MineOptions{
+		Run: &runopt.Hooks{Progress: func(ph runopt.Phase, done, total int) {
+			if done == 1 {
+				cancel2()
+			}
+		}},
+	})
+	if out != nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-flight: want (nil, Canceled), got (%v, %v)", out, err)
+	}
+}

@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
+	"hypermine/internal/runopt"
 	"hypermine/internal/table"
 )
 
@@ -27,23 +29,46 @@ type MineOptions struct {
 	// MaxRules caps the result (0 = unlimited). Rules are ranked by
 	// Support*Confidence, the same quantity ACV sums.
 	MaxRules int
+
+	// Run carries the runtime-only hooks of MineRulesContext: a
+	// PhaseRules progress callback (one unit per hyperedge into the
+	// head) and the context-poll stride in edges (0 = every edge, the
+	// natural unit since each rebuilds one association table). Held by
+	// pointer so MineOptions stays comparable; never persisted.
+	Run *runopt.Hooks `json:"-"`
 }
 
 // MineRules extracts the mva-type rules behind every hyperedge of the
 // model pointing at the head attribute: one rule per nonempty
 // association-table row, with the row's most frequent head value as
 // the consequent. Rules are returned ranked by Support*Confidence.
+//
+// MineRules is the v1 form of MineRulesContext with a background
+// context; the two are bit-identical when never canceled.
 func MineRules(m *Model, head int, opt MineOptions) ([]ScoredRule, error) {
+	return MineRulesContext(context.Background(), m, head, opt)
+}
+
+// MineRulesContext is MineRules under a context: cancellation is
+// polled per hyperedge (each rebuilds one association table from the
+// training rows), and ctx.Err() is returned promptly, discarding
+// partial results.
+func MineRulesContext(ctx context.Context, m *Model, head int, opt MineOptions) ([]ScoredRule, error) {
 	if head < 0 || head >= m.Table.NumAttrs() {
 		return nil, fmt.Errorf("core: head attribute %d out of range", head)
 	}
 	if err := m.RequireRows(); err != nil {
 		return nil, err
 	}
+	chk := runopt.NewChecker(ctx, opt.Run.Stride(), 1)
+	prog := runopt.NewMeter(runopt.PhaseRules, len(m.H.In(head)), opt.Run.Func())
 	baseCounts := m.Table.ValueCounts(head)
 	n := m.Table.NumRows()
 	var out []ScoredRule
 	for _, ei := range m.H.In(head) {
+		if err := chk.Tick(); err != nil {
+			return nil, err
+		}
 		e := m.H.Edge(int(ei))
 		at, err := BuildAssociationTable(m.Table, e.Tail, head)
 		if err != nil {
@@ -83,6 +108,7 @@ func MineRules(m *Model, head int, opt MineOptions) ([]ScoredRule, error) {
 			}
 		}
 		walk(0, 0)
+		prog.Tick(1)
 	}
 	sort.SliceStable(out, func(i, j int) bool {
 		si := out[i].Support * out[i].Confidence

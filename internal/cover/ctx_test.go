@@ -1,0 +1,94 @@
+package cover
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"hypermine/internal/runopt"
+)
+
+// TestDominatorContextBackgroundIdentical proves both Context
+// dominator variants are bit-identical to their v1 forms when the
+// context is never canceled, across enhancement combinations and
+// randomized graphs.
+func TestDominatorContextBackgroundIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		h := randomDomGraph(t, rng, 18, 40)
+		s := make([]int, h.NumVertices())
+		for i := range s {
+			s[i] = i
+		}
+		for _, opt := range []Options{
+			{},
+			{Complete: true},
+			{Enhancement1: true, Enhancement2: true},
+			{Enhancement1: true, Enhancement2: true, Complete: true},
+		} {
+			optCtx := opt
+			optCtx.Run = &runopt.Hooks{CheckEvery: 1, Progress: func(runopt.Phase, int, int) {}}
+
+			wantSC, err1 := DominatorSetCover(h, s, opt)
+			gotSC, err2 := DominatorSetCoverContext(context.Background(), h, s, optCtx)
+			if err1 != nil || err2 != nil {
+				t.Fatalf("setcover errs: %v %v", err1, err2)
+			}
+			if !reflect.DeepEqual(wantSC, gotSC) {
+				t.Fatalf("trial %d opt %+v: DominatorSetCoverContext differs", trial, opt)
+			}
+
+			wantDS, err1 := DominatorGreedyDS(h, s, opt)
+			gotDS, err2 := DominatorGreedyDSContext(context.Background(), h, s, optCtx)
+			if err1 != nil || err2 != nil {
+				t.Fatalf("greedyds errs: %v %v", err1, err2)
+			}
+			if !reflect.DeepEqual(wantDS, gotDS) {
+				t.Fatalf("trial %d opt %+v: DominatorGreedyDSContext differs", trial, opt)
+			}
+		}
+	}
+}
+
+func TestDominatorContextCancel(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	h := randomDomGraph(t, rng, 30, 90)
+	s := make([]int, h.NumVertices())
+	for i := range s {
+		s[i] = i
+	}
+	type variant struct {
+		name string
+		run  func(ctx context.Context, opt Options) (*Result, error)
+	}
+	variants := []variant{
+		{"setcover", func(ctx context.Context, opt Options) (*Result, error) {
+			return DominatorSetCoverContext(ctx, h, s, opt)
+		}},
+		{"greedyds", func(ctx context.Context, opt Options) (*Result, error) {
+			return DominatorGreedyDSContext(ctx, h, s, opt)
+		}},
+	}
+	for _, v := range variants {
+		// Pre-canceled context returns immediately.
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		res, err := v.run(ctx, Options{Run: &runopt.Hooks{CheckEvery: 1}})
+		if res != nil || !errors.Is(err, context.Canceled) {
+			t.Fatalf("%s pre-canceled: want (nil, Canceled), got (%v, %v)", v.name, res, err)
+		}
+		// Mid-flight: cancel from the progress callback after the first
+		// covered target; the next candidate poll (stride 1) observes it.
+		ctx2, cancel2 := context.WithCancel(context.Background())
+		res, err = v.run(ctx2, Options{Run: &runopt.Hooks{
+			CheckEvery: 1,
+			Progress:   func(runopt.Phase, int, int) { cancel2() },
+		}})
+		cancel2()
+		if res != nil || !errors.Is(err, context.Canceled) {
+			t.Fatalf("%s mid-flight: want (nil, Canceled), got (%v, %v)", v.name, res, err)
+		}
+	}
+}

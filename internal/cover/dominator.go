@@ -1,12 +1,38 @@
 package cover
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
 
 	"hypermine/internal/hypergraph"
+	"hypermine/internal/runopt"
 )
+
+// Variant selects how the hypermine.LeadingIndicators facade
+// interprets the Enhancement flags. Historically that entry point
+// silently forced both enhancements on, overwriting caller-supplied
+// values; the zero value VariantAuto keeps (and now documents) that
+// paper-preferred default, while VariantExplicit makes the facade
+// respect Enhancement1/Enhancement2 exactly as set. DominatorSetCover
+// and DominatorGreedyDS always honor the explicit flags and ignore
+// Variant entirely.
+type Variant int
+
+const (
+	// VariantAuto (the zero value): LeadingIndicators runs Algorithm 6
+	// with both enhancements regardless of the Enhancement fields.
+	VariantAuto Variant = iota
+	// VariantExplicit: LeadingIndicators uses Enhancement1/2 as given.
+	VariantExplicit
+)
+
+// DefaultCheckEvery is the default candidate-evaluation stride between
+// context polls in the Context dominator variants. Scoring one
+// candidate touches its members and their out-edges, so 64 of them
+// bound cancellation latency well under a greedy iteration.
+const DefaultCheckEvery = 64
 
 // Options tunes the dominator algorithms.
 type Options struct {
@@ -26,6 +52,18 @@ type Options struct {
 	// tail sets already contained in the dominator from the
 	// candidate pool.
 	Enhancement2 bool
+	// Variant controls whether hypermine.LeadingIndicators may
+	// overwrite the Enhancement flags with its paper-preferred
+	// defaults; see the Variant type. The algorithms in this package
+	// ignore it.
+	Variant Variant
+
+	// Run carries the runtime-only hooks of the Context variants: a
+	// PhaseDominator progress callback (done counts covered targets,
+	// total is |S|) and the context-poll stride in candidate
+	// evaluations (0 = DefaultCheckEvery). Held by pointer so Options
+	// stays comparable; never mutated by the algorithms.
+	Run *runopt.Hooks
 }
 
 // Result reports a computed dominator.
@@ -161,15 +199,26 @@ func headGainFor(h *hypergraph.H, inS, covered, inDom []bool, added []int) (int,
 // instead of rescanning its out-edges. The memoized run is
 // bit-identical to the full rescan (see the differential test).
 func DominatorGreedyDS(h *hypergraph.H, s []int, opt Options) (*Result, error) {
-	return dominatorGreedyDS(h, s, opt, true)
+	return dominatorGreedyDS(context.Background(), h, s, opt, true)
+}
+
+// DominatorGreedyDSContext is DominatorGreedyDS under a context:
+// cancellation is polled every Options.Run.CheckEvery candidate
+// scorings (DefaultCheckEvery when unset) and ctx.Err() is returned promptly,
+// discarding the partial dominator. Bit-identical to DominatorGreedyDS
+// when never canceled.
+func DominatorGreedyDSContext(ctx context.Context, h *hypergraph.H, s []int, opt Options) (*Result, error) {
+	return dominatorGreedyDS(ctx, h, s, opt, true)
 }
 
 // dominatorGreedyDS is DominatorGreedyDS with the alpha memoization
 // switchable, so tests can compare against the always-rescan reference.
-func dominatorGreedyDS(h *hypergraph.H, s []int, opt Options, memo bool) (*Result, error) {
+func dominatorGreedyDS(ctx context.Context, h *hypergraph.H, s []int, opt Options, memo bool) (*Result, error) {
 	if err := validateTargets(h, s); err != nil {
 		return nil, err
 	}
+	chk := runopt.NewChecker(ctx, opt.Run.Stride(), DefaultCheckEvery)
+	prog := runopt.NewMeter(runopt.PhaseDominator, len(s), opt.Run.Func())
 	n := h.NumVertices()
 	inS := make([]bool, n)
 	for _, v := range s {
@@ -252,6 +301,9 @@ func dominatorGreedyDS(h *hypergraph.H, s []int, opt Options, memo bool) (*Resul
 			if inDom[u] {
 				continue
 			}
+			if err := chk.Tick(); err != nil {
+				return nil, err
+			}
 			if !memo || dirty[u] {
 				alphaCache[u] = score(u)
 				dirty[u] = false
@@ -293,18 +345,22 @@ func dominatorGreedyDS(h *hypergraph.H, s []int, opt Options, memo bool) (*Resul
 		res.DomSet = append(res.DomSet, bestU)
 		res.Iterations++
 		markCommitted(bestU)
+		newlyCovered := 0
 		if inS[bestU] && !covered[bestU] {
 			covered[bestU] = true
 			remaining--
 			res.TargetCovered++
+			newlyCovered++
 			markCovered(bestU)
 		}
 		for _, v := range gained {
 			covered[v] = true
 			remaining--
 			res.TargetCovered++
+			newlyCovered++
 			markCovered(v)
 		}
+		prog.Tick(newlyCovered)
 	}
 	return res, nil
 }
@@ -332,9 +388,21 @@ type tailCandidate struct {
 // in Options. Ties (after Enhancement 1, if on) break lexicographically
 // so results are deterministic.
 func DominatorSetCover(h *hypergraph.H, s []int, opt Options) (*Result, error) {
+	return DominatorSetCoverContext(context.Background(), h, s, opt)
+}
+
+// DominatorSetCoverContext is DominatorSetCover under a context:
+// cancellation is polled every Options.Run.CheckEvery candidate
+// evaluations (DefaultCheckEvery when unset) within each greedy
+// iteration, and ctx.Err() is returned promptly, discarding the
+// partial dominator. Bit-identical to DominatorSetCover when never
+// canceled.
+func DominatorSetCoverContext(ctx context.Context, h *hypergraph.H, s []int, opt Options) (*Result, error) {
 	if err := validateTargets(h, s); err != nil {
 		return nil, err
 	}
+	chk := runopt.NewChecker(ctx, opt.Run.Stride(), DefaultCheckEvery)
+	prog := runopt.NewMeter(runopt.PhaseDominator, len(s), opt.Run.Func())
 	n := h.NumVertices()
 	inS := make([]bool, n)
 	for _, v := range s {
@@ -380,6 +448,9 @@ func DominatorSetCover(h *hypergraph.H, s []int, opt Options) (*Result, error) {
 		bestHGIdx, bestHG := -1, 0
 		keep := cands[:0]
 		for _, c := range cands {
+			if err := chk.Tick(); err != nil {
+				return nil, err
+			}
 			if opt.Enhancement2 && subsetOf(c.members, inDom) {
 				continue // Algorithm 8: drop permanently
 			}
@@ -441,12 +512,14 @@ func DominatorSetCover(h *hypergraph.H, s []int, opt Options) (*Result, error) {
 		res.Iterations++
 		// Line 22: Covered grows by the tail members and newly
 		// dominated heads.
+		newlyCovered := 0
 		for _, v := range chosen.members {
 			if !covered[v] {
 				covered[v] = true
 				if inS[v] {
 					remaining--
 					res.TargetCovered++
+					newlyCovered++
 				}
 			}
 		}
@@ -455,8 +528,10 @@ func DominatorSetCover(h *hypergraph.H, s []int, opt Options) (*Result, error) {
 				covered[v] = true
 				remaining--
 				res.TargetCovered++
+				newlyCovered++
 			}
 		}
+		prog.Tick(newlyCovered)
 	}
 	if opt.Complete {
 		for _, v := range s {
@@ -465,6 +540,7 @@ func DominatorSetCover(h *hypergraph.H, s []int, opt Options) (*Result, error) {
 				inDom[v] = true
 				res.DomSet = append(res.DomSet, v)
 				res.TargetCovered++
+				prog.Tick(1)
 			}
 		}
 	}

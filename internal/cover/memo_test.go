@@ -1,6 +1,7 @@
 package cover
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"reflect"
@@ -53,8 +54,8 @@ func TestGreedyDSMemoDifferential(t *testing.T) {
 		}
 		for _, complete := range []bool{false, true} {
 			opt := Options{Complete: complete}
-			memo, err1 := dominatorGreedyDS(h, s, opt, true)
-			ref, err2 := dominatorGreedyDS(h, s, opt, false)
+			memo, err1 := dominatorGreedyDS(context.Background(), h, s, opt, true)
+			ref, err2 := dominatorGreedyDS(context.Background(), h, s, opt, false)
 			if err1 != nil || err2 != nil {
 				t.Fatal(err1, err2)
 			}

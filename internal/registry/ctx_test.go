@@ -1,0 +1,37 @@
+package registry
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// TestLoadContextCancel proves a canceled LoadContext aborts the
+// served-model preparation with ctx.Err() and publishes nothing — an
+// aborted snapshot upload must not leave a half-registered model.
+func TestLoadContextCancel(t *testing.T) {
+	m := testModel(t, 7, 12, 400)
+	r := New(Options{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	info, err := r.LoadContext(ctx, "m", m)
+	if info != nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("want (nil, Canceled), got (%v, %v)", info, err)
+	}
+	if got := r.Acquire("m"); got != nil {
+		got.Release()
+		t.Fatal("canceled LoadContext published a model")
+	}
+	if names := r.Names(); len(names) != 0 {
+		t.Fatalf("registry not empty after canceled load: %v", names)
+	}
+	// The same registry still accepts an uncanceled load afterwards.
+	if _, err := r.LoadContext(context.Background(), "m", m); err != nil {
+		t.Fatal(err)
+	}
+	s := r.Acquire("m")
+	if s == nil {
+		t.Fatal("model missing after successful load")
+	}
+	s.Release()
+}

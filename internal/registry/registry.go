@@ -16,6 +16,7 @@
 package registry
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -142,9 +143,12 @@ func New(opt Options) *Registry {
 }
 
 // buildServed prepares a Served outside any lock: dominator (Algorithm
-// 6 with both enhancements, matching hypermine.LeadingIndicators),
-// classifier over the covered targets, and the similarity graph.
-func (r *Registry) buildServed(name string, m *core.Model) (*Served, error) {
+// 6 with both enhancements, matching hypermine.LeadingIndicators —
+// the enhancements are a deliberate serving-side policy here, not a
+// silently mutated caller option), classifier over the covered
+// targets, and the similarity graph. Cancelling ctx aborts the
+// preparation promptly with nothing published.
+func (r *Registry) buildServed(ctx context.Context, name string, m *core.Model) (*Served, error) {
 	if m == nil || m.H == nil || m.Table == nil {
 		return nil, errors.New("registry: nil model")
 	}
@@ -153,7 +157,7 @@ func (r *Registry) buildServed(name string, m *core.Model) (*Served, error) {
 	for i := range all {
 		all[i] = i
 	}
-	dom, err := cover.DominatorSetCover(m.H, all, cover.Options{Enhancement1: true, Enhancement2: true})
+	dom, err := cover.DominatorSetCoverContext(ctx, m.H, all, cover.Options{Enhancement1: true, Enhancement2: true})
 	if err != nil {
 		return nil, fmt.Errorf("registry: dominator for %q: %w", name, err)
 	}
@@ -169,9 +173,12 @@ func (r *Registry) buildServed(name string, m *core.Model) (*Served, error) {
 	}
 	sort.Ints(targets)
 
-	sim, err := similarity.BuildGraph(m.H, all)
+	sim, err := similarity.BuildGraphContext(ctx, m.H, all, similarity.GraphOptions{})
 	if err != nil {
 		return nil, fmt.Errorf("registry: similarity graph for %q: %w", name, err)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 
 	s := &Served{
@@ -218,10 +225,20 @@ type LoadInfo struct {
 // Load returns. Load also enforces the resident-edge bound, evicting
 // least-recently-used other models as needed.
 func (r *Registry) Load(name string, m *core.Model) (*LoadInfo, error) {
+	return r.LoadContext(context.Background(), name, m)
+}
+
+// LoadContext is Load under a context: the expensive preparation
+// (dominator, similarity graph, classifier) aborts promptly with
+// ctx.Err() and nothing published when ctx is canceled — an aborted
+// snapshot upload stops burning CPU. The publish/drain step after a
+// successful preparation is not interruptible: once the swap happens
+// it completes, keeping the registry consistent.
+func (r *Registry) LoadContext(ctx context.Context, name string, m *core.Model) (*LoadInfo, error) {
 	if name == "" {
 		return nil, errors.New("registry: empty model name")
 	}
-	s, err := r.buildServed(name, m)
+	s, err := r.buildServed(ctx, name, m)
 	if err != nil {
 		return nil, err
 	}

@@ -20,7 +20,9 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"runtime"
@@ -40,18 +42,50 @@ import (
 // this system mines, but finite).
 const maxSnapshotBytes = 1 << 30
 
-// Server is the query API over a model registry.
+// StatusClientClosedRequest is the nginx 499 convention: the client
+// went away before the handler finished, so the in-flight work was
+// abandoned. The status never reaches that client — it exists so
+// logs, metrics, and tests can tell "client hung up" (not our fault)
+// from 504 "server-side query deadline expired" and from 5xx real
+// faults.
+const StatusClientClosedRequest = 499
+
+// Server is the query API over a model registry. Handlers run under
+// the request context: a client disconnect or an expired query
+// deadline aborts rule mining, snapshot preparation, and batch
+// classification mid-flight instead of burning CPU on an answer
+// nobody will read.
 type Server struct {
-	reg     *registry.Registry
-	mux     *http.ServeMux
-	start   time.Time
-	queries atomic.Int64
-	errs    atomic.Int64
+	reg          *registry.Registry
+	mux          *http.ServeMux
+	start        time.Time
+	queryTimeout time.Duration
+	queries      atomic.Int64
+	errs         atomic.Int64
+	timeouts     atomic.Int64
+	canceled     atomic.Int64
+}
+
+// Option configures a Server.
+type Option func(*Server)
+
+// WithQueryTimeout bounds every *query* request's handling time: the
+// request context gets a deadline of d, and a query that exceeds it
+// is abandoned with 504 Gateway Timeout. d <= 0 means no bound.
+// Admin operations (PUT snapshot upload/hot-swap, DELETE unload) are
+// exempt — a timeout sized for microsecond classify queries must not
+// make loading a non-trivial model permanently impossible; uploads
+// are still aborted when the client itself goes away.
+func WithQueryTimeout(d time.Duration) Option {
+	return func(s *Server) { s.queryTimeout = d }
 }
 
 // New returns a Server over the registry.
-func New(reg *registry.Registry) *Server {
+func New(reg *registry.Registry, opts ...Option) *Server {
 	s := &Server{reg: reg, mux: http.NewServeMux(), start: time.Now()}
+	for _, o := range opts {
+		o(s)
+	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("GET /v1/models", s.handleListModels)
@@ -66,8 +100,23 @@ func New(reg *registry.Registry) *Server {
 	return s
 }
 
-// Handler returns the HTTP handler.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the HTTP handler. When a query timeout is
+// configured, every query request's context carries that deadline;
+// admin writes (PUT/DELETE) run unbounded (see WithQueryTimeout).
+func (s *Server) Handler() http.Handler {
+	if s.queryTimeout <= 0 {
+		return s.mux
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPut || r.Method == http.MethodDelete {
+			s.mux.ServeHTTP(w, r)
+			return
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), s.queryTimeout)
+		defer cancel()
+		s.mux.ServeHTTP(w, r.WithContext(ctx))
+	})
+}
 
 // errorBody is the uniform error response shape.
 type errorBody struct {
@@ -83,6 +132,26 @@ func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
 func (s *Server) fail(w http.ResponseWriter, code int, format string, args ...any) {
 	s.errs.Add(1)
 	s.writeJSON(w, code, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// failCtx maps a context-shaped failure to its distinct status —
+// 504 for an expired server-side query deadline, 499 for a client
+// that went away — and reports whether it handled err. Neither case
+// counts as a server error: they land in the timeouts / canceled
+// counters instead of errs. Handlers fall through to their normal
+// error mapping when failCtx returns false.
+func (s *Server) failCtx(w http.ResponseWriter, err error) bool {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		s.timeouts.Add(1)
+		s.writeJSON(w, http.StatusGatewayTimeout, errorBody{Error: "query deadline exceeded"})
+		return true
+	case errors.Is(err, context.Canceled):
+		s.canceled.Add(1)
+		s.writeJSON(w, StatusClientClosedRequest, errorBody{Error: "request canceled by client"})
+		return true
+	}
+	return false
 }
 
 // acquire resolves the named model or writes a 404.
@@ -103,11 +172,16 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 type statsResponse struct {
-	UptimeSeconds float64        `json:"uptime_seconds"`
-	Queries       int64          `json:"queries"`
-	Errors        int64          `json:"errors"`
-	GoMaxProcs    int            `json:"gomaxprocs"`
-	Registry      registry.Stats `json:"registry"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Queries       int64   `json:"queries"`
+	Errors        int64   `json:"errors"`
+	// Timeouts counts queries abandoned at the server-side deadline
+	// (504); Canceled counts queries abandoned because the client went
+	// away (499). Neither is a server fault, so they are not Errors.
+	Timeouts   int64          `json:"timeouts"`
+	Canceled   int64          `json:"canceled"`
+	GoMaxProcs int            `json:"gomaxprocs"`
+	Registry   registry.Stats `json:"registry"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -115,6 +189,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Queries:       s.queries.Load(),
 		Errors:        s.errs.Load(),
+		Timeouts:      s.timeouts.Load(),
+		Canceled:      s.canceled.Load(),
 		GoMaxProcs:    runtime.GOMAXPROCS(0),
 		Registry:      s.reg.Stats(),
 	})
@@ -208,11 +284,19 @@ func (s *Server) handlePutModel(w http.ResponseWriter, r *http.Request) {
 	body := http.MaxBytesReader(w, r.Body, maxSnapshotBytes)
 	m, err := core.ReadSnapshot(body)
 	if err != nil {
+		// An aborted upload surfaces as a body read error; report it as
+		// the context outcome, not a malformed snapshot.
+		if ctxErr := r.Context().Err(); ctxErr != nil && s.failCtx(w, ctxErr) {
+			return
+		}
 		s.fail(w, http.StatusBadRequest, "snapshot: %v", err)
 		return
 	}
-	info, err := s.reg.Load(name, m)
+	info, err := s.reg.LoadContext(r.Context(), name, m)
 	if err != nil {
+		if s.failCtx(w, err) {
+			return
+		}
 		s.fail(w, http.StatusUnprocessableEntity, "load: %v", err)
 		return
 	}
@@ -275,8 +359,14 @@ func (s *Server) handleRules(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	rules, err := core.MineRules(m, head, opt)
+	// Rule mining rebuilds association tables from the training rows —
+	// the most expensive query this server runs — so it works under the
+	// request context: a disconnect or query deadline aborts it.
+	rules, err := core.MineRulesContext(r.Context(), m, head, opt)
 	if err != nil {
+		if s.failCtx(w, err) {
+			return
+		}
 		s.fail(w, http.StatusConflict, "%v", err)
 		return
 	}
@@ -532,9 +622,12 @@ func (s *Server) handleClassifyBatch(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusConflict, "%v", err)
 		return
 	}
-	err = p.PredictBatch(domVals, target, out, conf)
+	err = p.PredictBatchContext(r.Context(), domVals, target, out, conf)
 	sv.ReturnPredictor(p)
 	if err != nil {
+		if s.failCtx(w, err) {
+			return
+		}
 		s.fail(w, http.StatusInternalServerError, "%v", err)
 		return
 	}

@@ -6,6 +6,7 @@
 package similarity
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -13,6 +14,7 @@ import (
 	"sync"
 
 	"hypermine/internal/hypergraph"
+	"hypermine/internal/runopt"
 )
 
 // replaceTail writes T with a1 replaced by a2 (Notation 3.9(3)) into
@@ -153,20 +155,43 @@ type Graph struct {
 	D     [][]float64
 }
 
+// GraphOptions tunes context-aware similarity-graph construction.
+type GraphOptions struct {
+	// Parallelism bounds workers; 0 means GOMAXPROCS (matching
+	// core.Config.Parallelism), 1 is serial.
+	Parallelism int
+	// Progress, when set, observes PhaseSimilarity progress: one unit
+	// per completed matrix row stripe. It may be invoked concurrently
+	// from worker goroutines.
+	Progress runopt.ProgressFunc
+	// CheckEvery bounds matrix rows between context polls per worker;
+	// 0 means every row (a row is the natural O(|S| x edges) stripe).
+	CheckEvery int
+}
+
 // BuildGraph computes the similarity graph over the collection S of
 // vertex ids of h (Definition 3.13). Diagonal distances are 0. The
 // O(|S|^2) pairwise distance matrix is computed with GOMAXPROCS
-// workers; use BuildGraphParallel to pick the worker count explicitly.
+// workers; use BuildGraphContext to pick the worker count, observe
+// progress, or bound the run with a context.
 func BuildGraph(h *hypergraph.H, s []int) (*Graph, error) {
-	return BuildGraphParallel(h, s, 0)
+	return BuildGraphContext(context.Background(), h, s, GraphOptions{})
 }
 
 // BuildGraphParallel is BuildGraph with an explicit parallelism bound
-// (0 means GOMAXPROCS, matching core.Config.Parallelism). Every worker
-// owns disjoint rows of the matrix and Distance is a pure function of
-// (h, a1, a2), so the result is bit-identical at every parallelism
-// level.
+// (0 means GOMAXPROCS). Every worker owns disjoint rows of the matrix
+// and Distance is a pure function of (h, a1, a2), so the result is
+// bit-identical at every parallelism level.
 func BuildGraphParallel(h *hypergraph.H, s []int, parallelism int) (*Graph, error) {
+	return BuildGraphContext(context.Background(), h, s, GraphOptions{Parallelism: parallelism})
+}
+
+// BuildGraphContext is BuildGraph under a context: workers poll ctx
+// every CheckEvery row stripes and the build returns ctx.Err()
+// promptly once canceled, discarding the partial matrix. With a
+// never-canceled context the result is bit-identical to BuildGraph at
+// every parallelism level.
+func BuildGraphContext(ctx context.Context, h *hypergraph.H, s []int, opt GraphOptions) (*Graph, error) {
 	if len(s) == 0 {
 		return nil, errors.New("similarity: empty collection")
 	}
@@ -175,12 +200,14 @@ func BuildGraphParallel(h *hypergraph.H, s []int, parallelism int) (*Graph, erro
 			return nil, fmt.Errorf("similarity: vertex %d out of range", v)
 		}
 	}
+	parallelism := opt.Parallelism
 	if parallelism <= 0 {
 		parallelism = runtime.GOMAXPROCS(0)
 	}
 	if parallelism > len(s) {
 		parallelism = len(s)
 	}
+	prog := runopt.NewMeter(runopt.PhaseSimilarity, len(s), opt.Progress)
 	g := &Graph{Nodes: append([]int(nil), s...), D: make([][]float64, len(s))}
 	for i := range g.D {
 		g.D[i] = make([]float64, len(s))
@@ -193,30 +220,47 @@ func BuildGraphParallel(h *hypergraph.H, s []int, parallelism int) (*Graph, erro
 		}
 	}
 	if parallelism == 1 {
+		chk := runopt.NewChecker(ctx, opt.CheckEvery, 1)
 		for i := 0; i < len(s); i++ {
+			if err := chk.Tick(); err != nil {
+				return nil, err
+			}
 			fillRow(i)
+			prog.Tick(1)
 		}
 		return g, nil
 	}
 	// Row i owns cells (i, j) and (j, i) for all j > i, so workers
 	// never write the same cell. Rows shrink toward the end of the
-	// matrix; the channel balances the skew dynamically.
+	// matrix; the channel balances the skew dynamically. Canceled
+	// workers keep draining so the feeder never blocks.
 	rows := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < parallelism; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			chk := runopt.NewChecker(ctx, opt.CheckEvery, 1)
 			for i := range rows {
+				if chk.Tick() != nil {
+					continue
+				}
 				fillRow(i)
+				prog.Tick(1)
 			}
 		}()
 	}
-	for i := 0; i < len(s); i++ {
-		rows <- i
+	for i := 0; i < len(s) && ctx.Err() == nil; i++ {
+		select {
+		case rows <- i:
+		case <-ctx.Done():
+		}
 	}
 	close(rows)
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	return g, nil
 }
 
