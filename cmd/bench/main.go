@@ -10,10 +10,16 @@
 //     polling at the default stride under a real (cancellable) context
 //     versus the check-free paths, proving the v2 API's ctx checks
 //     cost under the 2% acceptance bar (-> BENCH_4.json).
+//   - engine: the PR-5 prepared-model engine — cold-vs-warm repeat
+//     query latency for rules and similarity ranking (the memoization
+//     effect, measurable on a single core) against the
+//     recompute-per-call v1 paths, plus the zero-allocation warm
+//     classify path (-> BENCH_5.json). The suite exits nonzero if the
+//     acceptance bars (warm >= 10x, classify allocs == 0) fail.
 //
 // Usage:
 //
-//	go run ./cmd/bench [-suite ctx|pr2] [-out FILE.json] [-quick]
+//	go run ./cmd/bench [-suite ctx|pr2|engine] [-out FILE.json] [-quick]
 package main
 
 import (
@@ -30,6 +36,7 @@ import (
 	"hypermine/internal/benchfix"
 	"hypermine/internal/core"
 	"hypermine/internal/cover"
+	"hypermine/internal/engine"
 	"hypermine/internal/hypergraph"
 	"hypermine/internal/runopt"
 	"hypermine/internal/similarity"
@@ -243,7 +250,7 @@ func legacyInSim(h *hypergraph.H, keys map[string]int32, a1, a2 int) float64 {
 }
 
 func main() {
-	suite := flag.String("suite", "ctx", "benchmark suite: ctx (PR-4 context overhead) or pr2 (query stack)")
+	suite := flag.String("suite", "ctx", "benchmark suite: ctx (PR-4 context overhead), pr2 (query stack), or engine (PR-5 prepared-model engine)")
 	out := flag.String("out", "", "output JSON path ('' = suite default, '-' for stdout only)")
 	quick := flag.Bool("quick", false, "shrink workloads for CI smoke runs")
 	flag.Parse()
@@ -260,8 +267,13 @@ func main() {
 			*out = "BENCH_4.json"
 		}
 		rep = suiteCtx(*quick)
+	case "engine":
+		if *out == "" {
+			*out = "BENCH_5.json"
+		}
+		rep = suiteEngine(*quick)
 	default:
-		fmt.Fprintf(os.Stderr, "unknown suite %q (want ctx or pr2)\n", *suite)
+		fmt.Fprintf(os.Stderr, "unknown suite %q (want ctx, pr2, or engine)\n", *suite)
 		os.Exit(2)
 	}
 
@@ -411,6 +423,187 @@ func suiteCtx(quick bool) *report {
 		})
 	compareOverhead(rep, "MineRules ctx checks", rulesOff, rulesOn)
 
+	return rep
+}
+
+// suiteEngine measures the prepared-model engine's memoization effect:
+// warm repeat queries against the recompute-per-call v1 paths, cold
+// first queries (which pay the build), and the zero-allocation warm
+// classify path. These are exactly the acceptance metrics of the
+// engine redesign, so the suite enforces them: warm rules and warm
+// similarity rankings must be >= 10x faster than their v1
+// recompute-per-call counterparts and the warm classify path must not
+// allocate; a miss exits nonzero.
+func suiteEngine(quick bool) *report {
+	attrs, rows := 30, 20000
+	if quick {
+		attrs, rows = 12, 1500
+	}
+	rep := &report{
+		PR:         5,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+		Note: "prepared-model engine: cold entries include the engine's first-query " +
+			"artifact build (rule mining, all-pairs similarity graph); warm entries " +
+			"are repeat queries against the memoized artifacts. v1 baselines " +
+			"recompute per call exactly as the pre-engine free functions did. " +
+			"Single-core host: the caching effect is wall-clock measurable here; " +
+			"concurrency correctness (one build per artifact under racing queries) " +
+			"is proven by the race-enabled internal/engine tests.",
+	}
+	ctx := context.Background()
+	m := benchfix.ModelWorkload(attrs, rows)
+	head := 0
+	for h := 0; h < m.Table.NumAttrs(); h++ {
+		if len(m.H.In(h)) > len(m.H.In(head)) {
+			head = h
+		}
+	}
+	rulesOpt := core.MineOptions{MaxRules: 10}
+
+	newEngine := func() *engine.Engine {
+		e, err := engine.New(m, engine.Options{})
+		if err != nil {
+			panic(err)
+		}
+		return e
+	}
+
+	// Rules: v1 recompute-per-call vs engine cold (first query, pays
+	// the mine + cache store) vs engine warm (pure cache read).
+	rulesV1 := run("Rules/v1-per-call", rep, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.MineRules(m, head, rulesOpt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	run("Rules/engine-cold", rep, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := newEngine().Rules(ctx, head, rulesOpt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	eng := newEngine()
+	if _, err := eng.Rules(ctx, head, rulesOpt); err != nil {
+		panic(err)
+	}
+	rulesWarm := run("Rules/engine-warm", rep, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.Rules(ctx, head, rulesOpt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	compare(rep, "Rules warm vs v1 recompute", rulesV1, rulesWarm)
+
+	// Similarity ranking: the v1 repeat-caller path rebuilds the
+	// graph per call (BuildSimilarityGraph has no cache); the engine
+	// reads one memoized matrix row. The row-recompute baseline (what
+	// the old CLI did for a single ranking) is recorded for reference.
+	h := m.H
+	all := make([]int, h.NumVertices())
+	for i := range all {
+		all[i] = i
+	}
+	aName := h.VertexName(0)
+	simReq := &engine.Request{Similar: &engine.SimilarRequest{A: aName, Top: 10}}
+	simV1 := run("SimilarRank/v1-rebuild-graph", rep, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			g, err := similarity.BuildGraphParallel(h, all, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if g.Dist(0, 1) < 0 {
+				b.Fatal("impossible")
+			}
+		}
+	})
+	run("SimilarRank/v1-recompute-row", rep, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for v := 1; v < h.NumVertices(); v++ {
+				if similarity.Distance(h, 0, v) < 0 {
+					b.Fatal("impossible")
+				}
+			}
+		}
+	})
+	run("SimilarRank/engine-cold", rep, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := newEngine().Do(ctx, simReq); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	if _, err := eng.Do(ctx, simReq); err != nil {
+		panic(err)
+	}
+	simWarm := run("SimilarRank/engine-warm", rep, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.Do(ctx, simReq); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	compare(rep, "SimilarRank warm vs v1 rebuild", simV1, simWarm)
+
+	// Classify: the v1 one-shot path allocates a fresh scratch per
+	// call; the engine's pooled warm path must not allocate at all.
+	abc, err := eng.Classifier(ctx)
+	if err != nil {
+		panic(err)
+	}
+	dom, err := eng.Dominator(ctx, engine.DefaultDomSpec())
+	if err != nil {
+		panic(err)
+	}
+	targets, err := eng.Targets(ctx)
+	if err != nil {
+		panic(err)
+	}
+	domVals := make([]table.Value, len(dom.DomSet))
+	for j := range domVals {
+		domVals[j] = table.Value(1 + j%3)
+	}
+	target := targets[0]
+	classifyV1 := run("Classify/v1-one-shot", rep, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := abc.Predict(domVals, target); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	if _, _, err := eng.Predict(ctx, domVals, target); err != nil {
+		panic(err)
+	}
+	classifyWarm := run("Classify/engine-warm", rep, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := eng.Predict(ctx, domVals, target); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	compare(rep, "Classify warm vs v1 one-shot", classifyV1, classifyWarm)
+
+	// Enforce the acceptance bars.
+	failed := false
+	if sp := rulesV1.NsPerOp / rulesWarm.NsPerOp; sp < 10 {
+		fmt.Fprintf(os.Stderr, "FAIL: warm rules %.1fx vs v1, want >= 10x\n", sp)
+		failed = true
+	}
+	if sp := simV1.NsPerOp / simWarm.NsPerOp; sp < 10 {
+		fmt.Fprintf(os.Stderr, "FAIL: warm similarity ranking %.1fx vs v1, want >= 10x\n", sp)
+		failed = true
+	}
+	if classifyWarm.AllocsPerOp != 0 {
+		fmt.Fprintf(os.Stderr, "FAIL: warm classify path allocates %d/op, want 0\n", classifyWarm.AllocsPerOp)
+		failed = true
+	}
+	if failed {
+		os.Exit(1)
+	}
 	return rep
 }
 

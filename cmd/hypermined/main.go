@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	hypermined -addr :8080 -model demo=model.snap [-model other=o.snap] [-max-edges N] [-query-timeout 5s]
+//	hypermined -addr :8080 -model demo=model.snap [-model other=o.snap] [-max-edges N] [-query-timeout 5s] [-warmup none|graph|all]
 //
 // Models can also be loaded (or hot-swapped) at runtime by PUTting a
 // snapshot to /v1/models/{name}.
@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"hypermine/internal/core"
+	"hypermine/internal/engine"
 	"hypermine/internal/registry"
 	"hypermine/internal/server"
 )
@@ -51,13 +52,19 @@ func (m *modelFlags) Set(v string) error {
 func main() {
 	var models modelFlags
 	addr := flag.String("addr", ":8080", "listen address")
-	maxEdges := flag.Int("max-edges", 0, "resident hyperedge bound for LRU eviction (0 = unlimited)")
+	maxEdges := flag.Int("max-edges", 0, "resident-cost bound for LRU eviction, in edge-equivalent units (0 = unlimited)")
 	queryTimeout := flag.Duration("query-timeout", 0,
 		"per-query deadline; an expired query is abandoned with 504 (0 = unbounded; admin PUT/DELETE are exempt)")
+	warmupFlag := flag.String("warmup", "none",
+		"derived artifacts to prebuild at load: none (lazy, the default), graph (similarity+dominator), or all")
 	flag.Var(&models, "model", "name=snapshot.snap to serve at boot (repeatable)")
 	flag.Parse()
 
-	reg := registry.New(registry.Options{MaxResidentEdges: *maxEdges})
+	warmup, err := engine.ParseWarmup(*warmupFlag)
+	if err != nil {
+		fatal(err)
+	}
+	reg := registry.New(registry.Options{MaxResidentEdges: *maxEdges, Warmup: warmup})
 	for _, m := range models {
 		if err := loadSnapshot(reg, m.name, m.path); err != nil {
 			fatal(err)

@@ -92,8 +92,9 @@ type report struct {
 		WallNs   int64   `json:"wall_ns"`
 		QPS      float64 `json:"qps"`
 	} `json:"total"`
-	Reloads            int `json:"reloads"`
-	IdentityMismatches int `json:"identity_mismatches"`
+	Mix                string `json:"mix"`
+	Reloads            int    `json:"reloads"`
+	IdentityMismatches int    `json:"identity_mismatches"`
 	// Cancel reports the client-side timeout injection scenario
 	// (-cancel-every); nil when disabled.
 	Cancel *cancelReport `json:"cancel,omitempty"`
@@ -133,7 +134,13 @@ func main() {
 	quick := flag.Bool("quick", false, "shrink workloads for CI smoke runs")
 	cancelEvery := flag.Int("cancel-every", 0,
 		"replace every Nth request with a rules query under a short client-side deadline (0 = off)")
+	mixName := flag.String("mix", "default",
+		"query mix: default (dedicated endpoints) or batch (multiplexed typed batches via :query)")
 	flag.Parse()
+
+	if *mixName != "default" && *mixName != "batch" {
+		fatal(fmt.Errorf("unknown -mix %q (want default or batch)", *mixName))
+	}
 
 	if *quick {
 		*n, *attrs, *rows = 400, 12, 1500
@@ -172,7 +179,8 @@ func main() {
 		fatal(fmt.Errorf("model %q cannot classify; loadgen needs a classifiable model", *model))
 	}
 
-	if err := replay(rep, baseURL, *model, info, *n, *seed, *reloads, snapPath, *cancelEvery); err != nil {
+	rep.Mix = *mixName
+	if err := replay(rep, baseURL, *model, info, *n, *seed, *reloads, snapPath, *cancelEvery, *mixName); err != nil {
 		fatal(err)
 	}
 
@@ -283,7 +291,7 @@ type query struct {
 
 // replay generates the deterministic mix and drives it serially,
 // recording per-endpoint latencies and identity mismatches.
-func replay(rep *report, baseURL, model string, info *modelInfo, n int, seed int64, reloads int, snapPath string, cancelEvery int) error {
+func replay(rep *report, baseURL, model string, info *modelInfo, n int, seed int64, reloads int, snapPath string, cancelEvery int, mixName string) error {
 	rng := rand.New(rand.NewSource(seed))
 
 	// Pool of 32 deterministic classify bodies; each remembers its
@@ -330,31 +338,96 @@ func replay(rep *report, baseURL, model string, info *modelInfo, n int, seed int
 		weight int
 		build  func(i int) query
 	}
-	mix := []mixEntry{
-		{"classify", 8, func(i int) query {
-			p := i % poolSize
-			return query{"classify", http.MethodPost,
-				baseURL + "/v1/models/" + model + "/classify", pool[p].single, p}
-		}},
-		{"classify_batch", 2, func(i int) query {
-			p := i % poolSize
-			return query{"classify_batch", http.MethodPost,
-				baseURL + "/v1/models/" + model + "/classify:batch", pool[p].batch, poolSize + p}
-		}},
-		{"similar", 2, func(i int) query {
-			a := info.Dominator[i%len(info.Dominator)]
-			return query{"similar", http.MethodGet,
-				fmt.Sprintf("%s/v1/models/%s/similar?a=%s&top=5", baseURL, model, a), nil, -1}
-		}},
-		{"rules", 1, func(i int) query {
-			head := info.Targets[i%len(info.Targets)]
-			return query{"rules", http.MethodGet,
-				fmt.Sprintf("%s/v1/models/%s/rules?head=%s&top=5", baseURL, model, head), nil, -1}
-		}},
-		{"dominators", 1, func(i int) query {
-			return query{"dominators", http.MethodGet,
-				baseURL + "/v1/models/" + model + "/dominators", nil, -1}
-		}},
+	var mix []mixEntry
+	if mixName == "batch" {
+		// One multiplexed typed batch per request, POSTed to :query:
+		// three single classifies, one batch classify, a similarity
+		// pair, a ranking, the dominator, and (on every 4th pool slot)
+		// a rules query — the whole default mix in one round trip.
+		// Bodies are deterministic and identity-checked like the
+		// classify pool.
+		batchPool := make([][]byte, poolSize)
+		for i := range batchPool {
+			var items []map[string]any
+			for c := 0; c < 3; c++ {
+				values := map[string]any{}
+				for _, a := range info.Dominator {
+					values[a] = 1 + rng.Intn(info.K)
+				}
+				items = append(items, map[string]any{"classify": map[string]any{
+					"target": info.Targets[rng.Intn(len(info.Targets))],
+					"values": values,
+				}})
+			}
+			batchRows := make([][]int, 4)
+			for r := range batchRows {
+				row := make([]int, len(info.Dominator))
+				for j := range row {
+					row[j] = 1 + rng.Intn(info.K)
+				}
+				batchRows[r] = row
+			}
+			items = append(items,
+				map[string]any{"classify": map[string]any{
+					"target": info.Targets[rng.Intn(len(info.Targets))],
+					"rows":   batchRows,
+				}},
+				map[string]any{"similar": map[string]any{
+					"a": info.Dominator[i%len(info.Dominator)],
+					"b": info.Dominator[(i+1)%len(info.Dominator)],
+				}},
+				map[string]any{"similar": map[string]any{
+					"a":   info.Dominator[i%len(info.Dominator)],
+					"top": 5,
+				}},
+				map[string]any{"dominators": map[string]any{}},
+			)
+			if i%4 == 0 {
+				items = append(items, map[string]any{"rules": map[string]any{
+					"head": info.Targets[i%len(info.Targets)],
+					"top":  5,
+				}})
+			}
+			body, err := json.Marshal(map[string]any{"batch": items})
+			if err != nil {
+				return err
+			}
+			batchPool[i] = body
+		}
+		mix = []mixEntry{
+			{"query_batch", 1, func(i int) query {
+				p := i % poolSize
+				return query{"query_batch", http.MethodPost,
+					baseURL + "/v1/models/" + model + ":query", batchPool[p], p}
+			}},
+		}
+	} else {
+		mix = []mixEntry{
+			{"classify", 8, func(i int) query {
+				p := i % poolSize
+				return query{"classify", http.MethodPost,
+					baseURL + "/v1/models/" + model + "/classify", pool[p].single, p}
+			}},
+			{"classify_batch", 2, func(i int) query {
+				p := i % poolSize
+				return query{"classify_batch", http.MethodPost,
+					baseURL + "/v1/models/" + model + "/classify:batch", pool[p].batch, poolSize + p}
+			}},
+			{"similar", 2, func(i int) query {
+				a := info.Dominator[i%len(info.Dominator)]
+				return query{"similar", http.MethodGet,
+					fmt.Sprintf("%s/v1/models/%s/similar?a=%s&top=5", baseURL, model, a), nil, -1}
+			}},
+			{"rules", 1, func(i int) query {
+				head := info.Targets[i%len(info.Targets)]
+				return query{"rules", http.MethodGet,
+					fmt.Sprintf("%s/v1/models/%s/rules?head=%s&top=5", baseURL, model, head), nil, -1}
+			}},
+			{"dominators", 1, func(i int) query {
+				return query{"dominators", http.MethodGet,
+					baseURL + "/v1/models/" + model + "/dominators", nil, -1}
+			}},
+		}
 	}
 	totalWeight := 0
 	for _, e := range mix {
@@ -443,6 +516,9 @@ func replay(rep *report, baseURL, model string, info *modelInfo, n int, seed int
 			return fmt.Errorf("%s %s: %d: %s", q.method, q.url, resp.StatusCode, raw)
 		}
 		latency[q.endpoint] = append(latency[q.endpoint], elapsed)
+		if q.endpoint == "query_batch" && bytes.Contains(raw, []byte(`"error"`)) {
+			return fmt.Errorf("batch response carries a sub-request error: %s", raw)
+		}
 		if q.identity >= 0 {
 			if identity[q.identity] == nil {
 				identity[q.identity] = raw

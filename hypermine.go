@@ -33,6 +33,7 @@ import (
 	"hypermine/internal/cluster"
 	"hypermine/internal/core"
 	"hypermine/internal/cover"
+	"hypermine/internal/engine"
 	"hypermine/internal/hypergraph"
 	"hypermine/internal/registry"
 	"hypermine/internal/runopt"
@@ -302,6 +303,62 @@ var (
 	// NewQueryServer returns a QueryServer over a registry; mount
 	// Handler() on any http server.
 	NewQueryServer = server.New
+)
+
+// Prepared-model engine (internal/engine): the lazily-memoized query
+// surface shared by this facade, the serving registry, the HTTP
+// server, and the CLI. An Engine wraps one immutable Model and builds
+// each derived artifact (TID-bitset index, all-pairs similarity
+// graph, dominators keyed by options, prepared classifier + predictor
+// pool, bounded LRU of mined-rule answers) at most once, on first
+// use, sharing concurrent builds singleflight-style. The v1 free
+// functions (MineRules, BuildSimilarityGraph, LeadingIndicators, ...)
+// are the one-shot forms of the same computations and stay
+// bit-identical: an Engine's first answer equals the v1 answer, and
+// every repeat is a cache read.
+type (
+	// Engine is the prepared-model query handle.
+	Engine = engine.Engine
+	// EngineOptions tunes an Engine (rule-cache bound).
+	EngineOptions = engine.Options
+	// EngineStats reports artifact builds, rule-cache hits, and
+	// resident-cost accounting.
+	EngineStats = engine.Stats
+	// EngineRequest / EngineResponse are the transport-neutral typed
+	// query union executed by Engine.Do — the same types the server's
+	// /v1/models/{name}:query endpoint decodes and encodes.
+	EngineRequest  = engine.Request
+	EngineResponse = engine.Response
+	// EngineError is a typed engine failure (kind + message).
+	EngineError = engine.Error
+	// EngineWarmup selects artifacts for eager prebuilding.
+	EngineWarmup = engine.Warmup
+	// DominatorSpec keys a memoized dominator computation.
+	DominatorSpec = engine.DomSpec
+	// Typed request variants of EngineRequest.
+	RulesQuery      = engine.RulesRequest
+	SimilarQuery    = engine.SimilarRequest
+	DominatorsQuery = engine.DominatorsRequest
+	ClassifyQuery   = engine.ClassifyRequest
+)
+
+// Re-exported engine constructors and warmup policies.
+var (
+	// NewEngine wraps a model in a prepared query engine.
+	NewEngine = engine.New
+	// DefaultDominatorSpec is the serving dominator policy (Algorithm
+	// 6 with both enhancements).
+	DefaultDominatorSpec = engine.DefaultDomSpec
+)
+
+// Engine warmup policies (combine with |).
+const (
+	EngineWarmupNone       = engine.WarmupNone
+	EngineWarmupIndex      = engine.WarmupIndex
+	EngineWarmupSimilarity = engine.WarmupSimilarity
+	EngineWarmupDominator  = engine.WarmupDominator
+	EngineWarmupClassifier = engine.WarmupClassifier
+	EngineWarmupAll        = engine.WarmupAll
 )
 
 // Financial time-series substrate (internal/timeseries).

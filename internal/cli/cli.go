@@ -20,6 +20,12 @@
 // similar, dominator, and classify accept -model model.snap to reuse a
 // mined model snapshot instead of re-mining (or re-loading a
 // hypergraph JSON) on every invocation.
+//
+// The query subcommands (similar, dominator, classify, rules) run
+// through the same prepared-model engine (internal/engine) the
+// serving daemon uses: one Engine per invocation, so a single CLI run
+// that needs an artifact twice builds it once, and CLI answers are
+// the serving answers by construction.
 package cli
 
 import (
@@ -35,7 +41,7 @@ import (
 	"hypermine/internal/classify"
 	"hypermine/internal/cluster"
 	"hypermine/internal/core"
-	"hypermine/internal/cover"
+	"hypermine/internal/engine"
 	"hypermine/internal/hypergraph"
 	"hypermine/internal/similarity"
 	"hypermine/internal/table"
@@ -60,11 +66,12 @@ func (a *App) Run(args []string) error {
 	return a.RunContext(context.Background(), args)
 }
 
-// RunContext dispatches one subcommand under a context: the
-// long-running subcommands (build, model save, rules, frequent,
-// cluster, dominator, classify) abort promptly with ctx.Err() when it
-// is canceled — cmd/hypermine wires SIGINT/SIGTERM into it, so ^C
-// stops mining instead of leaving it to run to completion.
+// RunContext dispatches one subcommand under a context: every
+// subcommand that loads or computes anything non-trivial aborts
+// promptly with ctx.Err() when it is canceled — cmd/hypermine wires
+// SIGINT/SIGTERM into it, so ^C stops mining (or a similarity-graph
+// build, or a snapshot verification) instead of leaving it to run to
+// completion.
 func (a *App) RunContext(ctx context.Context, args []string) error {
 	if len(args) < 1 {
 		return ErrUsage
@@ -81,11 +88,11 @@ func (a *App) RunContext(ctx context.Context, args []string) error {
 	case "frequent":
 		return a.cmdFrequent(ctx, args[1:])
 	case "degrees":
-		return a.cmdDegrees(args[1:])
+		return a.cmdDegrees(ctx, args[1:])
 	case "top-edges":
-		return a.cmdTopEdges(args[1:])
+		return a.cmdTopEdges(ctx, args[1:])
 	case "similar":
-		return a.cmdSimilar(args[1:])
+		return a.cmdSimilar(ctx, args[1:])
 	case "cluster":
 		return a.cmdCluster(ctx, args[1:])
 	case "dominator":
@@ -166,47 +173,52 @@ func writeTableCSV(tb *table.Table, path string) error {
 	return f.Close()
 }
 
-func loadTable(path string, k int) (*table.Table, error) {
+// readFile opens path and decodes it with read, closing the file
+// either way — the one loading helper behind every input format
+// (CSV tables, hypergraph JSON, binary snapshots).
+func readFile[T any](path string, read func(io.Reader) (T, error)) (T, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, err
+		var zero T
+		return zero, err
 	}
 	defer f.Close()
-	return table.ReadCSV(f, k)
+	return read(f)
+}
+
+func loadTable(path string, k int) (*table.Table, error) {
+	return readFile(path, func(r io.Reader) (*table.Table, error) { return table.ReadCSV(r, k) })
 }
 
 func loadGraph(path string) (*hypergraph.H, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	return hypergraph.ReadJSON(f)
-}
-
-// loadGraphOrModel resolves the hypergraph for graph-query
-// subcommands: from a binary model snapshot when modelPath is set
-// (no re-mining, shared with the serving daemon), otherwise from a
-// hypergraph JSON.
-func loadGraphOrModel(graphPath, modelPath string) (*hypergraph.H, error) {
-	if modelPath == "" {
-		return loadGraph(graphPath)
-	}
-	m, err := loadSnapshot(modelPath)
-	if err != nil {
-		return nil, err
-	}
-	return m.H, nil
+	return readFile(path, hypergraph.ReadJSON)
 }
 
 // loadSnapshot reads a binary model snapshot from disk.
 func loadSnapshot(path string) (*core.Model, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
+	return readFile(path, core.ReadSnapshot)
+}
+
+// loadEngine resolves the query engine for graph-query subcommands:
+// over a binary model snapshot when modelPath is set (no re-mining,
+// shared with the serving daemon), otherwise over a graph-only model
+// wrapped around a hypergraph JSON (similarity and dominator queries
+// work; rules/classification report unavailability).
+func loadEngine(graphPath, modelPath string) (*engine.Engine, error) {
+	var m *core.Model
+	if modelPath == "" {
+		h, err := loadGraph(graphPath)
+		if err != nil {
+			return nil, err
+		}
+		m = &core.Model{H: h, RowsOmitted: true}
+	} else {
+		var err error
+		if m, err = loadSnapshot(modelPath); err != nil {
+			return nil, err
+		}
 	}
-	defer f.Close()
-	return core.ReadSnapshot(f)
+	return engine.New(m, engine.Options{})
 }
 
 // cmdModel handles the binary snapshot codec: `model save` mines a
@@ -221,7 +233,7 @@ func (a *App) cmdModel(ctx context.Context, args []string) error {
 	case "save":
 		return a.cmdModelSave(ctx, args[1:])
 	case "load":
-		return a.cmdModelLoad(args[1:])
+		return a.cmdModelLoad(ctx, args[1:])
 	}
 	return fmt.Errorf("unknown model subcommand %q (want save or load)", args[0])
 }
@@ -284,7 +296,7 @@ func (a *App) cmdModelSave(ctx context.Context, args []string) error {
 	return nil
 }
 
-func (a *App) cmdModelLoad(args []string) error {
+func (a *App) cmdModelLoad(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("model load", flag.ExitOnError)
 	in := fs.String("in", "model.snap", "snapshot path")
 	jsonOut := fs.String("json", "", "also write the model as JSON to this path")
@@ -292,6 +304,9 @@ func (a *App) cmdModelLoad(args []string) error {
 
 	model, err := loadSnapshot(*in)
 	if err != nil {
+		return err
+	}
+	if err := ctx.Err(); err != nil {
 		return err
 	}
 	st := model.H.EdgeStats()
@@ -371,13 +386,16 @@ func (a *App) cmdBuild(ctx context.Context, args []string) error {
 	return nil
 }
 
-func (a *App) cmdDegrees(args []string) error {
+func (a *App) cmdDegrees(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("degrees", flag.ExitOnError)
 	in := fs.String("in", "hypergraph.json", "hypergraph JSON")
 	top := fs.Int("top", 25, "show the top-N by weighted in-degree")
 	_ = fs.Parse(args)
 	h, err := loadGraph(*in)
 	if err != nil {
+		return err
+	}
+	if err := ctx.Err(); err != nil {
 		return err
 	}
 	type row struct {
@@ -399,7 +417,7 @@ func (a *App) cmdDegrees(args []string) error {
 	return nil
 }
 
-func (a *App) cmdTopEdges(args []string) error {
+func (a *App) cmdTopEdges(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("top-edges", flag.ExitOnError)
 	in := fs.String("in", "hypergraph.json", "hypergraph JSON")
 	node := fs.String("node", "", "vertex name")
@@ -407,6 +425,9 @@ func (a *App) cmdTopEdges(args []string) error {
 	_ = fs.Parse(args)
 	h, err := loadGraph(*in)
 	if err != nil {
+		return err
+	}
+	if err := ctx.Err(); err != nil {
 		return err
 	}
 	v := h.Vertex(*node)
@@ -448,7 +469,7 @@ func (a *App) cmdTopEdges(args []string) error {
 	return nil
 }
 
-func (a *App) cmdSimilar(args []string) error {
+func (a *App) cmdSimilar(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("similar", flag.ExitOnError)
 	in := fs.String("in", "hypergraph.json", "hypergraph JSON")
 	modelIn := fs.String("model", "", "binary model snapshot (overrides -in)")
@@ -456,42 +477,24 @@ func (a *App) cmdSimilar(args []string) error {
 	nodeB := fs.String("b", "", "second vertex ('' = rank all against -a)")
 	top := fs.Int("top", 10, "ranking size when -b is empty")
 	_ = fs.Parse(args)
-	h, err := loadGraphOrModel(*in, *modelIn)
+	eng, err := loadEngine(*in, *modelIn)
 	if err != nil {
 		return err
 	}
-	va := h.Vertex(*nodeA)
-	if va < 0 {
-		return fmt.Errorf("unknown vertex %q", *nodeA)
+	resp, err := eng.Do(ctx, &engine.Request{Similar: &engine.SimilarRequest{A: *nodeA, B: *nodeB, Top: *top}})
+	if err != nil {
+		return err
 	}
+	sim := resp.Similar
 	if *nodeB != "" {
-		vb := h.Vertex(*nodeB)
-		if vb < 0 {
-			return fmt.Errorf("unknown vertex %q", *nodeB)
-		}
-		fmt.Fprintf(a.out, "in-sim(%s,%s)  = %.4f\n", *nodeA, *nodeB, similarity.InSim(h, va, vb))
-		fmt.Fprintf(a.out, "out-sim(%s,%s) = %.4f\n", *nodeA, *nodeB, similarity.OutSim(h, va, vb))
-		fmt.Fprintf(a.out, "distance       = %.4f\n", similarity.Distance(h, va, vb))
+		fmt.Fprintf(a.out, "in-sim(%s,%s)  = %.4f\n", *nodeA, *nodeB, *sim.InSim)
+		fmt.Fprintf(a.out, "out-sim(%s,%s) = %.4f\n", *nodeA, *nodeB, *sim.OutSim)
+		fmt.Fprintf(a.out, "distance       = %.4f\n", *sim.Distance)
 		return nil
 	}
-	type row struct {
-		name string
-		d    float64
-	}
-	var rows []row
-	for v := 0; v < h.NumVertices(); v++ {
-		if v == va {
-			continue
-		}
-		rows = append(rows, row{h.VertexName(v), similarity.Distance(h, va, v)})
-	}
-	sort.Slice(rows, func(i, j int) bool { return rows[i].d < rows[j].d })
 	fmt.Fprintf(a.out, "most similar to %s (smallest distance):\n", *nodeA)
-	for i, r := range rows {
-		if i == *top {
-			break
-		}
-		fmt.Fprintf(a.out, "  %-8s d=%.4f\n", r.name, r.d)
+	for _, n := range sim.Neighbors {
+		fmt.Fprintf(a.out, "  %-8s d=%.4f\n", n.Name, n.Distance)
 	}
 	return nil
 }
@@ -539,39 +542,32 @@ func (a *App) cmdDominator(ctx context.Context, args []string) error {
 	frac := fs.Float64("top", 1.0, "keep only the top fraction of edges by ACV first")
 	complete := fs.Bool("complete", false, "force 100% coverage via self-covering")
 	_ = fs.Parse(args)
-	h, err := loadGraphOrModel(*in, *modelIn)
+	eng, err := loadEngine(*in, *modelIn)
 	if err != nil {
 		return err
 	}
 	if *frac < 1 {
+		// Edge filtering changes the graph itself, so it happens before
+		// the engine wraps it.
+		h := eng.Model().H
 		th, err := h.TopFractionThreshold(*frac)
 		if err != nil {
 			return err
 		}
-		h = h.FilterByWeight(th)
+		if eng, err = engine.New(&core.Model{H: h.FilterByWeight(th), RowsOmitted: true}, engine.Options{}); err != nil {
+			return err
+		}
 	}
-	all := make([]int, h.NumVertices())
-	for i := range all {
-		all[i] = i
-	}
-	opt := cover.Options{Complete: *complete, Enhancement1: true, Enhancement2: true}
-	var res *cover.Result
-	switch *alg {
-	case 5:
-		res, err = cover.DominatorGreedyDSContext(ctx, h, all, opt)
-	case 6:
-		res, err = cover.DominatorSetCoverContext(ctx, h, all, opt)
-	default:
-		return fmt.Errorf("unknown algorithm %d", *alg)
-	}
+	resp, err := eng.Do(ctx, &engine.Request{Dominators: &engine.DominatorsRequest{Alg: *alg, Complete: *complete}})
 	if err != nil {
 		return err
 	}
+	dom := resp.Dominators
 	fmt.Fprintf(a.out, "dominator size %d, covers %.0f%% of %d vertices\n",
-		len(res.DomSet), 100*res.CoverageFraction(), res.TargetSize)
+		len(dom.Dominator), 100*dom.Coverage, dom.TargetSize)
 	fmt.Fprint(a.out, "members:")
-	for _, v := range res.DomSet {
-		fmt.Fprintf(a.out, " %s", h.VertexName(v))
+	for _, name := range dom.Dominator {
+		fmt.Fprintf(a.out, " %s", name)
 	}
 	fmt.Fprintln(a.out)
 	return nil
@@ -609,38 +605,23 @@ func (a *App) cmdClassify(ctx context.Context, args []string) error {
 		}
 	}
 	train := model.Table
-	var err error
-	all := make([]int, train.NumAttrs())
-	for i := range all {
-		all[i] = i
-	}
-	opt := cover.Options{Enhancement1: true, Enhancement2: true}
-	var res *cover.Result
-	switch *alg {
-	case 5:
-		res, err = cover.DominatorGreedyDSContext(ctx, model.H, all, opt)
-	case 6:
-		res, err = cover.DominatorSetCoverContext(ctx, model.H, all, opt)
-	default:
-		return fmt.Errorf("unknown algorithm %d", *alg)
-	}
+	eng, err := engine.New(model, engine.Options{})
 	if err != nil {
 		return err
 	}
-	inDom := map[int]bool{}
-	for _, v := range res.DomSet {
-		inDom[v] = true
+	spec := engine.DomSpec{Algorithm: *alg, Enhancement1: true, Enhancement2: true}
+	res, err := eng.Dominator(ctx, spec)
+	if err != nil {
+		return err
 	}
-	var targets []int
-	for v, cov := range res.Covered {
-		if cov && !inDom[v] {
-			targets = append(targets, v)
-		}
+	targets, err := eng.TargetsFor(ctx, spec)
+	if err != nil {
+		return err
 	}
 	if len(targets) == 0 {
 		return fmt.Errorf("dominator covers no targets; nothing to classify")
 	}
-	abc, err := classify.NewABC(model, res.DomSet, targets)
+	abc, err := eng.ClassifierFor(ctx, spec)
 	if err != nil {
 		return err
 	}
@@ -691,14 +672,27 @@ func (a *App) cmdRules(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
-	rules, err := core.MineRulesContext(ctx, model, head, core.MineOptions{
-		MinSupport:    *minSupp,
-		MinConfidence: *minConf,
-		MaxRules:      *top,
-	})
+	eng, err := engine.New(model, engine.Options{})
 	if err != nil {
 		return err
 	}
+	// The v1 flag contract: -top <= 0 means unlimited (MineOptions'
+	// zero value), while RulesRequest maps Top 0 to the serving
+	// default of 10 — so translate explicitly.
+	reqTop := *top
+	if reqTop <= 0 {
+		reqTop = int(^uint(0) >> 1)
+	}
+	resp, err := eng.Do(ctx, &engine.Request{Rules: &engine.RulesRequest{
+		Head:          *node,
+		Top:           reqTop,
+		MinSupport:    *minSupp,
+		MinConfidence: *minConf,
+	}})
+	if err != nil {
+		return err
+	}
+	rules := resp.Rules.Rules
 	if len(rules) == 0 {
 		fmt.Fprintln(a.out, "no rules passed the thresholds")
 		return nil
@@ -706,7 +700,7 @@ func (a *App) cmdRules(ctx context.Context, args []string) error {
 	fmt.Fprintf(a.out, "top %d rules for %s (supp >= %.2f, conf >= %.2f):\n", len(rules), *node, *minSupp, *minConf)
 	for _, r := range rules {
 		fmt.Fprintf(a.out, "  %-40s supp=%.3f conf=%.3f lift=%.2f\n",
-			core.FormatRule(tb, r.Rule), r.Support, r.Confidence, r.Lift)
+			r.Rule, r.Support, r.Confidence, r.Lift)
 	}
 	return nil
 }

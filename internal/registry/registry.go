@@ -1,8 +1,17 @@
 // Package registry implements the serving-side model registry of the
-// hypermined daemon: a set of named, immutable, fully prepared models
-// (association hypergraph + dominator + prebuilt classifier and
-// predictor pool + cached similarity graph) with lock-free reads,
-// atomic hot swap, and LRU eviction bounded by resident edge count.
+// hypermined daemon: a set of named, immutable served models with
+// lock-free reads, atomic hot swap, and LRU eviction bounded by
+// resident cost.
+//
+// Since the engine redesign, a Served is a thin lifecycle wrapper
+// around an engine.Engine: the registry contributes naming, hot swap,
+// refcounting, and eviction, while every derived artifact (dominator,
+// classifier + predictor pool, similarity graph, rule cache) lives in
+// the Engine and is built lazily on first use — loading a model that
+// will only ever answer rules queries no longer pays for the
+// similarity graph and classifier. The pre-engine "fully prepared at
+// load" behavior is available as an opt-in warmup policy
+// (Options.Warmup, engine.WarmupAll).
 //
 // Concurrency model. Every name maps to an entry holding an
 // atomic.Pointer[Served]. Readers Acquire (pointer load + refcount
@@ -10,15 +19,14 @@
 // Admin operations (Load, Remove) take the registry mutex, publish a
 // new Served with a single pointer store, then drain the old one:
 // mark it retired and wait for in-flight readers to finish. Because a
-// Served is immutable after construction, a reader that raced a swap
-// can safely finish its query on the retired model; Acquire never
-// returns a retired model, so the drain terminates.
+// Served's engine memoizes immutable artifacts, a reader that raced a
+// swap can safely finish its query on the retired model; Acquire
+// never returns a retired model, so the drain terminates.
 package registry
 
 import (
 	"context"
 	"errors"
-	"fmt"
 	"runtime"
 	"sort"
 	"sync"
@@ -28,33 +36,36 @@ import (
 	"hypermine/internal/classify"
 	"hypermine/internal/core"
 	"hypermine/internal/cover"
+	"hypermine/internal/engine"
 	"hypermine/internal/similarity"
 )
 
 // Options tunes a Registry.
 type Options struct {
-	// MaxResidentEdges bounds the total hyperedge count of resident
-	// models; 0 means unlimited. When a Load pushes the total over the
-	// bound, least-recently-used models are evicted (never the one
-	// being loaded) until the total fits or nothing else remains.
+	// MaxResidentEdges bounds the total resident cost of loaded
+	// models, in edge-equivalent units: each model is charged its
+	// hyperedge count plus the converted size of every derived
+	// artifact its engine has built (similarity matrix, classifier,
+	// rule cache — see engine.Engine.ResidentCost). 0 means unlimited.
+	// When a Load pushes the total over the bound, least-recently-used
+	// models are evicted (never the one being loaded) until the total
+	// fits or nothing else remains.
 	MaxResidentEdges int
+	// Warmup selects which derived artifacts Load builds eagerly
+	// before publishing. The zero value keeps models fully lazy;
+	// engine.WarmupAll restores the pre-engine prepare-everything
+	// behavior for latency-critical serving.
+	Warmup engine.Warmup
 }
 
-// Served is one fully prepared, immutable serving model. All fields
-// are computed at Load time so the steady-state query path never
-// builds anything: the dominator, the classifier with its association
-// tables, and the complete similarity graph are ready before the model
-// becomes visible to readers.
+// Served is one immutable serving model: an engine.Engine plus the
+// registry's lifecycle state (name, generation, refcount, retirement).
+// Derived-artifact accessors delegate to the engine and build lazily;
+// they are safe from any number of goroutines.
 type Served struct {
 	name     string
 	gen      int64 // registry-wide load generation, for observability
-	model    *core.Model
-	dom      *cover.Result
-	targets  []int
-	abc      *classify.ABC // nil when classification is unavailable
-	abcErr   error         // why, when abc is nil
-	sim      *similarity.Graph
-	pool     sync.Pool // *classify.Predictor, only when abc != nil
+	eng      *engine.Engine
 	loadedAt time.Time
 	refs     atomic.Int64
 	retired  atomic.Bool
@@ -68,31 +79,53 @@ func (s *Served) Name() string { return s.name }
 // (monotonically increasing across Loads; a reload bumps it).
 func (s *Served) Generation() int64 { return s.gen }
 
+// Engine returns the prepared-model query engine. All query traffic
+// should go through it (Engine.Do or the typed methods).
+func (s *Served) Engine() *engine.Engine { return s.eng }
+
 // Model returns the underlying immutable model.
-func (s *Served) Model() *core.Model { return s.model }
+func (s *Served) Model() *core.Model { return s.eng.Model() }
 
 // LoadedAt returns when the model was published.
 func (s *Served) LoadedAt() time.Time { return s.loadedAt }
 
-// Dominator returns the serving dominator result.
-func (s *Served) Dominator() *cover.Result { return s.dom }
-
-// Targets returns the classifiable target attributes (covered by the
-// dominator, not inside it), in ascending order.
-func (s *Served) Targets() []int { return s.targets }
-
-// Classifier returns the prebuilt ABC, or an error explaining why
-// classification is unavailable on this model (row-less snapshot, or
-// a dominator covering no targets).
-func (s *Served) Classifier() (*classify.ABC, error) {
-	if s.abc == nil {
-		return nil, s.abcErr
+// Dominator returns the serving dominator result, building it on
+// first use; nil only if the build failed.
+func (s *Served) Dominator() *cover.Result {
+	res, err := s.eng.Dominator(context.Background(), engine.DefaultDomSpec())
+	if err != nil {
+		return nil
 	}
-	return s.abc, nil
+	return res
 }
 
-// SimilarityGraph returns the cached all-vertices similarity graph.
-func (s *Served) SimilarityGraph() *similarity.Graph { return s.sim }
+// Targets returns the classifiable target attributes (covered by the
+// dominator, not inside it), in ascending order; nil if derivation
+// failed.
+func (s *Served) Targets() []int {
+	targets, err := s.eng.Targets(context.Background())
+	if err != nil {
+		return nil
+	}
+	return targets
+}
+
+// Classifier returns the prepared ABC, building it on first use, or
+// an error explaining why classification is unavailable on this model
+// (row-less snapshot, or a dominator covering no targets).
+func (s *Served) Classifier() (*classify.ABC, error) {
+	return s.eng.Classifier(context.Background())
+}
+
+// SimilarityGraph returns the all-vertices similarity graph, building
+// it on first use; nil only if the build failed.
+func (s *Served) SimilarityGraph() *similarity.Graph {
+	g, err := s.eng.SimilarityGraph(context.Background())
+	if err != nil {
+		return nil
+	}
+	return g
+}
 
 // Queries returns how many queries have been counted on this model.
 func (s *Served) Queries() int64 { return s.queries.Load() }
@@ -100,21 +133,16 @@ func (s *Served) Queries() int64 { return s.queries.Load() }
 // CountQuery increments the model's query counter.
 func (s *Served) CountQuery() { s.queries.Add(1) }
 
-// BorrowPredictor takes a scratch-reusing predictor from the pool;
-// pair with ReturnPredictor. The steady-state borrow performs no heap
-// allocation once the pool is warm.
+// BorrowPredictor takes a scratch-reusing predictor from the engine's
+// pool; pair with ReturnPredictor. The steady-state borrow performs no
+// heap allocation once the pool is warm.
 func (s *Served) BorrowPredictor() (*classify.Predictor, error) {
-	if s.abc == nil {
-		return nil, s.abcErr
-	}
-	return s.pool.Get().(*classify.Predictor), nil
+	return s.eng.BorrowPredictor(context.Background())
 }
 
 // ReturnPredictor puts a borrowed predictor back in the pool.
 func (s *Served) ReturnPredictor(p *classify.Predictor) {
-	if p != nil {
-		s.pool.Put(p)
-	}
+	s.eng.ReturnPredictor(context.Background(), p)
 }
 
 // Release ends an Acquire. The Served must not be used afterwards.
@@ -142,68 +170,30 @@ func New(opt Options) *Registry {
 	return &Registry{opt: opt, entries: make(map[string]*entry)}
 }
 
-// buildServed prepares a Served outside any lock: dominator (Algorithm
-// 6 with both enhancements, matching hypermine.LeadingIndicators —
-// the enhancements are a deliberate serving-side policy here, not a
-// silently mutated caller option), classifier over the covered
-// targets, and the similarity graph. Cancelling ctx aborts the
-// preparation promptly with nothing published.
+// buildServed wraps a model in an Engine outside any lock and applies
+// the configured warmup policy. Cancelling ctx aborts the warmup
+// promptly with nothing published; with a lazy policy the only ctx
+// sensitivity is the explicit check (wrapping a model is cheap).
 func (r *Registry) buildServed(ctx context.Context, name string, m *core.Model) (*Served, error) {
 	if m == nil || m.H == nil || m.Table == nil {
 		return nil, errors.New("registry: nil model")
 	}
-	n := m.H.NumVertices()
-	all := make([]int, n)
-	for i := range all {
-		all[i] = i
-	}
-	dom, err := cover.DominatorSetCoverContext(ctx, m.H, all, cover.Options{Enhancement1: true, Enhancement2: true})
+	eng, err := engine.New(m, engine.Options{})
 	if err != nil {
-		return nil, fmt.Errorf("registry: dominator for %q: %w", name, err)
-	}
-	inDom := make([]bool, n)
-	for _, v := range dom.DomSet {
-		inDom[v] = true
-	}
-	var targets []int
-	for v, cov := range dom.Covered {
-		if cov && !inDom[v] {
-			targets = append(targets, v)
-		}
-	}
-	sort.Ints(targets)
-
-	sim, err := similarity.BuildGraphContext(ctx, m.H, all, similarity.GraphOptions{})
-	if err != nil {
-		return nil, fmt.Errorf("registry: similarity graph for %q: %w", name, err)
+		return nil, err
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-
-	s := &Served{
+	if err := eng.Warmup(ctx, r.opt.Warmup); err != nil {
+		return nil, err
+	}
+	return &Served{
 		name:     name,
 		gen:      r.gen.Add(1),
-		model:    m,
-		dom:      dom,
-		targets:  targets,
-		sim:      sim,
+		eng:      eng,
 		loadedAt: time.Now(),
-	}
-	switch {
-	case m.RequireRows() != nil:
-		s.abcErr = fmt.Errorf("registry: model %q cannot classify: %w", name, m.RequireRows())
-	case len(targets) == 0:
-		s.abcErr = fmt.Errorf("registry: model %q cannot classify: dominator covers no targets", name)
-	default:
-		abc, err := classify.NewABC(m, dom.DomSet, targets)
-		if err != nil {
-			return nil, fmt.Errorf("registry: classifier for %q: %w", name, err)
-		}
-		s.abc = abc
-		s.pool.New = func() any { return abc.NewPredictor() }
-	}
-	return s, nil
+	}, nil
 }
 
 // LoadInfo reports the outcome of a Load.
@@ -219,21 +209,19 @@ type LoadInfo struct {
 }
 
 // Load publishes a model under a name, hot-swapping any previous model
-// with the same name. The new model is fully prepared before it
-// becomes visible, so readers never observe a partially built model;
-// the old model is drained (all in-flight requests finished) before
-// Load returns. Load also enforces the resident-edge bound, evicting
-// least-recently-used other models as needed.
+// with the same name. The old model is drained (all in-flight requests
+// finished) before Load returns. Load also enforces the resident-cost
+// bound, evicting least-recently-used other models as needed.
 func (r *Registry) Load(name string, m *core.Model) (*LoadInfo, error) {
 	return r.LoadContext(context.Background(), name, m)
 }
 
-// LoadContext is Load under a context: the expensive preparation
-// (dominator, similarity graph, classifier) aborts promptly with
-// ctx.Err() and nothing published when ctx is canceled — an aborted
-// snapshot upload stops burning CPU. The publish/drain step after a
-// successful preparation is not interruptible: once the swap happens
-// it completes, keeping the registry consistent.
+// LoadContext is Load under a context: warmup preparation (when
+// configured) aborts promptly with ctx.Err() and nothing published
+// when ctx is canceled — an aborted snapshot upload stops burning CPU.
+// The publish/drain step after a successful preparation is not
+// interruptible: once the swap happens it completes, keeping the
+// registry consistent.
 func (r *Registry) LoadContext(ctx context.Context, name string, m *core.Model) (*LoadInfo, error) {
 	if name == "" {
 		return nil, errors.New("registry: empty model name")
@@ -266,16 +254,17 @@ func (r *Registry) LoadContext(ctx context.Context, name string, m *core.Model) 
 	return info, nil
 }
 
-// evictOverBoundLocked enforces MaxResidentEdges, never evicting the
-// model named keep. It returns the evicted names in eviction order and
-// the Served values to drain once the lock is dropped.
+// evictOverBoundLocked enforces MaxResidentEdges against the true
+// resident cost (model edges plus built derived artifacts), never
+// evicting the model named keep. It returns the evicted names in
+// eviction order and the Served values to drain once the lock drops.
 func (r *Registry) evictOverBoundLocked(keep string) ([]string, []*Served) {
 	if r.opt.MaxResidentEdges <= 0 {
 		return nil, nil
 	}
 	var names []string
 	var drains []*Served
-	for r.residentEdgesLocked() > r.opt.MaxResidentEdges {
+	for r.residentCostLocked() > int64(r.opt.MaxResidentEdges) {
 		victim, vs := "", (*Served)(nil)
 		var oldest int64
 		for name, e := range r.entries {
@@ -304,11 +293,15 @@ func (r *Registry) evictOverBoundLocked(keep string) ([]string, []*Served) {
 	return names, drains
 }
 
-func (r *Registry) residentEdgesLocked() int {
-	total := 0
+// residentCostLocked sums the true resident cost of every loaded
+// model: hyperedges plus derived-artifact charges from each engine.
+// Lazily built artifacts (a similarity graph someone queried, a grown
+// rule cache) are therefore visible to the eviction bound.
+func (r *Registry) residentCostLocked() int64 {
+	var total int64
 	for _, e := range r.entries {
 		if s := e.cur.Load(); s != nil {
-			total += s.model.H.NumEdges()
+			total += s.eng.ResidentCost()
 		}
 	}
 	return total
@@ -408,20 +401,23 @@ func (r *Registry) Names() []string {
 
 // ModelStats describes one resident model for /stats.
 type ModelStats struct {
-	Name        string    `json:"name"`
-	Generation  int64     `json:"generation"`
-	Edges       int       `json:"edges"`
-	Attrs       int       `json:"attrs"`
-	Rows        int       `json:"rows"`
-	RowsOmitted bool      `json:"rows_omitted,omitempty"`
-	Queries     int64     `json:"queries"`
-	LoadedAt    time.Time `json:"loaded_at"`
+	Name        string       `json:"name"`
+	Generation  int64        `json:"generation"`
+	Edges       int          `json:"edges"`
+	Attrs       int          `json:"attrs"`
+	Rows        int          `json:"rows"`
+	RowsOmitted bool         `json:"rows_omitted,omitempty"`
+	Queries     int64        `json:"queries"`
+	LoadedAt    time.Time    `json:"loaded_at"`
+	Cost        int64        `json:"resident_cost"`
+	Engine      engine.Stats `json:"engine"`
 }
 
 // Stats is a point-in-time registry summary.
 type Stats struct {
 	Models        []ModelStats `json:"models"`
 	ResidentEdges int          `json:"resident_edges"`
+	ResidentCost  int64        `json:"resident_cost"`
 	MaxEdges      int          `json:"max_resident_edges,omitempty"`
 	Swaps         int64        `json:"swaps"`
 	Evictions     int64        `json:"evictions"`
@@ -437,17 +433,21 @@ func (r *Registry) Stats() Stats {
 		if s == nil {
 			continue
 		}
+		m := s.Model()
 		st.Models = append(st.Models, ModelStats{
 			Name:        name,
 			Generation:  s.gen,
-			Edges:       s.model.H.NumEdges(),
-			Attrs:       s.model.Table.NumAttrs(),
-			Rows:        s.model.Table.NumRows(),
-			RowsOmitted: s.model.RowsOmitted,
+			Edges:       m.H.NumEdges(),
+			Attrs:       m.Table.NumAttrs(),
+			Rows:        m.Table.NumRows(),
+			RowsOmitted: m.RowsOmitted,
 			Queries:     s.queries.Load(),
 			LoadedAt:    s.loadedAt,
+			Cost:        s.eng.ResidentCost(),
+			Engine:      s.eng.Stats(),
 		})
-		st.ResidentEdges += s.model.H.NumEdges()
+		st.ResidentEdges += m.H.NumEdges()
+		st.ResidentCost += s.eng.ResidentCost()
 	}
 	sort.Slice(st.Models, func(i, j int) bool { return st.Models[i].Name < st.Models[j].Name })
 	return st

@@ -2,6 +2,7 @@ package registry
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -11,6 +12,7 @@ import (
 	"time"
 
 	"hypermine/internal/core"
+	"hypermine/internal/engine"
 	"hypermine/internal/table"
 )
 
@@ -430,5 +432,98 @@ func TestPeekDoesNotBumpLRU(t *testing.T) {
 	}
 	if len(info.Evicted) != 1 || info.Evicted[0] != "a" {
 		t.Fatalf("evicted %v, want [a]: Peek must not refresh LRU", info.Evicted)
+	}
+}
+
+// TestLazyLoadThenWarmupPolicy: a default Load builds nothing; a
+// Warmup-configured registry prepares everything before publishing.
+func TestLazyLoadThenWarmupPolicy(t *testing.T) {
+	m := testModel(t, 401, 10, 300)
+
+	lazy := New(Options{})
+	if _, err := lazy.Load("m", m); err != nil {
+		t.Fatal(err)
+	}
+	s := lazy.Acquire("m")
+	st := s.Engine().Stats()
+	if st.SimilarityBuilds != 0 || st.DominatorBuilds != 0 || st.ClassifierBuilds != 0 {
+		t.Fatalf("lazy load prebuilt artifacts: %+v", st)
+	}
+	// First use builds, exactly once.
+	if s.SimilarityGraph() == nil {
+		t.Fatal("similarity graph unavailable")
+	}
+	if got := s.Engine().Stats().SimilarityBuilds; got != 1 {
+		t.Fatalf("similarity builds %d, want 1", got)
+	}
+	s.Release()
+
+	eager := New(Options{Warmup: engine.WarmupAll})
+	if _, err := eager.Load("m", m); err != nil {
+		t.Fatal(err)
+	}
+	s = eager.Acquire("m")
+	st = s.Engine().Stats()
+	if st.SimilarityBuilds != 1 || st.DominatorBuilds != 1 || st.ClassifierBuilds != 1 || st.IndexBuilds != 1 {
+		t.Fatalf("warmup did not prepare everything: %+v", st)
+	}
+	s.Release()
+}
+
+// TestEvictionSeesDerivedArtifactCost: a model whose engine lazily
+// built heavy artifacts after load must be charged for them — loading
+// another model then trips the bound even though bare edge counts
+// would all fit.
+func TestEvictionSeesDerivedArtifactCost(t *testing.T) {
+	m1 := testModel(t, 402, 10, 300)
+	m2 := testModel(t, 403, 10, 300)
+	m3 := testModel(t, 404, 10, 300)
+
+	// Generous slack above the bare edge totals: all three models fit
+	// while nothing derived is resident.
+	bound := m1.H.NumEdges() + m2.H.NumEdges() + m3.H.NumEdges() + 50
+	r := New(Options{MaxResidentEdges: bound})
+	if _, err := r.Load("m1", m1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Load("m2", m2); err != nil {
+		t.Fatal(err)
+	}
+
+	// Queries against m1 build its similarity graph, classifier, and a
+	// few rule-cache entries; m2 is touched afterwards so m1 is LRU.
+	s := r.Acquire("m1")
+	if s.SimilarityGraph() == nil {
+		t.Fatal("similarity graph unavailable")
+	}
+	if _, err := s.Classifier(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Engine().Rules(context.Background(), 0, core.MineOptions{MaxRules: 10}); err != nil {
+		t.Fatal(err)
+	}
+	grown := s.Engine().ResidentCost()
+	if grown <= int64(m1.H.NumEdges()) {
+		t.Fatalf("derived artifacts not charged: cost %d <= edges %d", grown, m1.H.NumEdges())
+	}
+	s.Release()
+	if s := r.Acquire("m2"); s != nil {
+		s.Release()
+	}
+
+	if grown+int64(m2.H.NumEdges())+int64(m3.H.NumEdges()) <= int64(bound) {
+		t.Fatalf("fixture too small to trip the bound: grown=%d bound=%d", grown, bound)
+	}
+	info, err := r.Load("m3", m3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(info.Evicted) == 0 || info.Evicted[0] != "m1" {
+		t.Fatalf("evicted %v, want m1 first: derived cost invisible to eviction", info.Evicted)
+	}
+
+	st := r.Stats()
+	if st.ResidentCost > int64(bound) {
+		t.Fatalf("resident cost %d still over bound %d", st.ResidentCost, bound)
 	}
 }

@@ -1,13 +1,16 @@
 // Package server implements the hypermined HTTP/JSON query API over a
-// registry of served models. Handlers are allocation-conscious: the
-// classification path borrows a scratch-reusing predictor from the
-// served model's pool, so steady-state queries allocate only for
-// request decode and response encode.
+// registry of served models. Every query handler is a thin transport
+// shim over the prepared-model engine: decode the request into a typed
+// engine.Request, run it through Engine.Do, encode the variant's
+// payload. HTTP clients and in-process Go callers therefore execute
+// identical query code, and the multiplexed :query endpoint serves
+// mixed batches (rules + similarity + classification) in one round
+// trip.
 //
 // Endpoints:
 //
 //	GET    /healthz                          liveness
-//	GET    /stats                            process + registry counters
+//	GET    /stats                            process + registry + engine counters
 //	GET    /v1/models                        list resident models
 //	GET    /v1/models/{name}                 model detail (schema, dominator, targets)
 //	PUT    /v1/models/{name}                 upload a binary snapshot (load or hot-swap)
@@ -17,6 +20,7 @@
 //	GET    /v1/models/{name}/dominators      the serving dominator
 //	POST   /v1/models/{name}/classify        classify one observation
 //	POST   /v1/models/{name}/classify:batch  classify many observations
+//	POST   /v1/models/{name}:query           typed engine.Request (incl. mixed batches)
 package server
 
 import (
@@ -26,21 +30,23 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
-	"sort"
 	"strconv"
+	"strings"
 	"sync/atomic"
 	"time"
 
-	"hypermine/internal/classify"
 	"hypermine/internal/core"
+	"hypermine/internal/engine"
 	"hypermine/internal/registry"
-	"hypermine/internal/similarity"
-	"hypermine/internal/table"
 )
 
 // maxSnapshotBytes bounds a PUT body (1 GiB — far beyond any model
 // this system mines, but finite).
 const maxSnapshotBytes = 1 << 30
+
+// maxQueryBytes bounds a :query body: even a large mixed batch of
+// typed requests is far under a megabyte.
+const maxQueryBytes = 8 << 20
 
 // StatusClientClosedRequest is the nginx 499 convention: the client
 // went away before the handler finished, so the in-flight work was
@@ -52,7 +58,7 @@ const StatusClientClosedRequest = 499
 
 // Server is the query API over a model registry. Handlers run under
 // the request context: a client disconnect or an expired query
-// deadline aborts rule mining, snapshot preparation, and batch
+// deadline aborts rule mining, lazy artifact builds, and batch
 // classification mid-flight instead of burning CPU on an answer
 // nobody will read.
 type Server struct {
@@ -97,6 +103,11 @@ func New(reg *registry.Registry, opts ...Option) *Server {
 	s.mux.HandleFunc("GET /v1/models/{name}/dominators", s.handleDominators)
 	s.mux.HandleFunc("POST /v1/models/{name}/classify", s.handleClassify)
 	s.mux.HandleFunc("POST /v1/models/{name}/classify:batch", s.handleClassifyBatch)
+	// ":query" is not a path segment of its own, so the ServeMux
+	// wildcard grammar cannot name it directly; a catch-all picks up
+	// "{name}:query" and rejects everything else. The literal
+	// patterns above are more specific and keep winning.
+	s.mux.HandleFunc("POST /v1/models/{rest...}", s.handleQuery)
 	return s
 }
 
@@ -154,9 +165,30 @@ func (s *Server) failCtx(w http.ResponseWriter, err error) bool {
 	return false
 }
 
+// failEngine maps an Engine.Do error onto HTTP: context outcomes keep
+// their 504/499 semantics, typed engine errors map by kind
+// (bad_request -> 400, unavailable -> 409), anything else is a 500.
+func (s *Server) failEngine(w http.ResponseWriter, err error) {
+	if s.failCtx(w, err) {
+		return
+	}
+	var ee *engine.Error
+	if errors.As(err, &ee) {
+		switch ee.Kind {
+		case engine.ErrBadRequest:
+			s.fail(w, http.StatusBadRequest, "%s", ee.Message)
+		case engine.ErrUnavailable:
+			s.fail(w, http.StatusConflict, "%s", ee.Message)
+		default:
+			s.fail(w, http.StatusInternalServerError, "%s", ee.Message)
+		}
+		return
+	}
+	s.fail(w, http.StatusInternalServerError, "%v", err)
+}
+
 // acquire resolves the named model or writes a 404.
-func (s *Server) acquire(w http.ResponseWriter, r *http.Request) *registry.Served {
-	name := r.PathValue("name")
+func (s *Server) acquire(w http.ResponseWriter, name string) *registry.Served {
 	sv := s.reg.Acquire(name)
 	if sv == nil {
 		s.fail(w, http.StatusNotFound, "unknown model %q", name)
@@ -165,6 +197,23 @@ func (s *Server) acquire(w http.ResponseWriter, r *http.Request) *registry.Serve
 	s.queries.Add(1)
 	sv.CountQuery()
 	return sv
+}
+
+// do routes one typed request through the named model's engine and
+// returns the response, handling 404/err reporting itself (nil means
+// "already written").
+func (s *Server) do(w http.ResponseWriter, r *http.Request, name string, req *engine.Request) *engine.Response {
+	sv := s.acquire(w, name)
+	if sv == nil {
+		return nil
+	}
+	defer sv.Release()
+	resp, err := sv.Engine().Do(r.Context(), req)
+	if err != nil {
+		s.failEngine(w, err)
+		return nil
+	}
+	return resp
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -217,7 +266,9 @@ func (s *Server) handleListModels(w http.ResponseWriter, r *http.Request) {
 		if sv == nil {
 			continue // evicted between Names and Peek
 		}
-		_, classifyErr := sv.Classifier()
+		// Classifiability without forcing the lazy build: a model that
+		// carries training rows can classify unless its dominator turns
+		// out to cover no targets; only report the cheap signal here.
 		out = append(out, modelSummary{
 			Name:       name,
 			Generation: sv.Generation(),
@@ -225,7 +276,7 @@ func (s *Server) handleListModels(w http.ResponseWriter, r *http.Request) {
 			Edges:      sv.Model().H.NumEdges(),
 			Rows:       sv.Model().Table.NumRows(),
 			K:          sv.Model().Table.K(),
-			Classify:   classifyErr == nil,
+			Classify:   sv.Model().RequireRows() == nil,
 		})
 		sv.Release()
 	}
@@ -241,13 +292,19 @@ type modelDetail struct {
 }
 
 func (s *Server) handleGetModel(w http.ResponseWriter, r *http.Request) {
-	sv := s.acquire(w, r)
+	sv := s.acquire(w, r.PathValue("name"))
 	if sv == nil {
 		return
 	}
 	defer sv.Release()
 	m := sv.Model()
-	_, classifyErr := sv.Classifier()
+	// The detail view names the serving dominator and targets, so it
+	// (lazily, once) builds them through the engine.
+	resp, err := sv.Engine().Do(r.Context(), &engine.Request{Dominators: &engine.DominatorsRequest{}})
+	if err != nil {
+		s.failEngine(w, err)
+		return
+	}
 	det := modelDetail{
 		modelSummary: modelSummary{
 			Name:       sv.Name(),
@@ -256,16 +313,17 @@ func (s *Server) handleGetModel(w http.ResponseWriter, r *http.Request) {
 			Edges:      m.H.NumEdges(),
 			Rows:       m.Table.NumRows(),
 			K:          m.Table.K(),
-			Classify:   classifyErr == nil,
+			// Classifiability without forcing the association tables to
+			// build on a metadata read: rows present and the dominator
+			// (already built above, under the request context) covering
+			// at least one target is exactly the unavailability
+			// condition the classifier records.
+			Classify: m.RequireRows() == nil && len(resp.Dominators.Targets) > 0,
 		},
-		Coverage: sv.Dominator().CoverageFraction(),
-		LoadedAt: sv.LoadedAt(),
-	}
-	for _, v := range sv.Dominator().DomSet {
-		det.Dominator = append(det.Dominator, m.H.VertexName(v))
-	}
-	for _, v := range sv.Targets() {
-		det.Targets = append(det.Targets, m.H.VertexName(v))
+		Dominator: resp.Dominators.Dominator,
+		Targets:   resp.Dominators.Targets,
+		Coverage:  resp.Dominators.Coverage,
+		LoadedAt:  sv.LoadedAt(),
 	}
 	s.writeJSON(w, http.StatusOK, det)
 }
@@ -319,321 +377,113 @@ func (s *Server) handleDeleteModel(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, map[string]string{"removed": name})
 }
 
-type ruleResponse struct {
-	Rule       string  `json:"rule"`
-	Support    float64 `json:"support"`
-	Confidence float64 `json:"confidence"`
-	Lift       float64 `json:"lift"`
-}
-
 func (s *Server) handleRules(w http.ResponseWriter, r *http.Request) {
-	sv := s.acquire(w, r)
-	if sv == nil {
-		return
-	}
-	defer sv.Release()
-	m := sv.Model()
-	headName := r.URL.Query().Get("head")
-	head := m.Table.AttrIndex(headName)
-	if head < 0 {
-		s.fail(w, http.StatusBadRequest, "unknown head attribute %q", headName)
-		return
-	}
-	opt := core.MineOptions{MaxRules: 10}
+	q := r.URL.Query()
+	req := engine.RulesRequest{Head: q.Get("head")}
 	var err error
-	if v := r.URL.Query().Get("top"); v != "" {
-		if opt.MaxRules, err = strconv.Atoi(v); err != nil || opt.MaxRules < 1 {
+	if v := q.Get("top"); v != "" {
+		if req.Top, err = strconv.Atoi(v); err != nil || req.Top < 1 {
 			s.fail(w, http.StatusBadRequest, "bad top %q", v)
 			return
 		}
 	}
-	if v := r.URL.Query().Get("min_support"); v != "" {
-		if opt.MinSupport, err = strconv.ParseFloat(v, 64); err != nil {
+	if v := q.Get("min_support"); v != "" {
+		if req.MinSupport, err = strconv.ParseFloat(v, 64); err != nil {
 			s.fail(w, http.StatusBadRequest, "bad min_support %q", v)
 			return
 		}
 	}
-	if v := r.URL.Query().Get("min_confidence"); v != "" {
-		if opt.MinConfidence, err = strconv.ParseFloat(v, 64); err != nil {
+	if v := q.Get("min_confidence"); v != "" {
+		if req.MinConfidence, err = strconv.ParseFloat(v, 64); err != nil {
 			s.fail(w, http.StatusBadRequest, "bad min_confidence %q", v)
 			return
 		}
 	}
-	// Rule mining rebuilds association tables from the training rows —
-	// the most expensive query this server runs — so it works under the
-	// request context: a disconnect or query deadline aborts it.
-	rules, err := core.MineRulesContext(r.Context(), m, head, opt)
-	if err != nil {
-		if s.failCtx(w, err) {
-			return
-		}
-		s.fail(w, http.StatusConflict, "%v", err)
+	resp := s.do(w, r, r.PathValue("name"), &engine.Request{Rules: &req})
+	if resp == nil {
 		return
 	}
-	out := make([]ruleResponse, len(rules))
-	for i, sr := range rules {
-		out[i] = ruleResponse{
-			Rule:       core.FormatRule(m.Table, sr.Rule),
-			Support:    sr.Support,
-			Confidence: sr.Confidence,
-			Lift:       sr.Lift,
-		}
-	}
-	s.writeJSON(w, http.StatusOK, map[string]any{"head": headName, "rules": out})
-}
-
-type similarPair struct {
-	A        string  `json:"a"`
-	B        string  `json:"b"`
-	InSim    float64 `json:"in_sim"`
-	OutSim   float64 `json:"out_sim"`
-	Distance float64 `json:"distance"`
-}
-
-type neighbor struct {
-	Name     string  `json:"name"`
-	Distance float64 `json:"distance"`
+	s.writeJSON(w, http.StatusOK, resp.Rules)
 }
 
 func (s *Server) handleSimilar(w http.ResponseWriter, r *http.Request) {
-	sv := s.acquire(w, r)
-	if sv == nil {
-		return
-	}
-	defer sv.Release()
-	h := sv.Model().H
 	q := r.URL.Query()
-	aName := q.Get("a")
-	a := h.Vertex(aName)
-	if a < 0 {
-		s.fail(w, http.StatusBadRequest, "unknown attribute %q", aName)
-		return
-	}
-	if bName := q.Get("b"); bName != "" {
-		b := h.Vertex(bName)
-		if b < 0 {
-			s.fail(w, http.StatusBadRequest, "unknown attribute %q", bName)
-			return
-		}
-		s.writeJSON(w, http.StatusOK, similarPair{
-			A:        aName,
-			B:        bName,
-			InSim:    similarity.InSim(h, a, b),
-			OutSim:   similarity.OutSim(h, a, b),
-			Distance: sv.SimilarityGraph().Dist(a, b),
-		})
-		return
-	}
-	top := 10
+	req := engine.SimilarRequest{A: q.Get("a"), B: q.Get("b")}
 	if v := q.Get("top"); v != "" {
 		var err error
-		if top, err = strconv.Atoi(v); err != nil || top < 1 {
+		if req.Top, err = strconv.Atoi(v); err != nil || req.Top < 1 {
 			s.fail(w, http.StatusBadRequest, "bad top %q", v)
 			return
 		}
 	}
-	// Ranking reads the cached similarity graph: no similarity math on
-	// the request path.
-	g := sv.SimilarityGraph()
-	neighbors := make([]neighbor, 0, h.NumVertices()-1)
-	for v := 0; v < h.NumVertices(); v++ {
-		if v == a {
-			continue
-		}
-		neighbors = append(neighbors, neighbor{Name: h.VertexName(v), Distance: g.Dist(a, v)})
+	resp := s.do(w, r, r.PathValue("name"), &engine.Request{Similar: &req})
+	if resp == nil {
+		return
 	}
-	sort.SliceStable(neighbors, func(i, j int) bool { return neighbors[i].Distance < neighbors[j].Distance })
-	if top < len(neighbors) {
-		neighbors = neighbors[:top]
-	}
-	s.writeJSON(w, http.StatusOK, map[string]any{"a": aName, "neighbors": neighbors})
+	s.writeJSON(w, http.StatusOK, resp.Similar)
 }
 
 func (s *Server) handleDominators(w http.ResponseWriter, r *http.Request) {
-	sv := s.acquire(w, r)
-	if sv == nil {
+	resp := s.do(w, r, r.PathValue("name"), &engine.Request{Dominators: &engine.DominatorsRequest{}})
+	if resp == nil {
 		return
 	}
-	defer sv.Release()
-	m := sv.Model()
-	res := sv.Dominator()
-	dom := make([]string, len(res.DomSet))
-	for i, v := range res.DomSet {
-		dom[i] = m.H.VertexName(v)
-	}
-	targets := make([]string, len(sv.Targets()))
-	for i, v := range sv.Targets() {
-		targets[i] = m.H.VertexName(v)
-	}
-	s.writeJSON(w, http.StatusOK, map[string]any{
-		"dominator":  dom,
-		"targets":    targets,
-		"coverage":   res.CoverageFraction(),
-		"iterations": res.Iterations,
-	})
-}
-
-type classifyRequest struct {
-	Target string         `json:"target"`
-	Values map[string]int `json:"values"`
-}
-
-type classifyResponse struct {
-	Target     string  `json:"target"`
-	Value      int     `json:"value"`
-	Confidence float64 `json:"confidence"`
-}
-
-// resolveClassify turns a classify request into (target id, dominator
-// values in Dominator() order). The caller has already established the
-// classifier is available.
-func resolveClassify(sv *registry.Served, abc *classify.ABC, req *classifyRequest) (int, []table.Value, error) {
-	m := sv.Model()
-	target, err := resolveTarget(sv, req.Target)
-	if err != nil {
-		return 0, nil, err
-	}
-	dom := abc.Dominator()
-	domVals := make([]table.Value, len(dom))
-	k := m.Table.K()
-	for i, a := range dom {
-		name := m.H.VertexName(a)
-		v, ok := req.Values[name]
-		if !ok {
-			return 0, nil, fmt.Errorf("missing value for dominator attribute %q", name)
-		}
-		if v < 1 || v > k {
-			return 0, nil, fmt.Errorf("value %d for %q outside 1..%d", v, name, k)
-		}
-		domVals[i] = table.Value(v)
-	}
-	return target, domVals, nil
+	s.writeJSON(w, http.StatusOK, resp.Dominators)
 }
 
 func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
-	sv := s.acquire(w, r)
-	if sv == nil {
-		return
-	}
-	defer sv.Release()
-	var req classifyRequest
+	var req engine.ClassifyRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		s.fail(w, http.StatusBadRequest, "body: %v", err)
 		return
 	}
-	abc, err := sv.Classifier()
-	if err != nil {
-		s.fail(w, http.StatusConflict, "%v", err)
+	req.Rows = nil // this endpoint is single-observation only
+	if req.Values == nil {
+		req.Values = map[string]int{}
+	}
+	resp := s.do(w, r, r.PathValue("name"), &engine.Request{Classify: &req})
+	if resp == nil {
 		return
 	}
-	target, domVals, err := resolveClassify(sv, abc, &req)
-	if err != nil {
-		s.fail(w, http.StatusBadRequest, "%v", err)
-		return
-	}
-	p, err := sv.BorrowPredictor()
-	if err != nil {
-		s.fail(w, http.StatusConflict, "%v", err)
-		return
-	}
-	v, conf, err := p.Predict(domVals, target)
-	sv.ReturnPredictor(p)
-	if err != nil {
-		s.fail(w, http.StatusInternalServerError, "%v", err)
-		return
-	}
-	s.writeJSON(w, http.StatusOK, classifyResponse{Target: req.Target, Value: int(v), Confidence: conf})
-}
-
-// resolveTarget maps a target attribute name to its id, requiring it
-// to be one of the model's classifiable targets — asking for a
-// dominator member or an uncovered attribute is a client error, not a
-// predictor fault.
-func resolveTarget(sv *registry.Served, name string) (int, error) {
-	target := sv.Model().Table.AttrIndex(name)
-	if target < 0 {
-		return 0, fmt.Errorf("unknown target attribute %q", name)
-	}
-	for _, t := range sv.Targets() {
-		if t == target {
-			return target, nil
-		}
-	}
-	return 0, fmt.Errorf("attribute %q is not a classifiable target (see the model's targets list)", name)
-}
-
-type classifyBatchRequest struct {
-	Target string  `json:"target"`
-	Rows   [][]int `json:"rows"`
-}
-
-type classifyBatchResponse struct {
-	Target      string    `json:"target"`
-	Values      []int     `json:"values"`
-	Confidences []float64 `json:"confidences"`
+	s.writeJSON(w, http.StatusOK, resp.Classify)
 }
 
 func (s *Server) handleClassifyBatch(w http.ResponseWriter, r *http.Request) {
-	sv := s.acquire(w, r)
-	if sv == nil {
-		return
-	}
-	defer sv.Release()
-	var req classifyBatchRequest
+	var req engine.ClassifyRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		s.fail(w, http.StatusBadRequest, "body: %v", err)
 		return
 	}
-	abc, err := sv.Classifier()
-	if err != nil {
-		s.fail(w, http.StatusConflict, "%v", err)
+	req.Values = nil // this endpoint is batch only
+	resp := s.do(w, r, r.PathValue("name"), &engine.Request{Classify: &req})
+	if resp == nil {
 		return
 	}
-	m := sv.Model()
-	target, err := resolveTarget(sv, req.Target)
-	if err != nil {
-		s.fail(w, http.StatusBadRequest, "%v", err)
+	s.writeJSON(w, http.StatusOK, resp.Classify)
+}
+
+// handleQuery serves POST /v1/models/{name}:query — the typed engine
+// request surface, including mixed batches. It is mounted on a
+// catch-all (":query" cannot be a ServeMux wildcard suffix), so it
+// rejects every other POST shape with 404.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	rest := r.PathValue("rest")
+	name, ok := strings.CutSuffix(rest, ":query")
+	if !ok || name == "" || strings.Contains(name, "/") {
+		s.fail(w, http.StatusNotFound, "no such endpoint %q", r.URL.Path)
 		return
 	}
-	dom := abc.Dominator()
-	if len(req.Rows) == 0 {
-		s.fail(w, http.StatusBadRequest, "empty rows")
+	var req engine.Request
+	body := http.MaxBytesReader(w, r.Body, maxQueryBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.fail(w, http.StatusBadRequest, "body: %v", err)
 		return
 	}
-	k := m.Table.K()
-	domVals := make([]table.Value, 0, len(req.Rows)*len(dom))
-	for i, row := range req.Rows {
-		if len(row) != len(dom) {
-			s.fail(w, http.StatusBadRequest, "row %d has %d values, want %d (dominator order)", i, len(row), len(dom))
-			return
-		}
-		for j, v := range row {
-			if v < 1 || v > k {
-				s.fail(w, http.StatusBadRequest, "row %d value %d for %q outside 1..%d", i, v, m.H.VertexName(dom[j]), k)
-				return
-			}
-			domVals = append(domVals, table.Value(v))
-		}
-	}
-	out := make([]table.Value, len(req.Rows))
-	conf := make([]float64, len(req.Rows))
-	p, err := sv.BorrowPredictor()
-	if err != nil {
-		s.fail(w, http.StatusConflict, "%v", err)
+	resp := s.do(w, r, name, &req)
+	if resp == nil {
 		return
-	}
-	err = p.PredictBatchContext(r.Context(), domVals, target, out, conf)
-	sv.ReturnPredictor(p)
-	if err != nil {
-		if s.failCtx(w, err) {
-			return
-		}
-		s.fail(w, http.StatusInternalServerError, "%v", err)
-		return
-	}
-	resp := classifyBatchResponse{Target: req.Target, Values: make([]int, len(out)), Confidences: conf}
-	for i, v := range out {
-		resp.Values[i] = int(v)
 	}
 	s.writeJSON(w, http.StatusOK, resp)
 }

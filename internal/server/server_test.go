@@ -101,6 +101,50 @@ func postJSON(t *testing.T, url string, body any, out any) int {
 	return resp.StatusCode
 }
 
+// The legacy wire shapes, pinned from the client's point of view: the
+// engine-backed handlers must keep serving exactly these fields.
+type classifyRequest struct {
+	Target string         `json:"target"`
+	Values map[string]int `json:"values"`
+}
+
+type classifyResponse struct {
+	Target     string  `json:"target"`
+	Value      int     `json:"value"`
+	Confidence float64 `json:"confidence"`
+}
+
+type classifyBatchRequest struct {
+	Target string  `json:"target"`
+	Rows   [][]int `json:"rows"`
+}
+
+type classifyBatchResponse struct {
+	Target      string    `json:"target"`
+	Values      []int     `json:"values"`
+	Confidences []float64 `json:"confidences"`
+}
+
+type similarPair struct {
+	A        string  `json:"a"`
+	B        string  `json:"b"`
+	InSim    float64 `json:"in_sim"`
+	OutSim   float64 `json:"out_sim"`
+	Distance float64 `json:"distance"`
+}
+
+type neighbor struct {
+	Name     string  `json:"name"`
+	Distance float64 `json:"distance"`
+}
+
+type ruleResponse struct {
+	Rule       string  `json:"rule"`
+	Support    float64 `json:"support"`
+	Confidence float64 `json:"confidence"`
+	Lift       float64 `json:"lift"`
+}
+
 func TestHealthzAndStats(t *testing.T) {
 	ts, _, _ := serving(t)
 	var health map[string]string
@@ -391,6 +435,106 @@ func TestClassifyAllocations(t *testing.T) {
 	})
 	if allocs > 0 {
 		t.Errorf("steady-state predict path allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// TestQueryBatchEndpoint: a mixed batch through /v1/models/{name}:query
+// must answer every sub-request exactly as the dedicated endpoints do.
+func TestQueryBatchEndpoint(t *testing.T) {
+	ts, reg, m := serving(t)
+	sv := reg.Acquire("demo")
+	abc, err := sv.Classifier()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dom := abc.Dominator()
+	target := m.H.VertexName(sv.Targets()[0])
+	sv.Release()
+
+	values := map[string]int{}
+	for j, a := range dom {
+		values[m.H.VertexName(a)] = 1 + j%3
+	}
+	a, b := m.H.VertexName(0), m.H.VertexName(1)
+	head := m.H.VertexName(5)
+	batch := map[string]any{
+		"batch": []map[string]any{
+			{"classify": map[string]any{"target": target, "values": values}},
+			{"similar": map[string]any{"a": a, "b": b}},
+			{"similar": map[string]any{"a": a, "top": 3}},
+			{"dominators": map[string]any{}},
+			{"rules": map[string]any{"head": head, "top": 5}},
+			{"classify": map[string]any{"target": "NOPE", "values": values}}, // fails alone
+		},
+	}
+	var got struct {
+		Batch []struct {
+			Classify   *classifyResponse `json:"classify"`
+			Similar    *json.RawMessage  `json:"similar"`
+			Dominators *json.RawMessage  `json:"dominators"`
+			Rules      *json.RawMessage  `json:"rules"`
+			Error      *struct {
+				Kind    string `json:"kind"`
+				Message string `json:"message"`
+			} `json:"error"`
+		} `json:"batch"`
+	}
+	if code := postJSON(t, ts.URL+"/v1/models/demo:query", batch, &got); code != 200 {
+		t.Fatalf(":query batch: code %d", code)
+	}
+	if len(got.Batch) != 6 {
+		t.Fatalf("batch answered %d items, want 6", len(got.Batch))
+	}
+
+	// Item 0 equals the dedicated classify endpoint byte-for-byte on
+	// its fields.
+	var single classifyResponse
+	if code := postJSON(t, ts.URL+"/v1/models/demo/classify",
+		classifyRequest{Target: target, Values: values}, &single); code != 200 {
+		t.Fatalf("classify: code %d", code)
+	}
+	if got.Batch[0].Classify == nil || *got.Batch[0].Classify != single {
+		t.Fatalf("batch classify %+v != endpoint %+v", got.Batch[0].Classify, single)
+	}
+
+	// Item 1 equals the pair endpoint.
+	var pair, batchPair similarPair
+	if code := getJSON(t, fmt.Sprintf("%s/v1/models/demo/similar?a=%s&b=%s", ts.URL, a, b), &pair); code != 200 {
+		t.Fatal("pair endpoint failed")
+	}
+	if err := json.Unmarshal(*got.Batch[1].Similar, &batchPair); err != nil {
+		t.Fatal(err)
+	}
+	if batchPair != pair {
+		t.Fatalf("batch pair %+v != endpoint %+v", batchPair, pair)
+	}
+
+	if got.Batch[2].Similar == nil || got.Batch[3].Dominators == nil || got.Batch[4].Rules == nil {
+		t.Fatalf("batch items missing payloads: %+v", got.Batch)
+	}
+	if got.Batch[5].Error == nil || got.Batch[5].Error.Kind != "bad_request" {
+		t.Fatalf("bad sub-request did not fail alone: %+v", got.Batch[5])
+	}
+
+	// Single (non-batch) typed requests work through :query too.
+	var one struct {
+		Dominators *json.RawMessage `json:"dominators"`
+	}
+	if code := postJSON(t, ts.URL+"/v1/models/demo:query",
+		map[string]any{"dominators": map[string]any{}}, &one); code != 200 || one.Dominators == nil {
+		t.Fatalf(":query single failed")
+	}
+
+	// Malformed shapes are rejected, not routed.
+	if code := postJSON(t, ts.URL+"/v1/models/demo:query", map[string]any{}, nil); code != 400 {
+		t.Fatalf("empty request: want 400")
+	}
+	if code := postJSON(t, ts.URL+"/v1/models/nope:query",
+		map[string]any{"dominators": map[string]any{}}, nil); code != 404 {
+		t.Fatalf("unknown model: want 404")
+	}
+	if code := postJSON(t, ts.URL+"/v1/models/demo:nope", map[string]any{}, nil); code != 404 {
+		t.Fatalf("bad suffix: want 404")
 	}
 }
 
