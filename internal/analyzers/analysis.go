@@ -1,0 +1,181 @@
+// Package analyzers implements hyperlint: a suite of custom static-
+// analysis passes that turn the repo's hard-won runtime invariants —
+// bounded-stride context polling, zero-allocation warm paths,
+// deterministic output ordering, no blocking under locks, typed
+// engine errors — into properties of the source tree, checked at
+// build time instead of sampled by tests.
+//
+// The package is deliberately self-contained: it mirrors the shape of
+// golang.org/x/tools/go/analysis (Analyzer, Pass, Diagnostic) on top
+// of the standard library's go/parser and go/types, because this
+// repository builds with no third-party dependencies. Packages are
+// loaded for analysis via `go list -export`, so type information for
+// dependencies comes from the toolchain's build cache exactly as it
+// does under `go vet`.
+//
+// The five passes (see their files for the precise rules):
+//
+//	ctxpoll  every exported ...Context function must consult its ctx
+//	         inside each working loop, and v1 shims must be pure
+//	         context.Background() pass-throughs
+//	noalloc  functions annotated //hyper:noalloc must contain no
+//	         allocating constructs on their warm path
+//	detout   map iteration order must never flow into JSON, HTTP, or
+//	         CLI output without an intervening sort
+//	locksafe no channel operation, network call, or sleep while a
+//	         sync.Mutex/RWMutex is held
+//	errkind  errors returned by Engine methods must carry a typed
+//	         kind, never a naked fmt.Errorf/errors.New
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Analyzer describes one analysis pass: a name for diagnostics, a doc
+// string, and the function that runs it over a single package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// Pass carries one type-checked package through an Analyzer.Run. It
+// mirrors golang.org/x/tools/go/analysis.Pass closely enough that the
+// passes could be ported to the real framework mechanically.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report receives each diagnostic as it is found.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding of a pass.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// All returns the full hyperlint suite in a stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		CtxPollAnalyzer,
+		NoAllocAnalyzer,
+		DetOutAnalyzer,
+		LockSafeAnalyzer,
+		ErrKindAnalyzer,
+	}
+}
+
+// Finding pairs a diagnostic with the pass and package that produced
+// it, positioned for printing.
+type Finding struct {
+	Analyzer string
+	PkgPath  string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: %s", f.Pos, f.Analyzer, f.Message)
+}
+
+// RunAnalyzers runs every analyzer over every package and returns the
+// findings sorted by position. A `//hyperlint:ignore <name>[,<name>]`
+// comment on the flagged line, or on the line directly above it,
+// suppresses that pass's findings there.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	var out []Finding
+	for _, pkg := range pkgs {
+		ignores := collectIgnores(pkg)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+			}
+			pass.Report = func(d Diagnostic) {
+				pos := pkg.Fset.Position(d.Pos)
+				if ignores[ignoreKey{pos.Filename, pos.Line, a.Name}] ||
+					ignores[ignoreKey{pos.Filename, pos.Line - 1, a.Name}] {
+					return
+				}
+				out = append(out, Finding{
+					Analyzer: a.Name,
+					PkgPath:  pkg.PkgPath,
+					Pos:      pos,
+					Message:  d.Message,
+				})
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.PkgPath, err)
+			}
+		}
+	}
+	sortFindings(out)
+	return out, nil
+}
+
+type ignoreKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+func collectIgnores(pkg *Package) map[ignoreKey]bool {
+	out := map[ignoreKey]bool{}
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "//hyperlint:ignore ")
+				if !ok {
+					continue
+				}
+				names, _, _ := strings.Cut(strings.TrimSpace(rest), " ")
+				pos := pkg.Fset.Position(c.Pos())
+				for _, name := range strings.Split(names, ",") {
+					out[ignoreKey{pos.Filename, pos.Line, name}] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+func sortFindings(fs []Finding) {
+	// Insertion sort keeps this file free of a sort import cycle worry
+	// and finding counts are tiny.
+	for i := 1; i < len(fs); i++ {
+		for j := i; j > 0 && lessFinding(fs[j], fs[j-1]); j-- {
+			fs[j], fs[j-1] = fs[j-1], fs[j]
+		}
+	}
+}
+
+func lessFinding(a, b Finding) bool {
+	if a.Pos.Filename != b.Pos.Filename {
+		return a.Pos.Filename < b.Pos.Filename
+	}
+	if a.Pos.Line != b.Pos.Line {
+		return a.Pos.Line < b.Pos.Line
+	}
+	if a.Pos.Column != b.Pos.Column {
+		return a.Pos.Column < b.Pos.Column
+	}
+	return a.Analyzer < b.Analyzer
+}

@@ -1,0 +1,149 @@
+package analyzers
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"testing"
+)
+
+// wantRe matches analysistest-style expectation comments in fixtures:
+//
+//	code here // want `regexp`
+//
+// Multiple want clauses on one line each expect one finding there.
+var wantRe = regexp.MustCompile("// want `([^`]*)`")
+
+// checkFixture loads testdata/src/<name>, runs one analyzer over it,
+// and diffs the findings against the fixture's `// want` comments:
+// every finding must match a want on its line, and every want must be
+// matched by exactly one finding. A fixture with no want comments
+// therefore asserts the analyzer stays silent.
+func checkFixture(t *testing.T, a *Analyzer, name string) {
+	t.Helper()
+	dir, err := filepath.Abs(filepath.Join("testdata", "src", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	modRoot, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := LoadDir(dir, modRoot)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", name, err)
+	}
+	findings, err := RunAnalyzers([]*Package{pkg}, []*Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, name, err)
+	}
+
+	type key struct {
+		file string
+		line int
+	}
+	wants := map[key][]*regexp.Regexp{}
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				for _, m := range wantRe.FindAllStringSubmatch(c.Text, -1) {
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("bad want regexp %q: %v", m[1], err)
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					k := key{filepath.Base(pos.Filename), pos.Line}
+					wants[k] = append(wants[k], re)
+				}
+			}
+		}
+	}
+
+	for _, f := range findings {
+		k := key{filepath.Base(f.Pos.Filename), f.Pos.Line}
+		matched := -1
+		for i, re := range wants[k] {
+			if re.MatchString(f.Message) {
+				matched = i
+				break
+			}
+		}
+		if matched < 0 {
+			t.Errorf("%s: unexpected finding: %s", name, f)
+			continue
+		}
+		wants[k] = append(wants[k][:matched], wants[k][matched+1:]...)
+	}
+	for k, res := range wants {
+		for _, re := range res {
+			t.Errorf("%s: %s:%d: expected finding matching %q, got none", name, k.file, k.line, re)
+		}
+	}
+}
+
+func TestCtxPollFixtures(t *testing.T) {
+	checkFixture(t, CtxPollAnalyzer, "ctxpoll_bad")
+	checkFixture(t, CtxPollAnalyzer, "ctxpoll_clean")
+}
+
+func TestNoAllocFixtures(t *testing.T) {
+	checkFixture(t, NoAllocAnalyzer, "noalloc_bad")
+	checkFixture(t, NoAllocAnalyzer, "noalloc_clean")
+}
+
+func TestDetOutFixtures(t *testing.T) {
+	checkFixture(t, DetOutAnalyzer, "detout_bad")
+	checkFixture(t, DetOutAnalyzer, "detout_clean")
+}
+
+func TestLockSafeFixtures(t *testing.T) {
+	checkFixture(t, LockSafeAnalyzer, "locksafe_bad")
+	checkFixture(t, LockSafeAnalyzer, "locksafe_clean")
+}
+
+func TestErrKindFixtures(t *testing.T) {
+	checkFixture(t, ErrKindAnalyzer, "errkind_bad")
+	checkFixture(t, ErrKindAnalyzer, "errkind_clean")
+}
+
+// TestFindingString pins the file:line:col: analyzer: message shape CI
+// greps for.
+func TestFindingString(t *testing.T) {
+	f := Finding{Analyzer: "noalloc", Message: "make allocates"}
+	f.Pos.Filename = "x.go"
+	f.Pos.Line = 3
+	f.Pos.Column = 7
+	got := f.String()
+	want := "x.go:3:7: noalloc: make allocates"
+	if got != want {
+		t.Fatalf("Finding.String() = %q, want %q", got, want)
+	}
+}
+
+// TestSortFindings pins the deterministic ordering of reported
+// findings (file, then line, then column, then analyzer).
+func TestSortFindings(t *testing.T) {
+	mk := func(file string, line, col int, a string) Finding {
+		var f Finding
+		f.Pos.Filename = file
+		f.Pos.Line = line
+		f.Pos.Column = col
+		f.Analyzer = a
+		return f
+	}
+	fs := []Finding{
+		mk("b.go", 1, 1, "noalloc"),
+		mk("a.go", 9, 2, "detout"),
+		mk("a.go", 9, 2, "ctxpoll"),
+		mk("a.go", 2, 5, "locksafe"),
+	}
+	sortFindings(fs)
+	var got string
+	for _, f := range fs {
+		got += fmt.Sprintf("%s:%d:%d:%s ", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer)
+	}
+	want := "a.go:2:5:locksafe a.go:9:2:ctxpoll a.go:9:2:detout b.go:1:1:noalloc "
+	if got != want {
+		t.Fatalf("sorted order = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,254 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CtxPollAnalyzer enforces the PR-4 cancellation contract:
+//
+//  1. Every exported function or method whose name ends in "Context"
+//     and takes a context.Context must bind the parameter to a name
+//     and consult it somewhere in its body.
+//  2. Every loop inside such a function that performs real work (calls
+//     a non-builtin function) must consult the context within the
+//     loop's subtree — directly (ctx.Err(), <-ctx.Done(), passing ctx
+//     to a callee), through a runopt.Checker (the bounded-stride
+//     poller), or by delegating each iteration to a ...Context callee.
+//     Loops bounded by a compile-time constant are exempt.
+//  3. Every exported v1 shim Foo whose package also declares
+//     FooContext (same receiver) must be a pure pass-through: a single
+//     return calling FooContext with context.Background() first.
+//
+// A `//hyperlint:ignore ctxpoll` comment on (or directly above) the
+// flagged line suppresses a finding.
+var CtxPollAnalyzer = &Analyzer{
+	Name: "ctxpoll",
+	Doc:  "exported ...Context functions must poll ctx in working loops; v1 shims must be pure context.Background() pass-throughs",
+	Run:  runCtxPoll,
+}
+
+func runCtxPoll(pass *Pass) error {
+	for _, file := range pass.Files {
+		// Index exported ...Context declarations for the shim check:
+		// key is "Recv.Name" so methods only pair within one receiver.
+		ctxFuncs := map[string]bool{}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || !fd.Name.IsExported() {
+				continue
+			}
+			if strings.HasSuffix(fd.Name.Name, "Context") {
+				ctxFuncs[recvTypeName(fd)+"."+fd.Name.Name] = true
+			}
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !fd.Name.IsExported() {
+				continue
+			}
+			if strings.HasSuffix(fd.Name.Name, "Context") {
+				checkCtxFunc(pass, fd)
+			} else if ctxFuncs[recvTypeName(fd)+"."+fd.Name.Name+"Context"] {
+				checkShim(pass, fd)
+			}
+		}
+	}
+	return nil
+}
+
+// ctxParam finds the context.Context parameter of fd, returning its
+// declaring ident (nil if unnamed) and whether one exists at all.
+func ctxParam(pass *Pass, fd *ast.FuncDecl) (*ast.Ident, bool) {
+	for _, field := range fd.Type.Params.List {
+		tv, ok := pass.TypesInfo.Types[field.Type]
+		if !ok || !isContextType(tv.Type) {
+			continue
+		}
+		for _, name := range field.Names {
+			if name.Name != "_" {
+				return name, true
+			}
+		}
+		return nil, true
+	}
+	return nil, false
+}
+
+func checkCtxFunc(pass *Pass, fd *ast.FuncDecl) {
+	ident, has := ctxParam(pass, fd)
+	if !has {
+		return // ...Context by name only; nothing to enforce
+	}
+	if ident == nil {
+		pass.Reportf(fd.Name.Pos(), "exported %s does not bind its context.Context parameter to a name", fd.Name.Name)
+		return
+	}
+	ctxObj := pass.TypesInfo.Defs[ident]
+	if !consultsCtx(pass, fd.Body, ctxObj) {
+		pass.Reportf(fd.Name.Pos(), "exported %s never consults its context", fd.Name.Name)
+		return
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		var body *ast.BlockStmt
+		switch loop := n.(type) {
+		case *ast.FuncLit:
+			// Worker/closure bodies have their own polling cadence
+			// (checked where they consult ctx); the per-loop rule
+			// covers the exported function's own loop structure.
+			return false
+		case *ast.ForStmt:
+			if constBoundedFor(pass, loop) {
+				return true
+			}
+			body = loop.Body
+		case *ast.RangeStmt:
+			body = loop.Body
+		default:
+			return true
+		}
+		if loopDoesWork(pass, body) && !consultsCtx(pass, body, ctxObj) {
+			pass.Reportf(n.Pos(), "loop in exported %s does work without consulting ctx (want ctx.Err(), <-ctx.Done(), a runopt.Checker tick, or a ...Context callee)", fd.Name.Name)
+		}
+		return true
+	})
+}
+
+// constBoundedFor reports whether the for loop's trip count is bounded
+// by a compile-time constant (for i := 0; i < 4; i++ { ... }).
+func constBoundedFor(pass *Pass, loop *ast.ForStmt) bool {
+	cond, ok := loop.Cond.(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	for _, side := range []ast.Expr{cond.X, cond.Y} {
+		if tv, ok := pass.TypesInfo.Types[side]; ok && tv.Value != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// loopDoesWork reports whether the loop body calls any non-builtin,
+// non-conversion function. Function-literal bodies are excluded: a
+// loop that only launches workers is not itself the hot path (the
+// workers' own loops are checked when they consult ctx — the consult
+// scan does descend into literals). Guard clauses — if-bodies ending
+// in return or panic, the shape of per-element validation — are cold
+// and do not make the loop "working" by themselves.
+func loopDoesWork(pass *Pass, body ast.Node) bool {
+	works := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if works {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.IfStmt:
+			if blockExits(n.Body) {
+				if n.Init != nil && loopDoesWork(pass, n.Init) {
+					works = true
+				}
+				if !works && loopDoesWork(pass, n.Cond) {
+					works = true
+				}
+				if !works && n.Else != nil && loopDoesWork(pass, n.Else) {
+					works = true
+				}
+				return false
+			}
+		case *ast.CallExpr:
+			if isConversion(pass.TypesInfo, n) {
+				return true
+			}
+			if _, lit := ast.Unparen(n.Fun).(*ast.FuncLit); lit {
+				return true // invoking a literal: its body is the worker's
+			}
+			if _, builtin := calleeObj(pass.TypesInfo, n).(*types.Builtin); builtin {
+				return true
+			}
+			works = true
+			return false
+		}
+		return true
+	})
+	return works
+}
+
+// consultsCtx reports whether the subtree consults the context: uses
+// the ctx object itself, touches a *runopt.Checker, or calls a
+// ...Context function.
+func consultsCtx(pass *Pass, node ast.Node, ctxObj types.Object) bool {
+	found := false
+	ast.Inspect(node, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.Ident:
+			if obj := pass.TypesInfo.Uses[n]; obj != nil {
+				if obj == ctxObj {
+					found = true
+				} else if v, ok := obj.(*types.Var); ok && isRunoptChecker(v.Type()) {
+					found = true
+				}
+			}
+		case *ast.CallExpr:
+			if fn, ok := calleeObj(pass.TypesInfo, n).(*types.Func); ok && strings.HasSuffix(fn.Name(), "Context") {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func isRunoptChecker(t types.Type) bool {
+	n := namedType(t)
+	if n == nil || n.Obj().Pkg() == nil || n.Obj().Name() != "Checker" {
+		return false
+	}
+	path := n.Obj().Pkg().Path()
+	return path == "runopt" || strings.HasSuffix(path, "/runopt")
+}
+
+// checkShim verifies that a v1 convenience function Foo with a
+// FooContext sibling is a pure pass-through.
+func checkShim(pass *Pass, fd *ast.FuncDecl) {
+	bad := func() {
+		pass.Reportf(fd.Name.Pos(), "%s has a %sContext sibling but is not a pure context.Background() pass-through to it", fd.Name.Name, fd.Name.Name)
+	}
+	if len(fd.Body.List) != 1 {
+		bad()
+		return
+	}
+	ret, ok := fd.Body.List[0].(*ast.ReturnStmt)
+	if !ok || len(ret.Results) != 1 {
+		bad()
+		return
+	}
+	call, ok := ast.Unparen(ret.Results[0]).(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		bad()
+		return
+	}
+	fn, ok := calleeObj(pass.TypesInfo, call).(*types.Func)
+	if !ok || fn.Name() != fd.Name.Name+"Context" {
+		bad()
+		return
+	}
+	if !isBackgroundCall(pass, call.Args[0]) {
+		bad()
+	}
+}
+
+func isBackgroundCall(pass *Pass, arg ast.Expr) bool {
+	call, ok := ast.Unparen(arg).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := calleeObj(pass.TypesInfo, call).(*types.Func)
+	return ok && fn.Name() == "Background" && isPkgFunc(fn, "context")
+}

@@ -1,0 +1,171 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// DetOutAnalyzer enforces cross-replica determinism of served output:
+// Go map iteration order is randomized, so no `for range` over a map
+// may flow into a JSON encoder, an http.ResponseWriter, or CLI/stdout
+// formatting without an intervening sort.
+//
+// Two flows are flagged per map-range loop:
+//
+//  1. The loop body itself writes output (fmt print family,
+//     json.Encoder.Encode / json.Marshal, http.ResponseWriter or
+//     io.Writer method calls).
+//  2. The loop body builds an ordered collection (append to a slice,
+//     or indexed writes into a slice) and that slice is never passed
+//     to a sort.*/slices.Sort* call anywhere in the function.
+//
+// Order-insensitive uses of a map range — accumulating sums or counts,
+// filling another map or a set — are clean by construction and not
+// flagged.
+var DetOutAnalyzer = &Analyzer{
+	Name: "detout",
+	Doc:  "map iteration order must not reach JSON/HTTP/CLI output without a sort",
+	Run:  runDetOut,
+}
+
+func runDetOut(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkDetOut(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkDetOut(pass *Pass, fd *ast.FuncDecl) {
+	// Collect every expression that is sorted anywhere in the function
+	// (including inside closures), keyed textually.
+	sorted := map[string]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		obj := calleeObj(pass.TypesInfo, call)
+		if obj == nil {
+			return true
+		}
+		// sort.* / slices.* plus local helpers whose name says they
+		// sort (sortFloats, sortFrequent, ...).
+		if !(isPkgFunc(obj, "sort") || isPkgFunc(obj, "slices") ||
+			strings.Contains(strings.ToLower(obj.Name()), "sort")) {
+			return true
+		}
+		for _, arg := range call.Args {
+			if s := exprString(ast.Unparen(arg)); s != "" {
+				sorted[s] = true
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := pass.TypesInfo.Types[rng.X]
+		if !ok || !isMapType(tv.Type) {
+			return true
+		}
+		checkMapRange(pass, fd, rng, sorted)
+		return true
+	})
+}
+
+func checkMapRange(pass *Pass, fd *ast.FuncDecl, rng *ast.RangeStmt, sorted map[string]bool) {
+	info := pass.TypesInfo
+	reported := false
+	report := func(format string, args ...any) {
+		if !reported {
+			pass.Reportf(rng.Pos(), "map iteration in %s: "+format, append([]any{fd.Name.Name}, args...)...)
+			reported = true
+		}
+	}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if reported {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if why := outputCall(info, n); why != "" {
+				report("order flows into %s without an intervening sort", why)
+			}
+			if isBuiltin(info, n, "append") && len(n.Args) > 0 {
+				if s := exprString(ast.Unparen(n.Args[0])); s != "" && !sorted[s] {
+					report("order is appended to %q which is never sorted in this function", s)
+				}
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				ix, ok := ast.Unparen(lhs).(*ast.IndexExpr)
+				if !ok {
+					continue
+				}
+				tv, ok := info.Types[ix.X]
+				if !ok || !isSliceType(tv.Type) {
+					continue
+				}
+				if s := exprString(ast.Unparen(ix.X)); s != "" && !sorted[s] {
+					report("order is written into slice %q which is never sorted in this function", s)
+				}
+			}
+		}
+		return !reported
+	})
+}
+
+// outputCall classifies a call as output-producing: it returns a short
+// description when the call writes user-visible, order-sensitive
+// output, and "" otherwise.
+func outputCall(info *types.Info, call *ast.CallExpr) string {
+	obj := calleeObj(info, call)
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return ""
+	}
+	name := fn.Name()
+	if isPkgFunc(fn, "fmt") && (strings.HasPrefix(name, "Sprint") || name == "Errorf") {
+		return "" // building a string or error value is not output by itself
+	}
+	if isPkgFunc(fn, "fmt") {
+		return "fmt." + name
+	}
+	if isPkgFunc(fn, "encoding/json") && (name == "Marshal" || name == "MarshalIndent") {
+		return "json." + name
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		recv := sig.Recv().Type()
+		if isNamed(recv, "encoding/json", "Encoder") && name == "Encode" {
+			return "json.Encoder.Encode"
+		}
+		if isNamed(recv, "net/http", "ResponseWriter") || implementsResponseWriter(recv) {
+			return "http.ResponseWriter." + name
+		}
+	}
+	// A method named Write/WriteString on an io.Writer-ish receiver.
+	if name == "Write" || name == "WriteString" {
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			return "writer." + name
+		}
+	}
+	return ""
+}
+
+func implementsResponseWriter(t types.Type) bool {
+	n := namedType(t)
+	if n == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Pkg().Path() == "net/http" && n.Obj().Name() == "ResponseWriter"
+}

@@ -1,0 +1,79 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ErrKindAnalyzer enforces the typed-error contract of the Engine.Do
+// boundary: a method on a type named Engine that returns an error must
+// never return a naked fmt.Errorf(...) or errors.New(...) result
+// directly. Engine-authored failures must carry a typed kind (the
+// badf/unavailablef/internalf constructors producing *engine.Error);
+// pass-through of a callee's error (`return nil, err`) and context
+// errors (`return nil, ctx.Err()`) remain fine — the rule targets
+// errors this layer itself mints.
+var ErrKindAnalyzer = &Analyzer{
+	Name: "errkind",
+	Doc:  "Engine methods must return typed errors, never naked fmt.Errorf/errors.New",
+	Run:  runErrKind,
+}
+
+func runErrKind(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || recvTypeName(fd) != "Engine" {
+				continue
+			}
+			if !lastResultIsError(pass, fd) {
+				continue
+			}
+			checkErrKind(pass, fd)
+		}
+	}
+	return nil
+}
+
+func lastResultIsError(pass *Pass, fd *ast.FuncDecl) bool {
+	results := fd.Type.Results
+	if results == nil || len(results.List) == 0 {
+		return false
+	}
+	last := results.List[len(results.List)-1]
+	tv, ok := pass.TypesInfo.Types[last.Type]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	n := namedType(tv.Type)
+	return n != nil && n.Obj().Name() == "error" && n.Obj().Pkg() == nil
+}
+
+func checkErrKind(pass *Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // closures (memo builders) have their own boundary
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, res := range ret.Results {
+			call, ok := ast.Unparen(res).(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			fn, ok := calleeObj(pass.TypesInfo, call).(*types.Func)
+			if !ok {
+				continue
+			}
+			if isPkgFunc(fn, "fmt") && fn.Name() == "Errorf" {
+				pass.Reportf(res.Pos(), "Engine method %s returns a naked fmt.Errorf; mint a typed kind (badf/unavailablef/internalf) instead", fd.Name.Name)
+			}
+			if isPkgFunc(fn, "errors") && fn.Name() == "New" {
+				pass.Reportf(res.Pos(), "Engine method %s returns a naked errors.New; mint a typed kind (badf/unavailablef/internalf) instead", fd.Name.Name)
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,221 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LockSafeAnalyzer forbids blocking operations while a sync.Mutex or
+// sync.RWMutex is held: channel sends/receives, select statements,
+// time.Sleep, and calls into the net / net/http packages. Holding a
+// lock across any of these turns a slow peer (or a never-ready
+// channel) into a registry-wide or engine-wide stall.
+//
+// Tracking is per statement list with lexical ordering: a critical
+// region opens at `mu.Lock()` / `mu.RLock()` (or closes over the rest
+// of the function after `defer mu.Unlock()`) and closes at the
+// matching Unlock in the same or a nested list. Nested blocks inherit
+// a copy of the lock state, so a branch that unlocks before blocking
+// (the memo/singleflight pattern) is recognized as safe. Function
+// literal bodies are not scanned — a spawned goroutine does not hold
+// the caller's lock.
+var LockSafeAnalyzer = &Analyzer{
+	Name: "locksafe",
+	Doc:  "no channel operation, network call, or sleep while a sync mutex is held",
+	Run:  runLockSafe,
+}
+
+func runLockSafe(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			w := &lockWalker{pass: pass, fn: fd}
+			w.walkList(fd.Body.List, map[string]bool{})
+		}
+	}
+	return nil
+}
+
+type lockWalker struct {
+	pass *Pass
+	fn   *ast.FuncDecl
+}
+
+// walkList walks one statement list with the set of held mutexes
+// (keyed by receiver expression text). The map is owned by the caller;
+// nested control flow gets copies, so only straight-line Lock/Unlock
+// in the same list mutates the caller's view.
+func (w *lockWalker) walkList(list []ast.Stmt, held map[string]bool) {
+	for _, stmt := range list {
+		if mu, locks := lockCall(w.pass.TypesInfo, stmt); mu != "" {
+			if locks {
+				held[mu] = true
+			} else {
+				delete(held, mu)
+			}
+			continue
+		}
+		if len(held) > 0 {
+			w.scan(stmt, held)
+		}
+		w.recurse(stmt, held)
+	}
+}
+
+// recurse descends into nested statement lists with a copied state.
+func (w *lockWalker) recurse(stmt ast.Stmt, held map[string]bool) {
+	copyHeld := func() map[string]bool {
+		c := make(map[string]bool, len(held))
+		for k, v := range held {
+			c[k] = v
+		}
+		return c
+	}
+	switch s := stmt.(type) {
+	case *ast.BlockStmt:
+		w.walkList(s.List, copyHeld())
+	case *ast.IfStmt:
+		w.walkList(s.Body.List, copyHeld())
+		if s.Else != nil {
+			w.recurse(s.Else, held)
+		}
+	case *ast.ForStmt:
+		w.walkList(s.Body.List, copyHeld())
+	case *ast.RangeStmt:
+		w.walkList(s.Body.List, copyHeld())
+	case *ast.SwitchStmt:
+		for _, c := range s.Body.List {
+			w.walkList(c.(*ast.CaseClause).Body, copyHeld())
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			w.walkList(c.(*ast.CaseClause).Body, copyHeld())
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			w.walkList(c.(*ast.CommClause).Body, copyHeld())
+		}
+	case *ast.LabeledStmt:
+		w.recurse(s.Stmt, held)
+	}
+}
+
+// scan flags blocking operations in the statement, ignoring nested
+// statement lists (recurse handles those with unlock tracking) and
+// function literals.
+func (w *lockWalker) scan(stmt ast.Stmt, held map[string]bool) {
+	// Only inspect the statement's own expressions, not nested blocks:
+	// those are walked by recurse with their own lock state.
+	switch stmt.(type) {
+	case *ast.BlockStmt, *ast.IfStmt, *ast.ForStmt, *ast.RangeStmt,
+		*ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.LabeledStmt:
+		return
+	case *ast.SelectStmt:
+		w.reportLocked(stmt.Pos(), "select statement", held)
+		return
+	}
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SendStmt:
+			w.reportLocked(n.Pos(), "channel send", held)
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" {
+				w.reportLocked(n.Pos(), "channel receive", held)
+			}
+		case *ast.CallExpr:
+			if why := blockingCall(w.pass.TypesInfo, n); why != "" {
+				w.reportLocked(n.Pos(), why, held)
+			}
+		}
+		return true
+	})
+}
+
+func (w *lockWalker) reportLocked(pos token.Pos, what string, held map[string]bool) {
+	mu := ""
+	for k := range held {
+		if mu == "" || k < mu {
+			mu = k
+		}
+	}
+	w.pass.Reportf(pos, "%s in %s while %q is locked", what, w.fn.Name.Name, mu)
+}
+
+// blockingCall classifies a call as blocking-while-locked: network
+// I/O or a deliberate sleep.
+func blockingCall(info *types.Info, call *ast.CallExpr) string {
+	fn, ok := calleeObj(info, call).(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return ""
+	}
+	path := fn.Pkg().Path()
+	switch {
+	case path == "time" && fn.Name() == "Sleep":
+		return "time.Sleep"
+	case path == "net" || path == "net/http" || path == "net/rpc":
+		return path + "." + fn.Name() + " network call"
+	}
+	return ""
+}
+
+// lockCall recognizes a bare `x.Lock()` / `x.RLock()` statement (or
+// `defer x.Unlock()`, which keeps the lock held to function end and is
+// therefore treated as a no-op here) and returns the mutex expression
+// text plus whether it acquires. Unlock/RUnlock release.
+func lockCall(info *types.Info, stmt ast.Stmt) (mu string, locks bool) {
+	var call *ast.CallExpr
+	switch s := stmt.(type) {
+	case *ast.ExprStmt:
+		call, _ = s.X.(*ast.CallExpr)
+	case *ast.DeferStmt:
+		// defer mu.Unlock() holds the lock until return; the region
+		// stays open, so report it as a (no-op) lock of nothing.
+		if name, _, ok := mutexMethod(info, s.Call); ok && (name == "Unlock" || name == "RUnlock") {
+			return "", false
+		}
+		return "", false
+	}
+	if call == nil {
+		return "", false
+	}
+	name, recv, ok := mutexMethod(info, call)
+	if !ok {
+		return "", false
+	}
+	switch name {
+	case "Lock", "RLock":
+		return recv, true
+	case "Unlock", "RUnlock":
+		return recv, false
+	}
+	return "", false
+}
+
+// mutexMethod matches a method call on sync.Mutex/sync.RWMutex
+// (directly or through an embedded field) and returns the method name
+// and receiver expression text.
+func mutexMethod(info *types.Info, call *ast.CallExpr) (name, recv string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	fn, isFn := calleeObj(info, call).(*types.Func)
+	if !isFn || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	sig, isSig := fn.Type().(*types.Signature)
+	if !isSig || sig.Recv() == nil {
+		return "", "", false
+	}
+	n := namedType(sig.Recv().Type())
+	if n == nil || (n.Obj().Name() != "Mutex" && n.Obj().Name() != "RWMutex") {
+		return "", "", false
+	}
+	return fn.Name(), exprString(sel.X), true
+}

@@ -1,0 +1,314 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// NoAllocAnalyzer enforces the //hyper:noalloc annotation: the warm
+// path of an annotated function must contain no allocating constructs.
+// Flagged on the warm path:
+//
+//   - string concatenation (+ / +=) and string<->[]byte/[]rune
+//     conversions
+//   - any call into package fmt
+//   - make, new, and append (growth allocates; annotated functions
+//     work in caller-provided or fixed-size scratch)
+//   - slice, map, and &composite literals
+//   - function literals that capture enclosing variables
+//   - go statements
+//   - boxing a non-pointer-shaped value into an interface parameter
+//
+// Cold branches are exempt: the body of an `if` whose block ends in a
+// return (or panic) is treated as an error/early-exit path — exactly
+// the guard-clause shape the AllocsPerRun pins never execute. This is
+// the same contract those tests sample at runtime, enforced at every
+// call site at compile time.
+var NoAllocAnalyzer = &Analyzer{
+	Name: "noalloc",
+	Doc:  "functions annotated //hyper:noalloc must not allocate on their warm path",
+	Run:  runNoAlloc,
+}
+
+// NoAllocDirective is the annotation comment that opts a function into
+// the check.
+const NoAllocDirective = "//hyper:noalloc"
+
+func runNoAlloc(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hasDirective(fd, NoAllocDirective) {
+				continue
+			}
+			checkNoAlloc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkNoAlloc(pass *Pass, fd *ast.FuncDecl) {
+	w := &noAllocWalker{pass: pass, fn: fd}
+	w.block(fd.Body)
+}
+
+type noAllocWalker struct {
+	pass *Pass
+	fn   *ast.FuncDecl
+}
+
+func (w *noAllocWalker) block(b *ast.BlockStmt) {
+	for _, stmt := range b.List {
+		w.stmt(stmt)
+	}
+}
+
+// stmt walks one statement, skipping the bodies of cold guard clauses.
+func (w *noAllocWalker) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.node(s.Init)
+		}
+		w.node(s.Cond)
+		if blockExits(s.Body) {
+			// Cold error/early-return branch: exempt.
+		} else {
+			w.block(s.Body)
+		}
+		if s.Else != nil {
+			w.stmt(s.Else)
+		}
+	case *ast.BlockStmt:
+		w.block(s)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.node(s.Init)
+		}
+		if s.Cond != nil {
+			w.node(s.Cond)
+		}
+		if s.Post != nil {
+			w.node(s.Post)
+		}
+		w.block(s.Body)
+	case *ast.RangeStmt:
+		w.node(s.X)
+		w.block(s.Body)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.node(s.Init)
+		}
+		if s.Tag != nil {
+			w.node(s.Tag)
+		}
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CaseClause)
+			for _, e := range cc.List {
+				w.node(e)
+			}
+			for _, st := range cc.Body {
+				w.stmt(st)
+			}
+		}
+	default:
+		w.node(s)
+	}
+}
+
+// blockExits reports whether the block's last statement leaves the
+// function (return or panic) — the guard-clause shape.
+func blockExits(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	switch last := b.List[len(b.List)-1].(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// node scans an arbitrary warm-path subtree for allocating constructs.
+func (w *noAllocWalker) node(n ast.Node) {
+	info := w.pass.TypesInfo
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isStringExpr(info, n.X) {
+				w.report(n.Pos(), "string concatenation allocates")
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isStringExpr(info, n.Lhs[0]) {
+				w.report(n.Pos(), "string += allocates")
+			}
+		case *ast.CallExpr:
+			w.call(n)
+		case *ast.CompositeLit:
+			tv, ok := info.Types[n]
+			if ok && (isSliceType(tv.Type) || isMapType(tv.Type)) {
+				w.report(n.Pos(), "slice/map literal allocates")
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					w.report(n.Pos(), "&composite literal allocates")
+				}
+			}
+		case *ast.FuncLit:
+			if capturesVariables(info, n) {
+				w.report(n.Pos(), "capturing closure allocates")
+			}
+			return false // don't double-report the literal's own body
+		case *ast.GoStmt:
+			w.report(n.Pos(), "go statement allocates a goroutine")
+		}
+		return true
+	})
+}
+
+func (w *noAllocWalker) call(call *ast.CallExpr) {
+	info := w.pass.TypesInfo
+	if isConversion(info, call) {
+		w.conversion(call)
+		return
+	}
+	obj := calleeObj(info, call)
+	if b, ok := obj.(*types.Builtin); ok {
+		switch b.Name() {
+		case "make":
+			w.report(call.Pos(), "make allocates")
+		case "new":
+			w.report(call.Pos(), "new allocates")
+		case "append":
+			w.report(call.Pos(), "append may grow and allocate")
+		}
+		return
+	}
+	if isPkgFunc(obj, "fmt") {
+		// One finding per fmt call; its variadic boxing is implied.
+		w.report(call.Pos(), "fmt.%s allocates", obj.Name())
+		return
+	}
+	w.boxedArgs(call)
+}
+
+// conversion flags string<->byte/rune slice conversions, which copy.
+func (w *noAllocWalker) conversion(call *ast.CallExpr) {
+	info := w.pass.TypesInfo
+	if len(call.Args) != 1 {
+		return
+	}
+	to := info.Types[call.Fun].Type
+	from := info.Types[call.Args[0]].Type
+	if to == nil || from == nil {
+		return
+	}
+	toStr, fromStr := isStringType(to), isStringType(from)
+	toSl, fromSl := isSliceType(to), isSliceType(from)
+	if (toStr && fromSl) || (fromStr && toSl) {
+		w.report(call.Pos(), "string<->slice conversion allocates")
+	}
+}
+
+// boxedArgs flags arguments whose concrete, non-pointer-shaped values
+// are boxed into interface parameters. Pointer-shaped kinds (pointers,
+// maps, channels, funcs, slices, interfaces, strings) do not allocate
+// on conversion.
+func (w *noAllocWalker) boxedArgs(call *ast.CallExpr) {
+	info := w.pass.TypesInfo
+	fn, ok := calleeObj(info, call).(*types.Func)
+	if !ok {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // s... passes the slice through
+			}
+			pt = params.At(params.Len() - 1).Type().Underlying().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if !types.IsInterface(pt) {
+			continue
+		}
+		at := info.Types[arg].Type
+		if at == nil || types.IsInterface(at) || pointerShaped(at) {
+			continue
+		}
+		if tv := info.Types[arg]; tv.Value != nil && tv.IsNil() {
+			continue
+		}
+		w.report(arg.Pos(), "boxing %s into interface parameter allocates", at.String())
+	}
+}
+
+func pointerShaped(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Map, *types.Chan, *types.Signature, *types.Slice:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.String || u.Kind() == types.UnsafePointer || u.Kind() == types.UntypedNil
+	}
+	return false
+}
+
+func isStringExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.Type != nil && isStringType(tv.Type)
+}
+
+func isStringType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// capturesVariables reports whether the function literal references
+// variables declared outside itself (package-level state excluded:
+// referencing a global does not force a heap closure).
+func capturesVariables(info *types.Info, lit *ast.FuncLit) bool {
+	captured := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if captured {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || v.Parent() == nil {
+			return true
+		}
+		// Package-scope variables don't force a closure allocation.
+		if v.Parent() == v.Pkg().Scope() {
+			return true
+		}
+		if v.Pos() < lit.Pos() || v.Pos() > lit.End() {
+			captured = true
+		}
+		return !captured
+	})
+	return captured
+}
+
+func (w *noAllocWalker) report(pos token.Pos, format string, args ...any) {
+	w.pass.Reportf(pos, "//hyper:noalloc %s: "+format, append([]any{w.fn.Name.Name}, args...)...)
+}

@@ -1,0 +1,43 @@
+// Package ctxpollbad seeds one violation per ctxpoll rule.
+package ctxpollbad
+
+import "context"
+
+// RunContext takes a context but never binds it to a name.
+func RunContext(context.Context, int) error { // want `exported RunContext does not bind its context.Context parameter to a name`
+	return nil
+}
+
+// ScanContext binds ctx but never consults it anywhere.
+func ScanContext(ctx context.Context, xs []int) int { // want `exported ScanContext never consults its context`
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+// MineContext consults ctx once up front, but its working loop never
+// polls.
+func MineContext(ctx context.Context, xs []int) (int, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	total := 0
+	for _, x := range xs { // want `loop in exported MineContext does work without consulting ctx`
+		total += work(x)
+	}
+	return total, nil
+}
+
+// Mine has a MineContext sibling but is not a pure pass-through: it
+// calls the implementation directly.
+func Mine(xs []int) (int, error) { // want `Mine has a MineContext sibling but is not a pure context.Background\(\) pass-through to it`
+	total := 0
+	for _, x := range xs {
+		total += work(x)
+	}
+	return total, nil
+}
+
+func work(x int) int { return x * x }

@@ -1,0 +1,88 @@
+// Package ctxpollclean exercises every way a ...Context function may
+// legitimately satisfy the polling contract.
+package ctxpollclean
+
+import (
+	"context"
+	"errors"
+
+	"hypermine/internal/runopt"
+)
+
+// SweepContext polls through a bounded-stride runopt.Checker.
+func SweepContext(ctx context.Context, xs []int) (int, error) {
+	chk := runopt.NewChecker(ctx, 0, 1)
+	total := 0
+	for _, x := range xs {
+		if err := chk.Tick(); err != nil {
+			return 0, err
+		}
+		total += work(x)
+	}
+	return total, nil
+}
+
+// Sweep is the pure v1 pass-through shim.
+func Sweep(xs []int) (int, error) {
+	return SweepContext(context.Background(), xs)
+}
+
+// PollContext consults ctx.Err directly in the loop.
+func PollContext(ctx context.Context, xs []int) (int, error) {
+	total := 0
+	for _, x := range xs {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		total += work(x)
+	}
+	return total, nil
+}
+
+// BoundedContext's working loop runs a compile-time-constant number of
+// iterations, which is exempt.
+func BoundedContext(ctx context.Context, seed int) (int, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	total := seed
+	for i := 0; i < 4; i++ {
+		total += work(i)
+	}
+	return total, nil
+}
+
+// ValidateContext's loop only runs guard clauses (cold early-return
+// branches), which do not count as work.
+func ValidateContext(ctx context.Context, xs []int) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	for _, x := range xs {
+		if x < 0 {
+			return errors.New("negative")
+		}
+	}
+	return nil
+}
+
+// SpawnContext only launches workers from its loop; worker bodies have
+// their own polling cadence and are not this function's loops.
+func SpawnContext(ctx context.Context, xs []int) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	done := make(chan struct{}, len(xs))
+	for _, x := range xs {
+		go func() {
+			work(x)
+			done <- struct{}{}
+		}()
+	}
+	for range xs {
+		<-done
+	}
+	return nil
+}
+
+func work(x int) int { return x * x }

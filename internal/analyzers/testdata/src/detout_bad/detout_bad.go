@@ -1,0 +1,29 @@
+// Package detoutbad seeds map-iteration-order leaks into output.
+package detoutbad
+
+import "fmt"
+
+// PrintAll streams map entries straight to stdout.
+func PrintAll(m map[string]int) {
+	for k, v := range m { // want `map iteration in PrintAll: order flows into fmt.Println without an intervening sort`
+		fmt.Println(k, v)
+	}
+}
+
+// Collect builds an ordered slice from map order and never sorts it.
+func Collect(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `map iteration in Collect: order is appended to "keys" which is never sorted in this function`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// Fill writes map order into slice positions without sorting.
+func Fill(m map[int]string, out []string) {
+	i := 0
+	for _, v := range m { // want `map iteration in Fill: order is written into slice "out" which is never sorted in this function`
+		out[i] = v
+		i++
+	}
+}

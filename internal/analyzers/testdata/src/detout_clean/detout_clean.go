@@ -1,0 +1,45 @@
+// Package detoutclean exercises map-range shapes that are
+// deterministic by construction.
+package detoutclean
+
+import "sort"
+
+// SortedKeys sorts the collected keys before returning them.
+func SortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Count accumulates a sum; order cannot matter.
+func Count(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Invert fills another map; map writes are order-insensitive.
+func Invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// ViaHelper sorts through a local helper whose name says so.
+func ViaHelper(m map[float64]bool) []float64 {
+	vals := make([]float64, 0, len(m))
+	for v := range m {
+		vals = append(vals, v)
+	}
+	sortFloats(vals)
+	return vals
+}
+
+func sortFloats(s []float64) { sort.Float64s(s) }

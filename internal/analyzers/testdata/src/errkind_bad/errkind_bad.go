@@ -1,0 +1,17 @@
+// Package errkindbad seeds naked error returns from Engine methods.
+package errkindbad
+
+import (
+	"errors"
+	"fmt"
+)
+
+type Engine struct{}
+
+func (e *Engine) Naked(x int) error {
+	return fmt.Errorf("boom: %d", x) // want `Engine method Naked returns a naked fmt.Errorf`
+}
+
+func (e *Engine) NakedNew() (int, error) {
+	return 0, errors.New("boom") // want `Engine method NakedNew returns a naked errors.New`
+}

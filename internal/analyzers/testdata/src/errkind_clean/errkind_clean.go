@@ -1,0 +1,46 @@
+// Package errkindclean exercises error flows the errkind pass must
+// accept at the Engine boundary.
+package errkindclean
+
+import "fmt"
+
+type Engine struct{}
+
+type kindError struct {
+	kind string
+	msg  string
+}
+
+func (e *kindError) Error() string { return e.msg }
+
+func badf(format string, args ...any) error {
+	return &kindError{kind: "bad_request", msg: fmt.Sprintf(format, args...)}
+}
+
+// Typed mints errors through the typed constructor.
+func (e *Engine) Typed(x int) error {
+	if x < 0 {
+		return badf("negative: %d", x)
+	}
+	return nil
+}
+
+// PassThrough forwards a callee's error untouched.
+func (e *Engine) PassThrough(f func() error) error {
+	if err := f(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// WithClosure: a closure inside an Engine method has its own error
+// boundary and may use fmt.Errorf.
+func (e *Engine) WithClosure() error {
+	mk := func() error { return fmt.Errorf("inner") }
+	return mk()
+}
+
+// Helper is not an Engine: free to return naked errors.
+type Helper struct{}
+
+func (h *Helper) Free() error { return fmt.Errorf("fine") }

@@ -1,0 +1,64 @@
+// Package locksafebad seeds blocking operations under held mutexes.
+package locksafebad
+
+import (
+	"net/http"
+	"sync"
+	"time"
+)
+
+type Box struct {
+	mu sync.Mutex
+	ch chan int
+	n  int
+}
+
+func (b *Box) Send(v int) {
+	b.mu.Lock()
+	b.ch <- v // want `channel send in Send while "b.mu" is locked`
+	b.mu.Unlock()
+}
+
+func (b *Box) Recv() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return <-b.ch // want `channel receive in Recv while "b.mu" is locked`
+}
+
+func (b *Box) Wait() {
+	b.mu.Lock()
+	time.Sleep(time.Millisecond) // want `time.Sleep in Wait while "b.mu" is locked`
+	b.mu.Unlock()
+}
+
+func (b *Box) Poll() {
+	b.mu.Lock()
+	select { // want `select statement in Poll while "b.mu" is locked`
+	case v := <-b.ch:
+		b.n = v
+	default:
+	}
+	b.mu.Unlock()
+}
+
+func (b *Box) Fetch(url string) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	resp, err := http.Get(url) // want `net/http.Get network call in Fetch while "b.mu" is locked`
+	if err != nil {
+		return err
+	}
+	return resp.Body.Close()
+}
+
+type RBox struct {
+	mu sync.RWMutex
+	ch chan int
+}
+
+func (r *RBox) Peek() int {
+	r.mu.RLock()
+	v := <-r.ch // want `channel receive in Peek while "r.mu" is locked`
+	r.mu.RUnlock()
+	return v
+}

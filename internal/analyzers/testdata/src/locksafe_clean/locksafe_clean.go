@@ -1,0 +1,52 @@
+// Package locksafeclean exercises critical-section shapes that are
+// safe: unlock-before-block, goroutines spawned under a lock, and
+// pure computation under a defer-held lock.
+package locksafeclean
+
+import "sync"
+
+type Box struct {
+	mu sync.Mutex
+	ch chan int
+	n  int
+}
+
+// UnlockThenSend releases the lock before touching the channel.
+func (b *Box) UnlockThenSend(v int) {
+	b.mu.Lock()
+	x := b.n
+	b.mu.Unlock()
+	b.ch <- x + v
+}
+
+// BranchUnlock is the memo/singleflight shape: one branch unlocks and
+// then blocks; the other stays locked over pure writes.
+func (b *Box) BranchUnlock(v int) {
+	b.mu.Lock()
+	if b.n > 0 {
+		b.mu.Unlock()
+		<-b.ch
+		return
+	}
+	b.n = v
+	b.mu.Unlock()
+}
+
+// SpawnUnderLock launches a goroutine while locked; the goroutine body
+// does not hold the caller's lock.
+func (b *Box) SpawnUnderLock() {
+	b.mu.Lock()
+	go func() { b.ch <- 1 }()
+	b.mu.Unlock()
+}
+
+// Sum computes under a defer-held lock without blocking.
+func (b *Box) Sum(xs []int) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	total := b.n
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}

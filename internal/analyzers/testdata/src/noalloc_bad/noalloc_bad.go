@@ -1,0 +1,60 @@
+// Package noallocbad seeds one violation per allocating construct the
+// noalloc pass recognizes.
+package noallocbad
+
+import "fmt"
+
+//hyper:noalloc
+func Concat(a, b string) string {
+	return a + b // want `//hyper:noalloc Concat: string concatenation allocates`
+}
+
+//hyper:noalloc
+func Build(n int) []int {
+	buf := make([]int, 0, n) // want `//hyper:noalloc Build: make allocates`
+	buf = append(buf, n)     // want `//hyper:noalloc Build: append may grow and allocate`
+	return buf
+}
+
+//hyper:noalloc
+func Print(x int) {
+	fmt.Println(x) // want `//hyper:noalloc Print: fmt.Println allocates`
+}
+
+//hyper:noalloc
+func Lit() []int {
+	return []int{1, 2} // want `//hyper:noalloc Lit: slice/map literal allocates`
+}
+
+//hyper:noalloc
+func Capture(x int) func() int {
+	return func() int { return x } // want `//hyper:noalloc Capture: capturing closure allocates`
+}
+
+//hyper:noalloc
+func Bytes(s string) []byte {
+	return []byte(s) // want `//hyper:noalloc Bytes: string<->slice conversion allocates`
+}
+
+//hyper:noalloc
+func Box(x int) {
+	sink(x) // want `//hyper:noalloc Box: boxing int into interface parameter allocates`
+}
+
+func sink(v any) { _ = v }
+
+//hyper:noalloc
+func Spawn(ch chan int) {
+	go send(ch) // want `//hyper:noalloc Spawn: go statement allocates a goroutine`
+}
+
+func send(ch chan int) { ch <- 1 }
+
+// Suppressed shows the //hyperlint:ignore escape hatch: the literal
+// below is a deliberate, justified exception.
+//
+//hyper:noalloc
+func Suppressed() []int {
+	//hyperlint:ignore noalloc
+	return []int{1}
+}

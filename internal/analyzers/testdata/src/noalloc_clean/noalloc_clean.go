@@ -1,0 +1,61 @@
+// Package noallocclean exercises warm-path shapes the noalloc pass
+// must accept.
+package noallocclean
+
+import "fmt"
+
+//hyper:noalloc
+func Sum(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+// Guard's fmt.Errorf sits in a cold early-return branch, which the
+// warm path never executes.
+//
+//hyper:noalloc
+func Guard(xs []int, i int) (int, error) {
+	if i < 0 || i >= len(xs) {
+		return 0, fmt.Errorf("index %d out of range", i)
+	}
+	return xs[i], nil
+}
+
+// Scratch uses a fixed-size stack array, not a heap slice.
+//
+//hyper:noalloc
+func Scratch(xs []int) int {
+	var buf [4]int
+	n := copy(buf[:], xs)
+	total := 0
+	for _, x := range buf[:n] {
+		total += x
+	}
+	return total
+}
+
+// Stateless returns a closure that captures nothing: a static func
+// value, no allocation.
+//
+//hyper:noalloc
+func Stateless() func(int) int {
+	return func(x int) int { return x * 2 }
+}
+
+// PassPointer hands a pointer-shaped value to an interface parameter,
+// which boxes without a heap copy.
+//
+//hyper:noalloc
+func PassPointer(p *int) {
+	sink(p)
+}
+
+func sink(v any) { _ = v }
+
+// Unannotated functions allocate freely.
+func Unannotated(n int) []int {
+	return make([]int, n)
+}

@@ -216,6 +216,9 @@ func FrequentItemsetsContext(ctx context.Context, tb *table.Table, opt Options) 
 			counts = tb.ValueCounts(a)
 		}
 		for v := 1; v <= tb.K(); v++ {
+			if err := chk.Tick(); err != nil {
+				return nil, err
+			}
 			c := 0
 			if ix != nil {
 				c = ix.Count(a, table.Value(v))
@@ -244,6 +247,9 @@ func FrequentItemsetsContext(ctx context.Context, tb *table.Table, opt Options) 
 		// fixed-width ids instead of a string-keyed set.
 		levelIDs = levelIDs[:0]
 		for _, f := range level {
+			if err := chk.Tick(); err != nil {
+				return nil, err
+			}
 			levelIDs = append(levelIDs, appendIDs(make([]uint64, 0, size-1), f.Items))
 		}
 		idBuf := make([]uint64, 0, size)

@@ -149,6 +149,8 @@ func (c *ABC) NewPredictor() *Predictor {
 // classified value y* and the normalized classification confidence
 // val[y*] / sum(val). Targets with no contributing hyperedges fall
 // back to the training-majority value with confidence 0.
+//
+//hyper:noalloc
 func (p *Predictor) Predict(domVals []table.Value, target int) (table.Value, float64, error) {
 	c := p.c
 	if len(domVals) != len(c.dom) {
@@ -202,7 +204,7 @@ func (p *Predictor) Predict(domVals []table.Value, target int) (table.Value, flo
 // conf may be nil, or sized like out to also receive confidences.
 // Beyond the Predictor itself the batch performs no heap allocations.
 func (p *Predictor) PredictBatch(domVals []table.Value, target int, out []table.Value, conf []float64) error {
-	return p.predictBatch(nil, domVals, target, out, conf)
+	return p.PredictBatchContext(context.Background(), domVals, target, out, conf)
 }
 
 // batchCheckEvery is the row stride between context polls in
@@ -222,6 +224,8 @@ func (p *Predictor) PredictBatchContext(ctx context.Context, domVals []table.Val
 
 // predictBatch is the shared batch loop; a nil ctx (the v1 path)
 // skips cancellation polling entirely.
+//
+//hyper:noalloc
 func (p *Predictor) predictBatch(ctx context.Context, domVals []table.Value, target int, out []table.Value, conf []float64) error {
 	nd := len(p.c.dom)
 	if len(domVals)%nd != 0 {

@@ -251,6 +251,9 @@ func BuildContext(ctx context.Context, tb *table.Table, cfg Config) (*Model, err
 	// Baseline ACV(empty, {c}) per head.
 	null := make([]float64, n)
 	for c := 0; c < n; c++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		null[c] = NullACV(tb, c)
 	}
 
@@ -322,6 +325,9 @@ func BuildContext(ctx context.Context, tb *table.Table, cfg Config) (*Model, err
 
 	for a := 0; a < n; a++ {
 		for c := 0; c < n; c++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			if edgeAdmit[a*n+c] {
 				if err := h.AddEdge([]int{a}, []int{c}, model.EdgeACV[a*n+c]); err != nil {
 					return nil, err
@@ -440,6 +446,9 @@ func BuildContext(ctx context.Context, tb *table.Table, cfg Config) (*Model, err
 		return admitted[i].c < admitted[j].c
 	})
 	for _, e := range admitted {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if err := h.AddEdge([]int{e.a, e.b}, []int{e.c}, e.acv); err != nil {
 			return nil, err
 		}

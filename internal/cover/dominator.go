@@ -199,7 +199,7 @@ func headGainFor(h *hypergraph.H, inS, covered, inDom []bool, added []int) (int,
 // instead of rescanning its out-edges. The memoized run is
 // bit-identical to the full rescan (see the differential test).
 func DominatorGreedyDS(h *hypergraph.H, s []int, opt Options) (*Result, error) {
-	return dominatorGreedyDS(context.Background(), h, s, opt, true)
+	return DominatorGreedyDSContext(context.Background(), h, s, opt)
 }
 
 // DominatorGreedyDSContext is DominatorGreedyDS under a context:
@@ -418,6 +418,9 @@ func DominatorSetCoverContext(ctx context.Context, h *hypergraph.H, s []int, opt
 	pool := map[uint64]tailCandidate{}
 	var poolS map[string]tailCandidate
 	for _, e := range h.Edges() {
+		if err := chk.Tick(); err != nil {
+			return nil, err
+		}
 		if key, ok := hypergraph.PackTailKey(e.Tail); ok {
 			if _, dup := pool[key]; !dup {
 				pool[key] = tailCandidate{members: append([]int(nil), e.Tail...)}
@@ -535,6 +538,9 @@ func DominatorSetCoverContext(ctx context.Context, h *hypergraph.H, s []int, opt
 	}
 	if opt.Complete {
 		for _, v := range s {
+			if err := chk.Tick(); err != nil {
+				return nil, err
+			}
 			if !covered[v] {
 				covered[v] = true
 				inDom[v] = true

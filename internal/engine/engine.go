@@ -102,6 +102,8 @@ type memo[T any] struct {
 
 // cached returns the completed result without evaluating (or even
 // allocating) a builder — the zero-cost warm path.
+//
+//hyper:noalloc
 func (m *memo[T]) cached() (T, error, bool) {
 	if f := m.ready.Load(); f != nil {
 		return f.val, f.err, true
@@ -349,7 +351,7 @@ func (e *Engine) buildClassifierSet(ctx context.Context, spec DomSpec) (*classif
 	default:
 		abc, err := classify.NewABC(e.model, dom.DomSet, set.targets)
 		if err != nil {
-			return nil, fmt.Errorf("engine: classifier: %w", err)
+			return nil, internalf("engine: classifier: %v", err)
 		}
 		set.abc = abc
 		set.pool.New = func() any { return abc.NewPredictor() }
@@ -412,6 +414,8 @@ func (e *Engine) ClassifierFor(ctx context.Context, spec DomSpec) (*classify.ABC
 // BorrowPredictor takes a scratch-reusing predictor from the default
 // classifier's pool; pair with ReturnPredictor. Steady-state borrows
 // perform no heap allocation.
+//
+//hyper:noalloc
 func (e *Engine) BorrowPredictor(ctx context.Context) (*classify.Predictor, error) {
 	set, err := e.warmClassifierSet(ctx)
 	if err != nil {
@@ -433,6 +437,8 @@ func (e *Engine) ReturnPredictor(ctx context.Context, p *classify.Predictor) {
 // warmClassifierSet resolves the default classifier set with a
 // zero-allocation warm path (no builder closure is constructed once
 // the set is memoized).
+//
+//hyper:noalloc
 func (e *Engine) warmClassifierSet(ctx context.Context) (*classifierSet, error) {
 	set, err, ok := e.defaultCls.cached()
 	if !ok {
@@ -450,6 +456,8 @@ func (e *Engine) warmClassifierSet(ctx context.Context) (*classifierSet, error) 
 // Predict classifies one observation for target through a pooled
 // predictor: domVals holds the dominator values in Dominator() order.
 // Warm calls (classifier built, pool warm) make zero heap allocations.
+//
+//hyper:noalloc
 func (e *Engine) Predict(ctx context.Context, domVals []table.Value, target int) (table.Value, float64, error) {
 	set, err := e.warmClassifierSet(ctx)
 	if err != nil {
@@ -465,6 +473,8 @@ func (e *Engine) Predict(ctx context.Context, domVals []table.Value, target int)
 // pooled predictor; see classify.Predictor.PredictBatchContext for the
 // domVals/out/conf contract. Beyond warm pool state it allocates
 // nothing.
+//
+//hyper:noalloc
 func (e *Engine) PredictBatch(ctx context.Context, domVals []table.Value, target int, out []table.Value, conf []float64) error {
 	set, err := e.warmClassifierSet(ctx)
 	if err != nil {

@@ -1,0 +1,50 @@
+package engine
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"hypermine/internal/core"
+	"hypermine/internal/testutil"
+)
+
+// TestNoGoroutineLeakAfterConcurrentQueries is the goleak-style check
+// mirroring the server suite's: a burst of concurrent queries — some
+// racing the memo singleflight, some canceled mid-flight — must leave
+// the goroutine count at its pre-burst baseline. Losers of a memo race
+// park in a select on the winner's done channel; a canceled loser must
+// unwind instead of waiting forever.
+func TestNoGoroutineLeakAfterConcurrentQueries(t *testing.T) {
+	m := testModel(t, 11, 10, 400, 2)
+	baseline := testutil.GoroutineBaseline()
+
+	e, err := New(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ctx, cancel := context.WithCancel(context.Background())
+			if i%4 == 0 {
+				cancel() // dead on arrival: loser paths must unwind
+			} else {
+				defer cancel()
+			}
+			e.Dominator(ctx, DefaultDomSpec())
+			e.Rules(ctx, 0, core.MineOptions{MaxRules: 3})
+			e.Warmup(ctx, WarmupClassifier)
+		}(i)
+	}
+	wg.Wait()
+
+	// One clean pass proves the engine still serves after the burst.
+	if _, err := e.Dominator(context.Background(), DefaultDomSpec()); err != nil {
+		t.Fatalf("dominator after burst: %v", err)
+	}
+	testutil.CheckGoroutines(t.Fatalf, baseline, 0, 5*time.Second)
+}

@@ -53,6 +53,10 @@ func unavailablef(format string, args ...any) *Error {
 	return &Error{Kind: ErrUnavailable, Message: fmt.Sprintf(format, args...)}
 }
 
+func internalf(format string, args ...any) *Error {
+	return &Error{Kind: ErrInternal, Message: fmt.Sprintf(format, args...)}
+}
+
 // AsError coerces any error into an *Error, defaulting to
 // ErrInternal for untyped failures.
 func AsError(err error) *Error {

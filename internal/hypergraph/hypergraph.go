@@ -226,6 +226,8 @@ func (h *H) Edges() []Edge { return h.edges }
 // ids within MaxPackedID — every edge of the paper's restricted model)
 // the probe is a single integer map access with zero heap allocation;
 // other shapes fall back to the string-keyed map.
+//
+//hyper:noalloc
 func (h *H) Lookup(tail, head []int) (int, bool) {
 	if pk, ok := PackEdgeKey(tail, head); ok {
 		id, found := h.pkeys[pk]
@@ -236,6 +238,8 @@ func (h *H) Lookup(tail, head []int) (int, bool) {
 }
 
 // Weight returns the weight of (tail, head), or 0 if absent.
+//
+//hyper:noalloc
 func (h *H) Weight(tail, head []int) float64 {
 	if i, ok := h.Lookup(tail, head); ok {
 		return h.edges[i].Weight

@@ -34,6 +34,8 @@ const MaxRestrictedTail = 3
 // PackEdgeKey returns the canonical uint64 key of a (tail, head) pair
 // and whether the pair is packable. The slices need not be sorted.
 // It performs no heap allocation.
+//
+//hyper:noalloc
 func PackEdgeKey(tail, head []int) (uint64, bool) {
 	if len(head) != 1 {
 		return 0, false
@@ -52,6 +54,8 @@ func PackEdgeKey(tail, head []int) (uint64, bool) {
 // PackTailKey packs a tail set alone (head slot zero) — the canonical
 // integer identity of a tail set, used e.g. to deduplicate the T* pool
 // of Algorithm 6. Same packability rules as PackEdgeKey.
+//
+//hyper:noalloc
 func PackTailKey(tail []int) (uint64, bool) {
 	switch len(tail) {
 	case 1:

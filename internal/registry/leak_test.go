@@ -1,0 +1,56 @@
+package registry
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"hypermine/internal/testutil"
+)
+
+// TestNoGoroutineLeakAfterChurn is the goleak-style check mirroring
+// the server suite's: a burst of concurrent loads, hot swaps,
+// acquisitions, and removals — the full drain/evict machinery — must
+// leave the goroutine count at its pre-burst baseline, with every
+// drained snapshot released.
+func TestNoGoroutineLeakAfterChurn(t *testing.T) {
+	m := testModel(t, 17, 8, 300)
+	baseline := testutil.GoroutineBaseline()
+
+	reg := New(Options{MaxResidentEdges: len(m.H.Edges()) * 2})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			name := fmt.Sprintf("m%d", i%3)
+			for j := 0; j < 5; j++ {
+				if _, err := reg.Load(name, m); err != nil {
+					t.Errorf("load %s: %v", name, err)
+					return
+				}
+				if s := reg.Acquire(name); s != nil {
+					s.CountQuery()
+					s.Release()
+				}
+				if i%2 == 0 && j == 3 {
+					reg.Remove(name)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	// The registry must still serve after the churn...
+	if _, err := reg.Load("final", m); err != nil {
+		t.Fatalf("load after churn: %v", err)
+	}
+	if s := reg.Acquire("final"); s == nil {
+		t.Fatal("acquire after churn: nil")
+	} else {
+		s.Release()
+	}
+	// ...and the drain/evict machinery must not strand goroutines.
+	testutil.CheckGoroutines(t.Fatalf, baseline, 0, 5*time.Second)
+}

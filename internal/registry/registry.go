@@ -136,6 +136,8 @@ func (s *Served) CountQuery() { s.queries.Add(1) }
 // BorrowPredictor takes a scratch-reusing predictor from the engine's
 // pool; pair with ReturnPredictor. The steady-state borrow performs no
 // heap allocation once the pool is warm.
+//
+//hyper:noalloc
 func (s *Served) BorrowPredictor() (*classify.Predictor, error) {
 	return s.eng.BorrowPredictor(context.Background())
 }
@@ -146,6 +148,8 @@ func (s *Served) ReturnPredictor(p *classify.Predictor) {
 }
 
 // Release ends an Acquire. The Served must not be used afterwards.
+//
+//hyper:noalloc
 func (s *Served) Release() { s.refs.Add(-1) }
 
 type entry struct {
@@ -248,6 +252,10 @@ func (r *Registry) LoadContext(ctx context.Context, name string, m *core.Model) 
 		r.swaps.Add(1)
 		drain(old)
 	}
+	// The new generation is already installed: evicted snapshots must
+	// drain to zero refs regardless of the caller's ctx, or their
+	// memory would leak on cancellation.
+	//hyperlint:ignore ctxpoll
 	for _, d := range drains {
 		drain(d)
 	}
@@ -344,6 +352,7 @@ func (r *Registry) Peek(name string) *Served {
 	return r.acquire(name, false)
 }
 
+//hyper:noalloc
 func (r *Registry) acquire(name string, bumpLRU bool) *Served {
 	r.mu.RLock()
 	e := r.entries[name]

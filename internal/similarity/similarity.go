@@ -41,6 +41,8 @@ func replaceTail(buf []int, tail []int, a1, a2 int) ([]int, bool) {
 // hyperedges leaving a1 or a2. Result is in [0, 1]; identical
 // attributes give 1 when they have outgoing edges, and 0 denominators
 // give 0.
+//
+//hyper:noalloc
 func OutSim(h *hypergraph.H, a1, a2 int) float64 {
 	if a1 == a2 {
 		if len(h.Out(a1)) > 0 {
@@ -91,6 +93,8 @@ func replaceHead(buf []int, head []int, a1, a2 int) ([]int, bool) {
 
 // InSim computes in-sim_H(a1, a2) of Definition 3.11(2): as OutSim but
 // substituting in head sets of incoming hyperedges.
+//
+//hyper:noalloc
 func InSim(h *hypergraph.H, a1, a2 int) float64 {
 	if a1 == a2 {
 		if len(h.In(a1)) > 0 {
@@ -132,6 +136,7 @@ func InSim(h *hypergraph.H, a1, a2 int) float64 {
 	return num / den
 }
 
+//hyper:noalloc
 func containsInt(s []int, v int) bool {
 	for _, x := range s {
 		if x == v {
@@ -195,8 +200,9 @@ func BuildGraphContext(ctx context.Context, h *hypergraph.H, s []int, opt GraphO
 	if len(s) == 0 {
 		return nil, errors.New("similarity: empty collection")
 	}
+	numV := h.NumVertices()
 	for _, v := range s {
-		if v < 0 || v >= h.NumVertices() {
+		if v < 0 || v >= numV {
 			return nil, fmt.Errorf("similarity: vertex %d out of range", v)
 		}
 	}

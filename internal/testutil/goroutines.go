@@ -1,0 +1,41 @@
+package testutil
+
+import (
+	"runtime"
+	"time"
+)
+
+// GoroutineBaseline snapshots the current goroutine count after a
+// short settling pause, for pairing with CheckGoroutines at the end of
+// a test. Capture it before the code under test spawns anything.
+func GoroutineBaseline() int {
+	// Give goroutines from earlier tests a moment to exit.
+	time.Sleep(20 * time.Millisecond)
+	return runtime.NumGoroutine()
+}
+
+// CheckGoroutines polls until the goroutine count settles back to the
+// baseline (plus slack, for runtime-owned helpers) or the deadline
+// passes, and then reports the count and a full stack dump via fail.
+// It is the goleak-style leak check shared by the registry, engine,
+// and server suites:
+//
+//	base := testutil.GoroutineBaseline()
+//	... exercise code that spawns goroutines ...
+//	testutil.CheckGoroutines(t.Fatalf, base, 0, 5*time.Second)
+func CheckGoroutines(fail func(format string, args ...any), baseline, slack int, wait time.Duration) {
+	deadline := time.Now().Add(wait)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= baseline+slack {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			fail("goroutine leak: %d > baseline %d (+%d slack)\n%s",
+				n, baseline, slack, buf[:runtime.Stack(buf, true)])
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
