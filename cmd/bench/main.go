@@ -16,29 +16,41 @@
 //     recompute-per-call v1 paths, plus the zero-allocation warm
 //     classify path (-> BENCH_5.json). The suite exits nonzero if the
 //     acceptance bars (warm >= 10x, classify allocs == 0) fail.
+//   - admit: the PR-7 admission-control overhead — the full warm
+//     classify handler (mux + decode + admission + engine + encode)
+//     with every admission mechanism active (breaker, two buckets,
+//     gate) versus the same server without admission, plus the raw
+//     Admit/Done ticket cost (-> BENCH_7.json). The suite exits
+//     nonzero if admission costs >= 2% on the warm classify path.
 //
 // Usage:
 //
-//	go run ./cmd/bench [-suite ctx|pr2|engine] [-out FILE.json] [-quick]
+//	go run ./cmd/bench [-suite ctx|pr2|engine|admit] [-out FILE.json] [-quick]
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"math"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"runtime"
 	"testing"
 
+	"hypermine/internal/admit"
 	"hypermine/internal/apriori"
 	"hypermine/internal/benchfix"
 	"hypermine/internal/core"
 	"hypermine/internal/cover"
 	"hypermine/internal/engine"
 	"hypermine/internal/hypergraph"
+	"hypermine/internal/registry"
 	"hypermine/internal/runopt"
+	"hypermine/internal/server"
 	"hypermine/internal/similarity"
 	"hypermine/internal/table"
 )
@@ -250,7 +262,7 @@ func legacyInSim(h *hypergraph.H, keys map[string]int32, a1, a2 int) float64 {
 }
 
 func main() {
-	suite := flag.String("suite", "ctx", "benchmark suite: ctx (PR-4 context overhead), pr2 (query stack), or engine (PR-5 prepared-model engine)")
+	suite := flag.String("suite", "ctx", "benchmark suite: ctx (PR-4 context overhead), pr2 (query stack), engine (PR-5 prepared-model engine), or admit (PR-7 admission overhead)")
 	out := flag.String("out", "", "output JSON path ('' = suite default, '-' for stdout only)")
 	quick := flag.Bool("quick", false, "shrink workloads for CI smoke runs")
 	flag.Parse()
@@ -272,8 +284,13 @@ func main() {
 			*out = "BENCH_5.json"
 		}
 		rep = suiteEngine(*quick)
+	case "admit":
+		if *out == "" {
+			*out = "BENCH_7.json"
+		}
+		rep = suiteAdmit(*quick)
 	default:
-		fmt.Fprintf(os.Stderr, "unknown suite %q (want ctx, pr2, or engine)\n", *suite)
+		fmt.Fprintf(os.Stderr, "unknown suite %q (want ctx, pr2, engine, or admit)\n", *suite)
 		os.Exit(2)
 	}
 
@@ -602,6 +619,147 @@ func suiteEngine(quick bool) *report {
 		failed = true
 	}
 	if failed {
+		os.Exit(1)
+	}
+	return rep
+}
+
+// suiteAdmit measures what admission control adds to the cheapest
+// request the server handles: a warm single-observation classify
+// through the full HTTP handler (mux dispatch, JSON decode, engine
+// call, JSON encode). The admission side runs every mechanism — two
+// token buckets, the cheap concurrency gate, and the circuit breaker
+// — configured permissively so nothing sheds and the measured cost is
+// the pure bookkeeping on the admit path. The raw Admit/Done ticket
+// round trip is also recorded for reference. The acceptance bar
+// (admission < 2% on warm classify) is enforced: a miss exits
+// nonzero. Measured at the handler level because the raw warm
+// classify call is ~100ns — a 2% bar there is below clock resolution
+// — while the handler is the smallest unit a real request ever pays.
+func suiteAdmit(quick bool) *report {
+	attrs, rows := 30, 20000
+	if quick {
+		attrs, rows = 12, 1500
+	}
+	rep := &report{
+		PR:         7,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+		Note: "admission-control overhead on the warm classify path. The " +
+			"acceptance ratio divides the admission round trip (AdmitInto + " +
+			"Done with every mechanism active: tenant and model token " +
+			"buckets, cheap-class concurrency gate, circuit breaker — " +
+			"measured to nanosecond precision) by the warm classify handler's " +
+			"service time (mux dispatch, JSON decode, engine call, JSON " +
+			"encode — the smallest unit a real request ever pays; the wire " +
+			"adds tens of microseconds more, so this denominator is " +
+			"conservative). The paired handler comparison is recorded for " +
+			"transparency but is noise-bound: on this single-core host " +
+			"back-to-back ~10us handler runs drift by several hundred ns, " +
+			"larger than the admission cost itself. PR-7 bar: < 2%.",
+	}
+	ctx := context.Background()
+	m := benchfix.ModelWorkload(attrs, rows)
+
+	// One registry backs both handler variants: the warm classify read
+	// path is stateless, so sharing keeps both sides on the exact same
+	// memoized artifacts.
+	reg := registry.New(registry.Options{})
+	if _, err := reg.Load("bench", m); err != nil {
+		panic(err)
+	}
+
+	// Derive a valid classify request from the model's own dominator.
+	eng, err := engine.New(m, engine.Options{})
+	if err != nil {
+		panic(err)
+	}
+	dom, err := eng.Dominator(ctx, engine.DefaultDomSpec())
+	if err != nil {
+		panic(err)
+	}
+	targets, err := eng.Targets(ctx)
+	if err != nil {
+		panic(err)
+	}
+	values := make(map[string]int, len(dom.DomSet))
+	for j, a := range dom.DomSet {
+		values[m.H.VertexName(a)] = 1 + j%3
+	}
+	body, err := json.Marshal(map[string]any{
+		"target": m.H.VertexName(targets[0]),
+		"values": values,
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	ctl := admit.NewController(admit.Config{
+		TenantRate: 1e12, TenantBurst: 1e12,
+		ModelRate: 1e12, ModelBurst: 1e12,
+		CheapCapacity: 64, CheapQueue: 64,
+		ExpensiveCapacity: 8, ExpensiveQueue: 16,
+		BreakerFailures: 100,
+	})
+	plain := server.New(reg).Handler()
+	admitted := server.New(reg, server.WithAdmission(ctl)).Handler()
+
+	bench := func(h http.Handler) func(b *testing.B) {
+		return func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				req := httptest.NewRequest(http.MethodPost, "/v1/models/bench/classify", bytes.NewReader(body))
+				req.Header.Set("X-Tenant", "bench")
+				w := httptest.NewRecorder()
+				h.ServeHTTP(w, req)
+				if w.Code != http.StatusOK {
+					b.Fatalf("code %d: %s", w.Code, w.Body.String())
+				}
+			}
+		}
+	}
+	// Warm both sides (first query builds the classifier set) before
+	// timing anything.
+	for _, h := range []http.Handler{plain, admitted} {
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, httptest.NewRequest(http.MethodPost, "/v1/models/bench/classify", bytes.NewReader(body)))
+		if w.Code != http.StatusOK {
+			panic(fmt.Sprintf("warmup: code %d: %s", w.Code, w.Body.String()))
+		}
+	}
+	base, adm := runPair(rep,
+		"ClassifyHTTP/no-admission", bench(plain),
+		"ClassifyHTTP/admission", bench(admitted))
+	compareOverhead(rep, "admission on warm classify (paired, noise-bound)", base, adm)
+
+	tick := run("Admit/ticket-round-trip", rep, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			var tk admit.Ticket
+			admitted, rej, err := ctl.AdmitInto(ctx, &tk, "bench", "bench", admit.Cheap)
+			if !admitted {
+				b.Fatalf("unexpected rejection: %v %v", rej, err)
+			}
+			tk.Done(admit.OutcomeOK)
+		}
+	})
+
+	// The acceptance ratio: precisely-measured admission cost over the
+	// handler's warm service time.
+	over := tick.NsPerOp / base.NsPerOp * 100
+	rep.Comparisons = append(rep.Comparisons, comparison{
+		Name:        "admission overhead on warm classify",
+		Baseline:    base.Name,
+		Optimized:   tick.Name,
+		OverheadPct: math.Round(over*100) / 100,
+	})
+	fmt.Printf("  -> admission overhead on warm classify: %+.2f%% (%.0f ns ticket / %.0f ns handler)\n",
+		over, tick.NsPerOp, base.NsPerOp)
+	if over >= 2 {
+		fmt.Fprintf(os.Stderr, "FAIL: admission overhead %+.2f%% on warm classify, want < 2%%\n", over)
+		os.Exit(1)
+	}
+	if tick.AllocsPerOp != 0 {
+		fmt.Fprintf(os.Stderr, "FAIL: admission round trip allocates %d/op, want 0\n", tick.AllocsPerOp)
 		os.Exit(1)
 	}
 	return rep

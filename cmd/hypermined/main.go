@@ -9,6 +9,15 @@
 //
 // Models can also be loaded (or hot-swapped) at runtime by PUTting a
 // snapshot to /v1/models/{name}.
+//
+// Overload protection (see the README's "Operating under load"):
+// -tenant-rate/-tenant-burst and -model-rate/-model-burst configure
+// token buckets (0 = unlimited), -gate-cheap/-queue-cheap and
+// -gate-expensive/-queue-expensive bound concurrency per cost class
+// (0 = ungated), and -breaker-failures/-breaker-cooldown configure the
+// per-model circuit breaker (0 = no breaker). -slow-query logs queries
+// over a threshold with per-phase attribution; -pprof exposes
+// /debug/pprof. SIGINT/SIGTERM drain in-flight requests before exit.
 package main
 
 import (
@@ -23,6 +32,7 @@ import (
 	"syscall"
 	"time"
 
+	"hypermine/internal/admit"
 	"hypermine/internal/core"
 	"hypermine/internal/engine"
 	"hypermine/internal/registry"
@@ -58,13 +68,48 @@ func main() {
 	warmupFlag := flag.String("warmup", "none",
 		"derived artifacts to prebuild at load: none (lazy, the default), graph (similarity+dominator), or all")
 	flag.Var(&models, "model", "name=snapshot.snap to serve at boot (repeatable)")
+	tenantRate := flag.Float64("tenant-rate", 0, "per-tenant token-bucket rate in queries/sec (0 = unlimited)")
+	tenantBurst := flag.Float64("tenant-burst", 0, "per-tenant token-bucket burst (defaults to the rate)")
+	modelRate := flag.Float64("model-rate", 0, "per-model token-bucket rate in queries/sec (0 = unlimited)")
+	modelBurst := flag.Float64("model-burst", 0, "per-model token-bucket burst (defaults to the rate)")
+	gateCheap := flag.Int("gate-cheap", 0, "max concurrent cheap (warm-read) queries (0 = ungated)")
+	queueCheap := flag.Int("queue-cheap", 0, "bounded FIFO wait queue behind the cheap gate; overflow is shed with 429")
+	gateExpensive := flag.Int("gate-expensive", 0, "max concurrent expensive (mining) queries (0 = ungated)")
+	queueExpensive := flag.Int("queue-expensive", 0, "bounded FIFO wait queue behind the expensive gate")
+	breakerFailures := flag.Int("breaker-failures", 0, "consecutive failures that open a model's circuit breaker (0 = no breaker)")
+	breakerCooldown := flag.Duration("breaker-cooldown", 0, "open-breaker cooldown before a half-open probe (0 = 5s default)")
+	slowQuery := flag.Duration("slow-query", 0, "log queries slower than this, with per-phase attribution (0 = off)")
+	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof (off by default)")
 	flag.Parse()
 
 	warmup, err := engine.ParseWarmup(*warmupFlag)
 	if err != nil {
 		fatal(err)
 	}
-	reg := registry.New(registry.Options{MaxResidentEdges: *maxEdges, Warmup: warmup})
+
+	var ctl *admit.Controller
+	if *tenantRate > 0 || *modelRate > 0 || *gateCheap > 0 || *gateExpensive > 0 || *breakerFailures > 0 {
+		ctl = admit.NewController(admit.Config{
+			TenantRate:        *tenantRate,
+			TenantBurst:       burstOr(*tenantBurst, *tenantRate),
+			ModelRate:         *modelRate,
+			ModelBurst:        burstOr(*modelBurst, *modelRate),
+			CheapCapacity:     *gateCheap,
+			CheapQueue:        *queueCheap,
+			ExpensiveCapacity: *gateExpensive,
+			ExpensiveQueue:    *queueExpensive,
+			BreakerFailures:   *breakerFailures,
+			BreakerCooldown:   *breakerCooldown,
+		})
+	}
+
+	regOpts := registry.Options{MaxResidentEdges: *maxEdges, Warmup: warmup}
+	if ctl != nil {
+		// Feed the breaker from the load path: a model that cannot even
+		// load trips open; a fresh successful load resets it.
+		regOpts.LoadHook = ctl.RecordLoad
+	}
+	reg := registry.New(regOpts)
 	for _, m := range models {
 		if err := loadSnapshot(reg, m.name, m.path); err != nil {
 			fatal(err)
@@ -72,8 +117,13 @@ func main() {
 	}
 
 	srv := &http.Server{
-		Addr:    *addr,
-		Handler: server.New(reg, server.WithQueryTimeout(*queryTimeout)).Handler(),
+		Addr: *addr,
+		Handler: server.New(reg,
+			server.WithQueryTimeout(*queryTimeout),
+			server.WithAdmission(ctl),
+			server.WithSlowQueryLog(*slowQuery, nil),
+			server.WithPprof(*pprofOn),
+		).Handler(),
 	}
 	errCh := make(chan error, 1)
 	go func() {
@@ -90,9 +140,14 @@ func main() {
 		fmt.Println("hypermined: shutting down")
 		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
-		if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		if err := srv.Shutdown(shutCtx); err != nil {
+			if errors.Is(err, context.DeadlineExceeded) {
+				fmt.Println("hypermined: drain deadline expired, exiting with requests in flight")
+				return
+			}
 			fatal(err)
 		}
+		fmt.Println("hypermined: drained, bye")
 	}
 }
 
@@ -115,6 +170,15 @@ func loadSnapshot(reg *registry.Registry, name, path string) error {
 		name, info.Generation, m.Table.NumAttrs(), m.H.NumEdges(), m.Table.NumRows(),
 		time.Since(start).Round(time.Microsecond))
 	return nil
+}
+
+// burstOr defaults an unset burst to the bucket's rate, so one full
+// second of traffic fits before shedding starts.
+func burstOr(burst, rate float64) float64 {
+	if burst > 0 {
+		return burst
+	}
+	return rate
 }
 
 func fatal(err error) {

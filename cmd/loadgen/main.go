@@ -31,6 +31,20 @@
 // noticed, so the deterministic proof of in-flight abort lives in the
 // internal/server unit tests; this scenario proves survival and
 // answer integrity under the burst.
+//
+// With -mix overload, loadgen becomes the fault-injecting overload
+// harness for the admission-control subsystem: a deterministic
+// concurrency ramp (2 -> 32 workers) drives a server with tiny gates
+// past capacity while slow clients stall half-open connections against
+// the accept loop and (self-hosted) the model hot-reloads between
+// waves. Every response must be either byte-identical to the unloaded
+// serial baseline (admitted) or a well-formed rejection (429/503 with
+// an integral Retry-After >= 1); the run fails on any violation, on
+// zero shed traffic (the ramp must actually saturate), or if /healthz
+// stops answering during saturation. In self-hosted mode the in-process
+// server is configured with gates cheap=2/queue=4, expensive=1/queue=2;
+// in remote mode boot hypermined with -gate-*/-queue-* flags sized
+// below the ramp.
 package main
 
 import (
@@ -48,10 +62,14 @@ import (
 	"path/filepath"
 	"runtime"
 	"sort"
+	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
+	"hypermine/internal/admit"
 	"hypermine/internal/benchfix"
 	"hypermine/internal/core"
 	"hypermine/internal/registry"
@@ -98,6 +116,36 @@ type report struct {
 	// Cancel reports the client-side timeout injection scenario
 	// (-cancel-every); nil when disabled.
 	Cancel *cancelReport `json:"cancel,omitempty"`
+	// Overload reports the -mix overload scenario; nil otherwise.
+	Overload *overloadReport `json:"overload,omitempty"`
+}
+
+// overloadReport summarizes the fault-injecting overload scenario.
+type overloadReport struct {
+	Gates      string       `json:"gates"`
+	Waves      []waveReport `json:"waves"`
+	StallConns int          `json:"stall_conns"`
+	// HealthzDuringOK: the liveness probe kept answering while the
+	// biggest wave saturated the gates and slow clients stalled.
+	HealthzDuringOK bool `json:"healthz_during_saturation_ok"`
+	Admitted        int  `json:"admitted"`
+	Shed            int  `json:"shed"`
+	// BadRejections counts rejections violating the contract (wrong
+	// status, missing or non-integral Retry-After); must be zero.
+	BadRejections int `json:"bad_rejections"`
+	// ServerShed is the server's own shed counter from /stats after
+	// the run (cumulative for the process, so >= Shed on a shared
+	// server).
+	ServerShed int64 `json:"server_shed"`
+	Reloads    int   `json:"reloads"`
+}
+
+// waveReport is one rung of the concurrency ramp.
+type waveReport struct {
+	Concurrency int `json:"concurrency"`
+	Requests    int `json:"requests"`
+	Admitted    int `json:"admitted"`
+	Shed        int `json:"shed"`
 }
 
 // cancelReport summarizes the timeout-injection scenario.
@@ -135,15 +183,23 @@ func main() {
 	cancelEvery := flag.Int("cancel-every", 0,
 		"replace every Nth request with a rules query under a short client-side deadline (0 = off)")
 	mixName := flag.String("mix", "default",
-		"query mix: default (dedicated endpoints) or batch (multiplexed typed batches via :query)")
+		"query mix: default (dedicated endpoints), batch (multiplexed typed batches via :query), or overload (fault-injecting saturation ramp)")
 	flag.Parse()
 
-	if *mixName != "default" && *mixName != "batch" {
-		fatal(fmt.Errorf("unknown -mix %q (want default or batch)", *mixName))
+	if *mixName != "default" && *mixName != "batch" && *mixName != "overload" {
+		fatal(fmt.Errorf("unknown -mix %q (want default, batch, or overload)", *mixName))
 	}
 
 	if *quick {
 		*n, *attrs, *rows = 400, 12, 1500
+		if *mixName == "overload" {
+			// The saturation stimulus is cold rules mining; on this
+			// model size one mine holds the expensive gate ~15ms, long
+			// enough for the other workers to pile up behind it even
+			// on a single-core host. The 12x1500 quick model mines in
+			// ~1ms and never saturates anything.
+			*attrs, *rows = 24, 10000
+		}
 	}
 
 	rep := &report{
@@ -160,8 +216,17 @@ func main() {
 	var snapPath string
 	baseURL := *addr
 	if baseURL == "" {
+		// The overload mix needs something to saturate: tiny gates so
+		// the ramp's upper rungs exceed capacity + queue by design.
+		var ctl *admit.Controller
+		if *mixName == "overload" {
+			ctl = admit.NewController(admit.Config{
+				CheapCapacity: 2, CheapQueue: 4,
+				ExpensiveCapacity: 1, ExpensiveQueue: 2,
+			})
+		}
 		var err error
-		baseURL, snapPath, err = selfHost(rep, *model, *attrs, *rows)
+		baseURL, snapPath, err = selfHost(rep, *model, *attrs, *rows, ctl)
 		if err != nil {
 			fatal(err)
 		}
@@ -180,7 +245,11 @@ func main() {
 	}
 
 	rep.Mix = *mixName
-	if err := replay(rep, baseURL, *model, info, *n, *seed, *reloads, snapPath, *cancelEvery, *mixName); err != nil {
+	if *mixName == "overload" {
+		if err := runOverload(rep, baseURL, *model, info, *n, *seed, *reloads, snapPath); err != nil {
+			fatal(err)
+		}
+	} else if err := replay(rep, baseURL, *model, info, *n, *seed, *reloads, snapPath, *cancelEvery, *mixName); err != nil {
 		fatal(err)
 	}
 
@@ -203,8 +272,9 @@ func main() {
 }
 
 // selfHost builds the benchfix model, measures both load paths, saves
-// a snapshot for mid-run reloads, and boots an in-process server.
-func selfHost(rep *report, name string, attrs, rows int) (baseURL, snapPath string, err error) {
+// a snapshot for mid-run reloads, and boots an in-process server —
+// with the given admission controller in front when ctl is non-nil.
+func selfHost(rep *report, name string, attrs, rows int, ctl *admit.Controller) (baseURL, snapPath string, err error) {
 	fmt.Printf("building %dx%d serving model...\n", rows, attrs)
 	m := benchfix.ModelWorkload(attrs, rows)
 
@@ -251,7 +321,11 @@ func selfHost(rep *report, name string, attrs, rows int) (baseURL, snapPath stri
 		return "", "", err
 	}
 
-	reg := registry.New(registry.Options{})
+	regOpts := registry.Options{}
+	if ctl != nil {
+		regOpts.LoadHook = ctl.RecordLoad
+	}
+	reg := registry.New(regOpts)
 	if _, err := reg.Load(name, m); err != nil {
 		return "", "", err
 	}
@@ -259,7 +333,7 @@ func selfHost(rep *report, name string, attrs, rows int) (baseURL, snapPath stri
 	if err != nil {
 		return "", "", err
 	}
-	go func() { _ = http.Serve(ln, server.New(reg).Handler()) }()
+	go func() { _ = http.Serve(ln, server.New(reg, server.WithAdmission(ctl)).Handler()) }()
 	return "http://" + ln.Addr().String(), snapPath, nil
 }
 
@@ -598,6 +672,271 @@ func replay(rep *report, baseURL, model string, info *modelInfo, n int, seed int
 		}
 	}
 	return nil
+}
+
+// runOverload drives the fault-injecting overload scenario: a
+// deterministic concurrency ramp past gate capacity, slow-client
+// stalls, and mid-run hot reloads, with per-response invariants —
+// admitted answers byte-identical to the unloaded baseline, rejections
+// carrying the correct status and Retry-After.
+func runOverload(rep *report, baseURL, model string, info *modelInfo, n int, seed int64, reloads int, snapPath string) error {
+	rng := rand.New(rand.NewSource(seed))
+
+	// Deterministic request pool: classify singles (cheap class), the
+	// dominator read (cheap), and a few rules queries (expensive). The
+	// pool is small so every request replays many times and any drift
+	// is caught.
+	const poolSize = 32
+	type oq struct {
+		method, url string
+		body        []byte
+		key         int
+	}
+	var pool []oq
+	for i := 0; i < poolSize; i++ {
+		values := map[string]int{}
+		for _, a := range info.Dominator {
+			values[a] = 1 + rng.Intn(info.K)
+		}
+		body, err := json.Marshal(map[string]any{
+			"target": info.Targets[rng.Intn(len(info.Targets))],
+			"values": values,
+		})
+		if err != nil {
+			return err
+		}
+		pool = append(pool, oq{http.MethodPost, baseURL + "/v1/models/" + model + "/classify", body, i})
+	}
+	pool = append(pool, oq{http.MethodGet, baseURL + "/v1/models/" + model + "/dominators", nil, poolSize})
+	for i := 0; i < 4 && i < len(info.Targets); i++ {
+		pool = append(pool, oq{http.MethodGet,
+			fmt.Sprintf("%s/v1/models/%s/rules?head=%s&top=5", baseURL, model, info.Targets[i]),
+			nil, poolSize + 1 + i})
+	}
+
+	// Unloaded serial baseline: one clean pass over the pool. This also
+	// warms every lazy artifact, so admitted overload answers have no
+	// first-build variance to hide behind.
+	client := &http.Client{}
+	baseline := make([][]byte, poolSize+1+4)
+	for _, q := range pool {
+		code, raw, _, err := doOnce(client, q.method, q.url, q.body)
+		if err != nil {
+			return err
+		}
+		if code != http.StatusOK {
+			return fmt.Errorf("baseline %s: %d: %s", q.url, code, raw)
+		}
+		baseline[q.key] = raw
+	}
+
+	ov := &overloadReport{Gates: "cheap=2/4 expensive=1/2 (self-hosted defaults)"}
+	rep.Overload = ov
+	waves := []int{2, 4, 8, 16, 32}
+	perWave := n / len(waves)
+	if perWave < len(pool) {
+		perWave = len(pool)
+	}
+
+	var mismatches, badRej atomic.Int64
+	var stimSeq atomic.Int64
+	healthzOK := true
+	for wi, conc := range waves {
+		// Hot reload between waves (self-hosted): the invariants must
+		// hold across generations — the rebuilt artifacts answer
+		// byte-identically.
+		if snapPath != "" && wi > 0 && ov.Reloads < reloads {
+			if err := putSnapshot(client, baseURL, model, snapPath); err != nil {
+				return fmt.Errorf("hot reload: %w", err)
+			}
+			ov.Reloads++
+		}
+
+		// Slow clients: half-open connections that send an incomplete
+		// request and stall for the whole wave. They hold no gate slot
+		// (the handler never starts) and must not block the accept
+		// loop — the concurrent healthz probes below prove the server
+		// keeps serving around them.
+		stop, stalls := startStalls(baseURL, conc/8)
+		ov.StallConns += stalls
+
+		var admitted, shed atomic.Int64
+		// check applies the per-response invariants; identityKey < 0
+		// skips the byte-identity comparison (stimulus queries are
+		// unique by construction and have no baseline).
+		check := func(code int, raw []byte, retry string, identityKey int, err error) {
+			if err != nil {
+				badRej.Add(1)
+				fmt.Fprintf(os.Stderr, "overload: transport error: %v\n", err)
+				return
+			}
+			switch {
+			case code == http.StatusOK:
+				admitted.Add(1)
+				if identityKey >= 0 && !bytes.Equal(raw, baseline[identityKey]) {
+					mismatches.Add(1)
+				}
+			case code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable:
+				shed.Add(1)
+				if secs, err := strconv.Atoi(retry); err != nil || secs < 1 {
+					badRej.Add(1)
+					fmt.Fprintf(os.Stderr, "overload: %d rejection with Retry-After %q\n", code, retry)
+				}
+			default:
+				badRej.Add(1)
+				fmt.Fprintf(os.Stderr, "overload: unexpected %d: %.120s\n", code, raw)
+			}
+		}
+
+		// Half the wave mines: every stimulus query uses a fresh `top`,
+		// which is part of the rule-cache key, so each one is a real
+		// MineRules run that holds the expensive gate slot (capacity 1)
+		// for many milliseconds. The other half replays the pooled warm
+		// requests with identity checks. Even on one CPU the miners
+		// overlap the gate — async preemption schedules the other
+		// workers' Enter calls mid-mine — so the upper rungs of the
+		// ramp are guaranteed past capacity + queue.
+		stimWorkers := conc / 2
+		if stimWorkers < 1 {
+			stimWorkers = 1
+		}
+		var wg sync.WaitGroup
+		for w := 0; w < stimWorkers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for r := 0; r < 3; r++ {
+					seq := stimSeq.Add(1)
+					url := fmt.Sprintf("%s/v1/models/%s/rules?head=%s&top=%d",
+						baseURL, model, info.Targets[int(seq)%len(info.Targets)], 11+seq)
+					code, raw, retry, err := doOnce(client, http.MethodGet, url, nil)
+					check(code, raw, retry, -1, err)
+				}
+			}()
+		}
+		var next atomic.Int64
+		for w := stimWorkers; w < conc; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= perWave {
+						return
+					}
+					q := pool[(i*7+wi)%len(pool)]
+					code, raw, retry, err := doOnce(client, q.method, q.url, q.body)
+					check(code, raw, retry, q.key, err)
+				}
+			}()
+		}
+		// Liveness during saturation: the probe must answer while the
+		// workers and stalled connections lean on the server.
+		probeDone := make(chan struct{})
+		go func() {
+			defer close(probeDone)
+			for j := 0; j < 3; j++ {
+				resp, err := client.Get(baseURL + "/healthz")
+				if err != nil || resp.StatusCode != http.StatusOK {
+					healthzOK = false
+				}
+				if err == nil {
+					_, _ = io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				}
+				time.Sleep(2 * time.Millisecond)
+			}
+		}()
+		wg.Wait()
+		<-probeDone
+		stop()
+
+		wave := waveReport{
+			Concurrency: conc,
+			Requests:    perWave + stimWorkers*3,
+			Admitted:    int(admitted.Load()),
+			Shed:        int(shed.Load()),
+		}
+		ov.Waves = append(ov.Waves, wave)
+		ov.Admitted += wave.Admitted
+		ov.Shed += wave.Shed
+		fmt.Printf("wave c=%-3d %5d reqs: %5d admitted, %5d shed (%d stalled conns)\n",
+			conc, wave.Requests, wave.Admitted, wave.Shed, stalls)
+	}
+	ov.HealthzDuringOK = healthzOK
+	ov.BadRejections = int(badRej.Load())
+	rep.IdentityMismatches += int(mismatches.Load())
+	rep.Reloads += ov.Reloads
+	rep.Total.Requests = ov.Admitted + ov.Shed
+
+	// The server's own accounting must have seen the shedding.
+	var stats struct {
+		Shed int64 `json:"shed"`
+	}
+	if resp, err := client.Get(baseURL + "/stats"); err == nil {
+		if resp.StatusCode == http.StatusOK {
+			_ = json.NewDecoder(resp.Body).Decode(&stats)
+		}
+		resp.Body.Close()
+	}
+	ov.ServerShed = stats.Shed
+
+	fmt.Printf("overload: %d admitted, %d shed, %d bad rejections, %d identity mismatches, healthz_ok=%v, server shed counter=%d\n",
+		ov.Admitted, ov.Shed, ov.BadRejections, rep.IdentityMismatches, ov.HealthzDuringOK, ov.ServerShed)
+	switch {
+	case ov.BadRejections > 0:
+		return fmt.Errorf("%d rejections violated the 429/503 + Retry-After contract", ov.BadRejections)
+	case ov.Shed == 0:
+		return errors.New("overload ramp never shed — gates larger than the ramp, nothing was proven")
+	case !ov.HealthzDuringOK:
+		return errors.New("healthz failed during saturation")
+	case ov.ServerShed < int64(ov.Shed):
+		return fmt.Errorf("server shed counter %d < observed rejections %d", ov.ServerShed, ov.Shed)
+	}
+	return nil
+}
+
+// doOnce issues one request and returns status, body, and Retry-After.
+func doOnce(client *http.Client, method, url string, body []byte) (int, []byte, string, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		return 0, nil, "", err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, nil, "", err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	return resp.StatusCode, raw, resp.Header.Get("Retry-After"), err
+}
+
+// startStalls opens nConns raw connections that send an incomplete
+// request and then go silent — the classic slow client. The returned
+// stop func closes them.
+func startStalls(baseURL string, nConns int) (func(), int) {
+	host := strings.TrimPrefix(baseURL, "http://")
+	var conns []net.Conn
+	for i := 0; i < nConns; i++ {
+		c, err := net.DialTimeout("tcp", host, time.Second)
+		if err != nil {
+			continue
+		}
+		// Headers without the terminating blank line: the server's
+		// reader waits for the rest of the request forever (or until
+		// close below).
+		fmt.Fprintf(c, "GET /healthz HTTP/1.1\r\nHost: %s\r\nX-Stall: 1\r\n", host)
+		conns = append(conns, c)
+	}
+	return func() {
+		for _, c := range conns {
+			c.Close()
+		}
+	}, len(conns)
 }
 
 // putSnapshot hot-reloads the model from the saved snapshot file.

@@ -3,7 +3,10 @@
 // binary snapshot, boots the query server in-process on loopback, and
 // then talks to it exactly as a remote client would: model listing,
 // classification (single and batch), similarity ranking, rule mining,
-// a hot reload via snapshot upload, and /stats.
+// a hot reload via snapshot upload, and /stats. It closes with an
+// overload demo: the same registry behind an admission controller
+// with a tiny per-tenant budget, and a client that honors the
+// Retry-After advertised on 429/503 instead of hammering the server.
 package main
 
 import (
@@ -14,6 +17,8 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"strconv"
+	"time"
 
 	"hypermine"
 )
@@ -166,6 +171,74 @@ func main() {
 	}
 	getJSON(base+"/stats", &stats)
 	fmt.Printf("served %d queries, %d hot swap(s)\n", stats.Queries, stats.Registry.Swaps)
+
+	// 10. Overload and backoff: the same registry behind a second
+	// server with admission control in front — a deliberately tiny
+	// per-tenant budget — and a client that honors Retry-After.
+	// Admitted answers are identical to the unprotected server's;
+	// shed ones arrive instantly as 429 and say when to come back.
+	ctl := hypermine.NewAdmissionController(hypermine.AdmissionConfig{
+		TenantRate:  2, // two requests/second steady state ...
+		TenantBurst: 2, // ... after an initial burst of two
+	})
+	ln2, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go func() {
+		_ = http.Serve(ln2, hypermine.NewQueryServer(reg, hypermine.WithAdmission(ctl)).Handler())
+	}()
+	guarded := "http://" + ln2.Addr().String()
+
+	body, err := json.Marshal(map[string]any{"target": detail.Targets[0], "values": values})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 1; i <= 4; i++ {
+		var got struct {
+			Value int `json:"value"`
+		}
+		backoffs, err := postWithBackoff(guarded+"/v1/models/spx/classify", body, &got)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("guarded classify #%d -> value %d (agrees=%v, backoffs=%d)\n",
+			i, got.Value, got.Value == cls.Value, backoffs)
+	}
+	adm := ctl.Stats()
+	for _, t := range adm.Tenants {
+		fmt.Printf("tenant %q: admitted=%d shed=%d\n", t.Name, t.Admitted, t.Shed)
+	}
+}
+
+// postWithBackoff POSTs body and, when the server sheds the request
+// with 429 (rate/queue pressure) or 503 (open breaker), honors the
+// Retry-After header before trying again. It returns how many
+// backoffs were taken.
+func postWithBackoff(url string, body []byte, out any) (backoffs int, err error) {
+	for attempt := 0; ; attempt++ {
+		resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+		if err != nil {
+			return backoffs, err
+		}
+		if resp.StatusCode == http.StatusTooManyRequests ||
+			resp.StatusCode == http.StatusServiceUnavailable {
+			secs, _ := strconv.Atoi(resp.Header.Get("Retry-After"))
+			_, _ = io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if secs < 1 {
+				secs = 1 // a missing or malformed header still backs off
+			}
+			if attempt >= 5 {
+				return backoffs, fmt.Errorf("%s: still shed after %d attempts", url, attempt+1)
+			}
+			backoffs++
+			time.Sleep(time.Duration(secs) * time.Second)
+			continue
+		}
+		decode(resp, out)
+		return backoffs, nil
+	}
 }
 
 func getJSON(url string, out any) {

@@ -28,6 +28,7 @@ package hypermine
 import (
 	"context"
 
+	"hypermine/internal/admit"
 	"hypermine/internal/apriori"
 	"hypermine/internal/classify"
 	"hypermine/internal/cluster"
@@ -303,6 +304,38 @@ var (
 	// NewQueryServer returns a QueryServer over a registry; mount
 	// Handler() on any http server.
 	NewQueryServer = server.New
+)
+
+// Admission control (internal/admit): graceful degradation under
+// overload. An AdmissionController sits in front of every query with
+// per-tenant and per-model token buckets, per-cost-class concurrency
+// gates backed by bounded FIFO queues, and per-model circuit
+// breakers. Hand one to NewQueryServer via WithAdmission; shed
+// requests are answered immediately with 429 (rate/queue pressure) or
+// 503 (open breaker) plus a Retry-After the client should honor. See
+// the README's "Operating under load".
+type (
+	// AdmissionConfig tunes an AdmissionController. Zero or negative
+	// limits disable the corresponding mechanism, so a zero config
+	// admits everything.
+	AdmissionConfig = admit.Config
+	// AdmissionController is the admission front door shared by the
+	// server, hypermined, and any custom transport.
+	AdmissionController = admit.Controller
+	// AdmissionStats is a point-in-time snapshot of admission
+	// counters (admitted/queued/shed per tenant and model, gate loads,
+	// breaker states).
+	AdmissionStats = admit.Stats
+	// QueryServerOption configures a QueryServer at construction.
+	QueryServerOption = server.Option
+)
+
+var (
+	// NewAdmissionController builds an admission controller.
+	NewAdmissionController = admit.NewController
+	// WithAdmission puts an admission controller in front of every
+	// query a QueryServer serves.
+	WithAdmission = server.WithAdmission
 )
 
 // Prepared-model engine (internal/engine): the lazily-memoized query

@@ -1,0 +1,534 @@
+package admit
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hypermine/internal/testutil"
+)
+
+// fakeClock is a deterministic time source for bucket/breaker tests.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// TestGateSaturation drives a small gate with far more goroutines
+// than slots and asserts the two hard invariants: in-flight never
+// exceeds capacity, and the queue never exceeds its bound. Run with
+// -race this is the determinism proof of the admission state.
+func TestGateSaturation(t *testing.T) {
+	const capacity, maxQueue, workers, iters = 4, 8, 32, 50
+	g := NewGate(capacity, maxQueue)
+
+	var inflight, maxInflight, rejected, entered atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				_, err := g.Enter(context.Background())
+				if err != nil {
+					if !errors.Is(err, ErrQueueFull) {
+						t.Errorf("unexpected Enter error: %v", err)
+						return
+					}
+					rejected.Add(1)
+					continue
+				}
+				cur := inflight.Add(1)
+				for {
+					old := maxInflight.Load()
+					if cur <= old || maxInflight.CompareAndSwap(old, cur) {
+						break
+					}
+				}
+				if _, queued := g.Load(); queued > maxQueue {
+					t.Errorf("queue %d exceeds bound %d", queued, maxQueue)
+				}
+				entered.Add(1)
+				inflight.Add(-1)
+				g.Leave(time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+
+	if got := maxInflight.Load(); got > capacity {
+		t.Fatalf("max in-flight %d exceeds capacity %d", got, capacity)
+	}
+	if entered.Load() == 0 {
+		t.Fatal("nothing was admitted")
+	}
+	if fl, q := g.Load(); fl != 0 || q != 0 {
+		t.Fatalf("gate not drained: inflight=%d queued=%d", fl, q)
+	}
+}
+
+// TestGateFIFO proves waiters are granted strictly in arrival order.
+func TestGateFIFO(t *testing.T) {
+	const waiters = 6
+	g := NewGate(1, waiters)
+	if _, err := g.Enter(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	order := make(chan int, waiters)
+	var wg sync.WaitGroup
+	for i := 0; i < waiters; i++ {
+		// Confirm each waiter is queued before spawning the next, so
+		// arrival order is deterministic.
+		before := i
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			if _, err := g.Enter(context.Background()); err != nil {
+				t.Errorf("waiter %d: %v", id, err)
+				return
+			}
+			order <- id
+			g.Leave(time.Microsecond)
+		}(i)
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			if _, q := g.Load(); q == before+1 {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("waiter %d never queued", i)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	g.Leave(time.Microsecond) // free the initial slot; grants cascade
+	wg.Wait()
+	close(order)
+	want := 0
+	for id := range order {
+		if id != want {
+			t.Fatalf("FIFO violated: got waiter %d, want %d", id, want)
+		}
+		want++
+	}
+	if want != waiters {
+		t.Fatalf("only %d of %d waiters were granted", want, waiters)
+	}
+}
+
+// TestGateQueueFullAndCancel covers the two non-admission exits:
+// immediate rejection when the queue is full, and ctx cancellation
+// while queued (which must remove the waiter so later grants skip it).
+func TestGateQueueFullAndCancel(t *testing.T) {
+	g := NewGate(1, 1)
+	if _, err := g.Enter(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := g.Enter(ctx)
+		errCh <- err
+	}()
+	waitQueued := func(n int) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			if _, q := g.Load(); q == n {
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("queue never reached %d", n)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	waitQueued(1)
+
+	// Queue full: the next request is shed immediately.
+	if _, err := g.Enter(context.Background()); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("want ErrQueueFull, got %v", err)
+	}
+
+	// Cancel the queued waiter: it reports ctx.Err and leaves the queue.
+	cancel()
+	if err := <-errCh; !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	waitQueued(0)
+
+	// The slot still releases cleanly with no waiter to grant.
+	g.Leave(time.Millisecond)
+	if fl, q := g.Load(); fl != 0 || q != 0 {
+		t.Fatalf("gate not drained: inflight=%d queued=%d", fl, q)
+	}
+}
+
+func TestGateRetryAfter(t *testing.T) {
+	g := NewGate(2, 4)
+	if g.RetryAfter() != time.Second {
+		t.Fatalf("unseeded RetryAfter = %v, want 1s floor", g.RetryAfter())
+	}
+	for i := 0; i < 50; i++ {
+		g.observe(4 * time.Second)
+	}
+	// Backlog of one (empty queue + the asker) across capacity 2 at
+	// ~4s per request: about 2 seconds.
+	got := g.RetryAfter()
+	if got < time.Second || got > 4*time.Second {
+		t.Fatalf("RetryAfter = %v, want within [1s, 4s]", got)
+	}
+}
+
+func TestBucket(t *testing.T) {
+	clk := newFakeClock()
+	nanos := func() int64 { return clk.now().UnixNano() }
+	b := newBucket(1, 2) // 1 token/s, burst 2
+
+	for i := 0; i < 2; i++ {
+		if ok, _ := b.take(nanos()); !ok {
+			t.Fatalf("burst take %d rejected", i)
+		}
+	}
+	ok, retry := b.take(nanos())
+	if ok {
+		t.Fatal("empty bucket admitted")
+	}
+	if retry <= 0 || retry > time.Second {
+		t.Fatalf("retry = %v, want (0, 1s]", retry)
+	}
+	clk.advance(time.Second)
+	if ok, _ := b.take(nanos()); !ok {
+		t.Fatal("refilled bucket rejected")
+	}
+	// Refill is capped at burst even after a long idle gap.
+	clk.advance(time.Hour)
+	for i := 0; i < 2; i++ {
+		if ok, _ := b.take(nanos()); !ok {
+			t.Fatalf("post-idle take %d rejected", i)
+		}
+	}
+	if ok, _ := b.take(nanos()); ok {
+		t.Fatal("burst cap not enforced after idle gap")
+	}
+}
+
+// TestBreakerStateMachine is the open/half-open/close table test: a
+// scripted sequence of admissions, outcomes, and clock advances with
+// the expected state after each step.
+func TestBreakerStateMachine(t *testing.T) {
+	clk := newFakeClock()
+	const cooldown = 10 * time.Second
+	b := NewBreaker(3, cooldown, clk.now)
+
+	type step struct {
+		name string
+		do   func(t *testing.T)
+		want BreakerState
+	}
+	allow := func(wantOK, wantProbe bool) func(t *testing.T) {
+		return func(t *testing.T) {
+			ok, probe, _ := b.Allow()
+			if ok != wantOK || probe != wantProbe {
+				t.Fatalf("Allow() = (%v, %v), want (%v, %v)", ok, probe, wantOK, wantProbe)
+			}
+		}
+	}
+	record := func(probe bool, o Outcome) func(t *testing.T) {
+		return func(t *testing.T) { b.Record(probe, o) }
+	}
+	steps := []step{
+		{"fresh breaker admits", allow(true, false), BreakerClosed},
+		{"failure 1", record(false, OutcomeFailure), BreakerClosed},
+		{"failure 2", record(false, OutcomeFailure), BreakerClosed},
+		{"success resets the run", record(false, OutcomeOK), BreakerClosed},
+		{"failure 1 again", record(false, OutcomeFailure), BreakerClosed},
+		{"failure 2 again", record(false, OutcomeFailure), BreakerClosed},
+		{"failure 3 opens", record(false, OutcomeFailure), BreakerOpen},
+		{"open rejects", allow(false, false), BreakerOpen},
+		{"late non-probe outcomes ignored while open", record(false, OutcomeOK), BreakerOpen},
+		{"cooldown elapses -> probe admitted", func(t *testing.T) {
+			clk.advance(cooldown)
+			allow(true, true)(t)
+		}, BreakerHalfOpen},
+		{"second request while probing rejected", allow(false, false), BreakerHalfOpen},
+		{"canceled probe releases the slot", record(true, OutcomeCanceled), BreakerHalfOpen},
+		{"next probe admitted", allow(true, true), BreakerHalfOpen},
+		{"probe failure reopens", record(true, OutcomeFailure), BreakerOpen},
+		{"reopened rejects", allow(false, false), BreakerOpen},
+		{"second cooldown -> probe", func(t *testing.T) {
+			clk.advance(cooldown)
+			allow(true, true)(t)
+		}, BreakerHalfOpen},
+		{"probe success closes", record(true, OutcomeOK), BreakerClosed},
+		{"closed admits again", allow(true, false), BreakerClosed},
+		{"load failures open too", func(t *testing.T) {
+			b.RecordFailure()
+			b.RecordFailure()
+			b.RecordFailure()
+		}, BreakerOpen},
+		{"reset force-closes", func(t *testing.T) { b.Reset() }, BreakerClosed},
+	}
+	for _, s := range steps {
+		s.do(t)
+		if state, _, _ := b.Snapshot(); state != s.want {
+			t.Fatalf("%s: state = %v, want %v", s.name, state, s.want)
+		}
+	}
+	if _, _, opens := b.Snapshot(); opens != 3 {
+		t.Fatalf("opens = %d, want 3", opens)
+	}
+}
+
+// TestBreakerRetryAfter pins the open-state Retry-After to the
+// remaining cooldown.
+func TestBreakerRetryAfter(t *testing.T) {
+	clk := newFakeClock()
+	b := NewBreaker(1, 10*time.Second, clk.now)
+	b.RecordFailure()
+	clk.advance(4 * time.Second)
+	_, _, retry := b.Allow()
+	if retry != 6*time.Second {
+		t.Fatalf("retry = %v, want 6s (remaining cooldown)", retry)
+	}
+}
+
+func TestControllerRateLimits(t *testing.T) {
+	clk := newFakeClock()
+	c := NewController(Config{
+		TenantRate: 1, TenantBurst: 2,
+		Now: clk.now,
+	})
+	ctx := context.Background()
+
+	// The burst admits; the third request from the same tenant sheds.
+	for i := 0; i < 2; i++ {
+		tk, rej, err := c.Admit(ctx, "alice", "m", Cheap)
+		if err != nil || rej != nil {
+			t.Fatalf("take %d: rej=%v err=%v", i, rej, err)
+		}
+		tk.Done(OutcomeOK)
+	}
+	_, rej, err := c.Admit(ctx, "alice", "m", Cheap)
+	if err != nil || rej == nil {
+		t.Fatalf("want rejection, got err=%v", err)
+	}
+	if rej.Status != 429 || rej.Reason != ReasonTenantRateLimited || rej.RetryAfter <= 0 {
+		t.Fatalf("bad rejection: %+v", rej)
+	}
+
+	// Tenants are isolated: bob still has his burst.
+	if tk, rej, err := c.Admit(ctx, "bob", "m", Cheap); rej != nil || err != nil {
+		t.Fatalf("bob shed by alice's flood: rej=%v err=%v", rej, err)
+	} else {
+		tk.Done(OutcomeOK)
+	}
+	// The empty tenant maps to DefaultTenant.
+	if tk, rej, err := c.Admit(ctx, "", "m", Cheap); rej != nil || err != nil {
+		t.Fatalf("default tenant: rej=%v err=%v", rej, err)
+	} else {
+		tk.Done(OutcomeOK)
+	}
+
+	st := c.Stats()
+	if len(st.Tenants) != 3 {
+		t.Fatalf("want 3 tenants, got %+v", st.Tenants)
+	}
+	byName := map[string]Counts{}
+	for _, p := range st.Tenants {
+		byName[p.Name] = p.Counts
+	}
+	if byName["alice"].Admitted != 2 || byName["alice"].Shed != 1 {
+		t.Fatalf("alice counts: %+v", byName["alice"])
+	}
+	if byName[DefaultTenant].Admitted != 1 {
+		t.Fatalf("default tenant counts: %+v", byName[DefaultTenant])
+	}
+	if len(st.Models) != 1 || st.Models[0].Counts.Admitted != 4 || st.Models[0].Counts.Shed != 1 {
+		t.Fatalf("model counts: %+v", st.Models)
+	}
+}
+
+func TestControllerBreakerFlow(t *testing.T) {
+	clk := newFakeClock()
+	c := NewController(Config{
+		BreakerFailures: 2,
+		BreakerCooldown: 10 * time.Second,
+		Now:             clk.now,
+	})
+	ctx := context.Background()
+
+	for i := 0; i < 2; i++ {
+		tk, rej, err := c.Admit(ctx, "", "m", Cheap)
+		if rej != nil || err != nil {
+			t.Fatalf("admit %d: rej=%v err=%v", i, rej, err)
+		}
+		tk.Done(OutcomeFailure)
+	}
+	_, rej, err := c.Admit(ctx, "", "m", Cheap)
+	if err != nil || rej == nil || rej.Status != 503 || rej.Reason != ReasonBreakerOpen {
+		t.Fatalf("want 503 breaker_open, got rej=%+v err=%v", rej, err)
+	}
+	if rej.RetryAfter != 10*time.Second {
+		t.Fatalf("RetryAfter = %v, want full cooldown", rej.RetryAfter)
+	}
+	// Other models are unaffected.
+	if tk, rej, err := c.Admit(ctx, "", "other", Cheap); rej != nil || err != nil {
+		t.Fatalf("other model: rej=%v err=%v", rej, err)
+	} else {
+		tk.Done(OutcomeOK)
+	}
+
+	// After the cooldown a probe goes through and closes the breaker.
+	clk.advance(10 * time.Second)
+	tk, rej, err := c.Admit(ctx, "", "m", Cheap)
+	if rej != nil || err != nil {
+		t.Fatalf("probe: rej=%v err=%v", rej, err)
+	}
+	tk.Done(OutcomeOK)
+	if tk2, rej, err := c.Admit(ctx, "", "m", Cheap); rej != nil || err != nil {
+		t.Fatalf("post-probe: rej=%v err=%v", rej, err)
+	} else {
+		tk2.Done(OutcomeOK)
+	}
+
+	// A failed snapshot load re-opens; a successful one resets.
+	c.RecordLoad("m", errors.New("corrupt snapshot"))
+	c.RecordLoad("m", errors.New("corrupt snapshot"))
+	if _, rej, _ := c.Admit(ctx, "", "m", Cheap); rej == nil || rej.Reason != ReasonBreakerOpen {
+		t.Fatalf("want breaker_open after load failures, got %+v", rej)
+	}
+	c.RecordLoad("m", nil)
+	if tk, rej, err := c.Admit(ctx, "", "m", Cheap); rej != nil || err != nil {
+		t.Fatalf("after successful load: rej=%v err=%v", rej, err)
+	} else {
+		tk.Done(OutcomeOK)
+	}
+
+	st := c.Stats()
+	if len(st.Breakers) != 2 {
+		t.Fatalf("want 2 breakers, got %+v", st.Breakers)
+	}
+	for _, bs := range st.Breakers {
+		if bs.Model == "m" && bs.Opens < 2 {
+			t.Fatalf("breaker m opened %d times, want >= 2", bs.Opens)
+		}
+	}
+}
+
+// TestControllerOverloadBurst hammers a fully configured controller
+// from many goroutines — more than the gates admit — with a mix of
+// outcomes and mid-flight cancellations, then checks the counter
+// identity (every admit is accounted exactly once) and that the burst
+// leaked no goroutines.
+func TestControllerOverloadBurst(t *testing.T) {
+	base := testutil.GoroutineBaseline()
+	c := NewController(Config{
+		CheapCapacity: 3, CheapQueue: 4,
+		ExpensiveCapacity: 1, ExpensiveQueue: 1,
+		BreakerFailures: 1 << 30, // counting, never tripping
+	})
+	const workers, iters = 24, 40
+
+	var admitted, shed atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				class := Cheap
+				if (w+i)%5 == 0 {
+					class = Expensive
+				}
+				ctx, cancel := context.WithCancel(context.Background())
+				if (w+i)%7 == 0 {
+					cancel() // a client that is already gone
+				}
+				tk, rej, err := c.Admit(ctx, "t", "m", class)
+				switch {
+				case err != nil:
+					// canceled while queued — fine
+				case rej != nil:
+					shed.Add(1)
+				default:
+					admitted.Add(1)
+					// Hold the slot long enough for the burst to pile up
+					// behind the gate.
+					time.Sleep(50 * time.Microsecond)
+					out := OutcomeOK
+					if i%11 == 0 {
+						out = OutcomeFailure
+					}
+					tk.Done(out)
+				}
+				cancel()
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if admitted.Load() == 0 {
+		t.Fatal("nothing admitted")
+	}
+	if shed.Load() == 0 {
+		t.Fatal("nothing shed — the burst never saturated the gates")
+	}
+	st := c.Stats()
+	if len(st.Models) != 1 || st.Models[0].Counts.Admitted != admitted.Load() {
+		t.Fatalf("model admitted = %+v, want %d", st.Models, admitted.Load())
+	}
+	if st.Models[0].Counts.Shed != shed.Load() {
+		t.Fatalf("model shed = %d, want %d", st.Models[0].Counts.Shed, shed.Load())
+	}
+	for _, g := range st.Gates {
+		if g.InFlight != 0 || g.Queued != 0 {
+			t.Fatalf("gate %s not drained: %+v", g.Class, g)
+		}
+	}
+	testutil.CheckGoroutines(t.Fatalf, base, 0, 5*time.Second)
+}
+
+// TestTicketDoneIdempotent guards the double-release footgun.
+func TestTicketDoneIdempotent(t *testing.T) {
+	c := NewController(Config{CheapCapacity: 1})
+	tk, rej, err := c.Admit(context.Background(), "", "m", Cheap)
+	if rej != nil || err != nil {
+		t.Fatalf("rej=%v err=%v", rej, err)
+	}
+	tk.Done(OutcomeOK)
+	tk.Done(OutcomeOK)
+	g := c.Gate(Cheap)
+	if fl, _ := g.Load(); fl != 0 {
+		t.Fatalf("inflight = %d after double Done, want 0", fl)
+	}
+	// A second admit still works (the slot was not double-freed into
+	// a negative count).
+	tk2, rej, err := c.Admit(context.Background(), "", "m", Cheap)
+	if rej != nil || err != nil {
+		t.Fatalf("rej=%v err=%v", rej, err)
+	}
+	tk2.Done(OutcomeOK)
+}

@@ -1,0 +1,59 @@
+package admit
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// maxBucketNanos caps the GCRA arithmetic far below int64 overflow
+// (2^61 ns is ~73 years) while still meaning "effectively unlimited".
+const maxBucketNanos = int64(1) << 61
+
+// bucket is a token bucket in GCRA form: instead of a mutex-guarded
+// float token count it keeps a single atomic word — the theoretical
+// arrival time (tat), in nanoseconds on the caller's clock — so the
+// conforming take is one CAS. The bucket refills at rate tokens per
+// second capped at burst, charges one token per admitted request, and
+// starts full (tat zero is the distant past).
+type bucket struct {
+	interval int64 // nanos per token (1/rate); 0 when the rate outruns the clock
+	tol      int64 // burst tolerance: (burst-1)*interval
+	tat      atomic.Int64
+}
+
+// newBucket returns a bucket refilling at rate tokens/second with the
+// given burst; a burst below 1 is raised to 1 (a bucket that can
+// never hold a whole token would reject everything).
+func newBucket(rate, burst float64) *bucket {
+	if burst < 1 {
+		burst = 1
+	}
+	interval := int64(float64(time.Second) / rate)
+	if interval < 0 || interval > maxBucketNanos {
+		interval = maxBucketNanos
+	}
+	tol := int64(float64(interval) * (burst - 1))
+	if tol < 0 || float64(interval)*(burst-1) > float64(maxBucketNanos) {
+		tol = maxBucketNanos
+	}
+	return &bucket{interval: interval, tol: tol}
+}
+
+// take consumes one token if available, or reports how long until one
+// accrues — the Retry-After a rate-limited client should honor. now
+// is nanoseconds on any monotonic clock; tat lives on the same clock.
+func (b *bucket) take(now int64) (ok bool, retry time.Duration) {
+	for {
+		tat := b.tat.Load()
+		if tat-b.tol > now {
+			return false, time.Duration(tat - b.tol - now)
+		}
+		next := tat
+		if now > next {
+			next = now
+		}
+		if b.tat.CompareAndSwap(tat, next+b.interval) {
+			return true, 0
+		}
+	}
+}

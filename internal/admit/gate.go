@@ -1,0 +1,283 @@
+package admit
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrQueueFull is returned by Gate.Enter when both the gate and its
+// wait queue are at capacity: the request must be shed immediately
+// (429 + Retry-After), never queued unboundedly.
+var ErrQueueFull = errors.New("admit: gate queue full")
+
+// waiter is one queued request. ready is buffered so the granter
+// never blocks handing over a slot, even if the waiter has already
+// abandoned the queue on cancellation.
+type waiter struct {
+	ready chan struct{}
+}
+
+// Gate is a concurrency gate with a bounded FIFO wait queue: at most
+// capacity requests hold a slot concurrently, at most maxQueue more
+// wait in arrival order, and everything beyond that is rejected
+// immediately. Leaving hands the freed slot to the oldest waiter, so
+// admission is strictly first-come-first-served among waiters.
+//
+// The gate also maintains an EWMA of observed service times, from
+// which RetryAfter derives the backpressure hint for shed requests:
+// roughly how long a full queue takes to drain at current capacity.
+//
+// The uncontended path — a free slot in, no waiters out — is one CAS
+// on each side: state packs the in-flight count (low half) and the
+// queue length (high half) into a single word, so "free slot and
+// nobody waiting" is checked and claimed atomically, preserving FIFO
+// (a newcomer can never slip past a queued waiter). The queue half of
+// the word and the queue slice itself only change while mu is held.
+type Gate struct {
+	capacity int
+	maxQueue int
+
+	state atomic.Uint64
+
+	mu    sync.Mutex
+	queue []*waiter
+
+	// avgServiceNs is the EWMA of observed service durations
+	// (alpha = 1/8), updated lock-free on Leave.
+	avgServiceNs atomic.Int64
+
+	// sampleCounter spreads service-time observations: reading the
+	// clock twice per request would dominate the admission budget, so
+	// once seeded only every sampleEvery-th request is timed.
+	sampleCounter atomic.Uint32
+}
+
+// sampleEvery is the service-time sampling stride once the EWMA has a
+// seed.
+const sampleEvery = 8
+
+// shouldSample reports whether the entering request should time its
+// service for the EWMA: always until the first observation lands,
+// every sampleEvery-th request after.
+func (g *Gate) shouldSample() bool {
+	if g.avgServiceNs.Load() == 0 {
+		return true
+	}
+	return g.sampleCounter.Add(1)%sampleEvery == 0
+}
+
+// packState packs the pair; counts are bounded by capacity/maxQueue,
+// far below 2^32.
+func packState(inflight, queued int) uint64 {
+	return uint64(queued)<<32 | uint64(uint32(inflight))
+}
+
+func unpackState(s uint64) (inflight, queued int) {
+	return int(int32(s & 0xffffffff)), int(s >> 32)
+}
+
+// addState applies a delta to the packed state.
+func (g *Gate) addState(dInflight, dQueued int) {
+	for {
+		s := g.state.Load()
+		inflight, queued := unpackState(s)
+		if g.state.CompareAndSwap(s, packState(inflight+dInflight, queued+dQueued)) {
+			return
+		}
+	}
+}
+
+// NewGate returns a gate admitting capacity concurrent requests with
+// a FIFO wait queue of maxQueue (0 means no queue: saturated means
+// shed). capacity must be >= 1.
+func NewGate(capacity, maxQueue int) *Gate {
+	if capacity < 1 {
+		capacity = 1
+	}
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	return &Gate{capacity: capacity, maxQueue: maxQueue}
+}
+
+// Capacity returns the concurrent-execution bound.
+func (g *Gate) Capacity() int { return g.capacity }
+
+// MaxQueue returns the wait-queue bound.
+func (g *Gate) MaxQueue() int { return g.maxQueue }
+
+// Load reports the current in-flight and queued counts.
+func (g *Gate) Load() (inflight, queued int) {
+	return unpackState(g.state.Load())
+}
+
+// AvgServiceNs returns the service-time EWMA in nanoseconds (0 until
+// the first completion).
+func (g *Gate) AvgServiceNs() int64 { return g.avgServiceNs.Load() }
+
+// Enter claims a slot. It returns immediately when one is free; waits
+// in FIFO order when the gate is saturated but the queue has room
+// (waited reports that); returns ErrQueueFull when both are at
+// capacity; and returns ctx.Err() when the context ends first. A nil
+// error means the caller holds a slot and must call Leave.
+func (g *Gate) Enter(ctx context.Context) (waited bool, err error) {
+	for {
+		s := g.state.Load()
+		inflight, queued := unpackState(s)
+		if queued > 0 || inflight >= g.capacity {
+			break
+		}
+		if g.state.CompareAndSwap(s, packState(inflight+1, 0)) {
+			return false, nil
+		}
+	}
+	w, err := g.enqueue()
+	if err != nil {
+		return false, err
+	}
+	if w == nil { // a slot freed up while taking the lock
+		return false, nil
+	}
+
+	select {
+	case <-w.ready:
+		return true, nil
+	case <-ctx.Done():
+		// Abandon the queue slot — unless a grant raced in, in which
+		// case the slot is ours to give back.
+		if !g.abandon(w) {
+			g.Leave(0)
+		}
+		return true, ctx.Err()
+	}
+}
+
+// enqueue claims a slot or a queue position under the lock: a nil
+// waiter with nil error means a slot was claimed directly.
+func (g *Gate) enqueue() (*waiter, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for {
+		s := g.state.Load()
+		inflight, queued := unpackState(s)
+		if queued == 0 && inflight < g.capacity {
+			if g.state.CompareAndSwap(s, packState(inflight+1, 0)) {
+				return nil, nil
+			}
+			continue // a lock-free Enter or Leave raced; re-read
+		}
+		if queued >= g.maxQueue {
+			return nil, ErrQueueFull
+		}
+		if g.state.CompareAndSwap(s, packState(inflight, queued+1)) {
+			w := &waiter{ready: make(chan struct{}, 1)}
+			g.queue = append(g.queue, w)
+			return w, nil
+		}
+	}
+}
+
+// abandon removes a canceled waiter from the queue; false means a
+// grant already popped it, so the caller owns a slot.
+func (g *Gate) abandon(w *waiter) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for i, q := range g.queue {
+		if q == w {
+			g.queue = append(g.queue[:i], g.queue[i+1:]...)
+			g.addState(0, -1)
+			return true
+		}
+	}
+	return false
+}
+
+// Leave releases a slot, handing it to the oldest waiter if any, and
+// folds the observed service duration (ignored when <= 0) into the
+// Retry-After estimator. The wake-up happens outside the gate lock.
+func (g *Gate) Leave(service time.Duration) {
+	if service > 0 {
+		g.observe(service)
+	}
+	for {
+		s := g.state.Load()
+		inflight, queued := unpackState(s)
+		if queued > 0 {
+			break
+		}
+		if g.state.CompareAndSwap(s, packState(inflight-1, 0)) {
+			return
+		}
+	}
+	g.leaveSlow()
+}
+
+// leaveSlow hands the freed slot to the oldest waiter (in-flight
+// stays put — it is a transfer), or gives it back if every waiter
+// abandoned in the meantime.
+func (g *Gate) leaveSlow() {
+	g.mu.Lock()
+	var grant *waiter
+	if len(g.queue) > 0 {
+		grant = g.queue[0]
+		g.queue = g.queue[1:]
+		g.addState(0, -1)
+	} else {
+		g.addState(-1, 0)
+	}
+	g.mu.Unlock()
+	if grant != nil {
+		grant.ready <- struct{}{}
+	}
+}
+
+// observe folds one service duration into the EWMA (alpha = 1/8; the
+// first observation seeds it).
+func (g *Gate) observe(service time.Duration) {
+	ns := service.Nanoseconds()
+	if ns <= 0 {
+		return
+	}
+	for {
+		old := g.avgServiceNs.Load()
+		next := ns
+		if old > 0 {
+			next = old + (ns-old)/8
+			if next == old && ns != old {
+				// Keep small corrections from stalling on integer division.
+				if ns > old {
+					next = old + 1
+				} else {
+					next = old - 1
+				}
+			}
+		}
+		if g.avgServiceNs.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// RetryAfter estimates when a shed request could plausibly be
+// admitted: the time for the current backlog (full queue plus one)
+// to drain at capacity, by the observed mean service time. With no
+// observations yet it falls back to one second — a safe, honest
+// floor for a server that has not finished a request of this class.
+func (g *Gate) RetryAfter() time.Duration {
+	avg := g.avgServiceNs.Load()
+	if avg <= 0 {
+		return time.Second
+	}
+	_, queued := unpackState(g.state.Load())
+	backlog := queued + 1
+	d := time.Duration(int64(backlog) * avg / int64(g.capacity))
+	if d < time.Second {
+		// Retry-After is expressed in whole seconds on the wire; never
+		// tell a client "0".
+		d = time.Second
+	}
+	return d
+}

@@ -36,6 +36,7 @@ import (
 	"hypermine/internal/classify"
 	"hypermine/internal/core"
 	"hypermine/internal/cover"
+	"hypermine/internal/runopt"
 	"hypermine/internal/similarity"
 	"hypermine/internal/table"
 )
@@ -241,6 +242,7 @@ func (e *Engine) Index(ctx context.Context) (*table.Index, error) {
 		if e.model.Table == nil || e.model.Table.NumRows() == 0 {
 			return nil, unavailablef("engine: model has no training rows to index")
 		}
+		defer runopt.PhaseLogFrom(ctx).Span(runopt.PhaseIndex)()
 		ix := e.model.Table.Index()
 		e.indexBuilds.Add(1)
 		e.derivedBytes.Add(indexFootprint(e.model.Table))
@@ -255,6 +257,7 @@ func (e *Engine) SimilarityGraph(ctx context.Context) (*similarity.Graph, error)
 		return v, err
 	}
 	return e.sim.get(ctx, func() (*similarity.Graph, error) {
+		defer runopt.PhaseLogFrom(ctx).Span(runopt.PhaseSimilarity)()
 		g, err := similarity.BuildGraphContext(ctx, e.model.H, e.allVertices(), similarity.GraphOptions{})
 		if err != nil {
 			return nil, err
@@ -277,6 +280,7 @@ func (e *Engine) Dominator(ctx context.Context, spec DomSpec) (*cover.Result, er
 		return v, err
 	}
 	return m.get(ctx, func() (*cover.Result, error) {
+		defer runopt.PhaseLogFrom(ctx).Span(runopt.PhaseDominator)()
 		opt := cover.Options{
 			Complete:     spec.Complete,
 			Enhancement1: spec.Enhancement1,
@@ -342,6 +346,9 @@ func (e *Engine) buildClassifierSet(ctx context.Context, spec DomSpec) (*classif
 	if err != nil {
 		return nil, err
 	}
+	// The dominator's own time is attributed above; this span covers
+	// the classifier-specific work (association tables, pool setup).
+	defer runopt.PhaseLogFrom(ctx).Span(runopt.PhaseClassifier)()
 	set := &classifierSet{dom: dom, targets: targetsOf(dom)}
 	switch {
 	case e.model.RequireRows() != nil:
@@ -499,10 +506,14 @@ func (e *Engine) Rules(ctx context.Context, head int, opt core.MineOptions) ([]c
 		return nil, badf("head attribute %d out of range", head)
 	}
 	if opt.Run != nil || e.rules.cap <= 0 {
+		defer runopt.PhaseLogFrom(ctx).Span(runopt.PhaseRules)()
 		return core.MineRulesContext(ctx, e.model, head, opt)
 	}
 	key := ruleKey{head: head, minSupport: opt.MinSupport, minConfidence: opt.MinConfidence, maxRules: opt.MaxRules}
 	return e.rules.get(ctx, key, e.derivedBytes.Add, func() ([]core.ScoredRule, error) {
+		// Only a cache miss does mining work, so only the winning
+		// build is attributed; a cache hit records nothing.
+		defer runopt.PhaseLogFrom(ctx).Span(runopt.PhaseRules)()
 		return core.MineRulesContext(ctx, e.model, head, opt)
 	})
 }

@@ -69,6 +69,49 @@ func AsError(err error) *Error {
 	return &Error{Kind: ErrInternal, Message: err.Error()}
 }
 
+// Cost is a request's admission cost class: the serving layer gives
+// cheap warm reads and expensive cold/mining queries separate
+// concurrency gates, so a burst of rule-mining queries cannot starve
+// the microsecond classify path.
+type Cost int
+
+const (
+	// CostCheap is the warm read path: classification, similarity,
+	// and dominator queries answer from memoized artifacts in
+	// nanoseconds-to-microseconds once built.
+	CostCheap Cost = iota
+	// CostExpensive is the mining path: a rules query misses the rule
+	// cache into a full MineRules run (tens of milliseconds).
+	CostExpensive
+)
+
+// String names the cost class for stats and metrics labels.
+func (c Cost) String() string {
+	if c == CostExpensive {
+		return "expensive"
+	}
+	return "cheap"
+}
+
+// Cost classifies the request by kind: rules queries (and batches
+// containing one) are expensive, everything else is cheap. The
+// classification is static — it does not consult cache state — so the
+// admission decision is deterministic for a given request shape.
+func (r *Request) Cost() Cost {
+	if r == nil {
+		return CostCheap
+	}
+	if r.Rules != nil {
+		return CostExpensive
+	}
+	for i := range r.Batch {
+		if r.Batch[i].Rules != nil {
+			return CostExpensive
+		}
+	}
+	return CostCheap
+}
+
 // Request is one engine query: exactly one variant must be set.
 type Request struct {
 	Rules      *RulesRequest      `json:"rules,omitempty"`

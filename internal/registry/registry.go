@@ -56,6 +56,14 @@ type Options struct {
 	// engine.WarmupAll restores the pre-engine prepare-everything
 	// behavior for latency-critical serving.
 	Warmup engine.Warmup
+	// LoadHook, when set, observes the outcome of every load attempt:
+	// err is nil on a successful publish and the preparation error
+	// otherwise. Context cancellation is not reported — an aborted
+	// upload says nothing about the model itself. The hook runs outside
+	// registry locks; the serving layer uses it to feed per-model
+	// circuit breakers (a model that cannot even load should trip open,
+	// a fresh successful load deserves a clean slate).
+	LoadHook func(name string, err error)
 }
 
 // Served is one immutable serving model: an engine.Engine plus the
@@ -232,6 +240,9 @@ func (r *Registry) LoadContext(ctx context.Context, name string, m *core.Model) 
 	}
 	s, err := r.buildServed(ctx, name, m)
 	if err != nil {
+		if r.opt.LoadHook != nil && !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+			r.opt.LoadHook(name, err)
+		}
 		return nil, err
 	}
 
@@ -258,6 +269,9 @@ func (r *Registry) LoadContext(ctx context.Context, name string, m *core.Model) 
 	//hyperlint:ignore ctxpoll
 	for _, d := range drains {
 		drain(d)
+	}
+	if r.opt.LoadHook != nil {
+		r.opt.LoadHook(name, nil)
 	}
 	return info, nil
 }

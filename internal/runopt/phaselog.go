@@ -1,0 +1,100 @@
+package runopt
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// PhaseLog attributes a request's wall time to pipeline phases. A
+// transport that wants attribution (the server's slow-query log)
+// attaches one to the request context with WithPhaseLog; the engine's
+// build sites wrap their work in Span calls keyed by the Phase
+// vocabulary above. A request that only hit memoized artifacts
+// records no spans — it did no phase work — so the log shows exactly
+// where a slow request actually spent its time.
+//
+// A nil *PhaseLog is a valid no-op receiver, so instrumentation sites
+// need no guards: PhaseLogFrom(ctx).Span(PhaseRules) costs two nil
+// checks when no log is attached.
+type PhaseLog struct {
+	mu    sync.Mutex
+	spans map[Phase]time.Duration
+}
+
+type phaseLogKey struct{}
+
+// WithPhaseLog attaches a fresh PhaseLog to ctx and returns both.
+func WithPhaseLog(ctx context.Context) (context.Context, *PhaseLog) {
+	p := &PhaseLog{spans: make(map[Phase]time.Duration)}
+	return context.WithValue(ctx, phaseLogKey{}, p), p
+}
+
+// PhaseLogFrom returns the PhaseLog attached to ctx, or nil.
+func PhaseLogFrom(ctx context.Context) *PhaseLog {
+	p, _ := ctx.Value(phaseLogKey{}).(*PhaseLog)
+	return p
+}
+
+// Span starts timing one phase and returns the closer; use as
+//
+//	defer runopt.PhaseLogFrom(ctx).Span(runopt.PhaseRules)()
+//
+// Durations accumulate: a request that mines rules twice records the
+// sum. Nil-safe.
+func (p *PhaseLog) Span(ph Phase) func() {
+	if p == nil {
+		return func() {}
+	}
+	start := time.Now()
+	return func() {
+		d := time.Since(start)
+		p.mu.Lock()
+		p.spans[ph] += d
+		p.mu.Unlock()
+	}
+}
+
+// PhaseSpan is one attributed phase duration.
+type PhaseSpan struct {
+	Phase    Phase
+	Duration time.Duration
+}
+
+// Snapshot returns the recorded spans, longest first (ties broken by
+// phase name) — a deterministic order safe to render.
+func (p *PhaseLog) Snapshot() []PhaseSpan {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	out := make([]PhaseSpan, 0, len(p.spans))
+	for ph, d := range p.spans {
+		out = append(out, PhaseSpan{Phase: ph, Duration: d})
+	}
+	p.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Duration != out[j].Duration {
+			return out[i].Duration > out[j].Duration
+		}
+		return out[i].Phase < out[j].Phase
+	})
+	return out
+}
+
+// String renders the snapshot as "phase=dur phase=dur", or "none"
+// when no phase work was recorded (a fully warm request).
+func (p *PhaseLog) String() string {
+	spans := p.Snapshot()
+	if len(spans) == 0 {
+		return "none"
+	}
+	parts := make([]string, len(spans))
+	for i, s := range spans {
+		parts[i] = fmt.Sprintf("%s=%s", s.Phase, s.Duration.Round(time.Microsecond))
+	}
+	return strings.Join(parts, " ")
+}

@@ -41,6 +41,12 @@ const (
 	PhaseRules Phase = "rules"
 	// PhaseFolds is cross-validation; unit = one completed fold.
 	PhaseFolds Phase = "folds"
+	// PhaseIndex is TID-bitset index construction (an engine lazy
+	// artifact; no incremental progress units).
+	PhaseIndex Phase = "index"
+	// PhaseClassifier is prepared-classifier construction (association
+	// tables + predictor pool; no incremental progress units).
+	PhaseClassifier Phase = "classifier"
 )
 
 // ProgressFunc observes completed work units of one phase. done is

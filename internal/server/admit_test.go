@@ -1,0 +1,488 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"hypermine/internal/admit"
+	"hypermine/internal/registry"
+	"hypermine/internal/testutil"
+)
+
+// servingAdmit boots an httptest server with one model loaded as
+// "demo" and the given admission controller in front of the query
+// funnel.
+func servingAdmit(t *testing.T, ctl *admit.Controller, opts ...Option) *httptest.Server {
+	t.Helper()
+	m := testModel(t, 7, 12, 500)
+	reg := registry.New(registry.Options{})
+	if _, err := reg.Load("demo", m); err != nil {
+		t.Fatal(err)
+	}
+	opts = append([]Option{WithAdmission(ctl)}, opts...)
+	ts := httptest.NewServer(New(reg, opts...).Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// getTenant issues a GET with an X-Tenant header and returns status,
+// body, and the Retry-After header.
+func getTenant(t *testing.T, url, tenant string) (int, []byte, string) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tenant != "" {
+		req.Header.Set("X-Tenant", tenant)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body, resp.Header.Get("Retry-After")
+}
+
+// TestAdmissionTenantRateLimit drives one tenant's bucket empty and
+// checks the 429 contract: status, reason, Retry-After header >= 1,
+// and isolation — the other tenant and the default tenant stay
+// admitted.
+func TestAdmissionTenantRateLimit(t *testing.T) {
+	ctl := admit.NewController(admit.Config{TenantRate: 0.001, TenantBurst: 2})
+	ts := servingAdmit(t, ctl)
+	url := ts.URL + "/v1/models/demo/dominators"
+
+	for i := 0; i < 2; i++ {
+		if code, body, _ := getTenant(t, url, "alice"); code != 200 {
+			t.Fatalf("alice request %d: code %d (%s)", i, code, body)
+		}
+	}
+	code, body, retry := getTenant(t, url, "alice")
+	if code != 429 {
+		t.Fatalf("exhausted tenant: code %d (%s), want 429", code, body)
+	}
+	if !strings.Contains(string(body), string(admit.ReasonTenantRateLimited)) {
+		t.Fatalf("429 body %s missing reason %q", body, admit.ReasonTenantRateLimited)
+	}
+	if secs, err := strconv.Atoi(retry); err != nil || secs < 1 {
+		t.Fatalf("Retry-After %q, want integer >= 1", retry)
+	}
+	// Other tenants are unaffected: that is the point of per-tenant
+	// buckets.
+	if code, body, _ := getTenant(t, url, "bob"); code != 200 {
+		t.Fatalf("bob: code %d (%s), want 200", code, body)
+	}
+	if code, body, _ := getTenant(t, url, ""); code != 200 {
+		t.Fatalf("default tenant: code %d (%s), want 200", code, body)
+	}
+
+	var st statsResponse
+	if code := getJSON(t, ts.URL+"/stats", &st); code != 200 {
+		t.Fatalf("/stats: %d", code)
+	}
+	if st.Shed != 1 {
+		t.Fatalf("stats shed = %d, want 1", st.Shed)
+	}
+	if st.Admission == nil {
+		t.Fatal("stats missing admission block")
+	}
+	var alice *admit.PartyStats
+	for i := range st.Admission.Tenants {
+		if st.Admission.Tenants[i].Name == "alice" {
+			alice = &st.Admission.Tenants[i]
+		}
+	}
+	if alice == nil || alice.Shed != 1 || alice.Admitted != 2 {
+		t.Fatalf("alice stats = %+v, want admitted 2 shed 1", alice)
+	}
+}
+
+// TestAdmissionQueueFull fills the cheap gate (capacity and queue)
+// from the test, then proves the next request is shed immediately with
+// 429 queue_full — the server never blocks past the configured
+// backlog — and that a request after release succeeds byte-identically
+// to the unloaded baseline.
+func TestAdmissionQueueFull(t *testing.T) {
+	ctl := admit.NewController(admit.Config{CheapCapacity: 1, CheapQueue: 1})
+	ts := servingAdmit(t, ctl)
+	url := ts.URL + "/v1/models/demo/dominators"
+
+	_, baseline, _ := getTenant(t, url, "")
+
+	gate := ctl.Gate(admit.Cheap)
+	if _, err := gate.Enter(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	queued := make(chan error, 1)
+	entered := make(chan struct{})
+	go func() {
+		close(entered)
+		_, err := gate.Enter(context.Background())
+		queued <- err
+	}()
+	<-entered
+	// Wait until the helper goroutine is actually parked in the queue.
+	for i := 0; ; i++ {
+		if _, q := gate.Load(); q == 1 {
+			break
+		}
+		if i > 5000 {
+			t.Fatal("helper never queued")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+
+	code, body, retry := getTenant(t, url, "")
+	if code != 429 || !strings.Contains(string(body), string(admit.ReasonQueueFull)) {
+		t.Fatalf("saturated gate: code %d body %s, want 429 queue_full", code, body)
+	}
+	if secs, err := strconv.Atoi(retry); err != nil || secs < 1 {
+		t.Fatalf("Retry-After %q, want integer >= 1", retry)
+	}
+
+	gate.Leave(0) // hands the slot to the queued helper
+	if err := <-queued; err != nil {
+		t.Fatal(err)
+	}
+	gate.Leave(0)
+
+	code, got, _ := getTenant(t, url, "")
+	if code != 200 {
+		t.Fatalf("after release: code %d (%s)", code, got)
+	}
+	if !bytes.Equal(got, baseline) {
+		t.Fatalf("admitted response diverged from baseline:\n%s\nvs\n%s", got, baseline)
+	}
+}
+
+// TestAdmissionBreaker trips a model's breaker end to end: a
+// nanosecond query timeout makes every admitted query fail with
+// DeadlineExceeded (an OutcomeFailure), so after the threshold the
+// breaker opens and the next request is shed with 503 + Retry-After
+// before touching the engine.
+func TestAdmissionBreaker(t *testing.T) {
+	ctl := admit.NewController(admit.Config{BreakerFailures: 3, BreakerCooldown: time.Hour})
+	ts := servingAdmit(t, ctl, WithQueryTimeout(time.Nanosecond))
+	url := ts.URL + "/v1/models/demo/dominators"
+
+	for i := 0; i < 3; i++ {
+		if code, body, _ := getTenant(t, url, ""); code != 504 {
+			t.Fatalf("request %d: code %d (%s), want 504", i, code, body)
+		}
+	}
+	code, body, retry := getTenant(t, url, "")
+	if code != 503 || !strings.Contains(string(body), string(admit.ReasonBreakerOpen)) {
+		t.Fatalf("open breaker: code %d body %s, want 503 breaker_open", code, body)
+	}
+	if secs, err := strconv.Atoi(retry); err != nil || secs < 1 {
+		t.Fatalf("Retry-After %q, want integer >= 1", retry)
+	}
+
+	var st statsResponse
+	getJSON(t, ts.URL+"/stats", &st)
+	if st.Admission == nil || len(st.Admission.Breakers) != 1 {
+		t.Fatalf("stats breakers = %+v, want one", st.Admission)
+	}
+	if b := st.Admission.Breakers[0]; b.Model != "demo" || b.State != "open" || b.Opens != 1 {
+		t.Fatalf("breaker stats = %+v, want demo open opens=1", b)
+	}
+}
+
+// TestAdmissionBurstInvariants hammers a tiny gate from concurrent
+// clients while the test deliberately holds the only slot for the
+// first phase: every response must be either byte-identical to the
+// unloaded baseline (200) or a well-formed rejection (429 with
+// Retry-After), shed must be nonzero, counters must add up, and the
+// goroutine count must return to baseline afterwards.
+func TestAdmissionBurstInvariants(t *testing.T) {
+	base := testutil.GoroutineBaseline()
+
+	ctl := admit.NewController(admit.Config{CheapCapacity: 1, CheapQueue: 2})
+	ts := servingAdmit(t, ctl)
+	url := ts.URL + "/v1/models/demo/dominators"
+	_, baseline, _ := getTenant(t, url, "")
+
+	// Phase 1: the test owns the slot, so at most CheapQueue requests
+	// can be waiting and everything beyond that must shed.
+	gate := ctl.Gate(admit.Cheap)
+	if _, err := gate.Enter(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Up to CheapQueue workers park in the gate queue while the slot
+	// is held; everyone else sheds immediately, so responses keep
+	// flowing. Once a quarter of the total burst has been answered
+	// (all of it rejections, by construction), release the slot and
+	// let the tail drain through normally.
+	const workers, iters = 8, 20
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var ok200, shed429, other int
+	released := false
+	release := make(chan struct{})
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				code, body, retry := getTenant(t, url, "")
+				mu.Lock()
+				switch {
+				case code == 200 && bytes.Equal(body, baseline):
+					ok200++
+				case code == 429 && retry != "":
+					shed429++
+				default:
+					other++
+					t.Errorf("code %d retry %q body %.80s", code, retry, body)
+				}
+				if !released && ok200+shed429+other >= workers*iters/4 {
+					released = true
+					close(release)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	go func() {
+		<-release
+		gate.Leave(0)
+	}()
+	wg.Wait()
+
+	if other != 0 {
+		t.Fatalf("%d responses violated the identity/rejection invariant", other)
+	}
+	if shed429 == 0 {
+		t.Fatal("nothing shed while the gate slot was held")
+	}
+	if ok200 == 0 {
+		t.Fatal("nothing admitted after release")
+	}
+	if got := ok200 + shed429; got != workers*iters {
+		t.Fatalf("response count %d, want %d", got, workers*iters)
+	}
+
+	// The gate must be fully drained: no stranded in-flight or waiter.
+	if inflight, queued := gate.Load(); inflight != 0 || queued != 0 {
+		t.Fatalf("gate not drained: inflight %d queued %d", inflight, queued)
+	}
+	ts.Close()
+	testutil.CheckGoroutines(t.Fatalf, base, 0, 5*time.Second)
+}
+
+var (
+	promComment = regexp.MustCompile(`^# (HELP|TYPE) ([a-zA-Z_:][a-zA-Z0-9_:]*)( .*)?$`)
+	promSample  = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^{}]*\})? (-?[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?|[+-]Inf|NaN)$`)
+)
+
+// TestMetricsEndpoint scrapes /metrics and parses every line against
+// the exposition format: comments well-formed, every sample preceded
+// by a TYPE for its family, no duplicate TYPE lines, and the expected
+// families present with the expected labels.
+func TestMetricsEndpoint(t *testing.T) {
+	ctl := admit.NewController(admit.Config{
+		TenantRate: 100, TenantBurst: 100,
+		CheapCapacity: 4, CheapQueue: 8,
+		ExpensiveCapacity: 1, ExpensiveQueue: 2,
+		BreakerFailures: 5,
+	})
+	ts := servingAdmit(t, ctl)
+	// Touch the model so tenant/model/breaker state exists.
+	if code, body, _ := getTenant(t, ts.URL+"/v1/models/demo/dominators", "alice"); code != 200 {
+		t.Fatalf("priming query: %d (%s)", code, body)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("/metrics: %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	typed := map[string]string{} // family -> counter|gauge
+	samples := map[string]int{}
+	var sampleLines []string
+	for i, line := range strings.Split(strings.TrimRight(string(raw), "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			m := promComment.FindStringSubmatch(line)
+			if m == nil {
+				t.Fatalf("line %d: malformed comment %q", i+1, line)
+			}
+			if m[1] == "TYPE" {
+				typ := strings.TrimSpace(m[3])
+				if typ != "counter" && typ != "gauge" {
+					t.Fatalf("line %d: bad type %q", i+1, line)
+				}
+				if _, dup := typed[m[2]]; dup {
+					t.Fatalf("line %d: duplicate TYPE for %s", i+1, m[2])
+				}
+				typed[m[2]] = typ
+			}
+			continue
+		}
+		m := promSample.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("line %d: malformed sample %q", i+1, line)
+		}
+		if _, ok := typed[m[1]]; !ok {
+			t.Fatalf("line %d: sample %s has no preceding TYPE", i+1, m[1])
+		}
+		samples[m[1]]++
+		sampleLines = append(sampleLines, line)
+	}
+
+	for _, fam := range []string{
+		"hypermined_uptime_seconds", "hypermined_queries_total",
+		"hypermined_errors_total", "hypermined_shed_total",
+		"hypermined_models", "hypermined_model_queries_total",
+		"hypermined_tenant_admitted_total", "hypermined_model_admitted_total",
+		"hypermined_gate_in_flight", "hypermined_breaker_state",
+	} {
+		if samples[fam] == 0 {
+			t.Errorf("family %s missing or empty", fam)
+		}
+	}
+	text := string(raw)
+	for _, want := range []string{
+		`hypermined_model_queries_total{model="demo"}`,
+		`hypermined_tenant_admitted_total{tenant="alice"} 1`,
+		`hypermined_gate_capacity{class="cheap"} 4`,
+		`hypermined_gate_capacity{class="expensive"} 1`,
+		`hypermined_breaker_state{model="demo"} 0`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q\n%s", want, strings.Join(sampleLines, "\n"))
+		}
+	}
+}
+
+// TestPprofGate: /debug/pprof is 404 by default and live only behind
+// WithPprof(true).
+func TestPprofGate(t *testing.T) {
+	ts, _, _ := serving(t)
+	if code := getJSON(t, ts.URL+"/debug/pprof/", nil); code != 404 {
+		t.Fatalf("pprof disabled: code %d, want 404", code)
+	}
+
+	ts2 := servingAdmit(t, nil, WithPprof(true))
+	resp, err := http.Get(ts2.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("pprof enabled: code %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestSlowQueryLog sets a zero-adjacent threshold so the first cold
+// rules query (which really mines) must cross it, and checks the log
+// line carries method, model, tenant, duration, and a rules phase
+// attribution.
+func TestSlowQueryLog(t *testing.T) {
+	var buf bytes.Buffer
+	var mu sync.Mutex
+	logger := log.New(writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return buf.Write(p)
+	}), "", 0)
+
+	m := testModel(t, 7, 12, 500)
+	reg := registry.New(registry.Options{})
+	if _, err := reg.Load("demo", m); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(reg, WithSlowQueryLog(time.Nanosecond, logger)).Handler())
+	defer ts.Close()
+
+	code, body, _ := getTenant(t, ts.URL+"/v1/models/demo/rules?head=A00", "ops")
+	if code != 200 {
+		t.Fatalf("rules query: %d (%s)", code, body)
+	}
+
+	mu.Lock()
+	out := buf.String()
+	mu.Unlock()
+	for _, want := range []string{
+		"slow query:", "method=rules", "model=demo", "tenant=ops", "duration=", "rules=",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("slow log %q missing %q", out, want)
+		}
+	}
+
+	// A warm repeat hits the rule cache: still logged at this absurd
+	// threshold, but with no phase work to attribute.
+	mu.Lock()
+	buf.Reset()
+	mu.Unlock()
+	if code, _, _ := getTenant(t, ts.URL+"/v1/models/demo/rules?head=A00", "ops"); code != 200 {
+		t.Fatalf("warm rules query: %d", code)
+	}
+	mu.Lock()
+	out = buf.String()
+	mu.Unlock()
+	if !strings.Contains(out, "phases=none") {
+		t.Fatalf("warm slow log %q should attribute no phases", out)
+	}
+}
+
+// writerFunc adapts a function to io.Writer.
+type writerFunc func([]byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }
+
+// TestRegistryLoadHook checks the breaker feed from the load path:
+// a failed load reports the error, a successful load reports nil.
+func TestRegistryLoadHook(t *testing.T) {
+	type call struct {
+		name string
+		err  error
+	}
+	var calls []call
+	reg := registry.New(registry.Options{LoadHook: func(name string, err error) {
+		calls = append(calls, call{name, err})
+	}})
+	if _, err := reg.Load("bad", nil); err == nil {
+		t.Fatal("nil model should fail to load")
+	}
+	if _, err := reg.Load("demo", testModel(t, 7, 8, 200)); err != nil {
+		t.Fatal(err)
+	}
+	if len(calls) != 2 {
+		t.Fatalf("hook calls = %d, want 2", len(calls))
+	}
+	if calls[0].name != "bad" || calls[0].err == nil {
+		t.Fatalf("first call = %+v, want bad with error", calls[0])
+	}
+	if calls[1].name != "demo" || calls[1].err != nil {
+		t.Fatalf("second call = %+v, want demo with nil", calls[1])
+	}
+}

@@ -1,0 +1,170 @@
+// GET /metrics: Prometheus text exposition (format 0.0.4) rendered by
+// hand — the dependency policy forbids client_golang, and the format
+// is simple enough that a few helpers suffice. Every label-carrying
+// family iterates a name-sorted snapshot (registry.Stats and
+// admit.Stats both sort), so the output is byte-deterministic for a
+// given counter state and safe to diff in tests.
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"hypermine/internal/admit"
+)
+
+// metricsContentType is the Prometheus text exposition version this
+// endpoint speaks.
+const metricsContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// promEscape escapes a label value per the exposition format.
+func promEscape(v string) string {
+	if !strings.ContainsAny(v, "\\\n\"") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`, `"`, `\"`)
+	return r.Replace(v)
+}
+
+// promLabel renders one key="value" label pair.
+func promLabel(key, value string) string {
+	return key + `="` + promEscape(value) + `"`
+}
+
+// promWriter emits one family (HELP + TYPE + samples) at a time.
+type promWriter struct {
+	w *bufio.Writer
+}
+
+func (p *promWriter) family(name, typ, help string) {
+	fmt.Fprintf(p.w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+func (p *promWriter) sample(name, labels string, v float64) {
+	if labels != "" {
+		name = name + "{" + labels + "}"
+	}
+	fmt.Fprintf(p.w, "%s %s\n", name, strconv.FormatFloat(v, 'g', -1, 64))
+}
+
+// scalar emits a one-sample family with no labels.
+func (p *promWriter) scalar(name, typ, help string, v float64) {
+	p.family(name, typ, help)
+	p.sample(name, "", v)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", metricsContentType)
+	bw := bufio.NewWriter(w)
+	p := &promWriter{w: bw}
+
+	p.scalar("hypermined_uptime_seconds", "gauge",
+		"Seconds since the server started.", time.Since(s.start).Seconds())
+	p.scalar("hypermined_queries_total", "counter",
+		"Queries accepted by the API, counted before admission control.", float64(s.queries.Load()))
+	p.scalar("hypermined_errors_total", "counter",
+		"Requests that failed with a client or server error.", float64(s.errs.Load()))
+	p.scalar("hypermined_timeouts_total", "counter",
+		"Queries abandoned at the server-side deadline (504).", float64(s.timeouts.Load()))
+	p.scalar("hypermined_canceled_total", "counter",
+		"Queries abandoned because the client went away (499).", float64(s.canceled.Load()))
+	p.scalar("hypermined_shed_total", "counter",
+		"Requests rejected by admission control (429 and 503).", float64(s.shed.Load()))
+
+	reg := s.reg.Stats()
+	p.scalar("hypermined_models", "gauge",
+		"Resident models.", float64(len(reg.Models)))
+	p.scalar("hypermined_resident_cost", "gauge",
+		"Total resident cost in edge-equivalent units.", float64(reg.ResidentCost))
+	p.scalar("hypermined_registry_swaps_total", "counter",
+		"Hot swaps performed.", float64(reg.Swaps))
+	p.scalar("hypermined_registry_evictions_total", "counter",
+		"Models evicted by the resident-cost bound.", float64(reg.Evictions))
+	p.family("hypermined_model_queries_total", "counter", "Queries served per resident model.")
+	for _, m := range reg.Models {
+		p.sample("hypermined_model_queries_total", promLabel("model", m.Name), float64(m.Queries))
+	}
+	p.family("hypermined_model_resident_cost", "gauge", "Resident cost per model, including built artifacts.")
+	for _, m := range reg.Models {
+		p.sample("hypermined_model_resident_cost", promLabel("model", m.Name), float64(m.Cost))
+	}
+
+	if s.admission != nil {
+		st := s.admission.Stats()
+		writeAdmissionMetrics(p, &st)
+	}
+	_ = bw.Flush()
+}
+
+// admitCountKinds maps each per-party counter to its family suffix.
+var admitCountKinds = []struct {
+	suffix, help string
+	get          func(admit.Counts) int64
+}{
+	{"admitted_total", "Queries admitted", func(c admit.Counts) int64 { return c.Admitted }},
+	{"queued_total", "Admitted queries that waited in a gate queue", func(c admit.Counts) int64 { return c.Queued }},
+	{"shed_total", "Queries rejected by rate limit or full queue (429)", func(c admit.Counts) int64 { return c.Shed }},
+	{"broken_total", "Queries rejected by an open circuit breaker (503)", func(c admit.Counts) int64 { return c.Broken }},
+}
+
+func writeAdmissionMetrics(p *promWriter, st *admit.Stats) {
+	parties := func(prefix, labelKey string, rows []admit.PartyStats) {
+		for _, k := range admitCountKinds {
+			fam := "hypermined_" + prefix + "_" + k.suffix
+			p.family(fam, "counter", k.help+", per "+labelKey+".")
+			for _, row := range rows {
+				p.sample(fam, promLabel(labelKey, row.Name), float64(k.get(row.Counts)))
+			}
+		}
+	}
+	parties("tenant", "tenant", st.Tenants)
+	parties("model", "model", st.Models)
+
+	gateGauges := []struct {
+		suffix, help string
+		get          func(admit.GateStats) float64
+	}{
+		{"capacity", "Concurrency gate capacity", func(g admit.GateStats) float64 { return float64(g.Capacity) }},
+		{"queue_limit", "Concurrency gate wait-queue bound", func(g admit.GateStats) float64 { return float64(g.MaxQueue) }},
+		{"in_flight", "Requests executing", func(g admit.GateStats) float64 { return float64(g.InFlight) }},
+		{"queued", "Requests waiting", func(g admit.GateStats) float64 { return float64(g.Queued) }},
+		{"avg_service_seconds", "EWMA service time", func(g admit.GateStats) float64 {
+			return time.Duration(g.AvgServiceNs).Seconds()
+		}},
+	}
+	for _, k := range gateGauges {
+		fam := "hypermined_gate_" + k.suffix
+		p.family(fam, "gauge", k.help+", per cost class.")
+		for _, g := range st.Gates {
+			p.sample(fam, promLabel("class", g.Class), k.get(g))
+		}
+	}
+
+	if len(st.Breakers) > 0 {
+		p.family("hypermined_breaker_state", "gauge",
+			"Circuit breaker state per model (0 closed, 1 half-open, 2 open).")
+		for _, b := range st.Breakers {
+			p.sample("hypermined_breaker_state", promLabel("model", b.Model), breakerStateValue(b.State))
+		}
+		p.family("hypermined_breaker_opens_total", "counter",
+			"Times each model's breaker has opened.")
+		for _, b := range st.Breakers {
+			p.sample("hypermined_breaker_opens_total", promLabel("model", b.Model), float64(b.Opens))
+		}
+	}
+}
+
+// breakerStateValue encodes a breaker state as a gauge value.
+func breakerStateValue(state string) float64 {
+	switch state {
+	case "half_open":
+		return 1
+	case "open":
+		return 2
+	}
+	return 0
+}

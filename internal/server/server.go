@@ -28,16 +28,20 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
 	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
 
+	"hypermine/internal/admit"
 	"hypermine/internal/core"
 	"hypermine/internal/engine"
 	"hypermine/internal/registry"
+	"hypermine/internal/runopt"
 )
 
 // maxSnapshotBytes bounds a PUT body (1 GiB — far beyond any model
@@ -66,10 +70,15 @@ type Server struct {
 	mux          *http.ServeMux
 	start        time.Time
 	queryTimeout time.Duration
+	admission    *admit.Controller
+	pprofOn      bool
+	slowQuery    time.Duration
+	slowLog      *log.Logger
 	queries      atomic.Int64
 	errs         atomic.Int64
 	timeouts     atomic.Int64
 	canceled     atomic.Int64
+	shed         atomic.Int64
 }
 
 // Option configures a Server.
@@ -86,6 +95,37 @@ func WithQueryTimeout(d time.Duration) Option {
 	return func(s *Server) { s.queryTimeout = d }
 }
 
+// WithAdmission puts an admission controller in front of every query:
+// each request through the do() funnel is checked against the
+// per-model circuit breaker, the per-tenant (X-Tenant header) and
+// per-model token buckets, and the cost-class concurrency gate before
+// it reaches Engine.Do. Shed requests get 429/503 with a Retry-After
+// header; admitted requests feed their outcome back to the breaker.
+// Metadata endpoints (model list/detail) and admin writes are exempt.
+// nil disables admission (the default).
+func WithAdmission(c *admit.Controller) Option {
+	return func(s *Server) { s.admission = c }
+}
+
+// WithPprof mounts net/http/pprof under GET /debug/pprof/ when
+// enabled. Off by default: profiling endpoints leak operational detail
+// and cost CPU, so they are opt-in (hypermined -pprof).
+func WithPprof(enabled bool) Option {
+	return func(s *Server) { s.pprofOn = enabled }
+}
+
+// WithSlowQueryLog logs every query whose handling exceeds threshold:
+// method (request variant), model, tenant, total duration, and
+// per-phase attribution from the engine's build sites (phases=none
+// means the time went to warm reads, not artifact builds). logger nil
+// means log.Default(); threshold <= 0 disables the log.
+func WithSlowQueryLog(threshold time.Duration, logger *log.Logger) Option {
+	return func(s *Server) {
+		s.slowQuery = threshold
+		s.slowLog = logger
+	}
+}
+
 // New returns a Server over the registry.
 func New(reg *registry.Registry, opts ...Option) *Server {
 	s := &Server{reg: reg, mux: http.NewServeMux(), start: time.Now()}
@@ -94,6 +134,14 @@ func New(reg *registry.Registry, opts ...Option) *Server {
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if s.pprofOn {
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	s.mux.HandleFunc("GET /v1/models", s.handleListModels)
 	s.mux.HandleFunc("GET /v1/models/{name}", s.handleGetModel)
 	s.mux.HandleFunc("PUT /v1/models/{name}", s.handlePutModel)
@@ -119,7 +167,10 @@ func (s *Server) Handler() http.Handler {
 		return s.mux
 	}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if r.Method == http.MethodPut || r.Method == http.MethodDelete {
+		// Long-running diagnostics (/debug/pprof/profile?seconds=30)
+		// must not be clipped by a deadline sized for queries.
+		if r.Method == http.MethodPut || r.Method == http.MethodDelete ||
+			strings.HasPrefix(r.URL.Path, "/debug/") {
 			s.mux.ServeHTTP(w, r)
 			return
 		}
@@ -200,20 +251,150 @@ func (s *Server) acquire(w http.ResponseWriter, name string) *registry.Served {
 }
 
 // do routes one typed request through the named model's engine and
-// returns the response, handling 404/err reporting itself (nil means
-// "already written").
+// returns the response, handling 404/admission/err reporting itself
+// (nil means "already written"). It is the single funnel every query
+// handler uses, so admission control, slow-query logging, and breaker
+// feedback cover the whole query surface at one call site.
 func (s *Server) do(w http.ResponseWriter, r *http.Request, name string, req *engine.Request) *engine.Response {
 	sv := s.acquire(w, name)
 	if sv == nil {
 		return nil
 	}
 	defer sv.Release()
-	resp, err := sv.Engine().Do(r.Context(), req)
+
+	var tk admit.Ticket // zero Ticket when admission is off; Done is a no-op
+	if s.admission != nil {
+		_, rej, err := s.admission.AdmitInto(r.Context(), &tk, r.Header.Get("X-Tenant"), name, classOf(req))
+		if err != nil {
+			// The context ended while the request waited in a gate
+			// queue: report it like any other context outcome.
+			if !s.failCtx(w, err) {
+				s.fail(w, http.StatusInternalServerError, "admission: %v", err)
+			}
+			return nil
+		}
+		if rej != nil {
+			s.reject(w, rej)
+			return nil
+		}
+	}
+
+	ctx := r.Context()
+	var plog *runopt.PhaseLog
+	var start time.Time
+	if s.slowQuery > 0 {
+		start = time.Now()
+		ctx, plog = runopt.WithPhaseLog(ctx)
+	}
+	resp, err := sv.Engine().Do(ctx, req)
+	tk.Done(outcomeOf(err)) // nil-safe; idempotent
+	if s.slowQuery > 0 {
+		if elapsed := time.Since(start); elapsed >= s.slowQuery {
+			s.logSlow(r, name, req, elapsed, plog)
+		}
+	}
 	if err != nil {
 		s.failEngine(w, err)
 		return nil
 	}
 	return resp
+}
+
+// classOf maps the engine's static request-cost classification onto
+// the admission class vocabulary.
+func classOf(req *engine.Request) admit.Class {
+	if req.Cost() == engine.CostExpensive {
+		return admit.Expensive
+	}
+	return admit.Cheap
+}
+
+// outcomeOf classifies an Engine.Do error for the model's circuit
+// breaker: an expired deadline or an internal fault is a model
+// failure; a client hanging up is neutral; a well-formed client error
+// (bad_request, unavailable) means the engine itself worked.
+func outcomeOf(err error) admit.Outcome {
+	switch {
+	case err == nil:
+		return admit.OutcomeOK
+	case errors.Is(err, context.Canceled):
+		return admit.OutcomeCanceled
+	case errors.Is(err, context.DeadlineExceeded):
+		return admit.OutcomeFailure
+	}
+	var ee *engine.Error
+	if errors.As(err, &ee) && ee.Kind != engine.ErrInternal {
+		return admit.OutcomeOK
+	}
+	return admit.OutcomeFailure
+}
+
+// retryAfterSeconds renders a Retry-After duration as whole seconds,
+// rounded up with a floor of 1 (the header carries integral seconds;
+// zero would invite an immediate retry storm).
+func retryAfterSeconds(d time.Duration) int {
+	secs := int((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
+// rejectionBody is the response shape of a shed request.
+type rejectionBody struct {
+	Error             string `json:"error"`
+	Reason            string `json:"reason"`
+	RetryAfterSeconds int    `json:"retry_after_seconds"`
+}
+
+// reject writes an admission rejection: the controller's chosen status
+// (429 for rate/queue pressure, 503 for an open breaker) plus a
+// Retry-After header. Shedding is the system working as designed, so
+// it lands in the shed counter, not errs.
+func (s *Server) reject(w http.ResponseWriter, rej *admit.Rejection) {
+	s.shed.Add(1)
+	secs := retryAfterSeconds(rej.RetryAfter)
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	s.writeJSON(w, rej.Status, rejectionBody{
+		Error:             "overloaded: " + string(rej.Reason),
+		Reason:            string(rej.Reason),
+		RetryAfterSeconds: secs,
+	})
+}
+
+// reqKind names the request variant for the slow-query log.
+func reqKind(req *engine.Request) string {
+	switch {
+	case req == nil:
+		return "none"
+	case req.Batch != nil:
+		return "batch"
+	case req.Rules != nil:
+		return "rules"
+	case req.Similar != nil:
+		return "similar"
+	case req.Dominators != nil:
+		return "dominators"
+	case req.Classify != nil:
+		return "classify"
+	}
+	return "unknown"
+}
+
+// logSlow reports one over-threshold query. phases=none means the
+// request did no artifact builds — its time went to warm reads, queue
+// wait, or a singleflight build another request performed.
+func (s *Server) logSlow(r *http.Request, name string, req *engine.Request, elapsed time.Duration, plog *runopt.PhaseLog) {
+	logger := s.slowLog
+	if logger == nil {
+		logger = log.Default()
+	}
+	tenant := r.Header.Get("X-Tenant")
+	if tenant == "" {
+		tenant = admit.DefaultTenant
+	}
+	logger.Printf("slow query: method=%s model=%s tenant=%s duration=%s phases=%s",
+		reqKind(req), name, tenant, elapsed.Round(time.Microsecond), plog)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -227,21 +408,35 @@ type statsResponse struct {
 	// Timeouts counts queries abandoned at the server-side deadline
 	// (504); Canceled counts queries abandoned because the client went
 	// away (499). Neither is a server fault, so they are not Errors.
-	Timeouts   int64          `json:"timeouts"`
-	Canceled   int64          `json:"canceled"`
+	Timeouts int64 `json:"timeouts"`
+	Canceled int64 `json:"canceled"`
+	// Shed counts requests rejected by admission control (429 rate /
+	// queue pressure and 503 open breaker). Shedding under overload is
+	// correct behavior, not an error.
+	Shed       int64          `json:"shed"`
 	GoMaxProcs int            `json:"gomaxprocs"`
 	Registry   registry.Stats `json:"registry"`
+	// Admission is the controller's per-tenant/model/gate/breaker
+	// snapshot; absent when admission control is disabled.
+	Admission *admit.Stats `json:"admission,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	var adm *admit.Stats
+	if s.admission != nil {
+		st := s.admission.Stats()
+		adm = &st
+	}
 	s.writeJSON(w, http.StatusOK, statsResponse{
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Queries:       s.queries.Load(),
 		Errors:        s.errs.Load(),
 		Timeouts:      s.timeouts.Load(),
 		Canceled:      s.canceled.Load(),
+		Shed:          s.shed.Load(),
 		GoMaxProcs:    runtime.GOMAXPROCS(0),
 		Registry:      s.reg.Stats(),
+		Admission:     adm,
 	})
 }
 
@@ -299,7 +494,9 @@ func (s *Server) handleGetModel(w http.ResponseWriter, r *http.Request) {
 	defer sv.Release()
 	m := sv.Model()
 	// The detail view names the serving dominator and targets, so it
-	// (lazily, once) builds them through the engine.
+	// (lazily, once) builds them through the engine. This is a metadata
+	// read, not query traffic: it bypasses admission on purpose so
+	// operators can inspect a model whose breaker is open.
 	resp, err := sv.Engine().Do(r.Context(), &engine.Request{Dominators: &engine.DominatorsRequest{}})
 	if err != nil {
 		s.failEngine(w, err)
