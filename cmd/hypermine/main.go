@@ -4,12 +4,19 @@
 // cancellation: ^C cancels the run context, long-running subcommands
 // return promptly, and the process exits 130 (the conventional
 // fatal-SIGINT code). Run `hypermine help` for usage.
+//
+// Program output (tables, rules, JSON) goes to stdout; diagnostics go
+// to stderr as structured slog lines (text by default, JSON with
+// HYPERMINE_LOG_FORMAT=json — an env var, not a flag, because every
+// subcommand owns its own flag set). Usage errors stay plain text:
+// they are help output for a human mid-typo, not log events.
 package main
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"syscall"
@@ -18,6 +25,8 @@ import (
 )
 
 func main() {
+	logger := newLogger(os.Getenv("HYPERMINE_LOG_FORMAT"))
+	slog.SetDefault(logger)
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	app := cli.New(os.Stdout)
@@ -27,10 +36,20 @@ func main() {
 			os.Exit(2)
 		}
 		if errors.Is(err, context.Canceled) {
-			fmt.Fprintln(os.Stderr, "hypermine: interrupted")
+			logger.Warn("hypermine: interrupted")
 			os.Exit(130)
 		}
-		fmt.Fprintln(os.Stderr, "hypermine:", err)
+		logger.Error("hypermine: command failed", "error", err)
 		os.Exit(1)
 	}
+}
+
+// newLogger builds the CLI's structured diagnostic logger on stderr.
+// An unknown format falls back to text rather than failing: the
+// variable must never make the tool unusable.
+func newLogger(format string) *slog.Logger {
+	if format == "json" {
+		return slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, nil))
 }

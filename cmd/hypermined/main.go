@@ -18,6 +18,14 @@
 // per-model circuit breaker (0 = no breaker). -slow-query logs queries
 // over a threshold with per-phase attribution; -pprof exposes
 // /debug/pprof. SIGINT/SIGTERM drain in-flight requests before exit.
+//
+// Observability (see the README's "Observability"): all daemon logs
+// are structured slog lines (-log-format text|json); request tracing
+// is on by default (-trace=false disables), echoing X-Trace-Id on
+// every query, honoring inbound W3C traceparent headers, and retaining
+// slow/errored/shed traces at GET /debug/traces. -trace-ring,
+// -trace-sample, and -trace-slow tune retention; /metrics serves
+// latency histograms per request kind and cost class.
 package main
 
 import (
@@ -25,6 +33,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -37,6 +46,7 @@ import (
 	"hypermine/internal/engine"
 	"hypermine/internal/registry"
 	"hypermine/internal/server"
+	"hypermine/internal/telemetry"
 )
 
 // modelFlags collects repeatable -model name=path pairs.
@@ -80,7 +90,18 @@ func main() {
 	breakerCooldown := flag.Duration("breaker-cooldown", 0, "open-breaker cooldown before a half-open probe (0 = 5s default)")
 	slowQuery := flag.Duration("slow-query", 0, "log queries slower than this, with per-phase attribution (0 = off)")
 	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof (off by default)")
+	logFormat := flag.String("log-format", "text", "structured log format: text or json")
+	traceOn := flag.Bool("trace", true, "request tracing: X-Trace-Id per query, W3C traceparent in, /debug/traces retention")
+	traceRing := flag.Int("trace-ring", 0, "recent-trace ring size (0 = default 128)")
+	traceSample := flag.Int("trace-sample", 0, "retain one in N unremarkable traces (0 = default 16, negative = only slow/errored)")
+	traceSlow := flag.Duration("trace-slow", 0, "always retain traces at least this slow (0 = default 100ms)")
 	flag.Parse()
+
+	logger, err := newLogger(*logFormat)
+	if err != nil {
+		fatal(err)
+	}
+	slog.SetDefault(logger)
 
 	warmup, err := engine.ParseWarmup(*warmupFlag)
 	if err != nil {
@@ -103,7 +124,7 @@ func main() {
 		})
 	}
 
-	regOpts := registry.Options{MaxResidentEdges: *maxEdges, Warmup: warmup}
+	regOpts := registry.Options{MaxResidentEdges: *maxEdges, Warmup: warmup, Logger: logger}
 	if ctl != nil {
 		// Feed the breaker from the load path: a model that cannot even
 		// load trips open; a fresh successful load resets it.
@@ -111,9 +132,18 @@ func main() {
 	}
 	reg := registry.New(regOpts)
 	for _, m := range models {
-		if err := loadSnapshot(reg, m.name, m.path); err != nil {
+		if err := loadSnapshot(logger, reg, m.name, m.path); err != nil {
 			fatal(err)
 		}
+	}
+
+	var tracer *telemetry.Tracer
+	if *traceOn {
+		tracer = telemetry.NewTracer(telemetry.TracerConfig{
+			Ring:          *traceRing,
+			SampleEvery:   *traceSample,
+			SlowThreshold: *traceSlow,
+		})
 	}
 
 	srv := &http.Server{
@@ -121,13 +151,16 @@ func main() {
 		Handler: server.New(reg,
 			server.WithQueryTimeout(*queryTimeout),
 			server.WithAdmission(ctl),
-			server.WithSlowQueryLog(*slowQuery, nil),
+			server.WithSlowQueryLog(*slowQuery),
+			server.WithLogger(logger),
+			server.WithTracer(tracer),
 			server.WithPprof(*pprofOn),
 		).Handler(),
 	}
 	errCh := make(chan error, 1)
 	go func() {
-		fmt.Printf("hypermined: serving %d model(s) on %s\n", len(reg.Names()), *addr)
+		logger.Info("hypermined: serving", "models", len(reg.Names()), "addr", *addr,
+			"tracing", *traceOn, "admission", ctl != nil)
 		errCh <- srv.ListenAndServe()
 	}()
 
@@ -137,21 +170,32 @@ func main() {
 	case err := <-errCh:
 		fatal(err)
 	case <-ctx.Done():
-		fmt.Println("hypermined: shutting down")
+		logger.Info("hypermined: shutting down")
 		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(shutCtx); err != nil {
 			if errors.Is(err, context.DeadlineExceeded) {
-				fmt.Println("hypermined: drain deadline expired, exiting with requests in flight")
+				logger.Warn("hypermined: drain deadline expired, exiting with requests in flight")
 				return
 			}
 			fatal(err)
 		}
-		fmt.Println("hypermined: drained, bye")
+		logger.Info("hypermined: drained, bye")
 	}
 }
 
-func loadSnapshot(reg *registry.Registry, name, path string) error {
+// newLogger builds the daemon's structured logger on stderr.
+func newLogger(format string) (*slog.Logger, error) {
+	switch format {
+	case "text", "":
+		return slog.New(slog.NewTextHandler(os.Stderr, nil)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, nil)), nil
+	}
+	return nil, fmt.Errorf("bad -log-format %q (want text or json)", format)
+}
+
+func loadSnapshot(logger *slog.Logger, reg *registry.Registry, name, path string) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -166,9 +210,10 @@ func loadSnapshot(reg *registry.Registry, name, path string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("hypermined: loaded %q gen %d (%d attrs, %d edges, %d rows) in %s\n",
-		name, info.Generation, m.Table.NumAttrs(), m.H.NumEdges(), m.Table.NumRows(),
-		time.Since(start).Round(time.Microsecond))
+	logger.Info("hypermined: loaded model",
+		"model", name, "generation", info.Generation,
+		"attrs", m.Table.NumAttrs(), "edges", m.H.NumEdges(), "rows", m.Table.NumRows(),
+		"duration", time.Since(start).Round(time.Microsecond))
 	return nil
 }
 

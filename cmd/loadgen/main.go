@@ -60,6 +60,7 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"regexp"
 	"runtime"
 	"sort"
 	"strconv"
@@ -74,6 +75,7 @@ import (
 	"hypermine/internal/core"
 	"hypermine/internal/registry"
 	"hypermine/internal/server"
+	"hypermine/internal/telemetry"
 )
 
 type loadReport struct {
@@ -89,7 +91,16 @@ type endpointReport struct {
 	Requests int     `json:"requests"`
 	MeanNs   float64 `json:"mean_ns"`
 	P50Ns    int64   `json:"p50_ns"`
+	P90Ns    int64   `json:"p90_ns"`
 	P99Ns    int64   `json:"p99_ns"`
+	MaxNs    int64   `json:"max_ns"`
+}
+
+// traceClientReport summarizes the X-Trace-Id contract as seen from
+// the client side; nil when the server has tracing off.
+type traceClientReport struct {
+	TracedResponses int `json:"traced_responses"`
+	BadTraceIDs     int `json:"bad_trace_ids"`
 }
 
 type report struct {
@@ -113,6 +124,9 @@ type report struct {
 	Mix                string `json:"mix"`
 	Reloads            int    `json:"reloads"`
 	IdentityMismatches int    `json:"identity_mismatches"`
+	// Trace reports X-Trace-Id coverage across all responses; nil when
+	// the server never sent the header (tracing off).
+	Trace *traceClientReport `json:"trace,omitempty"`
 	// Cancel reports the client-side timeout injection scenario
 	// (-cancel-every); nil when disabled.
 	Cancel *cancelReport `json:"cancel,omitempty"`
@@ -158,6 +172,27 @@ type cancelReport struct {
 	SurvivedBurst  bool  `json:"survived_burst"`
 }
 
+// traceIDRe is the X-Trace-Id wire contract: 32 lowercase hex digits.
+var traceIDRe = regexp.MustCompile(`^[0-9a-f]{32}$`)
+
+// tracedSeen / tracedBad count responses carrying an X-Trace-Id and
+// those whose ID violates the contract (wrong shape, or the invalid
+// all-zero ID). Package-level atomics so every request path — serial
+// replay, overload workers, doOnce — feeds the same tally.
+var tracedSeen, tracedBad atomic.Int64
+
+// noteTraceID verifies the X-Trace-Id header on one response.
+func noteTraceID(h http.Header) {
+	tid := h.Get("X-Trace-Id")
+	if tid == "" {
+		return
+	}
+	tracedSeen.Add(1)
+	if !traceIDRe.MatchString(tid) || tid == strings.Repeat("0", 32) {
+		tracedBad.Add(1)
+	}
+}
+
 // modelInfo is the subset of the /v1/models/{name} response the
 // generator needs.
 type modelInfo struct {
@@ -184,6 +219,8 @@ func main() {
 		"replace every Nth request with a rules query under a short client-side deadline (0 = off)")
 	mixName := flag.String("mix", "default",
 		"query mix: default (dedicated endpoints), batch (multiplexed typed batches via :query), or overload (fault-injecting saturation ramp)")
+	traceSample := flag.Bool("trace-sample", false,
+		"after the run, fetch /debug/traces and pretty-print one retained trace's span tree")
 	flag.Parse()
 
 	if *mixName != "default" && *mixName != "batch" && *mixName != "overload" {
@@ -253,6 +290,17 @@ func main() {
 		fatal(err)
 	}
 
+	if seen, bad := tracedSeen.Load(), tracedBad.Load(); seen > 0 || bad > 0 {
+		rep.Trace = &traceClientReport{TracedResponses: int(seen), BadTraceIDs: int(bad)}
+		fmt.Printf("trace IDs: %d responses carried X-Trace-Id, %d malformed\n", seen, bad)
+	}
+
+	if *traceSample {
+		if err := sampleTrace(baseURL); err != nil {
+			fatal(err)
+		}
+	}
+
 	js, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fatal(err)
@@ -269,6 +317,80 @@ func main() {
 	if rep.IdentityMismatches > 0 {
 		fatal(fmt.Errorf("%d identity mismatches", rep.IdentityMismatches))
 	}
+	if rep.Trace != nil && rep.Trace.BadTraceIDs > 0 {
+		fatal(fmt.Errorf("%d malformed X-Trace-Id headers", rep.Trace.BadTraceIDs))
+	}
+	// The self-hosted server runs with tracing on (as hypermined does by
+	// default), so every response must have carried a trace ID.
+	if *addr == "" && (rep.Trace == nil || rep.Trace.TracedResponses == 0) {
+		fatal(errors.New("self-hosted server returned no X-Trace-Id headers"))
+	}
+}
+
+// sampleTrace fetches /debug/traces and pretty-prints the slowest
+// retained trace's span tree — the operator's view of where a slow
+// request spent its time.
+func sampleTrace(baseURL string) error {
+	resp, err := http.Get(baseURL + "/debug/traces")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		fmt.Println("trace sample: server has tracing off (/debug/traces not mounted)")
+		return nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("GET /debug/traces: %d: %s", resp.StatusCode, raw)
+	}
+	var traces struct {
+		SlowThresholdNs int64              `json:"slow_threshold_ns"`
+		Slow            []*telemetry.Trace `json:"slow"`
+		Recent          []*telemetry.Trace `json:"recent"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&traces); err != nil {
+		return err
+	}
+	// Prefer the slowest trace that has spans to attribute; fall back to
+	// the slowest overall.
+	var pick *telemetry.Trace
+	for _, tr := range append(append([]*telemetry.Trace{}, traces.Slow...), traces.Recent...) {
+		switch {
+		case pick == nil:
+			pick = tr
+		case len(tr.Spans) > 0 && len(pick.Spans) == 0:
+			pick = tr
+		case (len(tr.Spans) > 0) == (len(pick.Spans) > 0) && tr.Duration > pick.Duration:
+			pick = tr
+		}
+	}
+	if pick == nil {
+		fmt.Println("trace sample: no traces retained yet")
+		return nil
+	}
+	fmt.Printf("trace sample (slow threshold %s):\n", time.Duration(traces.SlowThresholdNs))
+	fmt.Printf("%s  kind=%s model=%s tenant=%s status=%d retained=%s  %s\n",
+		pick.ID, pick.Kind, pick.Model, pick.Tenant, pick.Status, pick.Reason, pick.Duration.Round(time.Microsecond))
+	for i, sp := range pick.Spans {
+		branch := "├─"
+		if i == len(pick.Spans)-1 {
+			branch = "└─"
+		}
+		fmt.Printf("  %s %-12s +%-12s %s\n", branch, sp.Phase,
+			time.Duration(sp.StartNs).Round(time.Microsecond),
+			time.Duration(sp.DurationNs).Round(time.Microsecond))
+	}
+	if len(pick.Spans) == 0 {
+		fmt.Println("  └─ (no phase spans: the time went to warm reads or queue wait)")
+	}
+	if pick.Dropped > 0 {
+		fmt.Printf("  … %d more spans dropped at the per-trace cap\n", pick.Dropped)
+	}
+	if pick.Err != "" {
+		fmt.Printf("  error: %s\n", pick.Err)
+	}
+	return nil
 }
 
 // selfHost builds the benchfix model, measures both load paths, saves
@@ -333,7 +455,14 @@ func selfHost(rep *report, name string, attrs, rows int, ctl *admit.Controller) 
 	if err != nil {
 		return "", "", err
 	}
-	go func() { _ = http.Serve(ln, server.New(reg, server.WithAdmission(ctl)).Handler()) }()
+	// Tracing on, as hypermined runs it by default. The low slow
+	// threshold guarantees the cold rules mines land in the always-kept
+	// ring, so -trace-sample has a span tree to show.
+	tracer := telemetry.NewTracer(telemetry.TracerConfig{SlowThreshold: time.Millisecond})
+	go func() {
+		_ = http.Serve(ln, server.New(reg,
+			server.WithAdmission(ctl), server.WithTracer(tracer)).Handler())
+	}()
 	return "http://" + ln.Addr().String(), snapPath, nil
 }
 
@@ -580,6 +709,7 @@ func replay(rep *report, baseURL, model string, info *modelInfo, n int, seed int
 		if err != nil {
 			return err
 		}
+		noteTraceID(resp.Header)
 		raw, err := io.ReadAll(resp.Body)
 		resp.Body.Close()
 		elapsed := time.Since(t0).Nanoseconds()
@@ -620,11 +750,14 @@ func replay(rep *report, baseURL, model string, info *modelInfo, n int, seed int
 			Requests: len(ls),
 			MeanNs:   float64(sum) / float64(len(ls)),
 			P50Ns:    ls[len(ls)/2],
+			P90Ns:    ls[len(ls)*90/100],
 			P99Ns:    ls[len(ls)*99/100],
+			MaxNs:    ls[len(ls)-1],
 		}
 		rep.Serve = append(rep.Serve, er)
-		fmt.Printf("%-16s %6d reqs  mean %8.1fus  p50 %8.1fus  p99 %8.1fus\n",
-			name, er.Requests, er.MeanNs/1e3, float64(er.P50Ns)/1e3, float64(er.P99Ns)/1e3)
+		fmt.Printf("%-16s %6d reqs  mean %8.1fus  p50 %8.1fus  p90 %8.1fus  p99 %8.1fus  max %8.1fus\n",
+			name, er.Requests, er.MeanNs/1e3, float64(er.P50Ns)/1e3, float64(er.P90Ns)/1e3,
+			float64(er.P99Ns)/1e3, float64(er.MaxNs)/1e3)
 	}
 	// QPS counts only requests actually served to completion: injected
 	// abandoned clients are excluded so runs with and without
@@ -911,6 +1044,7 @@ func doOnce(client *http.Client, method, url string, body []byte) (int, []byte, 
 		return 0, nil, "", err
 	}
 	defer resp.Body.Close()
+	noteTraceID(resp.Header)
 	raw, err := io.ReadAll(resp.Body)
 	return resp.StatusCode, raw, resp.Header.Get("Retry-After"), err
 }

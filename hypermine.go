@@ -41,6 +41,7 @@ import (
 	"hypermine/internal/server"
 	"hypermine/internal/similarity"
 	"hypermine/internal/table"
+	"hypermine/internal/telemetry"
 	"hypermine/internal/timeseries"
 )
 
@@ -336,6 +337,66 @@ var (
 	// WithAdmission puts an admission controller in front of every
 	// query a QueryServer serves.
 	WithAdmission = server.WithAdmission
+)
+
+// Observability (internal/telemetry): the zero-dependency telemetry
+// layer the server and daemon are wired through. A TelemetryRegistry
+// holds named counters and fixed-bucket latency histograms and renders
+// them as Prometheus text exposition; a Tracer mints (or adopts, via
+// W3C traceparent) per-request trace IDs, records phase spans, and
+// retains slow/errored/pinned/sampled traces in bounded lock-free
+// rings served at /debug/traces. Hand a Tracer to NewQueryServer via
+// WithTracer; see the README's "Observability".
+type (
+	// Tracer mints request traces and retains interesting ones.
+	Tracer = telemetry.Tracer
+	// TracerConfig tunes a Tracer (slow threshold, ring size,
+	// sampling). The zero value is a working default.
+	TracerConfig = telemetry.TracerConfig
+	// TraceID is a 128-bit trace identifier (32 lowercase hex in JSON
+	// and in the X-Trace-Id header).
+	TraceID = telemetry.TraceID
+	// Trace is one finished, retained request trace with its phase
+	// spans; this is what /debug/traces serves.
+	Trace = telemetry.Trace
+	// TraceSpan is one phase span inside a Trace.
+	TraceSpan = telemetry.SpanRecord
+	// ActiveTrace is an in-flight trace being recorded; thread it
+	// through work via ContextWithTrace.
+	ActiveTrace = telemetry.Active
+	// TelemetryRegistry holds counters and latency histograms and
+	// writes Prometheus text exposition.
+	TelemetryRegistry = telemetry.Registry
+	// TelemetryCounter is one monotonically increasing counter shared
+	// between /stats (JSON) and /metrics (Prometheus).
+	TelemetryCounter = telemetry.Counter
+	// LatencyHistogram is a fixed-bucket, allocation-free latency
+	// histogram.
+	LatencyHistogram = telemetry.Histogram
+)
+
+var (
+	// NewTracer builds a Tracer from a TracerConfig.
+	NewTracer = telemetry.NewTracer
+	// NewTelemetryRegistry returns an empty telemetry registry.
+	NewTelemetryRegistry = telemetry.NewRegistry
+	// ParseTraceparent extracts the TraceID from a W3C traceparent
+	// header value; ok reports whether the header was well-formed.
+	ParseTraceparent = telemetry.ParseTraceparent
+	// ContextWithTrace threads an in-flight trace through a context.
+	ContextWithTrace = telemetry.ContextWithTrace
+	// TraceFromContext returns the in-flight trace, or nil.
+	TraceFromContext = telemetry.TraceFrom
+	// TraceIDFromContext returns the current trace ID, or the zero ID.
+	TraceIDFromContext = telemetry.TraceIDFrom
+	// WithTracer wires request tracing into a QueryServer and exposes
+	// /debug/traces.
+	WithTracer = server.WithTracer
+	// WithLogger sets the QueryServer's structured logger (slog).
+	WithLogger = server.WithLogger
+	// WithSlowQueryLog logs queries slower than the threshold as
+	// structured warnings and pins their traces.
+	WithSlowQueryLog = server.WithSlowQueryLog
 )
 
 // Prepared-model engine (internal/engine): the lazily-memoized query

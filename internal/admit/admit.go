@@ -176,6 +176,18 @@ type Controller struct {
 	models        sync.Map // string -> *modelState
 	defaultTenant *tenantState
 	lastModel     atomic.Pointer[modelState]
+
+	// queueWait, when set, observes each real gate wait (class, wait
+	// duration). Set via ObserveQueueWait before serving traffic.
+	queueWait func(Class, time.Duration)
+}
+
+// ObserveQueueWait installs an observer for gate queue waits — the
+// telemetry hook behind the admission queue-wait histogram. It must be
+// called before the controller starts admitting requests; it is not
+// synchronized against concurrent AdmitInto calls.
+func (c *Controller) ObserveQueueWait(fn func(Class, time.Duration)) {
+	c.queueWait = fn
 }
 
 // NewController returns a Controller for the config.
@@ -350,9 +362,13 @@ func (c *Controller) AdmitInto(ctx context.Context, t *Ticket, tenant, model str
 			return reject(&Rejection{Status: 429, Reason: ReasonQueueFull, RetryAfter: gate.RetryAfter()})
 		case err != nil:
 			// ctx ended while queued: the client is gone, nothing was
-			// shed by policy. The wait itself is still counted.
+			// shed by policy. The wait itself is still counted (and
+			// observed — an abandoned wait is still queue time).
 			ts.counts.queued.Add(1)
 			ms.counts.queued.Add(1)
+			if c.queueWait != nil {
+				c.queueWait(class, time.Duration(c.nanos()-now))
+			}
 			if probe {
 				ms.breaker.Record(true, OutcomeCanceled)
 			}
@@ -360,12 +376,21 @@ func (c *Controller) AdmitInto(ctx context.Context, t *Ticket, tenant, model str
 		}
 	}
 	t.ctl, t.gate, t.breaker, t.probe = c, gate, ms.breaker, probe
+	var afterWait int64
+	if waited {
+		// One clock read serves both the queue-wait observation and
+		// the sampled ticket's service-time start below.
+		afterWait = c.nanos()
+		if c.queueWait != nil {
+			c.queueWait(class, time.Duration(afterWait-now))
+		}
+	}
 	if gate != nil && gate.shouldSample() {
 		t.sampled = true
 		t.start = now
 		if waited {
 			// Queue time is not service time; restart the clock.
-			t.start = c.nanos()
+			t.start = afterWait
 		}
 	}
 	if waited {

@@ -89,6 +89,9 @@ func TestCtxPollFixtures(t *testing.T) {
 func TestNoAllocFixtures(t *testing.T) {
 	checkFixture(t, NoAllocAnalyzer, "noalloc_bad")
 	checkFixture(t, NoAllocAnalyzer, "noalloc_clean")
+	// The telemetry-shaped seeded violation: a histogram whose annotated
+	// Observe path allocates (PR-8 hot-path contract).
+	checkFixture(t, NoAllocAnalyzer, "noalloc_histogram")
 }
 
 func TestDetOutFixtures(t *testing.T) {

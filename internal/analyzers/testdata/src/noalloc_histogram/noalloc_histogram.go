@@ -1,0 +1,52 @@
+// Package noallochistogram seeds the telemetry-shaped violation: a
+// latency histogram whose annotated Observe path allocates. The real
+// telemetry.Histogram.Observe is index-into-fixed-array only; this
+// fixture pins that the checker would catch the tempting regressions
+// (formatting a label, growing a sample slice, boxing the duration).
+package noallochistogram
+
+import "fmt"
+
+type histogram struct {
+	counts  [8]uint64
+	samples []int64
+	name    string
+}
+
+//hyper:noalloc
+func (h *histogram) Observe(ns int64) {
+	i := 0
+	for i < len(h.counts)-1 && ns > int64(i*100) {
+		i++
+	}
+	h.counts[i]++
+	h.samples = append(h.samples, ns) // want `//hyper:noalloc Observe: append may grow and allocate`
+}
+
+//hyper:noalloc
+func (h *histogram) ObserveLabeled(ns int64, label string) {
+	key := h.name + label // want `//hyper:noalloc ObserveLabeled: string concatenation allocates`
+	_ = key
+	h.counts[0]++
+}
+
+//hyper:noalloc
+func (h *histogram) ObserveLogged(ns int64) {
+	fmt.Printf("%s: %d\n", h.name, ns) // want `//hyper:noalloc ObserveLogged: fmt.Printf allocates`
+	h.counts[0]++
+}
+
+// ObserveClean is the shape the real Observe must keep: clamp, scan a
+// fixed bucket ladder, bump an array slot. No diagnostics expected.
+//
+//hyper:noalloc
+func (h *histogram) ObserveClean(ns int64) {
+	if ns < 0 {
+		ns = 0
+	}
+	i := 0
+	for i < len(h.counts)-1 && ns > int64(i*100) {
+		i++
+	}
+	h.counts[i]++
+}

@@ -27,6 +27,7 @@ package registry
 import (
 	"context"
 	"errors"
+	"log/slog"
 	"runtime"
 	"sort"
 	"sync"
@@ -64,6 +65,9 @@ type Options struct {
 	// circuit breakers (a model that cannot even load should trip open,
 	// a fresh successful load deserves a clean slate).
 	LoadHook func(name string, err error)
+	// Logger, when set, receives structured lifecycle events (model
+	// loaded / swapped / evicted / removed, failed loads). Nil discards.
+	Logger *slog.Logger
 }
 
 // Served is one immutable serving model: an engine.Engine plus the
@@ -179,6 +183,9 @@ type Registry struct {
 
 // New returns an empty registry.
 func New(opt Options) *Registry {
+	if opt.Logger == nil {
+		opt.Logger = slog.New(slog.DiscardHandler)
+	}
 	return &Registry{opt: opt, entries: make(map[string]*entry)}
 }
 
@@ -238,10 +245,15 @@ func (r *Registry) LoadContext(ctx context.Context, name string, m *core.Model) 
 	if name == "" {
 		return nil, errors.New("registry: empty model name")
 	}
+	buildStart := time.Now()
 	s, err := r.buildServed(ctx, name, m)
 	if err != nil {
-		if r.opt.LoadHook != nil && !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
-			r.opt.LoadHook(name, err)
+		if !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+			r.opt.Logger.LogAttrs(ctx, slog.LevelError, "model load failed",
+				slog.String("model", name), slog.String("error", err.Error()))
+			if r.opt.LoadHook != nil {
+				r.opt.LoadHook(name, err)
+			}
 		}
 		return nil, err
 	}
@@ -270,6 +282,16 @@ func (r *Registry) LoadContext(ctx context.Context, name string, m *core.Model) 
 	for _, d := range drains {
 		drain(d)
 	}
+	for _, victim := range evictedNames {
+		r.opt.Logger.LogAttrs(ctx, slog.LevelInfo, "model evicted",
+			slog.String("model", victim), slog.String("by", name))
+	}
+	r.opt.Logger.LogAttrs(ctx, slog.LevelInfo, "model loaded",
+		slog.String("model", name),
+		slog.Int64("generation", s.gen),
+		slog.Int("edges", m.H.NumEdges()),
+		slog.Bool("swapped", info.Swapped),
+		slog.Duration("build", time.Since(buildStart)))
 	if r.opt.LoadHook != nil {
 		r.opt.LoadHook(name, nil)
 	}
@@ -406,6 +428,10 @@ func (r *Registry) Remove(name string) bool {
 	r.mu.Unlock()
 	if old != nil {
 		drain(old)
+	}
+	if e != nil {
+		r.opt.Logger.LogAttrs(context.Background(), slog.LevelInfo, "model removed",
+			slog.String("model", name))
 	}
 	return e != nil
 }

@@ -21,16 +21,58 @@ import (
 // need no guards: PhaseLogFrom(ctx).Span(PhaseRules) costs two nil
 // checks when no log is attached.
 type PhaseLog struct {
-	mu    sync.Mutex
-	spans map[Phase]time.Duration
+	mu      sync.Mutex
+	spans   map[Phase]time.Duration
+	records []PhaseRecord // ordered spans, only when KeepRecords was called
+	maxRec  int
+	dropped int
+}
+
+// PhaseRecord is one ordered span occurrence: which phase ran, when it
+// started, and how long it took. Unlike the aggregate Snapshot, records
+// preserve repetition and ordering, which is what a trace needs.
+type PhaseRecord struct {
+	Phase    Phase
+	Start    time.Time
+	Duration time.Duration
 }
 
 type phaseLogKey struct{}
 
+// NewPhaseLog returns an empty PhaseLog not yet attached to a context;
+// pair with ContextWithPhaseLog. Pool-friendly via Reset.
+func NewPhaseLog() *PhaseLog {
+	return &PhaseLog{spans: make(map[Phase]time.Duration)}
+}
+
+// KeepRecords enables ordered span retention with the given bound;
+// spans beyond it are dropped (counted, not stored). Call before use.
+func (p *PhaseLog) KeepRecords(max int) {
+	p.maxRec = max
+	if cap(p.records) < max {
+		p.records = make([]PhaseRecord, 0, max)
+	}
+}
+
+// Reset clears all recorded state (keeping allocated capacity) so a
+// pooled PhaseLog can be reused across requests.
+func (p *PhaseLog) Reset() {
+	p.mu.Lock()
+	clear(p.spans)
+	p.records = p.records[:0]
+	p.dropped = 0
+	p.mu.Unlock()
+}
+
+// ContextWithPhaseLog attaches an existing PhaseLog to ctx.
+func ContextWithPhaseLog(ctx context.Context, p *PhaseLog) context.Context {
+	return context.WithValue(ctx, phaseLogKey{}, p)
+}
+
 // WithPhaseLog attaches a fresh PhaseLog to ctx and returns both.
 func WithPhaseLog(ctx context.Context) (context.Context, *PhaseLog) {
-	p := &PhaseLog{spans: make(map[Phase]time.Duration)}
-	return context.WithValue(ctx, phaseLogKey{}, p), p
+	p := NewPhaseLog()
+	return ContextWithPhaseLog(ctx, p), p
 }
 
 // PhaseLogFrom returns the PhaseLog attached to ctx, or nil.
@@ -54,8 +96,42 @@ func (p *PhaseLog) Span(ph Phase) func() {
 		d := time.Since(start)
 		p.mu.Lock()
 		p.spans[ph] += d
+		if p.maxRec > 0 {
+			if len(p.records) < p.maxRec {
+				p.records = append(p.records, PhaseRecord{Phase: ph, Start: start, Duration: d})
+			} else {
+				p.dropped++
+			}
+		}
 		p.mu.Unlock()
 	}
+}
+
+// Records returns a copy of the ordered span records (empty unless
+// KeepRecords was enabled) and the number dropped past the bound.
+func (p *PhaseLog) Records() ([]PhaseRecord, int) {
+	if p == nil {
+		return nil, 0
+	}
+	p.mu.Lock()
+	out := make([]PhaseRecord, len(p.records))
+	copy(out, p.records)
+	n := p.dropped
+	p.mu.Unlock()
+	return out, n
+}
+
+// VisitRecords calls fn for each ordered span record under the lock,
+// allocation-free; fn must not re-enter the PhaseLog.
+func (p *PhaseLog) VisitRecords(fn func(PhaseRecord)) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	for _, r := range p.records {
+		fn(r)
+	}
+	p.mu.Unlock()
 }
 
 // PhaseSpan is one attributed phase duration.

@@ -4,7 +4,7 @@ import (
 	"bytes"
 	"context"
 	"io"
-	"log"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"regexp"
@@ -324,7 +324,7 @@ func TestMetricsEndpoint(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	typed := map[string]string{} // family -> counter|gauge
+	typed := map[string]string{} // family -> counter|gauge|histogram
 	samples := map[string]int{}
 	var sampleLines []string
 	for i, line := range strings.Split(strings.TrimRight(string(raw), "\n"), "\n") {
@@ -335,7 +335,7 @@ func TestMetricsEndpoint(t *testing.T) {
 			}
 			if m[1] == "TYPE" {
 				typ := strings.TrimSpace(m[3])
-				if typ != "counter" && typ != "gauge" {
+				if typ != "counter" && typ != "gauge" && typ != "histogram" {
 					t.Fatalf("line %d: bad type %q", i+1, line)
 				}
 				if _, dup := typed[m[2]]; dup {
@@ -350,7 +350,12 @@ func TestMetricsEndpoint(t *testing.T) {
 			t.Fatalf("line %d: malformed sample %q", i+1, line)
 		}
 		if _, ok := typed[m[1]]; !ok {
-			t.Fatalf("line %d: sample %s has no preceding TYPE", i+1, m[1])
+			// Histogram families declare one TYPE for the base name;
+			// their samples are base_bucket / base_sum / base_count.
+			base := histogramBase(m[1])
+			if base == "" || typed[base] != "histogram" {
+				t.Fatalf("line %d: sample %s has no preceding TYPE", i+1, m[1])
+			}
 		}
 		samples[m[1]]++
 		sampleLines = append(sampleLines, line)
@@ -362,6 +367,9 @@ func TestMetricsEndpoint(t *testing.T) {
 		"hypermined_models", "hypermined_model_queries_total",
 		"hypermined_tenant_admitted_total", "hypermined_model_admitted_total",
 		"hypermined_gate_in_flight", "hypermined_breaker_state",
+		"hypermined_request_seconds_bucket", "hypermined_request_seconds_sum",
+		"hypermined_request_seconds_count", "hypermined_queue_wait_seconds_bucket",
+		"hypermined_phase_seconds_bucket", "hypermined_snapshot_load_seconds_bucket",
 	} {
 		if samples[fam] == 0 {
 			t.Errorf("family %s missing or empty", fam)
@@ -374,9 +382,117 @@ func TestMetricsEndpoint(t *testing.T) {
 		`hypermined_gate_capacity{class="cheap"} 4`,
 		`hypermined_gate_capacity{class="expensive"} 1`,
 		`hypermined_breaker_state{model="demo"} 0`,
+		`hypermined_request_seconds_bucket{kind="dominators",class="cheap",le="+Inf"} 1`,
+		`hypermined_request_seconds_count{kind="dominators",class="cheap"} 1`,
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("metrics missing %q\n%s", want, strings.Join(sampleLines, "\n"))
+		}
+	}
+
+	checkHistogramCoherence(t, text)
+}
+
+// histogramBase strips a histogram sample suffix, or returns "".
+func histogramBase(name string) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if base, ok := strings.CutSuffix(name, suf); ok {
+			return base
+		}
+	}
+	return ""
+}
+
+var bucketLine = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)_bucket\{(.*?)le="([^"]+)"\} ([0-9]+)$`)
+
+// checkHistogramCoherence parses every histogram series out of an
+// exposition dump and checks, per series: cumulative bucket counts are
+// monotone in le order (the exposition emits them in ladder order), the
+// +Inf bucket equals _count, and _sum is consistent (nonnegative, and
+// zero iff the count-weighted minimum allows it).
+func checkHistogramCoherence(t *testing.T, text string) {
+	t.Helper()
+	type series struct {
+		counts []uint64 // in emission order; last is +Inf
+		lastLe string
+	}
+	buckets := map[string]*series{} // family + label prefix -> series
+	counts := map[string]uint64{}
+	sums := map[string]float64{}
+	nHist := 0
+	for _, line := range strings.Split(text, "\n") {
+		if m := bucketLine.FindStringSubmatch(line); m != nil {
+			key := m[1] + "|" + m[2]
+			s := buckets[key]
+			if s == nil {
+				s = &series{}
+				buckets[key] = s
+			}
+			v, err := strconv.ParseUint(m[4], 10, 64)
+			if err != nil {
+				t.Fatalf("bad bucket value %q", line)
+			}
+			s.counts = append(s.counts, v)
+			s.lastLe = m[3]
+			nHist++
+			continue
+		}
+		if name, rest, ok := strings.Cut(line, " "); ok {
+			if base, isCount := strings.CutSuffix(strings.SplitN(name, "{", 2)[0], "_count"); isCount && !strings.HasPrefix(line, "#") {
+				labels := ""
+				if i := strings.IndexByte(name, '{'); i >= 0 {
+					labels = strings.TrimSuffix(name[i+1:], "}")
+					if labels != "" {
+						labels += ","
+					}
+				}
+				if v, err := strconv.ParseUint(rest, 10, 64); err == nil {
+					counts[base+"|"+labels] = v
+				}
+			}
+			if base, isSum := strings.CutSuffix(strings.SplitN(name, "{", 2)[0], "_sum"); isSum && !strings.HasPrefix(line, "#") {
+				labels := ""
+				if i := strings.IndexByte(name, '{'); i >= 0 {
+					labels = strings.TrimSuffix(name[i+1:], "}")
+					if labels != "" {
+						labels += ","
+					}
+				}
+				if v, err := strconv.ParseFloat(rest, 64); err == nil {
+					sums[base+"|"+labels] = v
+				}
+			}
+		}
+	}
+	if nHist == 0 {
+		t.Fatal("no histogram bucket lines found")
+	}
+	for key, s := range buckets {
+		for i := 1; i < len(s.counts); i++ {
+			if s.counts[i] < s.counts[i-1] {
+				t.Errorf("series %s: buckets not monotone at %d", key, i)
+			}
+		}
+		if s.lastLe != "+Inf" {
+			t.Errorf("series %s: last bucket le=%q, want +Inf", key, s.lastLe)
+		}
+		cnt, ok := counts[key]
+		if !ok {
+			t.Errorf("series %s: no _count sample", key)
+			continue
+		}
+		if inf := s.counts[len(s.counts)-1]; inf != cnt {
+			t.Errorf("series %s: +Inf bucket %d != count %d", key, inf, cnt)
+		}
+		if sum, ok := sums[key]; ok {
+			if sum < 0 {
+				t.Errorf("series %s: negative sum %v", key, sum)
+			}
+			if cnt > 0 && sum == 0 && s.counts[0] != cnt {
+				t.Errorf("series %s: zero sum with observations above the first bucket", key)
+			}
+		} else {
+			t.Errorf("series %s: no _sum sample", key)
 		}
 	}
 }
@@ -408,18 +524,18 @@ func TestPprofGate(t *testing.T) {
 func TestSlowQueryLog(t *testing.T) {
 	var buf bytes.Buffer
 	var mu sync.Mutex
-	logger := log.New(writerFunc(func(p []byte) (int, error) {
+	logger := slog.New(slog.NewTextHandler(writerFunc(func(p []byte) (int, error) {
 		mu.Lock()
 		defer mu.Unlock()
 		return buf.Write(p)
-	}), "", 0)
+	}), nil))
 
 	m := testModel(t, 7, 12, 500)
 	reg := registry.New(registry.Options{})
 	if _, err := reg.Load("demo", m); err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(New(reg, WithSlowQueryLog(time.Nanosecond, logger)).Handler())
+	ts := httptest.NewServer(New(reg, WithSlowQueryLog(time.Nanosecond), WithLogger(logger)).Handler())
 	defer ts.Close()
 
 	code, body, _ := getTenant(t, ts.URL+"/v1/models/demo/rules?head=A00", "ops")
@@ -431,7 +547,8 @@ func TestSlowQueryLog(t *testing.T) {
 	out := buf.String()
 	mu.Unlock()
 	for _, want := range []string{
-		"slow query:", "method=rules", "model=demo", "tenant=ops", "duration=", "rules=",
+		`msg="slow query"`, "level=WARN", "kind=rules", "model=demo",
+		"tenant=ops", "duration=", "status=200", "rules=",
 	} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("slow log %q missing %q", out, want)

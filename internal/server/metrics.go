@@ -64,16 +64,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 
 	p.scalar("hypermined_uptime_seconds", "gauge",
 		"Seconds since the server started.", time.Since(s.start).Seconds())
-	p.scalar("hypermined_queries_total", "counter",
-		"Queries accepted by the API, counted before admission control.", float64(s.queries.Load()))
-	p.scalar("hypermined_errors_total", "counter",
-		"Requests that failed with a client or server error.", float64(s.errs.Load()))
-	p.scalar("hypermined_timeouts_total", "counter",
-		"Queries abandoned at the server-side deadline (504).", float64(s.timeouts.Load()))
-	p.scalar("hypermined_canceled_total", "counter",
-		"Queries abandoned because the client went away (499).", float64(s.canceled.Load()))
-	p.scalar("hypermined_shed_total", "counter",
-		"Requests rejected by admission control (429 and 503).", float64(s.shed.Load()))
+	// Counters and latency histograms come from the shared telemetry
+	// registry — the same registration that feeds /stats, so the two
+	// surfaces cannot drift.
+	_ = bw.Flush()
+	_ = s.tel.WritePrometheus(w)
 
 	reg := s.reg.Stats()
 	p.scalar("hypermined_models", "gauge",

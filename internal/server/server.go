@@ -28,13 +28,13 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"runtime"
 	"strconv"
 	"strings"
-	"sync/atomic"
+	"sync"
 	"time"
 
 	"hypermine/internal/admit"
@@ -42,6 +42,7 @@ import (
 	"hypermine/internal/engine"
 	"hypermine/internal/registry"
 	"hypermine/internal/runopt"
+	"hypermine/internal/telemetry"
 )
 
 // maxSnapshotBytes bounds a PUT body (1 GiB — far beyond any model
@@ -73,12 +74,53 @@ type Server struct {
 	admission    *admit.Controller
 	pprofOn      bool
 	slowQuery    time.Duration
-	slowLog      *log.Logger
-	queries      atomic.Int64
-	errs         atomic.Int64
-	timeouts     atomic.Int64
-	canceled     atomic.Int64
-	shed         atomic.Int64
+	logger       *slog.Logger
+	tracer       *telemetry.Tracer
+
+	// tel is the shared counter/histogram registry: /stats and
+	// /metrics are both generated from it, so the two surfaces cannot
+	// drift. The named fields below are the same counters, kept as
+	// direct pointers so hot paths skip any lookup.
+	tel      *telemetry.Registry
+	queries  *telemetry.Counter
+	errs     *telemetry.Counter
+	timeouts *telemetry.Counter
+	canceled *telemetry.Counter
+	shed     *telemetry.Counter
+
+	reqHist   [len(queryKinds)][numClasses]*telemetry.Histogram
+	queueHist [numClasses]*telemetry.Histogram
+	phaseHist map[runopt.Phase]*telemetry.Histogram
+	snapHist  *telemetry.Histogram
+
+	obsPool sync.Pool // *reqObs
+}
+
+// numClasses mirrors the admission cost-class count (cheap, expensive).
+const numClasses = 2
+
+// queryKinds is the request-variant vocabulary of the query funnel,
+// used to label the per-kind latency histograms. "other" catches
+// malformed requests that name no variant.
+var queryKinds = [...]string{"rules", "similar", "dominators", "classify", "batch", "other"}
+
+// kindIndex maps a request to its queryKinds slot.
+func kindIndex(req *engine.Request) int {
+	switch {
+	case req == nil:
+		return len(queryKinds) - 1
+	case req.Rules != nil:
+		return 0
+	case req.Similar != nil:
+		return 1
+	case req.Dominators != nil:
+		return 2
+	case req.Classify != nil:
+		return 3
+	case req.Batch != nil:
+		return 4
+	}
+	return len(queryKinds) - 1
 }
 
 // Option configures a Server.
@@ -114,25 +156,50 @@ func WithPprof(enabled bool) Option {
 	return func(s *Server) { s.pprofOn = enabled }
 }
 
-// WithSlowQueryLog logs every query whose handling exceeds threshold:
-// method (request variant), model, tenant, total duration, and
-// per-phase attribution from the engine's build sites (phases=none
-// means the time went to warm reads, not artifact builds). logger nil
-// means log.Default(); threshold <= 0 disables the log.
-func WithSlowQueryLog(threshold time.Duration, logger *log.Logger) Option {
+// WithSlowQueryLog logs every query whose handling exceeds threshold
+// as a structured slog event carrying trace_id, kind (request
+// variant), model, tenant, total duration, and per-phase attribution
+// from the engine's build sites (phases=none means the time went to
+// warm reads, not artifact builds). When tracing is enabled the event
+// also pins its trace in the retention ring, so the logged trace_id is
+// resolvable at /debug/traces. threshold <= 0 disables the log; the
+// destination is the server logger (WithLogger).
+func WithSlowQueryLog(threshold time.Duration) Option {
+	return func(s *Server) { s.slowQuery = threshold }
+}
+
+// WithLogger sets the structured logger for every server-emitted log
+// line (slow queries, snapshot loads/unloads). Default slog.Default().
+func WithLogger(logger *slog.Logger) Option {
 	return func(s *Server) {
-		s.slowQuery = threshold
-		s.slowLog = logger
+		if logger != nil {
+			s.logger = logger
+		}
 	}
+}
+
+// WithTracer enables request tracing: every query through the do()
+// funnel gets a trace ID (minted, or adopted from an inbound W3C
+// traceparent header), echoed as X-Trace-Id; engine phase spans attach
+// to the trace; slow, errored, shed, and pinned traces are always
+// retained in the tracer's ring and served at GET /debug/traces
+// (mounted only when tracing is on, like pprof). nil disables tracing
+// (the default): no trace IDs, no /debug/traces.
+func WithTracer(t *telemetry.Tracer) Option {
+	return func(s *Server) { s.tracer = t }
 }
 
 // New returns a Server over the registry.
 func New(reg *registry.Registry, opts ...Option) *Server {
-	s := &Server{reg: reg, mux: http.NewServeMux(), start: time.Now()}
+	s := &Server{reg: reg, mux: http.NewServeMux(), start: time.Now(), logger: slog.Default()}
 	for _, o := range opts {
 		o(s)
 	}
+	s.initTelemetry()
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	if s.tracer != nil {
+		s.mux.HandleFunc("GET /debug/traces", s.handleTraces)
+	}
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	if s.pprofOn {
@@ -158,6 +225,68 @@ func New(reg *registry.Registry, opts ...Option) *Server {
 	s.mux.HandleFunc("POST /v1/models/{rest...}", s.handleQuery)
 	return s
 }
+
+// initTelemetry builds the shared counter/histogram registry. Every
+// counter carries both its Prometheus family name and its /stats JSON
+// key, and both endpoints iterate the same registration — that is the
+// anti-drift contract the parity test pins.
+func (s *Server) initTelemetry() {
+	s.tel = telemetry.NewRegistry()
+	s.queries = s.tel.Counter("hypermined_queries_total", "queries",
+		"Queries accepted by the API, counted before admission control.")
+	s.errs = s.tel.Counter("hypermined_errors_total", "errors",
+		"Requests that failed with a client or server error.")
+	s.timeouts = s.tel.Counter("hypermined_timeouts_total", "timeouts",
+		"Queries abandoned at the server-side deadline (504).")
+	s.canceled = s.tel.Counter("hypermined_canceled_total", "canceled",
+		"Queries abandoned because the client went away (499).")
+	s.shed = s.tel.Counter("hypermined_shed_total", "shed",
+		"Requests rejected by admission control (429 and 503).")
+
+	classes := [numClasses]admit.Class{admit.Cheap, admit.Expensive}
+	for ki, kind := range queryKinds {
+		for ci, class := range classes {
+			s.reqHist[ki][ci] = s.tel.Histogram("hypermined_request_seconds",
+				"Query latency through the query funnel (admission wait + engine), per request kind and cost class.",
+				`kind="`+kind+`",class="`+class.String()+`"`)
+		}
+	}
+	for ci, class := range classes {
+		s.queueHist[ci] = s.tel.Histogram("hypermined_queue_wait_seconds",
+			"Time admitted queries spent waiting in a concurrency-gate queue (only real waits are observed).",
+			`class="`+class.String()+`"`)
+	}
+	s.phaseHist = make(map[runopt.Phase]*telemetry.Histogram)
+	for _, ph := range []runopt.Phase{
+		runopt.PhaseEdges, runopt.PhasePairs, runopt.PhaseTriples,
+		runopt.PhaseSimilarity, runopt.PhaseDominator, runopt.PhaseApriori,
+		runopt.PhaseRules, runopt.PhaseFolds, runopt.PhaseIndex, runopt.PhaseClassifier,
+	} {
+		s.phaseHist[ph] = s.tel.Histogram("hypermined_phase_seconds",
+			"Time spent in engine pipeline phases (artifact builds and rule mining), per phase.",
+			`phase="`+string(ph)+`"`)
+	}
+	s.snapHist = s.tel.Histogram("hypermined_snapshot_load_seconds",
+		"Wall time to decode and publish a PUT snapshot (read + engine wrap + warmup + swap).", "")
+
+	if s.admission != nil {
+		s.admission.ObserveQueueWait(func(class admit.Class, d time.Duration) {
+			if int(class) < numClasses {
+				s.queueHist[class].Observe(d)
+			}
+		})
+	}
+	s.obsPool.New = func() any {
+		ob := &reqObs{plog: runopt.NewPhaseLog()}
+		ob.plog.KeepRecords(telemetry.MaxTraceSpans)
+		return ob
+	}
+}
+
+// Telemetry exposes the shared counter/histogram registry (tests use
+// it to verify /stats–/metrics parity; embedders may add to it before
+// serving traffic).
+func (s *Server) Telemetry() *telemetry.Registry { return s.tel }
 
 // Handler returns the HTTP handler. When a query timeout is
 // configured, every query request's context carries that deadline;
@@ -192,7 +321,7 @@ func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
 }
 
 func (s *Server) fail(w http.ResponseWriter, code int, format string, args ...any) {
-	s.errs.Add(1)
+	s.errs.Inc()
 	s.writeJSON(w, code, errorBody{Error: fmt.Sprintf(format, args...)})
 }
 
@@ -205,15 +334,45 @@ func (s *Server) fail(w http.ResponseWriter, code int, format string, args ...an
 func (s *Server) failCtx(w http.ResponseWriter, err error) bool {
 	switch {
 	case errors.Is(err, context.DeadlineExceeded):
-		s.timeouts.Add(1)
+		s.timeouts.Inc()
 		s.writeJSON(w, http.StatusGatewayTimeout, errorBody{Error: "query deadline exceeded"})
 		return true
 	case errors.Is(err, context.Canceled):
-		s.canceled.Add(1)
+		s.canceled.Inc()
 		s.writeJSON(w, StatusClientClosedRequest, errorBody{Error: "request canceled by client"})
 		return true
 	}
 	return false
+}
+
+// ctxStatus maps a context-shaped failure to the status failCtx
+// writes for it (0 when err is not context-shaped).
+func ctxStatus(err error) int {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return StatusClientClosedRequest
+	}
+	return 0
+}
+
+// engineStatus maps an Engine.Do error to the HTTP status failEngine
+// writes for it; telemetry records the same value.
+func engineStatus(err error) int {
+	if code := ctxStatus(err); code != 0 {
+		return code
+	}
+	var ee *engine.Error
+	if errors.As(err, &ee) {
+		switch ee.Kind {
+		case engine.ErrBadRequest:
+			return http.StatusBadRequest
+		case engine.ErrUnavailable:
+			return http.StatusConflict
+		}
+	}
+	return http.StatusInternalServerError
 }
 
 // failEngine maps an Engine.Do error onto HTTP: context outcomes keep
@@ -245,55 +404,137 @@ func (s *Server) acquire(w http.ResponseWriter, name string) *registry.Served {
 		s.fail(w, http.StatusNotFound, "unknown model %q", name)
 		return nil
 	}
-	s.queries.Add(1)
+	s.queries.Inc()
 	sv.CountQuery()
 	return sv
+}
+
+// reqObs is the pooled per-request observation record behind the do()
+// funnel: latency histogram indices, trace state, and the phase log,
+// finished exactly once via a deferred method call (a method value on
+// a pooled pointer, so the steady-state telemetry bookkeeping itself
+// performs no heap allocation).
+type reqObs struct {
+	s      *Server
+	name   string
+	kind   string
+	tenant string
+	ki, ci int
+	start  time.Time
+	status int
+	errMsg string
+	act    *telemetry.Active
+	plog   *runopt.PhaseLog
+	logged bool // plog was attached to the request context
+}
+
+// setErr records the telemetry-visible outcome of a failed request.
+func (ob *reqObs) setErr(status int, msg string) {
+	ob.status = status
+	ob.errMsg = msg
+}
+
+// finish observes the request latency, feeds phase spans to the phase
+// histograms and the trace, emits the slow-query log, completes the
+// trace, and recycles the record.
+func (ob *reqObs) finish() {
+	s := ob.s
+	elapsed := time.Since(ob.start)
+	s.reqHist[ob.ki][ob.ci].Observe(elapsed)
+	if ob.logged {
+		startNs := ob.start
+		ob.plog.VisitRecords(func(rec runopt.PhaseRecord) {
+			if h := s.phaseHist[rec.Phase]; h != nil {
+				h.Observe(rec.Duration)
+			}
+			ob.act.AddSpan(string(rec.Phase), rec.Start.Sub(startNs).Nanoseconds(), rec.Duration.Nanoseconds())
+		})
+	}
+	if s.slowQuery > 0 && elapsed >= s.slowQuery {
+		ob.act.Pin() // nil-safe: keep the logged trace resolvable
+		s.logSlow(ob, elapsed)
+	}
+	if s.tracer != nil {
+		s.tracer.Finish(ob.act, elapsed, ob.status, ob.errMsg)
+	}
+	ob.plog.Reset()
+	ob.act = nil
+	ob.errMsg = ""
+	ob.logged = false
+	s.obsPool.Put(ob)
 }
 
 // do routes one typed request through the named model's engine and
 // returns the response, handling 404/admission/err reporting itself
 // (nil means "already written"). It is the single funnel every query
-// handler uses, so admission control, slow-query logging, and breaker
-// feedback cover the whole query surface at one call site.
+// handler uses, so admission control, latency histograms, request
+// tracing, slow-query logging, and breaker feedback cover the whole
+// query surface at one call site.
 func (s *Server) do(w http.ResponseWriter, r *http.Request, name string, req *engine.Request) *engine.Response {
-	sv := s.acquire(w, name)
+	class := classOf(req)
+	tenant := r.Header.Get("X-Tenant")
+	if tenant == "" {
+		tenant = admit.DefaultTenant
+	}
+
+	ob := s.obsPool.Get().(*reqObs)
+	ob.s = s
+	ob.name = name
+	ob.kind = reqKind(req)
+	ob.tenant = tenant
+	ob.ki, ob.ci = kindIndex(req), int(class)
+	ob.start = time.Now()
+	ob.status = http.StatusOK
+	if s.tracer != nil {
+		id, _ := telemetry.ParseTraceparent(r.Header.Get("traceparent"))
+		ob.act = s.tracer.Start(id, ob.kind, name, tenant)
+		w.Header().Set("X-Trace-Id", ob.act.TraceID().String())
+	}
+	defer ob.finish()
+
+	sv := s.reg.Acquire(name)
 	if sv == nil {
+		ob.setErr(http.StatusNotFound, "unknown model")
+		s.fail(w, http.StatusNotFound, "unknown model %q", name)
 		return nil
 	}
 	defer sv.Release()
+	s.queries.Inc()
+	sv.CountQuery()
 
 	var tk admit.Ticket // zero Ticket when admission is off; Done is a no-op
 	if s.admission != nil {
-		_, rej, err := s.admission.AdmitInto(r.Context(), &tk, r.Header.Get("X-Tenant"), name, classOf(req))
+		_, rej, err := s.admission.AdmitInto(r.Context(), &tk, r.Header.Get("X-Tenant"), name, class)
 		if err != nil {
 			// The context ended while the request waited in a gate
 			// queue: report it like any other context outcome.
-			if !s.failCtx(w, err) {
+			if s.failCtx(w, err) {
+				ob.setErr(ctxStatus(err), err.Error())
+			} else {
+				ob.setErr(http.StatusInternalServerError, err.Error())
 				s.fail(w, http.StatusInternalServerError, "admission: %v", err)
 			}
 			return nil
 		}
 		if rej != nil {
+			ob.setErr(rej.Status, "overloaded: "+string(rej.Reason))
 			s.reject(w, rej)
 			return nil
 		}
 	}
 
 	ctx := r.Context()
-	var plog *runopt.PhaseLog
-	var start time.Time
-	if s.slowQuery > 0 {
-		start = time.Now()
-		ctx, plog = runopt.WithPhaseLog(ctx)
+	if ob.act != nil {
+		ctx = telemetry.ContextWithTrace(ctx, ob.act)
+	}
+	if ob.act != nil || s.slowQuery > 0 {
+		ob.logged = true
+		ctx = runopt.ContextWithPhaseLog(ctx, ob.plog)
 	}
 	resp, err := sv.Engine().Do(ctx, req)
 	tk.Done(outcomeOf(err)) // nil-safe; idempotent
-	if s.slowQuery > 0 {
-		if elapsed := time.Since(start); elapsed >= s.slowQuery {
-			s.logSlow(r, name, req, elapsed, plog)
-		}
-	}
 	if err != nil {
+		ob.setErr(engineStatus(err), err.Error())
 		s.failEngine(w, err)
 		return nil
 	}
@@ -352,7 +593,7 @@ type rejectionBody struct {
 // Retry-After header. Shedding is the system working as designed, so
 // it lands in the shed counter, not errs.
 func (s *Server) reject(w http.ResponseWriter, rej *admit.Rejection) {
-	s.shed.Add(1)
+	s.shed.Inc()
 	secs := retryAfterSeconds(rej.RetryAfter)
 	w.Header().Set("Retry-After", strconv.Itoa(secs))
 	s.writeJSON(w, rej.Status, rejectionBody{
@@ -362,45 +603,34 @@ func (s *Server) reject(w http.ResponseWriter, rej *admit.Rejection) {
 	})
 }
 
-// reqKind names the request variant for the slow-query log.
+// reqKind names the request variant for logs and trace records.
 func reqKind(req *engine.Request) string {
-	switch {
-	case req == nil:
-		return "none"
-	case req.Batch != nil:
-		return "batch"
-	case req.Rules != nil:
-		return "rules"
-	case req.Similar != nil:
-		return "similar"
-	case req.Dominators != nil:
-		return "dominators"
-	case req.Classify != nil:
-		return "classify"
-	}
-	return "unknown"
+	return queryKinds[kindIndex(req)]
 }
 
-// logSlow reports one over-threshold query. phases=none means the
+// logSlow emits the structured slow-query event. phases=none means the
 // request did no artifact builds — its time went to warm reads, queue
-// wait, or a singleflight build another request performed.
-func (s *Server) logSlow(r *http.Request, name string, req *engine.Request, elapsed time.Duration, plog *runopt.PhaseLog) {
-	logger := s.slowLog
-	if logger == nil {
-		logger = log.Default()
-	}
-	tenant := r.Header.Get("X-Tenant")
-	if tenant == "" {
-		tenant = admit.DefaultTenant
-	}
-	logger.Printf("slow query: method=%s model=%s tenant=%s duration=%s phases=%s",
-		reqKind(req), name, tenant, elapsed.Round(time.Microsecond), plog)
+// wait, or a singleflight build another request performed. trace_id is
+// the zero ID when tracing is off.
+func (s *Server) logSlow(ob *reqObs, elapsed time.Duration) {
+	s.logger.LogAttrs(context.Background(), slog.LevelWarn, "slow query",
+		slog.String("trace_id", ob.act.TraceID().String()),
+		slog.String("kind", ob.kind),
+		slog.String("model", ob.name),
+		slog.String("tenant", ob.tenant),
+		slog.Duration("duration", elapsed.Round(time.Microsecond)),
+		slog.Int("status", ob.status),
+		slog.String("phases", ob.plog.String()))
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
+// statsResponse documents (and lets tests decode) the /stats shape.
+// The counter fields are not rendered from this struct: handleStats
+// iterates the shared telemetry registry, so /stats carries exactly
+// the counters /metrics exposes, by construction.
 type statsResponse struct {
 	UptimeSeconds float64 `json:"uptime_seconds"`
 	Queries       int64   `json:"queries"`
@@ -422,21 +652,42 @@ type statsResponse struct {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	var adm *admit.Stats
-	if s.admission != nil {
-		st := s.admission.Stats()
-		adm = &st
+	out := map[string]any{
+		"uptime_seconds": time.Since(s.start).Seconds(),
+		"gomaxprocs":     runtime.GOMAXPROCS(0),
+		"registry":       s.reg.Stats(),
 	}
-	s.writeJSON(w, http.StatusOK, statsResponse{
-		UptimeSeconds: time.Since(s.start).Seconds(),
-		Queries:       s.queries.Load(),
-		Errors:        s.errs.Load(),
-		Timeouts:      s.timeouts.Load(),
-		Canceled:      s.canceled.Load(),
-		Shed:          s.shed.Load(),
-		GoMaxProcs:    runtime.GOMAXPROCS(0),
-		Registry:      s.reg.Stats(),
-		Admission:     adm,
+	// One shared registration feeds both surfaces: every counter's
+	// JSON key lands here, every counter's family name in /metrics.
+	for key, v := range s.tel.CounterValues() {
+		out[key] = v
+	}
+	if s.admission != nil {
+		out["admission"] = s.admission.Stats()
+	}
+	s.writeJSON(w, http.StatusOK, out)
+}
+
+// tracesResponse is the GET /debug/traces shape: the always-retained
+// slow/errored/pinned ring and the sampled recent ring, newest first.
+type tracesResponse struct {
+	SlowThresholdNs time.Duration      `json:"slow_threshold_ns"`
+	Slow            []*telemetry.Trace `json:"slow"`
+	Recent          []*telemetry.Trace `json:"recent"`
+}
+
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	slow, recent := s.tracer.Snapshot()
+	if slow == nil {
+		slow = []*telemetry.Trace{}
+	}
+	if recent == nil {
+		recent = []*telemetry.Trace{}
+	}
+	s.writeJSON(w, http.StatusOK, tracesResponse{
+		SlowThresholdNs: s.tracer.SlowThreshold(),
+		Slow:            slow,
+		Recent:          recent,
 	})
 }
 
@@ -536,25 +787,54 @@ type putResponse struct {
 
 func (s *Server) handlePutModel(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
+	// Admin writes get trace IDs too: load events in the log must be
+	// correlatable with the client that triggered them.
+	var act *telemetry.Active
+	if s.tracer != nil {
+		id, _ := telemetry.ParseTraceparent(r.Header.Get("traceparent"))
+		act = s.tracer.Start(id, "load", name, r.Header.Get("X-Tenant"))
+		w.Header().Set("X-Trace-Id", act.TraceID().String())
+	}
+	start := time.Now()
+	finish := func(status int, errMsg string) {
+		if s.tracer != nil {
+			s.tracer.Finish(act, time.Since(start), status, errMsg)
+		}
+	}
 	body := http.MaxBytesReader(w, r.Body, maxSnapshotBytes)
 	m, err := core.ReadSnapshot(body)
 	if err != nil {
 		// An aborted upload surfaces as a body read error; report it as
 		// the context outcome, not a malformed snapshot.
 		if ctxErr := r.Context().Err(); ctxErr != nil && s.failCtx(w, ctxErr) {
+			finish(ctxStatus(ctxErr), ctxErr.Error())
 			return
 		}
+		finish(http.StatusBadRequest, err.Error())
 		s.fail(w, http.StatusBadRequest, "snapshot: %v", err)
 		return
 	}
 	info, err := s.reg.LoadContext(r.Context(), name, m)
 	if err != nil {
 		if s.failCtx(w, err) {
+			finish(ctxStatus(err), err.Error())
 			return
 		}
+		finish(http.StatusUnprocessableEntity, err.Error())
 		s.fail(w, http.StatusUnprocessableEntity, "load: %v", err)
 		return
 	}
+	elapsed := time.Since(start)
+	s.snapHist.Observe(elapsed)
+	s.logger.LogAttrs(r.Context(), slog.LevelInfo, "snapshot loaded",
+		slog.String("trace_id", act.TraceID().String()),
+		slog.String("kind", "load"),
+		slog.String("model", name),
+		slog.Int64("generation", info.Generation),
+		slog.Int("edges", m.H.NumEdges()),
+		slog.Bool("swapped", info.Swapped),
+		slog.Duration("duration", elapsed.Round(time.Microsecond)))
+	finish(http.StatusOK, "")
 	s.writeJSON(w, http.StatusOK, putResponse{
 		Name:       name,
 		Generation: info.Generation,
@@ -567,10 +847,19 @@ func (s *Server) handlePutModel(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleDeleteModel(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
+	var id telemetry.TraceID
+	if s.tracer != nil {
+		id = s.tracer.MintID()
+		w.Header().Set("X-Trace-Id", id.String())
+	}
 	if !s.reg.Remove(name) {
 		s.fail(w, http.StatusNotFound, "unknown model %q", name)
 		return
 	}
+	s.logger.LogAttrs(r.Context(), slog.LevelInfo, "model unloaded",
+		slog.String("trace_id", id.String()),
+		slog.String("kind", "unload"),
+		slog.String("model", name))
 	s.writeJSON(w, http.StatusOK, map[string]string{"removed": name})
 }
 

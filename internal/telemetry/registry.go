@@ -1,0 +1,174 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing counter registered under both
+// a Prometheus family name and a JSON key, so the /metrics and /stats
+// surfaces are generated from the same source and cannot drift.
+type Counter struct {
+	v       atomic.Int64
+	name    string // Prometheus family, e.g. "hypermined_queries_total"
+	jsonKey string // /stats key, e.g. "queries"
+	help    string
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n may be any int64; counters are conventionally
+// monotone, callers enforce that).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Name returns the Prometheus family name.
+func (c *Counter) Name() string { return c.name }
+
+// JSONKey returns the /stats JSON key.
+func (c *Counter) JSONKey() string { return c.jsonKey }
+
+// Help returns the help text.
+func (c *Counter) Help() string { return c.help }
+
+// family groups the series of one histogram family for exposition.
+type family struct {
+	name   string
+	help   string
+	series []*Histogram
+}
+
+// Registry holds counters and histogram families and renders them in
+// Prometheus text exposition format 0.0.4 with deterministic ordering
+// (families sorted by name, series in registration order). It is the
+// single source of truth for the server's /stats and /metrics.
+type Registry struct {
+	mu       sync.Mutex
+	counters []*Counter
+	families []*family
+	byName   map[string]bool
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]bool)}
+}
+
+// Counter registers and returns a counter. Registering the same
+// Prometheus name twice panics: duplicate families would corrupt the
+// exposition, and registration happens at startup where a loud failure
+// is the right behavior.
+func (r *Registry) Counter(name, jsonKey, help string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.byName[name] {
+		panic("telemetry: duplicate metric " + name)
+	}
+	r.byName[name] = true
+	c := &Counter{name: name, jsonKey: jsonKey, help: help}
+	r.counters = append(r.counters, c)
+	return c
+}
+
+// Histogram registers one series of a histogram family and returns it.
+// labels is a pre-rendered label block without braces, e.g.
+// `kind="rules",class="cheap"`, or "" for an unlabeled series. All
+// series of a family share its help text (the first registration
+// wins). Registering the same (family, labels) pair twice panics.
+func (r *Registry) Histogram(familyName, help, labels string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	key := familyName + "{" + labels + "}"
+	if r.byName[key] {
+		panic("telemetry: duplicate histogram series " + key)
+	}
+	r.byName[key] = true
+	var fam *family
+	for _, f := range r.families {
+		if f.name == familyName {
+			fam = f
+			break
+		}
+	}
+	if fam == nil {
+		fam = &family{name: familyName, help: help}
+		r.families = append(r.families, fam)
+	}
+	h := &Histogram{labels: labels}
+	fam.series = append(fam.series, h)
+	return h
+}
+
+// Counters returns a snapshot of the registered counters in
+// registration order.
+func (r *Registry) Counters() []*Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*Counter, len(r.counters))
+	copy(out, r.counters)
+	return out
+}
+
+// CounterValues returns jsonKey -> value for every registered counter;
+// this is the /stats side of the parity contract.
+func (r *Registry) CounterValues() map[string]int64 {
+	out := make(map[string]int64)
+	for _, c := range r.Counters() {
+		out[c.jsonKey] = c.Load()
+	}
+	return out
+}
+
+// WritePrometheus renders every counter and histogram family in text
+// exposition format, families sorted by name so scrapes are
+// byte-stable for a given state.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	counters := make([]*Counter, len(r.counters))
+	copy(counters, r.counters)
+	fams := make([]*family, len(r.families))
+	copy(fams, r.families)
+	r.mu.Unlock()
+
+	sort.Slice(counters, func(i, j int) bool { return counters[i].name < counters[j].name })
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	var b strings.Builder
+	for _, c := range counters {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", c.name, c.help, c.name, c.name, c.Load())
+	}
+	for _, f := range fams {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s histogram\n", f.name, f.help, f.name)
+		for _, h := range f.series {
+			writeHistogramSeries(&b, f.name, h)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func writeHistogramSeries(b *strings.Builder, name string, h *Histogram) {
+	snap := h.Snapshot()
+	sep := ""
+	if h.labels != "" {
+		sep = ","
+	}
+	for i := 0; i < NumBuckets; i++ {
+		fmt.Fprintf(b, "%s_bucket{%s%sle=%q} %d\n", name, h.labels, sep, boundSeconds(i), snap.Cumulative[i])
+	}
+	fmt.Fprintf(b, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, h.labels, sep, snap.Count)
+	lb := ""
+	if h.labels != "" {
+		lb = "{" + h.labels + "}"
+	}
+	fmt.Fprintf(b, "%s_sum%s %s\n", name, lb, strconv.FormatFloat(float64(snap.SumNs)/1e9, 'g', -1, 64))
+	fmt.Fprintf(b, "%s_count%s %d\n", name, lb, snap.Count)
+}
