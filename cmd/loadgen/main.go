@@ -45,6 +45,19 @@
 // server is configured with gates cheap=2/queue=4, expensive=1/queue=2;
 // in remote mode boot hypermined with -gate-*/-queue-* flags sized
 // below the ramp.
+//
+// With -mix churn, loadgen exercises the incremental mining pipeline:
+// concurrent query workers replay the deterministic classify pool
+// while the driver POSTs a deterministic schedule of :append batches
+// between fixed query counts. Every response is attributed to a
+// generation via its X-Model-Generation header and checked two ways —
+// identity (responses to the same query at the same generation must be
+// byte-identical) and coherence (a response's generation may never be
+// older than the latest append acknowledged before the request was
+// sent, and each worker's observed generations are monotonic). The run
+// fails on any identity mismatch, stale generation, missing header, or
+// if the final generation/row count disagrees with the appends
+// performed.
 package main
 
 import (
@@ -132,6 +145,28 @@ type report struct {
 	Cancel *cancelReport `json:"cancel,omitempty"`
 	// Overload reports the -mix overload scenario; nil otherwise.
 	Overload *overloadReport `json:"overload,omitempty"`
+	// Churn reports the -mix churn append/query scenario; nil otherwise.
+	Churn *churnReport `json:"churn,omitempty"`
+}
+
+// churnReport summarizes the append/query interleaving scenario.
+type churnReport struct {
+	Appends      int `json:"appends"`
+	AppendedRows int `json:"appended_rows"`
+	// Generations is the number of distinct generations observed in
+	// query responses (initial + one per published append).
+	Generations int `json:"generations"`
+	Queries     int `json:"queries"`
+	// StaleResponses counts responses whose generation was older than
+	// the newest append acknowledged before the request was sent;
+	// MissingGenHeaders counts responses without X-Model-Generation;
+	// NonMonotonic counts per-worker generation regressions. All three
+	// must be zero.
+	StaleResponses    int   `json:"stale_responses"`
+	MissingGenHeaders int   `json:"missing_generation_headers"`
+	NonMonotonic      int   `json:"non_monotonic_generations"`
+	FinalGeneration   int64 `json:"final_generation"`
+	FinalRows         int   `json:"final_rows"`
 }
 
 // overloadReport summarizes the fault-injecting overload scenario.
@@ -218,13 +253,13 @@ func main() {
 	cancelEvery := flag.Int("cancel-every", 0,
 		"replace every Nth request with a rules query under a short client-side deadline (0 = off)")
 	mixName := flag.String("mix", "default",
-		"query mix: default (dedicated endpoints), batch (multiplexed typed batches via :query), or overload (fault-injecting saturation ramp)")
+		"query mix: default (dedicated endpoints), batch (multiplexed typed batches via :query), overload (fault-injecting saturation ramp), or churn (concurrent queries during :append republishes)")
 	traceSample := flag.Bool("trace-sample", false,
 		"after the run, fetch /debug/traces and pretty-print one retained trace's span tree")
 	flag.Parse()
 
-	if *mixName != "default" && *mixName != "batch" && *mixName != "overload" {
-		fatal(fmt.Errorf("unknown -mix %q (want default, batch, or overload)", *mixName))
+	if *mixName != "default" && *mixName != "batch" && *mixName != "overload" && *mixName != "churn" {
+		fatal(fmt.Errorf("unknown -mix %q (want default, batch, overload, or churn)", *mixName))
 	}
 
 	if *quick {
@@ -282,12 +317,19 @@ func main() {
 	}
 
 	rep.Mix = *mixName
-	if *mixName == "overload" {
+	switch *mixName {
+	case "overload":
 		if err := runOverload(rep, baseURL, *model, info, *n, *seed, *reloads, snapPath); err != nil {
 			fatal(err)
 		}
-	} else if err := replay(rep, baseURL, *model, info, *n, *seed, *reloads, snapPath, *cancelEvery, *mixName); err != nil {
-		fatal(err)
+	case "churn":
+		if err := runChurn(rep, baseURL, *model, info, *n, *seed); err != nil {
+			fatal(err)
+		}
+	default:
+		if err := replay(rep, baseURL, *model, info, *n, *seed, *reloads, snapPath, *cancelEvery, *mixName); err != nil {
+			fatal(err)
+		}
 	}
 
 	if seen, bad := tracedSeen.Load(), tracedBad.Load(); seen > 0 || bad > 0 {
@@ -1025,6 +1067,328 @@ func runOverload(rep *report, baseURL, model string, info *modelInfo, n int, see
 		return errors.New("healthz failed during saturation")
 	case ov.ServerShed < int64(ov.Shed):
 		return fmt.Errorf("server shed counter %d < observed rejections %d", ov.ServerShed, ov.Shed)
+	}
+	return nil
+}
+
+// churnOnce issues one request and returns status, body, and the
+// X-Model-Generation header.
+func churnOnce(client *http.Client, method, url string, body []byte) (int, []byte, string, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		return 0, nil, "", err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, nil, "", err
+	}
+	defer resp.Body.Close()
+	noteTraceID(resp.Header)
+	raw, err := io.ReadAll(resp.Body)
+	return resp.StatusCode, raw, resp.Header.Get("X-Model-Generation"), err
+}
+
+// fetchGen reads the serving generation from the model detail header.
+func fetchGen(client *http.Client, baseURL, model string) (int64, error) {
+	code, _, gen, err := churnOnce(client, http.MethodGet, baseURL+"/v1/models/"+model, nil)
+	if err != nil {
+		return 0, err
+	}
+	if code != http.StatusOK {
+		return 0, fmt.Errorf("GET /v1/models/%s: %d", model, code)
+	}
+	return strconv.ParseInt(gen, 10, 64)
+}
+
+// runChurn interleaves :append republishes with concurrent query
+// workers and verifies that every response is attributable to a
+// coherent generation: per-(query, generation) byte identity, no
+// response older than the latest acknowledged append, and per-worker
+// generation monotonicity.
+func runChurn(rep *report, baseURL, model string, info *modelInfo, n int, seed int64) error {
+	rng := rand.New(rand.NewSource(seed))
+	client := &http.Client{}
+
+	// Deterministic query pool: classify singles plus the two
+	// graph-shaped reads. Every entry is repeated many times at every
+	// generation, so per-generation drift cannot hide.
+	const classifyPool = 32
+	type cq struct {
+		endpoint, method, url string
+		body                  []byte
+		key                   int
+	}
+	var pool []cq
+	for i := 0; i < classifyPool; i++ {
+		values := map[string]int{}
+		for _, a := range info.Dominator {
+			values[a] = 1 + rng.Intn(info.K)
+		}
+		body, err := json.Marshal(map[string]any{
+			"target": info.Targets[rng.Intn(len(info.Targets))],
+			"values": values,
+		})
+		if err != nil {
+			return err
+		}
+		pool = append(pool, cq{"classify", http.MethodPost,
+			baseURL + "/v1/models/" + model + "/classify", body, i})
+	}
+	pool = append(pool, cq{"dominators", http.MethodGet,
+		baseURL + "/v1/models/" + model + "/dominators", nil, classifyPool})
+	for i := 0; i < 4 && i < len(info.Dominator); i++ {
+		pool = append(pool, cq{"similar", http.MethodGet,
+			fmt.Sprintf("%s/v1/models/%s/similar?a=%s&top=5", baseURL, model, info.Dominator[i]),
+			nil, classifyPool + 1 + i})
+	}
+
+	// Deterministic append schedule: batch sizes cycle small-to-larger,
+	// each batch fired after a fixed number of completed queries, so the
+	// interleaving structure is reproducible run to run.
+	const appends = 8
+	sizes := [...]int{1, 5, 10, 25}
+	batches := make([][][]int, appends)
+	totalAppended := 0
+	for s := range batches {
+		batch := make([][]int, sizes[s%len(sizes)])
+		for i := range batch {
+			row := make([]int, info.Attrs)
+			base := 1 + rng.Intn(info.K)
+			for j := range row {
+				if rng.Intn(3) == 0 {
+					row[j] = 1 + rng.Intn(info.K)
+				} else {
+					row[j] = base
+				}
+			}
+			batch[i] = row
+		}
+		batches[s] = batch
+		totalAppended += len(batch)
+	}
+	perStep := n / (appends + 1)
+	if perStep < 1 {
+		perStep = 1
+	}
+
+	initialGen, err := fetchGen(client, baseURL, model)
+	if err != nil {
+		return err
+	}
+	ch := &churnReport{}
+	rep.Churn = ch
+
+	var (
+		curGen    atomic.Int64 // newest generation acknowledged by an append response
+		completed atomic.Int64
+		stale     atomic.Int64
+		missing   atomic.Int64
+		nonMono   atomic.Int64
+		mu        sync.Mutex // guards identity, gens, latency
+		identity  = map[string][]byte{}
+		gens      = map[int64]struct{}{}
+		latency   = map[string][]int64{}
+	)
+	curGen.Store(initialGen)
+	stop := make(chan struct{})
+	errs := make(chan error, 8)
+	start := time.Now()
+
+	const workers = 4
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lastSeen := int64(0)
+			for i := w; ; i += workers {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				q := pool[i%len(pool)]
+				genBefore := curGen.Load()
+				t0 := time.Now()
+				code, raw, genHdr, err := churnOnce(client, q.method, q.url, q.body)
+				elapsed := time.Since(t0).Nanoseconds()
+				if err != nil {
+					errs <- err
+					return
+				}
+				if code != http.StatusOK {
+					errs <- fmt.Errorf("%s %s: %d: %.200s", q.method, q.url, code, raw)
+					return
+				}
+				g, perr := strconv.ParseInt(genHdr, 10, 64)
+				if genHdr == "" || perr != nil {
+					missing.Add(1)
+				} else {
+					if g < genBefore {
+						stale.Add(1)
+					}
+					if g < lastSeen {
+						nonMono.Add(1)
+					}
+					lastSeen = g
+					mu.Lock()
+					gens[g] = struct{}{}
+					ikey := fmt.Sprintf("%d@%d", q.key, g)
+					if prev, ok := identity[ikey]; !ok {
+						identity[ikey] = raw
+					} else if !bytes.Equal(prev, raw) {
+						rep.IdentityMismatches++
+					}
+					latency[q.endpoint] = append(latency[q.endpoint], elapsed)
+					mu.Unlock()
+				}
+				completed.Add(1)
+			}
+		}(w)
+	}
+
+	// The driver: fire each append once the workers have completed its
+	// scheduled share of queries, so appends land mid-traffic.
+	appendURL := baseURL + "/v1/models/" + model + ":append"
+	for s, batch := range batches {
+		target := int64((s + 1) * perStep)
+		for completed.Load() < target {
+			select {
+			case err := <-errs:
+				close(stop)
+				wg.Wait()
+				return err
+			default:
+			}
+			time.Sleep(time.Millisecond)
+		}
+		body, err := json.Marshal(map[string]any{"rows": batch})
+		if err != nil {
+			close(stop)
+			wg.Wait()
+			return err
+		}
+		var ar struct {
+			Generation int64 `json:"generation"`
+			Swapped    bool  `json:"swapped"`
+			Rows       int   `json:"rows"`
+		}
+		// Retry shed appends (remote servers may run admission control);
+		// the schedule is still deterministic in structure.
+		for attempt := 0; ; attempt++ {
+			code, raw, _, err := churnOnce(client, http.MethodPost, appendURL, body)
+			if err != nil {
+				close(stop)
+				wg.Wait()
+				return err
+			}
+			if code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable {
+				if attempt > 20 {
+					close(stop)
+					wg.Wait()
+					return fmt.Errorf("append shed %d times: %s", attempt, raw)
+				}
+				time.Sleep(50 * time.Millisecond)
+				continue
+			}
+			if code != http.StatusOK {
+				close(stop)
+				wg.Wait()
+				return fmt.Errorf("append %d: %d: %s", s, code, raw)
+			}
+			if err := json.Unmarshal(raw, &ar); err != nil {
+				close(stop)
+				wg.Wait()
+				return err
+			}
+			break
+		}
+		if !ar.Swapped || ar.Generation != curGen.Load()+1 {
+			close(stop)
+			wg.Wait()
+			return fmt.Errorf("append %d published generation %d (swapped=%v), want %d",
+				s, ar.Generation, ar.Swapped, curGen.Load()+1)
+		}
+		curGen.Store(ar.Generation)
+		ch.Appends++
+		ch.AppendedRows += len(batch)
+	}
+	for completed.Load() < int64(n) {
+		select {
+		case err := <-errs:
+			close(stop)
+			wg.Wait()
+			return err
+		default:
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+	wall := time.Since(start)
+	select {
+	case err := <-errs:
+		return err
+	default:
+	}
+
+	ch.Queries = int(completed.Load())
+	ch.StaleResponses = int(stale.Load())
+	ch.MissingGenHeaders = int(missing.Load())
+	ch.NonMonotonic = int(nonMono.Load())
+	ch.Generations = len(gens)
+	ch.FinalGeneration = curGen.Load()
+
+	finalInfo, err := fetchInfo(baseURL, model)
+	if err != nil {
+		return err
+	}
+	ch.FinalRows = finalInfo.Rows
+
+	names := make([]string, 0, len(latency))
+	for name := range latency {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ls := latency[name]
+		sort.Slice(ls, func(i, j int) bool { return ls[i] < ls[j] })
+		var sum int64
+		for _, l := range ls {
+			sum += l
+		}
+		rep.Serve = append(rep.Serve, endpointReport{
+			Endpoint: name, Requests: len(ls),
+			MeanNs: float64(sum) / float64(len(ls)),
+			P50Ns:  ls[len(ls)/2], P90Ns: ls[len(ls)*90/100],
+			P99Ns: ls[len(ls)*99/100], MaxNs: ls[len(ls)-1],
+		})
+	}
+	rep.Total.Requests = ch.Queries
+	rep.Total.WallNs = wall.Nanoseconds()
+	rep.Total.QPS = float64(ch.Queries) / wall.Seconds()
+
+	fmt.Printf("churn: %d appends (%d rows) across %d queries; generations %d -> %d (%d observed); %d stale, %d missing headers, %d non-monotonic, %d identity mismatches\n",
+		ch.Appends, ch.AppendedRows, ch.Queries, initialGen, ch.FinalGeneration,
+		ch.Generations, ch.StaleResponses, ch.MissingGenHeaders, ch.NonMonotonic, rep.IdentityMismatches)
+
+	switch {
+	case ch.FinalGeneration != initialGen+int64(ch.Appends):
+		return fmt.Errorf("final generation %d, want %d (initial %d + %d appends)",
+			ch.FinalGeneration, initialGen+int64(ch.Appends), initialGen, ch.Appends)
+	case ch.FinalRows != info.Rows+ch.AppendedRows:
+		return fmt.Errorf("final rows %d, want %d (initial %d + %d appended)",
+			ch.FinalRows, info.Rows+ch.AppendedRows, info.Rows, ch.AppendedRows)
+	case ch.MissingGenHeaders > 0:
+		return fmt.Errorf("%d responses missing X-Model-Generation", ch.MissingGenHeaders)
+	case ch.StaleResponses > 0:
+		return fmt.Errorf("%d responses answered from a generation older than an acknowledged append", ch.StaleResponses)
+	case ch.NonMonotonic > 0:
+		return fmt.Errorf("%d per-worker generation regressions", ch.NonMonotonic)
 	}
 	return nil
 }

@@ -7,7 +7,7 @@
 //
 //	discretize turn a prices CSV into a discretized table (§5.1.1)
 //	build      mine an association hypergraph from a discretized CSV table
-//	model      save/load binary model snapshots (the hypermined serving format)
+//	model      save/load/append binary model snapshots (the hypermined serving format)
 //	rules      mine top mva-type rules for a head attribute
 //	frequent   classical Apriori baseline
 //	degrees    print weighted in-/out-degrees of a hypergraph
@@ -41,6 +41,7 @@ import (
 	"hypermine/internal/classify"
 	"hypermine/internal/cluster"
 	"hypermine/internal/core"
+	"hypermine/internal/delta"
 	"hypermine/internal/engine"
 	"hypermine/internal/hypergraph"
 	"hypermine/internal/similarity"
@@ -224,18 +225,23 @@ func loadEngine(graphPath, modelPath string) (*engine.Engine, error) {
 // cmdModel handles the binary snapshot codec: `model save` mines a
 // table (or converts a JSON model) into a snapshot, `model load`
 // verifies a snapshot and prints its summary (optionally converting
-// back to JSON). The format is shared with the hypermined daemon.
+// back to JSON), `model append` delta-appends CSV rows to a snapshot
+// through internal/delta — the offline twin of the daemon's :append
+// endpoint, bit-identical to re-mining the concatenated table. The
+// format is shared with the hypermined daemon.
 func (a *App) cmdModel(ctx context.Context, args []string) error {
 	if len(args) < 1 {
-		return errors.New(`usage: hypermine model <save|load> [flags]`)
+		return errors.New(`usage: hypermine model <save|load|append> [flags]`)
 	}
 	switch args[0] {
 	case "save":
 		return a.cmdModelSave(ctx, args[1:])
 	case "load":
 		return a.cmdModelLoad(ctx, args[1:])
+	case "append":
+		return a.cmdModelAppend(ctx, args[1:])
 	}
-	return fmt.Errorf("unknown model subcommand %q (want save or load)", args[0])
+	return fmt.Errorf("unknown model subcommand %q (want save, load, or append)", args[0])
 }
 
 func (a *App) cmdModelSave(ctx context.Context, args []string) error {
@@ -331,6 +337,69 @@ func (a *App) cmdModelLoad(ctx context.Context, args []string) error {
 		}
 		fmt.Fprintf(a.out, "wrote JSON model to %s\n", *jsonOut)
 	}
+	return nil
+}
+
+// cmdModelAppend delta-appends rows to a snapshot offline: load the
+// model, extend its live dataset (internal/delta, count-maintained, so
+// the result is bit-identical to re-mining the concatenated table),
+// and write the updated snapshot back out.
+func (a *App) cmdModelAppend(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("model append", flag.ExitOnError)
+	in := fs.String("in", "model.snap", "snapshot path")
+	rowsPath := fs.String("rows", "rows.csv", "CSV of rows to append (header must match the model's attributes)")
+	out := fs.String("out", "", "output snapshot path (default: overwrite -in)")
+	_ = fs.Parse(args)
+	if *out == "" {
+		*out = *in
+	}
+
+	model, err := loadSnapshot(*in)
+	if err != nil {
+		return err
+	}
+	tb, err := loadTable(*rowsPath, model.Table.K())
+	if err != nil {
+		return err
+	}
+	attrs := model.Table.Attrs()
+	got := tb.Attrs()
+	if len(got) != len(attrs) {
+		return fmt.Errorf("rows CSV has %d columns, model has %d attributes", len(got), len(attrs))
+	}
+	for j := range got {
+		if got[j] != attrs[j] {
+			return fmt.Errorf("rows CSV column %d is %q, model attribute is %q", j, got[j], attrs[j])
+		}
+	}
+	rows := make([][]table.Value, tb.NumRows())
+	for i := range rows {
+		rows[i] = tb.Row(i, nil)
+	}
+
+	ds, err := delta.NewContext(ctx, model, delta.Options{})
+	if err != nil {
+		return err
+	}
+	next, ch, err := ds.AppendRowsContext(ctx, rows)
+	if err != nil {
+		return err
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	if err := core.WriteSnapshot(f, next, core.SaveOptions{}); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(a.out, "appended %d rows: %d total, %d edges (%d -> %d, %d shared) -> %s\n",
+		ch.Appended, next.Table.NumRows(), next.H.NumEdges(),
+		ch.EdgesBefore, ch.EdgesAfter, ch.SharedEdges, *out)
 	return nil
 }
 

@@ -462,6 +462,33 @@ func BuildContext(ctx context.Context, tb *table.Table, cfg Config) (*Model, err
 	return model, nil
 }
 
+// TailPair is an admitted 2-to-1 hyperedge ({A,B},{C}) with its ACV,
+// in the canonical A < B order stage 2 produces. It is the seed unit
+// for stage 3 and the exchange format between BuildContext and the
+// incremental re-miner in internal/delta.
+type TailPair struct {
+	A, B, C int
+	ACV     float64
+}
+
+// BuildTriplesContext runs stage 3 of BuildContext standalone: it
+// seeds 3-to-1 candidates from the given admitted 2-to-1 hyperedges,
+// evaluates them against model.Table, and adds the admitted triples to
+// model.H in the same deterministic order as a full build. pairs must
+// be the complete admitted stage-2 set (A < B, sorted as stage 2
+// sorts); the result is then bit-identical to the stage-3 portion of
+// BuildContext under the same config. internal/delta uses this to
+// finish a MaxTailSize=3 incremental update, where maintaining 4-way
+// joint counts would not pay for itself.
+func BuildTriplesContext(ctx context.Context, model *Model, pairs []TailPair, cfg Config) error {
+	cfg = cfg.withDefaults()
+	internal := make([]pairEdge, len(pairs))
+	for i, p := range pairs {
+		internal[i] = pairEdge{p.A, p.B, p.C, p.ACV}
+	}
+	return buildTriples(ctx, model, internal, cfg)
+}
+
 // tripleKey identifies a 3-to-1 candidate: sorted tail a<b<c, head d.
 type tripleKey struct{ a, b, c, d int }
 

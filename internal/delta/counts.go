@@ -1,0 +1,264 @@
+// Persistent joint-count tables: the integer numerators behind every
+// ACV the builder computes, maintainable in O(appended) time per
+// append. Layout is flat int32 arrays indexed by precomputed offsets —
+// unordered attribute pairs (a<b) carry k² cells, unordered triples
+// (a<b<c) carry k³ cells, and one triple array serves all three head
+// choices of a 2-to-1 candidate by striding the roles.
+package delta
+
+import (
+	"context"
+
+	"hypermine/internal/runopt"
+	"hypermine/internal/table"
+)
+
+// seedCheckEvery is the joint-cell stride between context polls while
+// seeding; one cell is a PopcountAnd over the posting words.
+const seedCheckEvery = 64
+
+// countBytes is the resident size of the count tables for n attributes
+// at cardinality k: value counts, pair cells, and (for MaxTailSize >=
+// 2) triple cells, 4 bytes each.
+func countBytes(n, k int, maxTailSize int) int64 {
+	nn := int64(n)
+	kk := int64(k)
+	b := 4 * (nn*kk + nn*(nn-1)/2*kk*kk)
+	if maxTailSize >= 2 {
+		b += 4 * (nn * (nn - 1) * (nn - 2) / 6 * kk * kk * kk)
+	}
+	return b
+}
+
+type jointCounts struct {
+	n, k int
+	rows int
+
+	val  []int32 // val[a*k + (v-1)]
+	pair []int32 // pair (a<b) at pairBase(a,b), k*k cells: (va-1)*k+(vb-1)
+	// triple (a<b<c) at tripleBase(a,b,c), k*k*k cells:
+	// ((va-1)*k+(vb-1))*k+(vc-1). nil when MaxTailSize < 2.
+	triple []int32
+
+	pairOff   []int   // pairOff[a]: ordinal of pair (a, a+1)
+	tripleOff [][]int // tripleOff[a][b-a-1]: ordinal of triple (a, b, b+1)
+}
+
+func (jc *jointCounts) pairBase(a, b int) int {
+	return (jc.pairOff[a] + b - a - 1) * jc.k * jc.k
+}
+
+func (jc *jointCounts) tripleBase(a, b, c int) int {
+	return (jc.tripleOff[a][b-a-1] + c - b - 1) * jc.k * jc.k * jc.k
+}
+
+// seedCounts builds the tables for tb's current rows from its
+// TID-bitset index: every joint cell is one PopcountAnd over posting
+// bitmaps (two for pairs; triples AND the pair once into a scratch
+// buffer and popcount against each head posting), so seeding costs
+// about one stage-2 mining pass and never rescans rows column-wise.
+func seedCounts(ctx context.Context, tb *table.Table, maxTailSize int) (*jointCounts, error) {
+	n, k := tb.NumAttrs(), tb.K()
+	jc := &jointCounts{
+		n: n, k: k, rows: tb.NumRows(),
+		val:     make([]int32, n*k),
+		pair:    make([]int32, n*(n-1)/2*k*k),
+		pairOff: make([]int, n),
+	}
+	off := 0
+	for a := 0; a < n; a++ {
+		jc.pairOff[a] = off
+		off += n - a - 1
+	}
+	ix := tb.Index()
+	chk := runopt.NewChecker(ctx, 0, seedCheckEvery)
+	for a := 0; a < n; a++ {
+		for v := 1; v <= k; v++ {
+			jc.val[a*k+v-1] = int32(ix.Count(a, table.Value(v)))
+		}
+	}
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			base := jc.pairBase(a, b)
+			for va := 1; va <= k; va++ {
+				pa := ix.Posting(a, table.Value(va))
+				for vb := 1; vb <= k; vb++ {
+					if err := chk.Tick(); err != nil {
+						return nil, err
+					}
+					jc.pair[base+(va-1)*k+(vb-1)] = int32(table.PopcountAnd(pa, ix.Posting(b, table.Value(vb))))
+				}
+			}
+		}
+	}
+	if maxTailSize < 2 {
+		return jc, nil
+	}
+	jc.triple = make([]int32, n*(n-1)*(n-2)/6*k*k*k)
+	jc.tripleOff = make([][]int, n)
+	off = 0
+	for a := 0; a < n; a++ {
+		jc.tripleOff[a] = make([]int, n-a-1)
+		for b := a + 1; b < n; b++ {
+			jc.tripleOff[a][b-a-1] = off
+			off += n - b - 1
+		}
+	}
+	buf := make([]uint64, ix.Words())
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			for va := 1; va <= k; va++ {
+				pa := ix.Posting(a, table.Value(va))
+				for vb := 1; vb <= k; vb++ {
+					copy(buf, pa)
+					table.AndInto(buf, ix.Posting(b, table.Value(vb)))
+					cell := (va-1)*k + (vb - 1)
+					for c := b + 1; c < n; c++ {
+						base := jc.tripleBase(a, b, c) + cell*k
+						for vc := 1; vc <= k; vc++ {
+							if err := chk.Tick(); err != nil {
+								return nil, err
+							}
+							jc.triple[base+vc-1] = int32(table.PopcountAnd(buf, ix.Posting(c, table.Value(vc))))
+						}
+					}
+				}
+			}
+		}
+	}
+	return jc, nil
+}
+
+// add folds appended rows into the counts, polling ctx once per row.
+// On cancellation the already-applied prefix is rolled back, so the
+// tables always describe a whole number of appends.
+func (jc *jointCounts) add(ctx context.Context, rows [][]table.Value) error {
+	chk := runopt.NewChecker(ctx, 1, 1)
+	for i, row := range rows {
+		if err := chk.Tick(); err != nil {
+			jc.sub(rows[:i])
+			return err
+		}
+		jc.apply(row, 1)
+	}
+	jc.rows += len(rows)
+	return nil
+}
+
+// sub removes rows previously folded in by add (rollback path).
+func (jc *jointCounts) sub(rows [][]table.Value) {
+	for _, row := range rows {
+		jc.apply(row, -1)
+	}
+}
+
+func (jc *jointCounts) apply(row []table.Value, sign int32) {
+	n, k := jc.n, jc.k
+	kk := k * k
+	for a := 0; a < n; a++ {
+		jc.val[a*k+int(row[a])-1] += sign
+	}
+	for a := 0; a < n; a++ {
+		va := int(row[a]) - 1
+		pbase := jc.pairOff[a]
+		for b := a + 1; b < n; b++ {
+			jc.pair[(pbase+b-a-1)*kk+va*k+int(row[b])-1] += sign
+		}
+	}
+	if jc.triple == nil {
+		return
+	}
+	kkk := kk * k
+	for a := 0; a < n; a++ {
+		va := int(row[a]) - 1
+		offA := jc.tripleOff[a]
+		for b := a + 1; b < n; b++ {
+			cell := (va*k + int(row[b]) - 1) * k
+			tbase := offA[b-a-1]
+			for c := b + 1; c < n; c++ {
+				jc.triple[(tbase+c-b-1)*kkk+cell+int(row[c])-1] += sign
+			}
+		}
+	}
+}
+
+// edgeACV computes ACV({a},{c}) from the pair counts: the sum over
+// tail values of the best head-value joint count, over the row count —
+// the same integers acvEdgeBits popcounts, hence the same float64.
+func (jc *jointCounts) edgeACV(a, c int) float64 {
+	k := jc.k
+	var sum int64
+	if a < c {
+		cells := jc.pair[jc.pairBase(a, c):]
+		for va := 0; va < k; va++ {
+			best := int32(0)
+			for _, v := range cells[va*k : va*k+k] {
+				if v > best {
+					best = v
+				}
+			}
+			sum += int64(best)
+		}
+	} else {
+		cells := jc.pair[jc.pairBase(c, a):]
+		for va := 0; va < k; va++ {
+			best := int32(0)
+			for vc := 0; vc < k; vc++ {
+				if v := cells[vc*k+va]; v > best {
+					best = v
+				}
+			}
+			sum += int64(best)
+		}
+	}
+	return float64(sum) / float64(jc.rows)
+}
+
+// pairACV computes ACV({a,b},{c}) from the triple counts. The triple
+// array stores sorted (x<y<z) cells once; the roles of a, b, c map to
+// strides k², k, 1 by sorted position, so one array serves every head
+// choice.
+func (jc *jointCounts) pairACV(a, b, c int) float64 {
+	k := jc.k
+	x, y, z := sort3(a, b, c)
+	base := jc.tripleBase(x, y, z)
+	stride := func(attr int) int {
+		switch attr {
+		case x:
+			return k * k
+		case y:
+			return k
+		default:
+			return 1
+		}
+	}
+	sa, sb, sc := stride(a), stride(b), stride(c)
+	var sum int64
+	for va := 0; va < k; va++ {
+		for vb := 0; vb < k; vb++ {
+			off := base + va*sa + vb*sb
+			best := int32(0)
+			for vc := 0; vc < k; vc++ {
+				if v := jc.triple[off+vc*sc]; v > best {
+					best = v
+				}
+			}
+			sum += int64(best)
+		}
+	}
+	return float64(sum) / float64(jc.rows)
+}
+
+// sort3 orders three distinct ints ascending.
+func sort3(a, b, c int) (int, int, int) {
+	if a > b {
+		a, b = b, a
+	}
+	if b > c {
+		b, c = c, b
+	}
+	if a > b {
+		a, b = b, a
+	}
+	return a, b, c
+}

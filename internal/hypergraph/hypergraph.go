@@ -200,6 +200,44 @@ func (h *H) AddEdge(tail, head []int, weight float64) error {
 	return nil
 }
 
+// AddEdgeShared is AddEdge for canonical slices owned by another H:
+// tail and head must already be sorted ascending, and they are stored
+// without copying. The incremental re-miner in internal/delta uses it
+// to structurally share the vertex-id slices of edges that persist
+// across a delta update, so a republished model costs only the edges
+// that actually changed. The caller must never mutate the slices after
+// the call (the donor H's invariants also forbid it, so sharing edges
+// between immutable models is safe).
+func (h *H) AddEdgeShared(tail, head []int, weight float64) error {
+	if err := validSets(len(h.names), tail, head); err != nil {
+		return err
+	}
+	if !sort.IntsAreSorted(tail) || !sort.IntsAreSorted(head) {
+		return fmt.Errorf("hypergraph: AddEdgeShared requires sorted slices for edge %s", h.formatEdge(tail, head))
+	}
+	id := int32(len(h.edges))
+	if pk, ok := PackEdgeKey(tail, head); ok {
+		if _, dup := h.pkeys[pk]; dup {
+			return fmt.Errorf("hypergraph: duplicate edge %s", h.formatEdge(tail, head))
+		}
+		h.pkeys[pk] = id
+	} else {
+		key := EdgeKey(tail, head)
+		if _, dup := h.keys[key]; dup {
+			return fmt.Errorf("hypergraph: duplicate edge %s", h.formatEdge(tail, head))
+		}
+		h.keys[key] = id
+	}
+	h.edges = append(h.edges, Edge{Tail: tail, Head: head, Weight: weight})
+	for _, v := range tail {
+		h.out[v] = append(h.out[v], id)
+	}
+	for _, v := range head {
+		h.in[v] = append(h.in[v], id)
+	}
+	return nil
+}
+
 func (h *H) formatEdge(tail, head []int) string {
 	name := func(ids []int) string {
 		parts := make([]string, len(ids))

@@ -37,6 +37,7 @@ import (
 	"hypermine/internal/classify"
 	"hypermine/internal/core"
 	"hypermine/internal/cover"
+	"hypermine/internal/delta"
 	"hypermine/internal/engine"
 	"hypermine/internal/similarity"
 )
@@ -167,6 +168,13 @@ func (s *Served) Release() { s.refs.Add(-1) }
 type entry struct {
 	cur      atomic.Pointer[Served]
 	lastUsed atomic.Int64
+
+	// appendMu serializes appends on this name; ds is the live-dataset
+	// state behind AppendContext (guarded by appendMu). A Load or
+	// Remove does not touch ds — the append path notices the published
+	// model moved out from under the dataset and reseeds.
+	appendMu sync.Mutex
+	ds       *delta.Dataset
 }
 
 // Registry is the named model registry. The zero value is not usable;

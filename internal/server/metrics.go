@@ -87,6 +87,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	for _, m := range reg.Models {
 		p.sample("hypermined_model_resident_cost", promLabel("model", m.Name), float64(m.Cost))
 	}
+	p.family("hypermined_model_generation", "gauge", "Registry generation currently serving each resident model (bumps on load, hot swap, and append).")
+	for _, m := range reg.Models {
+		p.sample("hypermined_model_generation", promLabel("model", m.Name), float64(m.Generation))
+	}
 
 	if s.admission != nil {
 		st := s.admission.Stats()

@@ -21,6 +21,12 @@
 //	POST   /v1/models/{name}/classify        classify one observation
 //	POST   /v1/models/{name}/classify:batch  classify many observations
 //	POST   /v1/models/{name}:query           typed engine.Request (incl. mixed batches)
+//	POST   /v1/models/{name}:append          append rows, delta-update, republish
+//
+// Every model-scoped response that answers for a specific published
+// model carries an X-Model-Generation header naming the registry
+// generation that produced it, so clients interleaving queries with
+// :append can attribute each answer to exactly one generation.
 package server
 
 import (
@@ -88,10 +94,11 @@ type Server struct {
 	canceled *telemetry.Counter
 	shed     *telemetry.Counter
 
-	reqHist   [len(queryKinds)][numClasses]*telemetry.Histogram
-	queueHist [numClasses]*telemetry.Histogram
-	phaseHist map[runopt.Phase]*telemetry.Histogram
-	snapHist  *telemetry.Histogram
+	reqHist    [len(queryKinds)][numClasses]*telemetry.Histogram
+	queueHist  [numClasses]*telemetry.Histogram
+	phaseHist  map[runopt.Phase]*telemetry.Histogram
+	snapHist   *telemetry.Histogram
+	appendHist *telemetry.Histogram
 
 	obsPool sync.Pool // *reqObs
 }
@@ -218,10 +225,11 @@ func New(reg *registry.Registry, opts ...Option) *Server {
 	s.mux.HandleFunc("GET /v1/models/{name}/dominators", s.handleDominators)
 	s.mux.HandleFunc("POST /v1/models/{name}/classify", s.handleClassify)
 	s.mux.HandleFunc("POST /v1/models/{name}/classify:batch", s.handleClassifyBatch)
-	// ":query" is not a path segment of its own, so the ServeMux
-	// wildcard grammar cannot name it directly; a catch-all picks up
-	// "{name}:query" and rejects everything else. The literal
-	// patterns above are more specific and keep winning.
+	// ":query" and ":append" are not path segments of their own, so
+	// the ServeMux wildcard grammar cannot name them directly; a
+	// catch-all picks up "{name}:query" / "{name}:append" and rejects
+	// everything else. The literal patterns above are more specific
+	// and keep winning.
 	s.mux.HandleFunc("POST /v1/models/{rest...}", s.handleQuery)
 	return s
 }
@@ -268,6 +276,8 @@ func (s *Server) initTelemetry() {
 	}
 	s.snapHist = s.tel.Histogram("hypermined_snapshot_load_seconds",
 		"Wall time to decode and publish a PUT snapshot (read + engine wrap + warmup + swap).", "")
+	s.appendHist = s.tel.Histogram("hypermined_append_seconds",
+		"Wall time to delta-append rows and republish a model (parse + delta + rewarm + swap).", "")
 
 	if s.admission != nil {
 		s.admission.ObserveQueueWait(func(class admit.Class, d time.Duration) {
@@ -397,13 +407,15 @@ func (s *Server) failEngine(w http.ResponseWriter, err error) {
 	s.fail(w, http.StatusInternalServerError, "%v", err)
 }
 
-// acquire resolves the named model or writes a 404.
+// acquire resolves the named model or writes a 404, stamping the
+// serving generation on the response.
 func (s *Server) acquire(w http.ResponseWriter, name string) *registry.Served {
 	sv := s.reg.Acquire(name)
 	if sv == nil {
 		s.fail(w, http.StatusNotFound, "unknown model %q", name)
 		return nil
 	}
+	w.Header().Set("X-Model-Generation", strconv.FormatInt(sv.Generation(), 10))
 	s.queries.Inc()
 	sv.CountQuery()
 	return sv
@@ -499,6 +511,9 @@ func (s *Server) do(w http.ResponseWriter, r *http.Request, name string, req *en
 		return nil
 	}
 	defer sv.Release()
+	// The answer below comes from exactly this generation's engine —
+	// stamp it so clients racing an :append can attribute the response.
+	w.Header().Set("X-Model-Generation", strconv.FormatInt(sv.Generation(), 10))
 	s.queries.Inc()
 	sv.CountQuery()
 
@@ -835,6 +850,7 @@ func (s *Server) handlePutModel(w http.ResponseWriter, r *http.Request) {
 		slog.Bool("swapped", info.Swapped),
 		slog.Duration("duration", elapsed.Round(time.Microsecond)))
 	finish(http.StatusOK, "")
+	w.Header().Set("X-Model-Generation", strconv.FormatInt(info.Generation, 10))
 	s.writeJSON(w, http.StatusOK, putResponse{
 		Name:       name,
 		Generation: info.Generation,
@@ -954,6 +970,10 @@ func (s *Server) handleClassifyBatch(w http.ResponseWriter, r *http.Request) {
 // rejects every other POST shape with 404.
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	rest := r.PathValue("rest")
+	if name, ok := strings.CutSuffix(rest, ":append"); ok && name != "" && !strings.Contains(name, "/") {
+		s.handleAppend(w, r, name)
+		return
+	}
 	name, ok := strings.CutSuffix(rest, ":query")
 	if !ok || name == "" || strings.Contains(name, "/") {
 		s.fail(w, http.StatusNotFound, "no such endpoint %q", r.URL.Path)

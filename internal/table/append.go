@@ -1,0 +1,108 @@
+// Functional append: the live-dataset pipeline in internal/delta
+// republishes a model after every append while the previous generation
+// keeps serving queries, so appended tables must never mutate storage a
+// served model can still observe. AppendRows and AppendRaw therefore
+// return a NEW *Table (fresh column arrays, the receiver untouched) and
+// extend the receiver's TID-bitset index copy-on-extend: the new index
+// copies the old posting words and scans only the appended rows, so the
+// delta work is proportional to the appended suffix, not the table.
+package table
+
+import "fmt"
+
+// AppendRows returns a new table equal to t with the given observations
+// appended. Every row must have one value per attribute, each in 1..K;
+// validation happens before any allocation, so on error no partial
+// state exists anywhere. The receiver is not modified — models already
+// mined from it (and queries in flight against them) stay valid.
+//
+// If t has a fresh cached index, the new table's index is derived from
+// it by extendIndex (copy old posting words, scan only the appended
+// rows) rather than rebuilt from scratch.
+func (t *Table) AppendRows(rows [][]Value) (*Table, error) {
+	for i, row := range rows {
+		if len(row) != len(t.attrs) {
+			return nil, fmt.Errorf("table: append row %d has %d values, want %d", i, len(row), len(t.attrs))
+		}
+		for j, v := range row {
+			if v < 1 || int(v) > t.k {
+				return nil, fmt.Errorf("table: append row %d column %q: value %d outside 1..%d", i, t.attrs[j], v, t.k)
+			}
+		}
+	}
+	nt := t.appendShell(len(rows))
+	for j := range nt.cols {
+		col := nt.cols[j]
+		for _, row := range rows {
+			col = append(col, row[j])
+		}
+		nt.cols[j] = col
+	}
+	nt.extendCachedIndex(t)
+	return nt, nil
+}
+
+// AppendRaw is AppendRows for column-major raw bytes (one byte per
+// cell, the wire format of snapshot bodies and the `:append` endpoint):
+// cols[j] holds the appended values of attribute j. All columns must
+// have equal length and values in 1..K. The byte slices are not
+// retained.
+func (t *Table) AppendRaw(cols [][]byte) (*Table, error) {
+	if len(cols) != len(t.attrs) {
+		return nil, fmt.Errorf("table: append has %d columns, want %d", len(cols), len(t.attrs))
+	}
+	add := -1
+	for j, c := range cols {
+		if add == -1 {
+			add = len(c)
+		} else if len(c) != add {
+			return nil, fmt.Errorf("table: append column %q has %d rows, want %d", t.attrs[j], len(c), add)
+		}
+		for i, b := range c {
+			if b < 1 || int(b) > t.k {
+				return nil, fmt.Errorf("table: append column %q row %d: value %d outside 1..%d", t.attrs[j], i, b, t.k)
+			}
+		}
+	}
+	if add == -1 {
+		add = 0
+	}
+	nt := t.appendShell(add)
+	for j, c := range cols {
+		col := nt.cols[j]
+		for _, b := range c {
+			col = append(col, Value(b))
+		}
+		nt.cols[j] = col
+	}
+	nt.extendCachedIndex(t)
+	return nt, nil
+}
+
+// appendShell builds the new table with the old column data copied into
+// fresh arrays sized for add more rows. Fresh arrays (rather than
+// append-shared backing) keep the old and new tables fully disjoint:
+// two tables must never write into a shared capacity tail.
+func (t *Table) appendShell(add int) *Table {
+	nt := &Table{
+		attrs: t.attrs,
+		index: t.index,
+		cols:  make([][]Value, len(t.cols)),
+		k:     t.k,
+		rows:  t.rows + add,
+	}
+	for j, c := range t.cols {
+		col := make([]Value, t.rows, t.rows+add)
+		copy(col, c)
+		nt.cols[j] = col
+	}
+	return nt
+}
+
+// extendCachedIndex seeds nt's index cache from t's, if t has a fresh
+// one, by extending it over nt's appended rows.
+func (nt *Table) extendCachedIndex(t *Table) {
+	if old := t.IndexIfBuilt(); old != nil {
+		nt.idx = extendIndex(old, nt)
+	}
+}

@@ -24,13 +24,22 @@ type Index struct {
 // Index returns the table's TID-bitset index, building it on first use
 // and caching it on the table. The cache is keyed by the current row
 // count, so a table extended by AppendRow after an index was built
-// transparently rebuilds on the next call (this stamp check is why the
+// transparently refreshes on the next call (this stamp check is why the
 // cache is a mutex-guarded pointer rather than a bare sync.Once).
+//
+// A stale-but-shorter cached index is extended rather than rebuilt:
+// tables are append-only (no API mutates an existing cell), so the
+// posting-bitmap prefix is still valid and only the appended rows need
+// scanning. The cached *Index object itself is never mutated — a new
+// Index is installed — because callers may still hold the old one.
 func (t *Table) Index() *Index {
 	t.idxMu.Lock()
 	defer t.idxMu.Unlock()
-	if t.idx == nil || t.idx.rows != t.rows {
+	switch {
+	case t.idx == nil || t.idx.rows > t.rows:
 		t.idx = buildIndex(t)
+	case t.idx.rows < t.rows:
+		t.idx = extendIndex(t.idx, t)
 	}
 	return t.idx
 }
@@ -67,6 +76,39 @@ func buildIndex(t *Table) *Index {
 	}
 	for p := range ix.counts {
 		ix.counts[p] = Popcount(ix.bits[p*words : (p+1)*words])
+	}
+	return ix
+}
+
+// extendIndex builds the index for t from an index old that covers a
+// strict prefix of t's rows: every posting bitmap's old words are
+// copied, then only the appended rows [old.rows, t.rows) are scanned to
+// set new bits and bump the cached popcounts. The result is
+// bit-identical to buildIndex(t) — the differential tests pin this —
+// while touching O(appended) cells instead of O(rows). old is not
+// modified; it may still be serving concurrent readers.
+func extendIndex(old *Index, t *Table) *Index {
+	words := (t.rows + 63) / 64
+	postings := old.attrs * old.k
+	ix := &Index{
+		attrs:  old.attrs,
+		k:      old.k,
+		rows:   t.rows,
+		words:  words,
+		bits:   make([]uint64, postings*words),
+		counts: make([]int, postings),
+	}
+	copy(ix.counts, old.counts)
+	for p := 0; p < postings; p++ {
+		copy(ix.bits[p*words:p*words+old.words], old.bits[p*old.words:(p+1)*old.words])
+	}
+	for a, col := range t.cols {
+		base := a * t.k
+		for i := old.rows; i < t.rows; i++ {
+			p := base + int(col[i]-1)
+			ix.bits[p*words+(i>>6)] |= 1 << (uint(i) & 63)
+			ix.counts[p]++
+		}
 	}
 	return ix
 }
