@@ -36,10 +36,17 @@
 //     and the end-to-end registry append-republish against full
 //     Build-plus-reload (-> BENCH_9.json). The suite exits nonzero
 //     if the incremental path is not faster at small deltas.
+//   - fleet: the PR-10 sharded serving tier — a warm classify routed
+//     through the fleet router versus querying the owning replica
+//     directly (forwarding overhead), and a snapshot PUT with
+//     synchronous replication to the replica set versus the same PUT
+//     on a standalone server, across snapshot sizes
+//     (-> BENCH_10.json). The suite exits nonzero if forwarding adds
+//     >= 2ms on loopback.
 //
 // Usage:
 //
-//	go run ./cmd/bench [-suite ctx|pr2|engine|admit|telemetry|delta] [-out FILE.json] [-quick]
+//	go run ./cmd/bench [-suite ctx|pr2|engine|admit|telemetry|delta|fleet] [-out FILE.json] [-quick]
 package main
 
 import (
@@ -48,6 +55,8 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"log/slog"
 	"math"
 	"math/rand"
 	"net/http"
@@ -64,6 +73,7 @@ import (
 	"hypermine/internal/cover"
 	"hypermine/internal/delta"
 	"hypermine/internal/engine"
+	"hypermine/internal/fleet/sim"
 	"hypermine/internal/hypergraph"
 	"hypermine/internal/registry"
 	"hypermine/internal/runopt"
@@ -280,7 +290,7 @@ func legacyInSim(h *hypergraph.H, keys map[string]int32, a1, a2 int) float64 {
 }
 
 func main() {
-	suite := flag.String("suite", "ctx", "benchmark suite: ctx (PR-4 context overhead), pr2 (query stack), engine (PR-5 prepared-model engine), admit (PR-7 admission overhead), telemetry (PR-8 observability overhead), or delta (PR-9 incremental mining)")
+	suite := flag.String("suite", "ctx", "benchmark suite: ctx (PR-4 context overhead), pr2 (query stack), engine (PR-5 prepared-model engine), admit (PR-7 admission overhead), telemetry (PR-8 observability overhead), delta (PR-9 incremental mining), or fleet (PR-10 router forwarding + replication)")
 	out := flag.String("out", "", "output JSON path ('' = suite default, '-' for stdout only)")
 	quick := flag.Bool("quick", false, "shrink workloads for CI smoke runs")
 	flag.Parse()
@@ -317,8 +327,13 @@ func main() {
 			*out = "BENCH_9.json"
 		}
 		rep = suiteDelta(*quick)
+	case "fleet":
+		if *out == "" {
+			*out = "BENCH_10.json"
+		}
+		rep = suiteFleet(*quick)
 	default:
-		fmt.Fprintf(os.Stderr, "unknown suite %q (want ctx, pr2, engine, admit, telemetry, or delta)\n", *suite)
+		fmt.Fprintf(os.Stderr, "unknown suite %q (want ctx, pr2, engine, admit, telemetry, delta, or fleet)\n", *suite)
 		os.Exit(2)
 	}
 
@@ -1291,6 +1306,199 @@ func suiteDelta(quick bool) *report {
 		failed = true
 	}
 	if failed {
+		os.Exit(1)
+	}
+	return rep
+}
+
+// fleetModelInfo is the slice of the model detail the fleet suite
+// needs to build classify bodies.
+type fleetModelInfo struct {
+	K         int      `json:"k"`
+	Dominator []string `json:"dominator"`
+	Targets   []string `json:"targets"`
+}
+
+// fleetDo sends one request and fails the benchmark on a non-200.
+func fleetDo(b *testing.B, client *http.Client, method, url, contentType string, body []byte) {
+	var rd *bytes.Reader
+	var req *http.Request
+	var err error
+	if body != nil {
+		rd = bytes.NewReader(body)
+		req, err = http.NewRequest(method, url, rd)
+	} else {
+		req, err = http.NewRequest(method, url, nil)
+	}
+	if err != nil {
+		b.Fatal(err)
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		b.Fatal(err)
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b.Fatalf("%s %s: %d", method, url, resp.StatusCode)
+	}
+}
+
+// suiteFleet measures the PR-10 sharded serving tier: what the router
+// adds to a warm classify round trip versus querying the owning
+// replica directly (one extra loopback HTTP hop plus body buffering),
+// and what synchronous replication to the replica set adds to a
+// snapshot PUT as snapshot size grows. The forwarding bar is absolute:
+// routed minus direct must stay under 2ms on loopback — the router
+// adds one local hop, and anything near milliseconds means a
+// buffering or connection-reuse regression, not hop cost.
+func suiteFleet(quick bool) *report {
+	attrs, rows := 24, 20000
+	sizes := []int{2000, 8000, 32000}
+	if quick {
+		attrs, rows = 12, 1500
+		sizes = []int{500, 2000, 8000}
+	}
+	rep := &report{
+		PR:         10,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+		Note: "fleet serving tier over real loopback HTTP with a pooled " +
+			"(keep-alive) client: routed-vs-direct measures the router's " +
+			"forwarding overhead for a warm classify (bar: < 2ms absolute); " +
+			"replicated-vs-standalone PUT measures synchronous snapshot " +
+			"replication to one peer replica across snapshot sizes. " +
+			"Single-core host: concurrency correctness is proven by the " +
+			"race-enabled fleet tests and the deterministic multi-node sim, " +
+			"not by parallel speedup here.",
+	}
+
+	client := &http.Client{Timeout: time.Minute}
+	cluster, err := sim.NewClusterWithClient(3, 2, 0, client)
+	if err != nil {
+		panic(err)
+	}
+	defer cluster.Close()
+	ctx := context.Background()
+	if err := cluster.Converge(ctx); err != nil {
+		panic(err)
+	}
+
+	const model = "bench"
+	fmt.Printf("building %dx%d model and publishing through the router...\n", rows, attrs)
+	m := benchfix.ModelWorkload(attrs, rows)
+	var snap bytes.Buffer
+	if err := core.WriteSnapshot(&snap, m, core.SaveOptions{}); err != nil {
+		panic(err)
+	}
+	put := func(url string) error {
+		req, err := http.NewRequest(http.MethodPut, url, bytes.NewReader(snap.Bytes()))
+		if err != nil {
+			return err
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			return err
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("PUT %s: %d", url, resp.StatusCode)
+		}
+		return nil
+	}
+	if err := put(cluster.RouterURL() + "/v1/models/" + model); err != nil {
+		panic(err)
+	}
+
+	owners := cluster.Ring().Owners(model)
+	ownerURL := cluster.NodeURL(owners[0])
+	resp, err := client.Get(ownerURL + "/v1/models/" + model)
+	if err != nil {
+		panic(err)
+	}
+	var info fleetModelInfo
+	err = json.NewDecoder(resp.Body).Decode(&info)
+	resp.Body.Close()
+	if err != nil || len(info.Dominator) == 0 || len(info.Targets) == 0 {
+		panic(fmt.Sprintf("model detail unusable: %v %+v", err, info))
+	}
+	values := map[string]int{}
+	for _, a := range info.Dominator {
+		values[a] = 1
+	}
+	classifyBody, err := json.Marshal(map[string]any{"target": info.Targets[0], "values": values})
+	if err != nil {
+		panic(err)
+	}
+
+	// Routed vs direct warm classify: interleaved best-of-3 (runPair),
+	// the same estimator the other overhead suites use.
+	classifyPath := "/v1/models/" + model + "/classify"
+	direct, routed := runPair(rep,
+		"Classify/direct-to-owner", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				fleetDo(b, client, http.MethodPost, ownerURL+classifyPath, "application/json", classifyBody)
+			}
+		},
+		"Classify/through-router", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				fleetDo(b, client, http.MethodPost, cluster.RouterURL()+classifyPath, "application/json", classifyBody)
+			}
+		})
+	overheadNs := routed.NsPerOp - direct.NsPerOp
+	rep.Comparisons = append(rep.Comparisons, comparison{
+		Name:        "router forwarding overhead (warm classify)",
+		Baseline:    direct.Name,
+		Optimized:   routed.Name,
+		Speedup:     math.Round(direct.NsPerOp/routed.NsPerOp*100) / 100,
+		OverheadPct: math.Round(overheadNs/direct.NsPerOp*10000) / 100,
+	})
+	fmt.Printf("  -> router forwarding overhead: %.1fus/request (bar < 2ms)\n", overheadNs/1e3)
+
+	// Replication cost: a snapshot PUT on a fleet owner (synchronously
+	// replicated to the one peer replica, R=2) versus the same PUT on a
+	// standalone server, per snapshot size.
+	standalone := httptest.NewServer(server.New(registry.New(registry.Options{}),
+		server.WithLogger(slog.New(slog.DiscardHandler))).Handler())
+	defer standalone.Close()
+	for _, n := range sizes {
+		sm := benchfix.ModelWorkload(attrs, n)
+		var sb bytes.Buffer
+		if err := core.WriteSnapshot(&sb, sm, core.SaveOptions{}); err != nil {
+			panic(err)
+		}
+		name := fmt.Sprintf("size%d", n)
+		soloURL := standalone.URL + "/v1/models/" + name
+		// The fleet PUT goes to the model's own primary owner so the
+		// measured path is always accept-then-replicate, never a proxy.
+		fleetURL := cluster.NodeURL(cluster.Ring().Owner(name)) + "/v1/models/" + name
+		solo, repl := runPair(rep,
+			fmt.Sprintf("SnapshotPut/standalone-rows-%d", n), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					fleetDo(b, client, http.MethodPut, soloURL, "application/octet-stream", sb.Bytes())
+				}
+			},
+			fmt.Sprintf("SnapshotPut/replicated-rows-%d", n), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					fleetDo(b, client, http.MethodPut, fleetURL, "application/octet-stream", sb.Bytes())
+				}
+			})
+		rep.Comparisons = append(rep.Comparisons, comparison{
+			Name:      fmt.Sprintf("replication cost at %d rows (%d snapshot bytes)", n, sb.Len()),
+			Baseline:  solo.Name,
+			Optimized: repl.Name,
+			Speedup:   math.Round(solo.NsPerOp/repl.NsPerOp*100) / 100,
+		})
+		fmt.Printf("  -> replication adds %.1fus at %d rows (%d-byte snapshot)\n",
+			(repl.NsPerOp-solo.NsPerOp)/1e3, n, sb.Len())
+	}
+
+	if overheadNs >= 2e6 {
+		fmt.Fprintf(os.Stderr, "FAIL: router forwarding overhead %.2fms, bar < 2ms\n", overheadNs/1e6)
 		os.Exit(1)
 	}
 	return rep

@@ -26,6 +26,14 @@
 // slow/errored/shed traces at GET /debug/traces. -trace-ring,
 // -trace-sample, and -trace-slow tune retention; /metrics serves
 // latency histograms per request kind and cost class.
+//
+// Fleet mode (see the README's "Fleet"): -mode serve with -node NAME
+// and repeatable -peer name=url flags turns this process into a fleet
+// member that owns a shard of the model-name space, synchronously
+// replicates accepted writes to the other owners, and gossips
+// generations every -gossip-interval; -mode router starts the
+// stateless routing tier over the same -peer set instead. -replicas
+// and -vnodes must agree across every member and router.
 package main
 
 import (
@@ -37,6 +45,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sort"
 	"strings"
 	"syscall"
 	"time"
@@ -44,10 +53,32 @@ import (
 	"hypermine/internal/admit"
 	"hypermine/internal/core"
 	"hypermine/internal/engine"
+	"hypermine/internal/fleet"
 	"hypermine/internal/registry"
 	"hypermine/internal/server"
 	"hypermine/internal/telemetry"
 )
+
+// peerFlags collects repeatable -peer name=url pairs.
+type peerFlags map[string]string
+
+func (p peerFlags) String() string {
+	parts := make([]string, 0, len(p))
+	for name, url := range p {
+		parts = append(parts, name+"="+url)
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ",")
+}
+
+func (p peerFlags) Set(v string) error {
+	name, url, ok := strings.Cut(v, "=")
+	if !ok || name == "" || url == "" {
+		return fmt.Errorf("want name=url, got %q", v)
+	}
+	p[name] = strings.TrimSuffix(url, "/")
+	return nil
+}
 
 // modelFlags collects repeatable -model name=path pairs.
 type modelFlags []struct{ name, path string }
@@ -95,6 +126,13 @@ func main() {
 	traceRing := flag.Int("trace-ring", 0, "recent-trace ring size (0 = default 128)")
 	traceSample := flag.Int("trace-sample", 0, "retain one in N unremarkable traces (0 = default 16, negative = only slow/errored)")
 	traceSlow := flag.Duration("trace-slow", 0, "always retain traces at least this slow (0 = default 100ms)")
+	mode := flag.String("mode", "serve", "process role: serve (a model-serving fleet member or standalone node) or router (stateless fleet routing tier)")
+	nodeName := flag.String("node", "", "this node's fleet ring name (serve mode; empty = standalone, no fleet)")
+	peers := peerFlags{}
+	flag.Var(peers, "peer", "name=url of another fleet member (repeatable; both modes)")
+	replicas := flag.Int("replicas", 0, "fleet replication factor R (0 = default 2; must agree fleet-wide)")
+	vnodes := flag.Int("vnodes", 0, "consistent-hash virtual nodes per member (0 = default 128; must agree fleet-wide)")
+	gossipInterval := flag.Duration("gossip-interval", time.Second, "period of the background generation-gossip loop (serve mode with peers)")
 	flag.Parse()
 
 	logger, err := newLogger(*logFormat)
@@ -102,6 +140,13 @@ func main() {
 		fatal(err)
 	}
 	slog.SetDefault(logger)
+
+	if *mode != "serve" && *mode != "router" {
+		fatal(fmt.Errorf("bad -mode %q (want serve or router)", *mode))
+	}
+	if *mode == "router" && (len(models) > 0 || *nodeName != "") {
+		fatal(errors.New("-mode router takes -peer flags, not -model or -node"))
+	}
 
 	warmup, err := engine.ParseWarmup(*warmupFlag)
 	if err != nil {
@@ -146,21 +191,68 @@ func main() {
 		})
 	}
 
-	srv := &http.Server{
-		Addr: *addr,
-		Handler: server.New(reg,
+	var handler http.Handler
+	var fleetNode *fleet.Node
+	switch {
+	case *mode == "router":
+		rt, err := fleet.NewRouter(fleet.RouterConfig{
+			Peers:     peers,
+			Replicas:  *replicas,
+			VNodes:    *vnodes,
+			Admission: ctl,
+			Tracer:    tracer,
+			Logger:    logger,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		handler = rt.Handler()
+		logger.Info("hypermined: routing", "addr", *addr, "peers", len(peers),
+			"ring", rt.Ring().String(), "admission", ctl != nil)
+	case *nodeName != "":
+		api := server.New(reg,
 			server.WithQueryTimeout(*queryTimeout),
 			server.WithAdmission(ctl),
 			server.WithSlowQueryLog(*slowQuery),
 			server.WithLogger(logger),
 			server.WithTracer(tracer),
 			server.WithPprof(*pprofOn),
-		).Handler(),
+		)
+		node, err := fleet.NewNode(fleet.NodeConfig{
+			Name:           *nodeName,
+			Peers:          peers,
+			Replicas:       *replicas,
+			VNodes:         *vnodes,
+			GossipInterval: *gossipInterval,
+			Logger:         logger,
+		}, reg, api)
+		if err != nil {
+			fatal(err)
+		}
+		node.Start()
+		fleetNode = node
+		handler = node.Handler()
+		logger.Info("hypermined: fleet member serving", "node", *nodeName, "addr", *addr,
+			"peers", len(peers), "ring", node.Ring().String(), "models", len(reg.Names()))
+	default:
+		if len(peers) > 0 {
+			fatal(errors.New("-peer requires -node NAME (fleet member) or -mode router"))
+		}
+		handler = server.New(reg,
+			server.WithQueryTimeout(*queryTimeout),
+			server.WithAdmission(ctl),
+			server.WithSlowQueryLog(*slowQuery),
+			server.WithLogger(logger),
+			server.WithTracer(tracer),
+			server.WithPprof(*pprofOn),
+		).Handler()
 	}
+
+	srv := &http.Server{Addr: *addr, Handler: handler}
 	errCh := make(chan error, 1)
 	go func() {
 		logger.Info("hypermined: serving", "models", len(reg.Names()), "addr", *addr,
-			"tracing", *traceOn, "admission", ctl != nil)
+			"tracing", *traceOn, "admission", ctl != nil, "mode", *mode)
 		errCh <- srv.ListenAndServe()
 	}()
 
@@ -171,6 +263,9 @@ func main() {
 		fatal(err)
 	case <-ctx.Done():
 		logger.Info("hypermined: shutting down")
+		if fleetNode != nil {
+			fleetNode.Stop()
+		}
 		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(shutCtx); err != nil {

@@ -86,6 +86,7 @@ import (
 	"hypermine/internal/admit"
 	"hypermine/internal/benchfix"
 	"hypermine/internal/core"
+	"hypermine/internal/fleet/sim"
 	"hypermine/internal/registry"
 	"hypermine/internal/server"
 	"hypermine/internal/telemetry"
@@ -147,6 +148,38 @@ type report struct {
 	Overload *overloadReport `json:"overload,omitempty"`
 	// Churn reports the -mix churn append/query scenario; nil otherwise.
 	Churn *churnReport `json:"churn,omitempty"`
+	// Fleet reports the -mix fleet routed-cluster scenario; nil otherwise.
+	Fleet *fleetReport `json:"fleet,omitempty"`
+	// RetryBackoffs counts requests that were retried after honoring a
+	// Retry-After hint on a 429/503 (all mixes except overload, which
+	// measures shedding and must observe rejections raw).
+	RetryBackoffs int `json:"retry_backoffs"`
+}
+
+// fleetReport summarizes the -mix fleet scenario: the default query mix
+// driven through a self-hosted 3-node fleet router while the model's
+// primary owner is killed, written around, and restarted.
+type fleetReport struct {
+	Nodes    int    `json:"nodes"`
+	Replicas int    `json:"replicas"`
+	Victim   string `json:"victim"` // the primary owner that gets killed
+	Kills    int    `json:"kills"`
+	Restarts int    `json:"restarts"`
+	// WritesThroughRouter counts snapshot PUTs routed through the fleet
+	// router (one with the fleet healthy, one during the outage —
+	// exercising write failover).
+	WritesThroughRouter int `json:"writes_through_router"`
+	// MissingGenHeaders counts routed query responses without
+	// X-Model-Generation; must be zero.
+	MissingGenHeaders int   `json:"missing_generation_headers"`
+	RouterForwards    int64 `json:"router_forwards"`
+	RouterFailovers   int64 `json:"router_failovers"`
+	FinalGeneration   int64 `json:"final_generation"`
+	// GenerationAgreed: after the restart converged, every owner in the
+	// model's replica set served the same generation.
+	GenerationAgreed bool `json:"generation_agreed"`
+	// ReadyAfterRestart: every node answered /readyz 200 at the end.
+	ReadyAfterRestart bool `json:"ready_after_restart"`
 }
 
 // churnReport summarizes the append/query interleaving scenario.
@@ -253,13 +286,15 @@ func main() {
 	cancelEvery := flag.Int("cancel-every", 0,
 		"replace every Nth request with a rules query under a short client-side deadline (0 = off)")
 	mixName := flag.String("mix", "default",
-		"query mix: default (dedicated endpoints), batch (multiplexed typed batches via :query), overload (fault-injecting saturation ramp), or churn (concurrent queries during :append republishes)")
+		"query mix: default (dedicated endpoints), batch (multiplexed typed batches via :query), overload (fault-injecting saturation ramp), churn (concurrent queries during :append republishes), or fleet (default mix through a self-hosted 3-node fleet router with a kill/restart mid-run)")
 	traceSample := flag.Bool("trace-sample", false,
 		"after the run, fetch /debug/traces and pretty-print one retained trace's span tree")
 	flag.Parse()
 
-	if *mixName != "default" && *mixName != "batch" && *mixName != "overload" && *mixName != "churn" {
-		fatal(fmt.Errorf("unknown -mix %q (want default, batch, overload, or churn)", *mixName))
+	switch *mixName {
+	case "default", "batch", "overload", "churn", "fleet":
+	default:
+		fatal(fmt.Errorf("unknown -mix %q (want default, batch, overload, churn, or fleet)", *mixName))
 	}
 
 	if *quick {
@@ -286,8 +321,19 @@ func main() {
 	}
 
 	var snapPath string
+	var cluster *sim.Cluster
 	baseURL := *addr
-	if baseURL == "" {
+	if *mixName == "fleet" {
+		if baseURL != "" {
+			fatal(errors.New("-mix fleet self-hosts its own cluster; -addr is not supported"))
+		}
+		var err error
+		cluster, baseURL, snapPath, err = startFleet(rep, *model, *attrs, *rows)
+		if err != nil {
+			fatal(err)
+		}
+		defer cluster.Close()
+	} else if baseURL == "" {
 		// The overload mix needs something to saturate: tiny gates so
 		// the ramp's upper rungs exceed capacity + queue by design.
 		var ctl *admit.Controller
@@ -326,6 +372,10 @@ func main() {
 		if err := runChurn(rep, baseURL, *model, info, *n, *seed); err != nil {
 			fatal(err)
 		}
+	case "fleet":
+		if err := runFleet(rep, cluster, baseURL, *model, info, *n, *seed, snapPath); err != nil {
+			fatal(err)
+		}
 	default:
 		if err := replay(rep, baseURL, *model, info, *n, *seed, *reloads, snapPath, *cancelEvery, *mixName); err != nil {
 			fatal(err)
@@ -341,6 +391,11 @@ func main() {
 		if err := sampleTrace(baseURL); err != nil {
 			fatal(err)
 		}
+	}
+
+	rep.RetryBackoffs = int(backoffWaits.Load())
+	if rep.RetryBackoffs > 0 {
+		fmt.Printf("backoff: honored Retry-After %d times\n", rep.RetryBackoffs)
 	}
 
 	js, err := json.MarshalIndent(rep, "", "  ")
@@ -363,8 +418,9 @@ func main() {
 		fatal(fmt.Errorf("%d malformed X-Trace-Id headers", rep.Trace.BadTraceIDs))
 	}
 	// The self-hosted server runs with tracing on (as hypermined does by
-	// default), so every response must have carried a trace ID.
-	if *addr == "" && (rep.Trace == nil || rep.Trace.TracedResponses == 0) {
+	// default), so every response must have carried a trace ID. (The
+	// fleet mix's nodes run without a tracer, like the sim's.)
+	if *addr == "" && *mixName != "fleet" && (rep.Trace == nil || rep.Trace.TracedResponses == 0) {
 		fatal(errors.New("self-hosted server returned no X-Trace-Id headers"))
 	}
 }
@@ -736,30 +792,14 @@ func replay(rep *report, baseURL, model string, info *modelInfo, n int, seed int
 			cancel()
 			continue
 		}
-		var req *http.Request
-		var err error
-		if q.method == http.MethodGet {
-			req, err = http.NewRequest(q.method, q.url, nil)
-		} else {
-			req, err = http.NewRequest(q.method, q.url, bytes.NewReader(q.body))
-		}
-		if err != nil {
-			return err
-		}
 		t0 := time.Now()
-		resp, err := client.Do(req)
-		if err != nil {
-			return err
-		}
-		noteTraceID(resp.Header)
-		raw, err := io.ReadAll(resp.Body)
-		resp.Body.Close()
+		code, _, raw, err := sendWithBackoff(client, q.method, q.url, "", q.body)
 		elapsed := time.Since(t0).Nanoseconds()
 		if err != nil {
 			return err
 		}
-		if resp.StatusCode != http.StatusOK {
-			return fmt.Errorf("%s %s: %d: %s", q.method, q.url, resp.StatusCode, raw)
+		if code != http.StatusOK {
+			return fmt.Errorf("%s %s: %d: %s", q.method, q.url, code, raw)
 		}
 		latency[q.endpoint] = append(latency[q.endpoint], elapsed)
 		if q.endpoint == "query_batch" && bytes.Contains(raw, []byte(`"error"`)) {
@@ -1071,25 +1111,15 @@ func runOverload(rep *report, baseURL, model string, info *modelInfo, n int, see
 	return nil
 }
 
-// churnOnce issues one request and returns status, body, and the
+// churnOnce issues one request (honoring Retry-After like every
+// non-overload path) and returns status, body, and the
 // X-Model-Generation header.
 func churnOnce(client *http.Client, method, url string, body []byte) (int, []byte, string, error) {
-	var rd io.Reader
-	if body != nil {
-		rd = bytes.NewReader(body)
-	}
-	req, err := http.NewRequest(method, url, rd)
+	code, hdr, raw, err := sendWithBackoff(client, method, url, "", body)
 	if err != nil {
 		return 0, nil, "", err
 	}
-	resp, err := client.Do(req)
-	if err != nil {
-		return 0, nil, "", err
-	}
-	defer resp.Body.Close()
-	noteTraceID(resp.Header)
-	raw, err := io.ReadAll(resp.Body)
-	return resp.StatusCode, raw, resp.Header.Get("X-Model-Generation"), err
+	return code, raw, hdr.Get("X-Model-Generation"), nil
 }
 
 // fetchGen reads the serving generation from the model detail header.
@@ -1393,7 +1423,66 @@ func runChurn(rep *report, baseURL, model string, info *modelInfo, n int, seed i
 	return nil
 }
 
+// Bounded Retry-After backoff: every mix except overload honors a
+// 429/503's Retry-After hint and retries, so transient shedding (or a
+// fleet replica mid-restart) does not fail a run. The overload mix is
+// the documented exception — it measures the shedding contract itself
+// and must observe rejections raw (see doOnce).
+const (
+	maxBackoffRetries = 5
+	backoffCap        = 2 * time.Second
+)
+
+// backoffWaits counts honored Retry-After waits across all request
+// paths (package-level, like the trace tallies).
+var backoffWaits atomic.Int64
+
+// sendWithBackoff issues one request, honoring Retry-After on 429/503
+// with bounded backoff (at most maxBackoffRetries retries, each wait
+// capped at backoffCap). The final response's status, headers, and
+// fully-read body are returned; the trace tally sees every attempt.
+func sendWithBackoff(client *http.Client, method, url, contentType string, body []byte) (int, http.Header, []byte, error) {
+	for attempt := 0; ; attempt++ {
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequest(method, url, rd)
+		if err != nil {
+			return 0, nil, nil, err
+		}
+		if contentType != "" {
+			req.Header.Set("Content-Type", contentType)
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			return 0, nil, nil, err
+		}
+		noteTraceID(resp.Header)
+		raw, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return 0, nil, nil, err
+		}
+		retriable := resp.StatusCode == http.StatusTooManyRequests ||
+			resp.StatusCode == http.StatusServiceUnavailable
+		if !retriable || attempt >= maxBackoffRetries {
+			return resp.StatusCode, resp.Header, raw, nil
+		}
+		wait := backoffCap
+		if secs, err := strconv.Atoi(strings.TrimSpace(resp.Header.Get("Retry-After"))); err == nil && secs >= 0 {
+			if d := time.Duration(secs) * time.Second; d < wait {
+				wait = d
+			}
+		}
+		backoffWaits.Add(1)
+		time.Sleep(wait)
+	}
+}
+
 // doOnce issues one request and returns status, body, and Retry-After.
+// It deliberately does NOT back off: the overload mix uses it to
+// observe and verify rejections.
 func doOnce(client *http.Client, method, url string, body []byte) (int, []byte, string, error) {
 	var rd io.Reader
 	if body != nil {
@@ -1437,25 +1526,258 @@ func startStalls(baseURL string, nConns int) (func(), int) {
 	}, len(conns)
 }
 
-// putSnapshot hot-reloads the model from the saved snapshot file.
+// putSnapshot hot-reloads the model from the saved snapshot file
+// (honoring Retry-After — a fleet node mid-restart answers 503 with a
+// hint until gossip converges).
 func putSnapshot(client *http.Client, baseURL, model, snapPath string) error {
-	f, err := os.Open(snapPath)
+	snap, err := os.ReadFile(snapPath)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	req, err := http.NewRequest(http.MethodPut, baseURL+"/v1/models/"+model, f)
+	code, _, raw, err := sendWithBackoff(client, http.MethodPut,
+		baseURL+"/v1/models/"+model, "application/octet-stream", snap)
 	if err != nil {
 		return err
 	}
-	resp, err := client.Do(req)
-	if err != nil {
-		return err
+	if code != http.StatusOK {
+		return fmt.Errorf("PUT: %d: %s", code, raw)
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		raw, _ := io.ReadAll(resp.Body)
-		return fmt.Errorf("PUT: %d: %s", resp.StatusCode, raw)
+	return nil
+}
+
+// startFleet boots the in-process 3-node fleet (R=2) the fleet mix
+// drives, publishes the model through the router, and returns the
+// cluster, the router URL, and the snapshot path for later re-PUTs.
+func startFleet(rep *report, model string, attrs, rows int) (*sim.Cluster, string, string, error) {
+	fmt.Printf("building %dx%d serving model and booting 3-node fleet (R=2)...\n", rows, attrs)
+	m := benchfix.ModelWorkload(attrs, rows)
+	var snap bytes.Buffer
+	if err := core.WriteSnapshot(&snap, m, core.SaveOptions{}); err != nil {
+		return nil, "", "", err
+	}
+	dir, err := os.MkdirTemp("", "loadgen-fleet")
+	if err != nil {
+		return nil, "", "", err
+	}
+	snapPath := filepath.Join(dir, "model.snap")
+	if err := os.WriteFile(snapPath, snap.Bytes(), 0o644); err != nil {
+		return nil, "", "", err
+	}
+
+	cluster, err := sim.NewCluster(3, 2, 0)
+	if err != nil {
+		return nil, "", "", err
+	}
+	if err := cluster.Converge(context.Background()); err != nil {
+		cluster.Close()
+		return nil, "", "", err
+	}
+	if err := putSnapshot(cluster.Client, cluster.RouterURL(), model, snapPath); err != nil {
+		cluster.Close()
+		return nil, "", "", fmt.Errorf("publish through router: %w", err)
+	}
+	return cluster, cluster.RouterURL(), snapPath, nil
+}
+
+// runFleet drives the default query mix through the fleet router while
+// the schedule kills the model's primary owner, writes around the
+// outage, and restarts it: at n/3 a snapshot PUT goes through the
+// router with the fleet healthy, at n/2 the primary owner is killed,
+// at 2n/3 another PUT exercises write failover, and at 5n/6 the victim
+// restarts and gossip converges. Every routed answer must be 200,
+// byte-identical per pooled body, and carry X-Model-Generation; at the
+// end all owners must agree on the generation and every node must be
+// ready.
+func runFleet(rep *report, cluster *sim.Cluster, baseURL, model string, info *modelInfo, n int, seed int64, snapPath string) error {
+	rng := rand.New(rand.NewSource(seed))
+	client := cluster.Client
+	owners := cluster.Ring().Owners(model)
+	if len(owners) < 2 {
+		return fmt.Errorf("model %q has replica set %v, want 2 owners", model, owners)
+	}
+	victim := owners[0]
+	fr := &fleetReport{Nodes: len(cluster.NodeNames()), Replicas: 2, Victim: victim}
+	rep.Fleet = fr
+
+	const poolSize = 16
+	pool := make([][]byte, poolSize)
+	for i := range pool {
+		values := map[string]int{}
+		for _, a := range info.Dominator {
+			values[a] = 1 + rng.Intn(info.K)
+		}
+		body, err := json.Marshal(map[string]any{
+			"target": info.Targets[rng.Intn(len(info.Targets))],
+			"values": values,
+		})
+		if err != nil {
+			return err
+		}
+		pool[i] = body
+	}
+	identity := make([][]byte, poolSize)
+	latency := map[string][]int64{}
+
+	reload := func(label string) error {
+		if err := putSnapshot(client, baseURL, model, snapPath); err != nil {
+			return fmt.Errorf("%s: %w", label, err)
+		}
+		fr.WritesThroughRouter++
+		rep.Reloads++
+		return nil
+	}
+
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		switch i {
+		case n / 3:
+			if err := reload("routed PUT, fleet healthy"); err != nil {
+				return err
+			}
+		case n / 2:
+			fmt.Printf("killing primary owner %s at request %d\n", victim, i)
+			if err := cluster.Kill(victim); err != nil {
+				return err
+			}
+			fr.Kills++
+		case 2 * n / 3:
+			if err := reload("routed PUT during outage (write failover)"); err != nil {
+				return err
+			}
+		case 5 * n / 6:
+			fmt.Printf("restarting %s at request %d\n", victim, i)
+			if err := cluster.Restart(victim); err != nil {
+				return err
+			}
+			if err := cluster.Converge(context.Background()); err != nil {
+				return err
+			}
+			fr.Restarts++
+		}
+
+		var q query
+		switch pick := rng.Intn(12); {
+		case pick < 8:
+			p := rng.Intn(poolSize)
+			q = query{"classify", http.MethodPost,
+				baseURL + "/v1/models/" + model + "/classify", pool[p], p}
+		case pick < 10:
+			a := info.Dominator[i%len(info.Dominator)]
+			q = query{"similar", http.MethodGet,
+				fmt.Sprintf("%s/v1/models/%s/similar?a=%s&top=5", baseURL, model, a), nil, -1}
+		case pick < 11:
+			head := info.Targets[i%len(info.Targets)]
+			q = query{"rules", http.MethodGet,
+				fmt.Sprintf("%s/v1/models/%s/rules?head=%s&top=5", baseURL, model, head), nil, -1}
+		default:
+			q = query{"dominators", http.MethodGet,
+				baseURL + "/v1/models/" + model + "/dominators", nil, -1}
+		}
+		t0 := time.Now()
+		code, hdr, raw, err := sendWithBackoff(client, q.method, q.url, "application/json", q.body)
+		elapsed := time.Since(t0).Nanoseconds()
+		if err != nil {
+			return fmt.Errorf("%s %s: %w", q.method, q.url, err)
+		}
+		if code != http.StatusOK {
+			return fmt.Errorf("%s %s: %d: %s", q.method, q.url, code, raw)
+		}
+		latency[q.endpoint] = append(latency[q.endpoint], elapsed)
+		if hdr.Get("X-Model-Generation") == "" {
+			fr.MissingGenHeaders++
+		}
+		if q.identity >= 0 {
+			if identity[q.identity] == nil {
+				identity[q.identity] = raw
+			} else if !bytes.Equal(identity[q.identity], raw) {
+				rep.IdentityMismatches++
+			}
+		}
+	}
+	wall := time.Since(start)
+
+	names := make([]string, 0, len(latency))
+	for name := range latency {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ls := latency[name]
+		sort.Slice(ls, func(i, j int) bool { return ls[i] < ls[j] })
+		var sum int64
+		for _, l := range ls {
+			sum += l
+		}
+		er := endpointReport{
+			Endpoint: name,
+			Requests: len(ls),
+			MeanNs:   float64(sum) / float64(len(ls)),
+			P50Ns:    ls[len(ls)/2],
+			P90Ns:    ls[len(ls)*90/100],
+			P99Ns:    ls[len(ls)*99/100],
+			MaxNs:    ls[len(ls)-1],
+		}
+		rep.Serve = append(rep.Serve, er)
+		fmt.Printf("%-16s %6d reqs  mean %8.1fus  p50 %8.1fus  p90 %8.1fus  p99 %8.1fus  max %8.1fus\n",
+			name, er.Requests, er.MeanNs/1e3, float64(er.P50Ns)/1e3, float64(er.P90Ns)/1e3,
+			float64(er.P99Ns)/1e3, float64(er.MaxNs)/1e3)
+	}
+	rep.Total.Requests = n
+	rep.Total.WallNs = wall.Nanoseconds()
+	rep.Total.QPS = float64(n) / wall.Seconds()
+
+	// Final checks: readiness everywhere, generation agreement across
+	// the replica set, and the router must actually have failed over.
+	fr.ReadyAfterRestart = true
+	for _, name := range cluster.NodeNames() {
+		code, _, _, err := sendWithBackoff(client, http.MethodGet, cluster.NodeURL(name)+"/readyz", "", nil)
+		if err != nil || code != http.StatusOK {
+			fr.ReadyAfterRestart = false
+		}
+	}
+	fr.GenerationAgreed = true
+	for _, o := range owners {
+		code, _, raw, err := sendWithBackoff(client, http.MethodGet,
+			cluster.NodeURL(o)+"/v1/models/"+model, "", nil)
+		if err != nil || code != http.StatusOK {
+			return fmt.Errorf("final check on %s: %v (%d)", o, err, code)
+		}
+		var detail struct {
+			Generation int64 `json:"generation"`
+		}
+		if err := json.Unmarshal(raw, &detail); err != nil {
+			return err
+		}
+		if fr.FinalGeneration == 0 {
+			fr.FinalGeneration = detail.Generation
+		} else if detail.Generation != fr.FinalGeneration {
+			fr.GenerationAgreed = false
+		}
+	}
+	var stats struct {
+		Forwards  int64 `json:"forwards"`
+		Failovers int64 `json:"failovers"`
+	}
+	if code, _, raw, err := sendWithBackoff(client, http.MethodGet, baseURL+"/stats", "", nil); err == nil && code == http.StatusOK {
+		_ = json.Unmarshal(raw, &stats)
+	}
+	fr.RouterForwards, fr.RouterFailovers = stats.Forwards, stats.Failovers
+
+	fmt.Printf("fleet: %d nodes R=%d, victim %s: %d kills, %d restarts, %d routed writes, %d forwards, %d failovers, generation %d agreed=%v ready=%v\n",
+		fr.Nodes, fr.Replicas, victim, fr.Kills, fr.Restarts, fr.WritesThroughRouter,
+		fr.RouterForwards, fr.RouterFailovers, fr.FinalGeneration, fr.GenerationAgreed, fr.ReadyAfterRestart)
+
+	switch {
+	case fr.Kills == 0 || fr.Restarts == 0:
+		return errors.New("fleet schedule did not run (n too small for the kill/restart points)")
+	case fr.RouterFailovers == 0:
+		return errors.New("router reported no failovers despite a dead primary")
+	case fr.MissingGenHeaders > 0:
+		return fmt.Errorf("%d routed responses missing X-Model-Generation", fr.MissingGenHeaders)
+	case !fr.GenerationAgreed:
+		return errors.New("replica set disagrees on the final generation after convergence")
+	case !fr.ReadyAfterRestart:
+		return errors.New("a node failed /readyz after restart and convergence")
 	}
 	return nil
 }

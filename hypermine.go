@@ -35,6 +35,7 @@ import (
 	"hypermine/internal/core"
 	"hypermine/internal/cover"
 	"hypermine/internal/engine"
+	"hypermine/internal/fleet"
 	"hypermine/internal/hypergraph"
 	"hypermine/internal/registry"
 	"hypermine/internal/runopt"
@@ -397,6 +398,41 @@ var (
 	// WithSlowQueryLog logs queries slower than the threshold as
 	// structured warnings and pins their traces.
 	WithSlowQueryLog = server.WithSlowQueryLog
+)
+
+// Fleet serving tier (internal/fleet): consistent-hash sharding of
+// model names across replicated hypermined members. A FleetRing maps
+// each model name to its R owners; a FleetNode wraps a QueryServer so
+// accepted writes replicate synchronously to the other owners and
+// generations gossip between members; a FleetRouter is the stateless
+// routing tier that forwards model-scoped requests to owners with
+// failover. See the README's "Fleet" section for the topology and the
+// write-safety contract.
+type (
+	// FleetRing is the consistent-hash ring (virtual nodes, R owners
+	// per model name, minimal movement on membership change).
+	FleetRing = fleet.Ring
+	// FleetNode is a fleet member: a QueryServer plus replication,
+	// gossip, and readiness.
+	FleetNode = fleet.Node
+	// FleetNodeConfig configures a FleetNode (name, peers, R, vnodes,
+	// gossip interval).
+	FleetNodeConfig = fleet.NodeConfig
+	// FleetRouter is the stateless routing/failover tier.
+	FleetRouter = fleet.Router
+	// FleetRouterConfig configures a FleetRouter (peers, R, vnodes,
+	// optional admission + tracing).
+	FleetRouterConfig = fleet.RouterConfig
+)
+
+var (
+	// NewFleetRing builds a ring over a node set; 0 picks the
+	// defaults (128 vnodes, R=2).
+	NewFleetRing = fleet.NewRing
+	// NewFleetNode wraps a registry + QueryServer into a fleet member.
+	NewFleetNode = fleet.NewNode
+	// NewFleetRouter builds the routing tier over a peer set.
+	NewFleetRouter = fleet.NewRouter
 )
 
 // Prepared-model engine (internal/engine): the lazily-memoized query

@@ -1,0 +1,696 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hypermine/internal/core"
+	"hypermine/internal/registry"
+	"hypermine/internal/server"
+	"hypermine/internal/telemetry"
+)
+
+// maxReplicateBytes bounds a replicated snapshot body, matching the
+// server's own PUT bound.
+const maxReplicateBytes = 1 << 30
+
+// NodeConfig configures one fleet member.
+type NodeConfig struct {
+	// Name is this node's ring name; it must not appear in Peers.
+	Name string
+	// Peers maps the other nodes' ring names to their base URLs
+	// (scheme://host:port, no trailing slash).
+	Peers map[string]string
+	// Replicas is the replication factor R over the whole membership
+	// (this node + peers); 0 means DefaultReplicas.
+	Replicas int
+	// VNodes is the virtual-node count; 0 means DefaultVNodes.
+	VNodes int
+	// GossipInterval is the period of the background gossip loop.
+	// <= 0 disables the loop; gossip then runs only when Gossip is
+	// called explicitly (the deterministic sim drives it that way).
+	GossipInterval time.Duration
+	// Client is the HTTP client for replication pushes, gossip
+	// exchanges, and snapshot pulls. Nil uses a dedicated client with
+	// sane timeouts.
+	Client *http.Client
+	// Logger receives structured fleet events. Nil discards.
+	Logger *slog.Logger
+}
+
+// peerState is the gossip-observed condition of one peer.
+type peerState struct {
+	ok     atomic.Bool  // last contact succeeded
+	tried  atomic.Bool  // contacted at least once
+	lastNs atomic.Int64 // monotonic-ish wall clock of last successful contact
+}
+
+// Node turns a single-process hypermined (registry + server) into a
+// fleet member: it owns a shard of the model-name space per the
+// consistent-hash ring, synchronously replicates every accepted write
+// (PUT snapshot, :append) to the other owners before acknowledging,
+// serves the /fleet/ replication + gossip endpoints, and runs the
+// gossip loop that lets a lagging or freshly restarted replica detect
+// and repair missing generations.
+type Node struct {
+	cfg    NodeConfig
+	reg    *registry.Registry
+	srv    *server.Server
+	inner  http.Handler
+	mux    *http.ServeMux
+	ring   *Ring
+	client *http.Client
+	logger *slog.Logger
+
+	peers     map[string]*peerState // keyed by peer name; set at construction
+	peerNames []string              // sorted, for deterministic iteration
+	nextPeer  atomic.Int64          // round-robin cursor for gossip
+
+	gossipRounds *telemetry.Counter
+	replPushes   *telemetry.Counter
+	replPushErrs *telemetry.Counter
+	replPulls    *telemetry.Counter
+	replHist     *telemetry.Histogram
+
+	converged atomic.Bool // first gossip round completed (or no peers)
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// NewNode wires a fleet node around an existing registry and server.
+// It registers the fleet counters in the server's shared telemetry
+// registry (so the /stats–/metrics parity contract covers them), adds
+// the "fleet" /stats section and the labeled peer-state gauge, and
+// installs the readiness probe (ready after the first gossip round).
+// Call Start to run the background gossip loop, Handler for the
+// fleet-aware HTTP handler, and Stop on shutdown.
+func NewNode(cfg NodeConfig, reg *registry.Registry, srv *server.Server) (*Node, error) {
+	if cfg.Name == "" {
+		return nil, errors.New("fleet: node name required")
+	}
+	if _, ok := cfg.Peers[cfg.Name]; ok {
+		return nil, fmt.Errorf("fleet: node %q lists itself as a peer", cfg.Name)
+	}
+	members := make([]string, 0, len(cfg.Peers)+1)
+	members = append(members, cfg.Name)
+	for name, url := range cfg.Peers {
+		if name == "" || url == "" {
+			return nil, errors.New("fleet: peer entries need both name and url")
+		}
+		members = append(members, name)
+	}
+	sort.Strings(members)
+	n := &Node{
+		cfg:    cfg,
+		reg:    reg,
+		srv:    srv,
+		inner:  srv.Handler(),
+		ring:   NewRing(cfg.VNodes, cfg.Replicas, members),
+		client: cfg.Client,
+		logger: cfg.Logger,
+		peers:  make(map[string]*peerState, len(cfg.Peers)),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	if n.client == nil {
+		n.client = &http.Client{Timeout: 30 * time.Second}
+	}
+	if n.logger == nil {
+		n.logger = slog.New(slog.DiscardHandler)
+	}
+	for name := range cfg.Peers {
+		n.peers[name] = &peerState{}
+		n.peerNames = append(n.peerNames, name)
+	}
+	sort.Strings(n.peerNames)
+
+	tel := srv.Telemetry()
+	n.gossipRounds = tel.Counter("hypermined_gossip_rounds_total", "gossip_rounds",
+		"Gossip rounds initiated by this node (one peer exchange each).")
+	n.replPushes = tel.Counter("hypermined_replication_pushes_total", "replication_pushes",
+		"Snapshot replication pushes to peer replicas after accepted writes.")
+	n.replPushErrs = tel.Counter("hypermined_replication_push_errors_total", "replication_push_errors",
+		"Replication pushes that failed (gossip repairs the lag later).")
+	n.replPulls = tel.Counter("hypermined_replication_pulls_total", "replication_pulls",
+		"Snapshots pulled from peers because gossip showed this replica lagging.")
+	n.replHist = tel.Histogram("hypermined_replication_seconds",
+		"Wall time to replicate one accepted write to all peer replicas (serialize + push).", "")
+
+	srv.SetReadiness(n.Ready)
+	srv.RegisterStatsSection("fleet", n.statsSection)
+	srv.RegisterMetricsExtra(n.writeMetrics)
+
+	n.mux = http.NewServeMux()
+	n.mux.HandleFunc("GET /fleet/digest", n.handleDigest)
+	n.mux.HandleFunc("POST /fleet/gossip", n.handleGossip)
+	n.mux.HandleFunc("GET /fleet/snapshot/{name}", n.handleSnapshot)
+	n.mux.HandleFunc("PUT /fleet/replicate/{name}", n.handleReplicate)
+	n.mux.HandleFunc("/", n.handleAPI)
+
+	if len(n.peers) == 0 {
+		n.converged.Store(true)
+	}
+	return n, nil
+}
+
+// Name returns the node's ring name.
+func (n *Node) Name() string { return n.cfg.Name }
+
+// Ring returns the (static-membership) consistent-hash ring.
+func (n *Node) Ring() *Ring { return n.ring }
+
+// Ready implements the readiness probe: a node is ready once its first
+// gossip round has completed (a freshly restarted replica must not
+// serve reads before it has had one chance to discover how far it
+// lags). A node with no peers is trivially ready.
+func (n *Node) Ready() error {
+	if !n.converged.Load() {
+		return errors.New("fleet: gossip not yet converged")
+	}
+	return nil
+}
+
+// Handler returns the fleet-aware HTTP handler: /fleet/ endpoints plus
+// the underlying server API with write replication spliced in.
+func (n *Node) Handler() http.Handler { return n.mux }
+
+// Start runs the background gossip loop when GossipInterval > 0; it
+// returns immediately. With a non-positive interval (the deterministic
+// sim), Start only marks the no-peer case converged and the caller
+// drives Gossip explicitly.
+func (n *Node) Start() {
+	if n.cfg.GossipInterval <= 0 {
+		close(n.done)
+		return
+	}
+	go n.gossipLoop()
+}
+
+// Stop terminates the gossip loop and waits for it to exit.
+func (n *Node) Stop() {
+	n.stopOnce.Do(func() { close(n.stop) })
+	<-n.done
+}
+
+func (n *Node) gossipLoop() {
+	defer close(n.done)
+	t := time.NewTicker(n.cfg.GossipInterval)
+	defer t.Stop()
+	// One immediate round so readiness does not wait a full interval.
+	n.Gossip(context.Background())
+	for {
+		select {
+		case <-n.stop:
+			return
+		case <-t.C:
+			n.Gossip(context.Background())
+		}
+	}
+}
+
+// digest is the gossip exchange unit: who is speaking and the
+// generation of every model it serves.
+type digest struct {
+	Node   string           `json:"node"`
+	Models map[string]int64 `json:"models"`
+}
+
+// localDigest snapshots this node's {model: generation} vector.
+func (n *Node) localDigest() digest {
+	d := digest{Node: n.cfg.Name, Models: map[string]int64{}}
+	for _, name := range n.reg.Names() {
+		if sv := n.reg.Peek(name); sv != nil {
+			d.Models[name] = sv.Generation()
+			sv.Release()
+		}
+	}
+	return d
+}
+
+// Gossip runs one push-pull round with the next peer (round-robin):
+// send the local digest, receive the peer's, and synchronously pull
+// any owned model the peer serves at a newer generation. It returns
+// the name of the peer contacted ("" with no peers) and the exchange
+// error, and marks the node converged on the first completed round.
+func (n *Node) Gossip(ctx context.Context) (string, error) {
+	if len(n.peerNames) == 0 {
+		n.converged.Store(true)
+		return "", nil
+	}
+	peer := n.peerNames[int(n.nextPeer.Add(1)-1)%len(n.peerNames)]
+	err := n.gossipWith(ctx, peer)
+	n.gossipRounds.Inc()
+	n.notePeer(peer, err == nil)
+	if err == nil {
+		n.converged.Store(true)
+	}
+	return peer, err
+}
+
+// GossipAll runs one round against every peer (the sim uses it to
+// force convergence at a barrier); it reports the first error.
+func (n *Node) GossipAll(ctx context.Context) error {
+	var first error
+	for _, peer := range n.peerNames {
+		err := n.gossipWith(ctx, peer)
+		n.gossipRounds.Inc()
+		n.notePeer(peer, err == nil)
+		if err == nil {
+			n.converged.Store(true)
+		} else if first == nil {
+			first = err
+		}
+	}
+	if len(n.peerNames) == 0 {
+		n.converged.Store(true)
+	}
+	return first
+}
+
+func (n *Node) gossipWith(ctx context.Context, peer string) error {
+	base := n.cfg.Peers[peer]
+	body, err := json.Marshal(n.localDigest())
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/fleet/gossip", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := n.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return fmt.Errorf("fleet: gossip with %s: %s", peer, resp.Status)
+	}
+	var theirs digest
+	if err := json.NewDecoder(resp.Body).Decode(&theirs); err != nil {
+		return err
+	}
+	return n.pullLagging(ctx, peer, theirs)
+}
+
+// pullLagging compares a peer digest against local state and pulls
+// every model this node owns but serves at an older generation (or not
+// at all). Pulls are synchronous: when this returns nil the node is
+// caught up to everything the digest advertised.
+func (n *Node) pullLagging(ctx context.Context, peer string, theirs digest) error {
+	names := make([]string, 0, len(theirs.Models))
+	for name := range theirs.Models {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var firstErr error
+	for _, name := range names {
+		gen := theirs.Models[name]
+		if !n.ring.Owns(name, n.cfg.Name) {
+			continue // pull-iff-owner: don't mirror shards we don't serve
+		}
+		var local int64
+		if sv := n.reg.Peek(name); sv != nil {
+			local = sv.Generation()
+			sv.Release()
+		}
+		if local >= gen {
+			continue
+		}
+		if err := n.pullSnapshot(ctx, peer, name); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// pullSnapshot fetches a model snapshot from a peer and publishes it
+// under the generation the peer serves it at.
+func (n *Node) pullSnapshot(ctx context.Context, peer, name string) error {
+	base := n.cfg.Peers[peer]
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/fleet/snapshot/"+name, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := n.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return fmt.Errorf("fleet: pull %s from %s: %s", name, peer, resp.Status)
+	}
+	gen, err := strconv.ParseInt(resp.Header.Get("X-Model-Generation"), 10, 64)
+	if err != nil || gen <= 0 {
+		return fmt.Errorf("fleet: pull %s from %s: bad generation header", name, peer)
+	}
+	m, err := core.ReadSnapshot(resp.Body)
+	if err != nil {
+		return fmt.Errorf("fleet: pull %s from %s: %w", name, peer, err)
+	}
+	info, err := n.reg.LoadGenerationContext(ctx, name, m, gen)
+	if err != nil {
+		return err
+	}
+	n.replPulls.Inc()
+	n.logger.LogAttrs(ctx, slog.LevelInfo, "fleet pulled model",
+		slog.String("model", name), slog.String("peer", peer),
+		slog.Int64("generation", gen), slog.Bool("stale", info.Stale))
+	return nil
+}
+
+// notePeer records the outcome of a peer contact for the peer-state
+// gauge and /stats.
+func (n *Node) notePeer(peer string, ok bool) {
+	ps := n.peers[peer]
+	if ps == nil {
+		return
+	}
+	ps.tried.Store(true)
+	ps.ok.Store(ok)
+	if ok {
+		ps.lastNs.Store(time.Now().UnixNano())
+	}
+}
+
+// handleDigest serves this node's {model: generation} vector.
+func (n *Node) handleDigest(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(n.localDigest())
+}
+
+// handleGossip is the receiving half of a push-pull round: pull
+// everything the sender has newer (for shards we own) before
+// responding with our own digest, so one exchange converges both
+// parties on the union of their knowledge.
+func (n *Node) handleGossip(w http.ResponseWriter, r *http.Request) {
+	var theirs digest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20)).Decode(&theirs); err != nil {
+		http.Error(w, "bad digest: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if _, known := n.cfg.Peers[theirs.Node]; known {
+		// Sender is a configured peer: catch up from it synchronously.
+		// Errors are non-fatal — the reply digest still lets the sender
+		// catch up from us, and the next round retries the pull.
+		if err := n.pullLagging(r.Context(), theirs.Node, theirs); err != nil {
+			n.logger.LogAttrs(r.Context(), slog.LevelWarn, "fleet gossip pull failed",
+				slog.String("peer", theirs.Node), slog.String("error", err.Error()))
+		}
+		n.notePeer(theirs.Node, true)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(n.localDigest())
+}
+
+// handleSnapshot streams the named model as a binary snapshot with its
+// serving generation in X-Model-Generation — the pull half of both
+// replication repair and gossip catch-up.
+func (n *Node) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	sv := n.reg.Peek(name)
+	if sv == nil {
+		http.Error(w, "unknown model "+strconv.Quote(name), http.StatusNotFound)
+		return
+	}
+	defer sv.Release()
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-Model-Generation", strconv.FormatInt(sv.Generation(), 10))
+	if err := core.WriteSnapshot(w, sv.Model(), core.SaveOptions{}); err != nil {
+		n.logger.LogAttrs(r.Context(), slog.LevelWarn, "fleet snapshot stream failed",
+			slog.String("model", name), slog.String("error", err.Error()))
+	}
+}
+
+// handleReplicate is the receiving half of a replication push: decode
+// the snapshot and publish it under the originating generation named
+// by X-Model-Generation. Stale deliveries are acknowledged as no-ops
+// (idempotent), so push retries and gossip races are harmless.
+func (n *Node) handleReplicate(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	gen, err := strconv.ParseInt(r.Header.Get("X-Model-Generation"), 10, 64)
+	if err != nil || gen <= 0 {
+		http.Error(w, "missing or bad X-Model-Generation", http.StatusBadRequest)
+		return
+	}
+	m, err := core.ReadSnapshot(http.MaxBytesReader(w, r.Body, maxReplicateBytes))
+	if err != nil {
+		http.Error(w, "snapshot: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	info, err := n.reg.LoadGenerationContext(r.Context(), name, m, gen)
+	if err != nil {
+		http.Error(w, "load: "+err.Error(), http.StatusUnprocessableEntity)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Model-Generation", strconv.FormatInt(info.Generation, 10))
+	_ = json.NewEncoder(w).Encode(map[string]any{
+		"name": name, "generation": info.Generation, "stale": info.Stale,
+	})
+}
+
+// writeTarget classifies an API request as a fleet-replicated write
+// and extracts the model name: PUT /v1/models/{name} and
+// POST /v1/models/{name}:append. Everything else returns "".
+func writeTarget(r *http.Request) string {
+	const prefix = "/v1/models/"
+	if !strings.HasPrefix(r.URL.Path, prefix) {
+		return ""
+	}
+	rest := r.URL.Path[len(prefix):]
+	if rest == "" || strings.Contains(rest, "/") {
+		return ""
+	}
+	switch r.Method {
+	case http.MethodPut:
+		if !strings.Contains(rest, ":") {
+			return rest
+		}
+	case http.MethodPost:
+		if name, ok := strings.CutSuffix(rest, ":append"); ok && name != "" {
+			return name
+		}
+	}
+	return ""
+}
+
+// bufResponse buffers an inner handler's response so replication can
+// run between the write being applied and the client seeing the ack.
+type bufResponse struct {
+	header http.Header
+	status int
+	body   bytes.Buffer
+}
+
+func newBufResponse() *bufResponse {
+	return &bufResponse{header: make(http.Header), status: http.StatusOK}
+}
+
+func (b *bufResponse) Header() http.Header         { return b.header }
+func (b *bufResponse) WriteHeader(code int)        { b.status = code }
+func (b *bufResponse) Write(p []byte) (int, error) { return b.body.Write(p) }
+
+// flush copies the buffered response to the real writer.
+func (b *bufResponse) flush(w http.ResponseWriter) {
+	h := w.Header()
+	for k, vs := range b.header {
+		h[k] = vs
+	}
+	w.WriteHeader(b.status)
+	_, _ = w.Write(b.body.Bytes())
+}
+
+// handleAPI serves the underlying single-process API, splicing
+// synchronous replication into accepted writes: the inner handler's
+// response is buffered, and only after the resulting snapshot has been
+// pushed to the model's other owners does the acknowledgement reach
+// the client. A peer push that fails (node down) is counted and
+// logged, not fatal — the write is durable on this node and gossip
+// repairs the lagging replica; the ack therefore means "applied here,
+// replication attempted everywhere".
+func (n *Node) handleAPI(w http.ResponseWriter, r *http.Request) {
+	name := writeTarget(r)
+	if name == "" {
+		n.inner.ServeHTTP(w, r)
+		return
+	}
+	if err := n.Ready(); err != nil {
+		// A restarted replica that has not gossiped yet may lag the
+		// fleet; accepting a write here could assign an already-used
+		// generation and fork the model. Refuse explicitly — the
+		// X-Fleet-Not-Ready marker tells the router the write was
+		// definitely not applied, so failing over to a converged owner
+		// is unambiguous and safe.
+		w.Header().Set("X-Fleet-Not-Ready", "1")
+		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintf(w, "{\"error\":%q}\n", "fleet: node not ready for writes: "+err.Error())
+		return
+	}
+	buf := newBufResponse()
+	n.inner.ServeHTTP(buf, r)
+	if buf.status >= 200 && buf.status < 300 {
+		n.replicate(r.Context(), name)
+	}
+	buf.flush(w)
+}
+
+// replicate pushes the current snapshot of name to every other owner
+// in its replica set.
+func (n *Node) replicate(ctx context.Context, name string) {
+	owners := n.ring.Owners(name)
+	var targets []string
+	for _, o := range owners {
+		if o != n.cfg.Name {
+			targets = append(targets, o)
+		}
+	}
+	if len(targets) == 0 {
+		return
+	}
+	sv := n.reg.Peek(name)
+	if sv == nil {
+		return // removed in the races between ack and replication; nothing to push
+	}
+	gen := sv.Generation()
+	var snap bytes.Buffer
+	err := core.WriteSnapshot(&snap, sv.Model(), core.SaveOptions{})
+	sv.Release()
+	if err != nil {
+		n.replPushErrs.Inc()
+		n.logger.LogAttrs(ctx, slog.LevelError, "fleet replication serialize failed",
+			slog.String("model", name), slog.String("error", err.Error()))
+		return
+	}
+	start := time.Now()
+	for _, peer := range targets {
+		if err := n.pushSnapshot(ctx, peer, name, gen, snap.Bytes()); err != nil {
+			n.replPushErrs.Inc()
+			n.notePeer(peer, false)
+			n.logger.LogAttrs(ctx, slog.LevelWarn, "fleet replication push failed",
+				slog.String("model", name), slog.String("peer", peer),
+				slog.Int64("generation", gen), slog.String("error", err.Error()))
+			continue
+		}
+		n.replPushes.Inc()
+		n.notePeer(peer, true)
+	}
+	n.replHist.Observe(time.Since(start))
+}
+
+// pushSnapshot PUTs one snapshot to a peer's replicate endpoint.
+func (n *Node) pushSnapshot(ctx context.Context, peer, name string, gen int64, snap []byte) error {
+	base, ok := n.cfg.Peers[peer]
+	if !ok {
+		return fmt.Errorf("fleet: unknown peer %q", peer)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut, base+"/fleet/replicate/"+name, bytes.NewReader(snap))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	req.Header.Set("X-Model-Generation", strconv.FormatInt(gen, 10))
+	resp, err := n.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("fleet: replicate %s@%d to %s: %s", name, gen, peer, resp.Status)
+	}
+	return nil
+}
+
+// fleetModelStat labels one resident model with its replica set.
+type fleetModelStat struct {
+	Owner    string   `json:"owner"`
+	Replicas []string `json:"replicas"`
+	Local    bool     `json:"local_is_owner"`
+}
+
+// statsSection renders the "fleet" /stats key: membership, peer
+// states, and per-model owner/replica labels.
+func (n *Node) statsSection() any {
+	peerOut := make(map[string]string, len(n.peers))
+	for _, name := range n.peerNames {
+		peerOut[name] = n.peerStateName(name)
+	}
+	models := map[string]fleetModelStat{}
+	for _, name := range n.reg.Names() {
+		owners := n.ring.Owners(name)
+		owner := ""
+		if len(owners) > 0 {
+			owner = owners[0]
+		}
+		models[name] = fleetModelStat{
+			Owner:    owner,
+			Replicas: owners,
+			Local:    owner == n.cfg.Name,
+		}
+	}
+	return map[string]any{
+		"node":     n.cfg.Name,
+		"ring":     n.ring.String(),
+		"replicas": n.ring.Replicas(),
+		"vnodes":   n.ring.VNodes(),
+		"ready":    n.Ready() == nil,
+		"peers":    peerOut,
+		"models":   models,
+	}
+}
+
+// peerStateName maps a peer's tracked state onto the gauge vocabulary.
+func (n *Node) peerStateName(peer string) string {
+	ps := n.peers[peer]
+	switch {
+	case ps == nil || !ps.tried.Load():
+		return "unknown"
+	case ps.ok.Load():
+		return "up"
+	}
+	return "down"
+}
+
+// writeMetrics emits the labeled fleet gauges the flat counter
+// registry cannot express: hypermined_fleet_peers{state} and the
+// per-model ownership gauge.
+func (n *Node) writeMetrics(w io.Writer) {
+	counts := map[string]int{"up": 0, "down": 0, "unknown": 0}
+	for _, name := range n.peerNames {
+		counts[n.peerStateName(name)]++
+	}
+	fmt.Fprintf(w, "# HELP hypermined_fleet_peers Configured peers by gossip-observed state.\n# TYPE hypermined_fleet_peers gauge\n")
+	for _, state := range []string{"up", "down", "unknown"} {
+		fmt.Fprintf(w, "hypermined_fleet_peers{state=%q} %d\n", state, counts[state])
+	}
+	fmt.Fprintf(w, "# HELP hypermined_fleet_owned_model Resident models this node is in the replica set of (1 primary owner, 0 replica).\n# TYPE hypermined_fleet_owned_model gauge\n")
+	for _, name := range n.reg.Names() { // sorted by the registry
+		if !n.ring.Owns(name, n.cfg.Name) {
+			continue
+		}
+		v := 0
+		if n.ring.Owner(name) == n.cfg.Name {
+			v = 1
+		}
+		fmt.Fprintf(w, "hypermined_fleet_owned_model{model=%q} %d\n", name, v)
+	}
+}

@@ -1,0 +1,424 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hypermine/internal/benchfix"
+	"hypermine/internal/core"
+	"hypermine/internal/registry"
+	"hypermine/internal/server"
+	"hypermine/internal/testutil"
+)
+
+// handlerSwap lets a httptest server start before the node whose
+// handler it will serve exists (peer URLs must be known first).
+type handlerSwap struct {
+	h atomic.Pointer[http.Handler]
+}
+
+func (s *handlerSwap) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	h := s.h.Load()
+	if h == nil {
+		http.Error(w, "node not booted", http.StatusServiceUnavailable)
+		return
+	}
+	(*h).ServeHTTP(w, r)
+}
+
+// testFleet is a set of in-process fleet nodes on real listeners.
+type testFleet struct {
+	nodes map[string]*Node
+	regs  map[string]*registry.Registry
+	urls  map[string]string
+}
+
+func newTestFleet(t *testing.T, names []string, replicas int, interval time.Duration, client *http.Client) *testFleet {
+	t.Helper()
+	f := &testFleet{
+		nodes: map[string]*Node{},
+		regs:  map[string]*registry.Registry{},
+		urls:  map[string]string{},
+	}
+	swaps := map[string]*handlerSwap{}
+	for _, name := range names {
+		sw := &handlerSwap{}
+		ts := httptest.NewServer(sw)
+		t.Cleanup(ts.Close)
+		swaps[name] = sw
+		f.urls[name] = ts.URL
+	}
+	for _, name := range names {
+		peers := map[string]string{}
+		for _, other := range names {
+			if other != name {
+				peers[other] = f.urls[other]
+			}
+		}
+		reg := registry.New(registry.Options{})
+		node, err := NewNode(NodeConfig{
+			Name:           name,
+			Peers:          peers,
+			Replicas:       replicas,
+			GossipInterval: interval,
+			Client:         client,
+		}, reg, server.New(reg))
+		if err != nil {
+			t.Fatalf("NewNode(%s): %v", name, err)
+		}
+		node.Start()
+		t.Cleanup(node.Stop)
+		h := node.Handler()
+		swaps[name].h.Store(&h)
+		f.nodes[name] = node
+		f.regs[name] = reg
+	}
+	return f
+}
+
+// snapshotBytes serializes a small deterministic model.
+func snapshotBytes(t *testing.T, rows int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := core.WriteSnapshot(&buf, benchfix.ModelWorkload(8, rows), core.SaveOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// peekGen returns the generation a registry serves name at (0 = absent).
+func peekGen(reg *registry.Registry, name string) int64 {
+	sv := reg.Peek(name)
+	if sv == nil {
+		return 0
+	}
+	defer sv.Release()
+	return sv.Generation()
+}
+
+// TestWriteReplicationSynchronous pins the tentpole write contract:
+// a PUT or :append accepted by one owner is visible on every other
+// owner at the same generation before the acknowledgement returns.
+func TestWriteReplicationSynchronous(t *testing.T) {
+	f := newTestFleet(t, []string{"a", "b"}, 2, 0, nil)
+	ctx := context.Background()
+	if err := f.nodes["a"].GossipAll(ctx); err != nil {
+		t.Fatalf("gossip: %v", err)
+	}
+
+	resp, err := putSnapshot(f.urls["a"], "m", snapshotBytes(t, 80))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.status != http.StatusOK {
+		t.Fatalf("PUT = %d (%s)", resp.status, resp.body)
+	}
+	gen, _ := strconv.ParseInt(resp.gen, 10, 64)
+	if gen <= 0 {
+		t.Fatalf("PUT generation header = %q", resp.gen)
+	}
+	// No gossip has run since: the replica can only have the model via
+	// the synchronous replication push.
+	if got := peekGen(f.regs["b"], "m"); got != gen {
+		t.Fatalf("replica generation = %d immediately after ack, want %d", got, gen)
+	}
+
+	// An append moves both owners to the same new generation, again
+	// before the ack.
+	body := []byte(`{"rows":[[1,2,3,1,2,3,1,2]]}`)
+	req, _ := http.NewRequest(http.MethodPost, f.urls["a"]+"/v1/models/m:append", bytes.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	ar, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, ar.Body)
+	ar.Body.Close()
+	if ar.StatusCode != http.StatusOK {
+		t.Fatalf("append = %d", ar.StatusCode)
+	}
+	newGen, _ := strconv.ParseInt(ar.Header.Get("X-Model-Generation"), 10, 64)
+	if newGen <= gen {
+		t.Fatalf("append generation %d did not advance past %d", newGen, gen)
+	}
+	if got := peekGen(f.regs["b"], "m"); got != newGen {
+		t.Fatalf("replica generation after append = %d, want %d", got, newGen)
+	}
+}
+
+type putResult struct {
+	status int
+	gen    string
+	body   string
+}
+
+func putSnapshot(baseURL, name string, snap []byte) (putResult, error) {
+	req, err := http.NewRequest(http.MethodPut, baseURL+"/v1/models/"+name, bytes.NewReader(snap))
+	if err != nil {
+		return putResult{}, err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return putResult{}, err
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	return putResult{resp.StatusCode, resp.Header.Get("X-Model-Generation"), string(b)}, nil
+}
+
+// TestNotReadyWriteRefusal pins the restart-safety contract: a node
+// that has not completed a gossip round refuses writes with 503 +
+// X-Fleet-Not-Ready (so the router knows the write was not applied)
+// while reads still pass through to the inner server.
+func TestNotReadyWriteRefusal(t *testing.T) {
+	reg := registry.New(registry.Options{})
+	node, err := NewNode(NodeConfig{
+		Name:  "a",
+		Peers: map[string]string{"ghost": "http://127.0.0.1:1"},
+	}, reg, server.New(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	node.Start()
+	defer node.Stop()
+	ts := httptest.NewServer(node.Handler())
+	defer ts.Close()
+
+	if err := node.Ready(); err == nil {
+		t.Fatal("node with an unreachable peer reported ready before any gossip round")
+	}
+	resp, err := putSnapshot(ts.URL, "m", snapshotBytes(t, 40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.status != http.StatusServiceUnavailable {
+		t.Fatalf("unready PUT = %d, want 503", resp.status)
+	}
+	req, _ := http.NewRequest(http.MethodPut, ts.URL+"/v1/models/m", bytes.NewReader(snapshotBytes(t, 40)))
+	raw, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, raw.Body)
+	raw.Body.Close()
+	if raw.Header.Get("X-Fleet-Not-Ready") == "" || raw.Header.Get("Retry-After") == "" {
+		t.Fatalf("unready refusal missing X-Fleet-Not-Ready / Retry-After: %v", raw.Header)
+	}
+
+	// Reads are never gated: an empty-but-alive node answers (here the
+	// model list, empty).
+	lr, err := http.Get(ts.URL + "/v1/models")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, lr.Body)
+	lr.Body.Close()
+	if lr.StatusCode != http.StatusOK {
+		t.Fatalf("read on unready node = %d, want 200", lr.StatusCode)
+	}
+}
+
+// TestGossipPullRepair pins the repair path: a node that lags (or
+// entirely lacks) a model it owns pulls it during a gossip round, at
+// the originating generation; models outside its shard are never
+// mirrored (pull-iff-owner).
+func TestGossipPullRepair(t *testing.T) {
+	f := newTestFleet(t, []string{"a", "b"}, 1, 0, nil) // R=1: each model has exactly one owner
+	ctx := context.Background()
+	ring := f.nodes["a"].Ring()
+
+	// Find one name owned by each node.
+	var ownedByA, ownedByB string
+	for i := 0; ownedByA == "" || ownedByB == ""; i++ {
+		name := fmt.Sprintf("model-%d", i)
+		if ring.Owner(name) == "a" && ownedByA == "" {
+			ownedByA = name
+		}
+		if ring.Owner(name) == "b" && ownedByB == "" {
+			ownedByB = name
+		}
+	}
+
+	// Both models start on node a (as if the fleet had just been
+	// re-sharded): a holds ownedByB without owning it.
+	m1 := benchfix.ModelWorkload(8, 60)
+	m2 := benchfix.ModelWorkload(8, 90)
+	if _, err := f.regs["a"].LoadContext(ctx, ownedByA, m1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.regs["a"].LoadContext(ctx, ownedByB, m2); err != nil {
+		t.Fatal(err)
+	}
+	genB := peekGen(f.regs["a"], ownedByB)
+
+	// b gossips with a: it must pull its own shard (ownedByB) at a's
+	// generation and leave a's shard alone.
+	if err := f.nodes["b"].GossipAll(ctx); err != nil {
+		t.Fatalf("gossip: %v", err)
+	}
+	if got := peekGen(f.regs["b"], ownedByB); got != genB {
+		t.Fatalf("owner pulled %s at generation %d, want %d", ownedByB, got, genB)
+	}
+	if got := peekGen(f.regs["b"], ownedByA); got != 0 {
+		t.Fatalf("node b mirrored %s (generation %d) outside its shard", ownedByA, got)
+	}
+
+	// Redelivery is idempotent: another round must not regress or fork
+	// the generation.
+	if err := f.nodes["b"].GossipAll(ctx); err != nil {
+		t.Fatalf("second gossip: %v", err)
+	}
+	if got := peekGen(f.regs["b"], ownedByB); got != genB {
+		t.Fatalf("second gossip moved %s to generation %d, want stable %d", ownedByB, got, genB)
+	}
+}
+
+// TestGossipHandlerPushPull pins the receiving half: a gossip POST from
+// a known lagging peer makes the receiver respond with its own digest,
+// and the *sender* of the digest catches up the receiver (push-pull in
+// one exchange).
+func TestGossipHandlerPushPull(t *testing.T) {
+	f := newTestFleet(t, []string{"a", "b"}, 2, 0, nil)
+	ctx := context.Background()
+
+	m := benchfix.ModelWorkload(8, 50)
+	if _, err := f.regs["b"].LoadContext(ctx, "m", m); err != nil {
+		t.Fatal(err)
+	}
+	gen := peekGen(f.regs["b"], "m")
+
+	// a initiates gossip; b's digest advertises "m", a owns it, so a
+	// pulls it inside the same round.
+	if err := f.nodes["a"].GossipAll(ctx); err != nil {
+		t.Fatalf("gossip: %v", err)
+	}
+	if got := peekGen(f.regs["a"], "m"); got != gen {
+		t.Fatalf("initiator did not pull: generation %d, want %d", got, gen)
+	}
+	if err := f.nodes["a"].Ready(); err != nil {
+		t.Fatalf("node not ready after successful round: %v", err)
+	}
+}
+
+// TestGossipConvergenceUnderRace runs three nodes with fast background
+// gossip loops concurrently (this test is meaningful under -race): a
+// model loaded on one node must reach every owner, and shutdown must
+// not leak goroutines.
+func TestGossipConvergenceUnderRace(t *testing.T) {
+	client := &http.Client{
+		Timeout:   10 * time.Second,
+		Transport: &http.Transport{DisableKeepAlives: true},
+	}
+	base := testutil.GoroutineBaseline()
+	f := newTestFleet(t, []string{"a", "b", "c"}, 2, 2*time.Millisecond, client)
+
+	ctx := context.Background()
+	if _, err := f.regs["a"].LoadContext(ctx, "race-model", benchfix.ModelWorkload(8, 70)); err != nil {
+		t.Fatal(err)
+	}
+	owners := f.nodes["a"].Ring().Owners("race-model")
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		done := true
+		for _, o := range owners {
+			if peekGen(f.regs[o], "race-model") == 0 {
+				done = false
+			}
+		}
+		if done {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("model did not reach all owners %v via gossip", owners)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	for _, o := range owners {
+		if got := peekGen(f.regs[o], "race-model"); got != 1 {
+			t.Errorf("owner %s serves generation %d, want 1", o, got)
+		}
+	}
+	for _, n := range f.nodes {
+		n.Stop()
+	}
+	client.CloseIdleConnections()
+	testutil.CheckGoroutines(t.Errorf, base, 6, 2*time.Second)
+}
+
+// TestFleetStatsAndMetrics pins the observability satellite: the fleet
+// /stats section carries node/ring/peer/model labels and /metrics
+// exposes the labeled peer gauge plus the parity-covered counters.
+func TestFleetStatsAndMetrics(t *testing.T) {
+	f := newTestFleet(t, []string{"a", "b"}, 2, 0, nil)
+	ctx := context.Background()
+	if err := f.nodes["a"].GossipAll(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if r, err := putSnapshot(f.urls["a"], "m", snapshotBytes(t, 40)); err != nil || r.status != 200 {
+		t.Fatalf("PUT: %v %+v", err, r)
+	}
+
+	resp, err := http.Get(f.urls["a"] + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats struct {
+		Fleet struct {
+			Node   string            `json:"node"`
+			Ready  bool              `json:"ready"`
+			Peers  map[string]string `json:"peers"`
+			Models map[string]struct {
+				Owner    string   `json:"owner"`
+				Replicas []string `json:"replicas"`
+			} `json:"models"`
+		} `json:"fleet"`
+		GossipRounds      int64 `json:"gossip_rounds"`
+		ReplicationPushes int64 `json:"replication_pushes"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&stats)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Fleet.Node != "a" || !stats.Fleet.Ready {
+		t.Fatalf("fleet stats node/ready wrong: %+v", stats.Fleet)
+	}
+	if stats.Fleet.Peers["b"] != "up" {
+		t.Fatalf("peer b state = %q, want up", stats.Fleet.Peers["b"])
+	}
+	ms, ok := stats.Fleet.Models["m"]
+	if !ok || ms.Owner == "" || len(ms.Replicas) != 2 {
+		t.Fatalf("per-model owner/replica labels missing: %+v", stats.Fleet.Models)
+	}
+	if stats.GossipRounds == 0 || stats.ReplicationPushes == 0 {
+		t.Fatalf("fleet counters absent from /stats: %+v", stats)
+	}
+
+	mr, err := http.Get(f.urls["a"] + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, _ := io.ReadAll(mr.Body)
+	mr.Body.Close()
+	for _, want := range []string{
+		`hypermined_fleet_peers{state="up"} 1`,
+		`hypermined_fleet_owned_model{model="m"}`,
+		"hypermined_gossip_rounds_total",
+		"hypermined_replication_pushes_total",
+		"hypermined_replication_seconds",
+	} {
+		if !bytes.Contains(mb, []byte(want)) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,212 @@
+// Package fleet implements horizontal scale for hypermined: a
+// consistent-hash ring mapping model names onto replica sets, snapshot
+// replication between nodes over the binary codec (CRC-checked end to
+// end, published under the originating generation so
+// X-Model-Generation stays coherent fleet-wide), generation-numbered
+// gossip so hot-swaps and appends propagate to lagging replicas, and a
+// router that forwards model-scoped queries to an owning replica with
+// failover.
+//
+// The package is deliberately layered on the existing single-process
+// pieces: a fleet Node wraps a registry.Registry plus a server.Server
+// and adds the replication/gossip endpoints under /fleet/; the Router
+// is a standalone handler that speaks the same /v1/models API to
+// clients. Correctness on a fleet is proven by the deterministic
+// multi-node simulation harness in internal/fleet/sim, which
+// byte-identity-checks every routed answer against a single-node
+// reference across node kills, restarts, and lagging gossip.
+package fleet
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+)
+
+// DefaultVNodes is the virtual-node count per physical node. 128
+// vnodes keep the max/min key share across nodes within the bound the
+// ring tests pin (max/min <= 2.0 for realistic fleet sizes).
+const DefaultVNodes = 128
+
+// DefaultReplicas is the default replication factor R: each model name
+// maps to R distinct nodes (owner first, then failover order).
+const DefaultReplicas = 2
+
+// Ring is an immutable consistent-hash ring: each node contributes
+// vnodes points on a 64-bit circle, and a key is owned by the first R
+// distinct nodes at or clockwise of its hash. Immutability keeps the
+// read path lock-free — membership changes build a new Ring (With /
+// Without) that callers publish atomically; consistent hashing makes
+// the rebuild minimal-movement (a join or leave remaps only ~K/N of
+// the keys, which the ring tests verify).
+type Ring struct {
+	vnodes   int
+	replicas int
+	nodes    []string // sorted, distinct
+	points   []point  // sorted by hash, ties broken by node
+}
+
+// point is one virtual node: a position on the circle and the index of
+// its physical node in Ring.nodes.
+type point struct {
+	hash uint64
+	node int32
+}
+
+// NewRing builds a ring over the given nodes. vnodes <= 0 uses
+// DefaultVNodes; replicas <= 0 uses DefaultReplicas. Duplicate node
+// names collapse; replicas is clamped to the node count at lookup
+// time, so a two-node ring with R=3 simply yields both nodes.
+func NewRing(vnodes, replicas int, nodes []string) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	if replicas <= 0 {
+		replicas = DefaultReplicas
+	}
+	set := make(map[string]bool, len(nodes))
+	uniq := make([]string, 0, len(nodes))
+	for _, n := range nodes {
+		if n != "" && !set[n] {
+			set[n] = true
+			uniq = append(uniq, n)
+		}
+	}
+	sort.Strings(uniq)
+	r := &Ring{vnodes: vnodes, replicas: replicas, nodes: uniq}
+	r.points = make([]point, 0, len(uniq)*vnodes)
+	for ni, n := range uniq {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, point{hash: hash64(n + "#" + strconv.Itoa(v)), node: int32(ni)})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Hash ties (vanishingly rare at 64 bits) break on node index so
+		// the ring is deterministic regardless of input order.
+		return r.points[i].node < r.points[j].node
+	})
+	return r
+}
+
+// Nodes returns the ring membership, sorted. Callers must not mutate.
+func (r *Ring) Nodes() []string { return r.nodes }
+
+// VNodes returns the virtual-node count per physical node.
+func (r *Ring) VNodes() int { return r.vnodes }
+
+// Replicas returns the configured replication factor R.
+func (r *Ring) Replicas() int { return r.replicas }
+
+// With returns a ring with node added (or r itself if already present).
+func (r *Ring) With(node string) *Ring {
+	for _, n := range r.nodes {
+		if n == node {
+			return r
+		}
+	}
+	return NewRing(r.vnodes, r.replicas, append(append([]string{}, r.nodes...), node))
+}
+
+// Without returns a ring with node removed (or r itself if absent).
+func (r *Ring) Without(node string) *Ring {
+	keep := make([]string, 0, len(r.nodes))
+	for _, n := range r.nodes {
+		if n != node {
+			keep = append(keep, n)
+		}
+	}
+	if len(keep) == len(r.nodes) {
+		return r
+	}
+	return NewRing(r.vnodes, r.replicas, keep)
+}
+
+// Owner returns the primary owner of key, or "" on an empty ring.
+func (r *Ring) Owner(key string) string {
+	owners := r.OwnersAppend(key, nil)
+	if len(owners) == 0 {
+		return ""
+	}
+	return owners[0]
+}
+
+// Owners returns the replica set of key: min(R, len(nodes)) distinct
+// nodes, primary owner first, in clockwise failover order.
+func (r *Ring) Owners(key string) []string {
+	return r.OwnersAppend(key, nil)
+}
+
+// OwnersAppend appends the replica set of key to dst and returns it,
+// letting hot callers reuse a scratch slice.
+func (r *Ring) OwnersAppend(key string, dst []string) []string {
+	if len(r.nodes) == 0 {
+		return dst
+	}
+	want := r.replicas
+	if want > len(r.nodes) {
+		want = len(r.nodes)
+	}
+	h := hash64(key)
+	// First point at or clockwise of h; wrap to 0 past the last point.
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	start := len(dst)
+	var seen uint64 // bitset over node indices; fleets are far under 64 nodes
+	for scanned := 0; scanned < len(r.points) && len(dst)-start < want; scanned++ {
+		p := r.points[(i+scanned)%len(r.points)]
+		if len(r.nodes) <= 64 {
+			if seen&(1<<uint(p.node)) != 0 {
+				continue
+			}
+			seen |= 1 << uint(p.node)
+		} else if containsStr(dst[start:], r.nodes[p.node]) {
+			continue
+		}
+		dst = append(dst, r.nodes[p.node])
+	}
+	return dst
+}
+
+// Owns reports whether node is in key's replica set.
+func (r *Ring) Owns(key, node string) bool {
+	return containsStr(r.OwnersAppend(key, nil), node)
+}
+
+func containsStr(ss []string, s string) bool {
+	for _, v := range ss {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}
+
+// String describes the ring for logs.
+func (r *Ring) String() string {
+	return fmt.Sprintf("ring(%d nodes, %d vnodes, R=%d)", len(r.nodes), r.vnodes, r.replicas)
+}
+
+// hash64 is FNV-1a 64 over s, inlined so ring lookups on the router's
+// hot path perform no allocation (hash/fnv's Writer interface boxes).
+func hash64(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	// A final avalanche (splitmix64 finisher) spreads short similar
+	// keys ("node#0".."node#127") uniformly around the circle; raw
+	// FNV-1a leaves low-entropy suffixes clustered.
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}

@@ -1,0 +1,165 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+)
+
+// ringKeys builds a deterministic key population large enough for the
+// balance statistics to be meaningful.
+func ringKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("model-%d", i)
+	}
+	return keys
+}
+
+func nodeNames(n int) []string {
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("node-%d", i)
+	}
+	return names
+}
+
+// TestRingBalance pins the documented balance bound: at >= 128 vnodes,
+// the max/min primary-owner key share across nodes stays within 2.0x
+// for fleet sizes 2..8 over a 20k-key population. (The expected
+// imbalance of consistent hashing at 128 vnodes is ~±15%; 2.0x is the
+// loose, stable bound we promise in the README.)
+func TestRingBalance(t *testing.T) {
+	keys := ringKeys(20000)
+	for _, n := range []int{2, 3, 5, 8} {
+		r := NewRing(128, 2, nodeNames(n))
+		counts := map[string]int{}
+		for _, k := range keys {
+			counts[r.Owner(k)]++
+		}
+		if len(counts) != n {
+			t.Fatalf("n=%d: only %d nodes own keys", n, len(counts))
+		}
+		min, max := len(keys), 0
+		for _, c := range counts {
+			if c < min {
+				min = c
+			}
+			if c > max {
+				max = c
+			}
+		}
+		ratio := float64(max) / float64(min)
+		t.Logf("n=%d: min=%d max=%d ratio=%.2f", n, min, max, ratio)
+		if ratio > 2.0 {
+			t.Errorf("n=%d nodes at 128 vnodes: max/min key share %.2f > 2.0 (min %d, max %d)", n, ratio, min, max)
+		}
+	}
+}
+
+// TestRingMinimalMovement pins the consistent-hashing contract: adding
+// a node to an N-node ring remaps only ~K/(N+1) primary owners (we
+// allow 2x slack), and removing it remaps exactly the keys it owned.
+func TestRingMinimalMovement(t *testing.T) {
+	keys := ringKeys(20000)
+	for _, n := range []int{3, 5} {
+		base := NewRing(128, 2, nodeNames(n))
+		before := make([]string, len(keys))
+		for i, k := range keys {
+			before[i] = base.Owner(k)
+		}
+
+		grown := base.With("joiner")
+		moved, toJoiner := 0, 0
+		for i, k := range keys {
+			after := grown.Owner(k)
+			if after != before[i] {
+				moved++
+				if after == "joiner" {
+					toJoiner++
+				}
+			}
+		}
+		expect := len(keys) / (n + 1)
+		if moved > 2*expect {
+			t.Errorf("n=%d join: %d keys moved, want <= %d (2x K/(N+1))", n, moved, 2*expect)
+		}
+		if moved != toJoiner {
+			t.Errorf("n=%d join: %d keys moved but only %d to the joiner — join must never shuffle keys between survivors", n, moved, toJoiner)
+		}
+
+		shrunk := grown.Without("joiner")
+		for i, k := range keys {
+			if shrunk.Owner(k) != before[i] {
+				t.Fatalf("n=%d leave: key %s owner changed vs the pre-join ring — leave must restore the original assignment", n, k)
+			}
+		}
+	}
+}
+
+// TestRingReplicaSets pins the replica-set contract: R distinct nodes,
+// primary first, clamped to the membership size, deterministic across
+// input orderings.
+func TestRingReplicaSets(t *testing.T) {
+	r := NewRing(128, 3, []string{"c", "a", "b", "a"})
+	if got := len(r.Nodes()); got != 3 {
+		t.Fatalf("duplicate nodes not collapsed: %d", got)
+	}
+	for _, k := range ringKeys(200) {
+		owners := r.Owners(k)
+		if len(owners) != 3 {
+			t.Fatalf("key %s: %d owners, want 3", k, len(owners))
+		}
+		seen := map[string]bool{}
+		for _, o := range owners {
+			if seen[o] {
+				t.Fatalf("key %s: duplicate owner %s in %v", k, o, owners)
+			}
+			seen[o] = true
+		}
+		if owners[0] != r.Owner(k) {
+			t.Fatalf("key %s: Owner %s != Owners[0] %s", k, r.Owner(k), owners[0])
+		}
+		if !r.Owns(k, owners[1]) || r.Owns(k, "nope") {
+			t.Fatalf("key %s: Owns disagrees with Owners", k)
+		}
+	}
+
+	// R larger than membership clamps.
+	small := NewRing(64, 5, []string{"x", "y"})
+	if got := small.Owners("anything"); len(got) != 2 {
+		t.Fatalf("R=5 over 2 nodes: %d owners, want 2", len(got))
+	}
+
+	// Determinism across input orderings.
+	a := NewRing(128, 2, []string{"a", "b", "c"})
+	b := NewRing(128, 2, []string{"c", "b", "a"})
+	for _, k := range ringKeys(500) {
+		ao, bo := a.Owners(k), b.Owners(k)
+		if len(ao) != len(bo) {
+			t.Fatalf("key %s: owner count differs across input order", k)
+		}
+		for i := range ao {
+			if ao[i] != bo[i] {
+				t.Fatalf("key %s: owners differ across input order: %v vs %v", k, ao, bo)
+			}
+		}
+	}
+
+	// Empty ring is safe.
+	empty := NewRing(0, 0, nil)
+	if empty.Owner("k") != "" || len(empty.Owners("k")) != 0 {
+		t.Fatal("empty ring must own nothing")
+	}
+}
+
+// TestRingOwnersAppendReuse: the scratch-reusing form appends to dst
+// without clobbering existing contents.
+func TestRingOwnersAppendReuse(t *testing.T) {
+	r := NewRing(64, 2, []string{"a", "b", "c"})
+	scratch := make([]string, 0, 4)
+	scratch = append(scratch, "sentinel")
+	scratch = r.OwnersAppend("model-1", scratch)
+	if scratch[0] != "sentinel" || len(scratch) != 3 {
+		t.Fatalf("OwnersAppend mangled dst: %v", scratch)
+	}
+}

@@ -1,0 +1,537 @@
+package sim
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+
+	"hypermine/internal/benchfix"
+	"hypermine/internal/core"
+	"hypermine/internal/registry"
+	"hypermine/internal/server"
+)
+
+// Config parameterizes one simulation run. Zero values take the
+// documented defaults; the acceptance schedule (>= 500 events, >= 3
+// kills, >= 2 lagging-gossip windows) is the default.
+type Config struct {
+	Seed     int64
+	Nodes    int // fleet size; default 3
+	Replicas int // replication factor R; default 2
+	Events   int // seeded schedule length; default 500
+	Kills    int // node kills injected; default 3
+	Lags     int // restarts whose gossip is delayed (lag windows); default 2
+	Models   int // distinct model names; default 2
+	Attrs    int // attributes per model; default 10
+	Rows     int // initial rows per model; default 150
+	// Logf, when set, receives progress lines (control events and
+	// periodic counters).
+	Logf func(format string, args ...any)
+}
+
+func (cfg *Config) defaults() {
+	if cfg.Nodes <= 0 {
+		cfg.Nodes = 3
+	}
+	if cfg.Replicas <= 0 {
+		cfg.Replicas = 2
+	}
+	if cfg.Events <= 0 {
+		cfg.Events = 500
+	}
+	if cfg.Kills <= 0 {
+		cfg.Kills = 3
+	}
+	if cfg.Lags <= 0 {
+		cfg.Lags = 2
+	}
+	if cfg.Lags > cfg.Kills {
+		cfg.Lags = cfg.Kills
+	}
+	if cfg.Models <= 0 {
+		cfg.Models = 2
+	}
+	if cfg.Attrs <= 0 {
+		cfg.Attrs = 10
+	}
+	if cfg.Rows <= 0 {
+		cfg.Rows = 150
+	}
+}
+
+// Result summarizes a run. A correct fleet yields Mismatches == 0,
+// OpFailures == 0, and LostAppends == 0.
+type Result struct {
+	Events   int `json:"events"`
+	Queries  int `json:"queries"`
+	Appends  int `json:"appends"`
+	Kills    int `json:"kills"`
+	Restarts int `json:"restarts"`
+	// LagReleases counts the delayed-gossip windows that were opened
+	// and then released (>= cfg.Lags when the schedule ran fully).
+	LagReleases int `json:"lag_releases"`
+	// Mismatches counts routed answers whose body differed from the
+	// single-node reference, plus generation-attribution mismatches.
+	Mismatches int `json:"mismatches"`
+	// OpFailures counts routed operations that failed outright even
+	// though failover should have answered them.
+	OpFailures int `json:"op_failures"`
+	// LostAppends counts acknowledged appends whose rows were missing
+	// from any replica at final convergence (must be 0: replication is
+	// synchronous and gossip repairs restarts).
+	LostAppends int `json:"lost_appends"`
+	// FinalChecks counts the per-model, per-replica convergence
+	// verifications performed after the schedule drained.
+	FinalChecks int `json:"final_checks"`
+}
+
+// control is the deterministic non-traffic schedule, keyed by event
+// index.
+type control struct {
+	kill    string
+	restart string
+	release string // gossip the named node (ends its lag window)
+}
+
+// sim carries one run's state.
+type sim struct {
+	cfg     Config
+	rng     *rand.Rand
+	cluster *Cluster
+	ref     http.Handler // single-node reference server
+	res     *Result
+
+	models    []string
+	lastGen   map[string]int64 // model -> last acknowledged fleet generation
+	expectRow map[string]int   // model -> reference row count (acked)
+}
+
+// Run executes one seeded simulation and reports its Result. An error
+// means the harness itself failed (listener, snapshot build); fleet
+// misbehavior is reported in the Result counters instead.
+func Run(cfg Config) (*Result, error) {
+	cfg.defaults()
+	cluster, err := NewCluster(cfg.Nodes, cfg.Replicas, 0)
+	if err != nil {
+		return nil, err
+	}
+	defer cluster.Close()
+
+	s := &sim{
+		cfg:       cfg,
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		cluster:   cluster,
+		ref:       server.New(registry.New(registry.Options{})).Handler(),
+		res:       &Result{},
+		lastGen:   map[string]int64{},
+		expectRow: map[string]int{},
+	}
+	for i := 0; i < cfg.Models; i++ {
+		s.models = append(s.models, fmt.Sprintf("m%02d", i))
+	}
+
+	ctx := context.Background()
+	// Before any write, converge: nodes boot unready (manual gossip)
+	// and refuse writes until their first round, exactly like a real
+	// fleet gated on /readyz.
+	if err := cluster.Converge(ctx); err != nil {
+		return nil, err
+	}
+	if err := s.seedModels(); err != nil {
+		return nil, err
+	}
+
+	schedule := s.buildSchedule()
+	for ev := 0; ev < cfg.Events; ev++ {
+		s.res.Events++
+		if c, ok := schedule[ev]; ok {
+			if err := s.applyControl(ctx, ev, c); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if s.rng.Float64() < 0.15 {
+			s.stepAppend(ev)
+		} else {
+			s.stepQuery(ev)
+		}
+		if s.cfg.Logf != nil && (ev+1)%100 == 0 {
+			s.cfg.Logf("event %d/%d: %d queries, %d appends, %d mismatches, %d failures",
+				ev+1, cfg.Events, s.res.Queries, s.res.Appends, s.res.Mismatches, s.res.OpFailures)
+		}
+	}
+
+	s.finalVerify(ctx)
+	return s.res, nil
+}
+
+// buildSchedule places kills, restarts, and lag releases on the event
+// axis: kill K_i, restart 20 events later, gossip release 15 more
+// events later for the first cfg.Lags kills (the lag window) and
+// immediately after restart for the rest. Spacing guarantees at most
+// one node is dead or lagging at any time, so synchronous replication
+// plus the surviving owner always preserve acknowledged writes.
+func (s *sim) buildSchedule() map[int]control {
+	schedule := map[int]control{}
+	spacing := s.cfg.Events / (s.cfg.Kills + 1)
+	names := s.cluster.NodeNames()
+	for i := 0; i < s.cfg.Kills; i++ {
+		victim := names[s.rng.Intn(len(names))]
+		killAt := spacing * (i + 1)
+		restartAt := killAt + 20
+		releaseAt := restartAt + 1
+		if i < s.cfg.Lags {
+			releaseAt = restartAt + 15
+		}
+		schedule[killAt] = control{kill: victim}
+		schedule[restartAt] = control{restart: victim}
+		schedule[releaseAt] = control{release: victim}
+	}
+	return schedule
+}
+
+func (s *sim) applyControl(ctx context.Context, ev int, c control) error {
+	switch {
+	case c.kill != "":
+		s.res.Kills++
+		s.logf("event %d: kill %s", ev, c.kill)
+		return s.cluster.Kill(c.kill)
+	case c.restart != "":
+		s.res.Restarts++
+		s.logf("event %d: restart %s (empty, lagging until gossip)", ev, c.restart)
+		return s.cluster.Restart(c.restart)
+	case c.release != "":
+		s.res.LagReleases++
+		s.logf("event %d: gossip release %s", ev, c.release)
+		return s.cluster.Gossip(ctx, c.release)
+	}
+	return nil
+}
+
+func (s *sim) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// attrName mirrors benchfix.ModelWorkload's attribute naming.
+func attrName(j int) string {
+	return "A" + string(rune('a'+j%26)) + string(rune('a'+j/26))
+}
+
+// seedModels PUTs every model through the router and into the
+// reference, recording the acknowledged generations.
+func (s *sim) seedModels() error {
+	for i, name := range s.models {
+		m := benchfix.ModelWorkload(s.cfg.Attrs, s.cfg.Rows+10*i)
+		var snap bytes.Buffer
+		if err := core.WriteSnapshot(&snap, m, core.SaveOptions{}); err != nil {
+			return err
+		}
+		status, hdr, body := s.routed(http.MethodPut, "/v1/models/"+name, "application/octet-stream", snap.Bytes())
+		if status != http.StatusOK {
+			return fmt.Errorf("sim: seed PUT %s: %d %s", name, status, body)
+		}
+		refStatus, _, refBody := s.reference(http.MethodPut, "/v1/models/"+name, "application/octet-stream", snap.Bytes())
+		if refStatus != http.StatusOK {
+			return fmt.Errorf("sim: reference PUT %s: %d %s", name, refStatus, refBody)
+		}
+		var put, refPut struct {
+			Generation int64 `json:"generation"`
+			Rows       int   `json:"rows"`
+			Edges      int   `json:"edges"`
+		}
+		if err := json.Unmarshal(body, &put); err != nil {
+			return err
+		}
+		if err := json.Unmarshal(refBody, &refPut); err != nil {
+			return err
+		}
+		if put.Rows != refPut.Rows || put.Edges != refPut.Edges {
+			return fmt.Errorf("sim: seed %s disagrees with reference: %+v vs %+v", name, put, refPut)
+		}
+		if hdr.Get("X-Model-Generation") == "" {
+			return fmt.Errorf("sim: seed PUT %s: no generation header", name)
+		}
+		s.lastGen[name] = put.Generation
+		s.expectRow[name] = put.Rows
+	}
+	return nil
+}
+
+// routed performs one HTTP request through the router.
+func (s *sim) routed(method, path, contentType string, body []byte) (int, http.Header, []byte) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, s.cluster.RouterURL()+path, rd)
+	if err != nil {
+		return 0, nil, []byte(err.Error())
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	resp, err := s.cluster.Client.Do(req)
+	if err != nil {
+		return 0, nil, []byte(err.Error())
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, resp.Header, b
+}
+
+// direct performs one HTTP request against a specific node.
+func (s *sim) direct(nodeURL, method, path, contentType string, body []byte) (int, http.Header, []byte) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, nodeURL+path, rd)
+	if err != nil {
+		return 0, nil, []byte(err.Error())
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	resp, err := s.cluster.Client.Do(req)
+	if err != nil {
+		return 0, nil, []byte(err.Error())
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, resp.Header, b
+}
+
+// reference performs the same request against the single-node
+// reference handler, in process.
+func (s *sim) reference(method, path, contentType string, body []byte) (int, http.Header, []byte) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req := httptest.NewRequest(method, path, rd)
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	rec := httptest.NewRecorder()
+	s.ref.ServeHTTP(rec, req)
+	return rec.Code, rec.Header(), rec.Body.Bytes()
+}
+
+// query is one generated read: a method, path, and optional JSON body,
+// identical for router and reference.
+type query struct {
+	method, path string
+	body         []byte
+}
+
+// genQuery draws one deterministic read from the rng.
+func (s *sim) genQuery(model string) query {
+	a := attrName(s.rng.Intn(s.cfg.Attrs))
+	b := attrName(s.rng.Intn(s.cfg.Attrs))
+	switch s.rng.Intn(6) {
+	case 0:
+		return query{"GET", fmt.Sprintf("/v1/models/%s/rules?head=%s&top=5", model, a), nil}
+	case 1:
+		return query{"GET", fmt.Sprintf("/v1/models/%s/similar?a=%s&b=%s", model, a, b), nil}
+	case 2:
+		return query{"GET", fmt.Sprintf("/v1/models/%s/similar?a=%s&top=5", model, a), nil}
+	case 3:
+		return query{"GET", "/v1/models/" + model + "/dominators", nil}
+	case 4:
+		vals := map[string]int{}
+		for i := 0; i < 3; i++ {
+			vals[attrName(s.rng.Intn(s.cfg.Attrs))] = 1 + s.rng.Intn(3)
+		}
+		body, _ := json.Marshal(map[string]any{"values": vals})
+		return query{"POST", "/v1/models/" + model + "/classify", body}
+	default:
+		body, _ := json.Marshal(map[string]any{
+			"rules": map[string]any{"head": a, "top": 3},
+		})
+		return query{"POST", "/v1/models/" + model + ":query", body}
+	}
+}
+
+// stepQuery routes one generated read and byte-compares it with the
+// reference; the routed answer must also attribute itself to the last
+// acknowledged generation (replication is synchronous, so no replica
+// may ever answer from an older one).
+func (s *sim) stepQuery(ev int) {
+	model := s.models[s.rng.Intn(len(s.models))]
+	q := s.genQuery(model)
+	s.res.Queries++
+	ct := ""
+	if q.body != nil {
+		ct = "application/json"
+	}
+	status, hdr, body := s.routed(q.method, q.path, ct, q.body)
+	refStatus, _, refBody := s.reference(q.method, q.path, ct, q.body)
+	if status != refStatus {
+		s.res.OpFailures++
+		s.logf("event %d: %s %s: routed status %d, reference %d (%s)", ev, q.method, q.path, status, refStatus, body)
+		return
+	}
+	if !bytes.Equal(body, refBody) {
+		s.res.Mismatches++
+		s.logf("event %d: %s %s: body mismatch\n routed: %s\n    ref: %s", ev, q.method, q.path, body, refBody)
+	}
+	if gen := hdr.Get("X-Model-Generation"); gen != fmt.Sprint(s.lastGen[model]) {
+		s.res.Mismatches++
+		s.logf("event %d: %s %s: generation %q, want %d", ev, q.method, q.path, gen, s.lastGen[model])
+	}
+}
+
+// stepAppend routes one generated append; on acknowledgement the same
+// rows go into the reference and the acked generation and row count
+// are recorded (the final verification proves no acked row was lost).
+func (s *sim) stepAppend(ev int) {
+	model := s.models[s.rng.Intn(len(s.models))]
+	nRows := 1 + s.rng.Intn(3)
+	rows := make([][]int, nRows)
+	for i := range rows {
+		rows[i] = make([]int, s.cfg.Attrs)
+		base := 1 + s.rng.Intn(3)
+		for j := range rows[i] {
+			if s.rng.Intn(3) == 0 {
+				rows[i][j] = 1 + s.rng.Intn(3)
+			} else {
+				rows[i][j] = base
+			}
+		}
+	}
+	body, _ := json.Marshal(map[string]any{"rows": rows})
+	s.res.Appends++
+	path := "/v1/models/" + model + ":append"
+	status, _, respBody := s.routed(http.MethodPost, path, "application/json", body)
+	if status != http.StatusOK {
+		// Not acknowledged: nothing promised, nothing applied to the
+		// reference. Failover should make this impossible in-schedule.
+		s.res.OpFailures++
+		s.logf("event %d: append %s: status %d (%s)", ev, model, status, respBody)
+		return
+	}
+	refStatus, _, refBody := s.reference(http.MethodPost, path, "application/json", body)
+	if refStatus != http.StatusOK {
+		s.res.OpFailures++
+		s.logf("event %d: reference append %s: status %d", ev, model, refStatus)
+		return
+	}
+	var got, ref struct {
+		Generation int64 `json:"generation"`
+		Appended   int   `json:"appended"`
+		Rows       int   `json:"rows"`
+	}
+	if json.Unmarshal(respBody, &got) != nil || json.Unmarshal(refBody, &ref) != nil {
+		s.res.Mismatches++
+		return
+	}
+	if got.Appended != ref.Appended || got.Rows != ref.Rows {
+		// The fleet acknowledged different data than the reference —
+		// rows went missing (or doubled) somewhere between failovers.
+		s.res.LostAppends++
+		s.logf("event %d: append %s diverged: fleet %+v, reference %+v", ev, model, got, ref)
+	}
+	s.lastGen[model] = got.Generation
+	s.expectRow[model] = ref.Rows
+}
+
+// finalVerify restarts anything dead, forces gossip convergence, and
+// checks every replica of every model directly: readiness, the
+// acknowledged generation, the acknowledged row count, and byte
+// identity of a full rules mining answer against the reference. Any
+// acked append missing anywhere surfaces here as LostAppends.
+func (s *sim) finalVerify(ctx context.Context) {
+	for _, name := range s.cluster.NodeNames() {
+		if !s.cluster.Alive(name) {
+			s.res.Restarts++
+			if err := s.cluster.Restart(name); err != nil {
+				s.res.OpFailures++
+				s.logf("final: restart %s: %v", name, err)
+			}
+		}
+	}
+	if err := s.cluster.Converge(ctx); err != nil {
+		s.res.OpFailures++
+		s.logf("final: converge: %v", err)
+	}
+
+	for _, name := range s.cluster.NodeNames() {
+		status, _, body := s.direct(s.cluster.NodeURL(name), http.MethodGet, "/readyz", "", nil)
+		if status != http.StatusOK {
+			s.res.OpFailures++
+			s.logf("final: %s /readyz = %d (%s)", name, status, body)
+		}
+	}
+
+	models := append([]string(nil), s.models...)
+	sort.Strings(models)
+	for _, model := range models {
+		rulesPath := fmt.Sprintf("/v1/models/%s/rules?head=%s&top=10", model, attrName(0))
+		_, _, refRules := s.reference(http.MethodGet, rulesPath, "", nil)
+		for _, owner := range s.cluster.Ring().Owners(model) {
+			s.res.FinalChecks++
+			u := s.cluster.NodeURL(owner)
+
+			status, hdr, body := s.direct(u, http.MethodGet, rulesPath, "", nil)
+			if status != http.StatusOK {
+				s.res.LostAppends++
+				s.logf("final: %s on %s: rules status %d (%s)", model, owner, status, body)
+				continue
+			}
+			if !bytes.Equal(body, refRules) {
+				s.res.Mismatches++
+				s.logf("final: %s on %s: rules body diverges from reference", model, owner)
+			}
+			if gen := hdr.Get("X-Model-Generation"); gen != fmt.Sprint(s.lastGen[model]) {
+				s.res.Mismatches++
+				s.logf("final: %s on %s: generation %q, want %d", model, owner, gen, s.lastGen[model])
+			}
+
+			status, _, body = s.direct(u, http.MethodGet, "/v1/models", "", nil)
+			if status != http.StatusOK {
+				s.res.OpFailures++
+				continue
+			}
+			var list struct {
+				Models []struct {
+					Name       string `json:"name"`
+					Rows       int    `json:"rows"`
+					Generation int64  `json:"generation"`
+				} `json:"models"`
+			}
+			if err := json.Unmarshal(body, &list); err != nil {
+				s.res.OpFailures++
+				continue
+			}
+			found := false
+			for _, row := range list.Models {
+				if row.Name != model {
+					continue
+				}
+				found = true
+				if row.Rows != s.expectRow[model] {
+					s.res.LostAppends++
+					s.logf("final: %s on %s: %d rows, want %d (acked rows lost)", model, owner, row.Rows, s.expectRow[model])
+				}
+				if row.Generation != s.lastGen[model] {
+					s.res.Mismatches++
+					s.logf("final: %s on %s: generation %d, want %d", model, owner, row.Generation, s.lastGen[model])
+				}
+			}
+			if !found {
+				s.res.LostAppends++
+				s.logf("final: %s missing entirely on replica %s", model, owner)
+			}
+		}
+	}
+	s.logf("final: %d checks, %d mismatches, %d op failures, %d lost appends",
+		s.res.FinalChecks, s.res.Mismatches, s.res.OpFailures, s.res.LostAppends)
+}

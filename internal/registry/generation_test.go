@@ -1,0 +1,71 @@
+package registry
+
+import (
+	"context"
+	"testing"
+)
+
+// TestLoadGenerationContext pins the replication-publish contract:
+// explicit generations publish verbatim, stale deliveries are skipped
+// idempotently, and the local counter is raised past everything seen.
+func TestLoadGenerationContext(t *testing.T) {
+	ctx := context.Background()
+	r := New(Options{})
+	m := testModel(t, 1, 8, 200)
+
+	// Publish under an explicit generation on a fresh name.
+	info, err := r.LoadGenerationContext(ctx, "m", m, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Stale || info.Generation != 7 || info.Swapped {
+		t.Fatalf("fresh explicit publish: %+v", info)
+	}
+	s := r.Acquire("m")
+	if s == nil || s.Generation() != 7 {
+		t.Fatalf("served generation = %v, want 7", s)
+	}
+	s.Release()
+
+	// A stale (equal) redelivery is skipped without publishing.
+	info, err = r.LoadGenerationContext(ctx, "m", testModel(t, 2, 8, 200), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Stale || info.Generation != 7 {
+		t.Fatalf("equal-generation redelivery: %+v", info)
+	}
+	// ...and so is an older one.
+	info, err = r.LoadGenerationContext(ctx, "m", testModel(t, 3, 8, 200), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Stale || info.Generation != 7 {
+		t.Fatalf("older-generation redelivery: %+v", info)
+	}
+
+	// A newer generation swaps the old one out.
+	m2 := testModel(t, 4, 8, 220)
+	info, err = r.LoadGenerationContext(ctx, "m", m2, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Stale || info.Generation != 9 || !info.Swapped {
+		t.Fatalf("newer-generation publish: %+v", info)
+	}
+
+	// The registry-wide counter was raised past 9: the next local load
+	// must number strictly above every replicated generation.
+	li, err := r.Load("other", testModel(t, 5, 8, 200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if li.Generation <= 9 {
+		t.Fatalf("local load after replication at gen 9 got gen %d, want > 9", li.Generation)
+	}
+
+	// Explicit generations must be positive.
+	if _, err := r.LoadGenerationContext(ctx, "m", m, 0); err == nil {
+		t.Fatal("gen 0 accepted")
+	}
+}

@@ -201,7 +201,10 @@ func New(opt Options) *Registry {
 // the configured warmup policy. Cancelling ctx aborts the warmup
 // promptly with nothing published; with a lazy policy the only ctx
 // sensitivity is the explicit check (wrapping a model is cheap).
-func (r *Registry) buildServed(ctx context.Context, name string, m *core.Model) (*Served, error) {
+// gen <= 0 assigns the next registry-wide generation; a positive gen
+// is used verbatim (replication publishes under the originating node's
+// generation so X-Model-Generation stays coherent fleet-wide).
+func (r *Registry) buildServed(ctx context.Context, name string, m *core.Model, gen int64) (*Served, error) {
 	if m == nil || m.H == nil || m.Table == nil {
 		return nil, errors.New("registry: nil model")
 	}
@@ -215,12 +218,27 @@ func (r *Registry) buildServed(ctx context.Context, name string, m *core.Model) 
 	if err := eng.Warmup(ctx, r.opt.Warmup); err != nil {
 		return nil, err
 	}
+	if gen <= 0 {
+		gen = r.gen.Add(1)
+	}
 	return &Served{
 		name:     name,
-		gen:      r.gen.Add(1),
+		gen:      gen,
 		eng:      eng,
 		loadedAt: time.Now(),
 	}, nil
+}
+
+// raiseGen lifts the registry-wide generation counter to at least gen,
+// so locally assigned generations after an explicit-generation publish
+// keep increasing past it.
+func (r *Registry) raiseGen(gen int64) {
+	for {
+		cur := r.gen.Load()
+		if cur >= gen || r.gen.CompareAndSwap(cur, gen) {
+			return
+		}
+	}
 }
 
 // LoadInfo reports the outcome of a Load.
@@ -231,6 +249,10 @@ type LoadInfo struct {
 	// Swapped reports whether an older model was hot-swapped out (and
 	// fully drained before Load returned).
 	Swapped bool
+	// Stale reports that a LoadGenerationContext was skipped because
+	// the registry already serves this name at the incoming generation
+	// or newer; Generation then holds the current (newer) generation.
+	Stale bool
 	// Evicted lists models removed by the LRU bound, in eviction order.
 	Evicted []string
 }
@@ -254,7 +276,7 @@ func (r *Registry) LoadContext(ctx context.Context, name string, m *core.Model) 
 		return nil, errors.New("registry: empty model name")
 	}
 	buildStart := time.Now()
-	s, err := r.buildServed(ctx, name, m)
+	s, err := r.buildServed(ctx, name, m, 0)
 	if err != nil {
 		if !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
 			r.opt.Logger.LogAttrs(ctx, slog.LevelError, "model load failed",
@@ -297,6 +319,95 @@ func (r *Registry) LoadContext(ctx context.Context, name string, m *core.Model) 
 	r.opt.Logger.LogAttrs(ctx, slog.LevelInfo, "model loaded",
 		slog.String("model", name),
 		slog.Int64("generation", s.gen),
+		slog.Int("edges", m.H.NumEdges()),
+		slog.Bool("swapped", info.Swapped),
+		slog.Duration("build", time.Since(buildStart)))
+	if r.opt.LoadHook != nil {
+		r.opt.LoadHook(name, nil)
+	}
+	return info, nil
+}
+
+// LoadGenerationContext publishes a model under an explicit generation
+// number instead of assigning the next local one. It is the receiving
+// half of fleet snapshot replication: a replica publishes exactly the
+// generation the originating node assigned, so X-Model-Generation is
+// coherent across the fleet and gossip can compare generations
+// directly.
+//
+// If the registry already serves name at gen or newer, nothing is
+// published and the returned LoadInfo has Stale set with the current
+// generation — replication and gossip pulls are idempotent and late
+// deliveries cannot roll a model back. On publish, the registry-wide
+// generation counter is raised to at least gen, so later local Loads
+// and appends on this node number strictly past everything it has seen
+// from the fleet.
+func (r *Registry) LoadGenerationContext(ctx context.Context, name string, m *core.Model, gen int64) (*LoadInfo, error) {
+	if name == "" {
+		return nil, errors.New("registry: empty model name")
+	}
+	if gen <= 0 {
+		return nil, errors.New("registry: explicit generation must be positive")
+	}
+	// Cheap pre-check before paying for the engine build: a stale
+	// delivery is common under gossip races and should cost nothing.
+	if cur := r.Peek(name); cur != nil {
+		curGen := cur.Generation()
+		cur.Release()
+		if curGen >= gen {
+			return &LoadInfo{Name: name, Generation: curGen, Stale: true}, nil
+		}
+	}
+	buildStart := time.Now()
+	s, err := r.buildServed(ctx, name, m, gen)
+	if err != nil {
+		if !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+			r.opt.Logger.LogAttrs(ctx, slog.LevelError, "model load failed",
+				slog.String("model", name), slog.String("error", err.Error()))
+			if r.opt.LoadHook != nil {
+				r.opt.LoadHook(name, err)
+			}
+		}
+		return nil, err
+	}
+
+	r.mu.Lock()
+	e := r.entries[name]
+	if e == nil {
+		e = &entry{}
+		r.entries[name] = e
+	}
+	// Re-check under the lock: another replication or a local append
+	// may have published an equal-or-newer generation while the engine
+	// was being built.
+	if cur := e.cur.Load(); cur != nil && cur.gen >= gen {
+		curGen := cur.gen
+		r.mu.Unlock()
+		return &LoadInfo{Name: name, Generation: curGen, Stale: true}, nil
+	}
+	r.raiseGen(gen)
+	old := e.cur.Swap(s)
+	e.lastUsed.Store(r.clock.Add(1))
+	evictedNames, drains := r.evictOverBoundLocked(name)
+	r.mu.Unlock()
+
+	info := &LoadInfo{Name: name, Generation: gen, Evicted: evictedNames}
+	if old != nil {
+		info.Swapped = true
+		r.swaps.Add(1)
+		drain(old)
+	}
+	//hyperlint:ignore ctxpoll
+	for _, d := range drains {
+		drain(d)
+	}
+	for _, victim := range evictedNames {
+		r.opt.Logger.LogAttrs(ctx, slog.LevelInfo, "model evicted",
+			slog.String("model", victim), slog.String("by", name))
+	}
+	r.opt.Logger.LogAttrs(ctx, slog.LevelInfo, "model replicated",
+		slog.String("model", name),
+		slog.Int64("generation", gen),
 		slog.Int("edges", m.H.NumEdges()),
 		slog.Bool("swapped", info.Swapped),
 		slog.Duration("build", time.Since(buildStart)))

@@ -96,6 +96,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		st := s.admission.Stats()
 		writeAdmissionMetrics(p, &st)
 	}
+	if extras := s.extraMetrics.Load(); extras != nil {
+		_ = bw.Flush()
+		for _, fn := range *extras {
+			fn(w)
+		}
+	}
 	_ = bw.Flush()
 }
 

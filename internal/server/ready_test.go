@@ -1,0 +1,94 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"hypermine/internal/registry"
+)
+
+// TestReadinessSplit pins the liveness/readiness contract: /healthz is
+// unconditionally 200 while the process is up; /readyz defaults to
+// ready and follows an installed probe, flipping 503 <-> 200 with the
+// probe's error as the reason.
+func TestReadinessSplit(t *testing.T) {
+	srv := New(registry.New(registry.Options{}))
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(b)
+	}
+
+	if code, _ := get("/healthz"); code != 200 {
+		t.Fatalf("/healthz = %d", code)
+	}
+	if code, _ := get("/readyz"); code != 200 {
+		t.Fatalf("default /readyz = %d, want 200 (no probe installed)", code)
+	}
+
+	ready := false
+	srv.SetReadiness(func() error {
+		if !ready {
+			return errors.New("gossip not converged")
+		}
+		return nil
+	})
+	if code, body := get("/readyz"); code != 503 || !strings.Contains(body, "gossip not converged") {
+		t.Fatalf("/readyz not-ready = %d %q, want 503 with reason", code, body)
+	}
+	if code, _ := get("/healthz"); code != 200 {
+		t.Fatal("/healthz must stay 200 while not ready — liveness is not readiness")
+	}
+	ready = true
+	if code, _ := get("/readyz"); code != 200 {
+		t.Fatal("/readyz must flip to 200 once the probe passes")
+	}
+}
+
+// TestStatsMetricsExtensions pins the embedder extension points the
+// fleet node uses: RegisterStatsSection keys appear in /stats,
+// RegisterMetricsExtra output is appended to /metrics.
+func TestStatsMetricsExtensions(t *testing.T) {
+	srv := New(registry.New(registry.Options{}))
+	srv.RegisterStatsSection("fleet", func() any {
+		return map[string]string{"node": "n1"}
+	})
+	srv.RegisterMetricsExtra(func(w io.Writer) {
+		fmt.Fprintf(w, "# HELP test_extra_gauge x\n# TYPE test_extra_gauge gauge\ntest_extra_gauge 42\n")
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(b), `"fleet"`) || !strings.Contains(string(b), `"node":"n1"`) {
+		t.Fatalf("/stats missing registered section: %s", b)
+	}
+
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(b), "test_extra_gauge 42") {
+		t.Fatalf("/metrics missing extra exposition: %s", b)
+	}
+}

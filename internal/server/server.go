@@ -9,7 +9,8 @@
 //
 // Endpoints:
 //
-//	GET    /healthz                          liveness
+//	GET    /healthz                          liveness (process is up)
+//	GET    /readyz                           readiness (node can serve correctly now)
 //	GET    /stats                            process + registry + engine counters
 //	GET    /v1/models                        list resident models
 //	GET    /v1/models/{name}                 model detail (schema, dominator, targets)
@@ -34,6 +35,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log/slog"
 	"net/http"
 	"net/http/pprof"
@@ -41,6 +43,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"hypermine/internal/admit"
@@ -101,6 +104,21 @@ type Server struct {
 	appendHist *telemetry.Histogram
 
 	obsPool sync.Pool // *reqObs
+
+	// readyFn backs GET /readyz (nil = always ready); extraStats and
+	// extraMetrics are embedder extension points merged into /stats and
+	// /metrics. All three are installed by embedders (the fleet node)
+	// between New and serving traffic, via atomics so a scrape racing
+	// installation stays defined.
+	readyFn      atomic.Pointer[func() error]
+	extraStats   atomic.Pointer[[]statsSection]
+	extraMetrics atomic.Pointer[[]func(w io.Writer)]
+}
+
+// statsSection is one embedder-registered /stats key.
+type statsSection struct {
+	key string
+	fn  func() any
 }
 
 // numClasses mirrors the admission cost-class count (cheap, expensive).
@@ -204,6 +222,7 @@ func New(reg *registry.Registry, opts ...Option) *Server {
 	}
 	s.initTelemetry()
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	if s.tracer != nil {
 		s.mux.HandleFunc("GET /debug/traces", s.handleTraces)
 	}
@@ -642,6 +661,72 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
+// SetReadiness installs the readiness probe behind GET /readyz: fn
+// returning nil means ready, an error becomes the "reason" field of a
+// 503. The fleet node installs one that waits for its first gossip
+// convergence; a plain server is ready as soon as it serves (boot
+// loads finish before the listener opens). Install before serving
+// traffic; a probe racing installation sees the previous state.
+func (s *Server) SetReadiness(fn func() error) {
+	if fn == nil {
+		s.readyFn.Store(nil)
+		return
+	}
+	s.readyFn.Store(&fn)
+}
+
+// handleReadyz is the readiness half of the health split: /healthz
+// answers "the process is alive" unconditionally, /readyz answers
+// "this node can correctly serve traffic right now". Routers and CI
+// gate on /readyz instead of sleep loops.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if fn := s.readyFn.Load(); fn != nil {
+		if err := (*fn)(); err != nil {
+			s.writeJSON(w, http.StatusServiceUnavailable, map[string]string{
+				"status": "not ready", "reason": err.Error(),
+			})
+			return
+		}
+	}
+	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+}
+
+// RegisterStatsSection adds an embedder-computed key to the /stats
+// document (e.g. the fleet node's "fleet" section). fn runs per scrape
+// and must be cheap and lock-light. Registration is not idempotent;
+// call once per key before serving traffic.
+func (s *Server) RegisterStatsSection(key string, fn func() any) {
+	for {
+		old := s.extraStats.Load()
+		var next []statsSection
+		if old != nil {
+			next = append(next, *old...)
+		}
+		next = append(next, statsSection{key: key, fn: fn})
+		if s.extraStats.CompareAndSwap(old, &next) {
+			return
+		}
+	}
+}
+
+// RegisterMetricsExtra appends a writer hook to the /metrics
+// exposition; fn must emit well-formed Prometheus text (the fleet
+// node uses it for labeled peer-state gauges that the flat counter
+// registry cannot express).
+func (s *Server) RegisterMetricsExtra(fn func(w io.Writer)) {
+	for {
+		old := s.extraMetrics.Load()
+		var next []func(w io.Writer)
+		if old != nil {
+			next = append(next, *old...)
+		}
+		next = append(next, fn)
+		if s.extraMetrics.CompareAndSwap(old, &next) {
+			return
+		}
+	}
+}
+
 // statsResponse documents (and lets tests decode) the /stats shape.
 // The counter fields are not rendered from this struct: handleStats
 // iterates the shared telemetry registry, so /stats carries exactly
@@ -679,6 +764,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.admission != nil {
 		out["admission"] = s.admission.Stats()
+	}
+	if secs := s.extraStats.Load(); secs != nil {
+		for _, sec := range *secs {
+			out[sec.key] = sec.fn()
+		}
 	}
 	s.writeJSON(w, http.StatusOK, out)
 }
