@@ -133,6 +133,7 @@ func main() {
 	replicas := flag.Int("replicas", 0, "fleet replication factor R (0 = default 2; must agree fleet-wide)")
 	vnodes := flag.Int("vnodes", 0, "consistent-hash virtual nodes per member (0 = default 128; must agree fleet-wide)")
 	gossipInterval := flag.Duration("gossip-interval", time.Second, "period of the background generation-gossip loop (serve mode with peers)")
+	maxForwardBody := flag.Int64("max-forward-body", 0, "router mode: max request body bytes buffered for failover replay (0 = default 64 MiB)")
 	flag.Parse()
 
 	logger, err := newLogger(*logFormat)
@@ -196,12 +197,13 @@ func main() {
 	switch {
 	case *mode == "router":
 		rt, err := fleet.NewRouter(fleet.RouterConfig{
-			Peers:     peers,
-			Replicas:  *replicas,
-			VNodes:    *vnodes,
-			Admission: ctl,
-			Tracer:    tracer,
-			Logger:    logger,
+			Peers:        peers,
+			Replicas:     *replicas,
+			VNodes:       *vnodes,
+			Admission:    ctl,
+			Tracer:       tracer,
+			Logger:       logger,
+			MaxBodyBytes: *maxForwardBody,
 		})
 		if err != nil {
 			fatal(err)

@@ -54,6 +54,7 @@ type NodeConfig struct {
 type peerState struct {
 	ok     atomic.Bool  // last contact succeeded
 	tried  atomic.Bool  // contacted at least once
+	synced atomic.Bool  // one full gossip exchange completed since this process started
 	lastNs atomic.Int64 // monotonic-ish wall clock of last successful contact
 }
 
@@ -82,11 +83,22 @@ type Node struct {
 	replPushes   *telemetry.Counter
 	replPushErrs *telemetry.Counter
 	replPulls    *telemetry.Counter
+	pullSkips    *telemetry.Counter
 	replHist     *telemetry.Histogram
 
-	converged atomic.Bool // first gossip round completed (or no peers)
+	converged atomic.Bool // every peer synced at least once (or no peers)
 
+	// mu guards the delete-tombstone and eviction-marker maps. Both are
+	// consulted by gossip so it neither resurrects a deleted model nor
+	// re-pulls one the local LRU just evicted (which would thrash the
+	// resident-cost bound forever).
+	mu         sync.Mutex
+	tombs      map[string]int64 // deleted model -> generation the delete observed
+	evictedGen map[string]int64 // LRU-evicted model -> generation at eviction
+
+	started  atomic.Bool
 	stopOnce sync.Once
+	doneOnce sync.Once
 	stop     chan struct{}
 	done     chan struct{}
 }
@@ -95,7 +107,8 @@ type Node struct {
 // It registers the fleet counters in the server's shared telemetry
 // registry (so the /stats–/metrics parity contract covers them), adds
 // the "fleet" /stats section and the labeled peer-state gauge, and
-// installs the readiness probe (ready after the first gossip round).
+// installs the readiness probe (ready after a successful gossip
+// exchange with every peer).
 // Call Start to run the background gossip loop, Handler for the
 // fleet-aware HTTP handler, and Stop on shutdown.
 func NewNode(cfg NodeConfig, reg *registry.Registry, srv *server.Server) (*Node, error) {
@@ -115,16 +128,18 @@ func NewNode(cfg NodeConfig, reg *registry.Registry, srv *server.Server) (*Node,
 	}
 	sort.Strings(members)
 	n := &Node{
-		cfg:    cfg,
-		reg:    reg,
-		srv:    srv,
-		inner:  srv.Handler(),
-		ring:   NewRing(cfg.VNodes, cfg.Replicas, members),
-		client: cfg.Client,
-		logger: cfg.Logger,
-		peers:  make(map[string]*peerState, len(cfg.Peers)),
-		stop:   make(chan struct{}),
-		done:   make(chan struct{}),
+		cfg:        cfg,
+		reg:        reg,
+		srv:        srv,
+		inner:      srv.Handler(),
+		ring:       NewRing(cfg.VNodes, cfg.Replicas, members),
+		client:     cfg.Client,
+		logger:     cfg.Logger,
+		peers:      make(map[string]*peerState, len(cfg.Peers)),
+		tombs:      make(map[string]int64),
+		evictedGen: make(map[string]int64),
+		stop:       make(chan struct{}),
+		done:       make(chan struct{}),
 	}
 	if n.client == nil {
 		n.client = &http.Client{Timeout: 30 * time.Second}
@@ -147,9 +162,12 @@ func NewNode(cfg NodeConfig, reg *registry.Registry, srv *server.Server) (*Node,
 		"Replication pushes that failed (gossip repairs the lag later).")
 	n.replPulls = tel.Counter("hypermined_replication_pulls_total", "replication_pulls",
 		"Snapshots pulled from peers because gossip showed this replica lagging.")
+	n.pullSkips = tel.Counter("hypermined_gossip_pull_skips_total", "gossip_pull_skips",
+		"Gossip pulls skipped because the model was deleted (tombstone) or locally LRU-evicted.")
 	n.replHist = tel.Histogram("hypermined_replication_seconds",
 		"Wall time to replicate one accepted write to all peer replicas (serialize + push).", "")
 
+	reg.OnEvict(n.noteEvicted)
 	srv.SetReadiness(n.Ready)
 	srv.RegisterStatsSection("fleet", n.statsSection)
 	srv.RegisterMetricsExtra(n.writeMetrics)
@@ -159,6 +177,7 @@ func NewNode(cfg NodeConfig, reg *registry.Registry, srv *server.Server) (*Node,
 	n.mux.HandleFunc("POST /fleet/gossip", n.handleGossip)
 	n.mux.HandleFunc("GET /fleet/snapshot/{name}", n.handleSnapshot)
 	n.mux.HandleFunc("PUT /fleet/replicate/{name}", n.handleReplicate)
+	n.mux.HandleFunc("DELETE /fleet/replicate/{name}", n.handleReplicateDelete)
 	n.mux.HandleFunc("/", n.handleAPI)
 
 	if len(n.peers) == 0 {
@@ -173,15 +192,39 @@ func (n *Node) Name() string { return n.cfg.Name }
 // Ring returns the (static-membership) consistent-hash ring.
 func (n *Node) Ring() *Ring { return n.ring }
 
-// Ready implements the readiness probe: a node is ready once its first
-// gossip round has completed (a freshly restarted replica must not
-// serve reads before it has had one chance to discover how far it
-// lags). A node with no peers is trivially ready.
+// Ready implements the readiness probe: a node is ready once it has
+// completed a successful gossip exchange with EVERY peer since this
+// process started. One arbitrary peer is not enough — under
+// pull-iff-owner a non-owner advertises nothing about this node's
+// shards, so a freshly restarted owner that only spoke to a non-owner
+// could accept a write at an already-used generation and fork history.
+// Syncing with all peers guarantees the registry's generation counter
+// has been raised past everything any replica of any owned shard has
+// seen. A node with no peers is trivially ready.
 func (n *Node) Ready() error {
 	if !n.converged.Load() {
-		return errors.New("fleet: gossip not yet converged")
+		return errors.New("fleet: gossip not yet converged with every peer")
 	}
 	return nil
+}
+
+// markSynced records a completed gossip exchange with peer and flips
+// the node converged once every peer has synced at least once.
+func (n *Node) markSynced(peer string) {
+	ps := n.peers[peer]
+	if ps == nil {
+		return
+	}
+	ps.synced.Store(true)
+	if n.converged.Load() {
+		return
+	}
+	for _, name := range n.peerNames {
+		if !n.peers[name].synced.Load() {
+			return
+		}
+	}
+	n.converged.Store(true)
 }
 
 // Handler returns the fleet-aware HTTP handler: /fleet/ endpoints plus
@@ -190,46 +233,73 @@ func (n *Node) Handler() http.Handler { return n.mux }
 
 // Start runs the background gossip loop when GossipInterval > 0; it
 // returns immediately. With a non-positive interval (the deterministic
-// sim), Start only marks the no-peer case converged and the caller
-// drives Gossip explicitly.
+// sim), the caller drives Gossip explicitly. Start is idempotent.
 func (n *Node) Start() {
+	if !n.started.CompareAndSwap(false, true) {
+		return
+	}
 	if n.cfg.GossipInterval <= 0 {
-		close(n.done)
+		n.closeDone()
 		return
 	}
 	go n.gossipLoop()
 }
 
-// Stop terminates the gossip loop and waits for it to exit.
+// Stop terminates the gossip loop and waits for it to exit. It is safe
+// to call any number of times, and on a node whose Start was never
+// invoked (a caller bailing out of its own setup must not deadlock).
 func (n *Node) Stop() {
 	n.stopOnce.Do(func() { close(n.stop) })
+	if !n.started.Load() {
+		// No loop was ever spawned, so nothing else will release done.
+		n.closeDone()
+	}
 	<-n.done
 }
 
+func (n *Node) closeDone() {
+	n.doneOnce.Do(func() { close(n.done) })
+}
+
 func (n *Node) gossipLoop() {
-	defer close(n.done)
+	defer n.closeDone()
+	select {
+	case <-n.stop: // Stop raced Start; never gossip
+		return
+	default:
+	}
 	t := time.NewTicker(n.cfg.GossipInterval)
 	defer t.Stop()
-	// One immediate round so readiness does not wait a full interval.
-	n.Gossip(context.Background())
+	// Readiness gates on a successful exchange with every peer, so run
+	// full rounds until converged (starting immediately, not an interval
+	// later), then fall back to cheaper single-peer rounds.
+	n.GossipAll(context.Background())
 	for {
 		select {
 		case <-n.stop:
 			return
 		case <-t.C:
-			n.Gossip(context.Background())
+			if n.converged.Load() {
+				n.Gossip(context.Background())
+			} else {
+				n.GossipAll(context.Background())
+			}
 		}
 	}
 }
 
-// digest is the gossip exchange unit: who is speaking and the
-// generation of every model it serves.
+// digest is the gossip exchange unit: who is speaking, the generation
+// of every model it serves, and the tombstones of models it has seen
+// deleted (so a delete propagates through gossip instead of being
+// resurrected by a replica that missed the replicated delete).
 type digest struct {
-	Node   string           `json:"node"`
-	Models map[string]int64 `json:"models"`
+	Node    string           `json:"node"`
+	Models  map[string]int64 `json:"models"`
+	Deleted map[string]int64 `json:"deleted,omitempty"`
 }
 
-// localDigest snapshots this node's {model: generation} vector.
+// localDigest snapshots this node's {model: generation} vector plus
+// its delete tombstones.
 func (n *Node) localDigest() digest {
 	d := digest{Node: n.cfg.Name, Models: map[string]int64{}}
 	for _, name := range n.reg.Names() {
@@ -238,6 +308,14 @@ func (n *Node) localDigest() digest {
 			sv.Release()
 		}
 	}
+	n.mu.Lock()
+	if len(n.tombs) > 0 {
+		d.Deleted = make(map[string]int64, len(n.tombs))
+		for name, gen := range n.tombs {
+			d.Deleted[name] = gen
+		}
+	}
+	n.mu.Unlock()
 	return d
 }
 
@@ -245,7 +323,8 @@ func (n *Node) localDigest() digest {
 // send the local digest, receive the peer's, and synchronously pull
 // any owned model the peer serves at a newer generation. It returns
 // the name of the peer contacted ("" with no peers) and the exchange
-// error, and marks the node converged on the first completed round.
+// error. The node flips converged (ready for writes) only once every
+// peer has completed such an exchange.
 func (n *Node) Gossip(ctx context.Context) (string, error) {
 	if len(n.peerNames) == 0 {
 		n.converged.Store(true)
@@ -256,13 +335,14 @@ func (n *Node) Gossip(ctx context.Context) (string, error) {
 	n.gossipRounds.Inc()
 	n.notePeer(peer, err == nil)
 	if err == nil {
-		n.converged.Store(true)
+		n.markSynced(peer)
 	}
 	return peer, err
 }
 
 // GossipAll runs one round against every peer (the sim uses it to
-// force convergence at a barrier); it reports the first error.
+// force convergence at a barrier; the background loop uses it until
+// the node converges); it reports the first error.
 func (n *Node) GossipAll(ctx context.Context) error {
 	var first error
 	for _, peer := range n.peerNames {
@@ -270,7 +350,7 @@ func (n *Node) GossipAll(ctx context.Context) error {
 		n.gossipRounds.Inc()
 		n.notePeer(peer, err == nil)
 		if err == nil {
-			n.converged.Store(true)
+			n.markSynced(peer)
 		} else if first == nil {
 			first = err
 		}
@@ -308,11 +388,29 @@ func (n *Node) gossipWith(ctx context.Context, peer string) error {
 	return n.pullLagging(ctx, peer, theirs)
 }
 
-// pullLagging compares a peer digest against local state and pulls
-// every model this node owns but serves at an older generation (or not
-// at all). Pulls are synchronous: when this returns nil the node is
-// caught up to everything the digest advertised.
+// pullLagging compares a peer digest against local state: it applies
+// the peer's delete tombstones first (a delete must win over the pull
+// that would resurrect it), then pulls every model this node owns but
+// serves at an older generation (or not at all). Pulls are
+// synchronous: when this returns nil the node is caught up to
+// everything the digest advertised.
 func (n *Node) pullLagging(ctx context.Context, peer string, theirs digest) error {
+	deleted := make([]string, 0, len(theirs.Deleted))
+	for name := range theirs.Deleted {
+		deleted = append(deleted, name)
+	}
+	sort.Strings(deleted)
+	for _, name := range deleted {
+		if !n.ring.Owns(name, n.cfg.Name) {
+			continue
+		}
+		if n.noteDeleted(name, theirs.Deleted[name]) {
+			n.logger.LogAttrs(ctx, slog.LevelInfo, "fleet delete learned via gossip",
+				slog.String("model", name), slog.String("peer", peer),
+				slog.Int64("generation", theirs.Deleted[name]))
+		}
+	}
+
 	names := make([]string, 0, len(theirs.Models))
 	for name := range theirs.Models {
 		names = append(names, name)
@@ -332,11 +430,84 @@ func (n *Node) pullLagging(ctx context.Context, peer string, theirs digest) erro
 		if local >= gen {
 			continue
 		}
+		if n.skipPull(name, gen) {
+			// Deleted at this generation or newer, or just LRU-evicted
+			// here: pulling would resurrect the model or thrash the
+			// resident-cost bound.
+			n.pullSkips.Inc()
+			continue
+		}
 		if err := n.pullSnapshot(ctx, peer, name); err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}
 	return firstErr
+}
+
+// noteDeleted records a delete of name observed at generation gen: the
+// tombstone is kept (and gossiped) until the name is republished past
+// gen, the eviction marker is dropped (a delete supersedes it), and
+// the registry's generation counter is raised so later local writes
+// number strictly past the deleted lineage. It reports whether a
+// resident model at or below gen was actually removed.
+func (n *Node) noteDeleted(name string, gen int64) bool {
+	if gen <= 0 {
+		return false
+	}
+	n.mu.Lock()
+	if n.tombs[name] < gen {
+		n.tombs[name] = gen
+	}
+	delete(n.evictedGen, name)
+	n.mu.Unlock()
+	return n.reg.RemoveGeneration(name, gen)
+}
+
+// tombGen returns the tombstone generation recorded for name (0 =
+// none).
+func (n *Node) tombGen(name string) int64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.tombs[name]
+}
+
+// notePublished clears the delete tombstone and eviction marker for
+// name once it is (re)published at a generation past them: the lineage
+// restarted, so gossip may advertise and pull it again.
+func (n *Node) notePublished(name string, gen int64) {
+	n.mu.Lock()
+	if t, ok := n.tombs[name]; ok && gen > t {
+		delete(n.tombs, name)
+	}
+	if e, ok := n.evictedGen[name]; ok && gen > e {
+		delete(n.evictedGen, name)
+	}
+	n.mu.Unlock()
+}
+
+// noteEvicted is the registry eviction hook: it marks name so gossip
+// does not immediately pull the model back (re-violating the
+// resident-cost bound the eviction just enforced). A write at a newer
+// generation clears the marker via notePublished.
+func (n *Node) noteEvicted(name string, gen int64) {
+	n.mu.Lock()
+	if n.evictedGen[name] < gen {
+		n.evictedGen[name] = gen
+	}
+	n.mu.Unlock()
+}
+
+// skipPull reports whether gossip must not pull name at gen: it is
+// tombstoned (deleted) or was LRU-evicted locally at that generation
+// or newer.
+func (n *Node) skipPull(name string, gen int64) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if gen <= n.tombs[name] {
+		return true
+	}
+	e, ok := n.evictedGen[name]
+	return ok && gen <= e
 }
 
 // pullSnapshot fetches a model snapshot from a peer and publishes it
@@ -368,6 +539,7 @@ func (n *Node) pullSnapshot(ctx context.Context, peer, name string) error {
 	if err != nil {
 		return err
 	}
+	n.notePublished(name, info.Generation)
 	n.replPulls.Inc()
 	n.logger.LogAttrs(ctx, slog.LevelInfo, "fleet pulled model",
 		slog.String("model", name), slog.String("peer", peer),
@@ -408,10 +580,14 @@ func (n *Node) handleGossip(w http.ResponseWriter, r *http.Request) {
 	if _, known := n.cfg.Peers[theirs.Node]; known {
 		// Sender is a configured peer: catch up from it synchronously.
 		// Errors are non-fatal — the reply digest still lets the sender
-		// catch up from us, and the next round retries the pull.
+		// catch up from us, and the next round retries the pull. Only a
+		// fully completed catch-up counts toward this node's own
+		// convergence (it is equivalent to having initiated the round).
 		if err := n.pullLagging(r.Context(), theirs.Node, theirs); err != nil {
 			n.logger.LogAttrs(r.Context(), slog.LevelWarn, "fleet gossip pull failed",
 				slog.String("peer", theirs.Node), slog.String("error", err.Error()))
+		} else {
+			n.markSynced(theirs.Node)
 		}
 		n.notePeer(theirs.Node, true)
 	}
@@ -449,6 +625,18 @@ func (n *Node) handleReplicate(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "missing or bad X-Model-Generation", http.StatusBadRequest)
 		return
 	}
+	if t := n.tombGen(name); gen <= t {
+		// A push at or below the tombstone replays deleted history; the
+		// stale ack (with the tombstone generation) tells the origin it
+		// is behind, never that the write landed.
+		io.Copy(io.Discard, r.Body)
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("X-Model-Generation", strconv.FormatInt(t, 10))
+		_ = json.NewEncoder(w).Encode(map[string]any{
+			"name": name, "generation": t, "stale": true,
+		})
+		return
+	}
 	m, err := core.ReadSnapshot(http.MaxBytesReader(w, r.Body, maxReplicateBytes))
 	if err != nil {
 		http.Error(w, "snapshot: "+err.Error(), http.StatusBadRequest)
@@ -459,6 +647,9 @@ func (n *Node) handleReplicate(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "load: "+err.Error(), http.StatusUnprocessableEntity)
 		return
 	}
+	if !info.Stale {
+		n.notePublished(name, info.Generation)
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("X-Model-Generation", strconv.FormatInt(info.Generation, 10))
 	_ = json.NewEncoder(w).Encode(map[string]any{
@@ -466,9 +657,29 @@ func (n *Node) handleReplicate(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleReplicateDelete is the receiving half of delete replication:
+// record the tombstone and remove the local replica unless a newer
+// write already superseded the delete (newest generation wins).
+func (n *Node) handleReplicateDelete(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	gen, err := strconv.ParseInt(r.Header.Get("X-Model-Generation"), 10, 64)
+	if err != nil || gen <= 0 {
+		http.Error(w, "missing or bad X-Model-Generation", http.StatusBadRequest)
+		return
+	}
+	removed := n.noteDeleted(name, gen)
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(map[string]any{
+		"name": name, "generation": gen, "removed": removed,
+	})
+}
+
 // writeTarget classifies an API request as a fleet-replicated write
-// and extracts the model name: PUT /v1/models/{name} and
-// POST /v1/models/{name}:append. Everything else returns "".
+// and extracts the model name: PUT /v1/models/{name},
+// POST /v1/models/{name}:append, and DELETE /v1/models/{name} (a
+// delete must reach every owner, or the surviving replica's gossip
+// digest resurrects the model within one round). Everything else
+// returns "".
 func writeTarget(r *http.Request) string {
 	const prefix = "/v1/models/"
 	if !strings.HasPrefix(r.URL.Path, prefix) {
@@ -479,7 +690,7 @@ func writeTarget(r *http.Request) string {
 		return ""
 	}
 	switch r.Method {
-	case http.MethodPut:
+	case http.MethodPut, http.MethodDelete:
 		if !strings.Contains(rest, ":") {
 			return rest
 		}
@@ -519,12 +730,16 @@ func (b *bufResponse) flush(w http.ResponseWriter) {
 
 // handleAPI serves the underlying single-process API, splicing
 // synchronous replication into accepted writes: the inner handler's
-// response is buffered, and only after the resulting snapshot has been
-// pushed to the model's other owners does the acknowledgement reach
-// the client. A peer push that fails (node down) is counted and
-// logged, not fatal — the write is durable on this node and gossip
-// repairs the lagging replica; the ack therefore means "applied here,
-// replication attempted everywhere".
+// response is buffered, and only after the resulting snapshot (or
+// delete) has been pushed to the model's other owners does the
+// acknowledgement reach the client. A peer push that fails because the
+// peer is down is counted and logged, not fatal — the write is durable
+// on this node and gossip repairs the lagging replica; the ack
+// therefore means "applied here, replication attempted everywhere".
+// The one push outcome that IS fatal: a peer stale-rejecting the write
+// because it already serves a newer generation means this node forked
+// history, so the client gets a 409 instead of an ack (the local fork
+// is then corrected by the next gossip pull).
 func (n *Node) handleAPI(w http.ResponseWriter, r *http.Request) {
 	name := writeTarget(r)
 	if name == "" {
@@ -532,10 +747,10 @@ func (n *Node) handleAPI(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := n.Ready(); err != nil {
-		// A restarted replica that has not gossiped yet may lag the
-		// fleet; accepting a write here could assign an already-used
-		// generation and fork the model. Refuse explicitly — the
-		// X-Fleet-Not-Ready marker tells the router the write was
+		// A restarted replica that has not gossiped with every peer yet
+		// may lag the fleet; accepting a write here could assign an
+		// already-used generation and fork the model. Refuse explicitly —
+		// the X-Fleet-Not-Ready marker tells the router the write was
 		// definitely not applied, so failing over to a converged owner
 		// is unambiguous and safe.
 		w.Header().Set("X-Fleet-Not-Ready", "1")
@@ -545,30 +760,57 @@ func (n *Node) handleAPI(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "{\"error\":%q}\n", "fleet: node not ready for writes: "+err.Error())
 		return
 	}
+	isDelete := r.Method == http.MethodDelete
+	var preGen int64
+	if isDelete {
+		// The generation the delete observed must be captured before the
+		// inner handler unloads the model; it becomes the tombstone.
+		if sv := n.reg.Peek(name); sv != nil {
+			preGen = sv.Generation()
+			sv.Release()
+		}
+	}
 	buf := newBufResponse()
 	n.inner.ServeHTTP(buf, r)
 	if buf.status >= 200 && buf.status < 300 {
-		n.replicate(r.Context(), name)
+		if isDelete {
+			n.replicateDelete(r.Context(), name, preGen)
+		} else if err := n.replicate(r.Context(), name); err != nil {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusConflict)
+			fmt.Fprintf(w, "{\"error\":%q}\n", "fleet: write not acknowledged, a replica serves a newer generation: "+err.Error())
+			return
+		}
 	}
 	buf.flush(w)
 }
 
-// replicate pushes the current snapshot of name to every other owner
-// in its replica set.
-func (n *Node) replicate(ctx context.Context, name string) {
-	owners := n.ring.Owners(name)
+// errReplicaAhead marks a replication push that a peer stale-rejected
+// because it already serves a strictly newer generation: the local
+// write forked history and must not be acknowledged.
+var errReplicaAhead = errors.New("fleet: replica ahead of local write")
+
+// otherOwners returns name's replica set minus this node.
+func (n *Node) otherOwners(name string) []string {
 	var targets []string
-	for _, o := range owners {
+	for _, o := range n.ring.Owners(name) {
 		if o != n.cfg.Name {
 			targets = append(targets, o)
 		}
 	}
-	if len(targets) == 0 {
-		return
-	}
+	return targets
+}
+
+// replicate pushes the current snapshot of name to every other owner
+// in its replica set. Unreachable peers are non-fatal (gossip repairs
+// them); a peer that stale-rejects the push at a newer generation is
+// fatal and reported as an errReplicaAhead error so the caller refuses
+// the client ack.
+func (n *Node) replicate(ctx context.Context, name string) error {
+	targets := n.otherOwners(name)
 	sv := n.reg.Peek(name)
 	if sv == nil {
-		return // removed in the races between ack and replication; nothing to push
+		return nil // removed in the races between ack and replication; nothing to push
 	}
 	gen := sv.Generation()
 	var snap bytes.Buffer
@@ -578,12 +820,25 @@ func (n *Node) replicate(ctx context.Context, name string) {
 		n.replPushErrs.Inc()
 		n.logger.LogAttrs(ctx, slog.LevelError, "fleet replication serialize failed",
 			slog.String("model", name), slog.String("error", err.Error()))
-		return
+		return nil
 	}
+	n.notePublished(name, gen)
+	if len(targets) == 0 {
+		return nil
+	}
+	var forkErr error
 	start := time.Now()
 	for _, peer := range targets {
 		if err := n.pushSnapshot(ctx, peer, name, gen, snap.Bytes()); err != nil {
 			n.replPushErrs.Inc()
+			if errors.Is(err, errReplicaAhead) {
+				forkErr = err
+				n.notePeer(peer, true) // the peer answered; the WRITE is what failed
+				n.logger.LogAttrs(ctx, slog.LevelError, "fleet replication stale-rejected",
+					slog.String("model", name), slog.String("peer", peer),
+					slog.Int64("generation", gen), slog.String("error", err.Error()))
+				continue
+			}
 			n.notePeer(peer, false)
 			n.logger.LogAttrs(ctx, slog.LevelWarn, "fleet replication push failed",
 				slog.String("model", name), slog.String("peer", peer),
@@ -594,9 +849,43 @@ func (n *Node) replicate(ctx context.Context, name string) {
 		n.notePeer(peer, true)
 	}
 	n.replHist.Observe(time.Since(start))
+	return forkErr
 }
 
-// pushSnapshot PUTs one snapshot to a peer's replicate endpoint.
+// replicateDelete records the local tombstone and pushes the delete to
+// every other owner, so neither a replication race nor a gossip round
+// can resurrect the model from a surviving replica. preGen is the
+// generation the model served at when the delete was accepted (0 = it
+// was not resident here; nothing to propagate).
+func (n *Node) replicateDelete(ctx context.Context, name string, preGen int64) {
+	if preGen <= 0 {
+		return
+	}
+	n.noteDeleted(name, preGen)
+	targets := n.otherOwners(name)
+	if len(targets) == 0 {
+		return
+	}
+	start := time.Now()
+	for _, peer := range targets {
+		if err := n.pushDelete(ctx, peer, name, preGen); err != nil {
+			n.replPushErrs.Inc()
+			n.notePeer(peer, false)
+			n.logger.LogAttrs(ctx, slog.LevelWarn, "fleet delete push failed",
+				slog.String("model", name), slog.String("peer", peer),
+				slog.Int64("generation", preGen), slog.String("error", err.Error()))
+			continue
+		}
+		n.replPushes.Inc()
+		n.notePeer(peer, true)
+	}
+	n.replHist.Observe(time.Since(start))
+}
+
+// pushSnapshot PUTs one snapshot to a peer's replicate endpoint and
+// verifies the ack: a stale rejection at a strictly newer generation
+// surfaces as errReplicaAhead (the local write forked), while a stale
+// ack at the same generation is an idempotent duplicate and succeeds.
 func (n *Node) pushSnapshot(ctx context.Context, peer, name string, gen int64, snap []byte) error {
 	base, ok := n.cfg.Peers[peer]
 	if !ok {
@@ -613,9 +902,43 @@ func (n *Node) pushSnapshot(ctx context.Context, peer, name string, gen int64, s
 		return err
 	}
 	defer resp.Body.Close()
-	io.Copy(io.Discard, resp.Body)
+	ackBody, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
 	if resp.StatusCode != http.StatusOK {
 		return fmt.Errorf("fleet: replicate %s@%d to %s: %s", name, gen, peer, resp.Status)
+	}
+	var ack struct {
+		Generation int64 `json:"generation"`
+		Stale      bool  `json:"stale"`
+	}
+	if err := json.Unmarshal(ackBody, &ack); err != nil {
+		return fmt.Errorf("fleet: replicate %s@%d to %s: bad ack: %w", name, gen, peer, err)
+	}
+	if ack.Stale && ack.Generation > gen {
+		return fmt.Errorf("%w: %s already serves %s at generation %d > %d",
+			errReplicaAhead, peer, name, ack.Generation, gen)
+	}
+	return nil
+}
+
+// pushDelete sends one replicated delete to a peer.
+func (n *Node) pushDelete(ctx context.Context, peer, name string, gen int64) error {
+	base, ok := n.cfg.Peers[peer]
+	if !ok {
+		return fmt.Errorf("fleet: unknown peer %q", peer)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, base+"/fleet/replicate/"+name, nil)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("X-Model-Generation", strconv.FormatInt(gen, 10))
+	resp, err := n.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("fleet: delete %s@%d on %s: %s", name, gen, peer, resp.Status)
 	}
 	return nil
 }
@@ -647,14 +970,19 @@ func (n *Node) statsSection() any {
 			Local:    owner == n.cfg.Name,
 		}
 	}
+	n.mu.Lock()
+	tombs, evictedMarks := len(n.tombs), len(n.evictedGen)
+	n.mu.Unlock()
 	return map[string]any{
-		"node":     n.cfg.Name,
-		"ring":     n.ring.String(),
-		"replicas": n.ring.Replicas(),
-		"vnodes":   n.ring.VNodes(),
-		"ready":    n.Ready() == nil,
-		"peers":    peerOut,
-		"models":   models,
+		"node":            n.cfg.Name,
+		"ring":            n.ring.String(),
+		"replicas":        n.ring.Replicas(),
+		"vnodes":          n.ring.VNodes(),
+		"ready":           n.Ready() == nil,
+		"peers":           peerOut,
+		"models":          models,
+		"tombstones":      tombs,
+		"evicted_markers": evictedMarks,
 	}
 }
 

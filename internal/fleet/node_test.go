@@ -422,3 +422,279 @@ func TestFleetStatsAndMetrics(t *testing.T) {
 		}
 	}
 }
+
+// TestReadyRequiresEveryPeer pins the convergence gate: one successful
+// gossip round with one arbitrary peer is NOT enough to accept writes
+// (a restarted owner that only spoke to a non-owner of its shards
+// could fork history); the node flips ready only after syncing with
+// every peer.
+func TestReadyRequiresEveryPeer(t *testing.T) {
+	f := newTestFleet(t, []string{"a", "b", "c"}, 2, 0, nil)
+	ctx := context.Background()
+
+	n := f.nodes["a"]
+	if err := n.Ready(); err == nil {
+		t.Fatal("node ready before any gossip")
+	}
+	// First round-robin round contacts exactly one of the two peers.
+	peer, err := n.Gossip(ctx)
+	if err != nil {
+		t.Fatalf("gossip with %s: %v", peer, err)
+	}
+	if err := n.Ready(); err == nil {
+		t.Fatalf("node ready after syncing with only one peer (%s) of two", peer)
+	}
+	// The second round reaches the remaining peer; now every peer has
+	// been synced and writes are safe.
+	if _, err := n.Gossip(ctx); err != nil {
+		t.Fatalf("second gossip: %v", err)
+	}
+	if err := n.Ready(); err != nil {
+		t.Fatalf("node not ready after syncing with every peer: %v", err)
+	}
+}
+
+// TestForkedWriteNotAcknowledged pins the stale-replication surfacing:
+// when a replica already serves a strictly newer generation than the
+// one a write produced locally, the push is stale-rejected and the
+// client gets a 409 instead of an ack — an acknowledged write can
+// never be silently overwritten by gossip afterwards.
+func TestForkedWriteNotAcknowledged(t *testing.T) {
+	f := newTestFleet(t, []string{"a", "b"}, 2, 0, nil)
+	ctx := context.Background()
+	if err := f.nodes["a"].GossipAll(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := putSnapshot(f.urls["a"], "m", snapshotBytes(t, 60))
+	if err != nil || resp.status != http.StatusOK {
+		t.Fatalf("seed PUT: %v %+v", err, resp)
+	}
+	gen, _ := strconv.ParseInt(resp.gen, 10, 64)
+
+	// Simulate the fleet having moved on without node a noticing: b
+	// serves a much newer generation.
+	if _, err := f.regs["b"].LoadGenerationContext(ctx, "m", benchfix.ModelWorkload(8, 70), gen+5); err != nil {
+		t.Fatal(err)
+	}
+
+	// A PUT through a now publishes locally below b's generation; b
+	// stale-rejects the push and the ack must become a 409.
+	resp, err = putSnapshot(f.urls["a"], "m", snapshotBytes(t, 65))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.status != http.StatusConflict {
+		t.Fatalf("forked write = %d (%s), want 409", resp.status, resp.body)
+	}
+	// b's newer generation survived untouched.
+	if got := peekGen(f.regs["b"], "m"); got != gen+5 {
+		t.Fatalf("replica generation = %d after rejected fork, want %d", got, gen+5)
+	}
+}
+
+// deleteModel issues DELETE /v1/models/{name} against a node URL.
+func deleteModel(t *testing.T, baseURL, name string) int {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodDelete, baseURL+"/v1/models/"+name, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode
+}
+
+// TestDeleteReplicatesAndTombstones pins the delete contract: a fleet
+// DELETE reaches every owner synchronously, gossip does not resurrect
+// the model from any replica (tombstones ride in digests), and a later
+// re-PUT restarts the lineage at a strictly newer generation.
+func TestDeleteReplicatesAndTombstones(t *testing.T) {
+	f := newTestFleet(t, []string{"a", "b"}, 2, 0, nil)
+	ctx := context.Background()
+	for _, n := range []string{"a", "b"} {
+		if err := f.nodes[n].GossipAll(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	resp, err := putSnapshot(f.urls["a"], "m", snapshotBytes(t, 60))
+	if err != nil || resp.status != http.StatusOK {
+		t.Fatalf("PUT: %v %+v", err, resp)
+	}
+	gen, _ := strconv.ParseInt(resp.gen, 10, 64)
+
+	if code := deleteModel(t, f.urls["a"], "m"); code != http.StatusOK {
+		t.Fatalf("DELETE = %d", code)
+	}
+	// The delete reached the other owner before the ack.
+	if got := peekGen(f.regs["b"], "m"); got != 0 {
+		t.Fatalf("replica still serves m at generation %d immediately after DELETE ack", got)
+	}
+
+	// Gossip in both directions must not bring the model back.
+	for round := 0; round < 2; round++ {
+		for _, n := range []string{"a", "b"} {
+			if err := f.nodes[n].GossipAll(ctx); err != nil {
+				t.Fatalf("gossip round %d on %s: %v", round, n, err)
+			}
+		}
+	}
+	if got := peekGen(f.regs["a"], "m"); got != 0 {
+		t.Fatalf("gossip resurrected m on a at generation %d", got)
+	}
+	if got := peekGen(f.regs["b"], "m"); got != 0 {
+		t.Fatalf("gossip resurrected m on b at generation %d", got)
+	}
+
+	// A replica that somehow regains deleted history (here: loaded
+	// behind the node's back) must not leak it back to a tombstoned
+	// peer via gossip.
+	if _, err := f.regs["b"].LoadGenerationContext(ctx, "m", benchfix.ModelWorkload(8, 60), gen); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.nodes["a"].GossipAll(ctx); err != nil {
+		t.Fatalf("gossip: %v", err)
+	}
+	if got := peekGen(f.regs["a"], "m"); got != 0 {
+		t.Fatalf("tombstoned node pulled deleted m back at generation %d", got)
+	}
+
+	// Re-creating the model starts a new lineage past the tombstone on
+	// every owner.
+	resp, err = putSnapshot(f.urls["a"], "m", snapshotBytes(t, 80))
+	if err != nil || resp.status != http.StatusOK {
+		t.Fatalf("re-PUT: %v %+v", err, resp)
+	}
+	newGen, _ := strconv.ParseInt(resp.gen, 10, 64)
+	if newGen <= gen {
+		t.Fatalf("re-created generation %d did not advance past deleted lineage %d", newGen, gen)
+	}
+	if got := peekGen(f.regs["b"], "m"); got != newGen {
+		t.Fatalf("replica serves re-created m at %d, want %d", got, newGen)
+	}
+}
+
+// TestGossipRespectsEviction pins the LRU interaction: a model the
+// resident-cost bound evicted is not pulled straight back by the next
+// gossip round (which would thrash the bound forever); a genuinely
+// newer write clears the marker and replicates normally.
+func TestGossipRespectsEviction(t *testing.T) {
+	ctx := context.Background()
+	probe := benchfix.ModelWorkload(8, 60)
+	edges := probe.H.NumEdges()
+
+	names := []string{"a", "b"}
+	f := &testFleet{nodes: map[string]*Node{}, regs: map[string]*registry.Registry{}, urls: map[string]string{}}
+	swaps := map[string]*handlerSwap{}
+	for _, name := range names {
+		sw := &handlerSwap{}
+		ts := httptest.NewServer(sw)
+		t.Cleanup(ts.Close)
+		swaps[name] = sw
+		f.urls[name] = ts.URL
+	}
+	for _, name := range names {
+		peers := map[string]string{}
+		for _, other := range names {
+			if other != name {
+				peers[other] = f.urls[other]
+			}
+		}
+		opts := registry.Options{}
+		if name == "a" {
+			// Bound fits one model (plus slack for derived artifacts)
+			// but never two: loading the second evicts the first.
+			opts.MaxResidentEdges = edges + edges/2
+		}
+		reg := registry.New(opts)
+		node, err := NewNode(NodeConfig{Name: name, Peers: peers, Replicas: 2}, reg, server.New(reg))
+		if err != nil {
+			t.Fatal(err)
+		}
+		node.Start()
+		t.Cleanup(node.Stop)
+		h := node.Handler()
+		swaps[name].h.Store(&h)
+		f.nodes[name] = node
+		f.regs[name] = reg
+	}
+	for _, n := range names {
+		if err := f.nodes[n].GossipAll(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if r, err := putSnapshot(f.urls["a"], "m1", snapshotBytes(t, 60)); err != nil || r.status != 200 {
+		t.Fatalf("PUT m1: %v %+v", err, r)
+	}
+	gen1 := peekGen(f.regs["a"], "m1")
+	if r, err := putSnapshot(f.urls["a"], "m2", snapshotBytes(t, 60)); err != nil || r.status != 200 {
+		t.Fatalf("PUT m2: %v %+v", err, r)
+	}
+	if got := peekGen(f.regs["a"], "m1"); got != 0 {
+		t.Fatalf("m1 not evicted on a (generation %d); bound miscalibrated for the test", got)
+	}
+	if got := peekGen(f.regs["b"], "m1"); got != gen1 {
+		t.Fatalf("unbounded replica lost m1 (generation %d, want %d)", got, gen1)
+	}
+
+	// Gossip: b still advertises m1, but a must not thrash its bound by
+	// re-pulling what it just evicted.
+	if err := f.nodes["a"].GossipAll(ctx); err != nil {
+		t.Fatalf("gossip: %v", err)
+	}
+	if got := peekGen(f.regs["a"], "m1"); got != 0 {
+		t.Fatalf("gossip re-pulled evicted m1 (generation %d), thrashing the resident bound", got)
+	}
+
+	// A NEW write to m1 (routed to the other owner) replicates back in
+	// and clears the marker: fresh traffic beats the eviction.
+	if r, err := putSnapshot(f.urls["b"], "m1", snapshotBytes(t, 60)); err != nil || r.status != 200 {
+		t.Fatalf("PUT m1 via b: %v %+v", err, r)
+	}
+	newGen := peekGen(f.regs["b"], "m1")
+	if newGen <= gen1 {
+		t.Fatalf("rewrite generation %d did not advance past %d", newGen, gen1)
+	}
+	if got := peekGen(f.regs["a"], "m1"); got != newGen {
+		t.Fatalf("replication push at newer generation did not land on a: %d, want %d", got, newGen)
+	}
+}
+
+// TestLifecycleStopWithoutStart pins the construct-then-Stop path: a
+// node whose Start was never called (callers bailing out of their own
+// setup) must not deadlock in Stop, and both Start and Stop are
+// idempotent.
+func TestLifecycleStopWithoutStart(t *testing.T) {
+	reg := registry.New(registry.Options{})
+	node, err := NewNode(NodeConfig{Name: "solo"}, reg, server.New(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		node.Stop()
+		node.Stop() // double Stop is safe
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Stop deadlocked on a node whose Start was never called")
+	}
+
+	reg2 := registry.New(registry.Options{})
+	node2, err := NewNode(NodeConfig{Name: "solo2"}, reg2, server.New(reg2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	node2.Start()
+	node2.Start() // double Start must not panic on double close
+	node2.Stop()
+	node2.Stop()
+}

@@ -18,9 +18,18 @@ import (
 	"hypermine/internal/telemetry"
 )
 
-// maxForwardBody bounds a buffered request body the router holds for
-// failover replay (matches the node's snapshot bound).
-const maxForwardBody = 1 << 30
+// defaultMaxForwardBody bounds a buffered request body the router
+// holds for failover replay. Request bodies must be fully buffered
+// (a write that fails over is replayed verbatim on the next owner), so
+// the routing tier's default is deliberately far below the node's
+// 1 GiB snapshot bound — a handful of concurrent huge PUTs must not
+// exhaust router memory. Raise via RouterConfig.MaxBodyBytes.
+const defaultMaxForwardBody = 64 << 20
+
+// maxRetainedErrorBody bounds how much of a failed (retriable) replica
+// response the router keeps in memory for the all-replicas-failed
+// fallback answer. Successful responses are streamed, never buffered.
+const maxRetainedErrorBody = 64 << 10
 
 // RouterConfig configures the stateless fleet router.
 type RouterConfig struct {
@@ -34,6 +43,10 @@ type RouterConfig struct {
 	// Client performs the forwards. Nil uses a dedicated client with a
 	// sane timeout.
 	Client *http.Client
+	// MaxBodyBytes bounds a request body the router buffers for
+	// failover replay; larger bodies are rejected with 400. <= 0 means
+	// the 64 MiB default.
+	MaxBodyBytes int64
 	// Admission, when set, sheds load at the router before any network
 	// hop: model-scoped requests pass the same tenant/model/class
 	// admission funnel a serving node applies. Nil disables.
@@ -318,12 +331,24 @@ func (rt *Router) handleModelScoped(w http.ResponseWriter, r *http.Request) {
 		}()
 	}
 
-	// Buffer the body once so failover can replay it.
+	// Buffer the request body once so failover can replay it. The bound
+	// is the router's own (default 64 MiB), not the node's snapshot
+	// bound: the routing tier holds one buffered body per in-flight
+	// request and must stay far from memory exhaustion.
+	maxBody := rt.cfg.MaxBodyBytes
+	if maxBody <= 0 {
+		maxBody = defaultMaxForwardBody
+	}
 	var body []byte
 	if r.Body != nil {
-		b, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxForwardBody))
+		b, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBody))
 		if err != nil {
-			status, errMsg = http.StatusBadRequest, err.Error()
+			status = http.StatusBadRequest
+			var tooLarge *http.MaxBytesError
+			if errors.As(err, &tooLarge) {
+				status = http.StatusRequestEntityTooLarge
+			}
+			errMsg = err.Error()
 			writeJSON(w, status, map[string]string{"error": "body: " + err.Error()})
 			return
 		}
@@ -354,12 +379,6 @@ func (rt *Router) handleModelScoped(w http.ResponseWriter, r *http.Request) {
 				slog.String("error", err.Error()))
 			continue
 		}
-		respBody, readErr := io.ReadAll(resp.Body)
-		resp.Body.Close()
-		if readErr != nil {
-			lastErr = readErr
-			continue
-		}
 		// A 503 carrying X-Fleet-Not-Ready is an explicit "not applied"
 		// from a replica still converging after restart — safe to fail
 		// over even for writes.
@@ -370,12 +389,24 @@ func (rt *Router) handleModelScoped(w http.ResponseWriter, r *http.Request) {
 		if retriable && attempt < len(owners)-1 {
 			// 404 = this replica has not (re)gained the model yet; 5xx on
 			// a read = replica-local fault. Either way another owner may
-			// hold the answer.
+			// hold the answer. Retain only a bounded prefix of the error
+			// body for the all-replicas-failed fallback.
+			respBody, _ := io.ReadAll(io.LimitReader(resp.Body, maxRetainedErrorBody))
+			resp.Body.Close()
 			lastStatus, lastBody, lastHeader = resp.StatusCode, respBody, resp.Header
 			continue
 		}
+		// This response is final: stream it to the client instead of
+		// buffering it (a large snapshot or rules answer must not sit in
+		// router memory once per in-flight request).
 		status = resp.StatusCode
-		rt.writeProxied(w, resp.Header, resp.StatusCode, respBody)
+		if err := rt.streamProxied(w, resp); err != nil {
+			// Headers are already written; nothing to salvage but log it.
+			rt.logger.LogAttrs(r.Context(), slog.LevelWarn, "proxied response stream failed",
+				slog.String("model", name), slog.String("peer", peer),
+				slog.String("error", err.Error()))
+		}
+		resp.Body.Close()
 		return
 	}
 	// Every owner failed. Prefer the most recent HTTP answer (e.g. a
@@ -424,16 +455,35 @@ func (rt *Router) forward(r *http.Request, peer string, body []byte, act *teleme
 	return rt.client.Do(req)
 }
 
-// writeProxied relays a replica response (status, relevant headers,
-// body) to the client.
+// writeProxied relays an already-buffered replica response (status,
+// relevant headers, body) to the client — used only for the bounded
+// error bodies kept around for the all-replicas-failed fallback.
 func (rt *Router) writeProxied(w http.ResponseWriter, h http.Header, status int, body []byte) {
+	proxyHeaders(w, h)
+	w.WriteHeader(status)
+	_, _ = w.Write(body)
+}
+
+// streamProxied relays a replica response to the client by streaming
+// its body — the router never holds a full successful response in
+// memory. The caller closes resp.Body.
+func (rt *Router) streamProxied(w http.ResponseWriter, resp *http.Response) error {
+	proxyHeaders(w, resp.Header)
+	if resp.ContentLength >= 0 {
+		w.Header().Set("Content-Length", strconv.FormatInt(resp.ContentLength, 10))
+	}
+	w.WriteHeader(resp.StatusCode)
+	_, err := io.Copy(w, resp.Body)
+	return err
+}
+
+// proxyHeaders copies the replica headers the fleet contract forwards.
+func proxyHeaders(w http.ResponseWriter, h http.Header) {
 	for _, k := range []string{"Content-Type", "X-Model-Generation", "Retry-After"} {
 		if v := h.Get(k); v != "" {
 			w.Header().Set(k, v)
 		}
 	}
-	w.WriteHeader(status)
-	_, _ = w.Write(body)
 }
 
 // writeJSON is the router's minimal JSON response helper.

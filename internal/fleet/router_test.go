@@ -232,3 +232,59 @@ func TestRouterTracePropagation(t *testing.T) {
 		t.Fatalf("traceparent not propagated: %v", got)
 	}
 }
+
+// TestRouterBodyBound pins the forwarding memory bound: request bodies
+// are buffered (for safe failover replay) only up to MaxBodyBytes, and
+// an oversized write is rejected up front instead of ballooning router
+// memory.
+func TestRouterBodyBound(t *testing.T) {
+	backends := map[string]*scripted{"a": {}, "b": {}}
+	peers := map[string]string{}
+	for name, b := range backends {
+		ts := httptest.NewServer(b)
+		t.Cleanup(ts.Close)
+		peers[name] = ts.URL
+	}
+	rt, err := NewRouter(RouterConfig{Peers: peers, Replicas: 2, MaxBodyBytes: 1 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rec := doRoute(t, rt, http.MethodPut, "/v1/models/m", strings.Repeat("x", 2<<10))
+	if rec.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body = %d (%s), want 413", rec.Code, rec.Body)
+	}
+	for name, b := range backends {
+		if b.hits.Load() != 0 {
+			t.Errorf("backend %s reached %d times by a rejected oversized write", name, b.hits.Load())
+		}
+	}
+
+	rec = doRoute(t, rt, http.MethodPut, "/v1/models/m", strings.Repeat("x", 1<<9))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("in-bound body = %d, want 200", rec.Code)
+	}
+}
+
+// TestRouterStreamsLargeResponse pins that replica responses are
+// relayed without the router materialising them: a response larger
+// than every internal buffering bound arrives intact.
+func TestRouterStreamsLargeResponse(t *testing.T) {
+	rt, model, owners := newScriptedRouter(t)
+	const size = maxRetainedErrorBody * 4
+	owners[0].respond(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("X-Model-Generation", "3")
+		io.CopyN(w, strings.NewReader(strings.Repeat("y", size)), size)
+	})
+	rec := doRoute(t, rt, http.MethodGet, "/v1/models/"+model+"/dominators", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("streamed read = %d, want 200", rec.Code)
+	}
+	if rec.Body.Len() != size {
+		t.Fatalf("relayed %d bytes, want %d", rec.Body.Len(), size)
+	}
+	if g := rec.Header().Get("X-Model-Generation"); g != "3" {
+		t.Errorf("generation header %q not relayed on streamed path", g)
+	}
+}

@@ -166,6 +166,7 @@ func (r *Registry) appendContext(ctx context.Context, name string, apply func(*d
 	for _, d := range drains {
 		drain(d)
 	}
+	r.notifyEvicted(evictedNames, drains)
 	for _, victim := range evictedNames {
 		r.opt.Logger.LogAttrs(ctx, slog.LevelInfo, "model evicted",
 			slog.String("model", victim), slog.String("by", name))

@@ -187,6 +187,35 @@ type Registry struct {
 	gen     atomic.Int64 // load generation counter
 	swaps   atomic.Int64
 	evicted atomic.Int64
+
+	// evictHook (set via OnEvict) observes LRU evictions with the
+	// evicted model's generation; it runs outside registry locks.
+	evictHook atomic.Pointer[func(name string, gen int64)]
+}
+
+// OnEvict registers fn to be called with the name and generation of
+// every model the resident-cost bound evicts. The fleet layer uses it
+// to stop gossip from re-pulling a model the LRU just dropped (which
+// would thrash the bound forever). fn runs outside registry locks and
+// must not block; a nil fn clears the hook.
+func (r *Registry) OnEvict(fn func(name string, gen int64)) {
+	if fn == nil {
+		r.evictHook.Store(nil)
+		return
+	}
+	r.evictHook.Store(&fn)
+}
+
+// notifyEvicted fans one load's evictions out to the eviction hook.
+// names and drains are the paired slices evictOverBoundLocked returns.
+func (r *Registry) notifyEvicted(names []string, drains []*Served) {
+	hook := r.evictHook.Load()
+	if hook == nil || len(names) == 0 {
+		return
+	}
+	for i, name := range names {
+		(*hook)(name, drains[i].gen)
+	}
 }
 
 // New returns an empty registry.
@@ -228,6 +257,13 @@ func (r *Registry) buildServed(ctx context.Context, name string, m *core.Model, 
 		loadedAt: time.Now(),
 	}, nil
 }
+
+// RaiseGeneration lifts the registry-wide generation counter to at
+// least gen. The fleet layer calls it when it learns (via a delete
+// tombstone or gossip digest) that the fleet has already used
+// generations this registry has never seen, so later local Loads and
+// appends number strictly past them and cannot fork history.
+func (r *Registry) RaiseGeneration(gen int64) { r.raiseGen(gen) }
 
 // raiseGen lifts the registry-wide generation counter to at least gen,
 // so locally assigned generations after an explicit-generation publish
@@ -312,6 +348,7 @@ func (r *Registry) LoadContext(ctx context.Context, name string, m *core.Model) 
 	for _, d := range drains {
 		drain(d)
 	}
+	r.notifyEvicted(evictedNames, drains)
 	for _, victim := range evictedNames {
 		r.opt.Logger.LogAttrs(ctx, slog.LevelInfo, "model evicted",
 			slog.String("model", victim), slog.String("by", name))
@@ -401,6 +438,7 @@ func (r *Registry) LoadGenerationContext(ctx context.Context, name string, m *co
 	for _, d := range drains {
 		drain(d)
 	}
+	r.notifyEvicted(evictedNames, drains)
 	for _, victim := range evictedNames {
 		r.opt.Logger.LogAttrs(ctx, slog.LevelInfo, "model evicted",
 			slog.String("model", victim), slog.String("by", name))
@@ -553,6 +591,34 @@ func (r *Registry) Remove(name string) bool {
 			slog.String("model", name))
 	}
 	return e != nil
+}
+
+// RemoveGeneration unloads name only if its current generation is at
+// most gen, draining in-flight readers, and raises the registry-wide
+// generation counter to at least gen either way. It is the receiving
+// half of fleet delete replication: a delete stamped with the
+// generation it observed must not destroy a concurrent newer write
+// (the newest generation wins), and the raised counter keeps later
+// local loads numbering past the deleted lineage. It reports whether a
+// model was removed.
+func (r *Registry) RemoveGeneration(name string, gen int64) bool {
+	r.raiseGen(gen)
+	r.mu.Lock()
+	e := r.entries[name]
+	var old *Served
+	if e != nil {
+		if cur := e.cur.Load(); cur != nil && cur.gen <= gen {
+			old = e.cur.Swap(nil)
+			delete(r.entries, name)
+		}
+	}
+	r.mu.Unlock()
+	if old != nil {
+		drain(old)
+		r.opt.Logger.LogAttrs(context.Background(), slog.LevelInfo, "model removed",
+			slog.String("model", name), slog.Int64("through_generation", gen))
+	}
+	return old != nil
 }
 
 // Names returns the resident model names, sorted.
